@@ -1,0 +1,79 @@
+// Ablation: why the dense memory band of Table A1 is economically
+// viable -- redundancy repair -- and what the memory/logic floorplan
+// does to the die.
+//
+// Recreates a PA-RISC-class die (Table A1 row 34: 92M memory
+// transistors at s_d 40 next to 24M logic transistors at s_d 159),
+// floorplans the two regions, computes functional yield with and
+// without spare rows, and prices the die both ways.
+#include <cstdio>
+
+#include "nanocost/core/transistor_cost.hpp"
+#include "nanocost/floorplan/slicing.hpp"
+#include "nanocost/layout/density.hpp"
+#include "nanocost/report/table.hpp"
+#include "nanocost/units/format.hpp"
+#include "nanocost/yield/models.hpp"
+#include "nanocost/yield/redundancy.hpp"
+
+int main() {
+  using namespace nanocost;
+  using namespace nanocost::units::literals;
+
+  std::puts("=== Ablation: memory redundancy and the Table-A1 density bands ===\n");
+
+  // The product: Table A1 row 34 (PA-RISC class), 0.25 um.
+  const units::Micrometers lambda{0.25};
+  const auto mem_area = layout::area_for(92e6, 40.0, lambda);    // ~2.3 cm^2
+  const auto logic_area = layout::area_for(24e6, 159.0, lambda); // ~2.4 cm^2
+
+  // Floorplan the two regions into a die.
+  const floorplan::FloorplanResult fp = floorplan::floorplan({
+      floorplan::Block{"cache", mem_area.value(), 0.4, 2.5, 7},
+      floorplan::Block{"logic", logic_area.value(), 0.4, 2.5, 7},
+  });
+  std::printf("floorplan: %.2f x %.2f cm die, %.2f cm^2 (%.1f%% dead space)\n",
+              fp.width, fp.height, fp.area(), fp.dead_space() * 100.0);
+  for (const auto& b : fp.blocks) {
+    std::printf("  %-6s %.2f x %.2f cm at (%.2f, %.2f)\n", b.name.c_str(), b.width,
+                b.height, b.x, b.y);
+  }
+
+  // Yield: defect density 0.5/cm^2; memory sees faults over its whole
+  // area but repairs row failures with spares, logic cannot.
+  const double d0 = 0.5;
+  const double mem_faults = d0 * mem_area.value();
+  const double logic_faults = d0 * logic_area.value();
+  const double logic_yield = yield::PoissonYield{}.yield(logic_faults).value();
+
+  std::puts("\n--- die yield vs memory spare rows (D0 = 0.5 /cm^2) ---");
+  report::Table table({"spares", "memory yield", "die yield", "C_tr (eq. 3)",
+                       "die cost"});
+  const double total_tr = 92e6 + 24e6;
+  for (const int spares : {0, 2, 4, 8, 16}) {
+    const double mem_yield =
+        yield::repairable_yield_poisson(mem_faults, spares).value();
+    const double die_yield = mem_yield * logic_yield;
+    // Whole-die s_d from the floorplanned area.
+    const double sd = layout::decompression_index(
+        units::SquareCentimeters{fp.area()}, total_tr, lambda);
+    const units::Money ctr = core::cost_per_transistor_eq3(
+        8.0_usd_per_cm2, lambda, sd, units::Probability::clamped(die_yield));
+    table.add_row({std::to_string(spares), units::format_fixed(mem_yield, 3),
+                   units::format_fixed(die_yield, 3),
+                   units::format_sci(ctr.value(), 2),
+                   units::format_money(ctr * total_tr)});
+  }
+  std::fputs(table.to_string().c_str(), stdout);
+
+  // The counterfactual: build the cache at logic density instead.
+  const auto sparse_mem_area = layout::area_for(92e6, 159.0, lambda);
+  std::printf("\ncounterfactual: the same 92M-transistor cache at logic density would\n"
+              "need %.1f cm^2 instead of %.1f cm^2 -- the die would not fit a reticle.\n",
+              sparse_mem_area.value(), mem_area.value());
+  std::puts("\nReading: redundancy turns the dense memory band (s_d ~ 30-60) from a");
+  std::puts("yield liability into the cheapest transistors on the die -- which is why");
+  std::puts("Table A1's big dies are mostly memory, and why the paper's regular-fabric");
+  std::puts("prescription (Sec. 3.2) points at exactly that style of silicon.");
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Ablation: the full physical flow (place -> route -> time -> measure
+// density) across netlist locality -- the paper's design-quality story
+// with every quantity measured rather than assumed:
+//   - routed wirelength inflates over HPWL (the interconnect appetite),
+//   - congestion forces channel area (s_d up),
+//   - the pre-placement timing estimate misses by a locality-dependent
+//     margin (the closure gap that drives eq.-6 iterations).
+#include <cstdio>
+
+#include "nanocost/netlist/estimate.hpp"
+#include "nanocost/netlist/generator.hpp"
+#include "nanocost/place/placer.hpp"
+#include "nanocost/place/synthesis.hpp"
+#include "nanocost/report/table.hpp"
+#include "nanocost/route/router.hpp"
+#include "nanocost/timing/sta.hpp"
+#include "nanocost/units/format.hpp"
+
+int main() {
+  using namespace nanocost;
+
+  std::puts("=== Ablation: physical flow metrics vs netlist locality ===");
+  std::puts("800 gates, 16 rows x 60 cols, annealed placement, rip-up routing\n");
+
+  report::Table table({"locality", "HPWL", "routed WL", "max util", "synth s_d",
+                       "est. Tcrit", "annealed Tcrit", "random Tcrit", "gap(anneal)",
+                       "gap(random)"});
+  for (const double locality : {0.8, 0.5, 0.2, 0.05}) {
+    netlist::GeneratorParams gen;
+    gen.gate_count = 800;
+    gen.primary_inputs = 32;
+    gen.locality = locality;
+    gen.seed = 19;
+    const netlist::Netlist nl = netlist::generate_random_logic(gen);
+
+    const std::int32_t rows = 16, cols = 60;
+    place::AnnealParams anneal;
+    anneal.seed = 4;
+    const place::PlaceResult placed = place::anneal_place(nl, rows, cols, anneal);
+
+    route::RouterParams rp;
+    rp.h_capacity = 10;
+    rp.v_capacity = 10;
+    rp.rip_up_passes = 4;  // detour-based rip-up clears residual overflow
+    const route::RouteResult routed = route::route(nl, placed.placement, rp);
+
+    const place::SynthesisResult synth = place::synthesize(nl, placed.placement);
+
+    // Timing in the chip-assembly view: each placement site stands for
+    // a 150 um macro, so nets span millimeters and wire delay competes
+    // with gate delay (the 0.13 um regime where Sec. 2.4 bites).
+    timing::TimingParams tp;
+    tp.lambda = units::Micrometers{0.13};
+    tp.site_pitch_um = 150.0;
+    const timing::TimingResult est =
+        timing::analyze_estimated(nl, static_cast<double>(rows) * cols, tp);
+    const timing::TimingResult annealed = timing::analyze_placed(nl, placed.placement, tp);
+    const timing::TimingResult random = timing::analyze_placed(
+        nl, place::Placement::random(nl, rows, cols, 23), tp);
+
+    table.add_row(
+        {units::format_fixed(locality, 2), units::format_fixed(placed.final_hpwl, 0),
+         std::to_string(routed.total_wirelength_edges),
+         units::format_fixed(routed.max_utilization, 2),
+         units::format_fixed(synth.design.density().decompression_index, 0),
+         units::format_fixed(est.critical_path_ps, 0) + " ps",
+         units::format_fixed(annealed.critical_path_ps, 0) + " ps",
+         units::format_fixed(random.critical_path_ps, 0) + " ps",
+         units::format_fixed(timing::closure_gap(est, annealed) * 100.0, 0) + "%",
+         units::format_fixed(timing::closure_gap(est, random) * 100.0, 0) + "%"});
+  }
+  std::fputs(table.to_string().c_str(), stdout);
+
+  std::puts("\nReading: as logic loses locality, wiring demand, congestion and the");
+  std::puts("synthesized s_d climb together (Sec. 2.2's interconnect appetite).  The");
+  std::puts("pre-placement timing estimate only holds if placement *delivers* the");
+  std::puts("assumed average wire -- the random-placement column shows the surprise a");
+  std::puts("flow eats when it doesn't, which is Sec. 2.4's iteration trigger.");
+  return 0;
+}

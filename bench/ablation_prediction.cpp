@@ -1,0 +1,71 @@
+// Ablation: the Sec.-2.4 prediction-quality mechanism behind eq. (6).
+//
+// The interaction neighborhood (fixed ~500 nm physical radius) grows
+// quadratically in lambda units as feature size shrinks; estimate error
+// grows with it; iteration counts and hence the design-cost constant A0
+// follow.  Also quantifies the two escape hatches the paper names:
+// relaxing timing margins and regular/precharacterized patterns.
+#include <cstdio>
+
+#include "nanocost/process/interconnect.hpp"
+#include "nanocost/process/prediction.hpp"
+#include "nanocost/report/table.hpp"
+#include "nanocost/roadmap/roadmap.hpp"
+#include "nanocost/units/format.hpp"
+
+int main() {
+  using namespace nanocost;
+
+  std::puts("=== Ablation: prediction quality vs node (the eq.-6 mechanism) ===\n");
+
+  const roadmap::Roadmap rm = roadmap::Roadmap::itrs1999();
+  const units::Micrometers reference = rm.front().lambda();
+
+  std::puts("--- per node: neighborhood, estimate error, iterations, A0 ---");
+  report::Table table({"node", "neighborhood [cells]", "sigma", "P(iter ok)",
+                       "E[iterations]", "A0 (calibrated)", "wire crit. len [mm]"});
+  for (const roadmap::TechnologyNode& node : rm.nodes()) {
+    const process::PredictionModel model{node.lambda()};
+    const process::InterconnectModel wires =
+        process::InterconnectModel::for_feature_size(node.lambda());
+    const cost::DesignCostParams calibrated =
+        model.calibrate_design_cost(cost::DesignCostParams{}, reference);
+    table.add_row({node.name, units::format_si(model.neighborhood_cells()),
+                   units::format_fixed(model.estimate_sigma(), 3),
+                   units::format_fixed(model.iteration_success_probability(), 3),
+                   units::format_fixed(model.expected_iterations(), 2),
+                   units::format_si(calibrated.a0),
+                   units::format_fixed(wires.critical_length_mm(), 2)});
+  }
+  std::fputs(table.to_string().c_str(), stdout);
+
+  std::puts("\n--- escape hatch 1: relax the timing margin (35 nm node) ---");
+  const process::PredictionModel nano{rm.back().lambda()};
+  report::Table margins({"margin", "P(iter ok)", "E[iterations]"});
+  for (const double margin : {0.05, 0.10, 0.15, 0.25, 0.40, 0.60}) {
+    margins.add_row({units::format_percent(units::Probability{margin}),
+                     units::format_fixed(nano.iteration_success_probability(margin), 3),
+                     units::format_fixed(nano.expected_iterations(margin), 2)});
+  }
+  std::fputs(margins.to_string().c_str(), stdout);
+
+  std::puts("\n--- escape hatch 2: precharacterized regular patterns (35 nm) ---");
+  report::Table reg({"regular share", "effective sigma", "E[iterations]"});
+  for (const double share : {0.0, 0.5, 0.8, 0.95, 0.99}) {
+    const double sigma = nano.sigma_with_regularity(share);
+    // Iterations with the reduced sigma at the default margin.
+    process::PredictionParams p = nano.params();
+    const double prob =
+        0.5 * std::erfc(-p.margin / sigma / std::sqrt(2.0));
+    reg.add_row({units::format_percent(units::Probability{share}),
+                 units::format_fixed(sigma, 3),
+                 units::format_fixed(prob > 0 ? 1.0 / prob : 1e9, 2)});
+  }
+  std::fputs(reg.to_string().c_str(), stdout);
+
+  std::puts("\nReading: at the 35 nm node the naive flow iterates several times as often");
+  std::puts("as at 180 nm; regularity claws nearly all of it back -- 'only by applying");
+  std::puts("... highly geometrically regular structures ... can one hope to contain");
+  std::puts("design cost of nanometer IC on the manageable level.'");
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Ablation: the Sec.-3.2 prescription quantified.  Generate fabrics
+// spanning the regularity spectrum, measure their pattern census with
+// the ref-[33]-style extractor, and price the same product with the
+// measured regularity folded into eq. (4) -- alone and shared across a
+// product family.
+#include <cstdio>
+#include <memory>
+
+#include "nanocost/core/regularity_link.hpp"
+#include "nanocost/core/transistor_cost.hpp"
+#include "nanocost/layout/design.hpp"
+#include "nanocost/layout/generators.hpp"
+#include "nanocost/regularity/extractor.hpp"
+#include "nanocost/regularity/reuse.hpp"
+#include "nanocost/report/table.hpp"
+#include "nanocost/units/format.hpp"
+
+int main() {
+  using namespace nanocost;
+
+  std::puts("=== Ablation: layout regularity vs design cost (Sec. 3.2) ===\n");
+
+  layout::Library lib;
+  struct Fabric {
+    const char* name;
+    const layout::Cell* cell;
+  };
+  layout::StdCellBlockParams std_params;
+  std_params.rows = 16;
+  std_params.row_width_lambda = 512;
+  const Fabric fabrics[] = {
+      {"SRAM array 64x64 (regular)", layout::make_sram_array(lib, 64, 64)},
+      {"datapath 32b x 8 stages", layout::make_datapath(lib, 32, 8)},
+      {"gate array 32x32 @ 70%", layout::make_gate_array(lib, 32, 32, 0.7)},
+      {"std-cell block 16 rows", layout::make_stdcell_block(lib, std_params)},
+      {"random custom 4k transistors", layout::make_random_custom(lib, 4000, 300.0)},
+  };
+
+  regularity::ExtractorParams ep;
+  ep.window = 48;
+
+  core::Eq4Inputs base;
+  base.transistors_per_chip = 1e7;
+  base.n_wafers = 5000.0;
+  base.yield = units::Probability{0.6};
+  const double s_d = 250.0;
+  const double cost_base = core::cost_per_transistor_eq4(base, s_d).total.value();
+
+  report::Table table({"fabric", "windows", "unique", "regularity", "top-4 cover",
+                       "effort scale", "C_tr (1 product)", "C_tr (5 products)"});
+  for (const Fabric& f : fabrics) {
+    const auto report = regularity::extract_patterns(*f.cell, ep);
+    core::RegularityAdjustment solo;
+    core::RegularityAdjustment family;
+    family.products_sharing = 5;
+    const double c1 =
+        core::cost_per_transistor_eq4(core::apply_regularity(base, report, solo), s_d)
+            .total.value();
+    const double c5 =
+        core::cost_per_transistor_eq4(core::apply_regularity(base, report, family), s_d)
+            .total.value();
+    table.add_row({f.name, std::to_string(report.total_windows),
+                   std::to_string(report.unique_patterns),
+                   units::format_fixed(report.regularity_index(), 3),
+                   units::format_fixed(report.top_k_coverage(4), 3),
+                   units::format_fixed(regularity::design_effort_scale(report), 3),
+                   units::format_sci(c1, 3), units::format_sci(c5, 3)});
+  }
+  std::fputs(table.to_string().c_str(), stdout);
+  std::printf("\nbaseline (no regularity credit): C_tr = %s at s_d = %.0f\n",
+              units::format_sci(cost_base, 3).c_str(), s_d);
+  std::puts("\nReading: regular fabrics cut the design share of transistor cost by the");
+  std::puts("measured unique-pattern fraction, and amortize further across a product");
+  std::puts("family -- \"the limited smallest possible number of unique geometrical");
+  std::puts("patterns\" is worth concrete dollars per transistor.");
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Ablation: the cost optimum under uncertainty.
+//
+// The paper's Sec.-3.1 observation -- the optimum s_d moves
+// "substantially with the volume and yield" -- means a point optimum is
+// fragile.  Monte-Carlo propagation of yield/cost/effort/volume risk
+// through eq. (4) shows how wide the C_tr distribution really is and
+// where the 90th-percentile-robust density sits relative to the
+// nominal optimum.
+#include <cstdio>
+#include <string>
+
+#include "nanocost/core/optimizer.hpp"
+#include "nanocost/core/risk.hpp"
+#include "nanocost/report/table.hpp"
+#include "nanocost/units/format.hpp"
+
+int main() {
+  using namespace nanocost;
+
+  std::puts("=== Ablation: cost risk and robust density choice ===");
+  std::puts("product: 10M transistors, nominal N_w = 10000, Y = 0.7\n");
+
+  core::UncertainInputs u;
+  u.nominal.transistors_per_chip = 1e7;
+  u.nominal.n_wafers = 10000.0;
+  u.nominal.yield = units::Probability{0.7};
+
+  std::puts("--- C_tr distribution across candidate densities ---");
+  report::Table table({"s_d", "mean", "p10", "p50", "p90", "p90/p10",
+                       "P(die > $60)"});
+  for (const double s_d : {120.0, 180.0, 300.0, 500.0, 900.0}) {
+    const core::RiskResult r = core::monte_carlo_cost(u, s_d, 6000, 42, 60.0);
+    table.add_row({units::format_fixed(s_d, 0), units::format_sci(r.mean, 2),
+                   units::format_sci(r.p10, 2), units::format_sci(r.p50, 2),
+                   units::format_sci(r.p90, 2), units::format_fixed(r.p90 / r.p10, 2),
+                   units::format_percent(units::Probability::clamped(r.prob_over_budget))});
+  }
+  std::fputs(table.to_string().c_str(), stdout);
+
+  const core::Optimum nominal = core::optimal_sd_eq4(u.nominal);
+  const core::RobustOptimum robust = core::robust_sd(u, 0.9, 110.0, 1500.0, 30, 3000, 42);
+  std::printf("\nnominal optimum:     s_d* = %.0f (C_tr = %s)\n", nominal.s_d,
+              units::format_sci(nominal.cost_per_transistor.value(), 2).c_str());
+  std::printf("p90-robust optimum:  s_d* = %.0f (p90 C_tr = %s)\n", robust.s_d,
+              units::format_sci(robust.quantile_cost, 2).c_str());
+
+  std::puts("\n--- which risk dominates?  (p90/p10 spread with one risk at a time) ---");
+  report::Table which({"risk source", "p90/p10 at s_d = 300"});
+  const auto spread_with = [&](core::UncertainInputs v) {
+    const core::RiskResult r = core::monte_carlo_cost(v, 300.0, 6000, 42);
+    return r.p90 / r.p10;
+  };
+  core::UncertainInputs none = u;
+  none.yield_sigma = none.cm_sq_sigma_rel = none.design_cost_sigma_rel =
+      none.volume_sigma_rel = 1e-9;
+  for (const char* name : {"yield", "Cm_sq", "design effort", "volume"}) {
+    core::UncertainInputs only = none;
+    if (std::string(name) == "yield") only.yield_sigma = u.yield_sigma;
+    if (std::string(name) == "Cm_sq") only.cm_sq_sigma_rel = u.cm_sq_sigma_rel;
+    if (std::string(name) == "design effort")
+      only.design_cost_sigma_rel = u.design_cost_sigma_rel;
+    if (std::string(name) == "volume") only.volume_sigma_rel = u.volume_sigma_rel;
+    which.add_row({name, units::format_fixed(spread_with(only), 2)});
+  }
+  std::fputs(which.to_string().c_str(), stdout);
+  std::puts("\nReading: demand (volume) risk dwarfs process risk for NRE-heavy designs;");
+  std::puts("the robust density sits sparser than the nominal optimum -- uncertainty");
+  std::puts("itself pushes rational designs away from the custom wall.");
+  return 0;
+}

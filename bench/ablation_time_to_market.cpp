@@ -1,0 +1,62 @@
+// Ablation: the time-to-market force behind the Fig.-1 trend.
+//
+// The paper: "the time to market pressure must be a factor deciding
+// about compactness of modern custom-designed ICs."  Adding the
+// forfeited-revenue opportunity cost (market window model) to the
+// eq.-4 silicon cost moves the optimal s_d *sparser* than the pure
+// silicon optimum -- i.e., it reproduces the industry behavior the
+// paper observes, and prices it.
+#include <cstdio>
+
+#include "nanocost/core/optimizer.hpp"
+#include "nanocost/core/transistor_cost.hpp"
+#include "nanocost/cost/time_to_market.hpp"
+#include "nanocost/report/table.hpp"
+#include "nanocost/units/format.hpp"
+
+int main() {
+  using namespace nanocost;
+
+  std::puts("=== Ablation: time-to-market pressure vs design density ===");
+  std::puts("product: 10M transistors, N_w = 20000, 50-engineer team,");
+  std::puts("18-month market window worth $500M at 40% launch share\n");
+
+  core::Eq4Inputs silicon;
+  silicon.transistors_per_chip = 1e7;
+  silicon.n_wafers = 20000.0;
+  silicon.yield = units::Probability{0.8};
+
+  cost::TimeToMarketInputs ttm;
+  ttm.transistors = silicon.transistors_per_chip;
+
+  report::Table table({"s_d", "design NRE", "schedule [mo]", "forfeited revenue",
+                       "C_tr silicon", "C_tr + opportunity"});
+  double best_silicon_sd = 0.0, best_silicon_cost = 1e300;
+  double best_total_sd = 0.0, best_total_cost = 1e300;
+  for (double s_d = 110.0; s_d <= 1000.0; s_d *= 1.18) {
+    const core::Eq4Breakdown b = core::cost_per_transistor_eq4(silicon, s_d);
+    const cost::TimeToMarketPoint t = cost::time_to_market_cost(ttm, s_d);
+    const double total = b.total.value() + t.opportunity_per_transistor.value();
+    table.add_row({units::format_fixed(s_d, 0), units::format_money(t.design_cost),
+                   units::format_fixed(t.schedule_months, 1),
+                   units::format_money(t.forfeited_revenue),
+                   units::format_sci(b.total.value(), 2), units::format_sci(total, 2)});
+    if (b.total.value() < best_silicon_cost) {
+      best_silicon_cost = b.total.value();
+      best_silicon_sd = s_d;
+    }
+    if (total < best_total_cost) {
+      best_total_cost = total;
+      best_total_sd = s_d;
+    }
+  }
+  std::fputs(table.to_string().c_str(), stdout);
+
+  std::printf("\nsilicon-only optimum:       s_d* = %.0f\n", best_silicon_sd);
+  std::printf("with market-window pressure: s_d* = %.0f  [%s: sparser]\n", best_total_sd,
+              best_total_sd >= best_silicon_sd ? "ok" : "FAIL");
+  std::puts("\nReading: the schedule cost of squeezing density pushes rational teams to");
+  std::puts("sparser layouts -- the paper's explanation for the industrial drift of");
+  std::puts("Fig. 1, emerging here from the model rather than being assumed.");
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Ablation: eq. (4) -> eq. (3) convergence with volume ("for high
+// volume IC products (large N_w) C_tr described by (3) and (4) becomes
+// equal"), and where the design-cost share crosses 50% -- the volume
+// below which the paper's design-cost argument dominates everything.
+#include <cstdio>
+
+#include "nanocost/core/transistor_cost.hpp"
+#include "nanocost/report/chart.hpp"
+#include "nanocost/report/table.hpp"
+#include "nanocost/units/format.hpp"
+
+int main() {
+  using namespace nanocost;
+
+  std::puts("=== Ablation: NRE amortization vs production volume ===");
+  std::puts("product: 10M transistors at 0.25 um, s_d = 300, Y = 0.8, Cm_sq = 8 $/cm^2\n");
+
+  core::Eq4Inputs inputs;
+  inputs.transistors_per_chip = 1e7;
+  inputs.yield = units::Probability{0.8};
+  const double s_d = 300.0;
+  const units::Money eq3 = core::cost_per_transistor_eq3(
+      inputs.manufacturing_cost, inputs.lambda, s_d, inputs.yield);
+
+  report::Table table({"N_w (wafers)", "C_tr eq.(4)", "design share", "eq.(4)/eq.(3)"});
+  report::Series series{"eq4/eq3 ratio", '*', {}};
+  double crossover_nw = -1.0;
+  double prev_share = 1.0, prev_nw = 0.0;
+  for (double n_w = 100.0; n_w <= 1e7; n_w *= 2.0) {
+    inputs.n_wafers = n_w;
+    const core::Eq4Breakdown b = core::cost_per_transistor_eq4(inputs, s_d);
+    const double share = b.design.value() / b.total.value();
+    const double ratio = b.total.value() / eq3.value();
+    table.add_row({units::format_si(n_w), units::format_sci(b.total.value(), 2),
+                   units::format_percent(units::Probability::clamped(share)),
+                   units::format_fixed(ratio, 3)});
+    series.points.push_back({n_w, ratio});
+    if (crossover_nw < 0.0 && share < 0.5 && prev_share >= 0.5) {
+      // Linear interpolation in log volume for the 50% crossover.
+      const double t = (0.5 - prev_share) / (share - prev_share);
+      crossover_nw = prev_nw * std::pow(n_w / prev_nw, t);
+    }
+    prev_share = share;
+    prev_nw = n_w;
+  }
+  std::fputs(table.to_string().c_str(), stdout);
+  std::puts("");
+
+  report::ChartOptions opts;
+  opts.x_scale = report::Scale::kLog;
+  opts.y_scale = report::Scale::kLog;
+  opts.x_label = "production volume N_w [wafers]";
+  opts.y_label = "C_tr(eq.4) / C_tr(eq.3)";
+  std::fputs(report::render_chart({series}, opts).c_str(), stdout);
+
+  std::printf("\nDesign/NRE cost is the *majority* of transistor cost below ~%s wafers.\n",
+              units::format_si(crossover_nw).c_str());
+  std::printf("Convergence check: at N_w = 10M wafers eq.(4)/eq.(3) = %.4f  [%s]\n",
+              series.points.back().second,
+              series.points.back().second < 1.01 ? "ok" : "FAIL");
+  return 0;
+}

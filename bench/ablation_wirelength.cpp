@@ -1,0 +1,66 @@
+// Ablation: pre-placement wirelength prediction vs placed reality --
+// Sec. 2.4's iteration driver measured on a real placer.
+//
+// Sweeps netlist locality and block size; for each, compares the
+// Rent/Donath-style estimate (all a synthesis tool has before layout)
+// against the annealed placement's HPWL.  The error distribution is the
+// empirical footing for the PredictionModel that calibrates eq. (6).
+#include <cmath>
+#include <cstdio>
+
+#include "nanocost/netlist/estimate.hpp"
+#include "nanocost/netlist/generator.hpp"
+#include "nanocost/place/placer.hpp"
+#include "nanocost/report/table.hpp"
+#include "nanocost/units/format.hpp"
+
+int main() {
+  using namespace nanocost;
+
+  std::puts("=== Ablation: wirelength prediction error (pre-placement vs placed) ===\n");
+
+  report::Table table({"gates", "locality", "estimated", "placed HPWL", "error",
+                       "random placement"});
+  double worst_error = 0.0, best_error = 1e9;
+  for (const std::int32_t gates : {200, 500, 1000}) {
+    for (const double locality : {0.8, 0.4, 0.1}) {
+      netlist::GeneratorParams gen;
+      gen.gate_count = gates;
+      gen.primary_inputs = 16;
+      gen.locality = locality;
+      gen.seed = 11;
+      const netlist::Netlist nl = netlist::generate_random_logic(gen);
+
+      const auto cols = static_cast<std::int32_t>(std::ceil(std::sqrt(gates * 1.2) * 1.6));
+      const auto rows = static_cast<std::int32_t>(
+          std::ceil(static_cast<double>(gates) * 1.2 / cols));
+      const double sites = static_cast<double>(rows) * cols;
+
+      const double estimated = netlist::estimate_total_wirelength(nl, sites);
+      place::AnnealParams anneal;
+      anneal.seed = 3;
+      const place::PlaceResult placed = place::anneal_place(nl, rows, cols, anneal);
+      const double random_hpwl =
+          place::total_hpwl(nl, place::Placement::random(nl, rows, cols, 5));
+      const double error = std::fabs(estimated - placed.final_hpwl) / placed.final_hpwl;
+      worst_error = std::max(worst_error, error);
+      best_error = std::min(best_error, error);
+
+      table.add_row({std::to_string(gates), units::format_fixed(locality, 2),
+                     units::format_fixed(estimated, 0),
+                     units::format_fixed(placed.final_hpwl, 0),
+                     units::format_fixed(error * 100.0, 0) + "%",
+                     units::format_fixed(random_hpwl, 0)});
+    }
+  }
+  std::fputs(table.to_string().c_str(), stdout);
+
+  std::printf("\nprediction error range across the sweep: %.0f%% .. %.0f%%\n",
+              best_error * 100.0, worst_error * 100.0);
+  std::puts("\nReading: one global estimator cannot track locality it cannot see --");
+  std::puts("errors of tens of percent on wiring mean missed timing, and missed");
+  std::puts("timing means another loop through synthesis.  This is the mechanism");
+  std::puts("the paper's eq. (6) prices and its Sec.-3.2 regularity escape avoids");
+  std::puts("(precharacterized fabrics have *measured*, not estimated, wiring).");
+  return 0;
+}

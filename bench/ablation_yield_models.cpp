@@ -1,0 +1,52 @@
+// Ablation: how the choice of yield model -- the Y(...) of eq. (7) the
+// paper says is "a complex function" nobody models well -- moves the
+// cost-optimal design density.  Poisson / Murphy / Seeds / negative
+// binomial at several clustering levels, each with and without the
+// density-dependent critical-area coupling.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "nanocost/core/generalized_cost.hpp"
+#include "nanocost/core/optimizer.hpp"
+#include "nanocost/report/table.hpp"
+#include "nanocost/units/format.hpp"
+
+int main() {
+  using namespace nanocost;
+
+  std::puts("=== Ablation: yield model choice vs optimal design density ===");
+  std::puts("scenario: 10M transistors, 0.25 um, 200 mm wafers, N_w = 20000, D0 = 0.5/cm^2\n");
+
+  const std::vector<std::string> specs = {"poisson", "murphy",    "seeds",
+                                          "negbin:0.5", "negbin:2", "negbin:10"};
+
+  for (const bool coupled : {false, true}) {
+    std::printf("--- density-dependent critical area: %s ---\n", coupled ? "ON" : "OFF");
+    report::Table table({"yield model", "s_d*", "Y at s_d*", "C_tr at s_d*", "die cost"});
+    for (const std::string& spec : specs) {
+      core::ProductScenario scenario;
+      scenario.transistors = 1e7;
+      scenario.lambda = units::Micrometers{0.25};
+      scenario.n_wafers = 20000.0;
+      scenario.defect_density = 0.5;
+      scenario.density_dependent_yield = coupled;
+      scenario.yield_model = yield::make_yield_model(spec);
+      const core::GeneralizedCostModel model(scenario);
+      const core::Optimum opt = core::optimal_sd(model);
+      const core::CostEvaluation e = model.evaluate(opt.s_d);
+      table.add_row({spec, units::format_fixed(opt.s_d, 0),
+                     units::format_percent(e.yield),
+                     units::format_sci(e.cost_per_transistor.value(), 2),
+                     units::format_money(e.cost_per_die)});
+    }
+    std::fputs(table.to_string().c_str(), stdout);
+    std::puts("");
+  }
+
+  std::puts("Reading: optimistic large-die models (Seeds, heavy clustering) tolerate");
+  std::puts("sparser designs; pessimistic Poisson pushes the optimum denser.  Getting");
+  std::puts("the yield model wrong mis-places s_d* by tens of percent -- the paper's");
+  std::puts("case for investing in yield/cost modeling before nanometer nodes.");
+  return 0;
+}

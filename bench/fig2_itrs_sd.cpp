@@ -1,0 +1,48 @@
+// Figure 2: the design decompression index implied by the ITRS-1999
+// MPU trajectory, per node.  The roadmap silently assumes designers get
+// *denser* every node (s_d falling toward the custom-best ~100) -- the
+// opposite of the industrial trend in Figure 1.
+#include <cstdio>
+
+#include "nanocost/core/itrs_analysis.hpp"
+#include "nanocost/report/chart.hpp"
+#include "nanocost/report/table.hpp"
+#include "nanocost/units/format.hpp"
+
+int main() {
+  using namespace nanocost;
+
+  std::puts("=== Figure 2: s_d implied by the ITRS-1999 MPU tables ===\n");
+
+  const roadmap::Roadmap rm = roadmap::Roadmap::itrs1999();
+  const auto series = core::itrs_implied_sd(rm);
+
+  report::Table table({"year", "node", "MPU transistors", "chip area", "implied s_d"});
+  report::Series chart_series{"ITRS-implied s_d", '*', {}};
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    const auto& p = series[i];
+    const auto& node = rm.nodes()[i];
+    table.add_row({std::to_string(p.year), node.name,
+                   units::format_si(node.mpu_transistors),
+                   units::format_area(node.mpu_chip_area),
+                   units::format_fixed(p.implied_sd, 1)});
+    chart_series.points.push_back({p.lambda.value(), p.implied_sd});
+  }
+  std::fputs(table.to_string().c_str(), stdout);
+  std::puts("");
+
+  report::ChartOptions opts;
+  opts.x_scale = report::Scale::kLog;
+  opts.x_label = "feature size [um]";
+  opts.y_label = "s_d [lambda^2 / transistor]";
+  std::fputs(report::render_chart({chart_series}, opts).c_str(), stdout);
+
+  std::printf("\nShape check: s_d declines monotonically from %.0f (1999) toward %.0f "
+              "(2014), approaching the custom-density wall of ~100.  [%s]\n",
+              series.front().implied_sd, series.back().implied_sd,
+              series.back().implied_sd < series.front().implied_sd &&
+                      series.back().implied_sd > 100.0
+                  ? "ok"
+                  : "FAIL");
+  return 0;
+}

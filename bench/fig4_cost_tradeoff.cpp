@@ -1,0 +1,89 @@
+// Figure 4: transistor cost C_tr(s_d) under eq. (4) with the paper's
+// parameters -- N_tr = 10,000,000 and
+//   (a) N_w = 5000,  Y = 0.4   (low volume, immature yield)
+//   (b) N_w = 50000, Y = 0.9   (high volume, mature yield)
+// The curves are U-shaped; the optimum s_d moves substantially with
+// volume and yield, which is the paper's Sec.-3.1 conclusion: neither
+// smallest die nor maximum yield is the right objective.
+#include <cstdio>
+
+#include "nanocost/core/optimizer.hpp"
+#include "nanocost/core/transistor_cost.hpp"
+#include "nanocost/report/chart.hpp"
+#include "nanocost/report/table.hpp"
+#include "nanocost/units/format.hpp"
+
+namespace {
+
+using namespace nanocost;
+
+core::Eq4Inputs scenario(double n_wafers, double yield) {
+  core::Eq4Inputs inputs;
+  inputs.transistors_per_chip = 1e7;  // the paper's N_tr
+  inputs.n_wafers = n_wafers;
+  inputs.yield = units::Probability{yield};
+  inputs.lambda = units::Micrometers{0.25};
+  inputs.manufacturing_cost = units::CostPerArea{8.0};
+  return inputs;
+}
+
+void run_scenario(const char* title, const core::Eq4Inputs& inputs, char marker,
+                  report::Series& out) {
+  std::printf("--- %s ---\n", title);
+  report::Table table({"s_d", "C_tr total", "manufacturing", "design", "C_DE (NRE)",
+                       "per-die cost"});
+  for (const core::SweepPoint& p : core::sweep_eq4(inputs, 105.0, 1900.0, 13)) {
+    table.add_row({units::format_fixed(p.s_d, 0),
+                   units::format_sci(p.breakdown.total.value(), 2),
+                   units::format_sci(p.breakdown.manufacturing.value(), 2),
+                   units::format_sci(p.breakdown.design.value(), 2),
+                   units::format_money(p.breakdown.design_nre),
+                   units::format_money(p.breakdown.per_die)});
+  }
+  std::fputs(table.to_string().c_str(), stdout);
+
+  const core::Optimum opt = core::optimal_sd_eq4(inputs);
+  std::printf("optimum: s_d* = %.0f at C_tr = %s  (die cost %s)\n\n", opt.s_d,
+              units::format_sci(opt.cost_per_transistor.value(), 3).c_str(),
+              units::format_money(opt.cost_per_transistor * inputs.transistors_per_chip)
+                  .c_str());
+
+  out.marker = marker;
+  for (const core::SweepPoint& p : core::sweep_eq4(inputs, 105.0, 1900.0, 60)) {
+    out.points.push_back({p.s_d, p.breakdown.total.value()});
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::puts("=== Figure 4: C_tr(s_d) under eq. (4), N_tr = 10M ===\n");
+
+  report::Series a{"(a) N_w = 5000, Y = 0.4", 'a', {}};
+  report::Series b{"(b) N_w = 50000, Y = 0.9", 'b', {}};
+  const core::Eq4Inputs in_a = scenario(5000.0, 0.4);
+  const core::Eq4Inputs in_b = scenario(50000.0, 0.9);
+  run_scenario("Figure 4(a): N_w = 5000, Y = 0.4", in_a, 'a', a);
+  run_scenario("Figure 4(b): N_w = 50000, Y = 0.9", in_b, 'b', b);
+
+  report::ChartOptions opts;
+  opts.x_scale = report::Scale::kLog;
+  opts.y_scale = report::Scale::kLog;
+  opts.x_label = "s_d [lambda^2 / transistor]";
+  opts.y_label = "C_tr [$ / transistor]";
+  std::fputs(report::render_chart({a, b}, opts).c_str(), stdout);
+
+  const core::Optimum opt_a = core::optimal_sd_eq4(in_a);
+  const core::Optimum opt_b = core::optimal_sd_eq4(in_b);
+  std::puts("\nShape checks (paper Sec. 3.1):");
+  std::printf("  both curves U-shaped with interior optima:   s_d* = %.0f and %.0f   [%s]\n",
+              opt_a.s_d, opt_b.s_d,
+              opt_a.s_d > 101.0 && opt_b.s_d > 101.0 ? "ok" : "FAIL");
+  std::printf("  optimum moves substantially with volume/yield: %.0f -> %.0f        [%s]\n",
+              opt_a.s_d, opt_b.s_d, opt_b.s_d < opt_a.s_d * 0.7 ? "ok" : "FAIL");
+  std::printf("  high volume is cheaper per transistor: %s < %s                     [%s]\n",
+              units::format_sci(opt_b.cost_per_transistor.value(), 2).c_str(),
+              units::format_sci(opt_a.cost_per_transistor.value(), 2).c_str(),
+              opt_b.cost_per_transistor < opt_a.cost_per_transistor ? "ok" : "FAIL");
+  return 0;
+}

@@ -1,0 +1,159 @@
+// Microbenchmarks (google-benchmark): throughput of the heavy kernels --
+// layout flattening + transistor counting, pattern extraction, wafer-map
+// construction, Monte-Carlo wafer simulation, and cost-model evaluation.
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "nanocost/core/generalized_cost.hpp"
+#include "nanocost/core/optimizer.hpp"
+#include "nanocost/fabsim/simulator.hpp"
+#include "nanocost/geometry/wafer_map.hpp"
+#include "nanocost/layout/counting.hpp"
+#include "nanocost/layout/generators.hpp"
+#include "nanocost/netlist/generator.hpp"
+#include "nanocost/place/placer.hpp"
+#include "nanocost/regularity/extractor.hpp"
+#include "nanocost/route/router.hpp"
+#include "nanocost/timing/sta.hpp"
+
+namespace {
+
+using namespace nanocost;
+
+void BM_TransistorCountFlat(benchmark::State& state) {
+  layout::Library lib;
+  const auto n = static_cast<std::int32_t>(state.range(0));
+  const layout::Cell* sram = layout::make_sram_array(lib, n, n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(layout::count_transistors_flat(*sram));
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * 6);
+}
+BENCHMARK(BM_TransistorCountFlat)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_TransistorCountHierarchical(benchmark::State& state) {
+  layout::Library lib;
+  const auto n = static_cast<std::int32_t>(state.range(0));
+  const layout::Cell* sram = layout::make_sram_array(lib, n, n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(layout::count_transistors_hierarchical(*sram));
+  }
+}
+BENCHMARK(BM_TransistorCountHierarchical)->Arg(128)->Arg(1024);
+
+void BM_PatternExtraction(benchmark::State& state) {
+  layout::Library lib;
+  layout::StdCellBlockParams params;
+  params.rows = static_cast<std::int32_t>(state.range(0));
+  params.row_width_lambda = 512;
+  const layout::Cell* block = layout::make_stdcell_block(lib, params);
+  regularity::ExtractorParams ep;
+  ep.window = 64;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(regularity::extract_patterns(*block, ep));
+  }
+}
+BENCHMARK(BM_PatternExtraction)->Arg(8)->Arg(32);
+
+void BM_PatternExtractionOrientationInvariant(benchmark::State& state) {
+  layout::Library lib;
+  layout::StdCellBlockParams params;
+  params.rows = 16;
+  params.row_width_lambda = 512;
+  const layout::Cell* block = layout::make_stdcell_block(lib, params);
+  regularity::ExtractorParams ep;
+  ep.window = 64;
+  ep.orientation_invariant = true;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(regularity::extract_patterns(*block, ep));
+  }
+}
+BENCHMARK(BM_PatternExtractionOrientationInvariant);
+
+void BM_WaferMap(benchmark::State& state) {
+  const geometry::WaferSpec wafer = geometry::WaferSpec::mm300();
+  const geometry::DieSize die{units::Millimeters{static_cast<double>(state.range(0))},
+                              units::Millimeters{static_cast<double>(state.range(0))}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(geometry::WaferMap(wafer, die));
+  }
+}
+BENCHMARK(BM_WaferMap)->Arg(5)->Arg(10)->Arg(20);
+
+void BM_FabSimWafer(benchmark::State& state) {
+  defect::DefectFieldParams field;
+  field.density_per_cm2 = 0.5;
+  const fabsim::FabSimulator sim(
+      geometry::WaferSpec::mm200(),
+      geometry::DieSize{units::Millimeters{12.0}, units::Millimeters{12.0}},
+      defect::DefectSizeDistribution::for_feature_size(units::Micrometers{0.25}), field,
+      defect::WireArray{units::Micrometers{0.25}, units::Micrometers{0.25},
+                        units::Micrometers{100.0}, 50});
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.run(1, seed++));
+  }
+}
+BENCHMARK(BM_FabSimWafer);
+
+void BM_GeneralizedEvaluate(benchmark::State& state) {
+  core::ProductScenario scenario;
+  scenario.transistors = 1e7;
+  const core::GeneralizedCostModel model(scenario);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.evaluate(300.0));
+  }
+}
+BENCHMARK(BM_GeneralizedEvaluate);
+
+void BM_OptimalSd(benchmark::State& state) {
+  core::Eq4Inputs inputs;
+  inputs.n_wafers = 5000.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::optimal_sd_eq4(inputs));
+  }
+}
+BENCHMARK(BM_OptimalSd);
+
+void BM_AnnealPlace(benchmark::State& state) {
+  netlist::GeneratorParams gen;
+  gen.gate_count = static_cast<std::int32_t>(state.range(0));
+  gen.locality = 0.4;
+  const netlist::Netlist nl = netlist::generate_random_logic(gen);
+  const auto cols = static_cast<std::int32_t>(std::ceil(std::sqrt(gen.gate_count * 2.4)));
+  const auto rows = static_cast<std::int32_t>(
+      std::ceil(gen.gate_count * 1.2 / static_cast<double>(cols)));
+  place::AnnealParams params;
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    params.seed = seed++;
+    benchmark::DoNotOptimize(place::anneal_place(nl, rows, cols, params));
+  }
+}
+BENCHMARK(BM_AnnealPlace)->Arg(200)->Arg(500)->Unit(benchmark::kMillisecond);
+
+void BM_GlobalRoute(benchmark::State& state) {
+  netlist::GeneratorParams gen;
+  gen.gate_count = 1000;
+  gen.locality = 0.4;
+  const netlist::Netlist nl = netlist::generate_random_logic(gen);
+  const place::PlaceResult placed = place::anneal_place(nl, 20, 60, {});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(route::route(nl, placed.placement));
+  }
+}
+BENCHMARK(BM_GlobalRoute);
+
+void BM_StaticTiming(benchmark::State& state) {
+  netlist::GeneratorParams gen;
+  gen.gate_count = 2000;
+  const netlist::Netlist nl = netlist::generate_random_logic(gen);
+  const place::PlaceResult placed = place::anneal_place(nl, 25, 96, {});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(timing::analyze_placed(nl, placed.placement));
+  }
+}
+BENCHMARK(BM_StaticTiming);
+
+}  // namespace

@@ -1,0 +1,56 @@
+// Regenerates Table A1 of the paper: the 49 industrial designs with die
+// size, feature size, transistor counts, memory/logic split and the
+// design decompression indices derived from them via eq. (2).
+#include <cstdio>
+
+#include "nanocost/data/table_a1.hpp"
+#include "nanocost/report/table.hpp"
+#include "nanocost/units/format.hpp"
+
+int main() {
+  using namespace nanocost;
+
+  std::puts("=== Table A1: design decompression indices of 49 published designs ===");
+  std::puts("(s_d columns recomputed from the raw fields via eq. (2); rows marked");
+  std::puts(" 'r' had illegible scan cells rederived -- see EXPERIMENTS.md)\n");
+
+  report::Table table({"#", "device", "vendor", "die cm^2", "lambda", "total Tr",
+                       "mem Tr", "logic Tr", "s_d mem", "s_d logic", ""});
+  for (const data::DesignRecord& r : data::table_a1()) {
+    const auto opt_si = [](const std::optional<double>& v) {
+      return v ? units::format_si(*v) : std::string("-");
+    };
+    table.add_row({std::to_string(r.id),
+                   r.device,
+                   data::vendor_name(r.vendor),
+                   units::format_fixed(r.die_area.value(), 2),
+                   units::format_feature_size(r.feature_size),
+                   units::format_si(r.total_transistors),
+                   opt_si(r.memory_transistors),
+                   r.has_split() ? units::format_si(*r.logic_transistors) : std::string("-"),
+                   r.memory_sd() ? units::format_fixed(*r.memory_sd(), 1) : std::string("-"),
+                   units::format_fixed(r.logic_sd(), 1),
+                   r.reconstructed ? "r" : ""});
+  }
+  std::fputs(table.to_string().c_str(), stdout);
+
+  // The headline statistics the paper's Sec. 2.2 quotes.
+  double min_mem = 1e18, max_logic = 0.0;
+  int min_mem_row = 0, max_logic_row = 0;
+  for (const data::DesignRecord& r : data::table_a1()) {
+    if (r.has_split() && *r.memory_sd() < min_mem) {
+      min_mem = *r.memory_sd();
+      min_mem_row = r.id;
+    }
+    if (r.logic_sd() > max_logic) {
+      max_logic = r.logic_sd();
+      max_logic_row = r.id;
+    }
+  }
+  std::printf("\nDensest memory: s_d = %.1f (row %d)  --  paper: \"SRAM ... range of 30\"\n",
+              min_mem, min_mem_row);
+  std::printf("Sparsest logic: s_d = %.1f (row %d)  --  paper: \"some ASIC designs ... range"
+              " of 1000\"\n",
+              max_logic, max_logic_row);
+  return 0;
+}

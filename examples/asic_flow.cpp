@@ -1,0 +1,117 @@
+// ASIC flow: the whole paper in one run of real machinery.
+//
+//   netlist -> estimate wiring -> place -> synthesize layout
+//           -> measure s_d and regularity -> price the product
+//
+// The gap between the pre-placement wirelength estimate and the placed
+// reality is the prediction error of Sec. 2.4; the measured s_d and
+// regularity feed eqs. (4)/(6); and the final print-out is the number
+// the paper says should drive design decisions: dollars per transistor.
+#include <cstdio>
+
+#include "nanocost/core/optimizer.hpp"
+#include "nanocost/core/regularity_link.hpp"
+#include "nanocost/core/transistor_cost.hpp"
+#include "nanocost/netlist/estimate.hpp"
+#include "nanocost/netlist/generator.hpp"
+#include "nanocost/place/placer.hpp"
+#include "nanocost/place/synthesis.hpp"
+#include "nanocost/regularity/extractor.hpp"
+#include "nanocost/route/router.hpp"
+#include "nanocost/timing/sta.hpp"
+#include "nanocost/units/format.hpp"
+
+int main() {
+  using namespace nanocost;
+  using namespace nanocost::units::literals;
+
+  std::puts("=== ASIC flow: netlist to dollars per transistor ===\n");
+
+  // Step 1: the logic.  2000 gates of moderately local random logic.
+  netlist::GeneratorParams gen;
+  gen.gate_count = 2000;
+  gen.primary_inputs = 64;
+  gen.locality = 0.5;
+  gen.seed = 2001;
+  const netlist::Netlist nl = netlist::generate_random_logic(gen);
+  std::printf("netlist: %d gates, %d nets, %lld transistors, avg fanout %.2f\n",
+              nl.gate_count(), nl.net_count(),
+              static_cast<long long>(nl.transistor_count()), nl.average_fanout());
+
+  // Step 2: pre-placement planning.  All we can do before layout is
+  // estimate -- the paper's "prediction" problem.
+  const std::int32_t rows = 25, cols = 96;
+  const double estimated = netlist::estimate_total_wirelength(
+      nl, static_cast<double>(rows) * cols);
+  std::printf("pre-placement wirelength estimate: %.0f site-units\n", estimated);
+
+  // Step 3: placement (simulated annealing on HPWL).
+  place::AnnealParams anneal;
+  anneal.seed = 7;
+  const place::PlaceResult placed = place::anneal_place(nl, rows, cols, anneal);
+  const double error = (estimated - placed.final_hpwl) / placed.final_hpwl;
+  std::printf("placed: HPWL %.0f -> %.0f (%lld/%lld moves accepted)\n",
+              placed.initial_hpwl, placed.final_hpwl,
+              static_cast<long long>(placed.moves_accepted),
+              static_cast<long long>(placed.moves_tried));
+  std::printf("prediction error vs placed truth: %+.0f%%  <- the Sec.-2.4 gap\n\n",
+              error * 100.0);
+
+  // Step 3b: global routing with rip-up, and a timing-closure
+  // refinement pass (weight critical nets, warm-start re-anneal).
+  route::RouterParams rp;
+  rp.h_capacity = 8;
+  rp.v_capacity = 8;
+  rp.rip_up_passes = 4;
+  const route::RouteResult routed = route::route(nl, placed.placement, rp);
+  std::printf("routed: %lld edges (%.2fx HPWL), overflow %lld, max congestion %.2f\n",
+              static_cast<long long>(routed.total_wirelength_edges),
+              route::wirelength_inflation(nl, placed.placement, routed),
+              static_cast<long long>(routed.overflowed_edges), routed.max_utilization);
+
+  const timing::TimingResult sta = timing::analyze_placed(nl, placed.placement);
+  std::printf("timing: Tcrit = %.0f ps over %zu gates (wire share %.1f%% at this block\n"
+              "scale; at nanometer nodes that share explodes -- see\n"
+              "bench/ablation_physical_flow for the closure-gap consequences)\n\n",
+              sta.critical_path_ps, sta.critical_path.size(),
+              100.0 * sta.total_wire_delay_ps / sta.critical_path_ps);
+
+  // Step 4: synthesis to real geometry; measure what came out.
+  const place::SynthesisResult synth = place::synthesize(nl, placed.placement);
+  const auto density = synth.design.density();
+  std::printf("synthesized layout: %s, %lld transistors, s_d = %.1f\n",
+              units::format_area(synth.design.area()).c_str(),
+              static_cast<long long>(synth.design.transistor_count()),
+              density.decompression_index);
+
+  regularity::ExtractorParams ep;
+  ep.window = 64;
+  ep.orientation_invariant = true;
+  const auto reg = regularity::extract_patterns(synth.design.top(), ep);
+  std::printf("regularity: %lld windows, %lld unique patterns (index %.3f)\n\n",
+              static_cast<long long>(reg.total_windows),
+              static_cast<long long>(reg.unique_patterns), reg.regularity_index());
+
+  // Step 5: price it.  The measured s_d and measured regularity go
+  // into eq. (4); compare against the block's cost-optimal density.
+  core::Eq4Inputs product;
+  product.transistors_per_chip = 2e6;  // the block tiled into a real chip
+  product.lambda = 0.25_um;
+  product.yield = units::Probability{0.8};
+  product.n_wafers = 20000.0;
+  const core::Eq4Inputs adjusted = core::apply_regularity(product, reg);
+
+  const double sd = std::max(density.decompression_index, 110.0);
+  const auto cost = core::cost_per_transistor_eq4(adjusted, sd);
+  const auto optimum = core::optimal_sd_eq4(adjusted);
+  std::printf("at the measured s_d = %.0f: C_tr = %s (%s manufacturing / %s design)\n",
+              sd, units::format_money(cost.total).c_str(),
+              units::format_money(cost.manufacturing).c_str(),
+              units::format_money(cost.design).c_str());
+  std::printf("cost-optimal density:    s_d* = %.0f at C_tr = %s\n", optimum.s_d,
+              units::format_money(optimum.cost_per_transistor).c_str());
+  const double premium =
+      cost.total.value() / optimum.cost_per_transistor.value() - 1.0;
+  std::printf("density premium left on the table: %.0f%%\n", premium * 100.0);
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Fabline Monte Carlo: bring up a synthetic fab for one product --
+// defects, wafer maps, yield learning -- and reconcile what the line
+// *measures* with what the analytic models *predict*, then roll the
+// run into per-die economics.
+#include <cstdio>
+
+#include "nanocost/fabsim/economics.hpp"
+#include "nanocost/fabsim/simulator.hpp"
+#include "nanocost/report/table.hpp"
+#include "nanocost/report/wafer_view.hpp"
+#include "nanocost/units/format.hpp"
+#include "nanocost/yield/models.hpp"
+
+int main() {
+  using namespace nanocost;
+  using namespace nanocost::units::literals;
+
+  std::puts("=== Fabline Monte Carlo: one product, cradle to economics ===\n");
+
+  // The product: a 13 x 13 mm die (1.69 cm^2, ~10M transistors at
+  // s_d = 270 on 0.25 um) on 200 mm wafers.
+  const geometry::WaferSpec wafer = geometry::WaferSpec::mm200();
+  const geometry::DieSize die{13.0_mm, 13.0_mm};
+  const geometry::WaferMap map(wafer, die);
+  std::printf("wafer map: %lld complete dies per 200 mm wafer (%.0f%% area utilization)\n\n",
+              static_cast<long long>(map.die_count()), map.area_utilization() * 100.0);
+
+  // The process: clustered defects (alpha = 2), edge-heavy radial
+  // profile, 0.25 um killer-size distribution.
+  defect::DefectFieldParams field;
+  field.density_per_cm2 = 0.6;
+  field.clustered = true;
+  field.cluster_alpha = 2.0;
+  field.radial = defect::RadialProfile{1.5, 2.0};
+  const fabsim::FabSimulator sim(
+      wafer, die, defect::DefectSizeDistribution::for_feature_size(0.25_um), field,
+      defect::WireArray{0.25_um, 0.25_um, 100.0_um, 50});
+
+  // Phase 1: process bring-up.  Defect density learns down the curve.
+  const yield::LearningCurve curve{2.4, 0.3, 4000.0};
+  std::puts("--- ramp: 16k wafers through the learning curve ---");
+  report::Table ramp({"cumulative wafers", "D0 [/cm^2]", "measured yield", "good dies"});
+  const auto checkpoints = sim.run_ramp(curve, 16000, 4000, 2026);
+  std::int64_t cumulative = 0;
+  for (const auto& lot : checkpoints) {
+    cumulative += static_cast<std::int64_t>(lot.wafers.size());
+    ramp.add_row({std::to_string(cumulative),
+                  units::format_fixed(curve.density_at(static_cast<double>(cumulative)), 2),
+                  units::format_percent(units::Probability::clamped(lot.yield())),
+                  std::to_string(lot.good_dies)});
+  }
+  std::fputs(ramp.to_string().c_str(), stdout);
+
+  // Phase 2: mature production.  Compare measurement against models.
+  std::puts("\n--- mature line vs analytic models ---");
+  defect::DefectFieldParams mature = field;
+  mature.density_per_cm2 = curve.floor_density();
+  const fabsim::FabSimulator mature_sim(
+      wafer, die, defect::DefectSizeDistribution::for_feature_size(0.25_um), mature,
+      defect::WireArray{0.25_um, 0.25_um, 100.0_um, 50});
+  const auto lot = mature_sim.run(500, 7);
+  const double lambda = mature_sim.analytic_mean_faults();
+
+  // One wafer, as the prober sees it ('o' good, 'X' killed).
+  const auto faults = mature_sim.snapshot_faults(99);
+  std::puts("one mature wafer:");
+  std::fputs(report::render_good_bad(
+                 mature_sim.wafer_map(),
+                 [&](std::int64_t site) { return faults[static_cast<std::size_t>(site)] == 0; })
+                 .c_str(),
+             stdout);
+  report::Table models({"source", "yield"});
+  models.add_row({"Monte-Carlo fab (500 wafers)",
+                  units::format_fixed(lot.yield(), 4)});
+  models.add_row({"negative binomial (alpha=2)",
+                  units::format_fixed(yield::NegativeBinomialYield{2.0}.yield(lambda).value(), 4)});
+  models.add_row({"Poisson", units::format_fixed(yield::PoissonYield{}.yield(lambda).value(), 4)});
+  models.add_row({"Murphy", units::format_fixed(yield::MurphyYield{}.yield(lambda).value(), 4)});
+  std::fputs(models.to_string().c_str(), stdout);
+  std::printf("(mean faults per die lambda = %.3f; wafer-to-wafer yield sigma = %.3f)\n",
+              lambda, lot.yield_stddev());
+
+  // Phase 3: economics of the whole run, eq. (1) with measured values.
+  std::puts("\n--- run economics (eq. (1), measured N_ch and Y) ---");
+  const cost::WaferCostModel wafer_model{0.25_um, wafer, 24};
+  const double run_wafers = 100000.0;
+  const auto econ = fabsim::price_lot(lot, wafer_model, 1e7, run_wafers);
+  std::printf("wafer cost at %s-wafer run volume: %s (%s/cm^2)\n",
+              units::format_si(run_wafers).c_str(),
+              units::format_money(econ.wafer_cost).c_str(),
+              units::format_fixed(wafer_model.cost_per_cm2(run_wafers).value(), 2).c_str());
+  std::printf("measured yield %.1f%%  =>  %s per good die, %s per good transistor\n",
+              econ.measured_yield * 100.0,
+              units::format_money(econ.cost_per_good_die).c_str(),
+              units::format_money(econ.cost_per_good_transistor).c_str());
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Quickstart: price a chip design per transistor, then find the
+// cost-optimal design density.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+#include <cstdio>
+
+#include "nanocost/core/optimizer.hpp"
+#include "nanocost/core/transistor_cost.hpp"
+#include "nanocost/units/format.hpp"
+
+int main() {
+  using namespace nanocost;
+  using namespace nanocost::units::literals;
+
+  // Your product: a 10M-transistor chip on a 0.25 um process, a 20k
+  // wafer production run, 80% yield expected at maturity.
+  core::Eq4Inputs product;
+  product.transistors_per_chip = 1e7;
+  product.lambda = 0.25_um;
+  product.yield = units::Probability{0.8};
+  product.manufacturing_cost = 8.0_usd_per_cm2;
+  product.n_wafers = 20000.0;
+  product.mask_cost = 600000_usd;
+
+  // Step 1: price it at the density your flow currently achieves.
+  const double current_sd = 400.0;  // lambda^2 per transistor, a typical ASIC
+  const core::Eq4Breakdown now = core::cost_per_transistor_eq4(product, current_sd);
+  std::printf("At s_d = %.0f:  C_tr = %s  (die %s; %s manufacturing + %s design)\n",
+              current_sd, units::format_money(now.total).c_str(),
+              units::format_money(now.per_die).c_str(),
+              units::format_money(now.manufacturing).c_str(),
+              units::format_money(now.design).c_str());
+
+  // Step 2: ask the optimizer where the cost minimum actually is.
+  const core::Optimum best = core::optimal_sd_eq4(product);
+  const core::Eq4Breakdown opt = core::cost_per_transistor_eq4(product, best.s_d);
+  std::printf("Optimum:       s_d* = %.0f, C_tr = %s (die %s) -- %.0f%% cheaper\n",
+              best.s_d, units::format_money(opt.total).c_str(),
+              units::format_money(opt.per_die).c_str(),
+              (1.0 - opt.total.value() / now.total.value()) * 100.0);
+
+  // Step 3: what would that take?  Design effort implied by eq. (6).
+  std::printf("Design NRE to get there: %s (vs %s today)\n",
+              units::format_money(opt.design_nre).c_str(),
+              units::format_money(now.design_nre).c_str());
+  std::puts("\nThe lesson of Maly (DAC 2001): neither the smallest die nor the highest");
+  std::puts("yield minimizes cost -- optimize C_tr over design density directly.");
+  return 0;
+}

@@ -1,0 +1,105 @@
+// The generalized transistor cost model, eq. (7):
+//
+//            s_d lambda^2 [ Cm_sq(A_w, lambda, N_w) + Cd_sq(A_w, lambda, N_w, N_tr, s_d0) ]
+//   C_tr = -----------------------------------------------------------------------------
+//                          u * Y(A_w, lambda, N_w, s_d, N_tr)
+//
+// where every "parameter" of eq. (4) becomes a model: wafer cost from
+// the cost-of-ownership model, NRE from mask + design cost models,
+// yield from a defect-limited model whose critical area depends on
+// design density, optionally with a learning curve over the run.
+// The paper calls modeling at this level "the ultimate objective of
+// the cost studies"; this class is that objective, executable.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "nanocost/cost/design_cost.hpp"
+#include "nanocost/cost/mask_cost.hpp"
+#include "nanocost/cost/wafer_cost.hpp"
+#include "nanocost/geometry/wafer.hpp"
+#include "nanocost/units/probability.hpp"
+#include "nanocost/yield/learning.hpp"
+#include "nanocost/yield/models.hpp"
+
+namespace nanocost::core {
+
+/// Scenario for the generalized model: one product on one process.
+struct ProductScenario final {
+  double transistors = 1e7;                       ///< N_tr
+  units::Micrometers lambda{0.25};
+  geometry::WaferSpec wafer = geometry::WaferSpec::mm200();
+  int mask_count = 24;
+  double n_wafers = 50000.0;                      ///< N_w, the production run
+  units::Probability utilization{1.0};            ///< u (FPGA-style parts < 1)
+  int mask_respins = 1;                           ///< extra full mask sets bought
+
+  cost::WaferCostParams wafer_cost{};
+  cost::MaskCostParams mask_cost{};
+  cost::DesignCostParams design_cost{};
+
+  /// Functional yield model; defaults to negative binomial, alpha = 2.
+  std::shared_ptr<const yield::YieldModel> yield_model{};
+  /// Mature defect density (per cm^2); when `learning` is set, the
+  /// run-averaged density from the curve is used instead.
+  double defect_density = 0.5;
+  std::optional<yield::LearningCurve> learning{};
+  /// Couple critical area (and hence yield) to design density --
+  /// the Y(s_d) dependency of eq. (7).  Off = plain area-driven yield.
+  bool density_dependent_yield = true;
+  /// Reference s_d for the critical-area density scaling.
+  double reference_sd = 100.0;
+  /// Critical-area ratio *measured* from real geometry (see
+  /// defect::extract_critical_area); when set it overrides the modeled
+  /// density scaling entirely.
+  std::optional<double> measured_critical_area_ratio{};
+};
+
+/// Everything the model computes at one s_d.
+struct CostEvaluation final {
+  double s_d = 0.0;
+  units::SquareCentimeters die_area{};
+  std::int64_t dies_per_wafer = 0;
+  double critical_area_ratio = 1.0;
+  units::Probability yield{};
+  units::Money wafer_cost{};
+  units::CostPerArea cm_sq{};
+  units::CostPerArea cd_sq{};
+  units::Money mask_nre{};
+  units::Money design_nre{};
+  units::Money cost_per_transistor{};        ///< the C_tr of eq. (7)
+  units::Money manufacturing_per_transistor{};
+  units::Money design_per_transistor{};
+  units::Money cost_per_die{};
+  double good_dies_per_wafer = 0.0;
+};
+
+/// Evaluates eq. (7) over s_d for a fixed scenario.
+class GeneralizedCostModel final {
+ public:
+  explicit GeneralizedCostModel(ProductScenario scenario);
+
+  /// Full evaluation at one decompression index.  Throws
+  /// std::domain_error if the implied die does not fit the wafer or
+  /// s_d <= s_d0 (design cost wall).
+  [[nodiscard]] CostEvaluation evaluate(double s_d) const;
+
+  /// C_tr only (the optimizer's objective).
+  [[nodiscard]] units::Money cost_per_transistor(double s_d) const {
+    return evaluate(s_d).cost_per_transistor;
+  }
+
+  /// Largest s_d at which the implied die still fits on the wafer.
+  [[nodiscard]] double max_feasible_sd() const;
+
+  [[nodiscard]] const ProductScenario& scenario() const noexcept { return scenario_; }
+
+ private:
+  ProductScenario scenario_;
+  cost::WaferCostModel wafer_model_;
+  cost::MaskCostModel mask_model_;
+  cost::DesignCostModel design_model_;
+};
+
+}  // namespace nanocost::core

@@ -1,0 +1,48 @@
+// The paper's ITRS analyses: Figure 2 (roadmap-implied s_d) and
+// Figure 3 (the s_d required to hold die cost at the 1999 level, and
+// the ratio exposing the "cost contradiction").
+#pragma once
+
+#include <vector>
+
+#include "nanocost/roadmap/roadmap.hpp"
+#include "nanocost/units/money.hpp"
+#include "nanocost/units/probability.hpp"
+
+namespace nanocost::core {
+
+/// One point of the Fig. 2 series.
+struct ItrsSdPoint final {
+  int year = 0;
+  units::Micrometers lambda{};
+  double implied_sd = 0.0;  ///< s_d from roadmap N_tr and chip area
+};
+
+/// Fig. 2: the design decompression index the roadmap's MPU numbers
+/// imply at each node.
+[[nodiscard]] std::vector<ItrsSdPoint> itrs_implied_sd(const roadmap::Roadmap& roadmap);
+
+/// Assumptions of the Fig. 3 computation (values from the paper's text).
+struct ConstantDieCostAssumptions final {
+  units::Money max_die_cost{34.0};           ///< 1999 cost/performance MPU die
+  units::CostPerArea manufacturing_cost{8.0};
+  units::Probability yield{0.8};
+};
+
+/// One point of the Fig. 3 series.
+struct ConstantDieCostPoint final {
+  int year = 0;
+  units::Micrometers lambda{};
+  double itrs_sd = 0.0;      ///< Fig. 2 value at the node
+  double required_sd = 0.0;  ///< s_d keeping the die at max_die_cost
+  double ratio = 0.0;        ///< itrs_sd / required_sd -- the contradiction
+};
+
+/// Fig. 3: required s_d per node under constant die cost, plus the
+/// ratio to the roadmap-implied s_d.  Ratio > 1 means the roadmap's
+/// own density targets are not aggressive enough to hold die cost --
+/// and the *industrial* trend (Fig. 1) moves the wrong way entirely.
+[[nodiscard]] std::vector<ConstantDieCostPoint> constant_die_cost_sd(
+    const roadmap::Roadmap& roadmap, const ConstantDieCostAssumptions& assumptions = {});
+
+}  // namespace nanocost::core

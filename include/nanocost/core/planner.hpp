@@ -1,0 +1,53 @@
+// Product planner: the paper's prescription as one API call.
+//
+// Given a product (transistor count, production volume) and a roadmap,
+// jointly choose the technology node, implementation style, and design
+// density that minimize cost per useful transistor -- with the NRE,
+// yield, utilization, and density trade-offs all priced by the same
+// models the rest of the library exposes piecemeal.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nanocost/core/optimizer.hpp"
+#include "nanocost/core/style_advisor.hpp"
+#include "nanocost/roadmap/roadmap.hpp"
+
+namespace nanocost::core {
+
+/// What the user wants to build.
+struct ProductSpec final {
+  double transistors = 1e7;
+  double n_wafers = 20000.0;          ///< expected production volume
+  units::Probability yield{0.8};      ///< expected mature yield
+  units::Money mask_cost_180nm{600000.0};  ///< mask-set anchor; scaled per node
+  /// Styles considered; defaults to the standard four.
+  std::vector<StyleProfile> styles = standard_styles();
+};
+
+/// One evaluated (node, style) candidate.
+struct PlanCandidate final {
+  int year = 0;
+  std::string node;
+  DesignStyle style = DesignStyle::kStandardCell;
+  double s_d = 0.0;                   ///< the style's density, or the optimum for custom
+  units::Money cost_per_transistor{};
+  units::Money cost_per_die{};
+  units::Money design_nre{};
+  units::SquareCentimeters die_area{};
+};
+
+/// The full plan: candidates sorted cheapest-first.
+struct Plan final {
+  std::vector<PlanCandidate> candidates;
+  [[nodiscard]] const PlanCandidate& best() const { return candidates.front(); }
+};
+
+/// Evaluates every roadmap node x style; for the full-custom style the
+/// density is optimized via eq. (4) (custom teams pick their s_d), for
+/// the others the style's habitat density is used.  Candidates whose
+/// die would not fit a 2.5 x 3.2 cm reticle field are dropped.
+[[nodiscard]] Plan plan_product(const ProductSpec& spec, const roadmap::Roadmap& roadmap);
+
+}  // namespace nanocost::core

@@ -1,0 +1,29 @@
+// Coupling layout regularity into the cost model -- the paper's Sec. 3.2
+// prescription made quantitative: a design built from few unique,
+// precharacterized patterns needs fewer failed iterations (smaller
+// effective A0 in eq. 6) and amortizes characterization across a
+// product family (larger effective volume in eq. 5).
+#pragma once
+
+#include "nanocost/core/transistor_cost.hpp"
+#include "nanocost/regularity/extractor.hpp"
+
+namespace nanocost::core {
+
+/// Knobs of the regularity adjustment.
+struct RegularityAdjustment final {
+  /// Irreducible share of design effort at perfect regularity.
+  double min_effort_scale = 0.1;
+  /// Products in the family sharing the pattern library.
+  int products_sharing = 1;
+};
+
+/// Returns `inputs` with the design cost model's A0 scaled by the
+/// measured design-effort factor and N_w scaled by the effective-volume
+/// multiplier.  A fully regular design gets both benefits; an
+/// all-unique design gets neither.
+[[nodiscard]] Eq4Inputs apply_regularity(const Eq4Inputs& inputs,
+                                         const regularity::RegularityReport& report,
+                                         const RegularityAdjustment& adjustment = {});
+
+}  // namespace nanocost::core

@@ -1,0 +1,59 @@
+// Cost risk: eq. (4) under uncertainty.
+//
+// Every input of the cost model is a forecast -- yield, wafer cost,
+// design effort, and most of all volume.  The paper's Sec. 3.1 warns
+// that the optimum moves "substantially with the volume and yield";
+// this module quantifies how much a *point* optimum is worth when the
+// inputs are distributions, and whether a robust (sparser) design
+// choice beats the nominal optimum in expectation.
+#pragma once
+
+#include <cstdint>
+
+#include "nanocost/core/transistor_cost.hpp"
+
+namespace nanocost::core {
+
+/// Relative uncertainties on the eq.-4 inputs.  Multiplicative factors
+/// are lognormal (median 1); yield is a clamped normal around nominal.
+struct UncertainInputs final {
+  Eq4Inputs nominal{};
+  double yield_sigma = 0.08;          ///< absolute, on the yield value
+  double cm_sq_sigma_rel = 0.15;      ///< lognormal sigma of ln(Cm_sq factor)
+  double design_cost_sigma_rel = 0.4; ///< lognormal sigma on A0 (effort risk)
+  double volume_sigma_rel = 0.5;      ///< lognormal sigma on N_w (demand risk)
+};
+
+/// Distribution summary of C_tr at one s_d.
+struct RiskResult final {
+  double mean = 0.0;
+  double stddev = 0.0;
+  double p10 = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  /// Fraction of scenarios whose per-die cost exceeds the budget (0 if
+  /// no budget given).
+  double prob_over_budget = 0.0;
+};
+
+/// Monte-Carlo propagation of the uncertainties through eq. (4) at a
+/// fixed s_d.  `die_budget` (optional, <= 0 disables) sets the
+/// over-budget probability threshold on per-die cost.
+[[nodiscard]] RiskResult monte_carlo_cost(const UncertainInputs& inputs, double s_d,
+                                          int samples = 4000, std::uint64_t seed = 1,
+                                          double die_budget = 0.0);
+
+/// Robust density choice: the s_d minimizing the `quantile` (e.g. 0.9)
+/// of the C_tr distribution over a log grid [lo, hi] with `steps`
+/// points.  Compare against optimal_sd_eq4 on the nominal inputs:
+/// the robust optimum sits sparser whenever volume risk dominates.
+struct RobustOptimum final {
+  double s_d = 0.0;
+  double quantile_cost = 0.0;
+};
+
+[[nodiscard]] RobustOptimum robust_sd(const UncertainInputs& inputs, double quantile,
+                                      double lo, double hi, int steps, int samples = 2000,
+                                      std::uint64_t seed = 1);
+
+}  // namespace nanocost::core

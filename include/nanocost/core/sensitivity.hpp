@@ -1,0 +1,25 @@
+// Sensitivity analysis on the eq. (4) cost model: which knob moves
+// C_tr most?  Reported as elasticities (d ln C_tr / d ln x), the
+// scale-free measure a roadmap discussion needs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nanocost/core/transistor_cost.hpp"
+
+namespace nanocost::core {
+
+/// Elasticity of C_tr with respect to one input, at a given (inputs, s_d).
+struct Elasticity final {
+  std::string parameter;
+  double elasticity = 0.0;  ///< % change in C_tr per % change in parameter
+};
+
+/// Central-difference elasticities for every continuous input of
+/// eq. (4): lambda, yield, Cm_sq, N_w, C_MA, A0 (design cost scale),
+/// N_tr, and s_d itself.  Sorted by descending magnitude.
+[[nodiscard]] std::vector<Elasticity> eq4_elasticities(const Eq4Inputs& inputs, double s_d,
+                                                       double step = 0.01);
+
+}  // namespace nanocost::core

@@ -1,0 +1,71 @@
+// Design-style advisor: the paper's closing question made executable.
+//
+// Sec. 3's argument is that design style (custom vs cells vs arrays vs
+// programmable fabrics) should be chosen by *transistor cost*, with
+// density, design effort, utilization, and mask sharing all priced in.
+// Each style here is a bundle of eq.-4 parameters: the density it can
+// achieve, how expensive its flow is per eq.-6 squeeze, how much of the
+// fabricated silicon it actually uses, and how much of the mask set it
+// shares with other products.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nanocost/core/transistor_cost.hpp"
+
+namespace nanocost::core {
+
+enum class DesignStyle { kFullCustom, kStandardCell, kGateArray, kFpga };
+
+[[nodiscard]] std::string style_name(DesignStyle style);
+
+/// The eq.-4 parameter bundle of one implementation style.
+struct StyleProfile final {
+  DesignStyle style = DesignStyle::kStandardCell;
+  /// Decompression index the style lands at (its density habitat).
+  double typical_sd = 350.0;
+  /// Multiplier on the design-effort constant A0 of eq. (6): custom
+  /// flows iterate expensively, programmable flows barely at all.
+  double design_effort_scale = 1.0;
+  /// Fraction of fabricated transistors delivering function (the u of
+  /// Sec. 2.5).
+  double utilization = 1.0;
+  /// Fraction of the mask-set NRE this product pays (gate arrays buy
+  /// only personalization masks; FPGAs buy none).
+  double mask_cost_share = 1.0;
+};
+
+/// The period-typical four-style portfolio.
+[[nodiscard]] std::vector<StyleProfile> standard_styles();
+
+/// One style priced for one product.
+struct StyleEvaluation final {
+  StyleProfile profile{};
+  Eq4Breakdown breakdown{};
+  [[nodiscard]] units::Money cost_per_useful_transistor() const noexcept {
+    return breakdown.total;
+  }
+};
+
+/// Prices every style for the product described by `base` (its lambda,
+/// yield, transistor count, volume, mask cost and design-cost model are
+/// used; s_d / utilization / scales come from each profile).  Returns
+/// evaluations sorted cheapest-first.
+[[nodiscard]] std::vector<StyleEvaluation> advise(const Eq4Inputs& base,
+                                                  const std::vector<StyleProfile>& styles =
+                                                      standard_styles());
+
+/// Best style per volume: sweeps N_w geometrically over
+/// [min_wafers, max_wafers] and records the winner at each point.
+struct VolumeCrossover final {
+  double n_wafers = 0.0;
+  DesignStyle winner = DesignStyle::kStandardCell;
+  units::Money winning_cost{};
+};
+
+[[nodiscard]] std::vector<VolumeCrossover> volume_crossovers(
+    const Eq4Inputs& base, double min_wafers, double max_wafers, int steps,
+    const std::vector<StyleProfile>& styles = standard_styles());
+
+}  // namespace nanocost::core

@@ -1,0 +1,73 @@
+// Design cost model -- the paper's eq. (6):
+//
+//   C_DE = A0 * N_tr^p1 / (s_d0 - s_d)^p2
+//
+// Design effort explodes as the achieved decompression index s_d
+// approaches the "best possible" s_d0 (~100, the densest full-custom
+// microprocessors): squeezing a design toward custom density costs
+// ever more (mostly failed) iterations.  Valid for s_d > s_d0.
+//
+// The paper's computations use A0 = 1000, p1 = 1.0, p2 = 1.2, derived
+// from the author's private cost data (footnote 1); those exact values
+// are this module's defaults.
+#pragma once
+
+#include "nanocost/units/money.hpp"
+
+namespace nanocost::cost {
+
+/// Tuning parameters of eq. (6).
+struct DesignCostParams final {
+  double a0 = 1000.0;   ///< scale, dollars per transistor^p1 per squeeze
+  double p1 = 1.0;      ///< complexity exponent on transistor count
+  double p2 = 1.2;      ///< squeeze exponent on (s_d0 - s_d)
+  double s_d0 = 100.0;  ///< best achievable decompression index
+};
+
+class DesignCostModel final {
+ public:
+  explicit DesignCostModel(DesignCostParams params = {});
+
+  /// C_DE for a design of `transistors` at decompression index `s_d`.
+  /// Throws std::domain_error unless s_d > s_d0 (the model diverges at
+  /// the custom-density wall).
+  [[nodiscard]] units::Money cost(double transistors, double s_d) const;
+
+  /// Smallest s_d at which the design cost stays within `budget`:
+  /// inverts eq. (6).  Returns s_d0 + ((a0 N^p1)/budget)^(1/p2).
+  [[nodiscard]] double densest_affordable_sd(double transistors, units::Money budget) const;
+
+  /// Rough design-iteration count behind a given effort level, assuming
+  /// `cost_per_iteration` per loop (tools, engineers, possibly masks).
+  [[nodiscard]] double implied_iterations(double transistors, double s_d,
+                                          units::Money cost_per_iteration) const;
+
+  [[nodiscard]] const DesignCostParams& params() const noexcept { return params_; }
+
+  /// Calibrates A0 from one observed project: a design of `transistors`
+  /// at `s_d` that cost `observed`.  Returns a model with p1/p2/s_d0
+  /// kept and A0 solved.
+  [[nodiscard]] static DesignCostModel calibrated(double transistors, double s_d,
+                                                  units::Money observed,
+                                                  DesignCostParams base = {});
+
+ private:
+  DesignCostParams params_;
+};
+
+/// Engineering-team framing of the same budget: headcount x loaded cost
+/// x time.  Used by examples to translate C_DE into team-months.
+struct TeamCostModel final {
+  double loaded_cost_per_engineer_year = 250000.0;
+
+  /// Team-years of effort represented by a design budget.
+  [[nodiscard]] double team_years(units::Money design_cost) const {
+    return design_cost.value() / loaded_cost_per_engineer_year;
+  }
+  /// Engineers needed to spend `design_cost` in `months`.
+  [[nodiscard]] double engineers_for(units::Money design_cost, double months) const {
+    return team_years(design_cost) * 12.0 / months;
+  }
+};
+
+}  // namespace nanocost::cost

@@ -1,0 +1,66 @@
+// Fabline capital model: where the title's "high-cost" comes from.
+//
+// A fab is a set of tool groups (lithography, etch, deposition,
+// implant, metrology, ...) sized to a wafer-start capacity.  Tool
+// prices escalate steeply with the node (lithography most of all) and
+// capacity is bought in whole tools.  Depreciating the capex over the
+// equipment's service life produces the fixed monthly cost that
+// WaferCostParams::fab_fixed_per_month abstracts -- this module derives
+// that number from first principles instead of assuming it.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nanocost/cost/wafer_cost.hpp"
+#include "nanocost/units/length.hpp"
+#include "nanocost/units/money.hpp"
+
+namespace nanocost::cost {
+
+/// One tool group in the fab.
+struct ToolGroup final {
+  std::string name;
+  units::Money unit_price{};          ///< per tool, at the 180 nm anchor node
+  double wafers_per_month_per_tool = 0.0;
+  /// Price escalation per 0.7x node shrink (litho ~1.6, others lower).
+  double escalation_per_node = 1.3;
+};
+
+/// The period-typical tool set of a logic fab (anchored at 180 nm).
+[[nodiscard]] std::vector<ToolGroup> reference_tool_set();
+
+/// A fab sized for a target capacity at a given node.
+class FabModel final {
+ public:
+  FabModel(units::Micrometers lambda, double wafer_starts_per_month,
+           std::vector<ToolGroup> tools = reference_tool_set());
+
+  /// Tools needed per group (ceil of capacity / per-tool throughput).
+  [[nodiscard]] int tool_count(const ToolGroup& group) const;
+
+  /// Total equipment capital for the fab at this node.
+  [[nodiscard]] units::Money total_capex() const;
+
+  /// Monthly fixed cost: straight-line depreciation over
+  /// `depreciation_years` plus `facilities_overhead` of capex per year.
+  [[nodiscard]] units::Money monthly_fixed_cost(double depreciation_years = 5.0,
+                                                double facilities_overhead = 0.08) const;
+
+  /// Wafer cost parameters whose fixed component comes from this fab --
+  /// plug into WaferCostModel for a first-principles wafer cost.
+  [[nodiscard]] WaferCostParams derive_wafer_cost_params(
+      WaferCostParams base = {}) const;
+
+  [[nodiscard]] units::Micrometers lambda() const noexcept { return lambda_; }
+  [[nodiscard]] double capacity() const noexcept { return capacity_; }
+  [[nodiscard]] const std::vector<ToolGroup>& tools() const noexcept { return tools_; }
+
+ private:
+  units::Micrometers lambda_;
+  double capacity_;
+  std::vector<ToolGroup> tools_;
+  double nodes_below_anchor_ = 0.0;
+};
+
+}  // namespace nanocost::cost

@@ -1,0 +1,50 @@
+// Lithography mask-set cost (the paper's C_MA of eq. (5)).
+//
+// Mask sets are pure NRE: paid once per design revision, amortized over
+// the production run.  Per-set cost escalates steeply with shrinking
+// feature size (more layers, finer writing, OPC decoration) -- the
+// canonical period estimate is ~0.5 M$ at 180 nm roughly doubling per
+// node, which these defaults reproduce.
+#pragma once
+
+#include "nanocost/units/length.hpp"
+#include "nanocost/units/money.hpp"
+
+namespace nanocost::cost {
+
+struct MaskCostParams final {
+  /// Cost of one *critical* mask at the 180 nm reference node.
+  units::Money base_cost_per_mask{25000.0};
+  /// Per-mask escalation per 0.7x shrink.
+  double escalation_per_node = 1.8;
+  /// Non-critical layers (implants, thick metal) cost this fraction of a
+  /// critical mask.
+  double non_critical_fraction = 0.4;
+  /// Fraction of layers that are critical at the reference node.
+  double critical_share = 0.5;
+};
+
+/// Mask-set cost model for one node.
+class MaskCostModel final {
+ public:
+  MaskCostModel(units::Micrometers lambda, int mask_count, MaskCostParams params = {});
+
+  /// Full mask-set cost, one revision.
+  [[nodiscard]] units::Money set_cost() const;
+
+  /// Total mask NRE including `respins` full extra sets -- failed
+  /// design iterations buy whole new mask sets, which is how the
+  /// paper's "loops of unsuccessful design iterations ... may involve
+  /// failing manufacturing experiments" turns into dollars.
+  [[nodiscard]] units::Money total_cost(int respins) const;
+
+  [[nodiscard]] units::Micrometers lambda() const noexcept { return lambda_; }
+  [[nodiscard]] int mask_count() const noexcept { return mask_count_; }
+
+ private:
+  units::Micrometers lambda_;
+  int mask_count_;
+  MaskCostParams params_;
+};
+
+}  // namespace nanocost::cost

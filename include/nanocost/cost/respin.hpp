@@ -1,0 +1,55 @@
+// Silicon respins: when a design iteration fails *after* tapeout.
+//
+// The paper warns of "loops of unsuccessful design iterations, that may
+// involve failing manufacturing experiments".  Pre-tapeout loops cost
+// engineering time (eq. 6); post-tapeout loops additionally buy a new
+// mask set and weeks of fab time.  This model splits verification
+// escapes from the iteration model and produces the expected respin
+// count and its NRE, feeding MaskCostModel::total_cost.
+#pragma once
+
+#include "nanocost/cost/mask_cost.hpp"
+#include "nanocost/units/money.hpp"
+#include "nanocost/units/probability.hpp"
+
+namespace nanocost::cost {
+
+/// First-silicon-success model.
+struct RespinParams final {
+  /// Probability that verification catches any given fatal bug before
+  /// tapeout (coverage of the verification flow).
+  double verification_coverage = 0.95;
+  /// Expected fatal bugs in a 1M-transistor design before verification.
+  double bugs_per_mtr = 3.0;
+  /// Sub-linear growth of bug count with design size.
+  double size_exponent = 0.8;
+  /// Each respin's verification also has this coverage on what's left.
+  /// (Same coverage each spin; bugs are whittled geometrically.)
+};
+
+class RespinModel final {
+ public:
+  explicit RespinModel(RespinParams params = {});
+
+  /// Expected fatal bugs escaping to first silicon (Poisson mean).
+  [[nodiscard]] double escaped_bugs(double transistors) const;
+
+  /// P(first silicon works) = exp(-escaped): no escaped fatal bug.
+  [[nodiscard]] units::Probability first_silicon_success(double transistors) const;
+
+  /// Expected number of *extra* mask sets bought: each spin fixes the
+  /// found escapes and re-runs verification on a shrinking population.
+  [[nodiscard]] double expected_respins(double transistors) const;
+
+  /// Mask NRE including expected respins (fractional respins priced
+  /// linearly -- the ensemble average over many projects).
+  [[nodiscard]] units::Money expected_mask_nre(const MaskCostModel& masks,
+                                               double transistors) const;
+
+  [[nodiscard]] const RespinParams& params() const noexcept { return params_; }
+
+ private:
+  RespinParams params_;
+};
+
+}  // namespace nanocost::cost

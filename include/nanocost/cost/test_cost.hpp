@@ -1,0 +1,51 @@
+// Test cost -- the extension the paper explicitly flags in Sec. 2.5
+// ("cost of test ... could be easily included within the proposed
+// cost-modeling framework").
+//
+// Per-die test cost = tester seconds x tester rate; test time grows
+// sub-linearly with transistor count (structural/BIST compression) and
+// with the coverage target.  Escapes (untested fault population) reduce
+// effective yield, coupling test back into eq. (4) via the uY channel.
+#pragma once
+
+#include "nanocost/units/money.hpp"
+#include "nanocost/units/probability.hpp"
+
+namespace nanocost::cost {
+
+struct TestCostParams final {
+  /// Loaded tester cost per second (machine depreciation + handler).
+  units::Money tester_cost_per_second{0.05};
+  /// Seconds to test a 1M-transistor die at the reference 95% coverage.
+  double base_seconds_per_mtr = 0.8;
+  /// Sub-linear growth of test time with transistor count.
+  double size_exponent = 0.7;
+  /// Reference fault coverage the base time achieves.
+  double base_coverage = 0.95;
+};
+
+class TestCostModel final {
+ public:
+  explicit TestCostModel(TestCostParams params = {});
+
+  /// Tester seconds for a die of `transistors` at `coverage` in
+  /// [base_coverage_floor, 1): time diverges logarithmically as
+  /// coverage -> 1 (each extra 9 costs a constant factor).
+  [[nodiscard]] double test_seconds(double transistors, double coverage) const;
+
+  /// Per-die test cost.
+  [[nodiscard]] units::Money cost_per_die(double transistors, double coverage) const;
+
+  /// Fraction of shipped parts that are actually defective given die
+  /// yield `y` and fault `coverage` (Williams-Brown defect level):
+  ///   DL = 1 - y^(1 - coverage)
+  [[nodiscard]] units::Probability defect_level(units::Probability yield,
+                                                double coverage) const;
+
+  [[nodiscard]] const TestCostParams& params() const noexcept { return params_; }
+
+ private:
+  TestCostParams params_;
+};
+
+}  // namespace nanocost::cost

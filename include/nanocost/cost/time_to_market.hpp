@@ -1,0 +1,78 @@
+// Time-to-market economics: the force the paper blames for the Fig.-1
+// trend ("it is fair to assume that the time to market pressure must be
+// a factor deciding about compactness of modern custom-designed ICs").
+//
+// Squeezing a design denser (smaller s_d) takes more iterations (eq. 6
+// mechanics), and iterations take calendar time.  Entering a finite
+// market window late forfeits revenue.  Adding that opportunity cost to
+// the eq.-4 objective moves the optimum toward *sparser* designs than
+// the pure-cost optimum -- i.e. it reproduces the industry behavior the
+// paper observes, and quantifies what that behavior costs in silicon.
+#pragma once
+
+#include "nanocost/cost/design_cost.hpp"
+#include "nanocost/units/money.hpp"
+
+namespace nanocost::cost {
+
+/// A triangular market window: revenue ramps to a peak at half the
+/// window, then decays to zero.  Entering `delay` months late forfeits
+/// the head of the triangle *and* cedes share (late entrants never
+/// recover the peak).
+class MarketWindowModel final {
+ public:
+  MarketWindowModel(double window_months, units::Money total_market_revenue,
+                    double share_at_launch = 0.4);
+
+  /// Revenue captured entering `entry_month` after the window opens.
+  [[nodiscard]] units::Money revenue(double entry_month) const;
+
+  /// Revenue forfeited relative to a day-one entry.
+  [[nodiscard]] units::Money delay_cost(double entry_month) const;
+
+  [[nodiscard]] double window_months() const noexcept { return window_; }
+
+ private:
+  double window_;
+  units::Money total_revenue_{};
+  double share_;
+};
+
+/// Maps design effort to calendar time: a team of `engineers` burns
+/// budget at their loaded rate, so C_DE dollars take
+/// C_DE / (engineers * monthly rate) months, bounded below by
+/// `minimum_months` (you cannot parallelize past the critical path).
+struct ScheduleModel final {
+  double engineers = 50.0;
+  units::Money loaded_cost_per_engineer_month{21000.0};
+  double minimum_months = 6.0;
+
+  [[nodiscard]] double months_for(units::Money design_cost) const;
+};
+
+/// The combined objective: eq.-4 silicon cost per transistor plus the
+/// forfeited-revenue opportunity cost per shipped transistor, as a
+/// function of s_d.
+struct TimeToMarketInputs final {
+  DesignCostModel design_model{};
+  ScheduleModel schedule{};
+  MarketWindowModel market{18.0, units::Money{500e6}};
+  double transistors = 1e7;
+  /// Good transistors shipped over the product life (units amortizing
+  /// the opportunity cost).
+  double shipped_transistors = 1e13;
+};
+
+struct TimeToMarketPoint final {
+  double s_d = 0.0;
+  units::Money design_cost{};
+  double schedule_months = 0.0;
+  units::Money forfeited_revenue{};
+  units::Money opportunity_per_transistor{};
+};
+
+/// Evaluates the schedule/revenue consequences of targeting `s_d`.
+[[nodiscard]] TimeToMarketPoint time_to_market_cost(const TimeToMarketInputs& inputs,
+                                                    double s_d);
+
+}  // namespace nanocost::cost

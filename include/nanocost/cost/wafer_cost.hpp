@@ -1,0 +1,76 @@
+// Wafer manufacturing cost of ownership, in the spirit of Maly/Jacobs/
+// Kersch (IEDM'93, ref [30] of the paper): the fabricated-wafer cost
+// C_w -- and hence the per-area cost Cm_sq of eqs. (3),(4),(7) -- is a
+// function of wafer diameter, process complexity (mask count, itself a
+// function of feature size), production volume, and process maturity.
+//
+//   C_w(N_w) = processing(masks, diameter)            [variable]
+//            + fab_fixed_cost_per_month / wafer_starts [amortized fixed]
+//
+// with processing cost per layer escalating as feature size shrinks and
+// fixed costs dominated by equipment depreciation for the node.
+#pragma once
+
+#include "nanocost/geometry/wafer.hpp"
+#include "nanocost/units/length.hpp"
+#include "nanocost/units/money.hpp"
+
+namespace nanocost::cost {
+
+/// Parameters of the wafer cost model.  Defaults are calibrated so a
+/// mature, high-volume 200 mm, 180 nm, 22-mask process lands near the
+/// paper's 8 $/cm^2 -- the Fig. 3 anchor.
+struct WaferCostParams final {
+  /// Per-layer processing cost for the 180 nm reference node on 200 mm
+  /// wafers (materials, labor, consumables, equipment time).
+  units::Money base_cost_per_layer{45.0};
+  /// Per-layer cost escalation factor per 0.7x feature-size shrink
+  /// (finer lithography is disproportionately expensive).
+  double layer_cost_escalation = 1.35;
+  /// Monthly fab fixed cost for the 180 nm reference node (depreciation
+  /// + facilities), dollars.  Scales with the same escalation, squared:
+  /// nanometer fablines are the "billions of dollars" of the title.
+  units::Money fab_fixed_per_month{30e6};
+  /// Wafer starts per month at full fab utilization.
+  double full_capacity_wafers_per_month = 20000.0;
+  /// Production run length in months over which N_w is spread.
+  double run_months = 12.0;
+  /// Processing-cost maturity discount: immature processes scrap and
+  /// rework; cost per wafer falls by up to this fraction at maturity 1.
+  double maturity_discount = 0.25;
+};
+
+/// Wafer cost model for one technology generation.
+class WaferCostModel final {
+ public:
+  /// `lambda` selects the node; `wafer` the substrate; `mask_count` the
+  /// process complexity.
+  WaferCostModel(units::Micrometers lambda, geometry::WaferSpec wafer, int mask_count,
+                 WaferCostParams params = {});
+
+  /// Fabricated-wafer cost for a production run of `n_wafers` at the
+  /// given process maturity in [0, 1] (0 = pilot, 1 = fully ramped).
+  [[nodiscard]] units::Money wafer_cost(double n_wafers, double maturity = 1.0) const;
+
+  /// The paper's Cm_sq: wafer cost divided by full wafer area.
+  [[nodiscard]] units::CostPerArea cost_per_cm2(double n_wafers, double maturity = 1.0) const;
+
+  /// Variable (processing) component only, per wafer.
+  [[nodiscard]] units::Money processing_cost(double maturity = 1.0) const;
+  /// Fixed component per wafer at the given run size.
+  [[nodiscard]] units::Money fixed_cost_per_wafer(double n_wafers) const;
+
+  [[nodiscard]] const geometry::WaferSpec& wafer() const noexcept { return wafer_; }
+  [[nodiscard]] units::Micrometers lambda() const noexcept { return lambda_; }
+  [[nodiscard]] int mask_count() const noexcept { return mask_count_; }
+
+ private:
+  units::Micrometers lambda_;
+  geometry::WaferSpec wafer_;
+  int mask_count_;
+  WaferCostParams params_;
+  double node_escalation_ = 1.0;  ///< escalation^(nodes below 180 nm)
+  double area_scale_ = 1.0;       ///< wafer area relative to 200 mm
+};
+
+}  // namespace nanocost::cost

@@ -1,0 +1,50 @@
+// Aggregate statistics over the Table A1 dataset, and the quantified
+// Fig.-1-vs-Fig.-2 divergence: how far the industry's measured density
+// sits from what the roadmap assumes at the same feature size.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "nanocost/data/table_a1.hpp"
+#include "nanocost/roadmap/roadmap.hpp"
+
+namespace nanocost::data {
+
+/// Summary of one group of rows.
+struct GroupStats final {
+  int count = 0;
+  double mean_sd = 0.0;
+  double median_sd = 0.0;
+  double min_sd = 0.0;
+  double max_sd = 0.0;
+  double min_lambda_um = 0.0;
+  double max_lambda_um = 0.0;
+};
+
+/// Statistics of the logic s_d over a row set; throws on empty input.
+[[nodiscard]] GroupStats group_stats(std::span<const DesignRecord* const> rows);
+
+/// Per-device-class statistics over the whole table.
+struct ClassStats final {
+  DeviceClass device_class = DeviceClass::kCpu;
+  GroupStats stats;
+};
+[[nodiscard]] std::vector<ClassStats> stats_by_class();
+
+/// The industry-vs-roadmap divergence at one node: the trend-fitted
+/// industrial s_d at the node's feature size over the roadmap-implied
+/// s_d.  > 1 means industry is sparser than the roadmap needs -- Fig. 1
+/// colliding with Fig. 2.
+struct DivergencePoint final {
+  int year = 0;
+  units::Micrometers lambda{};
+  double industrial_sd = 0.0;  ///< from the all-rows trend fit
+  double roadmap_sd = 0.0;     ///< node-implied (Fig. 2)
+  double ratio = 0.0;
+};
+
+[[nodiscard]] std::vector<DivergencePoint> industry_vs_roadmap(
+    const roadmap::Roadmap& roadmap);
+
+}  // namespace nanocost::data

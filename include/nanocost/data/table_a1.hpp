@@ -1,0 +1,103 @@
+// Table A1 of the paper: 49 published industrial designs (die size,
+// feature size, transistor counts, memory/logic split) and the design
+// decompression indices derived from them.
+//
+// Transcription note: the available scan of the paper's appendix table
+// is noisy; for every row we carry the raw fields reconciled so that
+// eq. (2) reproduces the printed s_d where that value is legible, and
+// the device's published ISSCC/CICC data where it is not (see
+// EXPERIMENTS.md, "Table A1 provenance").  `reconstructed` marks rows
+// where any cell had to be rederived.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "nanocost/units/area.hpp"
+#include "nanocost/units/length.hpp"
+
+namespace nanocost::data {
+
+enum class Vendor {
+  kIntel,
+  kAmd,
+  kIbm,
+  kMotorola,
+  kDec,     ///< Alpha
+  kHp,      ///< PA-RISC
+  kMips,
+  kSun,     ///< MAJC
+  kCyrix,
+  kTi,      ///< DSPs
+  kOther,
+};
+
+enum class DeviceClass {
+  kCpu,        ///< custom microprocessors
+  kDsp,
+  kAsic,
+  kMpeg,       ///< MPEG codec ASICs
+  kNetwork,    ///< ATM / telecom
+  kVideoGame,
+};
+
+[[nodiscard]] std::string vendor_name(Vendor v);
+[[nodiscard]] std::string device_class_name(DeviceClass c);
+
+/// One row of Table A1.  Transistor counts are absolute (not millions).
+/// Memory/logic splits are present only where the paper prints them.
+struct DesignRecord final {
+  int id = 0;                               ///< row number in the paper's table
+  std::string device;                       ///< e.g. "Pentium II (P6)"
+  Vendor vendor = Vendor::kOther;
+  DeviceClass device_class = DeviceClass::kCpu;
+  units::SquareCentimeters die_area{};
+  units::Micrometers feature_size{};
+  double total_transistors = 0.0;
+  std::optional<double> memory_transistors;
+  std::optional<double> logic_transistors;
+  std::optional<units::SquareCentimeters> memory_area;
+  std::optional<units::SquareCentimeters> logic_area;
+  bool reconstructed = false;               ///< any cell rederived from s_d / device data
+
+  /// s_d over the whole die (eq. 2).
+  [[nodiscard]] double overall_sd() const;
+  /// s_d of the memory portion; nullopt without a split.
+  [[nodiscard]] std::optional<double> memory_sd() const;
+  /// s_d of the logic portion; for rows without a split this equals
+  /// overall_sd() (the paper plots these as "logic").
+  [[nodiscard]] double logic_sd() const;
+  [[nodiscard]] bool has_split() const noexcept {
+    return memory_transistors.has_value() && memory_area.has_value();
+  }
+};
+
+/// The full 49-row dataset, ordered by the paper's row ids.
+[[nodiscard]] std::span<const DesignRecord> table_a1();
+
+/// Rows matching a vendor / device class.
+[[nodiscard]] std::vector<const DesignRecord*> rows_by_vendor(Vendor v);
+[[nodiscard]] std::vector<const DesignRecord*> rows_by_class(DeviceClass c);
+
+/// Log-linear trend fit of logic s_d against feature size:
+///   ln(s_d) = intercept + slope * ln(lambda_um)
+/// Negative slope means s_d *grows* as feature size shrinks -- the
+/// "worsening design density" trend of Fig. 1.
+struct TrendFit final {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r_squared = 0.0;
+  int points = 0;
+
+  /// Predicted s_d at the given feature size.
+  [[nodiscard]] double predict(units::Micrometers lambda) const;
+};
+
+/// Fits the trend over the given rows (needs >= 2 distinct lambdas).
+[[nodiscard]] TrendFit fit_sd_trend(std::span<const DesignRecord* const> rows);
+/// Fits over the whole table.
+[[nodiscard]] TrendFit fit_sd_trend_all();
+
+}  // namespace nanocost::data

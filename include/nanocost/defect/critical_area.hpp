@@ -1,0 +1,73 @@
+// Critical area: the area in which the center of a defect of a given
+// size causes a fault.  Evaluated for the canonical parallel-wire layout
+// family (shorts between neighbours, opens along a wire), then averaged
+// over a defect size distribution to obtain the average critical area
+// that converts defect density into faults per die:
+//
+//   faults/die = D0 * A_crit_avg
+//
+// This is the quantity the yield models (Poisson, Murphy, negative
+// binomial) exponentiate, and it is how design density s_d enters yield
+// in the generalized model (7): denser layout => more critical area per
+// cm^2.
+#pragma once
+
+#include "nanocost/defect/size_distribution.hpp"
+#include "nanocost/units/area.hpp"
+#include "nanocost/units/length.hpp"
+
+namespace nanocost::defect {
+
+/// A periodic parallel-wire pattern: `wire_count` wires of width `width`,
+/// spacing `spacing`, running `length` long.  The workhorse abstraction
+/// for interconnect critical-area analysis.
+class WireArray final {
+ public:
+  WireArray(units::Micrometers width, units::Micrometers spacing, units::Micrometers length,
+            int wire_count);
+
+  [[nodiscard]] units::Micrometers width() const noexcept { return width_; }
+  [[nodiscard]] units::Micrometers spacing() const noexcept { return spacing_; }
+  [[nodiscard]] units::Micrometers length() const noexcept { return length_; }
+  [[nodiscard]] int wire_count() const noexcept { return wire_count_; }
+  [[nodiscard]] units::Micrometers pitch() const noexcept { return width_ + spacing_; }
+  /// Bounding-box area of the pattern.
+  [[nodiscard]] units::SquareMicrometers footprint() const noexcept;
+
+  /// Critical area for *shorts* for a (circular) defect of diameter x:
+  /// zero below the spacing, growing linearly, saturating when the defect
+  /// spans multiple pitches (capped at the footprint).
+  [[nodiscard]] units::SquareMicrometers short_critical_area(units::Micrometers x) const noexcept;
+
+  /// Critical area for *opens* for a defect of diameter x: zero below the
+  /// wire width, growing linearly, capped at the footprint.
+  [[nodiscard]] units::SquareMicrometers open_critical_area(units::Micrometers x) const noexcept;
+
+  /// Size-averaged critical area: integral of A_c(x) * f(x) dx over the
+  /// distribution's support (composite Simpson on both branches).
+  [[nodiscard]] units::SquareMicrometers average_short_critical_area(
+      const DefectSizeDistribution& dist) const;
+  [[nodiscard]] units::SquareMicrometers average_open_critical_area(
+      const DefectSizeDistribution& dist) const;
+
+ private:
+  units::Micrometers width_;
+  units::Micrometers spacing_;
+  units::Micrometers length_;
+  int wire_count_;
+};
+
+/// Dimensionless sensitivity of a layout style to defects: the ratio of
+/// size-averaged critical area (shorts + opens) to layout footprint.
+/// Denser styles (smaller s_d) have larger values.
+[[nodiscard]] double critical_area_ratio(const WireArray& array,
+                                         const DefectSizeDistribution& dist);
+
+/// Model of how the critical-area ratio scales with design density.
+/// A layout at decompression index s_d relative to a reference fabric at
+/// s_ref has its wire spacing scaled by ~sqrt(s_d / s_ref); the returned
+/// ratio feeds the Y(s_d) dependency of the paper's eq. (7).
+[[nodiscard]] double density_scaled_critical_area_ratio(double s_d, double s_ref,
+                                                        units::Micrometers lambda);
+
+}  // namespace nanocost::defect

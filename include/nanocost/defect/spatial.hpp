@@ -1,0 +1,84 @@
+// Spatial defect fields on a wafer.
+//
+// Supplies the Monte-Carlo fab simulator with defect positions.  Two
+// regimes matter for yield statistics:
+//   - a homogeneous Poisson field      -> die-level Poisson yield
+//   - a gamma-mixed (clustered) field  -> die-level negative-binomial
+//     yield with clustering parameter alpha
+// plus an optional radial profile (defect density rising toward the
+// wafer edge), the mechanism behind radial yield models.
+#pragma once
+
+#include <random>
+#include <vector>
+
+#include "nanocost/defect/size_distribution.hpp"
+#include "nanocost/geometry/wafer.hpp"
+#include "nanocost/units/length.hpp"
+
+namespace nanocost::defect {
+
+/// One defect on the wafer plane (positions relative to wafer center).
+struct Defect final {
+  units::Millimeters x{};
+  units::Millimeters y{};
+  units::Micrometers size{};
+};
+
+/// Radial modulation of defect density: multiplier(r) = 1 + edge_boost *
+/// (r/R)^sharpness, normalized so the wafer-average multiplier is 1.
+class RadialProfile final {
+ public:
+  RadialProfile() = default;  ///< flat profile
+  RadialProfile(double edge_boost, double sharpness);
+
+  /// Density multiplier at normalized radius u = r/R in [0, 1].
+  [[nodiscard]] double multiplier(double u) const noexcept;
+  [[nodiscard]] bool is_flat() const noexcept { return edge_boost_ == 0.0; }
+  [[nodiscard]] double edge_boost() const noexcept { return edge_boost_; }
+  [[nodiscard]] double sharpness() const noexcept { return sharpness_; }
+
+ private:
+  double edge_boost_ = 0.0;
+  double sharpness_ = 2.0;
+  double norm_ = 1.0;  // normalizes the area-weighted mean multiplier to 1
+};
+
+/// Parameters of a wafer defect field.
+struct DefectFieldParams final {
+  /// Mean defect density over the wafer, defects per cm^2.
+  double density_per_cm2 = 0.5;
+  /// Negative-binomial clustering parameter; +infinity (or <= 0 treated
+  /// as infinity is NOT allowed -- use `clustered = false`) gives pure
+  /// Poisson.  Smaller alpha = heavier wafer-to-wafer clustering.
+  double cluster_alpha = 2.0;
+  bool clustered = false;
+  RadialProfile radial{};
+};
+
+/// Samples complete defect populations for one wafer at a time.
+class DefectField final {
+ public:
+  DefectField(const geometry::WaferSpec& wafer, const DefectSizeDistribution& sizes,
+              DefectFieldParams params);
+
+  /// Expected defect count per wafer (over full wafer area).
+  [[nodiscard]] double expected_count() const noexcept;
+
+  /// Sample one wafer's defects.  With clustering enabled, first draws a
+  /// wafer-level gamma multiplier (shape alpha, mean 1), realizing the
+  /// gamma-mixed Poisson that yields negative-binomial die statistics.
+  [[nodiscard]] std::vector<Defect> sample_wafer(std::mt19937_64& rng) const;
+
+  [[nodiscard]] const DefectFieldParams& params() const noexcept { return params_; }
+
+ private:
+  geometry::WaferSpec wafer_;
+  DefectSizeDistribution sizes_;
+  DefectFieldParams params_;
+
+  /// Rejection-samples a position honoring the radial profile.
+  void sample_position(std::mt19937_64& rng, Defect& d) const;
+};
+
+}  // namespace nanocost::defect

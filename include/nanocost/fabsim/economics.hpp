@@ -1,0 +1,32 @@
+// Rolling simulated fab output into money: what the lot actually cost
+// per good die and per good transistor, with the measured (not modeled)
+// yield.  Closes the loop between the fab simulator and eq. (1).
+#pragma once
+
+#include "nanocost/cost/wafer_cost.hpp"
+#include "nanocost/fabsim/simulator.hpp"
+#include "nanocost/units/money.hpp"
+
+namespace nanocost::fabsim {
+
+/// Economics of one simulated run.
+struct RunEconomics final {
+  units::Money wafer_cost{};            ///< per wafer, from the cost model
+  units::Money total_cost{};            ///< wafers x wafer cost
+  double measured_yield = 0.0;
+  std::int64_t good_dies = 0;
+  units::Money cost_per_good_die{};
+  units::Money cost_per_good_transistor{};
+};
+
+/// Prices a simulated lot with the given wafer cost model and the
+/// design's transistor count.  This is eq. (1) evaluated with the
+/// simulator's N_ch and Y instead of assumed scalars.
+/// `run_wafers` is the production-run volume the per-wafer cost is
+/// amortized at (a lot is normally a sample of a much larger run);
+/// 0 means "the lot is the whole run".
+[[nodiscard]] RunEconomics price_lot(const LotResult& lot,
+                                     const cost::WaferCostModel& wafer_model,
+                                     double transistors_per_die, double run_wafers = 0.0);
+
+}  // namespace nanocost::fabsim

@@ -1,0 +1,122 @@
+// Monte-Carlo fabline simulator.
+//
+// The paper's cost models take yield Y as an input; a real fab produces
+// it.  Lacking a fab, we simulate one end-to-end: wafers receive
+// spatially-distributed defects (optionally clustered and radially
+// skewed), each defect landing on a die kills it with a probability set
+// by the die's critical-area profile at that defect size, and yield is
+// whatever survives.  The simulator validates the analytic yield models
+// (Poisson / negative binomial emerge from the defect statistics) and
+// feeds measured yields back into the cost models.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "nanocost/defect/critical_area.hpp"
+#include "nanocost/defect/spatial.hpp"
+#include "nanocost/geometry/wafer_map.hpp"
+#include "nanocost/units/probability.hpp"
+#include "nanocost/yield/learning.hpp"
+
+namespace nanocost::fabsim {
+
+/// Probability that a defect of a given size landing uniformly on the
+/// die is fatal: size-resolved critical area over die area, using a
+/// representative wire-array pattern scaled to the die's density.
+class DieKillModel final {
+ public:
+  /// `array` is the representative layout pattern; `die_area` the die
+  /// it stands for.  The per-area fault sensitivity of the array is
+  /// applied uniformly across the die.
+  DieKillModel(defect::WireArray array, units::SquareCentimeters die_area);
+
+  /// P(fatal | defect of size x landed somewhere on the die body).
+  [[nodiscard]] double kill_probability(units::Micrometers size) const;
+
+  /// Expected faults per die at defect density D: D * A_die * ratio,
+  /// where ratio is the size-averaged critical-area fraction.  This is
+  /// the lambda the analytic models should be driven with.
+  [[nodiscard]] double mean_faults_per_die(double defect_density_per_cm2,
+                                           const defect::DefectSizeDistribution& sizes) const;
+
+ private:
+  defect::WireArray array_;
+  units::SquareCentimeters die_area_;
+};
+
+/// One simulated wafer.
+struct WaferResult final {
+  std::int64_t gross_dies = 0;
+  std::int64_t good_dies = 0;
+  std::int64_t defects = 0;
+  std::int64_t defects_on_dies = 0;
+  [[nodiscard]] double yield() const noexcept {
+    return gross_dies > 0 ? static_cast<double>(good_dies) / static_cast<double>(gross_dies)
+                          : 0.0;
+  }
+};
+
+/// Aggregate over a lot / run.
+struct LotResult final {
+  std::vector<WaferResult> wafers;
+  std::int64_t total_dies = 0;
+  std::int64_t good_dies = 0;
+  /// Die-level fault-count histogram (index = faults on die).
+  std::vector<std::int64_t> fault_histogram;
+
+  [[nodiscard]] double yield() const noexcept {
+    return total_dies > 0 ? static_cast<double>(good_dies) / static_cast<double>(total_dies)
+                          : 0.0;
+  }
+  /// Mean and variance of per-die fault counts; variance/mean > 1
+  /// indicates clustering (negative-binomial statistics).
+  [[nodiscard]] double fault_mean() const noexcept;
+  [[nodiscard]] double fault_variance() const noexcept;
+  /// Wafer-to-wafer standard deviation of yield.
+  [[nodiscard]] double yield_stddev() const noexcept;
+};
+
+/// The simulator: one die product on one process.
+class FabSimulator final {
+ public:
+  FabSimulator(geometry::WaferSpec wafer, geometry::DieSize die,
+               defect::DefectSizeDistribution sizes, defect::DefectFieldParams field,
+               defect::WireArray representative_pattern);
+
+  /// Simulate `n_wafers` at constant defect density.
+  [[nodiscard]] LotResult run(std::int64_t n_wafers, std::uint64_t seed = 42) const;
+
+  /// Simulate a maturity ramp: defect density follows the learning
+  /// curve as cumulative wafers accrue.  Returns one LotResult per
+  /// checkpoint of `checkpoint_wafers` wafers.
+  [[nodiscard]] std::vector<LotResult> run_ramp(const yield::LearningCurve& curve,
+                                                std::int64_t total_wafers,
+                                                std::int64_t checkpoint_wafers,
+                                                std::uint64_t seed = 42) const;
+
+  [[nodiscard]] const geometry::WaferMap& wafer_map() const noexcept { return map_; }
+  [[nodiscard]] const DieKillModel& kill_model() const noexcept { return kill_; }
+  /// The analytic mean faults per die this configuration implies.
+  [[nodiscard]] double analytic_mean_faults() const;
+
+  /// Per-site fault counts of one simulated wafer -- for wafer-map
+  /// visualization and spatial statistics.  Indexed like
+  /// wafer_map().sites().
+  [[nodiscard]] std::vector<std::int32_t> snapshot_faults(std::uint64_t seed) const;
+
+ private:
+  geometry::WaferSpec wafer_;
+  geometry::DieSize die_;
+  defect::DefectSizeDistribution sizes_;
+  defect::DefectFieldParams field_params_;
+  geometry::WaferMap map_;
+  DieKillModel kill_;
+
+  void simulate_wafer(std::mt19937_64& rng, const defect::DefectField& field,
+                      WaferResult& result, std::vector<std::int32_t>& faults_scratch,
+                      std::vector<std::int64_t>& histogram) const;
+};
+
+}  // namespace nanocost::fabsim

@@ -1,0 +1,34 @@
+// Die dimensions.
+#pragma once
+
+#include "nanocost/units/area.hpp"
+#include "nanocost/units/length.hpp"
+
+namespace nanocost::geometry {
+
+/// Rectangular die outline (step size excludes the scribe street; the
+/// street is a property of the wafer flow, see WaferSpec).
+class DieSize final {
+ public:
+  DieSize(units::Millimeters width, units::Millimeters height);
+
+  /// A square die of the given area -- how the paper's Table A1 die
+  /// sizes (given only as cm^2) are interpreted.
+  [[nodiscard]] static DieSize square_of_area(units::SquareCentimeters area);
+
+  /// A die of the given area with the given width:height aspect ratio.
+  [[nodiscard]] static DieSize of_area(units::SquareCentimeters area, double aspect_ratio);
+
+  [[nodiscard]] units::Millimeters width() const noexcept { return width_; }
+  [[nodiscard]] units::Millimeters height() const noexcept { return height_; }
+  [[nodiscard]] units::SquareCentimeters area() const noexcept { return width_ * height_; }
+  [[nodiscard]] double aspect_ratio() const noexcept { return width_ / height_; }
+  /// Half-perimeter diagonal extent, used for "die fits inside radius" tests.
+  [[nodiscard]] units::Millimeters half_diagonal() const noexcept;
+
+ private:
+  units::Millimeters width_;
+  units::Millimeters height_;
+};
+
+}  // namespace nanocost::geometry

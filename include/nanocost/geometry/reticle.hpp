@@ -1,0 +1,42 @@
+// Reticle (exposure field) arithmetic.
+//
+// Lithography cost scales with exposures, not dies: a reticle field holds
+// as many die step-cells as fit in the scanner's field, and the stepper
+// exposes fields across the wafer.  Mask cost (the paper's C_MA) is per
+// mask *set*; exposure count drives the per-wafer lithography component
+// of the wafer cost model.
+#pragma once
+
+#include <cstdint>
+
+#include "nanocost/geometry/die.hpp"
+#include "nanocost/geometry/wafer.hpp"
+
+namespace nanocost::geometry {
+
+/// Scanner exposure-field limits (period-typical default: 25 x 32 mm).
+class ReticleSpec final {
+ public:
+  ReticleSpec(units::Millimeters field_width, units::Millimeters field_height);
+
+  [[nodiscard]] static ReticleSpec typical();
+
+  [[nodiscard]] units::Millimeters field_width() const noexcept { return field_width_; }
+  [[nodiscard]] units::Millimeters field_height() const noexcept { return field_height_; }
+
+  /// Number of die step-cells (die + street) per exposure field, allowing
+  /// a 90-degree die rotation if that fits more.  Zero if the die exceeds
+  /// the field in both orientations.
+  [[nodiscard]] std::int64_t dies_per_field(const DieSize& die,
+                                            units::Millimeters scribe_street) const;
+
+  /// Approximate exposures needed to cover all complete dies on a wafer:
+  /// ceil(gross_die / dies_per_field) plus an edge-field overhead factor.
+  [[nodiscard]] std::int64_t fields_per_wafer(const WaferSpec& wafer, const DieSize& die) const;
+
+ private:
+  units::Millimeters field_width_;
+  units::Millimeters field_height_;
+};
+
+}  // namespace nanocost::geometry

@@ -1,0 +1,44 @@
+// Wafer specification: diameter, edge exclusion, scribe street.
+#pragma once
+
+#include "nanocost/units/area.hpp"
+#include "nanocost/units/length.hpp"
+
+namespace nanocost::geometry {
+
+/// Physical wafer parameters relevant to die placement and cost.
+///
+/// The paper's era spans 150 mm -> 300 mm wafers; wafer diameter enters
+/// both the chips-per-wafer count N_ch of eq. (1) and the wafer-cost
+/// model C_w(A_w, ...) of eq. (7).
+class WaferSpec final {
+ public:
+  WaferSpec(units::Millimeters diameter, units::Millimeters edge_exclusion,
+            units::Millimeters scribe_street);
+
+  /// Common generations with period-typical edge exclusion (3 mm) and
+  /// scribe street (0.1 mm).
+  [[nodiscard]] static WaferSpec mm150();
+  [[nodiscard]] static WaferSpec mm200();
+  [[nodiscard]] static WaferSpec mm300();
+
+  [[nodiscard]] units::Millimeters diameter() const noexcept { return diameter_; }
+  [[nodiscard]] units::Millimeters radius() const noexcept { return diameter_ / 2.0; }
+  [[nodiscard]] units::Millimeters edge_exclusion() const noexcept { return edge_exclusion_; }
+  [[nodiscard]] units::Millimeters scribe_street() const noexcept { return scribe_street_; }
+  /// Radius of the region in which complete dies may be placed.
+  [[nodiscard]] units::Millimeters usable_radius() const noexcept {
+    return radius() - edge_exclusion_;
+  }
+  /// Full-wafer area (the A_w of eq. (5)); by convention the paper
+  /// amortizes NRE over fabricated area, not just usable area.
+  [[nodiscard]] units::SquareCentimeters area() const noexcept;
+  [[nodiscard]] units::SquareCentimeters usable_area() const noexcept;
+
+ private:
+  units::Millimeters diameter_;
+  units::Millimeters edge_exclusion_;
+  units::Millimeters scribe_street_;
+};
+
+}  // namespace nanocost::geometry

@@ -1,0 +1,87 @@
+// Hierarchical layout cells: rectangles + placed sub-cell instances.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "nanocost/layout/types.hpp"
+
+namespace nanocost::layout {
+
+class Cell;
+
+/// A placed (optionally arrayed) reference to another cell.
+struct Instance final {
+  const Cell* cell = nullptr;  ///< non-owning; the Library owns cells
+  Transform transform{};
+  /// Array repetition: nx * ny placements stepped by (pitch_x, pitch_y)
+  /// *after* orientation.  (1,1) is a single placement.
+  std::int32_t nx = 1;
+  std::int32_t ny = 1;
+  Coord pitch_x = 0;
+  Coord pitch_y = 0;
+
+  [[nodiscard]] std::int64_t count() const noexcept {
+    return static_cast<std::int64_t>(nx) * ny;
+  }
+};
+
+/// A layout cell.  Immutable once built into a Library (the builder
+/// pattern below); cells may reference only previously-built cells,
+/// which makes the hierarchy acyclic by construction.
+class Cell final {
+ public:
+  explicit Cell(std::string name) : name_(std::move(name)) {}
+
+  Cell(const Cell&) = delete;
+  Cell& operator=(const Cell&) = delete;
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] const std::vector<Rect>& rects() const noexcept { return rects_; }
+  [[nodiscard]] const std::vector<Instance>& instances() const noexcept { return instances_; }
+
+  void add_rect(const Rect& r);
+  void add_instance(const Instance& inst);
+
+  /// Bounding box over own rects and (transformed) child boxes.
+  /// Returns an invalid Rect for an empty cell.
+  [[nodiscard]] Rect bounding_box() const;
+
+  /// Total rectangles in the fully flattened cell.
+  [[nodiscard]] std::int64_t flat_rect_count() const;
+
+ private:
+  std::string name_;
+  std::vector<Rect> rects_;
+  std::vector<Instance> instances_;
+};
+
+/// Owns cells; lookup by name.  Insertion order is a valid bottom-up
+/// topological order of the hierarchy.
+class Library final {
+ public:
+  /// Creates an empty cell; throws std::invalid_argument on duplicates.
+  Cell& create_cell(const std::string& name);
+
+  [[nodiscard]] const Cell* find(const std::string& name) const noexcept;
+  [[nodiscard]] Cell* find(const std::string& name) noexcept;
+  [[nodiscard]] std::size_t size() const noexcept { return cells_.size(); }
+  [[nodiscard]] const std::vector<std::unique_ptr<Cell>>& cells() const noexcept {
+    return cells_;
+  }
+
+ private:
+  std::vector<std::unique_ptr<Cell>> cells_;
+  std::unordered_map<std::string, Cell*> by_name_;
+};
+
+/// Visits every rectangle of `cell` fully flattened under `transform`;
+/// `fn(const Rect&)` receives world-coordinate rectangles.
+void for_each_flat_rect(const Cell& cell, const Transform& transform,
+                        const std::function<void(const Rect&)>& fn);
+
+}  // namespace nanocost::layout

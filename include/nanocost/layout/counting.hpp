@@ -1,0 +1,35 @@
+// Transistor counting.
+//
+// A MOS transistor is a poly shape crossing a diffusion shape; in a
+// rectangle database every positive-area poly∩diffusion overlap is one
+// gate.  This is the N_tr that the paper's density measure (eq. 2)
+// divides the layout area by.
+//
+// Precondition (guaranteed by this library's generators, asserted
+// nowhere): shapes on the same layer do not overlap each other, so no
+// gate is counted twice.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nanocost/layout/cell.hpp"
+
+namespace nanocost::layout {
+
+/// Counts positive-area poly-over-diffusion overlaps in a flat rectangle
+/// soup.  O(n) expected via a uniform spatial hash.
+[[nodiscard]] std::int64_t count_gate_overlaps(const std::vector<Rect>& rects);
+
+/// Exact flat count for a cell: flattens the hierarchy, then counts.
+/// Memory- and time-proportional to the flattened size.
+[[nodiscard]] std::int64_t count_transistors_flat(const Cell& top);
+
+/// Hierarchical count: each cell's own-rect gates plus instance-count-
+/// weighted child totals.  Exact when no gate spans a cell boundary
+/// (true for all fabrics this library generates); otherwise a lower
+/// bound.  Runs in time proportional to the *hierarchy* size, so an
+/// SRAM of a million bitcells counts in microseconds.
+[[nodiscard]] std::int64_t count_transistors_hierarchical(const Cell& top);
+
+}  // namespace nanocost::layout

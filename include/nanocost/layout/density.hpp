@@ -1,0 +1,37 @@
+// Design density and the design decompression index (paper eq. (2)).
+//
+//   T_d = N_tr / A_ch = 1 / (lambda^2 s_d)      [transistors per area]
+//   s_d = A_ch / (N_tr lambda^2)                [lambda-squares per transistor]
+//   d_d = 1 / s_d
+//
+// s_d is the paper's central *process-independent* design attribute:
+// SRAM ~30, tight custom logic ~100, typical ASICs several hundred.
+#pragma once
+
+#include "nanocost/units/area.hpp"
+#include "nanocost/units/length.hpp"
+
+namespace nanocost::layout {
+
+/// Density figures for one design (or one region of a design).
+struct DensityMetrics final {
+  double decompression_index = 0.0;        ///< s_d, lambda-squares per transistor
+  double density_index = 0.0;              ///< d_d = 1 / s_d
+  double transistors_per_cm2 = 0.0;        ///< T_d
+};
+
+/// s_d from raw numbers: chip area, transistor count, feature size.
+/// Throws std::domain_error on non-positive inputs.
+[[nodiscard]] double decompression_index(units::SquareCentimeters area, double transistor_count,
+                                         units::Micrometers lambda);
+
+/// All three density figures from raw numbers.
+[[nodiscard]] DensityMetrics density_metrics(units::SquareCentimeters area,
+                                             double transistor_count, units::Micrometers lambda);
+
+/// Chip area implied by a transistor count at a given s_d and lambda --
+/// the inversion used when sizing dies from roadmap transistor counts.
+[[nodiscard]] units::SquareCentimeters area_for(double transistor_count, double s_d,
+                                                units::Micrometers lambda);
+
+}  // namespace nanocost::layout

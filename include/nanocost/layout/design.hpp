@@ -1,0 +1,45 @@
+// A Design binds a cell hierarchy to a physical feature size and exposes
+// the paper's density figures for it.
+#pragma once
+
+#include <memory>
+
+#include "nanocost/layout/cell.hpp"
+#include "nanocost/layout/density.hpp"
+#include "nanocost/units/area.hpp"
+#include "nanocost/units/length.hpp"
+
+namespace nanocost::layout {
+
+/// Top-level design: a library, a chosen top cell, and the minimum
+/// feature size lambda that scales database units to silicon.
+class Design final {
+ public:
+  Design(std::shared_ptr<Library> library, const Cell* top, units::Micrometers lambda);
+
+  [[nodiscard]] const Cell& top() const noexcept { return *top_; }
+  [[nodiscard]] const Library& library() const noexcept { return *library_; }
+  [[nodiscard]] units::Micrometers lambda() const noexcept { return lambda_; }
+
+  /// Bounding-box chip area in physical units.
+  [[nodiscard]] units::SquareCentimeters area() const;
+
+  /// Transistor count (hierarchical counting; exact for generated
+  /// fabrics, see counting.hpp).
+  [[nodiscard]] std::int64_t transistor_count() const;
+
+  /// s_d / d_d / T_d for the whole design.
+  [[nodiscard]] DensityMetrics density() const;
+
+  /// Total flattened rectangle count (layout size indicator).
+  [[nodiscard]] std::int64_t flat_rect_count() const { return top_->flat_rect_count(); }
+
+ private:
+  std::shared_ptr<Library> library_;
+  const Cell* top_;
+  units::Micrometers lambda_;
+  // Lazily computed, cached: the hierarchy is immutable once wrapped.
+  mutable std::int64_t cached_transistors_ = -1;
+};
+
+}  // namespace nanocost::layout

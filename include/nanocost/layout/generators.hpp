@@ -1,0 +1,66 @@
+// Fabric generators: synthetic layouts spanning the design-style
+// spectrum the paper's Table A1 covers, from dense regular SRAM
+// (s_d ~ 30) through custom datapaths (~100) and standard-cell ASICs
+// (several hundred) to sparse gate arrays.
+//
+// All geometry is drawn in half-lambda database units; every transistor
+// is a real poly-over-diffusion crossing, so the counting and density
+// machinery measures these fabrics the same way it would measure an
+// imported layout.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+#include "nanocost/layout/cell.hpp"
+
+namespace nanocost::layout {
+
+/// A 6T SRAM bitcell arrayed rows x cols, plus word/bit-line metal.
+/// The densest regular fabric (bitcell ~ 180 lambda^2, s_d ~ 30).
+/// Returns the array's top cell, owned by `lib`.
+[[nodiscard]] const Cell* make_sram_array(Library& lib, std::int32_t rows, std::int32_t cols);
+
+/// Parameters for the standard-cell block generator.
+struct StdCellBlockParams final {
+  std::int32_t rows = 16;
+  std::int32_t row_width_lambda = 512;     ///< target row width in lambda
+  double routing_channel_ratio = 1.0;      ///< channel height / row height
+  double placement_utilization = 0.85;     ///< fraction of row width holding cells
+  std::uint64_t seed = 1;
+};
+
+/// A placed-and-routed-looking standard-cell block: rows of randomly
+/// chosen library cells (inv/nand2/nor2/dff) separated by routing
+/// channels carrying metal.  s_d lands in the ASIC range (300-700
+/// depending on channel ratio and utilization).
+[[nodiscard]] const Cell* make_stdcell_block(Library& lib, const StdCellBlockParams& params);
+
+/// The four standard-cell masters (all 16 lambda tall), exposed for
+/// flows that place them explicitly (see place::synthesize).
+struct StdCellMasters final {
+  const Cell* inv = nullptr;    ///< 2 transistors, 12 lambda wide
+  const Cell* nand2 = nullptr;  ///< 4 transistors, 20 lambda wide
+  const Cell* nor2 = nullptr;   ///< 4 transistors, 20 lambda wide
+  const Cell* dff = nullptr;    ///< 20 transistors, 84 lambda wide
+};
+[[nodiscard]] StdCellMasters make_stdcell_masters(Library& lib);
+
+/// A bit-sliced datapath: one hand-drawn slice cell arrayed `bits` high
+/// and `stages` wide -- the regular custom style the paper advocates.
+[[nodiscard]] const Cell* make_datapath(Library& lib, std::int32_t bits, std::int32_t stages);
+
+/// A gate-array base: uniform transistor sites arrayed rows x cols, with
+/// only `utilization` of sites personalized with metal.  All sites'
+/// transistors are fabricated (and counted); utilization matters for
+/// cost via the paper's u parameter, not for N_tr.
+[[nodiscard]] const Cell* make_gate_array(Library& lib, std::int32_t rows, std::int32_t cols,
+                                          double utilization, std::uint64_t seed = 1);
+
+/// An irregular "custom" block: `transistor_count` transistors scattered
+/// on a jittered grid sized for decompression index ~ `s_d_target`, with
+/// random local metal.  The regularity extractor's worst case.
+[[nodiscard]] const Cell* make_random_custom(Library& lib, std::int64_t transistor_count,
+                                             double s_d_target, std::uint64_t seed = 1);
+
+}  // namespace nanocost::layout

@@ -1,0 +1,40 @@
+// Plain-text layout interchange.
+//
+// A minimal, diff-friendly format so generated fabrics can be saved,
+// inspected, and reloaded (the GDSII role, without the binary format):
+//
+//   nanocost-layout v1
+//   lambda_um 0.25
+//   cell <name>
+//     rect <layer> <x0> <y0> <x1> <y1>
+//     inst <cell> <orientation> <dx> <dy> [<nx> <ny> <px> <py>]
+//   endcell
+//   top <name>
+//
+// Coordinates are half-lambda database units; instances may only
+// reference previously defined cells (the writer emits bottom-up, the
+// reader enforces it), so hierarchies are acyclic by construction.
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+#include "nanocost/layout/design.hpp"
+
+namespace nanocost::layout {
+
+/// Serializes the design (cells reachable from the top, bottom-up).
+void save_design(std::ostream& out, const Design& design);
+void save_design_file(const std::string& path, const Design& design);
+
+/// Parses a design; throws std::runtime_error with a line number on
+/// malformed input.
+[[nodiscard]] Design load_design(std::istream& in);
+[[nodiscard]] Design load_design_file(const std::string& path);
+
+/// Round-trip helpers for orientation names ("R0", "MX", ...).
+[[nodiscard]] std::string orientation_name(Orientation o);
+[[nodiscard]] Orientation parse_orientation(const std::string& name);
+
+}  // namespace nanocost::layout

@@ -1,0 +1,46 @@
+// Layout statistics beyond density: per-layer composition, wire-length
+// proxies, and interconnect-share metrics.  The paper reads rising s_d
+// as "the growing need for more interconnect"; these statistics make
+// that interpretation measurable on a layout.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "nanocost/layout/cell.hpp"
+#include "nanocost/units/area.hpp"
+#include "nanocost/units/length.hpp"
+
+namespace nanocost::layout {
+
+/// Per-layer accumulation over the flattened design.
+struct LayerStats final {
+  std::int64_t rect_count = 0;
+  std::int64_t area_units2 = 0;      ///< summed rect area, (half-lambda)^2
+  std::int64_t wire_length_units = 0;  ///< summed long-dimension of rects
+};
+
+/// Whole-design statistics.
+struct LayoutStats final {
+  std::array<LayerStats, kLayerCount> layers{};
+  std::int64_t total_rects = 0;
+  Rect bounding_box{};
+
+  [[nodiscard]] const LayerStats& layer(Layer l) const noexcept {
+    return layers[static_cast<std::size_t>(l)];
+  }
+  /// Fraction of bounding-box area drawn on a layer (can exceed 1 for
+  /// overlapping multi-rect regions; generators do not overlap).
+  [[nodiscard]] double layer_coverage(Layer l) const noexcept;
+  /// Summed drawn area over the interconnect layers (metal1 and up)
+  /// divided by all drawn area -- the "interconnect share" the paper
+  /// blames for rising s_d.
+  [[nodiscard]] double interconnect_share() const noexcept;
+  /// Total metal wire length in physical units at feature size lambda.
+  [[nodiscard]] units::Micrometers total_wire_length(units::Micrometers lambda) const;
+};
+
+/// Collects statistics over the flattened cell.
+[[nodiscard]] LayoutStats collect_stats(const Cell& top);
+
+}  // namespace nanocost::layout

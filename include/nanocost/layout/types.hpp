@@ -1,0 +1,102 @@
+// Layout database primitives.
+//
+// Coordinates are integers in *half-lambda* database units: fine enough
+// to draw every pattern this library generates, coarse enough that
+// identical geometry hashes identically (which the regularity extractor
+// depends on).  The owning Design records the physical size of lambda.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace nanocost::layout {
+
+/// Database unit: half of the minimum feature size lambda.
+using Coord = std::int64_t;
+inline constexpr Coord kUnitsPerLambda = 2;
+
+/// Mask layers relevant to transistor counting and critical area.
+enum class Layer : std::uint8_t {
+  kDiffusion = 0,
+  kPoly,
+  kContact,
+  kMetal1,
+  kVia1,
+  kMetal2,
+  kVia2,
+  kMetal3,
+  kVia3,
+  kMetal4,
+  kVia4,
+  kMetal5,
+  kVia5,
+  kMetal6,
+};
+inline constexpr int kLayerCount = 14;
+
+[[nodiscard]] std::string layer_name(Layer layer);
+
+struct Point final {
+  Coord x = 0;
+  Coord y = 0;
+  [[nodiscard]] friend constexpr bool operator==(Point, Point) noexcept = default;
+};
+
+/// Axis-aligned rectangle, half-open semantics not needed: [x0,x1]x[y0,y1]
+/// with x0 < x1, y0 < y1 enforced by normalize().
+struct Rect final {
+  Layer layer = Layer::kDiffusion;
+  Coord x0 = 0;
+  Coord y0 = 0;
+  Coord x1 = 0;
+  Coord y1 = 0;
+
+  [[nodiscard]] constexpr Coord width() const noexcept { return x1 - x0; }
+  [[nodiscard]] constexpr Coord height() const noexcept { return y1 - y0; }
+  /// Area in square database units.
+  [[nodiscard]] constexpr std::int64_t area() const noexcept { return width() * height(); }
+  [[nodiscard]] constexpr bool valid() const noexcept { return x0 < x1 && y0 < y1; }
+  [[nodiscard]] constexpr bool intersects(const Rect& o) const noexcept {
+    return x0 < o.x1 && o.x0 < x1 && y0 < o.y1 && o.y0 < y1;
+  }
+  /// Intersection rectangle (caller must ensure intersects()).
+  [[nodiscard]] constexpr Rect intersection(const Rect& o) const noexcept {
+    return Rect{layer, x0 > o.x0 ? x0 : o.x0, y0 > o.y0 ? y0 : o.y0, x1 < o.x1 ? x1 : o.x1,
+                y1 < o.y1 ? y1 : o.y1};
+  }
+  [[nodiscard]] constexpr Rect translated(Coord dx, Coord dy) const noexcept {
+    return Rect{layer, x0 + dx, y0 + dy, x1 + dx, y1 + dy};
+  }
+  [[nodiscard]] friend constexpr bool operator==(const Rect&, const Rect&) noexcept = default;
+};
+
+/// Eight layout orientations (the GDSII/OASIS set).
+enum class Orientation : std::uint8_t {
+  kR0 = 0,
+  kR90,
+  kR180,
+  kR270,
+  kMX,        ///< mirror about the x axis
+  kMY,        ///< mirror about the y axis
+  kMXR90,     ///< mirror about x, then rotate 90
+  kMYR90,     ///< mirror about y, then rotate 90
+};
+inline constexpr int kOrientationCount = 8;
+
+/// Placement transform: orient about the origin, then translate.
+struct Transform final {
+  Orientation orientation = Orientation::kR0;
+  Coord dx = 0;
+  Coord dy = 0;
+
+  [[nodiscard]] Point apply(Point p) const noexcept;
+  [[nodiscard]] Rect apply(const Rect& r) const noexcept;
+  /// Composition: (this ∘ inner), i.e. apply `inner` first.
+  [[nodiscard]] Transform compose(const Transform& inner) const noexcept;
+};
+
+/// Orientation composition table entry: outer ∘ inner.
+[[nodiscard]] Orientation compose(Orientation outer, Orientation inner) noexcept;
+
+}  // namespace nanocost::layout

@@ -1,0 +1,36 @@
+// Pre-placement wirelength estimation -- the "prediction" of the
+// paper's Sec. 2.4.
+//
+// Before placement exists, interconnect length can only be estimated
+// from netlist statistics.  The classic approach (Donath, after Rent's
+// rule) says average wirelength grows like a power of the block size.
+// We expose the per-net estimator
+//
+//   L_net ~ k * (pins - 1) * sqrt(sites)^(2p - 1)      (p = Rent exponent)
+//
+// summed over nets, in placement-site units, with a calibration hook.
+// Its *error* against the placed reality -- which the place module
+// measures -- is the quantity that drives eq.-6 iterations.
+#pragma once
+
+#include "nanocost/netlist/netlist.hpp"
+
+namespace nanocost::netlist {
+
+struct EstimateParams final {
+  double rent_exponent = 0.6;   ///< typical random logic: 0.5-0.7
+  /// Proportionality calibration; the default is fitted against the
+  /// annealing placer on generated logic at locality ~0.5.
+  double k = 1.0;
+};
+
+/// Estimated total wirelength in site units for a block of `sites`
+/// placement sites.
+[[nodiscard]] double estimate_total_wirelength(const Netlist& netlist, double sites,
+                                               const EstimateParams& params = {});
+
+/// Estimated average net length in site units.
+[[nodiscard]] double estimate_average_net_length(const Netlist& netlist, double sites,
+                                                 const EstimateParams& params = {});
+
+}  // namespace nanocost::netlist

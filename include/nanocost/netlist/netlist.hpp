@@ -1,0 +1,79 @@
+// Gate-level netlist.
+//
+// The design-side substrate for the paper's Sec.-2.4 story: logic
+// exists before layout, interconnect estimates must be made on the
+// netlist alone, and the gap between those estimates and placed
+// reality drives design iterations.  Gate types mirror the layout
+// module's standard cells, so a netlist can be synthesized into real
+// geometry and measured with the same density machinery.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace nanocost::netlist {
+
+/// Gate types; transistor counts and layout footprints match the
+/// layout module's standard-cell set.
+enum class GateType : std::uint8_t { kInv = 0, kNand2, kNor2, kDff };
+inline constexpr int kGateTypeCount = 4;
+
+[[nodiscard]] std::string gate_type_name(GateType type);
+/// Transistors per gate (inv 2, nand2/nor2 4, dff 20).
+[[nodiscard]] int transistors_in(GateType type);
+/// Fan-in pin count (inv 1, nand2/nor2 2, dff 2: data + clock).
+[[nodiscard]] int fanin_of(GateType type);
+
+/// A signal net: one driver (a gate or a primary input) and its sinks.
+struct Net final {
+  std::int32_t driver_gate = -1;     ///< -1 = primary input
+  std::vector<std::int32_t> sink_gates;
+
+  [[nodiscard]] int pin_count() const noexcept {
+    return static_cast<int>(sink_gates.size()) + 1;
+  }
+};
+
+/// One gate instance.
+struct Gate final {
+  GateType type = GateType::kInv;
+  std::vector<std::int32_t> input_nets;
+  std::int32_t output_net = -1;
+};
+
+/// A flat combinational/sequential netlist.
+class Netlist final {
+ public:
+  /// Creates a primary-input net; returns its id.
+  std::int32_t add_primary_input();
+
+  /// Creates a gate driving a fresh net; `inputs` must be existing net
+  /// ids with the type's fan-in arity.  Returns the gate id.
+  std::int32_t add_gate(GateType type, const std::vector<std::int32_t>& inputs);
+
+  [[nodiscard]] const std::vector<Gate>& gates() const noexcept { return gates_; }
+  [[nodiscard]] const std::vector<Net>& nets() const noexcept { return nets_; }
+  [[nodiscard]] std::int32_t gate_count() const noexcept {
+    return static_cast<std::int32_t>(gates_.size());
+  }
+  [[nodiscard]] std::int32_t net_count() const noexcept {
+    return static_cast<std::int32_t>(nets_.size());
+  }
+  [[nodiscard]] std::int32_t output_net_of(std::int32_t gate) const {
+    return gates_.at(static_cast<std::size_t>(gate)).output_net;
+  }
+
+  /// Total transistors across all gates.
+  [[nodiscard]] std::int64_t transistor_count() const;
+  /// Gates per type.
+  [[nodiscard]] std::vector<std::int32_t> type_histogram() const;
+  /// Mean sinks per driven net.
+  [[nodiscard]] double average_fanout() const;
+
+ private:
+  std::vector<Gate> gates_;
+  std::vector<Net> nets_;
+};
+
+}  // namespace nanocost::netlist

@@ -1,0 +1,43 @@
+// Netlist-to-layout synthesis: the bridge from the design world to the
+// manufacturing world.
+//
+// Takes a placed netlist and emits real geometry -- each gate's
+// standard-cell master placed in its row, routing channels sized by the
+// placement's *measured* wiring demand -- so the resulting Design's
+// decompression index s_d is a consequence of the logic and the
+// placement quality, not an assumption.  This closes the paper's loop:
+// netlist -> placement -> layout -> s_d -> transistor cost.
+#pragma once
+
+#include <memory>
+
+#include "nanocost/layout/design.hpp"
+#include "nanocost/netlist/netlist.hpp"
+#include "nanocost/place/placer.hpp"
+
+namespace nanocost::place {
+
+struct SynthesisParams final {
+  units::Micrometers lambda{0.25};
+  /// Channel tracks provisioned per unit of average per-site wiring
+  /// demand (hpwl / sites); calibrated so ordinary placed logic lands
+  /// in the Table-A1 ASIC density range.
+  double tracks_per_channel_row = 4.0;
+  /// Minimum channel height in half-lambda units.
+  layout::Coord min_channel = 8;
+};
+
+/// Result of synthesis.
+struct SynthesisResult final {
+  layout::Design design;
+  double placed_hpwl_sites = 0.0;     ///< HPWL of the input placement
+  layout::Coord channel_height = 0;   ///< chosen channel height (units)
+};
+
+/// Emits geometry for `netlist` under `placement`.  Gates are packed
+/// left-to-right in their placement rows with their real cell widths.
+[[nodiscard]] SynthesisResult synthesize(const netlist::Netlist& netlist,
+                                         const Placement& placement,
+                                         const SynthesisParams& params = {});
+
+}  // namespace nanocost::place

@@ -1,0 +1,58 @@
+// Design rules: the lambda-normalized geometric constraints of a
+// process generation.  Scalable-CMOS-style rules (widths and spacings
+// as small integer multiples of lambda) are what make the paper's
+// "lambda^2 squares per transistor" a process-independent measure in
+// the first place: the same drawn layout is legal at any node.
+#pragma once
+
+#include <vector>
+
+#include "nanocost/layout/types.hpp"
+#include "nanocost/units/length.hpp"
+
+namespace nanocost::process {
+
+/// Per-layer width/spacing rule, in units of lambda.
+struct LayerRule final {
+  double min_width_lambda = 1.0;
+  double min_spacing_lambda = 1.0;
+
+  [[nodiscard]] double min_pitch_lambda() const noexcept {
+    return min_width_lambda + min_spacing_lambda;
+  }
+};
+
+/// A full rule deck for one process generation.
+class DesignRules final {
+ public:
+  /// Scalable-CMOS-style deck at feature size `lambda`: diffusion and
+  /// poly at 1 lambda width, metal widening with layer number (upper
+  /// metals are thicker and coarser), contacts/vias at 1 lambda.
+  [[nodiscard]] static DesignRules scalable_cmos(units::Micrometers lambda);
+
+  [[nodiscard]] units::Micrometers lambda() const noexcept { return lambda_; }
+  [[nodiscard]] const LayerRule& rule(layout::Layer layer) const noexcept;
+
+  /// Physical minimum width / spacing / pitch of a layer.
+  [[nodiscard]] units::Micrometers min_width(layout::Layer layer) const noexcept;
+  [[nodiscard]] units::Micrometers min_spacing(layout::Layer layer) const noexcept;
+  [[nodiscard]] units::Micrometers min_pitch(layout::Layer layer) const noexcept;
+
+  /// Routing tracks per mm available on a layer at minimum pitch.
+  [[nodiscard]] double tracks_per_mm(layout::Layer layer) const noexcept;
+
+  /// Checks a flat rectangle list against width rules; returns the
+  /// number of violations (rectangles narrower than the layer minimum
+  /// in either dimension).  Spacing checks need a full DRC engine and
+  /// are out of scope; width violations already catch malformed
+  /// generator output.
+  [[nodiscard]] std::int64_t count_width_violations(
+      const std::vector<layout::Rect>& rects) const noexcept;
+
+ private:
+  explicit DesignRules(units::Micrometers lambda);
+  units::Micrometers lambda_;
+  LayerRule rules_[layout::kLayerCount];
+};
+
+}  // namespace nanocost::process

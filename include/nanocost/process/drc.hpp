@@ -1,0 +1,50 @@
+// DRC-lite: same-layer minimum-spacing checking on flat geometry.
+//
+// Complements DesignRules::count_width_violations with the harder half
+// of a width/space deck: for every layer, no two distinct rectangles
+// may be closer than the layer's minimum spacing (touching/abutting
+// rectangles are treated as connected and allowed).  Uses the same
+// spatial-hash approach as the transistor counter, so it stays O(n)
+// on grid-like layouts.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nanocost/layout/cell.hpp"
+#include "nanocost/process/design_rules.hpp"
+
+namespace nanocost::process {
+
+/// One spacing violation: the two offending rectangles and their gap.
+struct SpacingViolation final {
+  layout::Rect a{};
+  layout::Rect b{};
+  double gap_lambda = 0.0;       ///< actual gap in lambda
+  double required_lambda = 0.0;  ///< the rule
+};
+
+/// Result of a DRC pass.
+struct DrcResult final {
+  std::int64_t rects_checked = 0;
+  std::int64_t width_violations = 0;
+  std::int64_t spacing_violation_count = 0;
+  /// First `max_reported` violations, for diagnosis.
+  std::vector<SpacingViolation> spacing_violations;
+
+  [[nodiscard]] bool clean() const noexcept {
+    return width_violations == 0 && spacing_violation_count == 0;
+  }
+};
+
+/// Checks flat geometry against the rule deck.  `max_reported` caps the
+/// stored violation list (counting continues).
+[[nodiscard]] DrcResult check_rules(const std::vector<layout::Rect>& rects,
+                                    const DesignRules& rules,
+                                    std::size_t max_reported = 100);
+
+/// Flattens `top` and checks it.
+[[nodiscard]] DrcResult check_rules(const layout::Cell& top, const DesignRules& rules,
+                                    std::size_t max_reported = 100);
+
+}  // namespace nanocost::process

@@ -1,0 +1,49 @@
+// Interconnect scaling: why timing prediction gets harder every node.
+//
+// The paper's Sec. 2.4: "timing closure would be much easier ... if it
+// were possible during logic synthesis to predict interconnect delays".
+// The physics behind that remark is here: as lambda shrinks, wire
+// resistance per length grows ~1/lambda^2 while capacitance per length
+// stays roughly constant, so RC delay per mm grows ~1/lambda^2 while
+// gate delay *falls* ~lambda -- wires take over the critical path and
+// a synthesis-time estimate without placement knowledge is off by
+// whole gate delays.
+#pragma once
+
+#include "nanocost/units/length.hpp"
+
+namespace nanocost::process {
+
+/// First-order electrical model of one process generation's wiring.
+class InterconnectModel final {
+ public:
+  /// Period-typical model at feature size `lambda`: aluminum/copper mix
+  /// sheet resistance and plate+fringe capacitance anchored at the
+  /// 0.25 um node (R = 60 ohm/mm, C = 0.20 pF/mm, gate delay 80 ps).
+  [[nodiscard]] static InterconnectModel for_feature_size(units::Micrometers lambda);
+
+  InterconnectModel(double r_ohm_per_mm, double c_pf_per_mm, double gate_delay_ps);
+
+  [[nodiscard]] double resistance_ohm_per_mm() const noexcept { return r_; }
+  [[nodiscard]] double capacitance_pf_per_mm() const noexcept { return c_; }
+  [[nodiscard]] double gate_delay_ps() const noexcept { return gate_delay_ps_; }
+
+  /// Elmore delay of a wire of length `mm`, in ps (0.5 R C L^2).
+  [[nodiscard]] double wire_delay_ps(double length_mm) const;
+
+  /// Wire length at which wire delay equals one gate delay -- the
+  /// radius within which synthesis-time estimates are safe.  Shrinks
+  /// with the node.
+  [[nodiscard]] double critical_length_mm() const;
+
+  /// Delay of `length_mm` of wire broken by optimally-placed repeaters
+  /// (linearizes the quadratic; each repeater costs one gate delay).
+  [[nodiscard]] double repeated_wire_delay_ps(double length_mm) const;
+
+ private:
+  double r_;              // ohm per mm
+  double c_;              // pF per mm
+  double gate_delay_ps_;  // FO4-class gate delay
+};
+
+}  // namespace nanocost::process

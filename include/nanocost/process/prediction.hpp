@@ -1,0 +1,81 @@
+// Prediction-quality model: the mechanism behind eq. (6).
+//
+// Sec. 2.4 of the paper attributes design cost to "the number of design
+// iterations ... a direct derivative of our ability to correctly
+// predict all the consequences of design decisions", and Sec. 3.2 notes
+// the interaction neighborhood that must be simulated "is growing ...
+// as minimum feature size decreases".  This module turns those
+// sentences into a model:
+//
+//   - the physical interaction radius (optical proximity, coupling) is
+//     fixed in nanometers, so the *neighborhood in lambda units* grows
+//     as lambda shrinks;
+//   - pre-layout estimate error sigma grows with that neighborhood;
+//   - a design iteration succeeds when the realized timing lands inside
+//     the margin, P(success) = Phi(margin / sigma);
+//   - expected iterations = 1 / P(success) (geometric trials),
+//
+// which yields a node-dependent calibration of eq. (6)'s A0 and
+// quantifies the paper's two escape hatches: relax the margin, or
+// shrink the effective sigma by precharacterizing repeated patterns.
+#pragma once
+
+#include "nanocost/cost/design_cost.hpp"
+#include "nanocost/units/length.hpp"
+
+namespace nanocost::process {
+
+/// Parameters of the prediction-quality model.
+struct PredictionParams final {
+  /// Physical interaction radius (lithography + coupling), fixed per
+  /// era in nanometers.
+  units::Nanometers interaction_radius{500.0};
+  /// Relative estimate error when the neighborhood is one cell
+  /// (the "easy" regime of large lambda).
+  double base_sigma = 0.04;
+  /// Error growth exponent with neighborhood cell count.
+  double sigma_exponent = 0.5;
+  /// Design margin as a fraction of the target (10% timing slack).
+  double margin = 0.15;
+};
+
+class PredictionModel final {
+ public:
+  PredictionModel(units::Micrometers lambda, PredictionParams params = {});
+
+  /// Number of lambda-sized cells inside the interaction radius --
+  /// the neighborhood a correct pre-layout estimate must account for.
+  [[nodiscard]] double neighborhood_cells() const;
+
+  /// Relative sigma of pre-layout estimates at this node.
+  [[nodiscard]] double estimate_sigma() const;
+
+  /// P(one design iteration converges), Phi(margin / sigma).
+  [[nodiscard]] double iteration_success_probability() const;
+  [[nodiscard]] double iteration_success_probability(double margin) const;
+
+  /// Expected iterations to convergence (geometric distribution).
+  [[nodiscard]] double expected_iterations() const;
+  [[nodiscard]] double expected_iterations(double margin) const;
+
+  /// Eq.-6 parameters with A0 scaled by the node's expected iteration
+  /// count relative to a reference node -- the mechanistic calibration
+  /// of the paper's "tuning parameters ... capture the cost of
+  /// unsuccessful design iterations".
+  [[nodiscard]] cost::DesignCostParams calibrate_design_cost(
+      const cost::DesignCostParams& base, units::Micrometers reference_lambda) const;
+
+  /// Effective sigma when a fraction `regular_share` of the layout is
+  /// precharacterized repeated patterns whose behavior is *measured*,
+  /// not estimated (sigma contribution ~ 0 for that share).
+  [[nodiscard]] double sigma_with_regularity(double regular_share) const;
+
+  [[nodiscard]] units::Micrometers lambda() const noexcept { return lambda_; }
+  [[nodiscard]] const PredictionParams& params() const noexcept { return params_; }
+
+ private:
+  units::Micrometers lambda_;
+  PredictionParams params_;
+};
+
+}  // namespace nanocost::process

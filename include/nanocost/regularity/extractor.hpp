@@ -1,0 +1,65 @@
+// Repetitive-pattern extraction, after Niewczas/Maly/Strojwas (TCAD'99,
+// ref [33] of the paper): determine how much of a layout is built from
+// repeated geometric patterns.
+//
+// Method: tile the flattened layout with a square window grid; each
+// window's clipped geometry, normalized to the window origin (and
+// optionally canonicalized over the eight layout orientations), is
+// fingerprinted.  The census of fingerprints tells how many *unique*
+// patterns the design uses and what fraction of the area the most-reused
+// patterns cover -- exactly the quantity Sec. 3.2 of the paper argues
+// must be kept small to contain nanometer design cost.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nanocost/layout/cell.hpp"
+
+namespace nanocost::regularity {
+
+/// Extraction parameters.
+struct ExtractorParams final {
+  /// Window edge in database units; patterns repeat at this granularity.
+  layout::Coord window = 64;
+  /// Canonicalize each window under the 8 orientations, so a mirrored
+  /// row of standard cells matches its unmirrored twin.
+  bool orientation_invariant = false;
+  /// Skip windows containing no geometry (empty area is trivially
+  /// regular and would otherwise inflate regularity scores).
+  bool ignore_empty_windows = true;
+};
+
+/// One pattern class in the census.
+struct PatternClass final {
+  std::uint64_t fingerprint = 0;
+  std::int64_t occurrences = 0;
+  std::int32_t rect_count = 0;  ///< rectangles per occurrence
+};
+
+/// Result of a pattern extraction pass.
+struct RegularityReport final {
+  std::int64_t total_windows = 0;     ///< windows counted (per ignore_empty_windows)
+  std::int64_t empty_windows = 0;     ///< geometry-free windows seen
+  std::int64_t unique_patterns = 0;   ///< distinct fingerprints
+  /// Census sorted by occurrences, descending.
+  std::vector<PatternClass> census;
+
+  /// 1 - unique/total: 0 for all-distinct layouts, -> 1 for perfect arrays.
+  [[nodiscard]] double regularity_index() const noexcept;
+  /// Fraction of (non-empty) windows covered by the k most common patterns.
+  [[nodiscard]] double top_k_coverage(std::int64_t k) const noexcept;
+  /// Shannon entropy of the pattern distribution, in bits; log2(total)
+  /// for all-distinct layouts, 0 for a single repeated pattern.
+  [[nodiscard]] double pattern_entropy_bits() const noexcept;
+};
+
+/// Extracts the pattern census of `top`, flattened.
+[[nodiscard]] RegularityReport extract_patterns(const layout::Cell& top,
+                                                const ExtractorParams& params = {});
+
+/// Extracts from an explicit flat rectangle list (world coordinates).
+[[nodiscard]] RegularityReport extract_patterns(const std::vector<layout::Rect>& rects,
+                                                const ExtractorParams& params = {});
+
+}  // namespace nanocost::regularity

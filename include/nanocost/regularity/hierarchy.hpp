@@ -1,0 +1,43 @@
+// Hierarchical reuse statistics: regularity as seen through the cell
+// hierarchy rather than the flattened geometry.
+//
+// The window extractor (extractor.hpp) measures *geometric* repetition;
+// this measures *declared* repetition -- how much of the design is
+// instances of shared masters.  A perfectly arrayed SRAM is regular by
+// both measures; a sea of distinct flat polygons by neither; a design
+// that copy-pastes geometry without hierarchy is regular geometrically
+// but not hierarchically (and only the extractor catches it).
+#pragma once
+
+#include <cstdint>
+
+#include "nanocost/layout/cell.hpp"
+
+namespace nanocost::regularity {
+
+/// Reuse statistics of a cell hierarchy.
+struct HierarchyReport final {
+  std::int64_t unique_cells = 0;        ///< masters reachable from the top
+  std::int64_t total_placements = 0;    ///< flattened instance count (arrays expanded)
+  std::int64_t flat_rects = 0;          ///< flattened rectangle count
+  std::int64_t master_rects = 0;        ///< rectangles drawn once, in masters
+
+  /// Placements per master: 1 for a flat design, huge for arrays.
+  [[nodiscard]] double reuse_factor() const noexcept {
+    return unique_cells > 0
+               ? static_cast<double>(total_placements) / static_cast<double>(unique_cells)
+               : 0.0;
+  }
+  /// Geometry compression from hierarchy: flat rects per drawn rect.
+  [[nodiscard]] double compression() const noexcept {
+    return master_rects > 0
+               ? static_cast<double>(flat_rects) / static_cast<double>(master_rects)
+               : 0.0;
+  }
+};
+
+/// Walks the hierarchy under `top` (the top cell itself counts as one
+/// placement of one master).
+[[nodiscard]] HierarchyReport analyze_hierarchy(const layout::Cell& top);
+
+}  // namespace nanocost::regularity

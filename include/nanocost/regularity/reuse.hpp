@@ -1,0 +1,39 @@
+// Simulation-reuse economics of regularity (paper Sec. 3.2).
+//
+// The paper's argument: nanometer-accurate simulation/characterization
+// is so expensive that its results must be *reused* across repeated
+// patterns ("this way one will be able to increase an effective volume
+// used in the computation of C_DE").  We model that as:
+//
+//   - characterization cost proportional to the number of unique
+//     patterns (each unique pattern is simulated once), and
+//   - an effective-volume multiplier when patterns are shared across a
+//     product family.
+#pragma once
+
+#include "nanocost/regularity/extractor.hpp"
+#include "nanocost/units/money.hpp"
+
+namespace nanocost::regularity {
+
+/// Cost of precharacterizing a design's pattern set: unique patterns
+/// times the per-pattern simulation cost.
+[[nodiscard]] units::Money characterization_cost(const RegularityReport& report,
+                                                 units::Money cost_per_pattern);
+
+/// Design-effort scale factor in [min_scale, 1]: the fraction of design
+/// verification effort that remains after reusing characterized
+/// patterns.  A fully regular design (one pattern) approaches
+/// `min_scale` (irreducible integration effort); an all-unique design
+/// pays full price.  Interpolates on the unique-pattern *fraction*.
+[[nodiscard]] double design_effort_scale(const RegularityReport& report,
+                                         double min_scale = 0.1);
+
+/// Effective volume multiplier when `products_sharing` products in a
+/// family reuse this design's pattern library: per-product
+/// characterization cost divides by the sharing count, which is how the
+/// paper proposes regularity "increases the effective volume" in eq. (5).
+[[nodiscard]] double effective_volume_multiplier(const RegularityReport& report,
+                                                 int products_sharing);
+
+}  // namespace nanocost::regularity

@@ -1,0 +1,37 @@
+// Window-size sweep: regularity is scale-dependent.
+//
+// A std-cell row is irregular at bitcell granularity but regular at row
+// granularity; an SRAM is regular at every scale from the bitcell up.
+// Sweeping the extractor's window exposes the *characteristic scale* of
+// a design's repetition -- the right granularity at which to
+// precharacterize patterns (too small: patterns cross windows; too
+// large: every window unique).
+#pragma once
+
+#include <vector>
+
+#include "nanocost/regularity/extractor.hpp"
+
+namespace nanocost::regularity {
+
+/// One sweep sample.
+struct WindowSweepPoint final {
+  layout::Coord window = 0;
+  std::int64_t total_windows = 0;
+  std::int64_t unique_patterns = 0;
+  double regularity_index = 0.0;
+};
+
+/// Runs the extractor at each window size (geometric ladder from
+/// `min_window`, doubling, `steps` sizes) and reports the census shape.
+[[nodiscard]] std::vector<WindowSweepPoint> sweep_windows(
+    const layout::Cell& top, layout::Coord min_window, int steps,
+    bool orientation_invariant = false);
+
+/// The sweep's best window: the largest window size whose regularity
+/// index stays within `tolerance` of the sweep's maximum -- bigger
+/// windows amortize more geometry per characterized pattern.
+[[nodiscard]] WindowSweepPoint characteristic_scale(
+    const std::vector<WindowSweepPoint>& sweep, double tolerance = 0.05);
+
+}  // namespace nanocost::regularity

@@ -1,0 +1,33 @@
+// Minimal ASCII charts so every bench can show the *shape* of the
+// figure it reproduces directly in the terminal output.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace nanocost::report {
+
+/// One named series of (x, y) points.
+struct Series final {
+  std::string name;
+  char marker = '*';
+  std::vector<std::pair<double, double>> points;
+};
+
+/// Axis scaling for the chart.
+enum class Scale { kLinear, kLog };
+
+struct ChartOptions final {
+  int width = 72;    ///< plot area columns
+  int height = 20;   ///< plot area rows
+  Scale x_scale = Scale::kLinear;
+  Scale y_scale = Scale::kLinear;
+  std::string x_label;
+  std::string y_label;
+};
+
+/// Renders the series as an ASCII scatter chart with axis annotations.
+[[nodiscard]] std::string render_chart(const std::vector<Series>& series,
+                                       const ChartOptions& options = {});
+
+}  // namespace nanocost::report

@@ -1,0 +1,26 @@
+// ASCII tables and CSV emission for benches and examples.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace nanocost::report {
+
+/// Column-aligned ASCII table.
+class Table final {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Cell count must match the header count.
+  void add_row(std::vector<std::string> cells);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+  [[nodiscard]] std::string to_string() const;
+  [[nodiscard]] std::string to_csv() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace nanocost::report

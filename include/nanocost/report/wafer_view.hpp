@@ -1,0 +1,23 @@
+// ASCII wafer maps: the fab's eye view of a lot, in the terminal.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "nanocost/geometry/wafer_map.hpp"
+
+namespace nanocost::report {
+
+/// Renders the wafer map with one character per die site, provided by
+/// `site_char(site_index)`; positions without a die print as spaces
+/// inside the wafer outline and the area outside the wafer as blanks.
+/// A trailing legend line is the caller's business.
+[[nodiscard]] std::string render_wafer_map(
+    const geometry::WaferMap& map,
+    const std::function<char(std::int64_t)>& site_char);
+
+/// Convenience: good/bad view ('o' good, 'X' bad).
+[[nodiscard]] std::string render_good_bad(const geometry::WaferMap& map,
+                                          const std::function<bool(std::int64_t)>& is_good);
+
+}  // namespace nanocost::report

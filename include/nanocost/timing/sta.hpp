@@ -1,0 +1,62 @@
+// Static timing analysis over a (placed or unplaced) netlist.
+//
+// The concrete form of the paper's Sec.-2.4 problem: "timing closure
+// would be much easier ... if it were possible during logic synthesis
+// to predict interconnect delays.  But often this can only be done
+// successfully after synthesis is accomplished."  This module computes
+// the critical path twice:
+//   - pre-placement, with every net at the Rent-estimated average
+//     length (all synthesis can know), and
+//   - post-placement, with each net at its real HPWL through the
+//     node's interconnect model (repeater-optimal long wires);
+// the gap between the two answers is the timing-closure surprise that
+// forces iterations.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "nanocost/netlist/netlist.hpp"
+#include "nanocost/place/placer.hpp"
+#include "nanocost/process/interconnect.hpp"
+#include "nanocost/units/length.hpp"
+
+namespace nanocost::timing {
+
+/// Physical context of the analysis.
+struct TimingParams final {
+  units::Micrometers lambda{0.25};
+  /// Placement-site pitch in micrometers (site-unit -> distance).
+  double site_pitch_um = 6.0;
+  /// Row pitch in site-pitch multiples (matches the placer's row_weight).
+  double row_weight = 2.0;
+  /// Per-type delay in gate-delay units (inv 1.0 by definition).
+  double type_delay[netlist::kGateTypeCount] = {1.0, 1.5, 1.5, 2.0};
+};
+
+/// Result of one STA pass.
+struct TimingResult final {
+  double critical_path_ps = 0.0;
+  /// Gates on the critical path, source to endpoint.
+  std::vector<std::int32_t> critical_path;
+  /// Arrival time at each net (ps).
+  std::vector<double> net_arrival_ps;
+  double total_gate_delay_ps = 0.0;  ///< gate contribution on the critical path
+  double total_wire_delay_ps = 0.0;  ///< wire contribution on the critical path
+};
+
+/// Post-placement STA: wire delays from each net's real HPWL.
+[[nodiscard]] TimingResult analyze_placed(const netlist::Netlist& netlist,
+                                          const place::Placement& placement,
+                                          const TimingParams& params = {});
+
+/// Pre-placement STA: every net at the estimated average length for a
+/// block of `sites` placement sites.
+[[nodiscard]] TimingResult analyze_estimated(const netlist::Netlist& netlist, double sites,
+                                             const TimingParams& params = {});
+
+/// The closure gap: (placed - estimated) / estimated critical path.
+/// Positive = the placed design is slower than synthesis promised.
+[[nodiscard]] double closure_gap(const TimingResult& estimated, const TimingResult& placed);
+
+}  // namespace nanocost::timing

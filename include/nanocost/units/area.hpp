@@ -1,0 +1,63 @@
+// Area units and the length*length products that produce them.
+#pragma once
+
+#include "nanocost/units/length.hpp"
+#include "nanocost/units/quantity.hpp"
+
+namespace nanocost::units {
+
+class SquareCentimeters;
+
+/// Drawn-geometry scale area.
+class SquareMicrometers final : public Quantity<SquareMicrometers> {
+ public:
+  using Quantity::Quantity;
+  [[nodiscard]] constexpr SquareCentimeters to_square_centimeters() const noexcept;
+};
+
+/// Die/wafer scale area; the unit the paper's C_sq is normalized to.
+class SquareCentimeters final : public Quantity<SquareCentimeters> {
+ public:
+  using Quantity::Quantity;
+  [[nodiscard]] constexpr SquareMicrometers to_square_micrometers() const noexcept;
+};
+
+constexpr SquareCentimeters SquareMicrometers::to_square_centimeters() const noexcept {
+  return SquareCentimeters{value_ * 1e-8};
+}
+constexpr SquareMicrometers SquareCentimeters::to_square_micrometers() const noexcept {
+  return SquareMicrometers{value_ * 1e8};
+}
+
+[[nodiscard]] constexpr SquareMicrometers operator*(Micrometers a, Micrometers b) noexcept {
+  return SquareMicrometers{a.value() * b.value()};
+}
+[[nodiscard]] constexpr SquareCentimeters operator*(Centimeters a, Centimeters b) noexcept {
+  return SquareCentimeters{a.value() * b.value()};
+}
+[[nodiscard]] constexpr SquareCentimeters operator*(Millimeters a, Millimeters b) noexcept {
+  return SquareCentimeters{a.value() * b.value() * 1e-2};
+}
+
+/// Area of a lambda^2 square at feature size `lambda` -- the unit in which
+/// the paper's design decompression index s_d counts layout area.
+[[nodiscard]] constexpr SquareMicrometers lambda_square(Micrometers lambda) noexcept {
+  return lambda * lambda;
+}
+
+namespace literals {
+constexpr SquareCentimeters operator""_cm2(long double v) {
+  return SquareCentimeters{static_cast<double>(v)};
+}
+constexpr SquareCentimeters operator""_cm2(unsigned long long v) {
+  return SquareCentimeters{static_cast<double>(v)};
+}
+constexpr SquareMicrometers operator""_um2(long double v) {
+  return SquareMicrometers{static_cast<double>(v)};
+}
+constexpr SquareMicrometers operator""_um2(unsigned long long v) {
+  return SquareMicrometers{static_cast<double>(v)};
+}
+}  // namespace literals
+
+}  // namespace nanocost::units

@@ -1,0 +1,34 @@
+// Human-readable formatting for quantities in reports and benches.
+#pragma once
+
+#include <string>
+
+#include "nanocost/units/area.hpp"
+#include "nanocost/units/length.hpp"
+#include "nanocost/units/money.hpp"
+#include "nanocost/units/probability.hpp"
+
+namespace nanocost::units {
+
+/// "1.23e-05 $" style for tiny per-transistor costs, "$12.3M" for NRE.
+[[nodiscard]] std::string format_money(Money m);
+
+/// Fixed-point with `digits` decimals; no unit suffix.
+[[nodiscard]] std::string format_fixed(double v, int digits);
+
+/// Scientific with `digits` significant decimals, e.g. "3.142e-07".
+[[nodiscard]] std::string format_sci(double v, int digits);
+
+/// "0.25 um" / "180 nm" -- picks nm below 1 um.
+[[nodiscard]] std::string format_feature_size(Micrometers lambda);
+
+/// "1.95 cm^2".
+[[nodiscard]] std::string format_area(SquareCentimeters a);
+
+/// "87.3%".
+[[nodiscard]] std::string format_percent(Probability p);
+
+/// Engineering notation with SI suffix: 12500000 -> "12.5M".
+[[nodiscard]] std::string format_si(double v);
+
+}  // namespace nanocost::units

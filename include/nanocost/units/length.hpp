@@ -1,0 +1,96 @@
+// Length units.  IC geometry mixes three natural scales: nanometers for
+// feature sizes on a roadmap, micrometers for drawn geometry, and
+// centimeters/millimeters for dice and wafers.  Each is a distinct strong
+// type with explicit, exact conversions.
+#pragma once
+
+#include "nanocost/units/quantity.hpp"
+
+namespace nanocost::units {
+
+class Micrometers;
+class Centimeters;
+class Millimeters;
+
+/// Feature-size scale length (roadmap nodes: 180 nm, 130 nm, ...).
+class Nanometers final : public Quantity<Nanometers> {
+ public:
+  using Quantity::Quantity;
+  [[nodiscard]] constexpr Micrometers to_micrometers() const noexcept;
+  [[nodiscard]] constexpr Centimeters to_centimeters() const noexcept;
+};
+
+/// Drawn-geometry scale length (minimum feature size lambda in the paper
+/// is quoted in micrometers, e.g. 0.25 um).
+class Micrometers final : public Quantity<Micrometers> {
+ public:
+  using Quantity::Quantity;
+  [[nodiscard]] constexpr Nanometers to_nanometers() const noexcept;
+  [[nodiscard]] constexpr Centimeters to_centimeters() const noexcept;
+  [[nodiscard]] constexpr Millimeters to_millimeters() const noexcept;
+};
+
+/// Die-edge / wafer scale length.
+class Millimeters final : public Quantity<Millimeters> {
+ public:
+  using Quantity::Quantity;
+  [[nodiscard]] constexpr Centimeters to_centimeters() const noexcept;
+  [[nodiscard]] constexpr Micrometers to_micrometers() const noexcept;
+};
+
+/// Wafer scale length; the paper quotes areas in cm^2.
+class Centimeters final : public Quantity<Centimeters> {
+ public:
+  using Quantity::Quantity;
+  [[nodiscard]] constexpr Micrometers to_micrometers() const noexcept;
+  [[nodiscard]] constexpr Millimeters to_millimeters() const noexcept;
+};
+
+constexpr Micrometers Nanometers::to_micrometers() const noexcept {
+  return Micrometers{value_ * 1e-3};
+}
+constexpr Centimeters Nanometers::to_centimeters() const noexcept {
+  return Centimeters{value_ * 1e-7};
+}
+constexpr Nanometers Micrometers::to_nanometers() const noexcept {
+  return Nanometers{value_ * 1e3};
+}
+constexpr Centimeters Micrometers::to_centimeters() const noexcept {
+  return Centimeters{value_ * 1e-4};
+}
+constexpr Millimeters Micrometers::to_millimeters() const noexcept {
+  return Millimeters{value_ * 1e-3};
+}
+constexpr Centimeters Millimeters::to_centimeters() const noexcept {
+  return Centimeters{value_ * 1e-1};
+}
+constexpr Micrometers Millimeters::to_micrometers() const noexcept {
+  return Micrometers{value_ * 1e3};
+}
+constexpr Micrometers Centimeters::to_micrometers() const noexcept {
+  return Micrometers{value_ * 1e4};
+}
+constexpr Millimeters Centimeters::to_millimeters() const noexcept {
+  return Millimeters{value_ * 1e1};
+}
+
+namespace literals {
+constexpr Nanometers operator""_nm(long double v) { return Nanometers{static_cast<double>(v)}; }
+constexpr Nanometers operator""_nm(unsigned long long v) {
+  return Nanometers{static_cast<double>(v)};
+}
+constexpr Micrometers operator""_um(long double v) { return Micrometers{static_cast<double>(v)}; }
+constexpr Micrometers operator""_um(unsigned long long v) {
+  return Micrometers{static_cast<double>(v)};
+}
+constexpr Millimeters operator""_mm(long double v) { return Millimeters{static_cast<double>(v)}; }
+constexpr Millimeters operator""_mm(unsigned long long v) {
+  return Millimeters{static_cast<double>(v)};
+}
+constexpr Centimeters operator""_cm(long double v) { return Centimeters{static_cast<double>(v)}; }
+constexpr Centimeters operator""_cm(unsigned long long v) {
+  return Centimeters{static_cast<double>(v)};
+}
+}  // namespace literals
+
+}  // namespace nanocost::units

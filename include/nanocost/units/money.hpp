@@ -1,0 +1,50 @@
+// Economic units: absolute dollars and per-area dollar rates.
+//
+// The paper's models live at the interface of these two: wafer cost C_w
+// and design/mask NRE (C_MA + C_DE) are Money; manufacturing cost per
+// unit area Cm_sq and design cost per unit area Cd_sq are CostPerArea;
+// their product with an area is Money again.
+#pragma once
+
+#include "nanocost/units/area.hpp"
+#include "nanocost/units/quantity.hpp"
+
+namespace nanocost::units {
+
+/// Absolute US dollars (the paper's only currency).
+class Money final : public Quantity<Money> {
+ public:
+  using Quantity::Quantity;
+};
+
+/// Dollars per square centimeter of fabricated silicon (the paper's
+/// C_sq / Cm_sq / Cd_sq).
+class CostPerArea final : public Quantity<CostPerArea> {
+ public:
+  using Quantity::Quantity;
+};
+
+[[nodiscard]] constexpr Money operator*(CostPerArea rate, SquareCentimeters area) noexcept {
+  return Money{rate.value() * area.value()};
+}
+[[nodiscard]] constexpr Money operator*(SquareCentimeters area, CostPerArea rate) noexcept {
+  return rate * area;
+}
+/// Amortizing an absolute cost over an area yields a per-area rate
+/// (eq. (5): Cd_sq = (C_MA + C_DE) / (N_w * A_w)).
+[[nodiscard]] constexpr CostPerArea operator/(Money total, SquareCentimeters area) {
+  return CostPerArea{total.value() / area.value()};
+}
+
+namespace literals {
+constexpr Money operator""_usd(long double v) { return Money{static_cast<double>(v)}; }
+constexpr Money operator""_usd(unsigned long long v) { return Money{static_cast<double>(v)}; }
+constexpr CostPerArea operator""_usd_per_cm2(long double v) {
+  return CostPerArea{static_cast<double>(v)};
+}
+constexpr CostPerArea operator""_usd_per_cm2(unsigned long long v) {
+  return CostPerArea{static_cast<double>(v)};
+}
+}  // namespace literals
+
+}  // namespace nanocost::units

@@ -1,0 +1,58 @@
+// Probability: a double constrained to [0, 1], used for yields,
+// utilization factors, and coverage fractions.
+#pragma once
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+namespace nanocost::units {
+
+/// A value in [0, 1].  Construction validates; arithmetic that could
+/// leave the interval is deliberately not provided -- compose via
+/// `value()` and re-wrap, so every re-entry into the type is re-checked.
+class Probability final {
+ public:
+  constexpr Probability() noexcept = default;
+
+  constexpr explicit Probability(double v) : value_(v) {
+    if (!(std::isfinite(v) && v >= 0.0 && v <= 1.0)) {
+      throw std::domain_error("Probability must lie in [0,1], got " + std::to_string(v));
+    }
+  }
+
+  /// Clamps instead of throwing; for numerical tails of otherwise-valid
+  /// model output (e.g. exp(-x) rounding to 1 + 1e-17).
+  [[nodiscard]] static Probability clamped(double v) noexcept {
+    if (!(v > 0.0)) return Probability{};      // also maps NaN to 0
+    if (v > 1.0) v = 1.0;
+    Probability p;
+    p.value_ = v;
+    return p;
+  }
+
+  [[nodiscard]] constexpr double value() const noexcept { return value_; }
+  [[nodiscard]] constexpr Probability complement() const noexcept {
+    Probability p;
+    p.value_ = 1.0 - value_;
+    return p;
+  }
+
+  /// Product of probabilities (independent events) stays in [0,1].
+  [[nodiscard]] friend constexpr Probability operator*(Probability a, Probability b) noexcept {
+    Probability p;
+    p.value_ = a.value_ * b.value_;
+    return p;
+  }
+
+  [[nodiscard]] friend constexpr auto operator<=>(Probability a, Probability b) noexcept = default;
+
+ private:
+  double value_ = 0.0;
+};
+
+namespace literals {
+inline Probability operator""_prob(long double v) { return Probability{static_cast<double>(v)}; }
+}  // namespace literals
+
+}  // namespace nanocost::units

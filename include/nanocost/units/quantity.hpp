@@ -1,0 +1,126 @@
+// Strong scalar-quantity base for physical and economic units.
+//
+// Every model parameter in this library (lengths, areas, dollars, yields)
+// is a distinct C++ type so that, e.g., a wafer cost can never be passed
+// where a per-area cost is expected.  The paper's cost formulas mix units
+// that are numerically close (dollars, $/cm^2, squares/transistor), which
+// makes this worth the small ceremony.
+#pragma once
+
+#include <cmath>
+#include <compare>
+#include <stdexcept>
+#include <string>
+
+namespace nanocost::units {
+
+/// CRTP base providing value storage, comparison and same-type linear
+/// arithmetic for a strong scalar quantity.
+///
+/// Derived types get: +, -, unary -, scalar * and /, compound ops,
+/// three-way comparison, and a `value()` accessor.  Cross-type products
+/// (length*length -> area, area * $/area -> $) are declared next to the
+/// types they involve, never here.
+template <typename Derived>
+class Quantity {
+ public:
+  constexpr Quantity() noexcept = default;
+  constexpr explicit Quantity(double v) noexcept : value_(v) {}
+
+  [[nodiscard]] constexpr double value() const noexcept { return value_; }
+
+  [[nodiscard]] friend constexpr Derived operator+(Derived a, Derived b) noexcept {
+    return Derived{a.value_ + b.value_};
+  }
+  [[nodiscard]] friend constexpr Derived operator-(Derived a, Derived b) noexcept {
+    return Derived{a.value_ - b.value_};
+  }
+  [[nodiscard]] friend constexpr Derived operator-(Derived a) noexcept {
+    return Derived{-a.value_};
+  }
+  [[nodiscard]] friend constexpr Derived operator*(Derived a, double k) noexcept {
+    return Derived{a.value_ * k};
+  }
+  [[nodiscard]] friend constexpr Derived operator*(double k, Derived a) noexcept {
+    return Derived{k * a.value_};
+  }
+  [[nodiscard]] friend constexpr Derived operator/(Derived a, double k) {
+    return Derived{a.value_ / k};
+  }
+  /// Ratio of two same-unit quantities is dimensionless.
+  [[nodiscard]] friend constexpr double operator/(Derived a, Derived b) {
+    return a.value_ / b.value_;
+  }
+
+  friend constexpr Derived& operator+=(Derived& a, Derived b) noexcept {
+    a.value_ += b.value_;
+    return a;
+  }
+  friend constexpr Derived& operator-=(Derived& a, Derived b) noexcept {
+    a.value_ -= b.value_;
+    return a;
+  }
+  friend constexpr Derived& operator*=(Derived& a, double k) noexcept {
+    a.value_ *= k;
+    return a;
+  }
+  friend constexpr Derived& operator/=(Derived& a, double k) {
+    a.value_ /= k;
+    return a;
+  }
+
+  [[nodiscard]] friend constexpr auto operator<=>(Derived a, Derived b) noexcept {
+    return a.value_ <=> b.value_;
+  }
+  [[nodiscard]] friend constexpr bool operator==(Derived a, Derived b) noexcept {
+    return a.value_ == b.value_;
+  }
+
+  [[nodiscard]] constexpr bool is_finite() const noexcept { return std::isfinite(value_); }
+  [[nodiscard]] constexpr bool is_positive() const noexcept { return value_ > 0.0; }
+  [[nodiscard]] constexpr bool is_non_negative() const noexcept { return value_ >= 0.0; }
+
+ protected:
+  double value_ = 0.0;
+};
+
+/// Throws std::domain_error unless `q` is finite and strictly positive.
+/// `what` names the offending parameter in the exception message.
+template <typename Derived>
+constexpr const Derived& require_positive(const Derived& q, const char* what) {
+  if (!(q.is_finite() && q.is_positive())) {
+    throw std::domain_error(std::string(what) + " must be finite and > 0, got " +
+                            std::to_string(q.value()));
+  }
+  return q;
+}
+
+/// Throws std::domain_error unless `q` is finite and >= 0.
+template <typename Derived>
+constexpr const Derived& require_non_negative(const Derived& q, const char* what) {
+  if (!(q.is_finite() && q.is_non_negative())) {
+    throw std::domain_error(std::string(what) + " must be finite and >= 0, got " +
+                            std::to_string(q.value()));
+  }
+  return q;
+}
+
+/// Plain-double validators used by models whose tuning exponents are
+/// intentionally dimensionless.
+inline double require_positive(double v, const char* what) {
+  if (!(std::isfinite(v) && v > 0.0)) {
+    throw std::domain_error(std::string(what) + " must be finite and > 0, got " +
+                            std::to_string(v));
+  }
+  return v;
+}
+
+inline double require_non_negative(double v, const char* what) {
+  if (!(std::isfinite(v) && v >= 0.0)) {
+    throw std::domain_error(std::string(what) + " must be finite and >= 0, got " +
+                            std::to_string(v));
+  }
+  return v;
+}
+
+}  // namespace nanocost::units

@@ -1,0 +1,47 @@
+// Composite yield: the scalar Y that enters the paper's cost equations
+// is the product of independent loss mechanisms, optionally combined
+// with the hardware-utilization factor u of Sec. 2.5 (the "uY"
+// substitution for FPGA-style parts).
+#pragma once
+
+#include <memory>
+
+#include "nanocost/units/area.hpp"
+#include "nanocost/units/probability.hpp"
+#include "nanocost/yield/models.hpp"
+
+namespace nanocost::yield {
+
+/// The loss stack of a die: wafer-level (gross) losses, defect-limited
+/// functional yield, and parametric yield.
+class CompositeYield final {
+ public:
+  CompositeYield(units::Probability gross, std::shared_ptr<const YieldModel> functional,
+                 units::Probability parametric);
+
+  /// Defaults: no gross or parametric loss, Murphy functional model.
+  CompositeYield();
+
+  [[nodiscard]] units::Probability gross() const noexcept { return gross_; }
+  [[nodiscard]] units::Probability parametric() const noexcept { return parametric_; }
+  [[nodiscard]] const YieldModel& functional_model() const noexcept { return *functional_; }
+
+  /// Total yield for a die of the given area at the given defect
+  /// density and critical-area ratio.
+  [[nodiscard]] units::Probability total(units::SquareCentimeters die_area,
+                                         double defect_density_per_cm2,
+                                         double critical_area_ratio = 1.0) const;
+
+ private:
+  units::Probability gross_;
+  std::shared_ptr<const YieldModel> functional_;
+  units::Probability parametric_;
+};
+
+/// The paper's Sec.-2.5 effective yield for partially-utilized hardware
+/// (e.g. FPGAs): substituting uY for Y in eqs. (3)/(4) prices each
+/// *useful* transistor, not each fabricated one.
+[[nodiscard]] units::Probability effective_yield(units::Probability yield,
+                                                 units::Probability utilization);
+
+}  // namespace nanocost::yield

@@ -1,0 +1,43 @@
+// Yield learning: defect density declining with process maturity.
+//
+// The paper notes (Sec. 2.5) that yield is "a complex function of wafer
+// diameter, minimum feature size, design density, process maturity as
+// well as volume".  Maturity and volume enter through the learning
+// curve: every new process starts with a high defect density that decays
+// toward a mature floor as wafers move through the line.
+#pragma once
+
+#include "nanocost/units/quantity.hpp"
+
+namespace nanocost::yield {
+
+/// Exponential defect-density learning curve over cumulative wafer count:
+///   D(n) = D_floor + (D_start - D_floor) * exp(-n / ramp_wafers)
+class LearningCurve final {
+ public:
+  LearningCurve(double start_density_per_cm2, double floor_density_per_cm2, double ramp_wafers);
+
+  /// A period-typical curve for a process at minimum feature size
+  /// lambda_um: both start and floor density grow as the feature size
+  /// shrinks (smaller defects become killers), and the ramp lengthens
+  /// (more process steps to learn).
+  [[nodiscard]] static LearningCurve for_feature_size_um(double lambda_um);
+
+  /// Defect density after n cumulative wafers.
+  [[nodiscard]] double density_at(double cumulative_wafers) const;
+
+  /// Average defect density over a production run of n wafers starting
+  /// at maturity 0 -- what a whole-product cost model should use.
+  [[nodiscard]] double average_density_over(double run_wafers) const;
+
+  [[nodiscard]] double start_density() const noexcept { return start_; }
+  [[nodiscard]] double floor_density() const noexcept { return floor_; }
+  [[nodiscard]] double ramp_wafers() const noexcept { return ramp_; }
+
+ private:
+  double start_;
+  double floor_;
+  double ramp_;
+};
+
+}  // namespace nanocost::yield

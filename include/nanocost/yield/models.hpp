@@ -1,0 +1,85 @@
+// Functional (defect-limited) yield models.
+//
+// All classic die-yield models are functions of the mean number of
+// faults per die, lambda = D0 * A_crit (defect density times critical
+// area).  The paper treats Y as a scalar in eqs. (1),(3),(4) and as
+// Y(A_w, lambda, N_w, s_d, N_tr) in eq. (7); this module supplies the
+// model family those dependencies run through.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "nanocost/units/area.hpp"
+#include "nanocost/units/probability.hpp"
+
+namespace nanocost::yield {
+
+/// Abstract die-level functional yield model: maps mean faults per die
+/// to the probability that a die is fully functional.
+class YieldModel {
+ public:
+  virtual ~YieldModel() = default;
+
+  /// Yield as a function of mean faults per die (>= 0).
+  [[nodiscard]] virtual units::Probability yield(double mean_faults_per_die) const = 0;
+
+  /// Human-readable model name for reports.
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Convenience: lambda = density * area, then yield(lambda).
+  [[nodiscard]] units::Probability yield_for_die(units::SquareCentimeters die_area,
+                                                 double defect_density_per_cm2,
+                                                 double critical_area_ratio = 1.0) const;
+};
+
+/// Poisson model: Y = exp(-lambda).  Uncorrelated point defects; the most
+/// pessimistic of the classic models for large dies.
+class PoissonYield final : public YieldModel {
+ public:
+  [[nodiscard]] units::Probability yield(double mean_faults_per_die) const override;
+  [[nodiscard]] std::string name() const override { return "poisson"; }
+};
+
+/// Murphy's model: Y = ((1 - exp(-lambda)) / lambda)^2.  Triangular
+/// compounding of defect density; the 1999 ITRS's default.
+class MurphyYield final : public YieldModel {
+ public:
+  [[nodiscard]] units::Probability yield(double mean_faults_per_die) const override;
+  [[nodiscard]] std::string name() const override { return "murphy"; }
+};
+
+/// Seeds' model: Y = exp(-sqrt(lambda)).  Strong large-area optimism.
+class SeedsYield final : public YieldModel {
+ public:
+  [[nodiscard]] units::Probability yield(double mean_faults_per_die) const override;
+  [[nodiscard]] std::string name() const override { return "seeds"; }
+};
+
+/// Bose-Einstein / Price model: Y = 1 / (1 + lambda).
+class BoseEinsteinYield final : public YieldModel {
+ public:
+  [[nodiscard]] units::Probability yield(double mean_faults_per_die) const override;
+  [[nodiscard]] std::string name() const override { return "bose-einstein"; }
+};
+
+/// Negative-binomial model: Y = (1 + lambda/alpha)^(-alpha).  The DSM-era
+/// standard (cf. ref [31] of the paper): alpha captures defect
+/// clustering; alpha -> infinity recovers Poisson, alpha = 1 recovers
+/// Bose-Einstein.
+class NegativeBinomialYield final : public YieldModel {
+ public:
+  explicit NegativeBinomialYield(double alpha);
+  [[nodiscard]] units::Probability yield(double mean_faults_per_die) const override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] double alpha() const noexcept { return alpha_; }
+
+ private:
+  double alpha_;
+};
+
+/// Factory by name ("poisson", "murphy", "seeds", "bose-einstein",
+/// "negbin:<alpha>"); throws std::invalid_argument on unknown names.
+[[nodiscard]] std::unique_ptr<YieldModel> make_yield_model(const std::string& spec);
+
+}  // namespace nanocost::yield

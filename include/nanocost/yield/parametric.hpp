@@ -1,0 +1,44 @@
+// Parametric yield: dies that are defect-free but miss a performance or
+// power specification.  Modeled as a Gaussian process parameter tested
+// against one- or two-sided spec limits.
+#pragma once
+
+#include <optional>
+
+#include "nanocost/units/probability.hpp"
+
+namespace nanocost::yield {
+
+/// Gaussian parametric yield for a single dominant parameter (e.g. the
+/// critical-path delay or leakage of a speed-binned part).
+class ParametricYield final {
+ public:
+  /// `mean` and `sigma` describe the realized parameter distribution;
+  /// limits are optional on each side (absent = untested).
+  ParametricYield(double mean, double sigma, std::optional<double> lower_spec,
+                  std::optional<double> upper_spec);
+
+  /// Fraction of dies inside spec.
+  [[nodiscard]] units::Probability yield() const;
+
+  /// Process capability index Cpk = min(USL-mu, mu-LSL) / (3 sigma); the
+  /// standard shorthand fabs quote.  Infinity when only one limit binds
+  /// the other side... no: one-sided Cpk uses the present limit(s).
+  [[nodiscard]] double cpk() const;
+
+  /// Yield after relaxing both spec limits by `margin` (in parameter
+  /// units) -- the "relax timing objectives to cut design cost" lever of
+  /// the paper's Sec. 2.4, quantified.
+  [[nodiscard]] units::Probability yield_with_margin(double margin) const;
+
+ private:
+  double mean_;
+  double sigma_;
+  std::optional<double> lower_;
+  std::optional<double> upper_;
+};
+
+/// Standard normal CDF (exposed for reuse in tests and models).
+[[nodiscard]] double standard_normal_cdf(double z);
+
+}  // namespace nanocost::yield

@@ -1,0 +1,37 @@
+// Radial yield: die-position-dependent yield on the wafer.
+//
+// Defect density is rarely uniform; edge-heavy radial profiles are the
+// classic signature.  Given a wafer map and a radial density profile,
+// this computes per-site and whole-wafer expected yield analytically --
+// the quantity the Monte-Carlo fab realizes stochastically.  Jensen's
+// inequality makes the radially-skewed wafer yield *higher* than the
+// uniform wafer at the same mean density (losses concentrate on edge
+// dies), a counterintuitive effect worth modeling before buying yield
+// improvements.
+#pragma once
+
+#include <vector>
+
+#include "nanocost/defect/spatial.hpp"
+#include "nanocost/geometry/wafer_map.hpp"
+#include "nanocost/units/probability.hpp"
+#include "nanocost/yield/models.hpp"
+
+namespace nanocost::yield {
+
+/// Per-site expected yield under a radial defect profile.
+struct RadialYieldResult final {
+  std::vector<units::Probability> site_yield;  ///< indexed like WaferMap::sites()
+  units::Probability wafer_yield{};            ///< mean over sites
+  units::Probability center_yield{};           ///< innermost site
+  units::Probability edge_yield{};             ///< outermost site
+};
+
+/// Evaluates `model` at every die site: the site's mean fault count is
+/// mean_density * multiplier(r_site / wafer_radius) * die_area * ca_ratio.
+[[nodiscard]] RadialYieldResult radial_yield(const geometry::WaferMap& map,
+                                             const YieldModel& model, double mean_density,
+                                             const defect::RadialProfile& profile,
+                                             double critical_area_ratio = 1.0);
+
+}  // namespace nanocost::yield

@@ -1,0 +1,42 @@
+// Memory redundancy: why the dense band of Table A1 is economically
+// viable.
+//
+// Memories pack transistors ~10x denser than logic (s_d ~ 30-60 vs
+// 200-700) and would be yield disasters under the plain defect models
+// -- except they repair themselves: spare rows/columns replace faulty
+// ones at test.  A die with R spares survives up to R row-killing
+// faults, turning Y = P(0 faults) into Y = P(faults <= R).  This module
+// computes repairable yield under Poisson and negative-binomial fault
+// statistics, the effective-yield boost per spare, and the area-optimal
+// spare count (spares cost silicon too).
+#pragma once
+
+#include "nanocost/units/probability.hpp"
+
+namespace nanocost::yield {
+
+/// Yield with up to `spares` repairable faults, Poisson statistics:
+///   Y = sum_{k=0}^{R} e^-L L^k / k!
+[[nodiscard]] units::Probability repairable_yield_poisson(double mean_faults, int spares);
+
+/// Same under negative-binomial fault statistics with clustering alpha:
+///   P(K = k) = C(alpha+k-1, k) (L/(L+alpha))^k (alpha/(L+alpha))^alpha
+[[nodiscard]] units::Probability repairable_yield_negbin(double mean_faults, double alpha,
+                                                         int spares);
+
+/// The optimum spare count: each spare repairs faults but adds
+/// `area_overhead_per_spare` (fractional die growth, which grows the
+/// fault target L proportionally).  Returns the spare count in
+/// [0, max_spares] maximizing yield per unit area:
+///   metric(R) = Y(L * (1 + R * overhead), R) / (1 + R * overhead)
+struct SpareOptimum final {
+  int spares = 0;
+  units::Probability yield{};
+  double yield_per_area = 0.0;
+};
+
+[[nodiscard]] SpareOptimum optimal_spares_poisson(double mean_faults,
+                                                  double area_overhead_per_spare,
+                                                  int max_spares = 32);
+
+}  // namespace nanocost::yield

@@ -1,0 +1,103 @@
+#include "nanocost/core/generalized_cost.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "nanocost/defect/critical_area.hpp"
+#include "nanocost/geometry/die.hpp"
+#include "nanocost/geometry/wafer_map.hpp"
+#include "nanocost/layout/density.hpp"
+#include "nanocost/units/quantity.hpp"
+
+namespace nanocost::core {
+
+GeneralizedCostModel::GeneralizedCostModel(ProductScenario scenario)
+    : scenario_(std::move(scenario)),
+      wafer_model_(scenario_.lambda, scenario_.wafer, scenario_.mask_count,
+                   scenario_.wafer_cost),
+      mask_model_(scenario_.lambda, scenario_.mask_count, scenario_.mask_cost),
+      design_model_(scenario_.design_cost) {
+  units::require_positive(scenario_.transistors, "transistor count");
+  units::require_positive(scenario_.n_wafers, "wafer count");
+  units::require_non_negative(scenario_.defect_density, "defect density");
+  units::require_positive(scenario_.reference_sd, "reference s_d");
+  if (scenario_.measured_critical_area_ratio) {
+    units::require_non_negative(*scenario_.measured_critical_area_ratio,
+                                "measured critical area ratio");
+  }
+  if (scenario_.utilization.value() <= 0.0) {
+    throw std::domain_error("utilization must be > 0");
+  }
+  if (scenario_.mask_respins < 0) {
+    throw std::domain_error("mask respins must be >= 0");
+  }
+  if (!scenario_.yield_model) {
+    scenario_.yield_model = std::make_shared<yield::NegativeBinomialYield>(2.0);
+  }
+}
+
+CostEvaluation GeneralizedCostModel::evaluate(double s_d) const {
+  CostEvaluation out;
+  out.s_d = s_d;
+
+  // Die geometry from density: A_ch = N_tr * s_d * lambda^2.
+  out.die_area = layout::area_for(scenario_.transistors, s_d, scenario_.lambda);
+  const geometry::DieSize die = geometry::DieSize::square_of_area(out.die_area);
+  out.dies_per_wafer = geometry::gross_die_per_wafer(scenario_.wafer, die);
+  if (out.dies_per_wafer < 1) {
+    throw std::domain_error("die does not fit on the wafer at s_d = " + std::to_string(s_d));
+  }
+
+  // Yield: defect density (possibly run-averaged over the learning
+  // curve) times density-dependent critical area.
+  const double density = scenario_.learning
+                             ? scenario_.learning->average_density_over(scenario_.n_wafers)
+                             : scenario_.defect_density;
+  if (scenario_.measured_critical_area_ratio) {
+    out.critical_area_ratio = *scenario_.measured_critical_area_ratio;
+  } else if (scenario_.density_dependent_yield) {
+    out.critical_area_ratio = defect::density_scaled_critical_area_ratio(
+        s_d, scenario_.reference_sd, scenario_.lambda);
+  } else {
+    out.critical_area_ratio = 1.0;
+  }
+  out.yield = scenario_.yield_model->yield_for_die(out.die_area, density,
+                                                   out.critical_area_ratio);
+  if (out.yield.value() <= 0.0) {
+    throw std::domain_error("yield collapsed to zero at s_d = " + std::to_string(s_d));
+  }
+
+  // Manufacturing: Cm_sq(A_w, lambda, N_w) from the wafer cost model.
+  out.wafer_cost = wafer_model_.wafer_cost(scenario_.n_wafers);
+  out.cm_sq = wafer_model_.cost_per_cm2(scenario_.n_wafers);
+
+  // NRE: Cd_sq(A_w, lambda, N_w, N_tr, s_d0) from mask + design models.
+  out.mask_nre = mask_model_.total_cost(scenario_.mask_respins);
+  out.design_nre = design_model_.cost(scenario_.transistors, s_d);
+  const units::SquareCentimeters amortization_area =
+      scenario_.wafer.area() * scenario_.n_wafers;
+  out.cd_sq = (out.mask_nre + out.design_nre) / amortization_area;
+
+  // Eq. (7) assembly.
+  const double l_cm = scenario_.lambda.to_centimeters().value();
+  const double l2 = l_cm * l_cm;
+  const double uy = scenario_.utilization.value() * out.yield.value();
+  out.manufacturing_per_transistor = units::Money{l2 * s_d * out.cm_sq.value() / uy};
+  out.design_per_transistor = units::Money{l2 * s_d * out.cd_sq.value() / uy};
+  out.cost_per_transistor = out.manufacturing_per_transistor + out.design_per_transistor;
+  out.cost_per_die = out.cost_per_transistor * scenario_.transistors;
+  out.good_dies_per_wafer = static_cast<double>(out.dies_per_wafer) * out.yield.value();
+  return out;
+}
+
+double GeneralizedCostModel::max_feasible_sd() const {
+  // The largest square die that fits within the usable radius has a
+  // half-diagonal equal to that radius.
+  const double r_mm = scenario_.wafer.usable_radius().value();
+  const double edge_mm = r_mm * std::sqrt(2.0);
+  const double area_cm2 = edge_mm * edge_mm / 100.0;
+  const double l_cm = scenario_.lambda.to_centimeters().value();
+  return area_cm2 / (scenario_.transistors * l_cm * l_cm);
+}
+
+}  // namespace nanocost::core

@@ -1,0 +1,36 @@
+#include "nanocost/core/itrs_analysis.hpp"
+
+#include "nanocost/core/transistor_cost.hpp"
+
+namespace nanocost::core {
+
+std::vector<ItrsSdPoint> itrs_implied_sd(const roadmap::Roadmap& roadmap) {
+  std::vector<ItrsSdPoint> out;
+  for (const roadmap::TechnologyNode& node : roadmap.nodes()) {
+    ItrsSdPoint p;
+    p.year = node.year;
+    p.lambda = node.lambda();
+    p.implied_sd = node.implied_decompression_index();
+    out.push_back(p);
+  }
+  return out;
+}
+
+std::vector<ConstantDieCostPoint> constant_die_cost_sd(
+    const roadmap::Roadmap& roadmap, const ConstantDieCostAssumptions& assumptions) {
+  std::vector<ConstantDieCostPoint> out;
+  for (const roadmap::TechnologyNode& node : roadmap.nodes()) {
+    ConstantDieCostPoint p;
+    p.year = node.year;
+    p.lambda = node.lambda();
+    p.itrs_sd = node.implied_decompression_index();
+    p.required_sd =
+        sd_for_die_cost(assumptions.max_die_cost, assumptions.yield,
+                        assumptions.manufacturing_cost, node.mpu_transistors, node.lambda());
+    p.ratio = p.itrs_sd / p.required_sd;
+    out.push_back(p);
+  }
+  return out;
+}
+
+}  // namespace nanocost::core

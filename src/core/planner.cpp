@@ -1,0 +1,84 @@
+#include "nanocost/core/planner.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "nanocost/layout/density.hpp"
+
+namespace nanocost::core {
+
+namespace {
+
+/// Mask sets roughly double per 0.7x node (see cost::MaskCostModel).
+double mask_scale(units::Micrometers lambda) {
+  const double nodes_below = std::log(0.18 / lambda.value()) / std::log(1.0 / 0.7);
+  return std::pow(1.8, nodes_below);
+}
+
+}  // namespace
+
+Plan plan_product(const ProductSpec& spec, const roadmap::Roadmap& roadmap) {
+  if (spec.styles.empty()) {
+    throw std::invalid_argument("planner needs at least one style");
+  }
+  units::require_positive(spec.transistors, "transistor count");
+  units::require_positive(spec.n_wafers, "wafer count");
+
+  // The largest die a period reticle accommodates.
+  const units::SquareCentimeters max_die{2.5 * 3.2};
+
+  Plan plan;
+  for (const roadmap::TechnologyNode& node : roadmap.nodes()) {
+    Eq4Inputs base;
+    base.transistors_per_chip = spec.transistors;
+    base.lambda = node.lambda();
+    base.yield = spec.yield;
+    base.n_wafers = spec.n_wafers;
+    base.manufacturing_cost = node.cost_per_cm2;
+    base.mask_cost = spec.mask_cost_180nm * mask_scale(node.lambda());
+    const geometry::WaferSpec wafer{node.wafer_diameter, units::Millimeters{3.0},
+                                    units::Millimeters{0.1}};
+    base.wafer_area = wafer.area();
+
+    for (const StyleProfile& style : spec.styles) {
+      Eq4Inputs inputs = base;
+      inputs.utilization = units::Probability{style.utilization};
+      inputs.mask_cost = base.mask_cost * style.mask_cost_share;
+      cost::DesignCostParams dparams = base.design_model.params();
+      dparams.a0 *= style.design_effort_scale;
+      inputs.design_model = cost::DesignCostModel{dparams};
+
+      double s_d = style.typical_sd;
+      if (style.style == DesignStyle::kFullCustom) {
+        // Custom teams choose their density; give them the optimum.
+        s_d = optimal_sd_eq4(inputs).s_d;
+      }
+      const units::SquareCentimeters die_area =
+          layout::area_for(spec.transistors, s_d, node.lambda());
+      if (die_area > max_die) continue;  // does not fit the reticle
+
+      const Eq4Breakdown cost = cost_per_transistor_eq4(inputs, s_d);
+      PlanCandidate candidate;
+      candidate.year = node.year;
+      candidate.node = node.name;
+      candidate.style = style.style;
+      candidate.s_d = s_d;
+      candidate.cost_per_transistor = cost.total;
+      candidate.cost_per_die = cost.per_die;
+      candidate.design_nre = cost.design_nre;
+      candidate.die_area = die_area;
+      plan.candidates.push_back(candidate);
+    }
+  }
+  if (plan.candidates.empty()) {
+    throw std::domain_error("no (node, style) candidate fits the reticle for this product");
+  }
+  std::sort(plan.candidates.begin(), plan.candidates.end(),
+            [](const PlanCandidate& a, const PlanCandidate& b) {
+              return a.cost_per_transistor < b.cost_per_transistor;
+            });
+  return plan;
+}
+
+}  // namespace nanocost::core

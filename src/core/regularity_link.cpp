@@ -1,0 +1,23 @@
+#include "nanocost/core/regularity_link.hpp"
+
+#include "nanocost/regularity/reuse.hpp"
+
+namespace nanocost::core {
+
+Eq4Inputs apply_regularity(const Eq4Inputs& inputs,
+                           const regularity::RegularityReport& report,
+                           const RegularityAdjustment& adjustment) {
+  Eq4Inputs out = inputs;
+
+  // Effort scale on the iteration-cost constant A0 of eq. (6).
+  cost::DesignCostParams p = inputs.design_model.params();
+  p.a0 *= regularity::design_effort_scale(report, adjustment.min_effort_scale);
+  out.design_model = cost::DesignCostModel{p};
+
+  // Effective volume for NRE amortization in eq. (5).
+  out.n_wafers = inputs.n_wafers *
+                 regularity::effective_volume_multiplier(report, adjustment.products_sharing);
+  return out;
+}
+
+}  // namespace nanocost::core

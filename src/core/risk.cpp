@@ -1,0 +1,104 @@
+#include "nanocost/core/risk.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+#include <stdexcept>
+#include <vector>
+
+namespace nanocost::core {
+
+namespace {
+
+double percentile(std::vector<double>& sorted, double q) {
+  const double idx = q * (static_cast<double>(sorted.size()) - 1.0);
+  const auto lo = static_cast<std::size_t>(idx);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double t = idx - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - t) + sorted[hi] * t;
+}
+
+std::vector<double> sample_costs(const UncertainInputs& inputs, double s_d, int samples,
+                                 std::uint64_t seed) {
+  if (samples < 10) {
+    throw std::invalid_argument("risk analysis needs at least 10 samples");
+  }
+  std::mt19937_64 rng(seed);
+  std::normal_distribution<double> gauss(0.0, 1.0);
+
+  std::vector<double> costs;
+  costs.reserve(static_cast<std::size_t>(samples));
+  for (int i = 0; i < samples; ++i) {
+    Eq4Inputs draw = inputs.nominal;
+    const double y =
+        inputs.nominal.yield.value() + inputs.yield_sigma * gauss(rng);
+    draw.yield = units::Probability::clamped(std::max(y, 0.01));
+    draw.manufacturing_cost =
+        inputs.nominal.manufacturing_cost * std::exp(inputs.cm_sq_sigma_rel * gauss(rng));
+    draw.n_wafers =
+        inputs.nominal.n_wafers * std::exp(inputs.volume_sigma_rel * gauss(rng));
+    cost::DesignCostParams params = inputs.nominal.design_model.params();
+    params.a0 *= std::exp(inputs.design_cost_sigma_rel * gauss(rng));
+    draw.design_model = cost::DesignCostModel{params};
+
+    costs.push_back(cost_per_transistor_eq4(draw, s_d).total.value());
+  }
+  return costs;
+}
+
+}  // namespace
+
+RiskResult monte_carlo_cost(const UncertainInputs& inputs, double s_d, int samples,
+                            std::uint64_t seed, double die_budget) {
+  std::vector<double> costs = sample_costs(inputs, s_d, samples, seed);
+
+  RiskResult result;
+  double sum = 0.0;
+  int over = 0;
+  for (const double c : costs) {
+    sum += c;
+    if (die_budget > 0.0 &&
+        c * inputs.nominal.transistors_per_chip > die_budget) {
+      ++over;
+    }
+  }
+  result.mean = sum / static_cast<double>(costs.size());
+  double ss = 0.0;
+  for (const double c : costs) ss += (c - result.mean) * (c - result.mean);
+  result.stddev = std::sqrt(ss / static_cast<double>(costs.size() - 1));
+  std::sort(costs.begin(), costs.end());
+  result.p10 = percentile(costs, 0.10);
+  result.p50 = percentile(costs, 0.50);
+  result.p90 = percentile(costs, 0.90);
+  result.prob_over_budget =
+      die_budget > 0.0 ? static_cast<double>(over) / static_cast<double>(costs.size())
+                       : 0.0;
+  return result;
+}
+
+RobustOptimum robust_sd(const UncertainInputs& inputs, double quantile, double lo,
+                        double hi, int steps, int samples, std::uint64_t seed) {
+  if (!(quantile > 0.0 && quantile < 1.0)) {
+    throw std::invalid_argument("quantile must be in (0, 1)");
+  }
+  if (!(lo > 0.0 && lo < hi) || steps < 2) {
+    throw std::invalid_argument("robust sweep needs 0 < lo < hi and steps >= 2");
+  }
+  RobustOptimum best;
+  best.quantile_cost = 1e300;
+  const double ratio = std::log(hi / lo) / (steps - 1);
+  for (int i = 0; i < steps; ++i) {
+    const double s_d = lo * std::exp(ratio * i);
+    // Common random numbers across grid points: same seed.
+    std::vector<double> costs = sample_costs(inputs, s_d, samples, seed);
+    std::sort(costs.begin(), costs.end());
+    const double q = percentile(costs, quantile);
+    if (q < best.quantile_cost) {
+      best.quantile_cost = q;
+      best.s_d = s_d;
+    }
+  }
+  return best;
+}
+
+}  // namespace nanocost::core

@@ -1,0 +1,81 @@
+#include "nanocost/core/sensitivity.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <stdexcept>
+
+namespace nanocost::core {
+
+namespace {
+
+/// d ln f / d ln x by central differences: f is evaluated at x*(1 +- step).
+double elasticity_of(const std::function<double(double)>& f, double step) {
+  const double up = f(1.0 + step);
+  const double down = f(1.0 - step);
+  return (std::log(up) - std::log(down)) / (std::log(1.0 + step) - std::log(1.0 - step));
+}
+
+}  // namespace
+
+std::vector<Elasticity> eq4_elasticities(const Eq4Inputs& inputs, double s_d, double step) {
+  if (!(step > 0.0 && step < 0.5)) {
+    throw std::invalid_argument("sensitivity step must be in (0, 0.5)");
+  }
+  const auto total = [&](const Eq4Inputs& in) {
+    return cost_per_transistor_eq4(in, s_d).total.value();
+  };
+
+  std::vector<Elasticity> out;
+  const auto add = [&](const char* name, const std::function<double(double)>& f) {
+    out.push_back(Elasticity{name, elasticity_of(f, step)});
+  };
+
+  add("lambda", [&](double k) {
+    Eq4Inputs in = inputs;
+    in.lambda = inputs.lambda * k;
+    return total(in);
+  });
+  add("yield", [&](double k) {
+    Eq4Inputs in = inputs;
+    in.yield = units::Probability::clamped(inputs.yield.value() * k);
+    return total(in);
+  });
+  add("Cm_sq", [&](double k) {
+    Eq4Inputs in = inputs;
+    in.manufacturing_cost = inputs.manufacturing_cost * k;
+    return total(in);
+  });
+  add("N_w", [&](double k) {
+    Eq4Inputs in = inputs;
+    in.n_wafers = inputs.n_wafers * k;
+    return total(in);
+  });
+  add("C_MA", [&](double k) {
+    Eq4Inputs in = inputs;
+    in.mask_cost = inputs.mask_cost * k;
+    return total(in);
+  });
+  add("A0", [&](double k) {
+    Eq4Inputs in = inputs;
+    cost::DesignCostParams p = inputs.design_model.params();
+    p.a0 *= k;
+    in.design_model = cost::DesignCostModel{p};
+    return total(in);
+  });
+  add("N_tr", [&](double k) {
+    Eq4Inputs in = inputs;
+    in.transistors_per_chip = inputs.transistors_per_chip * k;
+    return total(in);
+  });
+  add("s_d", [&](double k) {
+    return cost_per_transistor_eq4(inputs, s_d * k).total.value();
+  });
+
+  std::sort(out.begin(), out.end(), [](const Elasticity& a, const Elasticity& b) {
+    return std::fabs(a.elasticity) > std::fabs(b.elasticity);
+  });
+  return out;
+}
+
+}  // namespace nanocost::core

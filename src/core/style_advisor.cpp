@@ -1,0 +1,78 @@
+#include "nanocost/core/style_advisor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace nanocost::core {
+
+std::string style_name(DesignStyle style) {
+  switch (style) {
+    case DesignStyle::kFullCustom: return "full custom";
+    case DesignStyle::kStandardCell: return "standard cell";
+    case DesignStyle::kGateArray: return "gate array";
+    case DesignStyle::kFpga: return "FPGA";
+  }
+  return "unknown";
+}
+
+std::vector<StyleProfile> standard_styles() {
+  // Densities follow the Table-A1 habitats (custom MPUs ~130, ASICs
+  // 300-500); effort scales follow the flow-automation ladder; the
+  // FPGA wastes half its fabric but designs in a weekend.
+  return {
+      StyleProfile{DesignStyle::kFullCustom, 130.0, 1.0, 1.0, 1.0},
+      StyleProfile{DesignStyle::kStandardCell, 350.0, 0.5, 1.0, 1.0},
+      StyleProfile{DesignStyle::kGateArray, 500.0, 0.15, 0.85, 0.3},
+      StyleProfile{DesignStyle::kFpga, 700.0, 0.02, 0.5, 0.0},
+  };
+}
+
+std::vector<StyleEvaluation> advise(const Eq4Inputs& base,
+                                    const std::vector<StyleProfile>& styles) {
+  if (styles.empty()) {
+    throw std::invalid_argument("style advisor needs at least one style");
+  }
+  std::vector<StyleEvaluation> out;
+  out.reserve(styles.size());
+  for (const StyleProfile& profile : styles) {
+    Eq4Inputs inputs = base;
+    inputs.utilization = units::Probability{profile.utilization};
+    inputs.mask_cost = base.mask_cost * profile.mask_cost_share;
+    cost::DesignCostParams params = base.design_model.params();
+    params.a0 *= profile.design_effort_scale;
+    inputs.design_model = cost::DesignCostModel{params};
+
+    StyleEvaluation eval;
+    eval.profile = profile;
+    eval.breakdown = cost_per_transistor_eq4(inputs, profile.typical_sd);
+    out.push_back(eval);
+  }
+  std::sort(out.begin(), out.end(), [](const StyleEvaluation& a, const StyleEvaluation& b) {
+    return a.breakdown.total < b.breakdown.total;
+  });
+  return out;
+}
+
+std::vector<VolumeCrossover> volume_crossovers(const Eq4Inputs& base, double min_wafers,
+                                               double max_wafers, int steps,
+                                               const std::vector<StyleProfile>& styles) {
+  if (!(min_wafers > 0.0 && min_wafers < max_wafers) || steps < 2) {
+    throw std::invalid_argument("volume sweep needs 0 < min < max and steps >= 2");
+  }
+  std::vector<VolumeCrossover> out;
+  const double ratio = std::log(max_wafers / min_wafers) / (steps - 1);
+  for (int i = 0; i < steps; ++i) {
+    Eq4Inputs inputs = base;
+    inputs.n_wafers = min_wafers * std::exp(ratio * i);
+    const auto evals = advise(inputs, styles);
+    VolumeCrossover point;
+    point.n_wafers = inputs.n_wafers;
+    point.winner = evals.front().profile.style;
+    point.winning_cost = evals.front().breakdown.total;
+    out.push_back(point);
+  }
+  return out;
+}
+
+}  // namespace nanocost::core

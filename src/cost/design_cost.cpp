@@ -1,0 +1,55 @@
+#include "nanocost/cost/design_cost.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+#include "nanocost/units/quantity.hpp"
+
+namespace nanocost::cost {
+
+DesignCostModel::DesignCostModel(DesignCostParams params) : params_(params) {
+  units::require_positive(params_.a0, "A0");
+  units::require_positive(params_.p1, "p1");
+  units::require_positive(params_.p2, "p2");
+  units::require_positive(params_.s_d0, "s_d0");
+}
+
+units::Money DesignCostModel::cost(double transistors, double s_d) const {
+  units::require_positive(transistors, "transistor count");
+  if (!(s_d > params_.s_d0)) {
+    throw std::domain_error("eq. (6) requires s_d > s_d0 = " + std::to_string(params_.s_d0) +
+                            ", got s_d = " + std::to_string(s_d));
+  }
+  const double numerator = params_.a0 * std::pow(transistors, params_.p1);
+  const double denominator = std::pow(s_d - params_.s_d0, params_.p2);
+  return units::Money{numerator / denominator};
+}
+
+double DesignCostModel::densest_affordable_sd(double transistors, units::Money budget) const {
+  units::require_positive(transistors, "transistor count");
+  units::require_positive(budget, "design budget");
+  const double numerator = params_.a0 * std::pow(transistors, params_.p1);
+  return params_.s_d0 + std::pow(numerator / budget.value(), 1.0 / params_.p2);
+}
+
+double DesignCostModel::implied_iterations(double transistors, double s_d,
+                                           units::Money cost_per_iteration) const {
+  units::require_positive(cost_per_iteration, "cost per iteration");
+  return cost(transistors, s_d).value() / cost_per_iteration.value();
+}
+
+DesignCostModel DesignCostModel::calibrated(double transistors, double s_d,
+                                            units::Money observed, DesignCostParams base) {
+  units::require_positive(transistors, "transistor count");
+  units::require_positive(observed, "observed cost");
+  if (!(s_d > base.s_d0)) {
+    throw std::domain_error("calibration point must satisfy s_d > s_d0");
+  }
+  DesignCostParams params = base;
+  params.a0 = observed.value() * std::pow(s_d - base.s_d0, base.p2) /
+              std::pow(transistors, base.p1);
+  return DesignCostModel{params};
+}
+
+}  // namespace nanocost::cost

@@ -1,0 +1,78 @@
+#include "nanocost/cost/fab_capex.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "nanocost/units/quantity.hpp"
+
+namespace nanocost::cost {
+
+namespace {
+constexpr double kAnchorLambdaUm = 0.18;
+constexpr double kShrinkPerNode = 0.7;
+}  // namespace
+
+std::vector<ToolGroup> reference_tool_set() {
+  // A 1999-class logic fab at 20k wafer starts/month lands near $1.5B,
+  // ~35% of it lithography -- the classic breakdown.
+  return {
+      ToolGroup{"lithography", units::Money{12e6}, 460.0, 1.6},
+      ToolGroup{"deposition", units::Money{4e6}, 215.0, 1.3},
+      ToolGroup{"etch", units::Money{3e6}, 270.0, 1.25},
+      ToolGroup{"implant", units::Money{4e6}, 670.0, 1.2},
+      ToolGroup{"cmp", units::Money{2.5e6}, 480.0, 1.25},
+      ToolGroup{"metrology", units::Money{2e6}, 270.0, 1.4},
+  };
+}
+
+FabModel::FabModel(units::Micrometers lambda, double wafer_starts_per_month,
+                   std::vector<ToolGroup> tools)
+    : lambda_(units::require_positive(lambda, "lambda")),
+      capacity_(units::require_positive(wafer_starts_per_month, "fab capacity")),
+      tools_(std::move(tools)) {
+  if (tools_.empty()) {
+    throw std::invalid_argument("fab needs at least one tool group");
+  }
+  for (const ToolGroup& t : tools_) {
+    units::require_positive(t.unit_price, "tool price");
+    units::require_positive(t.wafers_per_month_per_tool, "tool throughput");
+    units::require_positive(t.escalation_per_node, "tool escalation");
+  }
+  nodes_below_anchor_ =
+      std::log(kAnchorLambdaUm / lambda_.value()) / std::log(1.0 / kShrinkPerNode);
+}
+
+int FabModel::tool_count(const ToolGroup& group) const {
+  return static_cast<int>(std::ceil(capacity_ / group.wafers_per_month_per_tool));
+}
+
+units::Money FabModel::total_capex() const {
+  units::Money total{};
+  for (const ToolGroup& t : tools_) {
+    const double escalation = std::pow(t.escalation_per_node, nodes_below_anchor_);
+    total += t.unit_price * (tool_count(t) * escalation);
+  }
+  return total;
+}
+
+units::Money FabModel::monthly_fixed_cost(double depreciation_years,
+                                          double facilities_overhead) const {
+  units::require_positive(depreciation_years, "depreciation years");
+  units::require_non_negative(facilities_overhead, "facilities overhead");
+  const units::Money capex = total_capex();
+  const units::Money depreciation = capex / (depreciation_years * 12.0);
+  const units::Money facilities = capex * (facilities_overhead / 12.0);
+  return depreciation + facilities;
+}
+
+WaferCostParams FabModel::derive_wafer_cost_params(WaferCostParams base) const {
+  // WaferCostModel escalates its fixed cost internally with the node,
+  // so hand it the *anchor-node* fixed cost: rebuild this fab's bill at
+  // 180 nm prices (same capacity, same tool counts).
+  const FabModel anchor{units::Micrometers{kAnchorLambdaUm}, capacity_, tools_};
+  base.fab_fixed_per_month = anchor.monthly_fixed_cost();
+  base.full_capacity_wafers_per_month = capacity_;
+  return base;
+}
+
+}  // namespace nanocost::cost

@@ -1,0 +1,48 @@
+#include "nanocost/cost/mask_cost.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "nanocost/units/quantity.hpp"
+
+namespace nanocost::cost {
+
+namespace {
+constexpr double kReferenceLambdaUm = 0.18;
+constexpr double kShrinkPerNode = 0.7;
+}  // namespace
+
+MaskCostModel::MaskCostModel(units::Micrometers lambda, int mask_count, MaskCostParams params)
+    : lambda_(units::require_positive(lambda, "lambda")), mask_count_(mask_count),
+      params_(params) {
+  if (mask_count_ < 1) {
+    throw std::invalid_argument("mask count must be >= 1");
+  }
+  units::require_positive(params_.base_cost_per_mask, "base cost per mask");
+  units::require_positive(params_.escalation_per_node, "mask cost escalation");
+  if (!(params_.non_critical_fraction > 0.0 && params_.non_critical_fraction <= 1.0)) {
+    throw std::invalid_argument("non-critical fraction must be in (0, 1]");
+  }
+  if (!(params_.critical_share >= 0.0 && params_.critical_share <= 1.0)) {
+    throw std::invalid_argument("critical share must be in [0, 1]");
+  }
+}
+
+units::Money MaskCostModel::set_cost() const {
+  const double nodes_below =
+      std::log(kReferenceLambdaUm / lambda_.value()) / std::log(1.0 / kShrinkPerNode);
+  const double escalation = std::pow(params_.escalation_per_node, nodes_below);
+  const double critical = params_.critical_share * mask_count_;
+  const double non_critical = mask_count_ - critical;
+  const double equivalent_masks = critical + non_critical * params_.non_critical_fraction;
+  return params_.base_cost_per_mask * equivalent_masks * escalation;
+}
+
+units::Money MaskCostModel::total_cost(int respins) const {
+  if (respins < 0) {
+    throw std::invalid_argument("respin count must be >= 0");
+  }
+  return set_cost() * static_cast<double>(1 + respins);
+}
+
+}  // namespace nanocost::cost

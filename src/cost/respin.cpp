@@ -1,0 +1,50 @@
+#include "nanocost/cost/respin.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "nanocost/units/quantity.hpp"
+
+namespace nanocost::cost {
+
+RespinModel::RespinModel(RespinParams params) : params_(params) {
+  if (!(params_.verification_coverage > 0.0 && params_.verification_coverage < 1.0)) {
+    throw std::invalid_argument("verification coverage must be in (0, 1)");
+  }
+  units::require_positive(params_.bugs_per_mtr, "bugs per Mtr");
+  units::require_positive(params_.size_exponent, "size exponent");
+}
+
+double RespinModel::escaped_bugs(double transistors) const {
+  units::require_positive(transistors, "transistor count");
+  const double bugs =
+      params_.bugs_per_mtr * std::pow(transistors / 1e6, params_.size_exponent);
+  return bugs * (1.0 - params_.verification_coverage);
+}
+
+units::Probability RespinModel::first_silicon_success(double transistors) const {
+  return units::Probability::clamped(std::exp(-escaped_bugs(transistors)));
+}
+
+double RespinModel::expected_respins(double transistors) const {
+  // After each spin, the remaining escape population shrinks by the
+  // verification coverage (silicon debug is part of "verification" of
+  // the next spin); a spin is needed whenever any escapes remain.
+  // E[respins] = sum_k P(escapes remain after k spins).
+  double escapes = escaped_bugs(transistors);
+  double expected = 0.0;
+  for (int spin = 0; spin < 16; ++spin) {
+    const double p_need_spin = 1.0 - std::exp(-escapes);
+    expected += p_need_spin;
+    if (p_need_spin < 1e-9) break;
+    escapes *= (1.0 - params_.verification_coverage);
+  }
+  return expected;
+}
+
+units::Money RespinModel::expected_mask_nre(const MaskCostModel& masks,
+                                            double transistors) const {
+  return masks.set_cost() * (1.0 + expected_respins(transistors));
+}
+
+}  // namespace nanocost::cost

@@ -1,0 +1,46 @@
+#include "nanocost/cost/test_cost.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "nanocost/units/quantity.hpp"
+
+namespace nanocost::cost {
+
+TestCostModel::TestCostModel(TestCostParams params) : params_(params) {
+  units::require_positive(params_.tester_cost_per_second, "tester cost per second");
+  units::require_positive(params_.base_seconds_per_mtr, "base test time");
+  units::require_positive(params_.size_exponent, "test size exponent");
+  if (!(params_.base_coverage > 0.0 && params_.base_coverage < 1.0)) {
+    throw std::invalid_argument("base coverage must be in (0, 1)");
+  }
+}
+
+double TestCostModel::test_seconds(double transistors, double coverage) const {
+  units::require_positive(transistors, "transistor count");
+  if (!(coverage > 0.0 && coverage < 1.0)) {
+    throw std::domain_error("coverage must be in (0, 1)");
+  }
+  const double size_factor = std::pow(transistors / 1e6, params_.size_exponent);
+  // Each additional "nine" of coverage multiplies time by a constant:
+  // time ~ log(1 - coverage) normalized at the base coverage.
+  const double coverage_factor =
+      std::log(1.0 - coverage) / std::log(1.0 - params_.base_coverage);
+  return params_.base_seconds_per_mtr * size_factor * std::max(coverage_factor, 0.0);
+}
+
+units::Money TestCostModel::cost_per_die(double transistors, double coverage) const {
+  return params_.tester_cost_per_second * test_seconds(transistors, coverage);
+}
+
+units::Probability TestCostModel::defect_level(units::Probability yield,
+                                               double coverage) const {
+  if (!(coverage > 0.0 && coverage <= 1.0)) {
+    throw std::domain_error("coverage must be in (0, 1]");
+  }
+  // Williams-Brown: DL = 1 - Y^(1-T).
+  const double dl = 1.0 - std::pow(yield.value(), 1.0 - coverage);
+  return units::Probability::clamped(dl);
+}
+
+}  // namespace nanocost::cost

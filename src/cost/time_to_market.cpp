@@ -1,0 +1,63 @@
+#include "nanocost/cost/time_to_market.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "nanocost/units/quantity.hpp"
+
+namespace nanocost::cost {
+
+MarketWindowModel::MarketWindowModel(double window_months, units::Money total_market_revenue,
+                                     double share_at_launch)
+    : window_(units::require_positive(window_months, "market window")),
+      total_revenue_(units::require_positive(total_market_revenue, "market revenue")),
+      share_(share_at_launch) {
+  if (!(share_ > 0.0 && share_ <= 1.0)) {
+    throw std::invalid_argument("launch share must be in (0, 1]");
+  }
+}
+
+units::Money MarketWindowModel::revenue(double entry_month) const {
+  units::require_non_negative(entry_month, "entry month");
+  const double t = std::min(entry_month, window_);
+  // Triangular market density, peak at window/2, unit area; the CDF of
+  // market volume already transacted by month t:
+  double transacted;
+  const double half = window_ / 2.0;
+  if (t <= half) {
+    transacted = 2.0 * t * t / (window_ * window_);
+  } else {
+    const double tail = window_ - t;
+    transacted = 1.0 - 2.0 * tail * tail / (window_ * window_);
+  }
+  return total_revenue_ * (share_ * (1.0 - transacted));
+}
+
+units::Money MarketWindowModel::delay_cost(double entry_month) const {
+  return revenue(0.0) - revenue(entry_month);
+}
+
+double ScheduleModel::months_for(units::Money design_cost) const {
+  units::require_non_negative(design_cost, "design cost");
+  units::require_positive(engineers, "engineers");
+  units::require_positive(loaded_cost_per_engineer_month.value(), "engineer rate");
+  const double burn = engineers * loaded_cost_per_engineer_month.value();
+  return std::max(minimum_months, design_cost.value() / burn);
+}
+
+TimeToMarketPoint time_to_market_cost(const TimeToMarketInputs& inputs, double s_d) {
+  units::require_positive(inputs.shipped_transistors, "shipped transistors");
+  TimeToMarketPoint point;
+  point.s_d = s_d;
+  point.design_cost = inputs.design_model.cost(inputs.transistors, s_d);
+  point.schedule_months = inputs.schedule.months_for(point.design_cost);
+  // The clock starts when the market window opens; the first
+  // minimum-schedule months are "free" (every competitor needs them).
+  const double delay = point.schedule_months - inputs.schedule.minimum_months;
+  point.forfeited_revenue = inputs.market.delay_cost(delay);
+  point.opportunity_per_transistor =
+      point.forfeited_revenue / inputs.shipped_transistors;
+  return point;
+}
+
+}  // namespace nanocost::cost

@@ -1,0 +1,70 @@
+#include "nanocost/cost/wafer_cost.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "nanocost/units/quantity.hpp"
+
+namespace nanocost::cost {
+
+namespace {
+constexpr double kReferenceLambdaUm = 0.18;   // 180 nm anchor node
+constexpr double kReferenceWaferMm = 200.0;
+constexpr double kShrinkPerNode = 0.7;
+}  // namespace
+
+WaferCostModel::WaferCostModel(units::Micrometers lambda, geometry::WaferSpec wafer,
+                               int mask_count, WaferCostParams params)
+    : lambda_(units::require_positive(lambda, "lambda")), wafer_(wafer),
+      mask_count_(mask_count), params_(params) {
+  if (mask_count_ < 1) {
+    throw std::invalid_argument("mask count must be >= 1");
+  }
+  units::require_positive(params_.base_cost_per_layer, "base cost per layer");
+  units::require_positive(params_.layer_cost_escalation, "layer cost escalation");
+  units::require_non_negative(params_.fab_fixed_per_month, "fab fixed cost");
+  units::require_positive(params_.full_capacity_wafers_per_month, "fab capacity");
+  units::require_positive(params_.run_months, "run months");
+  if (!(params_.maturity_discount >= 0.0 && params_.maturity_discount < 1.0)) {
+    throw std::invalid_argument("maturity discount must be in [0, 1)");
+  }
+  // Continuous node position below the 180 nm anchor; negative above it.
+  const double nodes_below =
+      std::log(kReferenceLambdaUm / lambda_.value()) / std::log(1.0 / kShrinkPerNode);
+  node_escalation_ = std::pow(params_.layer_cost_escalation, nodes_below);
+  const double d = wafer_.diameter().value() / kReferenceWaferMm;
+  area_scale_ = d * d;
+}
+
+units::Money WaferCostModel::processing_cost(double maturity) const {
+  if (!(maturity >= 0.0 && maturity <= 1.0)) {
+    throw std::domain_error("maturity must be in [0, 1]");
+  }
+  // Per-layer cost scales with node escalation; with wafer area it
+  // scales sublinearly (the economy that pulled the industry to 300 mm).
+  const double area_factor = std::pow(area_scale_, 0.7);
+  const double maturity_factor = 1.0 - params_.maturity_discount * maturity;
+  return params_.base_cost_per_layer * static_cast<double>(mask_count_) * node_escalation_ *
+         area_factor * maturity_factor;
+}
+
+units::Money WaferCostModel::fixed_cost_per_wafer(double n_wafers) const {
+  units::require_positive(n_wafers, "wafer count");
+  // Fab fixed costs (dominated by equipment depreciation) grow faster
+  // than per-layer costs as nodes shrink: escalation squared.
+  const units::Money monthly = params_.fab_fixed_per_month * (node_escalation_ * node_escalation_);
+  const double starts_needed = n_wafers / params_.run_months;
+  const double starts = std::min(params_.full_capacity_wafers_per_month, starts_needed);
+  return monthly / starts;
+}
+
+units::Money WaferCostModel::wafer_cost(double n_wafers, double maturity) const {
+  return processing_cost(maturity) + fixed_cost_per_wafer(n_wafers);
+}
+
+units::CostPerArea WaferCostModel::cost_per_cm2(double n_wafers, double maturity) const {
+  return wafer_cost(n_wafers, maturity) / wafer_.area();
+}
+
+}  // namespace nanocost::cost

@@ -1,0 +1,65 @@
+#include "nanocost/data/stats.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace nanocost::data {
+
+GroupStats group_stats(std::span<const DesignRecord* const> rows) {
+  if (rows.empty()) {
+    throw std::invalid_argument("group stats needs at least one row");
+  }
+  std::vector<double> sds;
+  sds.reserve(rows.size());
+  GroupStats out;
+  out.count = static_cast<int>(rows.size());
+  out.min_lambda_um = rows.front()->feature_size.value();
+  out.max_lambda_um = out.min_lambda_um;
+  double sum = 0.0;
+  for (const DesignRecord* r : rows) {
+    const double sd = r->logic_sd();
+    sds.push_back(sd);
+    sum += sd;
+    out.min_lambda_um = std::min(out.min_lambda_um, r->feature_size.value());
+    out.max_lambda_um = std::max(out.max_lambda_um, r->feature_size.value());
+  }
+  std::sort(sds.begin(), sds.end());
+  out.mean_sd = sum / static_cast<double>(sds.size());
+  out.min_sd = sds.front();
+  out.max_sd = sds.back();
+  const std::size_t mid = sds.size() / 2;
+  out.median_sd = sds.size() % 2 == 1 ? sds[mid] : (sds[mid - 1] + sds[mid]) / 2.0;
+  return out;
+}
+
+std::vector<ClassStats> stats_by_class() {
+  std::vector<ClassStats> out;
+  for (const DeviceClass cls :
+       {DeviceClass::kCpu, DeviceClass::kDsp, DeviceClass::kAsic, DeviceClass::kMpeg,
+        DeviceClass::kNetwork, DeviceClass::kVideoGame}) {
+    const auto rows = rows_by_class(cls);
+    if (rows.empty()) continue;
+    ClassStats cs;
+    cs.device_class = cls;
+    cs.stats = group_stats(rows);
+    out.push_back(cs);
+  }
+  return out;
+}
+
+std::vector<DivergencePoint> industry_vs_roadmap(const roadmap::Roadmap& roadmap) {
+  const TrendFit trend = fit_sd_trend_all();
+  std::vector<DivergencePoint> out;
+  for (const roadmap::TechnologyNode& node : roadmap.nodes()) {
+    DivergencePoint p;
+    p.year = node.year;
+    p.lambda = node.lambda();
+    p.industrial_sd = trend.predict(node.lambda());
+    p.roadmap_sd = node.implied_decompression_index();
+    p.ratio = p.industrial_sd / p.roadmap_sd;
+    out.push_back(p);
+  }
+  return out;
+}
+
+}  // namespace nanocost::data

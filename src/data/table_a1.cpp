@@ -1,0 +1,238 @@
+#include "nanocost/data/table_a1.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "nanocost/layout/density.hpp"
+
+namespace nanocost::data {
+
+std::string vendor_name(Vendor v) {
+  switch (v) {
+    case Vendor::kIntel: return "Intel";
+    case Vendor::kAmd: return "AMD";
+    case Vendor::kIbm: return "IBM";
+    case Vendor::kMotorola: return "Motorola";
+    case Vendor::kDec: return "DEC/Compaq";
+    case Vendor::kHp: return "HP";
+    case Vendor::kMips: return "MIPS";
+    case Vendor::kSun: return "Sun";
+    case Vendor::kCyrix: return "Cyrix";
+    case Vendor::kTi: return "TI";
+    case Vendor::kOther: return "other";
+  }
+  return "other";
+}
+
+std::string device_class_name(DeviceClass c) {
+  switch (c) {
+    case DeviceClass::kCpu: return "CPU";
+    case DeviceClass::kDsp: return "DSP";
+    case DeviceClass::kAsic: return "ASIC";
+    case DeviceClass::kMpeg: return "MPEG";
+    case DeviceClass::kNetwork: return "network";
+    case DeviceClass::kVideoGame: return "video game";
+  }
+  return "other";
+}
+
+double DesignRecord::overall_sd() const {
+  return layout::decompression_index(die_area, total_transistors, feature_size);
+}
+
+std::optional<double> DesignRecord::memory_sd() const {
+  if (!has_split()) return std::nullopt;
+  return layout::decompression_index(*memory_area, *memory_transistors, feature_size);
+}
+
+double DesignRecord::logic_sd() const {
+  if (logic_area.has_value() && logic_transistors.has_value()) {
+    return layout::decompression_index(*logic_area, *logic_transistors, feature_size);
+  }
+  return overall_sd();
+}
+
+namespace {
+
+constexpr double kMillion = 1e6;
+
+DesignRecord row(int id, const char* device, Vendor vendor, DeviceClass cls, double die_cm2,
+                 double lambda_um, double total_m, bool reconstructed) {
+  DesignRecord r;
+  r.id = id;
+  r.device = device;
+  r.vendor = vendor;
+  r.device_class = cls;
+  r.die_area = units::SquareCentimeters{die_cm2};
+  r.feature_size = units::Micrometers{lambda_um};
+  r.total_transistors = total_m * kMillion;
+  r.logic_transistors = r.total_transistors;
+  r.logic_area = r.die_area;
+  r.reconstructed = reconstructed;
+  return r;
+}
+
+DesignRecord split_row(int id, const char* device, Vendor vendor, DeviceClass cls,
+                       double die_cm2, double lambda_um, double total_m, double mem_m,
+                       double logic_m, double mem_cm2, double logic_cm2, bool reconstructed) {
+  DesignRecord r = row(id, device, vendor, cls, die_cm2, lambda_um, total_m, reconstructed);
+  r.memory_transistors = mem_m * kMillion;
+  r.logic_transistors = logic_m * kMillion;
+  r.memory_area = units::SquareCentimeters{mem_cm2};
+  r.logic_area = units::SquareCentimeters{logic_cm2};
+  return r;
+}
+
+std::vector<DesignRecord> build_table() {
+  using V = Vendor;
+  using C = DeviceClass;
+  std::vector<DesignRecord> t;
+  t.reserve(49);
+  // Rows marked `reconstructed = true` had one or more cells rederived
+  // from the printed s_d (via eq. 2) or the device's published die data
+  // because the scan of the appendix was illegible there.
+  t.push_back(row(1, "CPU (1.5um class)", V::kOther, C::kCpu, 0.48, 1.5, 0.18, false));
+  t.push_back(row(2, "CPU (486 class)", V::kIntel, C::kCpu, 0.81, 1.0, 1.2, true));
+  t.push_back(split_row(3, "Pentium (P5)", V::kIntel, C::kCpu, 2.88, 0.8, 3.1, 0.1, 3.0,
+                        0.03, 2.85, true));
+  t.push_back(row(4, "Pentium (P54)", V::kIntel, C::kCpu, 1.48, 0.6, 3.2, true));
+  t.push_back(row(5, "Pentium Pro", V::kIntel, C::kCpu, 3.06, 0.6, 5.5, false));
+  t.push_back(split_row(6, "Pentium Pro (0.35um)", V::kIntel, C::kCpu, 1.95, 0.35, 5.5,
+                        0.77, 4.73, 0.05, 1.90, false));
+  t.push_back(row(7, "Pentium MMX", V::kIntel, C::kCpu, 1.41, 0.35, 4.5, false));
+  t.push_back(split_row(8, "Pentium II (P6)", V::kIntel, C::kCpu, 2.03, 0.35, 8.0, 1.23,
+                        6.8, 0.08, 1.95, true));
+  t.push_back(split_row(9, "Pentium II (P6, 0.25um)", V::kIntel, C::kCpu, 0.99, 0.25, 7.5,
+                        1.23, 6.28, 0.04, 0.95, false));
+  t.push_back(row(10, "Pentium MMX (0.25um)", V::kIntel, C::kCpu, 0.75, 0.25, 4.5, true));
+  t.push_back(row(11, "Pentium III", V::kIntel, C::kCpu, 1.23, 0.25, 9.5, false));
+  t.push_back(row(12, "K5", V::kAmd, C::kCpu, 2.21, 0.5, 4.3, true));
+  t.push_back(split_row(13, "K6 (Model 6)", V::kAmd, C::kCpu, 1.68, 0.35, 8.8, 3.1, 5.7,
+                        0.18, 1.50, true));
+  t.push_back(split_row(14, "K6 (Model 7)", V::kAmd, C::kCpu, 0.68, 0.25, 8.8, 3.1, 5.7,
+                        0.08, 0.60, false));
+  t.push_back(row(15, "K6-2", V::kAmd, C::kCpu, 0.68, 0.25, 9.3, false));
+  t.push_back(split_row(16, "K6-III", V::kAmd, C::kCpu, 1.35, 0.25, 21.3, 14.0, 7.3, 0.45,
+                        0.90, true));
+  t.push_back(split_row(17, "K7", V::kAmd, C::kCpu, 1.84, 0.18, 22.0, 6.0, 16.0, 0.10,
+                        1.74, false));
+  t.push_back(row(18, "PowerPC 603e", V::kMotorola, C::kCpu, 1.20, 0.5, 2.8, false));
+  t.push_back(row(19, "PowerPC 604", V::kMotorola, C::kCpu, 1.95, 0.5, 3.6, false));
+  t.push_back(split_row(20, "S/390 G3", V::kIbm, C::kCpu, 2.72, 0.35, 12.0, 6.0, 6.0, 0.28,
+                        2.44, true));
+  t.push_back(row(21, "S/390 G4", V::kIbm, C::kCpu, 2.72, 0.35, 9.0, true));
+  t.push_back(row(22, "PowerPC 750", V::kMotorola, C::kCpu, 0.67, 0.25, 6.25, false));
+  t.push_back(split_row(23, "PowerPC (1MB L2)", V::kMotorola, C::kCpu, 1.47, 0.22, 34.0,
+                        24.0, 10.0, 0.50, 0.97, false));
+  t.push_back(split_row(24, "S/390 G5", V::kIbm, C::kCpu, 2.10, 0.25, 25.0, 18.0, 7.0,
+                        0.55, 1.55, false));
+  t.push_back(split_row(25, "PowerPC (0.20um)", V::kMotorola, C::kCpu, 0.64, 0.20, 5.5,
+                        2.0, 3.5, 0.06, 0.58, true));
+  t.push_back(split_row(26, "PowerPC (SOI)", V::kIbm, C::kCpu, 0.93, 0.16, 10.5, 3.4, 7.1,
+                        0.04, 0.55, true));
+  t.push_back(split_row(27, "Embedded RISC", V::kOther, C::kCpu, 0.85, 0.35, 2.5, 1.15,
+                        1.35, 0.065, 0.69, true));
+  t.push_back(row(28, "RISC CPU", V::kOther, C::kCpu, 2.09, 0.35, 9.66, false));
+  t.push_back(split_row(29, "Alpha (SOI)", V::kDec, C::kCpu, 1.87, 0.25, 9.0, 4.9, 4.1,
+                        0.50, 1.37, true));
+  t.push_back(row(30, "MediaGX", V::kCyrix, C::kCpu, 0.66, 0.35, 2.4, true));
+  t.push_back(row(31, "6x86MX", V::kCyrix, C::kCpu, 1.94, 0.35, 6.0, false));
+  t.push_back(row(32, "RISC CPU", V::kOther, C::kCpu, 1.01, 0.30, 5.7, true));
+  t.push_back(row(33, "RISC CPU", V::kOther, C::kCpu, 0.60, 0.28, 3.3, true));
+  t.push_back(split_row(34, "PA-RISC (PA-8500)", V::kHp, C::kCpu, 4.69, 0.25, 116.0, 92.0,
+                        24.0, 2.30, 2.38, false));
+  t.push_back(split_row(35, "MIPS64 (0.18um)", V::kMips, C::kCpu, 0.34, 0.18, 7.2, 5.2,
+                        2.0, 0.15, 0.19, false));
+  t.push_back(split_row(36, "MIPS64 (0.13um)", V::kMips, C::kCpu, 0.20, 0.13, 7.2, 5.2,
+                        2.0, 0.09, 0.11, false));
+  t.push_back(split_row(37, "MAJC 5200", V::kSun, C::kCpu, 2.76, 0.22, 12.9, 3.7, 9.2,
+                        0.16, 2.60, false));
+  t.push_back(split_row(38, "S/390 (Z900 class)", V::kIbm, C::kCpu, 1.77, 0.18, 47.0, 34.0,
+                        13.0, 0.60, 1.17, false));
+  t.push_back(split_row(39, "Alpha (21364)", V::kDec, C::kCpu, 3.97, 0.18, 152.0, 138.0,
+                        14.0, 2.77, 1.20, false));
+  t.push_back(row(40, "DSP (0.6um)", V::kTi, C::kDsp, 0.72, 0.6, 0.8, false));
+  t.push_back(row(41, "DSP (0.4um)", V::kTi, C::kDsp, 2.26, 0.4, 12.0, true));
+  t.push_back(row(42, "DSP (0.35um)", V::kTi, C::kDsp, 1.78, 0.35, 4.0, false));
+  t.push_back(row(43, "MPEG-2 encoder", V::kOther, C::kMpeg, 2.72, 0.5, 2.0, false));
+  t.push_back(row(44, "MPEG-2 codec", V::kOther, C::kMpeg, 1.63, 0.35, 3.79, true));
+  t.push_back(row(45, "MPEG-2 decoder", V::kOther, C::kMpeg, 1.55, 0.35, 3.1, false));
+  t.push_back(row(46, "ASIC (mixed signal)", V::kOther, C::kAsic, 0.37, 0.35, 1.0, false));
+  t.push_back(row(47, "ASIC (telecom)", V::kOther, C::kAsic, 3.00, 0.25, 10.0, false));
+  t.push_back(row(48, "Video game chip", V::kOther, C::kVideoGame, 2.38, 0.18, 10.5, false));
+  t.push_back(row(49, "ATM switch", V::kOther, C::kNetwork, 2.25, 0.35, 2.4, false));
+  return t;
+}
+
+const std::vector<DesignRecord>& table() {
+  static const std::vector<DesignRecord> kTable = build_table();
+  return kTable;
+}
+
+}  // namespace
+
+std::span<const DesignRecord> table_a1() { return table(); }
+
+std::vector<const DesignRecord*> rows_by_vendor(Vendor v) {
+  std::vector<const DesignRecord*> out;
+  for (const DesignRecord& r : table()) {
+    if (r.vendor == v) out.push_back(&r);
+  }
+  return out;
+}
+
+std::vector<const DesignRecord*> rows_by_class(DeviceClass c) {
+  std::vector<const DesignRecord*> out;
+  for (const DesignRecord& r : table()) {
+    if (r.device_class == c) out.push_back(&r);
+  }
+  return out;
+}
+
+double TrendFit::predict(units::Micrometers lambda) const {
+  return std::exp(intercept + slope * std::log(lambda.value()));
+}
+
+TrendFit fit_sd_trend(std::span<const DesignRecord* const> rows) {
+  if (rows.size() < 2) {
+    throw std::invalid_argument("trend fit needs at least two rows");
+  }
+  // Ordinary least squares on (ln lambda, ln s_d).
+  double sx = 0.0, sy = 0.0, sxx = 0.0, sxy = 0.0, syy = 0.0;
+  const double n = static_cast<double>(rows.size());
+  for (const DesignRecord* r : rows) {
+    const double x = std::log(r->feature_size.value());
+    const double y = std::log(r->logic_sd());
+    sx += x;
+    sy += y;
+    sxx += x * x;
+    sxy += x * y;
+    syy += y * y;
+  }
+  const double denom = n * sxx - sx * sx;
+  if (denom == 0.0) {
+    throw std::invalid_argument("trend fit needs at least two distinct feature sizes");
+  }
+  TrendFit fit;
+  fit.points = static_cast<int>(rows.size());
+  fit.slope = (n * sxy - sx * sy) / denom;
+  fit.intercept = (sy - fit.slope * sx) / n;
+  const double ss_tot = syy - sy * sy / n;
+  double ss_res = 0.0;
+  for (const DesignRecord* r : rows) {
+    const double x = std::log(r->feature_size.value());
+    const double y = std::log(r->logic_sd());
+    const double e = y - (fit.intercept + fit.slope * x);
+    ss_res += e * e;
+  }
+  fit.r_squared = ss_tot > 0.0 ? 1.0 - ss_res / ss_tot : 1.0;
+  return fit;
+}
+
+TrendFit fit_sd_trend_all() {
+  std::vector<const DesignRecord*> rows;
+  for (const DesignRecord& r : table()) rows.push_back(&r);
+  return fit_sd_trend(rows);
+}
+
+}  // namespace nanocost::data

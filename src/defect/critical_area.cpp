@@ -1,0 +1,115 @@
+#include "nanocost/defect/critical_area.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "nanocost/units/quantity.hpp"
+
+namespace nanocost::defect {
+
+WireArray::WireArray(units::Micrometers width, units::Micrometers spacing,
+                     units::Micrometers length, int wire_count)
+    : width_(units::require_positive(width, "wire width")),
+      spacing_(units::require_positive(spacing, "wire spacing")),
+      length_(units::require_positive(length, "wire length")),
+      wire_count_(wire_count) {
+  if (wire_count_ < 1) {
+    throw std::domain_error("wire array needs at least one wire");
+  }
+}
+
+units::SquareMicrometers WireArray::footprint() const noexcept {
+  const double w = width_.value();
+  const double s = spacing_.value();
+  const double extent = wire_count_ * w + (wire_count_ - 1) * s;
+  return units::SquareMicrometers{extent * length_.value()};
+}
+
+units::SquareMicrometers WireArray::short_critical_area(units::Micrometers x) const noexcept {
+  const double s = spacing_.value();
+  const double d = x.value();
+  if (d <= s || wire_count_ < 2) return units::SquareMicrometers{0.0};
+  // Between each adjacent pair, a defect of diameter d shorts both wires
+  // when its center lies in a band of height (d - s), which cannot grow
+  // past one pitch before bands of neighbouring pairs merge.
+  const double band = std::min(d - s, pitch().value());
+  const double area = (wire_count_ - 1) * band * length_.value();
+  return units::SquareMicrometers{std::min(area, footprint().value())};
+}
+
+units::SquareMicrometers WireArray::open_critical_area(units::Micrometers x) const noexcept {
+  const double w = width_.value();
+  const double d = x.value();
+  if (d <= w) return units::SquareMicrometers{0.0};
+  const double band = std::min(d - w, pitch().value());
+  const double area = wire_count_ * band * length_.value();
+  return units::SquareMicrometers{std::min(area, footprint().value())};
+}
+
+namespace {
+
+/// Composite Simpson over [a, b] (requires a < b), n even subintervals.
+template <typename Fn>
+double simpson(Fn&& f, double a, double b, int n) {
+  const double h = (b - a) / n;
+  double sum = f(a) + f(b);
+  for (int i = 1; i < n; ++i) {
+    sum += f(a + i * h) * (i % 2 == 1 ? 4.0 : 2.0);
+  }
+  return sum * h / 3.0;
+}
+
+/// Integral of A_c(x) * pdf(x) over the distribution support.  The rising
+/// branch is integrated linearly; the power-law tail is integrated in
+/// log-space for accuracy.
+template <typename AreaFn>
+double average_critical_area(const DefectSizeDistribution& dist, AreaFn&& area) {
+  const double a = dist.xmin().value();
+  const double x0 = dist.peak().value();
+  const double b = dist.xmax().value();
+  const auto integrand = [&](double x) {
+    return area(units::Micrometers{x}).value() * dist.pdf(units::Micrometers{x});
+  };
+  const double below = simpson(integrand, a, x0, 512);
+  const auto log_integrand = [&](double t) {
+    const double x = std::exp(t);
+    return integrand(x) * x;
+  };
+  const double above = simpson(log_integrand, std::log(x0), std::log(b), 2048);
+  return below + above;
+}
+
+}  // namespace
+
+units::SquareMicrometers WireArray::average_short_critical_area(
+    const DefectSizeDistribution& dist) const {
+  return units::SquareMicrometers{
+      average_critical_area(dist, [this](units::Micrometers x) { return short_critical_area(x); })};
+}
+
+units::SquareMicrometers WireArray::average_open_critical_area(
+    const DefectSizeDistribution& dist) const {
+  return units::SquareMicrometers{
+      average_critical_area(dist, [this](units::Micrometers x) { return open_critical_area(x); })};
+}
+
+double critical_area_ratio(const WireArray& array, const DefectSizeDistribution& dist) {
+  const double total = array.average_short_critical_area(dist).value() +
+                       array.average_open_critical_area(dist).value();
+  return total / array.footprint().value();
+}
+
+double density_scaled_critical_area_ratio(double s_d, double s_ref, units::Micrometers lambda) {
+  units::require_positive(s_d, "s_d");
+  units::require_positive(s_ref, "s_ref");
+  units::require_positive(lambda, "lambda");
+  // A design at decompression index s_d spreads the same wiring over
+  // s_d / s_ref more lambda-squares than the reference fabric; linear
+  // dimensions (hence spacing) scale by the square root.
+  const double spread = std::sqrt(s_d / s_ref);
+  const WireArray array{lambda, lambda * spread, lambda * 100.0, 50};
+  return critical_area_ratio(array, DefectSizeDistribution::for_feature_size(lambda));
+}
+
+}  // namespace nanocost::defect

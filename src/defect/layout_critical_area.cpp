@@ -1,0 +1,187 @@
+#include "nanocost/defect/layout_critical_area.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "nanocost/units/quantity.hpp"
+
+namespace nanocost::defect {
+
+using layout::Coord;
+using layout::Rect;
+
+SizeExcessIntegral::SizeExcessIntegral(const DefectSizeDistribution& dist, int table_size) {
+  if (table_size < 8) {
+    throw std::invalid_argument("excess integral table too small");
+  }
+  xmax_ = dist.xmax().value();
+  step_ = xmax_ / (table_size - 1);
+  table_.resize(static_cast<std::size_t>(table_size));
+  // E[(X - g)+] = integral_g^xmax (1 - F(x)) dx; build by backward
+  // trapezoid accumulation of the survival function.
+  std::vector<double> survival(static_cast<std::size_t>(table_size));
+  for (int i = 0; i < table_size; ++i) {
+    survival[static_cast<std::size_t>(i)] =
+        1.0 - dist.cdf(units::Micrometers{i * step_});
+  }
+  table_[static_cast<std::size_t>(table_size - 1)] = 0.0;
+  for (int i = table_size - 2; i >= 0; --i) {
+    table_[static_cast<std::size_t>(i)] =
+        table_[static_cast<std::size_t>(i + 1)] +
+        0.5 * (survival[static_cast<std::size_t>(i)] +
+               survival[static_cast<std::size_t>(i + 1)]) *
+            step_;
+  }
+}
+
+double SizeExcessIntegral::excess(double gap_um) const {
+  if (gap_um <= 0.0) return table_[0];  // callers guarantee gap >= 0
+  if (gap_um >= xmax_) return 0.0;
+  const double idx = gap_um / step_;
+  const auto lo = static_cast<std::size_t>(idx);
+  const std::size_t hi = std::min(lo + 1, table_.size() - 1);
+  const double t = idx - static_cast<double>(lo);
+  return table_[lo] * (1.0 - t) + table_[hi] * t;
+}
+
+double SizeExcessIntegral::operator()(double gap_um, double cap_um) const {
+  units::require_non_negative(gap_um, "gap");
+  units::require_non_negative(cap_um, "cap");
+  if (cap_um == 0.0) return 0.0;
+  // E[min((X-g)+, cap)] = E[(X-g)+] - E[(X-g-cap)+].
+  return excess(gap_um) - excess(gap_um + cap_um);
+}
+
+namespace {
+
+/// Spatial hash over one layer's rectangles (indices into a vector).
+class NeighborIndex final {
+ public:
+  NeighborIndex(const std::vector<Rect>& rects, Coord tile) : rects_(rects),
+                                                              tile_(std::max<Coord>(tile, 1)) {
+    for (std::size_t i = 0; i < rects_.size(); ++i) {
+      visit(rects_[i], 0, [&](std::int64_t key) { buckets_[key].push_back(i); });
+    }
+  }
+
+  template <typename Fn>
+  void neighbors_above(std::size_t i, Coord margin, Fn&& fn) const {
+    visit(rects_[i], margin, [&](std::int64_t key) {
+      const auto it = buckets_.find(key);
+      if (it == buckets_.end()) return;
+      for (const std::size_t j : it->second) {
+        if (j > i) fn(j);
+      }
+    });
+  }
+
+ private:
+  template <typename Fn>
+  void visit(const Rect& r, Coord margin, Fn&& fn) const {
+    const std::int64_t tx0 = (r.x0 - margin) / tile_ - 1;
+    const std::int64_t tx1 = (r.x1 + margin) / tile_ + 1;
+    const std::int64_t ty0 = (r.y0 - margin) / tile_ - 1;
+    const std::int64_t ty1 = (r.y1 + margin) / tile_ + 1;
+    for (std::int64_t ty = ty0; ty <= ty1; ++ty) {
+      for (std::int64_t tx = tx0; tx <= tx1; ++tx) {
+        fn(ty * 1000003 + tx);
+      }
+    }
+  }
+
+  const std::vector<Rect>& rects_;
+  Coord tile_;
+  std::unordered_map<std::int64_t, std::vector<std::size_t>> buckets_;
+};
+
+}  // namespace
+
+LayoutCriticalArea extract_critical_area(const layout::Design& design,
+                                         const DefectSizeDistribution& dist,
+                                         double interaction_lambda) {
+  units::require_positive(interaction_lambda, "interaction range");
+  const SizeExcessIntegral expected_excess(dist);
+  const double unit_um =
+      design.lambda().value() / static_cast<double>(layout::kUnitsPerLambda);
+  const auto margin_units = static_cast<Coord>(
+      std::ceil(interaction_lambda * layout::kUnitsPerLambda));
+
+  // Flatten per layer.
+  std::array<std::vector<Rect>, layout::kLayerCount> by_layer;
+  layout::for_each_flat_rect(design.top(), layout::Transform{}, [&](const Rect& r) {
+    by_layer[static_cast<std::size_t>(r.layer)].push_back(r);
+  });
+
+  constexpr double kUm2ToCm2 = 1e-8;
+  LayoutCriticalArea result;
+  const Rect bbox = design.top().bounding_box();
+  if (bbox.valid()) {
+    result.bounding_box_cm2 =
+        static_cast<double>(bbox.area()) * unit_um * unit_um * kUm2ToCm2;
+  }
+
+  for (int l = 0; l < layout::kLayerCount; ++l) {
+    const auto& rects = by_layer[static_cast<std::size_t>(l)];
+    if (rects.empty()) continue;
+    LayerCriticalArea layer;
+    layer.layer = static_cast<layout::Layer>(l);
+    layer.shapes = static_cast<std::int64_t>(rects.size());
+
+    // Opens: every shape, along its long axis.
+    for (const Rect& r : rects) {
+      const double w_um = static_cast<double>(std::min(r.width(), r.height())) * unit_um;
+      const double len_um = static_cast<double>(std::max(r.width(), r.height())) * unit_um;
+      // Band saturates once the defect spans the wire and its margin.
+      layer.open_area_cm2 += len_um * expected_excess(w_um, w_um) * kUm2ToCm2;
+    }
+
+    // Shorts: neighbor pairs with a clear gap and parallel overlap.
+    Coord mean_extent = 0;
+    for (const Rect& r : rects) mean_extent += std::max(r.width(), r.height());
+    mean_extent /= static_cast<Coord>(rects.size());
+    const NeighborIndex index(rects, mean_extent + 2 * margin_units);
+    std::vector<char> seen(rects.size(), 0);
+    for (std::size_t i = 0; i < rects.size(); ++i) {
+      std::vector<std::size_t> candidates;
+      index.neighbors_above(i, margin_units, [&](std::size_t j) {
+        if (!seen[j]) {
+          seen[j] = 1;
+          candidates.push_back(j);
+        }
+      });
+      const Rect& a = rects[i];
+      for (const std::size_t j : candidates) {
+        seen[j] = 0;
+        const Rect& b = rects[j];
+        // Vertical gap with horizontal overlap?
+        const Coord ox = std::min(a.x1, b.x1) - std::max(a.x0, b.x0);
+        const Coord oy = std::min(a.y1, b.y1) - std::max(a.y0, b.y0);
+        double run_um = 0.0, gap_um = 0.0, cap_um = 0.0;
+        if (ox > 0 && oy <= 0) {
+          const Coord gap = (b.y0 >= a.y1) ? b.y0 - a.y1 : a.y0 - b.y1;
+          if (gap <= 0 || gap > margin_units) continue;
+          run_um = static_cast<double>(ox) * unit_um;
+          gap_um = static_cast<double>(gap) * unit_um;
+          cap_um = static_cast<double>(std::min(a.height(), b.height())) * unit_um;
+        } else if (oy > 0 && ox <= 0) {
+          const Coord gap = (b.x0 >= a.x1) ? b.x0 - a.x1 : a.x0 - b.x1;
+          if (gap <= 0 || gap > margin_units) continue;
+          run_um = static_cast<double>(oy) * unit_um;
+          gap_um = static_cast<double>(gap) * unit_um;
+          cap_um = static_cast<double>(std::min(a.width(), b.width())) * unit_um;
+        } else {
+          continue;  // diagonal or overlapping shapes: no short band
+        }
+        layer.short_area_cm2 += run_um * expected_excess(gap_um, cap_um) * kUm2ToCm2;
+        ++layer.neighbor_pairs;
+      }
+    }
+
+    result.total_area_cm2 += layer.short_area_cm2 + layer.open_area_cm2;
+    result.layers.push_back(layer);
+  }
+  return result;
+}
+
+}  // namespace nanocost::defect

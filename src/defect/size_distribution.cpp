@@ -1,0 +1,103 @@
+#include "nanocost/defect/size_distribution.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "nanocost/units/quantity.hpp"
+
+namespace nanocost::defect {
+
+// Unnormalized density, continuous at the peak x0:
+//   g(x) = x / x0^2            xmin <= x < x0   (g(x0-) = 1/x0)
+//   g(x) = x0^(q-1) / x^q      x0  <= x <= xmax (g(x0+) = 1/x0)
+
+DefectSizeDistribution::DefectSizeDistribution(units::Micrometers xmin, units::Micrometers peak,
+                                               units::Micrometers xmax, double q)
+    : xmin_(units::require_positive(xmin, "defect size xmin")),
+      peak_(units::require_positive(peak, "defect size peak")),
+      xmax_(units::require_positive(xmax, "defect size xmax")),
+      q_(q) {
+  if (!(xmin_ < peak_ && peak_ < xmax_)) {
+    throw std::domain_error("defect size distribution requires xmin < peak < xmax");
+  }
+  if (!(q_ > 1.0)) {
+    throw std::domain_error("defect size tail exponent q must be > 1");
+  }
+  const double x0 = peak_.value();
+  const double a = xmin_.value();
+  const double b = xmax_.value();
+  below_mass_ = (x0 * x0 - a * a) / (2.0 * x0 * x0);
+  const double above_mass =
+      std::pow(x0, q_ - 1.0) * (std::pow(x0, 1.0 - q_) - std::pow(b, 1.0 - q_)) / (q_ - 1.0);
+  total_mass_ = below_mass_ + above_mass;
+  norm_ = 1.0 / total_mass_;
+}
+
+DefectSizeDistribution DefectSizeDistribution::for_feature_size(units::Micrometers lambda) {
+  units::require_positive(lambda, "feature size");
+  return DefectSizeDistribution{lambda / 2.0, lambda, lambda * 100.0, 3.0};
+}
+
+double DefectSizeDistribution::unnormalized_branch(double x) const noexcept {
+  const double x0 = peak_.value();
+  if (x < x0) return x / (x0 * x0);
+  return std::pow(x0, q_ - 1.0) / std::pow(x, q_);
+}
+
+double DefectSizeDistribution::unnormalized_cdf(double x) const noexcept {
+  const double x0 = peak_.value();
+  const double a = xmin_.value();
+  if (x <= a) return 0.0;
+  if (x < x0) {
+    return (x * x - a * a) / (2.0 * x0 * x0);
+  }
+  const double above =
+      std::pow(x0, q_ - 1.0) * (std::pow(x0, 1.0 - q_) - std::pow(x, 1.0 - q_)) / (q_ - 1.0);
+  return below_mass_ + above;
+}
+
+double DefectSizeDistribution::pdf(units::Micrometers x) const noexcept {
+  const double v = x.value();
+  if (v < xmin_.value() || v > xmax_.value()) return 0.0;
+  return norm_ * unnormalized_branch(v);
+}
+
+double DefectSizeDistribution::cdf(units::Micrometers x) const noexcept {
+  const double v = x.value();
+  if (v >= xmax_.value()) return 1.0;
+  return norm_ * unnormalized_cdf(v);
+}
+
+units::Micrometers DefectSizeDistribution::mean() const noexcept {
+  const double x0 = peak_.value();
+  const double a = xmin_.value();
+  const double b = xmax_.value();
+  const double below = (x0 * x0 * x0 - a * a * a) / (3.0 * x0 * x0);
+  double above;
+  if (q_ == 2.0) {
+    above = x0 * std::log(b / x0);
+  } else {
+    above = std::pow(x0, q_ - 1.0) * (std::pow(b, 2.0 - q_) - std::pow(x0, 2.0 - q_)) /
+            (2.0 - q_);
+  }
+  return units::Micrometers{norm_ * (below + above)};
+}
+
+units::Micrometers DefectSizeDistribution::sample(std::mt19937_64& rng) const {
+  std::uniform_real_distribution<double> uni(0.0, 1.0);
+  const double m = uni(rng) * total_mass_;
+  const double x0 = peak_.value();
+  const double a = xmin_.value();
+  if (m <= below_mass_) {
+    // Solve (x^2 - a^2) / (2 x0^2) = m.
+    return units::Micrometers{std::sqrt(a * a + 2.0 * x0 * x0 * m)};
+  }
+  // Solve x0^(q-1) (x0^(1-q) - x^(1-q)) / (q-1) = m - below_mass_.
+  const double rem = m - below_mass_;
+  const double t = std::pow(x0, 1.0 - q_) - rem * (q_ - 1.0) / std::pow(x0, q_ - 1.0);
+  double x = std::pow(t, 1.0 / (1.0 - q_));
+  if (x > xmax_.value()) x = xmax_.value();  // numerical guard at the tail end
+  return units::Micrometers{x};
+}
+
+}  // namespace nanocost::defect

@@ -1,0 +1,79 @@
+#include "nanocost/defect/spatial.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "nanocost/units/quantity.hpp"
+
+namespace nanocost::defect {
+
+RadialProfile::RadialProfile(double edge_boost, double sharpness)
+    : edge_boost_(units::require_non_negative(edge_boost, "radial edge boost")),
+      sharpness_(units::require_positive(sharpness, "radial sharpness")) {
+  // Area-weighted mean multiplier over the unit disc:
+  //   integral_0^1 (1 + b u^s) 2u du = 1 + 2b / (s + 2)
+  norm_ = 1.0 / (1.0 + 2.0 * edge_boost_ / (sharpness_ + 2.0));
+}
+
+double RadialProfile::multiplier(double u) const noexcept {
+  if (u < 0.0) u = 0.0;
+  if (u > 1.0) u = 1.0;
+  return norm_ * (1.0 + edge_boost_ * std::pow(u, sharpness_));
+}
+
+DefectField::DefectField(const geometry::WaferSpec& wafer, const DefectSizeDistribution& sizes,
+                         DefectFieldParams params)
+    : wafer_(wafer), sizes_(sizes), params_(params) {
+  units::require_non_negative(params_.density_per_cm2, "defect density");
+  if (params_.clustered) {
+    units::require_positive(params_.cluster_alpha, "cluster alpha");
+  }
+}
+
+double DefectField::expected_count() const noexcept {
+  return params_.density_per_cm2 * wafer_.area().value();
+}
+
+void DefectField::sample_position(std::mt19937_64& rng, Defect& d) const {
+  std::uniform_real_distribution<double> uni(0.0, 1.0);
+  const double radius_mm = wafer_.radius().value();
+  // Envelope rejection against the radial profile's maximum (at the edge).
+  const double max_mult =
+      params_.radial.is_flat() ? 1.0 : params_.radial.multiplier(1.0);
+  for (;;) {
+    const double u = std::sqrt(uni(rng));  // uniform over disc in radius
+    if (!params_.radial.is_flat()) {
+      if (uni(rng) * max_mult > params_.radial.multiplier(u)) continue;
+    }
+    const double theta = 2.0 * std::numbers::pi * uni(rng);
+    const double r = u * radius_mm;
+    d.x = units::Millimeters{r * std::cos(theta)};
+    d.y = units::Millimeters{r * std::sin(theta)};
+    return;
+  }
+}
+
+std::vector<Defect> DefectField::sample_wafer(std::mt19937_64& rng) const {
+  double mean = expected_count();
+  if (params_.clustered) {
+    // Gamma multiplier with shape alpha and mean 1: the gamma-mixed
+    // Poisson whose die-level counts are negative binomial.
+    std::gamma_distribution<double> gamma(params_.cluster_alpha, 1.0 / params_.cluster_alpha);
+    mean *= gamma(rng);
+  }
+  std::poisson_distribution<long> poisson(mean);
+  const long n = mean > 0.0 ? poisson(rng) : 0;
+
+  std::vector<Defect> defects;
+  defects.reserve(static_cast<std::size_t>(n));
+  for (long i = 0; i < n; ++i) {
+    Defect d;
+    sample_position(rng, d);
+    d.size = sizes_.sample(rng);
+    defects.push_back(d);
+  }
+  return defects;
+}
+
+}  // namespace nanocost::defect

@@ -1,0 +1,29 @@
+#include "nanocost/fabsim/economics.hpp"
+
+#include <stdexcept>
+
+#include "nanocost/units/quantity.hpp"
+
+namespace nanocost::fabsim {
+
+RunEconomics price_lot(const LotResult& lot, const cost::WaferCostModel& wafer_model,
+                       double transistors_per_die, double run_wafers) {
+  units::require_positive(transistors_per_die, "transistors per die");
+  units::require_non_negative(run_wafers, "run wafers");
+  if (lot.wafers.empty()) {
+    throw std::invalid_argument("cannot price an empty lot");
+  }
+  RunEconomics out;
+  const double n_wafers = static_cast<double>(lot.wafers.size());
+  out.wafer_cost = wafer_model.wafer_cost(run_wafers > 0.0 ? run_wafers : n_wafers);
+  out.total_cost = out.wafer_cost * n_wafers;
+  out.measured_yield = lot.yield();
+  out.good_dies = lot.good_dies;
+  if (lot.good_dies > 0) {
+    out.cost_per_good_die = out.total_cost / static_cast<double>(lot.good_dies);
+    out.cost_per_good_transistor = out.cost_per_good_die / transistors_per_die;
+  }
+  return out;
+}
+
+}  // namespace nanocost::fabsim

@@ -1,0 +1,200 @@
+#include "nanocost/fabsim/simulator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace nanocost::fabsim {
+
+DieKillModel::DieKillModel(defect::WireArray array, units::SquareCentimeters die_area)
+    : array_(std::move(array)), die_area_(die_area) {
+  units::require_positive(die_area_, "die area");
+}
+
+double DieKillModel::kill_probability(units::Micrometers size) const {
+  const double ca = array_.short_critical_area(size).value() +
+                    array_.open_critical_area(size).value();
+  const double ratio = ca / array_.footprint().value();
+  return std::min(ratio, 1.0);
+}
+
+namespace {
+
+/// Composite Simpson over [a, b], n even subintervals.
+template <typename Fn>
+double simpson(Fn&& f, double a, double b, int n) {
+  const double h = (b - a) / n;
+  double sum = f(a) + f(b);
+  for (int i = 1; i < n; ++i) {
+    sum += f(a + i * h) * (i % 2 == 1 ? 4.0 : 2.0);
+  }
+  return sum * h / 3.0;
+}
+
+}  // namespace
+
+double DieKillModel::mean_faults_per_die(double defect_density_per_cm2,
+                                         const defect::DefectSizeDistribution& sizes) const {
+  units::require_non_negative(defect_density_per_cm2, "defect density");
+  // E[kill probability] over the size distribution, integrating the
+  // *same* capped per-size probability the simulation samples (the
+  // uncapped sum of short+open averages would over-count huge defects
+  // that saturate both mechanisms at once).
+  const auto integrand = [&](double x) {
+    return kill_probability(units::Micrometers{x}) * sizes.pdf(units::Micrometers{x});
+  };
+  const double a = sizes.xmin().value();
+  const double x0 = sizes.peak().value();
+  const double b = sizes.xmax().value();
+  const double below = simpson(integrand, a, x0, 512);
+  const auto log_integrand = [&](double t) {
+    const double x = std::exp(t);
+    return integrand(x) * x;
+  };
+  const double above = simpson(log_integrand, std::log(x0), std::log(b), 2048);
+  const double expected_kill = below + above;
+  return defect_density_per_cm2 * die_area_.value() * expected_kill;
+}
+
+double LotResult::fault_mean() const noexcept {
+  std::int64_t total = 0, weighted = 0;
+  for (std::size_t k = 0; k < fault_histogram.size(); ++k) {
+    total += fault_histogram[k];
+    weighted += static_cast<std::int64_t>(k) * fault_histogram[k];
+  }
+  return total > 0 ? static_cast<double>(weighted) / static_cast<double>(total) : 0.0;
+}
+
+double LotResult::fault_variance() const noexcept {
+  const double mean = fault_mean();
+  std::int64_t total = 0;
+  double ss = 0.0;
+  for (std::size_t k = 0; k < fault_histogram.size(); ++k) {
+    total += fault_histogram[k];
+    const double d = static_cast<double>(k) - mean;
+    ss += d * d * static_cast<double>(fault_histogram[k]);
+  }
+  return total > 1 ? ss / static_cast<double>(total - 1) : 0.0;
+}
+
+double LotResult::yield_stddev() const noexcept {
+  if (wafers.size() < 2) return 0.0;
+  double mean = 0.0;
+  for (const WaferResult& w : wafers) mean += w.yield();
+  mean /= static_cast<double>(wafers.size());
+  double ss = 0.0;
+  for (const WaferResult& w : wafers) {
+    const double d = w.yield() - mean;
+    ss += d * d;
+  }
+  return std::sqrt(ss / static_cast<double>(wafers.size() - 1));
+}
+
+FabSimulator::FabSimulator(geometry::WaferSpec wafer, geometry::DieSize die,
+                           defect::DefectSizeDistribution sizes,
+                           defect::DefectFieldParams field,
+                           defect::WireArray representative_pattern)
+    : wafer_(wafer), die_(die), sizes_(sizes), field_params_(field), map_(wafer, die),
+      kill_(std::move(representative_pattern), die.area()) {
+  if (map_.die_count() == 0) {
+    throw std::invalid_argument("die does not fit on the wafer");
+  }
+}
+
+double FabSimulator::analytic_mean_faults() const {
+  return kill_.mean_faults_per_die(field_params_.density_per_cm2, sizes_);
+}
+
+void FabSimulator::simulate_wafer(std::mt19937_64& rng, const defect::DefectField& field,
+                                  WaferResult& result,
+                                  std::vector<std::int32_t>& faults_scratch,
+                                  std::vector<std::int64_t>& histogram) const {
+  faults_scratch.assign(static_cast<std::size_t>(map_.die_count()), 0);
+  const std::vector<defect::Defect> defects = field.sample_wafer(rng);
+  result.defects = static_cast<std::int64_t>(defects.size());
+  result.gross_dies = map_.die_count();
+
+  std::uniform_real_distribution<double> uni(0.0, 1.0);
+  for (const defect::Defect& d : defects) {
+    const std::int64_t site = map_.site_at(d.x, d.y);
+    if (site < 0) continue;
+    ++result.defects_on_dies;
+    if (uni(rng) < kill_.kill_probability(d.size)) {
+      ++faults_scratch[static_cast<std::size_t>(site)];
+    }
+  }
+
+  result.good_dies = 0;
+  for (const std::int32_t f : faults_scratch) {
+    if (f == 0) ++result.good_dies;
+    if (static_cast<std::size_t>(f) >= histogram.size()) {
+      histogram.resize(static_cast<std::size_t>(f) + 1, 0);
+    }
+    ++histogram[static_cast<std::size_t>(f)];
+  }
+}
+
+std::vector<std::int32_t> FabSimulator::snapshot_faults(std::uint64_t seed) const {
+  std::mt19937_64 rng(seed);
+  const defect::DefectField field(wafer_, sizes_, field_params_);
+  WaferResult wafer_result;
+  std::vector<std::int32_t> faults;
+  std::vector<std::int64_t> histogram(4, 0);
+  simulate_wafer(rng, field, wafer_result, faults, histogram);
+  return faults;
+}
+
+LotResult FabSimulator::run(std::int64_t n_wafers, std::uint64_t seed) const {
+  if (n_wafers < 1) {
+    throw std::invalid_argument("lot needs at least one wafer");
+  }
+  std::mt19937_64 rng(seed);
+  const defect::DefectField field(wafer_, sizes_, field_params_);
+
+  LotResult lot;
+  lot.fault_histogram.assign(4, 0);
+  lot.wafers.reserve(static_cast<std::size_t>(n_wafers));
+  std::vector<std::int32_t> scratch;
+  for (std::int64_t i = 0; i < n_wafers; ++i) {
+    WaferResult w;
+    simulate_wafer(rng, field, w, scratch, lot.fault_histogram);
+    lot.total_dies += w.gross_dies;
+    lot.good_dies += w.good_dies;
+    lot.wafers.push_back(w);
+  }
+  return lot;
+}
+
+std::vector<LotResult> FabSimulator::run_ramp(const yield::LearningCurve& curve,
+                                              std::int64_t total_wafers,
+                                              std::int64_t checkpoint_wafers,
+                                              std::uint64_t seed) const {
+  if (total_wafers < 1 || checkpoint_wafers < 1) {
+    throw std::invalid_argument("ramp needs positive wafer counts");
+  }
+  std::mt19937_64 rng(seed);
+  std::vector<LotResult> checkpoints;
+  std::vector<std::int32_t> scratch;
+  std::int64_t done = 0;
+  while (done < total_wafers) {
+    const std::int64_t batch = std::min(checkpoint_wafers, total_wafers - done);
+    LotResult lot;
+    lot.fault_histogram.assign(4, 0);
+    lot.wafers.reserve(static_cast<std::size_t>(batch));
+    for (std::int64_t i = 0; i < batch; ++i) {
+      defect::DefectFieldParams params = field_params_;
+      params.density_per_cm2 = curve.density_at(static_cast<double>(done + i));
+      const defect::DefectField field(wafer_, sizes_, params);
+      WaferResult w;
+      simulate_wafer(rng, field, w, scratch, lot.fault_histogram);
+      lot.total_dies += w.gross_dies;
+      lot.good_dies += w.good_dies;
+      lot.wafers.push_back(w);
+    }
+    checkpoints.push_back(std::move(lot));
+    done += batch;
+  }
+  return checkpoints;
+}
+
+}  // namespace nanocost::fabsim

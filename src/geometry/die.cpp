@@ -1,0 +1,31 @@
+#include "nanocost/geometry/die.hpp"
+
+#include <cmath>
+
+#include "nanocost/units/quantity.hpp"
+
+namespace nanocost::geometry {
+
+DieSize::DieSize(units::Millimeters width, units::Millimeters height)
+    : width_(units::require_positive(width, "die width")),
+      height_(units::require_positive(height, "die height")) {}
+
+DieSize DieSize::square_of_area(units::SquareCentimeters area) {
+  return of_area(area, 1.0);
+}
+
+DieSize DieSize::of_area(units::SquareCentimeters area, double aspect_ratio) {
+  units::require_positive(area, "die area");
+  units::require_positive(aspect_ratio, "die aspect ratio");
+  // area = w * h, w = aspect * h  =>  h = sqrt(area / aspect)
+  const double area_mm2 = area.value() * 100.0;  // cm^2 -> mm^2
+  const double h_mm = std::sqrt(area_mm2 / aspect_ratio);
+  const double w_mm = aspect_ratio * h_mm;
+  return DieSize{units::Millimeters{w_mm}, units::Millimeters{h_mm}};
+}
+
+units::Millimeters DieSize::half_diagonal() const noexcept {
+  return units::Millimeters{0.5 * std::hypot(width_.value(), height_.value())};
+}
+
+}  // namespace nanocost::geometry

@@ -1,0 +1,52 @@
+#include "nanocost/geometry/reticle.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "nanocost/geometry/wafer_map.hpp"
+#include "nanocost/units/quantity.hpp"
+
+namespace nanocost::geometry {
+
+ReticleSpec::ReticleSpec(units::Millimeters field_width, units::Millimeters field_height)
+    : field_width_(units::require_positive(field_width, "reticle field width")),
+      field_height_(units::require_positive(field_height, "reticle field height")) {}
+
+ReticleSpec ReticleSpec::typical() {
+  return ReticleSpec{units::Millimeters{25.0}, units::Millimeters{32.0}};
+}
+
+namespace {
+
+std::int64_t grid_fit(double fw, double fh, double sw, double sh) {
+  const auto nx = static_cast<std::int64_t>(std::floor(fw / sw));
+  const auto ny = static_cast<std::int64_t>(std::floor(fh / sh));
+  return std::max<std::int64_t>(nx, 0) * std::max<std::int64_t>(ny, 0);
+}
+
+}  // namespace
+
+std::int64_t ReticleSpec::dies_per_field(const DieSize& die,
+                                         units::Millimeters scribe_street) const {
+  units::require_non_negative(scribe_street, "scribe street");
+  const double sw = die.width().value() + scribe_street.value();
+  const double sh = die.height().value() + scribe_street.value();
+  const double fw = field_width_.value();
+  const double fh = field_height_.value();
+  return std::max(grid_fit(fw, fh, sw, sh), grid_fit(fw, fh, sh, sw));
+}
+
+std::int64_t ReticleSpec::fields_per_wafer(const WaferSpec& wafer, const DieSize& die) const {
+  const std::int64_t per_field = dies_per_field(die, wafer.scribe_street());
+  if (per_field == 0) {
+    throw std::domain_error("die does not fit in the reticle field in either orientation");
+  }
+  const std::int64_t gross = gross_die_per_wafer(wafer, die);
+  // Edge fields are partially filled; 15% overhead is a period-typical
+  // allowance for multi-die fields straddling the wafer edge.
+  const double fields = std::ceil(static_cast<double>(gross) / static_cast<double>(per_field));
+  return static_cast<std::int64_t>(std::ceil(fields * (per_field > 1 ? 1.15 : 1.0)));
+}
+
+}  // namespace nanocost::geometry

@@ -1,0 +1,40 @@
+#include "nanocost/geometry/wafer.hpp"
+
+#include <numbers>
+#include <stdexcept>
+
+#include "nanocost/units/quantity.hpp"
+
+namespace nanocost::geometry {
+
+WaferSpec::WaferSpec(units::Millimeters diameter, units::Millimeters edge_exclusion,
+                     units::Millimeters scribe_street)
+    : diameter_(units::require_positive(diameter, "wafer diameter")),
+      edge_exclusion_(units::require_non_negative(edge_exclusion, "edge exclusion")),
+      scribe_street_(units::require_non_negative(scribe_street, "scribe street")) {
+  if (edge_exclusion_ * 2.0 >= diameter_) {
+    throw std::domain_error("edge exclusion consumes the entire wafer");
+  }
+}
+
+WaferSpec WaferSpec::mm150() {
+  return WaferSpec{units::Millimeters{150.0}, units::Millimeters{3.0}, units::Millimeters{0.1}};
+}
+WaferSpec WaferSpec::mm200() {
+  return WaferSpec{units::Millimeters{200.0}, units::Millimeters{3.0}, units::Millimeters{0.1}};
+}
+WaferSpec WaferSpec::mm300() {
+  return WaferSpec{units::Millimeters{300.0}, units::Millimeters{3.0}, units::Millimeters{0.1}};
+}
+
+units::SquareCentimeters WaferSpec::area() const noexcept {
+  const double r_cm = radius().to_centimeters().value();
+  return units::SquareCentimeters{std::numbers::pi * r_cm * r_cm};
+}
+
+units::SquareCentimeters WaferSpec::usable_area() const noexcept {
+  const double r_cm = usable_radius().to_centimeters().value();
+  return units::SquareCentimeters{std::numbers::pi * r_cm * r_cm};
+}
+
+}  // namespace nanocost::geometry

@@ -1,0 +1,199 @@
+#include "nanocost/geometry/wafer_map.hpp"
+
+#include <array>
+#include <cmath>
+#include <numbers>
+
+namespace nanocost::geometry {
+
+namespace {
+
+struct GridParams {
+  double step_x;    // die + street, mm
+  double step_y;    // die + street, mm
+  double offset_x;  // die-center offset of column 0 from wafer center, in steps
+  double offset_y;
+};
+
+/// Whether a die whose center is (cx, cy) lies fully within radius r.
+/// Only the die body (not its street share) must fit.
+bool die_fits(double cx, double cy, double half_w, double half_h, double r) {
+  const double x = std::fabs(cx) + half_w;
+  const double y = std::fabs(cy) + half_h;
+  return x * x + y * y <= r * r;
+}
+
+/// Enumerate all die centers for a given per-axis anchor; calls `fn(cx, cy,
+/// col, row)` for each fitting die and returns the count.
+template <typename Fn>
+std::int64_t enumerate_fits(const WaferSpec& wafer, const DieSize& die, bool die_centered_x,
+                            bool die_centered_y, Fn&& fn) {
+  const double street = wafer.scribe_street().value();
+  const double step_x = die.width().value() + street;
+  const double step_y = die.height().value() + street;
+  const double half_w = die.width().value() / 2.0;
+  const double half_h = die.height().value() / 2.0;
+  const double r = wafer.usable_radius().value();
+
+  // Die centers at (i + ax) * step where ax = 0 for die-centered axis,
+  // 0.5 for street-centered axis; i ranges over all integers with any
+  // chance of fitting.
+  const double ax = die_centered_x ? 0.0 : 0.5;
+  const double ay = die_centered_y ? 0.0 : 0.5;
+  const auto lo_index = [r](double step, double a) {
+    return static_cast<std::int32_t>(std::floor((-r) / step - a)) - 1;
+  };
+  const auto hi_index = [r](double step, double a) {
+    return static_cast<std::int32_t>(std::ceil(r / step - a)) + 1;
+  };
+
+  std::int64_t count = 0;
+  for (std::int32_t j = lo_index(step_y, ay); j <= hi_index(step_y, ay); ++j) {
+    const double cy = (j + ay) * step_y;
+    if (std::fabs(cy) + half_h > r) continue;
+    for (std::int32_t i = lo_index(step_x, ax); i <= hi_index(step_x, ax); ++i) {
+      const double cx = (i + ax) * step_x;
+      if (die_fits(cx, cy, half_w, half_h, r)) {
+        fn(cx, cy, i, j);
+        ++count;
+      }
+    }
+  }
+  return count;
+}
+
+struct AnchorChoice {
+  bool die_centered_x;
+  bool die_centered_y;
+};
+
+/// For kBestOfBoth, evaluate all four per-axis anchor combinations and
+/// return the best one (ties broken toward die-centered for determinism).
+AnchorChoice best_anchor(const WaferSpec& wafer, const DieSize& die) {
+  static constexpr std::array<AnchorChoice, 4> kChoices{{
+      {true, true},
+      {true, false},
+      {false, true},
+      {false, false},
+  }};
+  AnchorChoice best = kChoices[0];
+  std::int64_t best_count = -1;
+  for (const auto& c : kChoices) {
+    const std::int64_t n = enumerate_fits(wafer, die, c.die_centered_x, c.die_centered_y,
+                                          [](double, double, std::int32_t, std::int32_t) {});
+    if (n > best_count) {
+      best_count = n;
+      best = c;
+    }
+  }
+  return best;
+}
+
+AnchorChoice resolve_anchor(const WaferSpec& wafer, const DieSize& die, GridAnchor anchor) {
+  switch (anchor) {
+    case GridAnchor::kDieCentered:
+      return {true, true};
+    case GridAnchor::kStreetCentered:
+      return {false, false};
+    case GridAnchor::kBestOfBoth:
+      return best_anchor(wafer, die);
+  }
+  return {true, true};
+}
+
+}  // namespace
+
+units::Millimeters DieSite::radial_distance() const noexcept {
+  return units::Millimeters{std::hypot(center_x.value(), center_y.value())};
+}
+
+std::int64_t gross_die_per_wafer(const WaferSpec& wafer, const DieSize& die, GridAnchor anchor) {
+  const AnchorChoice c = resolve_anchor(wafer, die, anchor);
+  return enumerate_fits(wafer, die, c.die_centered_x, c.die_centered_y,
+                        [](double, double, std::int32_t, std::int32_t) {});
+}
+
+double gross_die_per_wafer_analytic(const WaferSpec& wafer, const DieSize& die) {
+  const double street = wafer.scribe_street().value();
+  const double step_area_mm2 =
+      (die.width().value() + street) * (die.height().value() + street);
+  const double d = 2.0 * wafer.usable_radius().value();
+  const double n = std::numbers::pi * d * d / (4.0 * step_area_mm2) -
+                   std::numbers::pi * d / std::sqrt(2.0 * step_area_mm2);
+  return n > 0.0 ? n : 0.0;
+}
+
+WaferMap::WaferMap(const WaferSpec& wafer, const DieSize& die, GridAnchor anchor)
+    : wafer_(wafer), die_(die) {
+  const AnchorChoice c = resolve_anchor(wafer, die, anchor);
+  const double street = wafer.scribe_street().value();
+  step_x_mm_ = die.width().value() + street;
+  step_y_mm_ = die.height().value() + street;
+  const double ax = c.die_centered_x ? 0.0 : 0.5;
+  const double ay = c.die_centered_y ? 0.0 : 0.5;
+
+  std::int32_t min_i = 0, max_i = 0, min_j = 0, max_j = 0;
+  bool first = true;
+  enumerate_fits(wafer, die, c.die_centered_x, c.die_centered_y,
+                 [&](double cx, double cy, std::int32_t i, std::int32_t j) {
+                   DieSite site;
+                   site.col = i;
+                   site.row = j;
+                   site.center_x = units::Millimeters{cx};
+                   site.center_y = units::Millimeters{cy};
+                   sites_.push_back(site);
+                   if (first) {
+                     min_i = max_i = i;
+                     min_j = max_j = j;
+                     first = false;
+                   } else {
+                     min_i = std::min(min_i, i);
+                     max_i = std::max(max_i, i);
+                     min_j = std::min(min_j, j);
+                     max_j = std::max(max_j, j);
+                   }
+                 });
+
+  // Re-base row/col so indices start at zero, and build the reverse grid.
+  if (!sites_.empty()) {
+    cols_ = max_i - min_i + 1;
+    rows_ = max_j - min_j + 1;
+    site_index_.assign(static_cast<std::size_t>(cols_) * rows_, -1);
+    for (std::size_t k = 0; k < sites_.size(); ++k) {
+      sites_[k].col -= min_i;
+      sites_[k].row -= min_j;
+      site_index_[static_cast<std::size_t>(sites_[k].row) * cols_ + sites_[k].col] =
+          static_cast<std::int64_t>(k);
+    }
+    // Step-cell origin of (row 0, col 0): die center minus half a step.
+    origin_x_mm_ = (min_i + ax) * step_x_mm_ - step_x_mm_ / 2.0;
+    origin_y_mm_ = (min_j + ay) * step_y_mm_ - step_y_mm_ / 2.0;
+  }
+}
+
+double WaferMap::area_utilization() const noexcept {
+  const double die_area = die_.area().value();
+  const double covered = die_area * static_cast<double>(sites_.size());
+  const double usable = wafer_.usable_area().value();
+  return usable > 0.0 ? covered / usable : 0.0;
+}
+
+std::int64_t WaferMap::site_at(units::Millimeters x, units::Millimeters y) const noexcept {
+  if (sites_.empty()) return -1;
+  const double gx = (x.value() - origin_x_mm_) / step_x_mm_;
+  const double gy = (y.value() - origin_y_mm_) / step_y_mm_;
+  const auto col = static_cast<std::int64_t>(std::floor(gx));
+  const auto row = static_cast<std::int64_t>(std::floor(gy));
+  if (col < 0 || col >= cols_ || row < 0 || row >= rows_) return -1;
+  const std::int64_t idx = site_index_[static_cast<std::size_t>(row) * cols_ + col];
+  if (idx < 0) return -1;
+  // The point must land on the die body, not its street margin.
+  const DieSite& s = sites_[static_cast<std::size_t>(idx)];
+  const double half_w = die_.width().value() / 2.0;
+  const double half_h = die_.height().value() / 2.0;
+  if (std::fabs(x.value() - s.center_x.value()) > half_w) return -1;
+  if (std::fabs(y.value() - s.center_y.value()) > half_h) return -1;
+  return idx;
+}
+
+}  // namespace nanocost::geometry

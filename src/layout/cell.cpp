@@ -1,0 +1,109 @@
+#include "nanocost/layout/cell.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace nanocost::layout {
+
+void Cell::add_rect(const Rect& r) {
+  if (!r.valid()) {
+    throw std::invalid_argument("degenerate rectangle added to cell " + name_);
+  }
+  rects_.push_back(r);
+}
+
+void Cell::add_instance(const Instance& inst) {
+  if (inst.cell == nullptr) {
+    throw std::invalid_argument("null instance added to cell " + name_);
+  }
+  if (inst.nx < 1 || inst.ny < 1) {
+    throw std::invalid_argument("instance array counts must be >= 1 in cell " + name_);
+  }
+  if ((inst.nx > 1 && inst.pitch_x == 0) || (inst.ny > 1 && inst.pitch_y == 0)) {
+    throw std::invalid_argument("arrayed instance needs a nonzero pitch in cell " + name_);
+  }
+  instances_.push_back(inst);
+}
+
+namespace {
+
+void extend(Rect& box, const Rect& r, bool& any) {
+  if (!any) {
+    box = r;
+    any = true;
+    return;
+  }
+  box.x0 = std::min(box.x0, r.x0);
+  box.y0 = std::min(box.y0, r.y0);
+  box.x1 = std::max(box.x1, r.x1);
+  box.y1 = std::max(box.y1, r.y1);
+}
+
+}  // namespace
+
+Rect Cell::bounding_box() const {
+  Rect box{};
+  bool any = false;
+  for (const Rect& r : rects_) extend(box, r, any);
+  for (const Instance& inst : instances_) {
+    const Rect child = inst.cell->bounding_box();
+    if (!child.valid()) continue;
+    // Array steps are pure translations, so the union's bounding box is
+    // the union of the first and last placements' boxes.
+    const Rect first = inst.transform.apply(child);
+    const Rect last = first.translated((inst.nx - 1) * inst.pitch_x,
+                                       (inst.ny - 1) * inst.pitch_y);
+    extend(box, first, any);
+    extend(box, last, any);
+  }
+  return any ? box : Rect{};
+}
+
+std::int64_t Cell::flat_rect_count() const {
+  std::int64_t n = static_cast<std::int64_t>(rects_.size());
+  for (const Instance& inst : instances_) {
+    n += inst.count() * inst.cell->flat_rect_count();
+  }
+  return n;
+}
+
+Cell& Library::create_cell(const std::string& name) {
+  if (by_name_.contains(name)) {
+    throw std::invalid_argument("duplicate cell name: " + name);
+  }
+  cells_.push_back(std::make_unique<Cell>(name));
+  Cell* cell = cells_.back().get();
+  by_name_.emplace(name, cell);
+  return *cell;
+}
+
+const Cell* Library::find(const std::string& name) const noexcept {
+  const auto it = by_name_.find(name);
+  return it == by_name_.end() ? nullptr : it->second;
+}
+
+Cell* Library::find(const std::string& name) noexcept {
+  const auto it = by_name_.find(name);
+  return it == by_name_.end() ? nullptr : it->second;
+}
+
+void for_each_flat_rect(const Cell& cell, const Transform& transform,
+                        const std::function<void(const Rect&)>& fn) {
+  for (const Rect& r : cell.rects()) {
+    fn(transform.apply(r));
+  }
+  for (const Instance& inst : cell.instances()) {
+    for (std::int32_t iy = 0; iy < inst.ny; ++iy) {
+      for (std::int32_t ix = 0; ix < inst.nx; ++ix) {
+        // Orientation first (inst.transform), then the array step in the
+        // parent's coordinates, then the parent's transform.
+        Transform step = inst.transform;
+        step.dx += ix * inst.pitch_x;
+        step.dy += iy * inst.pitch_y;
+        for_each_flat_rect(*inst.cell, transform.compose(step), fn);
+      }
+    }
+  }
+}
+
+}  // namespace nanocost::layout

@@ -1,0 +1,126 @@
+#include "nanocost/layout/counting.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+namespace nanocost::layout {
+
+namespace {
+
+/// Uniform spatial hash over diffusion rectangles; poly rectangles query
+/// it.  Tile size adapts to the geometry so the expected bucket load is
+/// O(1) for grid-like layouts.
+class DiffusionIndex final {
+ public:
+  explicit DiffusionIndex(const std::vector<Rect>& diffusion) : rects_(diffusion) {
+    if (rects_.empty()) return;
+    Coord min_x = rects_[0].x0, max_x = rects_[0].x1;
+    Coord min_y = rects_[0].y0, max_y = rects_[0].y1;
+    double total_w = 0.0;
+    for (const Rect& r : rects_) {
+      min_x = std::min(min_x, r.x0);
+      max_x = std::max(max_x, r.x1);
+      min_y = std::min(min_y, r.y0);
+      max_y = std::max(max_y, r.y1);
+      total_w += static_cast<double>(std::max(r.width(), r.height()));
+    }
+    origin_x_ = min_x;
+    origin_y_ = min_y;
+    const double mean_extent = total_w / static_cast<double>(rects_.size());
+    tile_ = std::max<Coord>(1, static_cast<Coord>(std::llround(mean_extent * 2.0)));
+    (void)max_x;
+    (void)max_y;
+    buckets_.reserve(rects_.size() * 2);
+    for (std::size_t i = 0; i < rects_.size(); ++i) {
+      visit_tiles(rects_[i], [&](std::int64_t key) { buckets_[key].push_back(i); });
+    }
+    visited_.assign(rects_.size(), 0);
+  }
+
+  /// Counts diffusion rects overlapping `poly` with positive area.
+  [[nodiscard]] std::int64_t count_overlaps(const Rect& poly) {
+    if (rects_.empty()) return 0;
+    ++stamp_;
+    std::int64_t count = 0;
+    visit_tiles(poly, [&](std::int64_t key) {
+      const auto it = buckets_.find(key);
+      if (it == buckets_.end()) return;
+      for (const std::size_t i : it->second) {
+        if (visited_[i] == stamp_) continue;
+        visited_[i] = stamp_;
+        if (poly.intersects(rects_[i])) ++count;
+      }
+    });
+    return count;
+  }
+
+ private:
+  template <typename Fn>
+  void visit_tiles(const Rect& r, Fn&& fn) const {
+    const std::int64_t tx0 = (r.x0 - origin_x_) / tile_;
+    const std::int64_t tx1 = (r.x1 - 1 - origin_x_) / tile_;
+    const std::int64_t ty0 = (r.y0 - origin_y_) / tile_;
+    const std::int64_t ty1 = (r.y1 - 1 - origin_y_) / tile_;
+    for (std::int64_t ty = ty0; ty <= ty1; ++ty) {
+      for (std::int64_t tx = tx0; tx <= tx1; ++tx) {
+        fn(ty * 1000003 + tx);  // large prime stride mixes rows
+      }
+    }
+  }
+
+  std::vector<Rect> rects_;
+  std::unordered_map<std::int64_t, std::vector<std::size_t>> buckets_;
+  std::vector<std::uint64_t> visited_;
+  std::uint64_t stamp_ = 0;
+  Coord origin_x_ = 0;
+  Coord origin_y_ = 0;
+  Coord tile_ = 1;
+};
+
+}  // namespace
+
+std::int64_t count_gate_overlaps(const std::vector<Rect>& rects) {
+  std::vector<Rect> diffusion;
+  std::vector<Rect> poly;
+  for (const Rect& r : rects) {
+    if (r.layer == Layer::kDiffusion) diffusion.push_back(r);
+    else if (r.layer == Layer::kPoly) poly.push_back(r);
+  }
+  DiffusionIndex index(diffusion);
+  std::int64_t count = 0;
+  for (const Rect& p : poly) count += index.count_overlaps(p);
+  return count;
+}
+
+std::int64_t count_transistors_flat(const Cell& top) {
+  std::vector<Rect> rects;
+  rects.reserve(static_cast<std::size_t>(top.flat_rect_count()));
+  for_each_flat_rect(top, Transform{}, [&](const Rect& r) {
+    if (r.layer == Layer::kDiffusion || r.layer == Layer::kPoly) rects.push_back(r);
+  });
+  return count_gate_overlaps(rects);
+}
+
+namespace {
+
+std::int64_t count_hier(const Cell& cell,
+                        std::unordered_map<const Cell*, std::int64_t>& memo) {
+  const auto it = memo.find(&cell);
+  if (it != memo.end()) return it->second;
+  std::int64_t n = count_gate_overlaps(cell.rects());
+  for (const Instance& inst : cell.instances()) {
+    n += inst.count() * count_hier(*inst.cell, memo);
+  }
+  memo.emplace(&cell, n);
+  return n;
+}
+
+}  // namespace
+
+std::int64_t count_transistors_hierarchical(const Cell& top) {
+  std::unordered_map<const Cell*, std::int64_t> memo;
+  return count_hier(top, memo);
+}
+
+}  // namespace nanocost::layout

@@ -1,0 +1,35 @@
+#include "nanocost/layout/density.hpp"
+
+#include "nanocost/units/quantity.hpp"
+
+namespace nanocost::layout {
+
+double decompression_index(units::SquareCentimeters area, double transistor_count,
+                           units::Micrometers lambda) {
+  units::require_positive(area, "chip area");
+  units::require_positive(transistor_count, "transistor count");
+  units::require_positive(lambda, "lambda");
+  const double area_um2 = area.to_square_micrometers().value();
+  const double lambda2 = lambda.value() * lambda.value();
+  return area_um2 / (transistor_count * lambda2);
+}
+
+DensityMetrics density_metrics(units::SquareCentimeters area, double transistor_count,
+                               units::Micrometers lambda) {
+  DensityMetrics m;
+  m.decompression_index = decompression_index(area, transistor_count, lambda);
+  m.density_index = 1.0 / m.decompression_index;
+  m.transistors_per_cm2 = transistor_count / area.value();
+  return m;
+}
+
+units::SquareCentimeters area_for(double transistor_count, double s_d,
+                                  units::Micrometers lambda) {
+  units::require_positive(transistor_count, "transistor count");
+  units::require_positive(s_d, "s_d");
+  units::require_positive(lambda, "lambda");
+  const double area_um2 = transistor_count * s_d * lambda.value() * lambda.value();
+  return units::SquareMicrometers{area_um2}.to_square_centimeters();
+}
+
+}  // namespace nanocost::layout

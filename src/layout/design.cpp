@@ -1,0 +1,38 @@
+#include "nanocost/layout/design.hpp"
+
+#include <stdexcept>
+
+#include "nanocost/layout/counting.hpp"
+#include "nanocost/units/quantity.hpp"
+
+namespace nanocost::layout {
+
+Design::Design(std::shared_ptr<Library> library, const Cell* top, units::Micrometers lambda)
+    : library_(std::move(library)), top_(top),
+      lambda_(units::require_positive(lambda, "lambda")) {
+  if (!library_ || top_ == nullptr) {
+    throw std::invalid_argument("design requires a library and a top cell");
+  }
+}
+
+units::SquareCentimeters Design::area() const {
+  const Rect box = top_->bounding_box();
+  if (!box.valid()) return units::SquareCentimeters{0.0};
+  const double unit_um = lambda_.value() / static_cast<double>(kUnitsPerLambda);
+  const double w_um = static_cast<double>(box.width()) * unit_um;
+  const double h_um = static_cast<double>(box.height()) * unit_um;
+  return units::SquareMicrometers{w_um * h_um}.to_square_centimeters();
+}
+
+std::int64_t Design::transistor_count() const {
+  if (cached_transistors_ < 0) {
+    cached_transistors_ = count_transistors_hierarchical(*top_);
+  }
+  return cached_transistors_;
+}
+
+DensityMetrics Design::density() const {
+  return density_metrics(area(), static_cast<double>(transistor_count()), lambda_);
+}
+
+}  // namespace nanocost::layout

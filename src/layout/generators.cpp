@@ -1,0 +1,289 @@
+#include "nanocost/layout/generators.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+namespace nanocost::layout {
+
+namespace {
+
+/// Library cell names must be unique; generators may be called many
+/// times on one library, so suffix a counter on collision.
+std::string unique_name(const Library& lib, const std::string& base) {
+  if (lib.find(base) == nullptr) return base;
+  for (int i = 2;; ++i) {
+    const std::string candidate = base + "_" + std::to_string(i);
+    if (lib.find(candidate) == nullptr) return candidate;
+  }
+}
+
+/// One MOS transistor: a 3x2-lambda diffusion island crossed by a
+/// 1x4-lambda poly gate, centered at (cx, cy) in half-lambda units.
+/// Footprint fits in an 8x10-unit (4x5 lambda) site.
+void add_transistor(Cell& cell, Coord cx, Coord cy) {
+  cell.add_rect(Rect{Layer::kDiffusion, cx - 3, cy - 2, cx + 3, cy + 2});
+  cell.add_rect(Rect{Layer::kPoly, cx - 1, cy - 4, cx + 1, cy + 4});
+}
+
+}  // namespace
+
+const Cell* make_sram_array(Library& lib, std::int32_t rows, std::int32_t cols) {
+  if (rows < 1 || cols < 1) {
+    throw std::invalid_argument("SRAM array needs rows >= 1 and cols >= 1");
+  }
+  // 6T bitcell, 24 x 30 units = 12 x 15 lambda = 180 lambda^2 -> s_d = 30.
+  Cell& bitcell = lib.create_cell(unique_name(lib, "sram_bitcell"));
+  for (const Coord cx : {4, 12, 20}) {
+    for (const Coord cy : {8, 22}) {
+      add_transistor(bitcell, cx, cy);
+    }
+  }
+  // Bit lines (metal1, vertical) and word line (metal2, horizontal).
+  bitcell.add_rect(Rect{Layer::kMetal1, 0, 0, 2, 30});
+  bitcell.add_rect(Rect{Layer::kMetal1, 22, 0, 24, 30});
+  bitcell.add_rect(Rect{Layer::kMetal2, 0, 14, 24, 16});
+
+  Cell& top =
+      lib.create_cell(unique_name(lib, "sram_" + std::to_string(rows) + "x" + std::to_string(cols)));
+  Instance array;
+  array.cell = &bitcell;
+  array.nx = cols;
+  array.ny = rows;
+  array.pitch_x = 24;
+  array.pitch_y = 30;
+  top.add_instance(array);
+  return &top;
+}
+
+namespace {
+
+/// Builds the four standard cells used by the block generator.  All are
+/// 32 units (16 lambda) tall; transistor slots sit at x = 8, 16, ... on
+/// the NMOS row (y = 8) and PMOS row (y = 24).
+struct StdCellSet {
+  const Cell* inv;
+  const Cell* nand2;
+  const Cell* nor2;
+  const Cell* dff;
+};
+
+const Cell* make_stdcell(Library& lib, const std::string& base, Coord width,
+                         std::int32_t slot_columns) {
+  Cell& cell = lib.create_cell(unique_name(lib, base));
+  // 16-unit (8-lambda) slot pitch: real standard cells are porous --
+  // contacts, intra-cell routing and well ties spread the gates out,
+  // which is what puts placed-and-routed ASICs at s_d of several
+  // hundred rather than the bare-transistor packing limit.
+  for (std::int32_t i = 0; i < slot_columns; ++i) {
+    const Coord cx = 8 + 16 * i;
+    add_transistor(cell, cx, 8);
+    add_transistor(cell, cx, 24);
+  }
+  // Power rails.
+  cell.add_rect(Rect{Layer::kMetal1, 0, 0, width, 2});
+  cell.add_rect(Rect{Layer::kMetal1, 0, 30, width, 32});
+  return &cell;
+}
+
+StdCellSet make_stdcell_set(Library& lib) {
+  StdCellSet set{};
+  set.inv = make_stdcell(lib, "inv", 24, 1);
+  set.nand2 = make_stdcell(lib, "nand2", 40, 2);
+  set.nor2 = make_stdcell(lib, "nor2", 40, 2);
+  set.dff = make_stdcell(lib, "dff", 168, 10);
+  return set;
+}
+
+Coord stdcell_width(const Cell* cell) {
+  return cell->bounding_box().width();
+}
+
+}  // namespace
+
+StdCellMasters make_stdcell_masters(Library& lib) {
+  const StdCellSet set = make_stdcell_set(lib);
+  return StdCellMasters{set.inv, set.nand2, set.nor2, set.dff};
+}
+
+const Cell* make_stdcell_block(Library& lib, const StdCellBlockParams& params) {
+  if (params.rows < 1 || params.row_width_lambda < 32) {
+    throw std::invalid_argument("std-cell block needs rows >= 1 and row width >= 32 lambda");
+  }
+  if (!(params.placement_utilization > 0.0 && params.placement_utilization <= 1.0)) {
+    throw std::invalid_argument("placement utilization must be in (0, 1]");
+  }
+  if (params.routing_channel_ratio < 0.0) {
+    throw std::invalid_argument("routing channel ratio must be >= 0");
+  }
+
+  const StdCellSet set = make_stdcell_set(lib);
+  const Cell* choices[] = {set.inv, set.inv, set.nand2, set.nor2, set.dff};
+  std::mt19937_64 rng(params.seed);
+  std::uniform_int_distribution<int> pick(0, 4);
+
+  const Coord row_width = static_cast<Coord>(params.row_width_lambda) * kUnitsPerLambda;
+  const Coord row_height = 32;
+  const Coord channel = static_cast<Coord>(std::llround(params.routing_channel_ratio * 32.0));
+  const Coord row_pitch = row_height + channel;
+  const Coord fill_target = static_cast<Coord>(std::llround(
+      params.placement_utilization * static_cast<double>(row_width)));
+
+  Cell& top = lib.create_cell(
+      unique_name(lib, "stdcell_block_" + std::to_string(params.rows) + "r"));
+
+  std::uniform_real_distribution<double> uni(0.0, 1.0);
+  for (std::int32_t row = 0; row < params.rows; ++row) {
+    const Coord y0 = row * row_pitch;
+    const bool flipped = (row % 2) == 1;  // P&R-style alternating rows
+    Coord x = 0;
+    while (true) {
+      const Cell* cell = choices[pick(rng)];
+      const Coord w = stdcell_width(cell);
+      if (x + w > fill_target) break;
+      Instance inst;
+      inst.cell = cell;
+      inst.transform.orientation = flipped ? Orientation::kMX : Orientation::kR0;
+      inst.transform.dx = x;
+      // MX maps the cell's [0, 32] vertical extent to [-32, 0].
+      inst.transform.dy = flipped ? y0 + row_height : y0;
+      top.add_instance(inst);
+      x += w;
+    }
+    // Routing-channel metal: a few metal2 tracks spanning the row plus
+    // random metal3 jumpers, so channels are not empty space.
+    if (channel >= 8) {
+      const Coord ch0 = y0 + row_height;
+      for (Coord t = ch0 + 2; t + 2 <= ch0 + channel; t += 8) {
+        top.add_rect(Rect{Layer::kMetal2, 0, t, row_width, t + 2});
+      }
+      const int jumpers = static_cast<int>(row_width / 128);
+      for (int j = 0; j < jumpers; ++j) {
+        // Snapped to an 8-unit routing grid so jumpers keep legal
+        // metal3 spacing no matter where the RNG lands.
+        Coord jx = static_cast<Coord>(uni(rng) * static_cast<double>(row_width - 8));
+        jx -= jx % 8;
+        top.add_rect(Rect{Layer::kMetal3, jx, ch0, jx + 4, ch0 + channel});
+      }
+    }
+  }
+  // Stretch the block outline to the nominal row width with boundary
+  // power straps so area reflects the placed region, not just cells.
+  const Coord total_height = params.rows * row_pitch;
+  top.add_rect(Rect{Layer::kMetal4, 0, 0, row_width, 4});
+  top.add_rect(Rect{Layer::kMetal4, 0, total_height - 4, row_width, total_height});
+  return &top;
+}
+
+const Cell* make_datapath(Library& lib, std::int32_t bits, std::int32_t stages) {
+  if (bits < 1 || stages < 1) {
+    throw std::invalid_argument("datapath needs bits >= 1 and stages >= 1");
+  }
+  // One bit-slice stage: 8 transistors in a 64 x 32 unit tile plus
+  // through-metal, the hand-crafted regular style (s_d ~ 64).
+  Cell& slice = lib.create_cell(unique_name(lib, "dp_slice"));
+  for (std::int32_t i = 0; i < 4; ++i) {
+    const Coord cx = 8 + 16 * i;
+    add_transistor(slice, cx, 8);
+    add_transistor(slice, cx, 24);
+  }
+  slice.add_rect(Rect{Layer::kMetal1, 0, 0, 64, 2});
+  slice.add_rect(Rect{Layer::kMetal1, 0, 30, 64, 32});
+  slice.add_rect(Rect{Layer::kMetal2, 0, 14, 64, 18});
+  slice.add_rect(Rect{Layer::kMetal3, 30, 0, 34, 32});
+
+  Cell& top = lib.create_cell(
+      unique_name(lib, "datapath_" + std::to_string(bits) + "b" + std::to_string(stages) + "s"));
+  Instance array;
+  array.cell = &slice;
+  array.nx = stages;
+  array.ny = bits;
+  array.pitch_x = 64;
+  array.pitch_y = 32;
+  top.add_instance(array);
+  return &top;
+}
+
+const Cell* make_gate_array(Library& lib, std::int32_t rows, std::int32_t cols,
+                            double utilization, std::uint64_t seed) {
+  if (rows < 1 || cols < 1) {
+    throw std::invalid_argument("gate array needs rows >= 1 and cols >= 1");
+  }
+  if (!(utilization >= 0.0 && utilization <= 1.0)) {
+    throw std::invalid_argument("gate-array utilization must be in [0, 1]");
+  }
+  // Base site: two transistors in a 16 x 40 unit tile (sparse: s_d = 80).
+  Cell& site = lib.create_cell(unique_name(lib, "ga_site"));
+  add_transistor(site, 8, 10);
+  add_transistor(site, 8, 30);
+  // Personalized site: same transistors plus connecting metal.
+  Cell& used = lib.create_cell(unique_name(lib, "ga_site_used"));
+  add_transistor(used, 8, 10);
+  add_transistor(used, 8, 30);
+  used.add_rect(Rect{Layer::kMetal1, 6, 6, 10, 34});
+  used.add_rect(Rect{Layer::kMetal2, 0, 18, 16, 22});
+
+  Cell& top = lib.create_cell(
+      unique_name(lib, "gate_array_" + std::to_string(rows) + "x" + std::to_string(cols)));
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> uni(0.0, 1.0);
+  for (std::int32_t r = 0; r < rows; ++r) {
+    for (std::int32_t c = 0; c < cols; ++c) {
+      Instance inst;
+      inst.cell = (uni(rng) < utilization) ? &used : &site;
+      inst.transform.dx = c * 16;
+      inst.transform.dy = r * 40;
+      top.add_instance(inst);
+    }
+  }
+  return &top;
+}
+
+const Cell* make_random_custom(Library& lib, std::int64_t transistor_count, double s_d_target,
+                               std::uint64_t seed) {
+  if (transistor_count < 1) {
+    throw std::invalid_argument("random custom block needs at least one transistor");
+  }
+  if (s_d_target < 20.0) {
+    throw std::invalid_argument("s_d target below the physical packing limit (~20)");
+  }
+  // One transistor per p x p lambda grid cell gives s_d ~ p^2; jitter
+  // the position inside each cell to destroy regularity.
+  const Coord pitch =
+      static_cast<Coord>(std::llround(std::sqrt(s_d_target))) * kUnitsPerLambda;
+  const auto side = static_cast<Coord>(
+      std::ceil(std::sqrt(static_cast<double>(transistor_count))));
+  Cell& top = lib.create_cell(
+      unique_name(lib, "custom_" + std::to_string(transistor_count) + "t"));
+
+  std::mt19937_64 rng(seed);
+  // Keep a 5x6-unit transistor footprint plus jitter inside the cell.
+  const Coord jitter_range = std::max<Coord>(1, pitch / 2 - 6);
+  std::uniform_int_distribution<Coord> jitter(0, jitter_range);
+  std::uniform_real_distribution<double> uni(0.0, 1.0);
+
+  std::int64_t placed = 0;
+  for (Coord gy = 0; gy < side && placed < transistor_count; ++gy) {
+    for (Coord gx = 0; gx < side && placed < transistor_count; ++gx) {
+      const Coord cx = gx * pitch + 4 + jitter(rng);
+      const Coord cy = gy * pitch + 5 + jitter(rng);
+      add_transistor(top, cx, cy);
+      // Random local interconnect, different every site.
+      if (uni(rng) < 0.6) {
+        const Coord wx = gx * pitch + jitter(rng);
+        const Coord wy = gy * pitch + jitter(rng);
+        const bool horizontal = uni(rng) < 0.5;
+        const Coord len = 4 + jitter(rng);
+        if (horizontal) {
+          top.add_rect(Rect{Layer::kMetal1, wx, wy, wx + len + 2, wy + 2});
+        } else {
+          top.add_rect(Rect{Layer::kMetal1, wx, wy, wx + 2, wy + len + 2});
+        }
+      }
+      ++placed;
+    }
+  }
+  return &top;
+}
+
+}  // namespace nanocost::layout

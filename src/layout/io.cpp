@@ -1,0 +1,170 @@
+#include "nanocost/layout/io.hpp"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_set>
+#include <vector>
+
+namespace nanocost::layout {
+
+namespace {
+
+constexpr const char* kMagic = "nanocost-layout";
+constexpr const char* kVersion = "v1";
+
+const char* kOrientationNames[kOrientationCount] = {"R0",  "R90",   "R180",  "R270",
+                                                    "MX",  "MY",    "MXR90", "MYR90"};
+
+Layer parse_layer(const std::string& name, int line) {
+  for (int i = 0; i < kLayerCount; ++i) {
+    if (layer_name(static_cast<Layer>(i)) == name) return static_cast<Layer>(i);
+  }
+  throw std::runtime_error("layout parse error at line " + std::to_string(line) +
+                           ": unknown layer '" + name + "'");
+}
+
+void emit_cell(std::ostream& out, const Cell& cell,
+               std::unordered_set<const Cell*>& emitted) {
+  if (emitted.contains(&cell)) return;
+  // Children first: the format requires definition before use.
+  for (const Instance& inst : cell.instances()) {
+    emit_cell(out, *inst.cell, emitted);
+  }
+  emitted.insert(&cell);
+  out << "cell " << cell.name() << "\n";
+  for (const Rect& r : cell.rects()) {
+    out << "  rect " << layer_name(r.layer) << ' ' << r.x0 << ' ' << r.y0 << ' ' << r.x1
+        << ' ' << r.y1 << "\n";
+  }
+  for (const Instance& inst : cell.instances()) {
+    out << "  inst " << inst.cell->name() << ' '
+        << orientation_name(inst.transform.orientation) << ' ' << inst.transform.dx << ' '
+        << inst.transform.dy;
+    if (inst.nx != 1 || inst.ny != 1) {
+      out << ' ' << inst.nx << ' ' << inst.ny << ' ' << inst.pitch_x << ' ' << inst.pitch_y;
+    }
+    out << "\n";
+  }
+  out << "endcell\n";
+}
+
+}  // namespace
+
+std::string orientation_name(Orientation o) {
+  return kOrientationNames[static_cast<int>(o)];
+}
+
+Orientation parse_orientation(const std::string& name) {
+  for (int i = 0; i < kOrientationCount; ++i) {
+    if (name == kOrientationNames[i]) return static_cast<Orientation>(i);
+  }
+  throw std::runtime_error("unknown orientation '" + name + "'");
+}
+
+void save_design(std::ostream& out, const Design& design) {
+  out << kMagic << ' ' << kVersion << "\n";
+  out << "lambda_um " << design.lambda().value() << "\n";
+  std::unordered_set<const Cell*> emitted;
+  emit_cell(out, design.top(), emitted);
+  out << "top " << design.top().name() << "\n";
+  if (!out) {
+    throw std::runtime_error("layout write failed");
+  }
+}
+
+void save_design_file(const std::string& path, const Design& design) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("cannot open '" + path + "' for writing");
+  }
+  save_design(out, design);
+}
+
+Design load_design(std::istream& in) {
+  auto lib = std::make_shared<Library>();
+  std::string line;
+  int line_no = 0;
+  const auto fail = [&](const std::string& msg) -> std::runtime_error {
+    return std::runtime_error("layout parse error at line " + std::to_string(line_no) +
+                              ": " + msg);
+  };
+
+  if (!std::getline(in, line)) throw fail("empty input");
+  ++line_no;
+  {
+    std::istringstream header(line);
+    std::string magic, version;
+    header >> magic >> version;
+    if (magic != kMagic || version != kVersion) {
+      throw fail("bad header '" + line + "'");
+    }
+  }
+
+  double lambda_um = 0.0;
+  Cell* current = nullptr;
+  const Cell* top = nullptr;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::istringstream ss(line);
+    std::string keyword;
+    if (!(ss >> keyword)) continue;  // blank line
+    if (keyword == "lambda_um") {
+      if (!(ss >> lambda_um)) throw fail("bad lambda_um");
+    } else if (keyword == "cell") {
+      if (current != nullptr) throw fail("nested cell definition");
+      std::string name;
+      if (!(ss >> name)) throw fail("cell needs a name");
+      current = &lib->create_cell(name);
+    } else if (keyword == "rect") {
+      if (current == nullptr) throw fail("rect outside a cell");
+      std::string layer;
+      Rect r;
+      if (!(ss >> layer >> r.x0 >> r.y0 >> r.x1 >> r.y1)) throw fail("bad rect");
+      r.layer = parse_layer(layer, line_no);
+      if (!r.valid()) throw fail("degenerate rect");
+      current->add_rect(r);
+    } else if (keyword == "inst") {
+      if (current == nullptr) throw fail("inst outside a cell");
+      std::string ref, orient;
+      Instance inst;
+      if (!(ss >> ref >> orient >> inst.transform.dx >> inst.transform.dy)) {
+        throw fail("bad inst");
+      }
+      inst.transform.orientation = parse_orientation(orient);
+      // Optional array tail.
+      if (ss >> inst.nx) {
+        if (!(ss >> inst.ny >> inst.pitch_x >> inst.pitch_y)) throw fail("bad inst array");
+      }
+      inst.cell = lib->find(ref);
+      if (inst.cell == nullptr) throw fail("inst references undefined cell '" + ref + "'");
+      if (inst.cell == current) throw fail("cell instantiates itself");
+      current->add_instance(inst);
+    } else if (keyword == "endcell") {
+      if (current == nullptr) throw fail("endcell outside a cell");
+      current = nullptr;
+    } else if (keyword == "top") {
+      std::string name;
+      if (!(ss >> name)) throw fail("top needs a name");
+      top = lib->find(name);
+      if (top == nullptr) throw fail("top references undefined cell '" + name + "'");
+    } else {
+      throw fail("unknown keyword '" + keyword + "'");
+    }
+  }
+  if (current != nullptr) throw fail("unterminated cell definition");
+  if (top == nullptr) throw fail("missing top statement");
+  if (!(lambda_um > 0.0)) throw fail("missing or invalid lambda_um");
+  return Design{std::move(lib), top, units::Micrometers{lambda_um}};
+}
+
+Design load_design_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("cannot open '" + path + "' for reading");
+  }
+  return load_design(in);
+}
+
+}  // namespace nanocost::layout

@@ -1,0 +1,59 @@
+#include "nanocost/layout/stats.hpp"
+
+#include <algorithm>
+
+namespace nanocost::layout {
+
+double LayoutStats::layer_coverage(Layer l) const noexcept {
+  if (!bounding_box.valid()) return 0.0;
+  const double box = static_cast<double>(bounding_box.area());
+  return static_cast<double>(layer(l).area_units2) / box;
+}
+
+double LayoutStats::interconnect_share() const noexcept {
+  std::int64_t metal = 0, all = 0;
+  for (int i = 0; i < kLayerCount; ++i) {
+    const auto l = static_cast<Layer>(i);
+    all += layers[static_cast<std::size_t>(i)].area_units2;
+    if (l >= Layer::kMetal1) {
+      metal += layers[static_cast<std::size_t>(i)].area_units2;
+    }
+  }
+  return all > 0 ? static_cast<double>(metal) / static_cast<double>(all) : 0.0;
+}
+
+units::Micrometers LayoutStats::total_wire_length(units::Micrometers lambda) const {
+  std::int64_t units_total = 0;
+  for (int i = 0; i < kLayerCount; ++i) {
+    const auto l = static_cast<Layer>(i);
+    if (l >= Layer::kMetal1) {
+      units_total += layers[static_cast<std::size_t>(i)].wire_length_units;
+    }
+  }
+  const double unit_um = lambda.value() / static_cast<double>(kUnitsPerLambda);
+  return units::Micrometers{static_cast<double>(units_total) * unit_um};
+}
+
+LayoutStats collect_stats(const Cell& top) {
+  LayoutStats stats;
+  bool any = false;
+  for_each_flat_rect(top, Transform{}, [&](const Rect& r) {
+    LayerStats& ls = stats.layers[static_cast<std::size_t>(r.layer)];
+    ls.rect_count += 1;
+    ls.area_units2 += r.area();
+    ls.wire_length_units += std::max(r.width(), r.height());
+    stats.total_rects += 1;
+    if (!any) {
+      stats.bounding_box = r;
+      any = true;
+    } else {
+      stats.bounding_box.x0 = std::min(stats.bounding_box.x0, r.x0);
+      stats.bounding_box.y0 = std::min(stats.bounding_box.y0, r.y0);
+      stats.bounding_box.x1 = std::max(stats.bounding_box.x1, r.x1);
+      stats.bounding_box.y1 = std::max(stats.bounding_box.y1, r.y1);
+    }
+  });
+  return stats;
+}
+
+}  // namespace nanocost::layout

@@ -1,0 +1,91 @@
+#include "nanocost/layout/types.hpp"
+
+#include <algorithm>
+
+namespace nanocost::layout {
+
+std::string layer_name(Layer layer) {
+  switch (layer) {
+    case Layer::kDiffusion: return "diffusion";
+    case Layer::kPoly: return "poly";
+    case Layer::kContact: return "contact";
+    case Layer::kMetal1: return "metal1";
+    case Layer::kVia1: return "via1";
+    case Layer::kMetal2: return "metal2";
+    case Layer::kVia2: return "via2";
+    case Layer::kMetal3: return "metal3";
+    case Layer::kVia3: return "via3";
+    case Layer::kMetal4: return "metal4";
+    case Layer::kVia4: return "via4";
+    case Layer::kMetal5: return "metal5";
+    case Layer::kVia5: return "via5";
+    case Layer::kMetal6: return "metal6";
+  }
+  return "unknown";
+}
+
+namespace {
+
+struct Matrix {
+  int a, b, c, d;  // (x,y) -> (a x + b y, c x + d y)
+};
+
+constexpr Matrix kMatrices[kOrientationCount] = {
+    {1, 0, 0, 1},    // R0
+    {0, -1, 1, 0},   // R90
+    {-1, 0, 0, -1},  // R180
+    {0, 1, -1, 0},   // R270
+    {1, 0, 0, -1},   // MX
+    {-1, 0, 0, 1},   // MY
+    {0, 1, 1, 0},    // MXR90: mirror about x, then rotate 90
+    {0, -1, -1, 0},  // MYR90: mirror about y, then rotate 90
+};
+
+constexpr Matrix multiply(const Matrix& m, const Matrix& n) {
+  // (m * n)(v) = m(n(v))
+  return Matrix{m.a * n.a + m.b * n.c, m.a * n.b + m.b * n.d, m.c * n.a + m.d * n.c,
+                m.c * n.b + m.d * n.d};
+}
+
+constexpr bool same(const Matrix& m, const Matrix& n) {
+  return m.a == n.a && m.b == n.b && m.c == n.c && m.d == n.d;
+}
+
+}  // namespace
+
+Orientation compose(Orientation outer, Orientation inner) noexcept {
+  const Matrix product =
+      multiply(kMatrices[static_cast<int>(outer)], kMatrices[static_cast<int>(inner)]);
+  for (int i = 0; i < kOrientationCount; ++i) {
+    if (same(product, kMatrices[i])) return static_cast<Orientation>(i);
+  }
+  return Orientation::kR0;  // unreachable: the eight matrices form a group
+}
+
+Point Transform::apply(Point p) const noexcept {
+  const Matrix& m = kMatrices[static_cast<int>(orientation)];
+  return Point{m.a * p.x + m.b * p.y + dx, m.c * p.x + m.d * p.y + dy};
+}
+
+Rect Transform::apply(const Rect& r) const noexcept {
+  const Point p = apply(Point{r.x0, r.y0});
+  const Point q = apply(Point{r.x1, r.y1});
+  Rect out;
+  out.layer = r.layer;
+  out.x0 = std::min(p.x, q.x);
+  out.x1 = std::max(p.x, q.x);
+  out.y0 = std::min(p.y, q.y);
+  out.y1 = std::max(p.y, q.y);
+  return out;
+}
+
+Transform Transform::compose(const Transform& inner) const noexcept {
+  Transform out;
+  out.orientation = layout::compose(orientation, inner.orientation);
+  const Point d = apply(Point{inner.dx, inner.dy});
+  out.dx = d.x;
+  out.dy = d.y;
+  return out;
+}
+
+}  // namespace nanocost::layout

@@ -1,0 +1,44 @@
+#include "nanocost/netlist/estimate.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace nanocost::netlist {
+
+double estimate_total_wirelength(const Netlist& netlist, double sites,
+                                 const EstimateParams& params) {
+  if (!(sites >= 1.0)) {
+    throw std::invalid_argument("estimate needs at least one placement site");
+  }
+  if (!(params.rent_exponent > 0.0 && params.rent_exponent < 1.0)) {
+    throw std::invalid_argument("Rent exponent must be in (0, 1)");
+  }
+  if (!(params.k > 0.0)) {
+    throw std::invalid_argument("estimator k must be positive");
+  }
+  // Donath-style characteristic length: sqrt(sites)^(2p - 1); for
+  // p = 0.5 length is size-independent, above 0.5 it grows.
+  const double characteristic =
+      std::pow(std::sqrt(sites), 2.0 * params.rent_exponent - 1.0);
+  double total = 0.0;
+  for (const Net& n : netlist.nets()) {
+    if (n.driver_gate < 0 && n.sink_gates.empty()) continue;  // dangling PI
+    const double segments = static_cast<double>(n.pin_count() - 1);
+    if (segments <= 0.0) continue;
+    total += params.k * segments * characteristic;
+  }
+  return total;
+}
+
+double estimate_average_net_length(const Netlist& netlist, double sites,
+                                   const EstimateParams& params) {
+  std::int64_t counted = 0;
+  for (const Net& n : netlist.nets()) {
+    if (n.pin_count() >= 2) ++counted;
+  }
+  if (counted == 0) return 0.0;
+  return estimate_total_wirelength(netlist, sites, params) /
+         static_cast<double>(counted);
+}
+
+}  // namespace nanocost::netlist

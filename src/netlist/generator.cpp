@@ -1,0 +1,59 @@
+#include "nanocost/netlist/generator.hpp"
+
+#include <cmath>
+#include <random>
+#include <stdexcept>
+
+namespace nanocost::netlist {
+
+Netlist generate_random_logic(const GeneratorParams& params) {
+  if (params.gate_count < 1 || params.primary_inputs < 1) {
+    throw std::invalid_argument("netlist generator needs gates >= 1 and inputs >= 1");
+  }
+  if (!(params.locality > 0.0 && params.locality <= 1.0)) {
+    throw std::invalid_argument("locality must be in (0, 1]");
+  }
+  double weight_sum = 0.0;
+  for (const double w : params.type_weights) {
+    if (w < 0.0) throw std::invalid_argument("type weights must be >= 0");
+    weight_sum += w;
+  }
+  if (weight_sum <= 0.0) throw std::invalid_argument("type weights must not all be zero");
+
+  std::mt19937_64 rng(params.seed);
+  std::uniform_real_distribution<double> uni(0.0, 1.0);
+  // Geometric reach: distance back from the frontier when picking an
+  // input net.  locality 1 -> mean reach ~1 net; locality eps -> the
+  // whole history.
+  std::geometric_distribution<std::int32_t> reach(params.locality);
+
+  Netlist nl;
+  for (std::int32_t i = 0; i < params.primary_inputs; ++i) {
+    nl.add_primary_input();
+  }
+
+  for (std::int32_t g = 0; g < params.gate_count; ++g) {
+    // Pick a type by weight.
+    double pick = uni(rng) * weight_sum;
+    auto type = GateType::kInv;
+    for (int t = 0; t < kGateTypeCount; ++t) {
+      pick -= params.type_weights[t];
+      if (pick <= 0.0) {
+        type = static_cast<GateType>(t);
+        break;
+      }
+    }
+
+    std::vector<std::int32_t> inputs;
+    const int fanin = fanin_of(type);
+    for (int p = 0; p < fanin; ++p) {
+      const std::int32_t available = nl.net_count();
+      std::int32_t back = reach(rng) % available;
+      inputs.push_back(available - 1 - back);
+    }
+    nl.add_gate(type, inputs);
+  }
+  return nl;
+}
+
+}  // namespace nanocost::netlist

@@ -1,0 +1,93 @@
+#include "nanocost/netlist/netlist.hpp"
+
+#include <stdexcept>
+
+namespace nanocost::netlist {
+
+std::string gate_type_name(GateType type) {
+  switch (type) {
+    case GateType::kInv: return "inv";
+    case GateType::kNand2: return "nand2";
+    case GateType::kNor2: return "nor2";
+    case GateType::kDff: return "dff";
+  }
+  return "unknown";
+}
+
+int transistors_in(GateType type) {
+  switch (type) {
+    case GateType::kInv: return 2;
+    case GateType::kNand2: return 4;
+    case GateType::kNor2: return 4;
+    case GateType::kDff: return 20;
+  }
+  return 0;
+}
+
+int fanin_of(GateType type) {
+  switch (type) {
+    case GateType::kInv: return 1;
+    case GateType::kNand2: return 2;
+    case GateType::kNor2: return 2;
+    case GateType::kDff: return 2;
+  }
+  return 0;
+}
+
+std::int32_t Netlist::add_primary_input() {
+  nets_.push_back(Net{});
+  return static_cast<std::int32_t>(nets_.size()) - 1;
+}
+
+std::int32_t Netlist::add_gate(GateType type, const std::vector<std::int32_t>& inputs) {
+  if (static_cast<int>(inputs.size()) != fanin_of(type)) {
+    throw std::invalid_argument("gate " + gate_type_name(type) + " needs " +
+                                std::to_string(fanin_of(type)) + " inputs, got " +
+                                std::to_string(inputs.size()));
+  }
+  const auto gate_id = static_cast<std::int32_t>(gates_.size());
+  for (const std::int32_t net : inputs) {
+    if (net < 0 || net >= net_count()) {
+      throw std::invalid_argument("gate input references unknown net " +
+                                  std::to_string(net));
+    }
+    nets_[static_cast<std::size_t>(net)].sink_gates.push_back(gate_id);
+  }
+  Net out;
+  out.driver_gate = gate_id;
+  nets_.push_back(out);
+
+  Gate gate;
+  gate.type = type;
+  gate.input_nets = inputs;
+  gate.output_net = static_cast<std::int32_t>(nets_.size()) - 1;
+  gates_.push_back(std::move(gate));
+  return gate_id;
+}
+
+std::int64_t Netlist::transistor_count() const {
+  std::int64_t total = 0;
+  for (const Gate& g : gates_) total += transistors_in(g.type);
+  return total;
+}
+
+std::vector<std::int32_t> Netlist::type_histogram() const {
+  std::vector<std::int32_t> histogram(kGateTypeCount, 0);
+  for (const Gate& g : gates_) {
+    ++histogram[static_cast<std::size_t>(g.type)];
+  }
+  return histogram;
+}
+
+double Netlist::average_fanout() const {
+  std::int64_t sinks = 0, driven = 0;
+  for (const Net& n : nets_) {
+    if (n.driver_gate >= 0) {
+      sinks += static_cast<std::int64_t>(n.sink_gates.size());
+      ++driven;
+    }
+  }
+  return driven > 0 ? static_cast<double>(sinks) / static_cast<double>(driven) : 0.0;
+}
+
+}  // namespace nanocost::netlist

@@ -1,0 +1,260 @@
+#include "nanocost/place/placer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <random>
+#include <stdexcept>
+
+namespace nanocost::place {
+
+using netlist::Net;
+using netlist::Netlist;
+
+Placement::Placement(std::int32_t rows, std::int32_t cols, std::int32_t gate_count)
+    : rows_(rows), cols_(cols) {
+  if (rows_ < 1 || cols_ < 1) {
+    throw std::invalid_argument("placement grid needs rows >= 1 and cols >= 1");
+  }
+  if (gate_count > site_count()) {
+    throw std::invalid_argument("placement grid too small: " + std::to_string(gate_count) +
+                                " gates, " + std::to_string(site_count()) + " sites");
+  }
+  site_of_gate_.assign(static_cast<std::size_t>(gate_count), -1);
+  gate_of_site_.assign(static_cast<std::size_t>(site_count()), -1);
+}
+
+void Placement::assign(std::int32_t gate, std::int32_t site) {
+  if (gate_of_site_.at(static_cast<std::size_t>(site)) != -1) {
+    throw std::invalid_argument("site already occupied");
+  }
+  const std::int32_t old_site = site_of_gate_.at(static_cast<std::size_t>(gate));
+  if (old_site >= 0) gate_of_site_[static_cast<std::size_t>(old_site)] = -1;
+  site_of_gate_[static_cast<std::size_t>(gate)] = site;
+  gate_of_site_[static_cast<std::size_t>(site)] = gate;
+}
+
+void Placement::swap_sites(std::int32_t site_a, std::int32_t site_b) {
+  std::int32_t ga = gate_of_site_.at(static_cast<std::size_t>(site_a));
+  std::int32_t gb = gate_of_site_.at(static_cast<std::size_t>(site_b));
+  gate_of_site_[static_cast<std::size_t>(site_a)] = gb;
+  gate_of_site_[static_cast<std::size_t>(site_b)] = ga;
+  if (ga >= 0) site_of_gate_[static_cast<std::size_t>(ga)] = site_b;
+  if (gb >= 0) site_of_gate_[static_cast<std::size_t>(gb)] = site_a;
+}
+
+Placement Placement::ordered(const Netlist& netlist, std::int32_t rows, std::int32_t cols) {
+  Placement p(rows, cols, netlist.gate_count());
+  for (std::int32_t g = 0; g < netlist.gate_count(); ++g) {
+    p.assign(g, g);
+  }
+  return p;
+}
+
+Placement Placement::random(const Netlist& netlist, std::int32_t rows, std::int32_t cols,
+                            std::uint64_t seed) {
+  Placement p(rows, cols, netlist.gate_count());
+  std::vector<std::int32_t> sites(static_cast<std::size_t>(p.site_count()));
+  for (std::int32_t s = 0; s < p.site_count(); ++s) sites[static_cast<std::size_t>(s)] = s;
+  std::mt19937_64 rng(seed);
+  std::shuffle(sites.begin(), sites.end(), rng);
+  for (std::int32_t g = 0; g < netlist.gate_count(); ++g) {
+    p.assign(g, sites[static_cast<std::size_t>(g)]);
+  }
+  return p;
+}
+
+namespace {
+
+/// HPWL of one net under a placement.
+double net_hpwl(const Net& net, const Placement& p, double row_weight) {
+  std::int32_t min_c = std::numeric_limits<std::int32_t>::max();
+  std::int32_t max_c = std::numeric_limits<std::int32_t>::min();
+  std::int32_t min_r = min_c, max_r = max_c;
+  int pins = 0;
+  const auto visit = [&](std::int32_t gate) {
+    const std::int32_t c = p.col_of(gate);
+    const std::int32_t r = p.row_of(gate);
+    min_c = std::min(min_c, c);
+    max_c = std::max(max_c, c);
+    min_r = std::min(min_r, r);
+    max_r = std::max(max_r, r);
+    ++pins;
+  };
+  if (net.driver_gate >= 0) visit(net.driver_gate);
+  for (const std::int32_t sink : net.sink_gates) visit(sink);
+  if (pins < 2) return 0.0;
+  return static_cast<double>(max_c - min_c) +
+         row_weight * static_cast<double>(max_r - min_r);
+}
+
+}  // namespace
+
+double total_hpwl(const Netlist& netlist, const Placement& placement, double row_weight) {
+  double total = 0.0;
+  for (const Net& net : netlist.nets()) {
+    total += net_hpwl(net, placement, row_weight);
+  }
+  return total;
+}
+
+double total_weighted_hpwl(const Netlist& netlist, const Placement& placement,
+                           const std::vector<double>& net_weights, double row_weight) {
+  double total = 0.0;
+  for (std::int32_t n = 0; n < netlist.net_count(); ++n) {
+    const double w = static_cast<std::size_t>(n) < net_weights.size()
+                         ? net_weights[static_cast<std::size_t>(n)]
+                         : 1.0;
+    total += w * net_hpwl(netlist.nets()[static_cast<std::size_t>(n)], placement,
+                          row_weight);
+  }
+  return total;
+}
+
+namespace {
+
+PlaceResult anneal_impl(const Netlist& netlist, std::int32_t rows, std::int32_t cols,
+                        const AnnealParams& params, const std::vector<double>* net_weights,
+                        const Placement* start = nullptr) {
+  if (!(params.cooling > 0.0 && params.cooling < 1.0)) {
+    throw std::invalid_argument("cooling factor must be in (0, 1)");
+  }
+  if (start != nullptr && (start->rows() != rows || start->cols() != cols ||
+                           start->gate_count() != netlist.gate_count())) {
+    throw std::invalid_argument("warm-start placement does not match the grid/netlist");
+  }
+  Placement placement = start != nullptr ? *start : Placement::ordered(netlist, rows, cols);
+
+  // Gate -> incident nets adjacency (each net once per gate).
+  std::vector<std::vector<std::int32_t>> nets_of_gate(
+      static_cast<std::size_t>(netlist.gate_count()));
+  for (std::int32_t n = 0; n < netlist.net_count(); ++n) {
+    const Net& net = netlist.nets()[static_cast<std::size_t>(n)];
+    if (net.driver_gate >= 0) {
+      nets_of_gate[static_cast<std::size_t>(net.driver_gate)].push_back(n);
+    }
+    for (const std::int32_t sink : net.sink_gates) {
+      auto& list = nets_of_gate[static_cast<std::size_t>(sink)];
+      if (list.empty() || list.back() != n) list.push_back(n);
+    }
+  }
+
+  const auto weight_of = [net_weights](std::int32_t n) {
+    return net_weights != nullptr && static_cast<std::size_t>(n) < net_weights->size()
+               ? (*net_weights)[static_cast<std::size_t>(n)]
+               : 1.0;
+  };
+  const auto objective = [&](const Placement& p) {
+    return net_weights != nullptr
+               ? total_weighted_hpwl(netlist, p, *net_weights, params.row_weight)
+               : total_hpwl(netlist, p, params.row_weight);
+  };
+
+  const double initial = objective(placement);
+  double current = initial;
+  double temperature = params.initial_temperature > 0.0
+                           ? params.initial_temperature
+                           : std::max(initial / std::max(netlist.gate_count(), 1), 1.0);
+  const double stop = temperature * params.stop_temperature_fraction;
+
+  std::mt19937_64 rng(params.seed);
+  std::uniform_int_distribution<std::int32_t> pick_gate(0, netlist.gate_count() - 1);
+  std::uniform_int_distribution<std::int32_t> pick_site(0, placement.site_count() - 1);
+  std::uniform_real_distribution<double> uni(0.0, 1.0);
+
+  // Scratch for affected-net dedup.
+  std::vector<std::int32_t> affected;
+  std::vector<std::uint32_t> stamp(static_cast<std::size_t>(netlist.net_count()), 0);
+  std::uint32_t tick = 0;
+
+  PlaceResult result{std::move(placement), initial, initial, 0, 0};
+  if (netlist.gate_count() < 2) return result;
+
+  const auto cost_of_affected = [&](const std::vector<std::int32_t>& nets) {
+    double sum = 0.0;
+    for (const std::int32_t n : nets) {
+      sum += weight_of(n) * net_hpwl(netlist.nets()[static_cast<std::size_t>(n)],
+                                     result.placement, params.row_weight);
+    }
+    return sum;
+  };
+
+  while (temperature > stop) {
+    const std::int64_t moves =
+        static_cast<std::int64_t>(params.moves_per_temperature_per_gate) *
+        netlist.gate_count();
+    for (std::int64_t m = 0; m < moves; ++m) {
+      const std::int32_t gate = pick_gate(rng);
+      const std::int32_t from = result.placement.site_of(gate);
+      const std::int32_t to = pick_site(rng);
+      if (to == from) continue;
+      const std::int32_t other = result.placement.gate_at(to);
+
+      // Collect affected nets (both gates' nets, deduplicated).
+      ++tick;
+      affected.clear();
+      for (const std::int32_t n : nets_of_gate[static_cast<std::size_t>(gate)]) {
+        if (stamp[static_cast<std::size_t>(n)] != tick) {
+          stamp[static_cast<std::size_t>(n)] = tick;
+          affected.push_back(n);
+        }
+      }
+      if (other >= 0) {
+        for (const std::int32_t n : nets_of_gate[static_cast<std::size_t>(other)]) {
+          if (stamp[static_cast<std::size_t>(n)] != tick) {
+            stamp[static_cast<std::size_t>(n)] = tick;
+            affected.push_back(n);
+          }
+        }
+      }
+
+      const double before = cost_of_affected(affected);
+      result.placement.swap_sites(from, to);
+      const double after = cost_of_affected(affected);
+      const double delta = after - before;
+      ++result.moves_tried;
+      if (delta <= 0.0 || uni(rng) < std::exp(-delta / temperature)) {
+        current += delta;
+        ++result.moves_accepted;
+      } else {
+        result.placement.swap_sites(from, to);  // revert
+      }
+    }
+    temperature *= params.cooling;
+  }
+  result.final_hpwl = objective(result.placement);
+  return result;
+}
+
+}  // namespace
+
+PlaceResult anneal_place(const Netlist& netlist, std::int32_t rows, std::int32_t cols,
+                         const AnnealParams& params) {
+  return anneal_impl(netlist, rows, cols, params, nullptr);
+}
+
+PlaceResult anneal_place_weighted(const Netlist& netlist, std::int32_t rows,
+                                  std::int32_t cols, const std::vector<double>& net_weights,
+                                  const AnnealParams& params) {
+  return anneal_impl(netlist, rows, cols, params, &net_weights);
+}
+
+PlaceResult anneal_refine_weighted(const Netlist& netlist, const Placement& start,
+                                   const std::vector<double>& net_weights,
+                                   const AnnealParams& params) {
+  if (start.gate_count() != netlist.gate_count()) {
+    throw std::invalid_argument("warm-start placement does not match the netlist");
+  }
+  // Refinement: a cool schedule around the existing solution rather
+  // than a melt-and-refreeze, so unrelated structure survives.
+  AnnealParams refine = params;
+  if (refine.initial_temperature <= 0.0) {
+    const double scale =
+        total_weighted_hpwl(netlist, start, net_weights, params.row_weight) /
+        std::max(netlist.gate_count(), 1);
+    refine.initial_temperature = std::max(scale * 0.1, 1e-6);
+  }
+  return anneal_impl(netlist, start.rows(), start.cols(), refine, &net_weights, &start);
+}
+
+}  // namespace nanocost::place

@@ -1,0 +1,87 @@
+#include "nanocost/place/synthesis.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "nanocost/layout/generators.hpp"
+
+namespace nanocost::place {
+
+using layout::Coord;
+
+SynthesisResult synthesize(const netlist::Netlist& netlist, const Placement& placement,
+                           const SynthesisParams& params) {
+  auto lib = std::make_shared<layout::Library>();
+  const layout::StdCellMasters masters = layout::make_stdcell_masters(*lib);
+  const auto master_of = [&](netlist::GateType type) -> const layout::Cell* {
+    switch (type) {
+      case netlist::GateType::kInv: return masters.inv;
+      case netlist::GateType::kNand2: return masters.nand2;
+      case netlist::GateType::kNor2: return masters.nor2;
+      case netlist::GateType::kDff: return masters.dff;
+    }
+    return masters.inv;
+  };
+
+  // Measured wiring demand sizes the routing channels: more HPWL needs
+  // more tracks.  Track pitch is 4 half-lambda units (2 lambda).
+  const double hpwl = total_hpwl(netlist, placement);
+  const double row_capacity_sites = static_cast<double>(placement.cols());
+  const double tracks_needed =
+      hpwl / std::max(row_capacity_sites * placement.rows(), 1.0) *
+      params.tracks_per_channel_row;
+  const Coord channel = std::max<Coord>(
+      params.min_channel, static_cast<Coord>(std::llround(tracks_needed)) * 4);
+
+  constexpr Coord kRowHeight = 32;
+  const Coord row_pitch = kRowHeight + channel;
+
+  layout::Cell& top = lib->create_cell("synthesized_top");
+
+  // Pack each placement row left-to-right with real cell widths,
+  // preserving the placement's column order.
+  std::vector<std::vector<std::int32_t>> gates_in_row(
+      static_cast<std::size_t>(placement.rows()));
+  for (std::int32_t g = 0; g < netlist.gate_count(); ++g) {
+    gates_in_row[static_cast<std::size_t>(placement.row_of(g))].push_back(g);
+  }
+  Coord max_x = 0;
+  for (std::int32_t r = 0; r < placement.rows(); ++r) {
+    auto& row_gates = gates_in_row[static_cast<std::size_t>(r)];
+    std::sort(row_gates.begin(), row_gates.end(),
+              [&](std::int32_t a, std::int32_t b) {
+                return placement.col_of(a) < placement.col_of(b);
+              });
+    Coord x = 0;
+    const Coord y = r * row_pitch;
+    const bool flipped = (r % 2) == 1;
+    for (const std::int32_t g : row_gates) {
+      const layout::Cell* master =
+          master_of(netlist.gates()[static_cast<std::size_t>(g)].type);
+      layout::Instance inst;
+      inst.cell = master;
+      inst.transform.orientation =
+          flipped ? layout::Orientation::kMX : layout::Orientation::kR0;
+      inst.transform.dx = x;
+      inst.transform.dy = flipped ? y + kRowHeight : y;
+      top.add_instance(inst);
+      x += master->bounding_box().width();
+    }
+    max_x = std::max(max_x, x);
+  }
+
+  // Channel metal: horizontal metal2 tracks on a 8-unit pitch.
+  if (channel >= 8 && max_x > 0) {
+    for (std::int32_t r = 0; r < placement.rows(); ++r) {
+      const Coord ch0 = r * row_pitch + kRowHeight;
+      for (Coord t = ch0 + 2; t + 2 <= ch0 + channel; t += 8) {
+        top.add_rect(layout::Rect{layout::Layer::kMetal2, 0, t, max_x, t + 2});
+      }
+    }
+  }
+
+  SynthesisResult result{layout::Design{lib, &top, params.lambda}, hpwl, channel};
+  return result;
+}
+
+}  // namespace nanocost::place

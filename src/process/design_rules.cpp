@@ -1,0 +1,77 @@
+#include "nanocost/process/design_rules.hpp"
+
+#include <algorithm>
+
+#include "nanocost/units/quantity.hpp"
+
+namespace nanocost::process {
+
+namespace {
+
+LayerRule rule_for(layout::Layer layer) {
+  using layout::Layer;
+  switch (layer) {
+    case Layer::kDiffusion: return {1.0, 1.0};
+    case Layer::kPoly: return {1.0, 1.0};
+    case Layer::kContact: return {1.0, 1.0};
+    case Layer::kMetal1: return {1.0, 1.0};
+    case Layer::kVia1: return {1.0, 1.0};
+    case Layer::kMetal2: return {1.0, 1.0};
+    case Layer::kVia2: return {1.0, 1.0};
+    case Layer::kMetal3: return {1.5, 1.5};
+    case Layer::kVia3: return {1.5, 1.5};
+    case Layer::kMetal4: return {1.5, 1.5};
+    case Layer::kVia4: return {2.0, 2.0};
+    case Layer::kMetal5: return {2.0, 2.0};
+    case Layer::kVia5: return {2.0, 2.0};
+    case Layer::kMetal6: return {3.0, 3.0};
+  }
+  return {1.0, 1.0};
+}
+
+}  // namespace
+
+DesignRules::DesignRules(units::Micrometers lambda)
+    : lambda_(units::require_positive(lambda, "lambda")) {
+  for (int i = 0; i < layout::kLayerCount; ++i) {
+    rules_[i] = rule_for(static_cast<layout::Layer>(i));
+  }
+}
+
+DesignRules DesignRules::scalable_cmos(units::Micrometers lambda) {
+  return DesignRules{lambda};
+}
+
+const LayerRule& DesignRules::rule(layout::Layer layer) const noexcept {
+  return rules_[static_cast<int>(layer)];
+}
+
+units::Micrometers DesignRules::min_width(layout::Layer layer) const noexcept {
+  return lambda_ * rule(layer).min_width_lambda;
+}
+
+units::Micrometers DesignRules::min_spacing(layout::Layer layer) const noexcept {
+  return lambda_ * rule(layer).min_spacing_lambda;
+}
+
+units::Micrometers DesignRules::min_pitch(layout::Layer layer) const noexcept {
+  return lambda_ * rule(layer).min_pitch_lambda();
+}
+
+double DesignRules::tracks_per_mm(layout::Layer layer) const noexcept {
+  return 1000.0 / min_pitch(layer).value();
+}
+
+std::int64_t DesignRules::count_width_violations(
+    const std::vector<layout::Rect>& rects) const noexcept {
+  std::int64_t violations = 0;
+  for (const layout::Rect& r : rects) {
+    const double min_units =
+        rule(r.layer).min_width_lambda * static_cast<double>(layout::kUnitsPerLambda);
+    const double w = static_cast<double>(std::min(r.width(), r.height()));
+    if (w + 1e-9 < min_units) ++violations;
+  }
+  return violations;
+}
+
+}  // namespace nanocost::process

@@ -1,0 +1,139 @@
+#include "nanocost/process/drc.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+namespace nanocost::process {
+
+namespace {
+
+using layout::Coord;
+using layout::Rect;
+
+/// Euclidean gap between two rectangles (0 when touching/overlapping).
+double box_gap(const Rect& a, const Rect& b) {
+  const auto axis_gap = [](Coord a0, Coord a1, Coord b0, Coord b1) -> double {
+    if (b0 > a1) return static_cast<double>(b0 - a1);
+    if (a0 > b1) return static_cast<double>(a0 - b1);
+    return 0.0;
+  };
+  const double dx = axis_gap(a.x0, a.x1, b.x0, b.x1);
+  const double dy = axis_gap(a.y0, a.y1, b.y0, b.y1);
+  return std::hypot(dx, dy);
+}
+
+/// Spatial hash over one layer's rectangles for neighborhood queries.
+class LayerIndex final {
+ public:
+  LayerIndex(std::vector<const Rect*> rects, Coord tile) : rects_(std::move(rects)),
+                                                           tile_(std::max<Coord>(tile, 1)) {
+    for (std::size_t i = 0; i < rects_.size(); ++i) {
+      visit_tiles(*rects_[i], 0, [&](std::int64_t key) { buckets_[key].push_back(i); });
+    }
+  }
+
+  /// Calls fn(index) for each rect whose expanded bbox tile-overlaps
+  /// `r` expanded by `margin`; may repeat candidates (caller dedupes by
+  /// index ordering).
+  template <typename Fn>
+  void for_candidates(const Rect& r, Coord margin, Fn&& fn) const {
+    visit_tiles(r, margin, [&](std::int64_t key) {
+      const auto it = buckets_.find(key);
+      if (it == buckets_.end()) return;
+      for (const std::size_t i : it->second) fn(i);
+    });
+  }
+
+  [[nodiscard]] const Rect& rect(std::size_t i) const { return *rects_[i]; }
+  [[nodiscard]] std::size_t size() const { return rects_.size(); }
+
+ private:
+  template <typename Fn>
+  void visit_tiles(const Rect& r, Coord margin, Fn&& fn) const {
+    const std::int64_t tx0 = (r.x0 - margin) / tile_ - 1;
+    const std::int64_t tx1 = (r.x1 + margin) / tile_ + 1;
+    const std::int64_t ty0 = (r.y0 - margin) / tile_ - 1;
+    const std::int64_t ty1 = (r.y1 + margin) / tile_ + 1;
+    for (std::int64_t ty = ty0; ty <= ty1; ++ty) {
+      for (std::int64_t tx = tx0; tx <= tx1; ++tx) {
+        fn(ty * 1000003 + tx);
+      }
+    }
+  }
+
+  std::vector<const Rect*> rects_;
+  Coord tile_;
+  std::unordered_map<std::int64_t, std::vector<std::size_t>> buckets_;
+};
+
+}  // namespace
+
+DrcResult check_rules(const std::vector<Rect>& rects, const DesignRules& rules,
+                      std::size_t max_reported) {
+  DrcResult result;
+  result.rects_checked = static_cast<std::int64_t>(rects.size());
+  result.width_violations = rules.count_width_violations(rects);
+
+  // Bucket rectangles by layer.
+  std::vector<std::vector<const Rect*>> by_layer(layout::kLayerCount);
+  for (const Rect& r : rects) {
+    by_layer[static_cast<std::size_t>(r.layer)].push_back(&r);
+  }
+
+  for (int l = 0; l < layout::kLayerCount; ++l) {
+    auto& layer_rects = by_layer[static_cast<std::size_t>(l)];
+    if (layer_rects.size() < 2) continue;
+    const auto layer = static_cast<layout::Layer>(l);
+    const double spacing_units = rules.rule(layer).min_spacing_lambda *
+                                 static_cast<double>(layout::kUnitsPerLambda);
+    const auto margin = static_cast<Coord>(std::ceil(spacing_units));
+
+    // Tile a bit larger than a typical rect + margin.
+    Coord mean_extent = 0;
+    for (const Rect* r : layer_rects) mean_extent += std::max(r->width(), r->height());
+    mean_extent /= static_cast<Coord>(layer_rects.size());
+    const LayerIndex index(layer_rects, mean_extent + 2 * margin);
+
+    std::vector<char> seen(index.size(), 0);
+    for (std::size_t i = 0; i < index.size(); ++i) {
+      const Rect& a = index.rect(i);
+      std::vector<std::size_t> candidates;
+      index.for_candidates(a, margin, [&](std::size_t j) {
+        if (j > i && !seen[j]) {
+          seen[j] = 1;
+          candidates.push_back(j);
+        }
+      });
+      for (const std::size_t j : candidates) {
+        seen[j] = 0;  // reset for the next query
+        const Rect& b = index.rect(j);
+        const double gap = box_gap(a, b);
+        // Touching/overlapping rectangles are connected shapes, legal.
+        if (gap > 0.0 && gap + 1e-9 < spacing_units) {
+          ++result.spacing_violation_count;
+          if (result.spacing_violations.size() < max_reported) {
+            SpacingViolation v;
+            v.a = a;
+            v.b = b;
+            v.gap_lambda = gap / static_cast<double>(layout::kUnitsPerLambda);
+            v.required_lambda = rules.rule(layer).min_spacing_lambda;
+            result.spacing_violations.push_back(v);
+          }
+        }
+      }
+    }
+  }
+  return result;
+}
+
+DrcResult check_rules(const layout::Cell& top, const DesignRules& rules,
+                      std::size_t max_reported) {
+  std::vector<Rect> rects;
+  rects.reserve(static_cast<std::size_t>(top.flat_rect_count()));
+  layout::for_each_flat_rect(top, layout::Transform{},
+                             [&](const Rect& r) { rects.push_back(r); });
+  return check_rules(rects, rules, max_reported);
+}
+
+}  // namespace nanocost::process

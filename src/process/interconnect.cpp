@@ -1,0 +1,54 @@
+#include "nanocost/process/interconnect.hpp"
+
+#include <cmath>
+
+#include "nanocost/units/quantity.hpp"
+
+namespace nanocost::process {
+
+namespace {
+constexpr double kAnchorLambdaUm = 0.25;
+constexpr double kAnchorROhmPerMm = 60.0;
+constexpr double kAnchorCPfPerMm = 0.20;
+constexpr double kAnchorGateDelayPs = 80.0;
+}  // namespace
+
+InterconnectModel::InterconnectModel(double r_ohm_per_mm, double c_pf_per_mm,
+                                     double gate_delay_ps)
+    : r_(units::require_positive(r_ohm_per_mm, "wire resistance")),
+      c_(units::require_positive(c_pf_per_mm, "wire capacitance")),
+      gate_delay_ps_(units::require_positive(gate_delay_ps, "gate delay")) {}
+
+InterconnectModel InterconnectModel::for_feature_size(units::Micrometers lambda) {
+  units::require_positive(lambda, "lambda");
+  const double s = kAnchorLambdaUm / lambda.value();  // > 1 for finer nodes
+  // Cross-section shrinks in both dimensions: R/mm ~ s^2.  Lateral
+  // coupling offsets plate-area loss: C/mm ~ constant.  Gate delay
+  // scales down with lambda.
+  return InterconnectModel{kAnchorROhmPerMm * s * s, kAnchorCPfPerMm,
+                           kAnchorGateDelayPs / s};
+}
+
+double InterconnectModel::wire_delay_ps(double length_mm) const {
+  units::require_non_negative(length_mm, "wire length");
+  // 0.5 * R * C * L^2; R in ohm/mm, C in pF/mm -> ohm*pF = ps.
+  return 0.5 * r_ * c_ * length_mm * length_mm;
+}
+
+double InterconnectModel::critical_length_mm() const {
+  // Solve 0.5 R C L^2 = gate delay.
+  return std::sqrt(2.0 * gate_delay_ps_ / (r_ * c_));
+}
+
+double InterconnectModel::repeated_wire_delay_ps(double length_mm) const {
+  units::require_non_negative(length_mm, "wire length");
+  const double segment = critical_length_mm();
+  if (length_mm <= segment) return wire_delay_ps(length_mm);
+  // n segments of length L/n plus (n-1) repeater gate delays, with n
+  // chosen to balance: optimal n ~ L / segment.
+  const double n = std::ceil(length_mm / segment);
+  const double per_segment = wire_delay_ps(length_mm / n);
+  return n * per_segment + (n - 1.0) * gate_delay_ps_;
+}
+
+}  // namespace nanocost::process

@@ -1,0 +1,75 @@
+#include "nanocost/process/prediction.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "nanocost/units/quantity.hpp"
+
+namespace nanocost::process {
+
+namespace {
+
+double standard_normal_cdf(double z) { return 0.5 * std::erfc(-z / std::sqrt(2.0)); }
+
+}  // namespace
+
+PredictionModel::PredictionModel(units::Micrometers lambda, PredictionParams params)
+    : lambda_(units::require_positive(lambda, "lambda")), params_(params) {
+  units::require_positive(params_.interaction_radius, "interaction radius");
+  units::require_positive(params_.base_sigma, "base sigma");
+  units::require_positive(params_.sigma_exponent, "sigma exponent");
+  units::require_positive(params_.margin, "margin");
+}
+
+double PredictionModel::neighborhood_cells() const {
+  const double radius_lambda =
+      params_.interaction_radius.to_micrometers().value() / lambda_.value();
+  const double cells = std::numbers::pi * radius_lambda * radius_lambda;
+  return std::max(cells, 1.0);
+}
+
+double PredictionModel::estimate_sigma() const {
+  return params_.base_sigma * std::pow(neighborhood_cells(), params_.sigma_exponent);
+}
+
+double PredictionModel::iteration_success_probability(double margin) const {
+  units::require_positive(margin, "margin");
+  // One-sided: the realized parameter must land under target + margin.
+  return standard_normal_cdf(margin / estimate_sigma());
+}
+
+double PredictionModel::iteration_success_probability() const {
+  return iteration_success_probability(params_.margin);
+}
+
+double PredictionModel::expected_iterations(double margin) const {
+  const double p = iteration_success_probability(margin);
+  if (p <= 0.0) {
+    throw std::domain_error("prediction model: success probability underflowed");
+  }
+  return 1.0 / p;
+}
+
+double PredictionModel::expected_iterations() const {
+  return expected_iterations(params_.margin);
+}
+
+cost::DesignCostParams PredictionModel::calibrate_design_cost(
+    const cost::DesignCostParams& base, units::Micrometers reference_lambda) const {
+  const PredictionModel reference(reference_lambda, params_);
+  cost::DesignCostParams out = base;
+  out.a0 *= expected_iterations() / reference.expected_iterations();
+  return out;
+}
+
+double PredictionModel::sigma_with_regularity(double regular_share) const {
+  if (!(regular_share >= 0.0 && regular_share <= 1.0)) {
+    throw std::domain_error("regular share must be in [0, 1]");
+  }
+  // Variances add: only the non-regular share contributes estimate
+  // error; the regular share is precharacterized (measured).
+  return estimate_sigma() * std::sqrt(1.0 - regular_share);
+}
+
+}  // namespace nanocost::process

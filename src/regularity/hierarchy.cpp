@@ -1,0 +1,35 @@
+#include "nanocost/regularity/hierarchy.hpp"
+
+#include <unordered_map>
+#include <unordered_set>
+
+namespace nanocost::regularity {
+
+namespace {
+
+/// Placements of each master when `cell` is placed `multiplier` times.
+void count_placements(const layout::Cell& cell, std::int64_t multiplier,
+                      std::unordered_map<const layout::Cell*, std::int64_t>& placements) {
+  placements[&cell] += multiplier;
+  for (const layout::Instance& inst : cell.instances()) {
+    count_placements(*inst.cell, multiplier * inst.count(), placements);
+  }
+}
+
+}  // namespace
+
+HierarchyReport analyze_hierarchy(const layout::Cell& top) {
+  std::unordered_map<const layout::Cell*, std::int64_t> placements;
+  count_placements(top, 1, placements);
+
+  HierarchyReport report;
+  report.unique_cells = static_cast<std::int64_t>(placements.size());
+  for (const auto& [cell, count] : placements) {
+    report.total_placements += count;
+    report.master_rects += static_cast<std::int64_t>(cell->rects().size());
+    report.flat_rects += count * static_cast<std::int64_t>(cell->rects().size());
+  }
+  return report;
+}
+
+}  // namespace nanocost::regularity

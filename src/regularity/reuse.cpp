@@ -1,0 +1,41 @@
+#include "nanocost/regularity/reuse.hpp"
+
+#include <stdexcept>
+
+#include "nanocost/units/quantity.hpp"
+
+namespace nanocost::regularity {
+
+units::Money characterization_cost(const RegularityReport& report,
+                                   units::Money cost_per_pattern) {
+  units::require_non_negative(cost_per_pattern, "cost per pattern");
+  return cost_per_pattern * static_cast<double>(report.unique_patterns);
+}
+
+double design_effort_scale(const RegularityReport& report, double min_scale) {
+  if (!(min_scale > 0.0 && min_scale <= 1.0)) {
+    throw std::domain_error("min_scale must be in (0, 1]");
+  }
+  if (report.total_windows <= 0) return 1.0;
+  const double unique_fraction = static_cast<double>(report.unique_patterns) /
+                                 static_cast<double>(report.total_windows);
+  return min_scale + (1.0 - min_scale) * unique_fraction;
+}
+
+double effective_volume_multiplier(const RegularityReport& report, int products_sharing) {
+  if (products_sharing < 1) {
+    throw std::domain_error("at least one product must use the pattern library");
+  }
+  if (products_sharing == 1 || report.total_windows <= 0) return 1.0;
+  // Only the *reused* (regular) share of the design amortizes across the
+  // family; the unique remainder is paid per product.
+  const double regular_share = report.regularity_index();
+  const double unique_share = 1.0 - regular_share;
+  // Per-product effort falls from 1 to unique_share + regular/N; the
+  // effective volume multiplier is its inverse.
+  const double per_product =
+      unique_share + regular_share / static_cast<double>(products_sharing);
+  return 1.0 / per_product;
+}
+
+}  // namespace nanocost::regularity

@@ -1,0 +1,57 @@
+#include "nanocost/regularity/window_sweep.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace nanocost::regularity {
+
+std::vector<WindowSweepPoint> sweep_windows(const layout::Cell& top,
+                                            layout::Coord min_window, int steps,
+                                            bool orientation_invariant) {
+  if (min_window <= 0 || steps < 1) {
+    throw std::invalid_argument("window sweep needs min_window > 0 and steps >= 1");
+  }
+  // Flatten once; the extractor re-tiles the same geometry per size.
+  std::vector<layout::Rect> rects;
+  rects.reserve(static_cast<std::size_t>(top.flat_rect_count()));
+  layout::for_each_flat_rect(top, layout::Transform{},
+                             [&](const layout::Rect& r) { rects.push_back(r); });
+
+  std::vector<WindowSweepPoint> out;
+  layout::Coord window = min_window;
+  for (int i = 0; i < steps; ++i, window *= 2) {
+    ExtractorParams params;
+    params.window = window;
+    params.orientation_invariant = orientation_invariant;
+    const RegularityReport report = extract_patterns(rects, params);
+    WindowSweepPoint point;
+    point.window = window;
+    point.total_windows = report.total_windows;
+    point.unique_patterns = report.unique_patterns;
+    point.regularity_index = report.regularity_index();
+    out.push_back(point);
+  }
+  return out;
+}
+
+WindowSweepPoint characteristic_scale(const std::vector<WindowSweepPoint>& sweep,
+                                      double tolerance) {
+  if (sweep.empty()) {
+    throw std::invalid_argument("characteristic scale needs a non-empty sweep");
+  }
+  if (!(tolerance >= 0.0 && tolerance < 1.0)) {
+    throw std::invalid_argument("tolerance must be in [0, 1)");
+  }
+  double best = 0.0;
+  for (const WindowSweepPoint& p : sweep) best = std::max(best, p.regularity_index);
+  // Largest window still within tolerance of the best regularity.
+  const WindowSweepPoint* chosen = &sweep.front();
+  for (const WindowSweepPoint& p : sweep) {
+    if (p.regularity_index >= best - tolerance && p.window >= chosen->window) {
+      chosen = &p;
+    }
+  }
+  return *chosen;
+}
+
+}  // namespace nanocost::regularity

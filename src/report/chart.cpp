@@ -1,0 +1,115 @@
+#include "nanocost/report/chart.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+namespace nanocost::report {
+
+namespace {
+
+double transform(double v, Scale scale) {
+  if (scale == Scale::kLog) {
+    if (!(v > 0.0)) {
+      throw std::invalid_argument("log-scale chart received a non-positive value");
+    }
+    return std::log10(v);
+  }
+  return v;
+}
+
+std::string format_tick(double v) {
+  std::ostringstream os;
+  os.precision(3);
+  os << v;
+  return os.str();
+}
+
+}  // namespace
+
+std::string render_chart(const std::vector<Series>& series, const ChartOptions& options) {
+  if (options.width < 8 || options.height < 4) {
+    throw std::invalid_argument("chart area too small");
+  }
+  double min_x = std::numeric_limits<double>::infinity(), max_x = -min_x;
+  double min_y = std::numeric_limits<double>::infinity(), max_y = -min_y;
+  bool any = false;
+  for (const Series& s : series) {
+    for (const auto& [x, y] : s.points) {
+      const double tx = transform(x, options.x_scale);
+      const double ty = transform(y, options.y_scale);
+      min_x = std::min(min_x, tx);
+      max_x = std::max(max_x, tx);
+      min_y = std::min(min_y, ty);
+      max_y = std::max(max_y, ty);
+      any = true;
+    }
+  }
+  if (!any) return "(empty chart)\n";
+  if (max_x == min_x) {
+    min_x -= 0.5;
+    max_x += 0.5;
+  }
+  if (max_y == min_y) {
+    min_y -= 0.5;
+    max_y += 0.5;
+  }
+
+  std::vector<std::string> grid(static_cast<std::size_t>(options.height),
+                                std::string(static_cast<std::size_t>(options.width), ' '));
+  for (const Series& s : series) {
+    for (const auto& [x, y] : s.points) {
+      const double tx = transform(x, options.x_scale);
+      const double ty = transform(y, options.y_scale);
+      const int col = static_cast<int>(std::lround((tx - min_x) / (max_x - min_x) *
+                                                   (options.width - 1)));
+      const int row = static_cast<int>(std::lround((ty - min_y) / (max_y - min_y) *
+                                                   (options.height - 1)));
+      // Row 0 is the top of the rendered chart.
+      grid[static_cast<std::size_t>(options.height - 1 - row)]
+          [static_cast<std::size_t>(col)] = s.marker;
+    }
+  }
+
+  const auto inverse = [](double t, Scale scale) {
+    return scale == Scale::kLog ? std::pow(10.0, t) : t;
+  };
+
+  std::ostringstream os;
+  if (!options.y_label.empty()) os << options.y_label << "\n";
+  for (int r = 0; r < options.height; ++r) {
+    const double ty = max_y - (max_y - min_y) * r / (options.height - 1);
+    std::string tick;
+    if (r == 0 || r == options.height - 1 || r == options.height / 2) {
+      tick = format_tick(inverse(ty, options.y_scale));
+    }
+    os.width(10);
+    os << tick;
+    os << " |" << grid[static_cast<std::size_t>(r)] << "\n";
+  }
+  os << std::string(11, ' ') << '+' << std::string(static_cast<std::size_t>(options.width), '-')
+     << "\n";
+  os << std::string(12, ' ') << format_tick(inverse(min_x, options.x_scale));
+  const std::string right = format_tick(inverse(max_x, options.x_scale));
+  const std::string mid = options.x_label;
+  const int pad = options.width - static_cast<int>(right.size()) -
+                  static_cast<int>(format_tick(inverse(min_x, options.x_scale)).size());
+  if (pad > static_cast<int>(mid.size()) + 2) {
+    const int left_pad = (pad - static_cast<int>(mid.size())) / 2;
+    os << std::string(static_cast<std::size_t>(left_pad), ' ') << mid
+       << std::string(static_cast<std::size_t>(pad - left_pad - static_cast<int>(mid.size())),
+                      ' ');
+  } else {
+    os << std::string(static_cast<std::size_t>(std::max(pad, 1)), ' ');
+  }
+  os << right << "\n";
+  // Legend.
+  for (const Series& s : series) {
+    os << "  " << s.marker << " = " << s.name << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace nanocost::report

@@ -1,0 +1,38 @@
+#include "nanocost/report/wafer_view.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+namespace nanocost::report {
+
+std::string render_wafer_map(const geometry::WaferMap& map,
+                             const std::function<char(std::int64_t)>& site_char) {
+  if (map.sites().empty()) return "(empty wafer map)\n";
+  std::int32_t max_row = 0, max_col = 0;
+  for (const geometry::DieSite& s : map.sites()) {
+    max_row = std::max(max_row, s.row);
+    max_col = std::max(max_col, s.col);
+  }
+  std::vector<std::string> rows(static_cast<std::size_t>(max_row) + 1,
+                                std::string(static_cast<std::size_t>(max_col) + 1, ' '));
+  for (std::size_t i = 0; i < map.sites().size(); ++i) {
+    const geometry::DieSite& s = map.sites()[i];
+    rows[static_cast<std::size_t>(s.row)][static_cast<std::size_t>(s.col)] =
+        site_char(static_cast<std::int64_t>(i));
+  }
+  std::ostringstream os;
+  // Top row of the wafer (max y) first.
+  for (auto it = rows.rbegin(); it != rows.rend(); ++it) {
+    os << "  " << *it << "\n";
+  }
+  return os.str();
+}
+
+std::string render_good_bad(const geometry::WaferMap& map,
+                            const std::function<bool(std::int64_t)>& is_good) {
+  return render_wafer_map(map,
+                          [&](std::int64_t site) { return is_good(site) ? 'o' : 'X'; });
+}
+
+}  // namespace nanocost::report

@@ -1,0 +1,148 @@
+#include "nanocost/timing/sta.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <limits>
+#include <stdexcept>
+
+#include "nanocost/netlist/estimate.hpp"
+
+namespace nanocost::timing {
+
+using netlist::Gate;
+using netlist::GateType;
+using netlist::Net;
+using netlist::Netlist;
+
+namespace {
+
+/// Shared STA core: `wire_delay_ps(net_id)` supplies interconnect
+/// delays; gate ids are a topological order by construction (gates may
+/// only reference already-existing nets).
+TimingResult run_sta(const Netlist& nl, const TimingParams& params,
+                     const std::function<double(std::int32_t)>& wire_delay_ps) {
+  const process::InterconnectModel wires =
+      process::InterconnectModel::for_feature_size(params.lambda);
+  const double unit_gate_delay = wires.gate_delay_ps();
+
+  TimingResult result;
+  result.net_arrival_ps.assign(static_cast<std::size_t>(nl.net_count()), 0.0);
+  // For path recovery: the input net that set each gate's output arrival.
+  std::vector<std::int32_t> critical_input(static_cast<std::size_t>(nl.gate_count()), -1);
+
+  for (std::int32_t g = 0; g < nl.gate_count(); ++g) {
+    const Gate& gate = nl.gates()[static_cast<std::size_t>(g)];
+    const double gate_delay =
+        params.type_delay[static_cast<std::size_t>(gate.type)] * unit_gate_delay;
+    double launch = 0.0;
+    if (gate.type != GateType::kDff) {
+      // Combinational: latest input arrival plus its wire.
+      for (const std::int32_t in : gate.input_nets) {
+        const double t =
+            result.net_arrival_ps[static_cast<std::size_t>(in)] + wire_delay_ps(in);
+        if (t >= launch) {
+          launch = t;
+          critical_input[static_cast<std::size_t>(g)] = in;
+        }
+      }
+    }
+    // DFF outputs launch fresh paths at clk->q (their inputs terminate
+    // paths, handled below).
+    result.net_arrival_ps[static_cast<std::size_t>(gate.output_net)] =
+        launch + gate_delay;
+  }
+
+  // Endpoints: DFF data/clock pins and unloaded nets.
+  double best = 0.0;
+  std::int32_t best_net = -1;
+  const auto consider = [&](std::int32_t net, double extra_wire) {
+    const double t = result.net_arrival_ps[static_cast<std::size_t>(net)] + extra_wire;
+    if (t > best) {
+      best = t;
+      best_net = net;
+    }
+  };
+  for (const Gate& gate : nl.gates()) {
+    if (gate.type == GateType::kDff) {
+      for (const std::int32_t in : gate.input_nets) {
+        consider(in, wire_delay_ps(in));
+      }
+    }
+  }
+  for (std::int32_t n = 0; n < nl.net_count(); ++n) {
+    const Net& net = nl.nets()[static_cast<std::size_t>(n)];
+    if (net.sink_gates.empty() && net.driver_gate >= 0) {
+      consider(n, 0.0);
+    }
+  }
+  result.critical_path_ps = best;
+
+  // Backtrack the critical path.
+  std::int32_t net = best_net;
+  while (net >= 0) {
+    const std::int32_t driver = nl.nets()[static_cast<std::size_t>(net)].driver_gate;
+    if (driver < 0) break;  // reached a primary input
+    result.critical_path.push_back(driver);
+    const Gate& gate = nl.gates()[static_cast<std::size_t>(driver)];
+    result.total_gate_delay_ps +=
+        params.type_delay[static_cast<std::size_t>(gate.type)] * unit_gate_delay;
+    net = critical_input[static_cast<std::size_t>(driver)];
+  }
+  std::reverse(result.critical_path.begin(), result.critical_path.end());
+  result.total_wire_delay_ps = result.critical_path_ps - result.total_gate_delay_ps;
+  return result;
+}
+
+}  // namespace
+
+TimingResult analyze_placed(const Netlist& netlist, const place::Placement& placement,
+                            const TimingParams& params) {
+  const process::InterconnectModel wires =
+      process::InterconnectModel::for_feature_size(params.lambda);
+  // Per-net HPWL in site units -> mm -> repeated-wire delay.
+  const auto wire_delay = [&](std::int32_t net_id) {
+    const Net& net = netlist.nets()[static_cast<std::size_t>(net_id)];
+    std::int32_t min_c = std::numeric_limits<std::int32_t>::max(), max_c = -1;
+    std::int32_t min_r = min_c, max_r = -1;
+    int pins = 0;
+    const auto visit = [&](std::int32_t gate) {
+      min_c = std::min(min_c, placement.col_of(gate));
+      max_c = std::max(max_c, placement.col_of(gate));
+      min_r = std::min(min_r, placement.row_of(gate));
+      max_r = std::max(max_r, placement.row_of(gate));
+      ++pins;
+    };
+    if (net.driver_gate >= 0) visit(net.driver_gate);
+    for (const std::int32_t sink : net.sink_gates) visit(sink);
+    if (pins < 2) return 0.0;
+    const double hpwl_sites = static_cast<double>(max_c - min_c) +
+                              params.row_weight * static_cast<double>(max_r - min_r);
+    const double length_mm = hpwl_sites * params.site_pitch_um / 1000.0;
+    return wires.repeated_wire_delay_ps(length_mm);
+  };
+  return run_sta(netlist, params, wire_delay);
+}
+
+TimingResult analyze_estimated(const Netlist& netlist, double sites,
+                               const TimingParams& params) {
+  const process::InterconnectModel wires =
+      process::InterconnectModel::for_feature_size(params.lambda);
+  const double avg_sites = netlist::estimate_average_net_length(netlist, sites);
+  const double length_mm = avg_sites * params.site_pitch_um / 1000.0;
+  const double per_net = wires.repeated_wire_delay_ps(length_mm);
+  const auto wire_delay = [&, per_net](std::int32_t net_id) {
+    const Net& net = netlist.nets()[static_cast<std::size_t>(net_id)];
+    return net.pin_count() >= 2 ? per_net : 0.0;
+  };
+  return run_sta(netlist, params, wire_delay);
+}
+
+double closure_gap(const TimingResult& estimated, const TimingResult& placed) {
+  if (estimated.critical_path_ps <= 0.0) {
+    throw std::invalid_argument("estimated critical path must be positive");
+  }
+  return (placed.critical_path_ps - estimated.critical_path_ps) /
+         estimated.critical_path_ps;
+}
+
+}  // namespace nanocost::timing

@@ -1,0 +1,32 @@
+#include "nanocost/yield/composite.hpp"
+
+#include <stdexcept>
+
+namespace nanocost::yield {
+
+CompositeYield::CompositeYield(units::Probability gross,
+                               std::shared_ptr<const YieldModel> functional,
+                               units::Probability parametric)
+    : gross_(gross), functional_(std::move(functional)), parametric_(parametric) {
+  if (!functional_) {
+    throw std::invalid_argument("composite yield requires a functional yield model");
+  }
+}
+
+CompositeYield::CompositeYield()
+    : CompositeYield(units::Probability{1.0}, std::make_shared<MurphyYield>(),
+                     units::Probability{1.0}) {}
+
+units::Probability CompositeYield::total(units::SquareCentimeters die_area,
+                                         double defect_density_per_cm2,
+                                         double critical_area_ratio) const {
+  const units::Probability functional =
+      functional_->yield_for_die(die_area, defect_density_per_cm2, critical_area_ratio);
+  return gross_ * functional * parametric_;
+}
+
+units::Probability effective_yield(units::Probability yield, units::Probability utilization) {
+  return yield * utilization;
+}
+
+}  // namespace nanocost::yield

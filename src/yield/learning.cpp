@@ -1,0 +1,39 @@
+#include "nanocost/yield/learning.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace nanocost::yield {
+
+LearningCurve::LearningCurve(double start_density_per_cm2, double floor_density_per_cm2,
+                             double ramp_wafers)
+    : start_(units::require_positive(start_density_per_cm2, "start defect density")),
+      floor_(units::require_non_negative(floor_density_per_cm2, "floor defect density")),
+      ramp_(units::require_positive(ramp_wafers, "learning ramp")) {
+  if (floor_ > start_) {
+    throw std::domain_error("learning curve floor density exceeds start density");
+  }
+}
+
+LearningCurve LearningCurve::for_feature_size_um(double lambda_um) {
+  units::require_positive(lambda_um, "lambda");
+  // Calibrated so a 0.25 um process starts near 1.5 /cm^2 and matures
+  // near 0.3 /cm^2 over ~20k wafers, with densities scaling inversely
+  // with feature size (smaller killers dominate at finer geometry).
+  const double scale = 0.25 / lambda_um;
+  return LearningCurve{1.5 * scale, 0.3 * scale, 20000.0 * std::sqrt(scale)};
+}
+
+double LearningCurve::density_at(double cumulative_wafers) const {
+  units::require_non_negative(cumulative_wafers, "cumulative wafers");
+  return floor_ + (start_ - floor_) * std::exp(-cumulative_wafers / ramp_);
+}
+
+double LearningCurve::average_density_over(double run_wafers) const {
+  units::require_positive(run_wafers, "run wafers");
+  // (1/n) * integral_0^n D(t) dt, closed form.
+  const double decay = ramp_ / run_wafers * (1.0 - std::exp(-run_wafers / ramp_));
+  return floor_ + (start_ - floor_) * decay;
+}
+
+}  // namespace nanocost::yield

@@ -1,0 +1,67 @@
+#include "nanocost/yield/models.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "nanocost/units/quantity.hpp"
+
+namespace nanocost::yield {
+
+units::Probability YieldModel::yield_for_die(units::SquareCentimeters die_area,
+                                             double defect_density_per_cm2,
+                                             double critical_area_ratio) const {
+  units::require_non_negative(die_area, "die area");
+  units::require_non_negative(defect_density_per_cm2, "defect density");
+  units::require_non_negative(critical_area_ratio, "critical area ratio");
+  return yield(die_area.value() * defect_density_per_cm2 * critical_area_ratio);
+}
+
+units::Probability PoissonYield::yield(double mean_faults_per_die) const {
+  units::require_non_negative(mean_faults_per_die, "mean faults per die");
+  return units::Probability::clamped(std::exp(-mean_faults_per_die));
+}
+
+units::Probability MurphyYield::yield(double mean_faults_per_die) const {
+  units::require_non_negative(mean_faults_per_die, "mean faults per die");
+  const double l = mean_faults_per_die;
+  if (l < 1e-12) return units::Probability{1.0};
+  const double g = (1.0 - std::exp(-l)) / l;
+  return units::Probability::clamped(g * g);
+}
+
+units::Probability SeedsYield::yield(double mean_faults_per_die) const {
+  units::require_non_negative(mean_faults_per_die, "mean faults per die");
+  return units::Probability::clamped(std::exp(-std::sqrt(mean_faults_per_die)));
+}
+
+units::Probability BoseEinsteinYield::yield(double mean_faults_per_die) const {
+  units::require_non_negative(mean_faults_per_die, "mean faults per die");
+  return units::Probability::clamped(1.0 / (1.0 + mean_faults_per_die));
+}
+
+NegativeBinomialYield::NegativeBinomialYield(double alpha)
+    : alpha_(units::require_positive(alpha, "clustering alpha")) {}
+
+units::Probability NegativeBinomialYield::yield(double mean_faults_per_die) const {
+  units::require_non_negative(mean_faults_per_die, "mean faults per die");
+  return units::Probability::clamped(std::pow(1.0 + mean_faults_per_die / alpha_, -alpha_));
+}
+
+std::string NegativeBinomialYield::name() const {
+  return "negbin:" + std::to_string(alpha_);
+}
+
+std::unique_ptr<YieldModel> make_yield_model(const std::string& spec) {
+  if (spec == "poisson") return std::make_unique<PoissonYield>();
+  if (spec == "murphy") return std::make_unique<MurphyYield>();
+  if (spec == "seeds") return std::make_unique<SeedsYield>();
+  if (spec == "bose-einstein") return std::make_unique<BoseEinsteinYield>();
+  constexpr const char* kNegbinPrefix = "negbin:";
+  if (spec.rfind(kNegbinPrefix, 0) == 0) {
+    const double alpha = std::stod(spec.substr(std::string(kNegbinPrefix).size()));
+    return std::make_unique<NegativeBinomialYield>(alpha);
+  }
+  throw std::invalid_argument("unknown yield model spec: " + spec);
+}
+
+}  // namespace nanocost::yield

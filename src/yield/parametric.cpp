@@ -1,0 +1,50 @@
+#include "nanocost/yield/parametric.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "nanocost/units/quantity.hpp"
+
+namespace nanocost::yield {
+
+double standard_normal_cdf(double z) {
+  return 0.5 * std::erfc(-z / std::sqrt(2.0));
+}
+
+ParametricYield::ParametricYield(double mean, double sigma, std::optional<double> lower_spec,
+                                 std::optional<double> upper_spec)
+    : mean_(mean), sigma_(units::require_positive(sigma, "sigma")), lower_(lower_spec),
+      upper_(upper_spec) {
+  if (!lower_ && !upper_) {
+    throw std::invalid_argument("parametric yield needs at least one spec limit");
+  }
+  if (lower_ && upper_ && *lower_ >= *upper_) {
+    throw std::invalid_argument("lower spec limit must be below upper spec limit");
+  }
+}
+
+units::Probability ParametricYield::yield() const {
+  double p = 1.0;
+  if (upper_) p = standard_normal_cdf((*upper_ - mean_) / sigma_);
+  if (lower_) p -= standard_normal_cdf((*lower_ - mean_) / sigma_);
+  return units::Probability::clamped(p);
+}
+
+double ParametricYield::cpk() const {
+  double cpk = std::numeric_limits<double>::infinity();
+  if (upper_) cpk = std::min(cpk, (*upper_ - mean_) / (3.0 * sigma_));
+  if (lower_) cpk = std::min(cpk, (mean_ - *lower_) / (3.0 * sigma_));
+  return cpk;
+}
+
+units::Probability ParametricYield::yield_with_margin(double margin) const {
+  units::require_non_negative(margin, "spec margin");
+  double p = 1.0;
+  if (upper_) p = standard_normal_cdf((*upper_ + margin - mean_) / sigma_);
+  if (lower_) p -= standard_normal_cdf((*lower_ - margin - mean_) / sigma_);
+  return units::Probability::clamped(p);
+}
+
+}  // namespace nanocost::yield

@@ -1,0 +1,49 @@
+#include "nanocost/yield/radial.hpp"
+
+#include <stdexcept>
+
+#include "nanocost/units/quantity.hpp"
+
+namespace nanocost::yield {
+
+RadialYieldResult radial_yield(const geometry::WaferMap& map, const YieldModel& model,
+                               double mean_density, const defect::RadialProfile& profile,
+                               double critical_area_ratio) {
+  units::require_non_negative(mean_density, "mean defect density");
+  units::require_non_negative(critical_area_ratio, "critical area ratio");
+  if (map.sites().empty()) {
+    throw std::invalid_argument("radial yield needs a non-empty wafer map");
+  }
+
+  const double wafer_radius = map.wafer().radius().value();
+  const double die_area = map.die().area().value();
+
+  RadialYieldResult result;
+  result.site_yield.reserve(map.sites().size());
+  double sum = 0.0;
+  double min_r = 1e300, max_r = -1.0;
+  std::size_t center_idx = 0, edge_idx = 0;
+  for (std::size_t i = 0; i < map.sites().size(); ++i) {
+    const double r = map.sites()[i].radial_distance().value();
+    const double mult = profile.multiplier(r / wafer_radius);
+    const double faults = mean_density * mult * die_area * critical_area_ratio;
+    const units::Probability y = model.yield(faults);
+    result.site_yield.push_back(y);
+    sum += y.value();
+    if (r < min_r) {
+      min_r = r;
+      center_idx = i;
+    }
+    if (r > max_r) {
+      max_r = r;
+      edge_idx = i;
+    }
+  }
+  result.wafer_yield =
+      units::Probability::clamped(sum / static_cast<double>(map.sites().size()));
+  result.center_yield = result.site_yield[center_idx];
+  result.edge_yield = result.site_yield[edge_idx];
+  return result;
+}
+
+}  // namespace nanocost::yield

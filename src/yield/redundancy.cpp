@@ -1,0 +1,62 @@
+#include "nanocost/yield/redundancy.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "nanocost/units/quantity.hpp"
+
+namespace nanocost::yield {
+
+units::Probability repairable_yield_poisson(double mean_faults, int spares) {
+  units::require_non_negative(mean_faults, "mean faults");
+  if (spares < 0) {
+    throw std::invalid_argument("spare count must be >= 0");
+  }
+  // Cumulative Poisson, term-recursive for stability.
+  double term = std::exp(-mean_faults);  // k = 0
+  double sum = term;
+  for (int k = 1; k <= spares; ++k) {
+    term *= mean_faults / k;
+    sum += term;
+  }
+  return units::Probability::clamped(sum);
+}
+
+units::Probability repairable_yield_negbin(double mean_faults, double alpha, int spares) {
+  units::require_non_negative(mean_faults, "mean faults");
+  units::require_positive(alpha, "clustering alpha");
+  if (spares < 0) {
+    throw std::invalid_argument("spare count must be >= 0");
+  }
+  const double p = mean_faults / (mean_faults + alpha);  // "success" prob per fault
+  double term = std::pow(alpha / (mean_faults + alpha), alpha);  // k = 0
+  double sum = term;
+  for (int k = 1; k <= spares; ++k) {
+    term *= (alpha + k - 1.0) / k * p;
+    sum += term;
+  }
+  return units::Probability::clamped(sum);
+}
+
+SpareOptimum optimal_spares_poisson(double mean_faults, double area_overhead_per_spare,
+                                    int max_spares) {
+  units::require_non_negative(mean_faults, "mean faults");
+  units::require_non_negative(area_overhead_per_spare, "spare area overhead");
+  if (max_spares < 0) {
+    throw std::invalid_argument("max spares must be >= 0");
+  }
+  SpareOptimum best;
+  for (int r = 0; r <= max_spares; ++r) {
+    const double area = 1.0 + r * area_overhead_per_spare;
+    const units::Probability y = repairable_yield_poisson(mean_faults * area, r);
+    const double metric = y.value() / area;
+    if (metric > best.yield_per_area) {
+      best.yield_per_area = metric;
+      best.spares = r;
+      best.yield = y;
+    }
+  }
+  return best;
+}
+
+}  // namespace nanocost::yield

@@ -1,0 +1,199 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "nanocost/cost/design_cost.hpp"
+#include "nanocost/cost/mask_cost.hpp"
+#include "nanocost/cost/test_cost.hpp"
+#include "nanocost/cost/wafer_cost.hpp"
+
+namespace nanocost::cost {
+namespace {
+
+using units::Micrometers;
+using units::Money;
+using units::Probability;
+
+WaferCostModel reference_wafer_model() {
+  return WaferCostModel{Micrometers{0.18}, geometry::WaferSpec::mm200(), 22};
+}
+
+TEST(WaferCost, MatureHighVolumeLandsNearPaperAnchor) {
+  // The paper's Fig. 3 uses 8 $/cm^2 for a 1999-class process; the
+  // default calibration should land within ~20% of that.
+  const auto model = reference_wafer_model();
+  const double csq = model.cost_per_cm2(240000.0, 1.0).value();
+  EXPECT_NEAR(csq, 8.0, 1.6);
+}
+
+TEST(WaferCost, LowVolumeWafersCostMore) {
+  const auto model = reference_wafer_model();
+  const double scarce = model.wafer_cost(1000.0).value();
+  const double plenty = model.wafer_cost(240000.0).value();
+  EXPECT_GT(scarce, plenty * 2.0);
+}
+
+TEST(WaferCost, VolumeEffectSaturatesAtFabCapacity) {
+  const auto model = reference_wafer_model();
+  // Beyond full capacity, more volume no longer reduces the fixed share.
+  const double at_cap = model.wafer_cost(20000.0 * 12.0).value();
+  const double beyond = model.wafer_cost(20000.0 * 24.0).value();
+  EXPECT_DOUBLE_EQ(at_cap, beyond);
+}
+
+TEST(WaferCost, FinerNodesAreMoreExpensive) {
+  const WaferCostModel coarse{Micrometers{0.25}, geometry::WaferSpec::mm200(), 22};
+  const WaferCostModel fine{Micrometers{0.13}, geometry::WaferSpec::mm200(), 22};
+  EXPECT_GT(fine.wafer_cost(100000.0).value(), coarse.wafer_cost(100000.0).value() * 1.3);
+}
+
+TEST(WaferCost, BiggerWafersCostMoreButLessPerArea) {
+  const WaferCostModel w200{Micrometers{0.18}, geometry::WaferSpec::mm200(), 22};
+  const WaferCostModel w300{Micrometers{0.18}, geometry::WaferSpec::mm300(), 22};
+  EXPECT_GT(w300.processing_cost().value(), w200.processing_cost().value());
+  EXPECT_LT(w300.processing_cost().value() / w300.wafer().area().value(),
+            w200.processing_cost().value() / w200.wafer().area().value());
+}
+
+TEST(WaferCost, ImmatureProcessCostsMore) {
+  const auto model = reference_wafer_model();
+  EXPECT_GT(model.processing_cost(0.0).value(), model.processing_cost(1.0).value());
+}
+
+TEST(WaferCost, Validation) {
+  EXPECT_THROW(WaferCostModel(Micrometers{0.18}, geometry::WaferSpec::mm200(), 0),
+               std::invalid_argument);
+  const auto model = reference_wafer_model();
+  EXPECT_THROW(model.wafer_cost(0.0), std::domain_error);
+  EXPECT_THROW(model.processing_cost(1.5), std::domain_error);
+}
+
+TEST(MaskCost, ReferenceNodeIsHalfMillionClass) {
+  const MaskCostModel model{Micrometers{0.18}, 22};
+  const double cost = model.set_cost().value();
+  EXPECT_GT(cost, 3e5);
+  EXPECT_LT(cost, 7e5);
+}
+
+TEST(MaskCost, RoughlyDoublesPerNode) {
+  const MaskCostModel at180{Micrometers{0.18}, 24};
+  const MaskCostModel at130{Micrometers{0.13}, 24};
+  const double ratio = at130.set_cost().value() / at180.set_cost().value();
+  EXPECT_GT(ratio, 1.5);
+  EXPECT_LT(ratio, 2.2);
+}
+
+TEST(MaskCost, RespinsBuyWholeSets) {
+  const MaskCostModel model{Micrometers{0.18}, 22};
+  EXPECT_DOUBLE_EQ(model.total_cost(0).value(), model.set_cost().value());
+  EXPECT_DOUBLE_EQ(model.total_cost(2).value(), model.set_cost().value() * 3.0);
+  EXPECT_THROW(model.total_cost(-1), std::invalid_argument);
+}
+
+TEST(DesignCost, PaperCalibrationValues) {
+  // A0 = 1000, p1 = 1.0, p2 = 1.2, s_d0 = 100 (the paper's numbers).
+  const DesignCostModel model;
+  // N_tr = 1e7 at s_d = 300: 1000 * 1e7 / 200^1.2.
+  const double expected = 1000.0 * 1e7 / std::pow(200.0, 1.2);
+  EXPECT_NEAR(model.cost(1e7, 300.0).value(), expected, 1.0);
+  // That is ~$17M -- a plausible big-chip design budget.
+  EXPECT_GT(model.cost(1e7, 300.0).value(), 1e7);
+  EXPECT_LT(model.cost(1e7, 300.0).value(), 3e7);
+}
+
+TEST(DesignCost, DivergesTowardTheCustomWall) {
+  const DesignCostModel model;
+  EXPECT_GT(model.cost(1e7, 101.0).value(), model.cost(1e7, 150.0).value() * 10.0);
+  EXPECT_THROW(model.cost(1e7, 100.0), std::domain_error);
+  EXPECT_THROW(model.cost(1e7, 50.0), std::domain_error);
+}
+
+TEST(DesignCost, MonotoneDecreasingInSd) {
+  const DesignCostModel model;
+  double prev = 1e300;
+  for (double sd = 110.0; sd < 1000.0; sd *= 1.2) {
+    const double c = model.cost(1e7, sd).value();
+    EXPECT_LT(c, prev);
+    prev = c;
+  }
+}
+
+TEST(DesignCost, ScalesWithTransistorCount) {
+  const DesignCostModel model;  // p1 = 1 -> linear
+  EXPECT_NEAR(model.cost(2e7, 300.0).value(), 2.0 * model.cost(1e7, 300.0).value(), 1e-6);
+}
+
+TEST(DesignCost, DensestAffordableInvertsTheModel) {
+  const DesignCostModel model;
+  const Money budget{5e6};
+  const double sd = model.densest_affordable_sd(1e7, budget);
+  EXPECT_NEAR(model.cost(1e7, sd).value(), budget.value(), budget.value() * 1e-9);
+  // Bigger budgets buy denser designs.
+  EXPECT_LT(model.densest_affordable_sd(1e7, Money{50e6}), sd);
+}
+
+TEST(DesignCost, CalibrationReproducesObservation) {
+  const DesignCostModel model =
+      DesignCostModel::calibrated(2.2e7, 335.0, Money{30e6});
+  EXPECT_NEAR(model.cost(2.2e7, 335.0).value(), 30e6, 1.0);
+}
+
+TEST(DesignCost, ImpliedIterations) {
+  const DesignCostModel model;
+  const double iters = model.implied_iterations(1e7, 300.0, Money{1e6});
+  EXPECT_NEAR(iters, model.cost(1e7, 300.0).value() / 1e6, 1e-9);
+}
+
+TEST(DesignCost, ParamsValidated) {
+  DesignCostParams bad;
+  bad.a0 = 0.0;
+  EXPECT_THROW(DesignCostModel{bad}, std::domain_error);
+  bad = DesignCostParams{};
+  bad.p2 = -1.0;
+  EXPECT_THROW(DesignCostModel{bad}, std::domain_error);
+}
+
+TEST(TeamCost, ConvertsBudgetsToHeadcount) {
+  const TeamCostModel team;
+  EXPECT_NEAR(team.team_years(Money{2.5e6}), 10.0, 1e-9);
+  EXPECT_NEAR(team.engineers_for(Money{2.5e6}, 12.0), 10.0, 1e-9);
+  EXPECT_NEAR(team.engineers_for(Money{2.5e6}, 6.0), 20.0, 1e-9);
+}
+
+TEST(TestCost, TimeGrowsWithSizeAndCoverage) {
+  const TestCostModel model;
+  EXPECT_GT(model.test_seconds(1e8, 0.95), model.test_seconds(1e6, 0.95));
+  EXPECT_GT(model.test_seconds(1e7, 0.999), model.test_seconds(1e7, 0.95));
+  EXPECT_GT(model.cost_per_die(1e7, 0.95).value(), 0.0);
+}
+
+TEST(TestCost, SublinearInTransistorCount) {
+  const TestCostModel model;
+  const double t1 = model.test_seconds(1e6, 0.95);
+  const double t100 = model.test_seconds(1e8, 0.95);
+  EXPECT_LT(t100, t1 * 100.0);
+  EXPECT_GT(t100, t1 * 10.0);
+}
+
+TEST(TestCost, DefectLevelFollowsWilliamsBrown) {
+  const TestCostModel model;
+  // Perfect coverage ships zero escapes regardless of yield.
+  EXPECT_DOUBLE_EQ(model.defect_level(Probability{0.5}, 1.0).value(), 0.0);
+  // DL = 1 - Y^(1-T).
+  EXPECT_NEAR(model.defect_level(Probability{0.5}, 0.9).value(),
+              1.0 - std::pow(0.5, 0.1), 1e-12);
+  // Better coverage, fewer escapes.
+  EXPECT_GT(model.defect_level(Probability{0.5}, 0.8).value(),
+            model.defect_level(Probability{0.5}, 0.99).value());
+}
+
+TEST(TestCost, Validation) {
+  const TestCostModel model;
+  EXPECT_THROW(model.test_seconds(0.0, 0.95), std::domain_error);
+  EXPECT_THROW(model.test_seconds(1e6, 1.0), std::domain_error);
+  EXPECT_THROW(model.defect_level(Probability{0.5}, 0.0), std::domain_error);
+}
+
+}  // namespace
+}  // namespace nanocost::cost

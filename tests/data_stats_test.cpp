@@ -1,0 +1,60 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "nanocost/data/stats.hpp"
+
+namespace nanocost::data {
+namespace {
+
+TEST(GroupStats, BasicInvariants) {
+  const auto amd = rows_by_vendor(Vendor::kAmd);
+  const GroupStats s = group_stats(amd);
+  EXPECT_EQ(s.count, 6);
+  EXPECT_LE(s.min_sd, s.median_sd);
+  EXPECT_LE(s.median_sd, s.max_sd);
+  EXPECT_GE(s.mean_sd, s.min_sd);
+  EXPECT_LE(s.mean_sd, s.max_sd);
+  EXPECT_LE(s.min_lambda_um, s.max_lambda_um);
+  EXPECT_THROW(group_stats({}), std::invalid_argument);
+}
+
+TEST(GroupStats, PreK7AmdDenserThanContemporaryIntel) {
+  // Fig. 1's strategy gap holds era-for-era: the 0.35/0.25 um AMD parts
+  // (K5..K6-III, rows 12-16) against Intel's same-era parts (rows 6-11).
+  const auto rows = table_a1();
+  std::vector<const DesignRecord*> amd, intel;
+  for (int id = 12; id <= 16; ++id) amd.push_back(&rows[static_cast<std::size_t>(id - 1)]);
+  for (int id = 6; id <= 11; ++id) intel.push_back(&rows[static_cast<std::size_t>(id - 1)]);
+  EXPECT_LT(group_stats(amd).mean_sd, group_stats(intel).mean_sd);
+}
+
+TEST(ClassStats, CoversAllPopulatedClasses) {
+  const auto all = stats_by_class();
+  EXPECT_EQ(all.size(), 6u);  // every class has rows in Table A1
+  double cpu_mean = 0.0, asic_mean = 0.0;
+  for (const ClassStats& cs : all) {
+    EXPECT_GT(cs.stats.count, 0);
+    if (cs.device_class == DeviceClass::kCpu) cpu_mean = cs.stats.mean_sd;
+    if (cs.device_class == DeviceClass::kAsic) asic_mean = cs.stats.mean_sd;
+  }
+  // ASICs are sparser than custom CPUs on average -- the design-style
+  // gradient of Sec. 2.2.
+  EXPECT_GT(asic_mean, cpu_mean);
+}
+
+TEST(Divergence, IndustryEndsUpSparserThanTheRoadmapNeeds) {
+  const auto series = industry_vs_roadmap(roadmap::Roadmap::itrs1999());
+  ASSERT_EQ(series.size(), 6u);
+  // The divergence grows as lambda shrinks: the roadmap assumes density
+  // gains the industry trend moves away from.
+  EXPECT_GT(series.back().ratio, series.front().ratio);
+  EXPECT_GT(series.back().ratio, 1.5);
+  for (const DivergencePoint& p : series) {
+    EXPECT_GT(p.industrial_sd, 0.0);
+    EXPECT_GT(p.roadmap_sd, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace nanocost::data

@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "nanocost/data/table_a1.hpp"
+
+namespace nanocost::data {
+namespace {
+
+TEST(TableA1, HasAllFortyNineRows) {
+  const auto rows = table_a1();
+  ASSERT_EQ(rows.size(), 49u);
+  int expected_id = 1;
+  for (const DesignRecord& r : rows) {
+    EXPECT_EQ(r.id, expected_id++);
+  }
+}
+
+TEST(TableA1, AllRowsHavePositiveCoreFields) {
+  for (const DesignRecord& r : table_a1()) {
+    EXPECT_GT(r.die_area.value(), 0.0) << "row " << r.id;
+    EXPECT_GT(r.feature_size.value(), 0.0) << "row " << r.id;
+    EXPECT_GT(r.total_transistors, 0.0) << "row " << r.id;
+    EXPECT_FALSE(r.device.empty()) << "row " << r.id;
+  }
+}
+
+TEST(TableA1, SplitRowsAreInternallyConsistent) {
+  for (const DesignRecord& r : table_a1()) {
+    if (!r.has_split()) continue;
+    // Memory + logic transistors should not exceed the stated total by
+    // more than rounding noise.
+    EXPECT_LE(*r.memory_transistors + *r.logic_transistors, r.total_transistors * 1.05)
+        << "row " << r.id;
+    // Characterized areas cannot exceed the die.
+    EXPECT_LE(r.memory_area->value() + r.logic_area->value(), r.die_area.value() * 1.02)
+        << "row " << r.id;
+  }
+}
+
+TEST(TableA1, MemoryIsAlwaysDenserThanLogic) {
+  // The structural claim behind Fig. 1's two bands.
+  for (const DesignRecord& r : table_a1()) {
+    if (!r.has_split()) continue;
+    EXPECT_LT(*r.memory_sd(), r.logic_sd()) << "row " << r.id;
+  }
+}
+
+TEST(TableA1, SdRangesMatchThePaper) {
+  // "the smallest values of s_d obtained for SRAM memories are in range
+  // of 30, while s_d in some ASIC designs can reach values in the range
+  // of 1000"
+  double min_mem = 1e9, max_logic = 0.0;
+  for (const DesignRecord& r : table_a1()) {
+    if (r.has_split()) min_mem = std::min(min_mem, *r.memory_sd());
+    max_logic = std::max(max_logic, r.logic_sd());
+  }
+  EXPECT_LT(min_mem, 45.0);
+  EXPECT_GT(min_mem, 20.0);
+  EXPECT_GT(max_logic, 700.0);   // the ATM switch
+  EXPECT_LT(max_logic, 1000.0);
+}
+
+TEST(TableA1, SpotCheckPrintedValues) {
+  // Rows whose raw cells reproduce the printed s_d exactly (legible in
+  // the scan); tolerance covers the table's own rounding.
+  const auto rows = table_a1();
+  const auto sd = [&](int id) { return rows[static_cast<std::size_t>(id - 1)].logic_sd(); };
+  EXPECT_NEAR(sd(5), 154.5, 0.5);    // Pentium Pro
+  EXPECT_NEAR(sd(6), 327.9, 1.0);    // Pentium Pro 0.35um logic
+  EXPECT_NEAR(sd(11), 207.1, 0.5);   // Pentium III
+  EXPECT_NEAR(sd(15), 116.9, 0.5);   // K6-2
+  EXPECT_NEAR(sd(17), 335.6, 1.0);   // K7 logic
+  EXPECT_NEAR(sd(18), 171.4, 0.5);   // PowerPC 603e
+  EXPECT_NEAR(sd(31), 263.9, 0.5);   // 6x86MX
+  EXPECT_NEAR(sd(34), 158.7, 0.5);   // PA-RISC logic
+  EXPECT_NEAR(sd(35), 293.2, 0.5);   // MIPS64 0.18 logic
+  EXPECT_NEAR(sd(37), 583.9, 1.0);   // MAJC logic
+  EXPECT_NEAR(sd(39), 264.6, 1.0);   // Alpha 21364 logic
+  EXPECT_NEAR(sd(42), 363.3, 0.5);   // DSP
+  EXPECT_NEAR(sd(43), 544.0, 1.0);   // MPEG-2 encoder
+  EXPECT_NEAR(sd(45), 408.2, 0.5);   // MPEG-2 decoder
+  EXPECT_NEAR(sd(47), 480.0, 0.5);   // telecom ASIC
+  EXPECT_NEAR(sd(48), 699.5, 1.0);   // video game chip
+  EXPECT_NEAR(sd(49), 765.3, 1.0);   // ATM switch
+}
+
+TEST(TableA1, SpotCheckMemorySd) {
+  const auto rows = table_a1();
+  const auto mem_sd = [&](int id) {
+    return *rows[static_cast<std::size_t>(id - 1)].memory_sd();
+  };
+  EXPECT_NEAR(mem_sd(6), 53.0, 1.0);   // Pentium Pro cache
+  EXPECT_NEAR(mem_sd(17), 51.4, 1.0);  // K7 cache
+  EXPECT_NEAR(mem_sd(34), 40.0, 1.0);  // PA-RISC cache
+  EXPECT_NEAR(mem_sd(35), 89.0, 1.0);  // MIPS64 memory
+  EXPECT_NEAR(mem_sd(39), 61.9, 1.0);  // Alpha 21364 memory
+}
+
+TEST(TableA1, K7IsWellAboveThreeHundred) {
+  // "K7 microprocessor - whose s_d is well above 300"
+  const DesignRecord& k7 = table_a1()[16];
+  ASSERT_EQ(k7.device, "K7");
+  EXPECT_GT(k7.logic_sd(), 300.0);
+}
+
+TEST(TableA1, AmdDenserThanIntelBeforeK7) {
+  // "for a long period of time AMD ... introduced products of higher
+  // design density than its immediate competitor".  Compare era pairs:
+  const auto rows = table_a1();
+  const auto sd = [&](int id) { return rows[static_cast<std::size_t>(id - 1)].logic_sd(); };
+  // K5 (12) vs Pentium Pro 0.35 (6).
+  EXPECT_LT(sd(12), sd(6));
+  // K6 0.25 (14) vs Pentium II 0.25 (9).
+  EXPECT_LT(sd(14), sd(9));
+  // K6-2 (15) vs Pentium III (11).
+  EXPECT_LT(sd(15), sd(11));
+  // And the strategy flip: K7 (17) is no longer denser than PIII (11).
+  EXPECT_GT(sd(17), sd(11));
+}
+
+TEST(TableA1, VendorAndClassFilters) {
+  const auto intel = rows_by_vendor(Vendor::kIntel);
+  const auto amd = rows_by_vendor(Vendor::kAmd);
+  EXPECT_EQ(intel.size(), 10u);
+  EXPECT_EQ(amd.size(), 6u);
+  const auto cpus = rows_by_class(DeviceClass::kCpu);
+  const auto dsps = rows_by_class(DeviceClass::kDsp);
+  EXPECT_EQ(dsps.size(), 3u);
+  EXPECT_GT(cpus.size(), 30u);
+  for (const DesignRecord* r : amd) {
+    EXPECT_EQ(r->vendor, Vendor::kAmd);
+  }
+}
+
+TEST(TableA1, NamesAreHuman) {
+  EXPECT_EQ(vendor_name(Vendor::kIntel), "Intel");
+  EXPECT_EQ(vendor_name(Vendor::kDec), "DEC/Compaq");
+  EXPECT_EQ(device_class_name(DeviceClass::kMpeg), "MPEG");
+}
+
+TEST(Trend, OverallSlopeIsNegative) {
+  // Fig. 1's message: as feature size shrinks (ln lambda decreases),
+  // s_d rises -- a negative slope in (ln lambda, ln s_d).
+  const TrendFit fit = fit_sd_trend_all();
+  EXPECT_LT(fit.slope, 0.0);
+  EXPECT_EQ(fit.points, 49);
+  // Prediction at 0.25 um should land inside the CPU band.
+  const double predicted = fit.predict(units::Micrometers{0.25});
+  EXPECT_GT(predicted, 100.0);
+  EXPECT_LT(predicted, 600.0);
+}
+
+TEST(Trend, IntelTrendWorsensWithNewerNodes) {
+  const auto intel = rows_by_vendor(Vendor::kIntel);
+  const TrendFit fit = fit_sd_trend(intel);
+  EXPECT_LT(fit.slope, 0.0);
+  // Newer nodes (smaller lambda) predicted sparser than older ones.
+  EXPECT_GT(fit.predict(units::Micrometers{0.25}), fit.predict(units::Micrometers{0.8}));
+}
+
+TEST(Trend, FitValidatesInput) {
+  std::vector<const DesignRecord*> one{&table_a1()[0]};
+  EXPECT_THROW(fit_sd_trend(one), std::invalid_argument);
+  // Two rows with the same feature size: degenerate in x.
+  std::vector<const DesignRecord*> same{&table_a1()[5], &table_a1()[6]};
+  ASSERT_EQ(same[0]->feature_size.value(), same[1]->feature_size.value());
+  EXPECT_THROW(fit_sd_trend(same), std::invalid_argument);
+}
+
+TEST(Trend, RSquaredIsInUnitInterval) {
+  const TrendFit fit = fit_sd_trend_all();
+  EXPECT_GE(fit.r_squared, 0.0);
+  EXPECT_LE(fit.r_squared, 1.0);
+}
+
+}  // namespace
+}  // namespace nanocost::data

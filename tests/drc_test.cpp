@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "nanocost/layout/generators.hpp"
+#include "nanocost/process/drc.hpp"
+
+namespace nanocost::process {
+namespace {
+
+using layout::Layer;
+using layout::Rect;
+using units::Micrometers;
+
+DesignRules rules() { return DesignRules::scalable_cmos(Micrometers{0.25}); }
+
+TEST(Drc, CleanGeometryPasses) {
+  // Two metal1 wires 2 lambda apart (rule: 1 lambda).
+  std::vector<Rect> rects{
+      Rect{Layer::kMetal1, 0, 0, 2, 100},
+      Rect{Layer::kMetal1, 6, 0, 8, 100},
+  };
+  const DrcResult r = check_rules(rects, rules());
+  EXPECT_TRUE(r.clean());
+  EXPECT_EQ(r.rects_checked, 2);
+}
+
+TEST(Drc, SpacingViolationIsDetectedAndMeasured) {
+  // 1 half-lambda gap where 1 lambda (2 units) is required.
+  std::vector<Rect> rects{
+      Rect{Layer::kMetal1, 0, 0, 2, 100},
+      Rect{Layer::kMetal1, 3, 0, 5, 100},
+  };
+  const DrcResult r = check_rules(rects, rules());
+  EXPECT_FALSE(r.clean());
+  ASSERT_EQ(r.spacing_violation_count, 1);
+  EXPECT_NEAR(r.spacing_violations[0].gap_lambda, 0.5, 1e-12);
+  EXPECT_NEAR(r.spacing_violations[0].required_lambda, 1.0, 1e-12);
+}
+
+TEST(Drc, TouchingRectanglesAreConnectedNotViolating) {
+  std::vector<Rect> rects{
+      Rect{Layer::kMetal1, 0, 0, 2, 100},
+      Rect{Layer::kMetal1, 2, 0, 4, 100},   // abuts
+      Rect{Layer::kMetal1, 1, 50, 3, 150},  // overlaps both
+  };
+  const DrcResult r = check_rules(rects, rules());
+  EXPECT_EQ(r.spacing_violation_count, 0);
+}
+
+TEST(Drc, DiagonalCornerGapUsesEuclideanDistance) {
+  // Corner-to-corner gap of sqrt(2)/2 lambda: violates a 1-lambda rule.
+  std::vector<Rect> rects{
+      Rect{Layer::kMetal1, 0, 0, 4, 4},
+      Rect{Layer::kMetal1, 5, 5, 9, 9},
+  };
+  const DrcResult r = check_rules(rects, rules());
+  EXPECT_EQ(r.spacing_violation_count, 1);
+  EXPECT_NEAR(r.spacing_violations[0].gap_lambda, std::sqrt(2.0) / 2.0, 1e-9);
+  // At 2 units diagonal (sqrt(8)/2 = 1.41 lambda) it passes.
+  std::vector<Rect> ok{
+      Rect{Layer::kMetal1, 0, 0, 4, 4},
+      Rect{Layer::kMetal1, 6, 6, 10, 10},
+  };
+  EXPECT_EQ(check_rules(ok, rules()).spacing_violation_count, 0);
+}
+
+TEST(Drc, DifferentLayersNeverInteract) {
+  std::vector<Rect> rects{
+      Rect{Layer::kMetal1, 0, 0, 2, 100},
+      Rect{Layer::kMetal2, 3, 0, 5, 100},  // would violate if same layer
+  };
+  EXPECT_TRUE(check_rules(rects, rules()).clean());
+}
+
+TEST(Drc, WidthViolationsAreIncluded) {
+  std::vector<Rect> rects{Rect{Layer::kMetal1, 0, 0, 1, 100}};  // half-lambda wide
+  const DrcResult r = check_rules(rects, rules());
+  EXPECT_EQ(r.width_violations, 1);
+  EXPECT_FALSE(r.clean());
+}
+
+TEST(Drc, ReportCapLimitsStorageNotCounting) {
+  std::vector<Rect> rects;
+  for (int i = 0; i < 20; ++i) {
+    rects.push_back(Rect{Layer::kMetal1, i * 3, 0, i * 3 + 2, 10});  // chain of violations
+  }
+  const DrcResult r = check_rules(rects, rules(), 5);
+  EXPECT_EQ(r.spacing_violations.size(), 5u);
+  EXPECT_EQ(r.spacing_violation_count, 19);
+}
+
+TEST(Drc, GeneratedFabricsAreClean) {
+  layout::Library lib;
+  const DesignRules deck = rules();
+  EXPECT_TRUE(check_rules(*layout::make_sram_array(lib, 8, 8), deck).clean());
+  EXPECT_TRUE(check_rules(*layout::make_datapath(lib, 8, 4), deck).clean());
+  EXPECT_TRUE(check_rules(*layout::make_gate_array(lib, 8, 8, 0.5), deck).clean());
+  layout::StdCellBlockParams params;
+  params.rows = 4;
+  params.row_width_lambda = 256;
+  EXPECT_TRUE(check_rules(*layout::make_stdcell_block(lib, params), deck).clean());
+}
+
+TEST(Drc, ViolationCountIsPairwiseExact) {
+  // Three parallel wires, each 1 unit from the next: exactly 2
+  // violating pairs (1-2 and 2-3; 1-3 are 4 units apart, legal).
+  std::vector<Rect> rects{
+      Rect{Layer::kMetal1, 0, 0, 2, 10},
+      Rect{Layer::kMetal1, 3, 0, 5, 10},
+      Rect{Layer::kMetal1, 6, 0, 8, 10},
+  };
+  const DrcResult r = check_rules(rects, rules());
+  EXPECT_EQ(r.spacing_violation_count, 2);
+}
+
+}  // namespace
+}  // namespace nanocost::process

@@ -1,0 +1,219 @@
+// Tests for the economic extension models: fab capital, time to market,
+// and speed binning.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "nanocost/cost/fab_capex.hpp"
+#include "nanocost/cost/time_to_market.hpp"
+#include "nanocost/fabsim/binning.hpp"
+
+namespace nanocost {
+namespace {
+
+using units::Micrometers;
+using units::Millimeters;
+using units::Money;
+using units::Probability;
+
+// --------------------------------------------------------------------------
+// FabModel
+
+TEST(FabCapex, ReferenceFabIsBillionDollarClass) {
+  const cost::FabModel fab{Micrometers{0.18}, 20000.0};
+  const double capex = fab.total_capex().value();
+  EXPECT_GT(capex, 1.0e9);
+  EXPECT_LT(capex, 2.5e9);
+}
+
+TEST(FabCapex, LithographyDominatesTheBill) {
+  const cost::FabModel fab{Micrometers{0.18}, 20000.0};
+  Money litho{};
+  for (const cost::ToolGroup& t : fab.tools()) {
+    if (t.name == "lithography") {
+      litho = t.unit_price * fab.tool_count(t);
+    }
+  }
+  EXPECT_GT(litho.value(), fab.total_capex().value() * 0.25);
+}
+
+TEST(FabCapex, NanometerNodesExplodeCapex) {
+  // The title's claim: 35 nm-era fabs cost several times the 180 nm fab.
+  const cost::FabModel at180{Micrometers{0.18}, 20000.0};
+  const cost::FabModel at35{Micrometers{0.035}, 20000.0};
+  EXPECT_GT(at35.total_capex().value(), at180.total_capex().value() * 4.0);
+}
+
+TEST(FabCapex, CapexScalesWithCapacityInWholeTools) {
+  const cost::FabModel small{Micrometers{0.18}, 5000.0};
+  const cost::FabModel large{Micrometers{0.18}, 20000.0};
+  EXPECT_GT(large.total_capex().value(), small.total_capex().value() * 2.0);
+  // Whole-tool granularity: a tiny fab still buys at least one of each.
+  const cost::FabModel tiny{Micrometers{0.18}, 10.0};
+  for (const cost::ToolGroup& t : tiny.tools()) {
+    EXPECT_EQ(tiny.tool_count(t), 1);
+  }
+}
+
+TEST(FabCapex, MonthlyFixedCostMatchesDepreciationArithmetic) {
+  const cost::FabModel fab{Micrometers{0.18}, 20000.0};
+  const double capex = fab.total_capex().value();
+  const double expected = capex / 60.0 + capex * 0.08 / 12.0;
+  EXPECT_NEAR(fab.monthly_fixed_cost().value(), expected, 1.0);
+}
+
+TEST(FabCapex, DerivedWaferCostParamsAnchorNearDefault) {
+  // The hand-calibrated default (30 M$/month) should be in the same
+  // ballpark as the first-principles derivation at the anchor node.
+  const cost::FabModel fab{Micrometers{0.18}, 20000.0};
+  const cost::WaferCostParams derived = fab.derive_wafer_cost_params();
+  EXPECT_GT(derived.fab_fixed_per_month.value(), 20e6);
+  EXPECT_LT(derived.fab_fixed_per_month.value(), 50e6);
+  EXPECT_DOUBLE_EQ(derived.full_capacity_wafers_per_month, 20000.0);
+  // The derivation de-escalates: deriving from a finer-node fab gives
+  // the same anchor value.
+  const cost::FabModel fine{Micrometers{0.09}, 20000.0};
+  EXPECT_NEAR(fine.derive_wafer_cost_params().fab_fixed_per_month.value(),
+              derived.fab_fixed_per_month.value(), 1.0);
+}
+
+TEST(FabCapex, Validation) {
+  EXPECT_THROW(cost::FabModel(Micrometers{0.18}, 0.0), std::domain_error);
+  EXPECT_THROW(cost::FabModel(Micrometers{0.18}, 1000.0, {}), std::invalid_argument);
+}
+
+// --------------------------------------------------------------------------
+// MarketWindowModel / time to market
+
+TEST(Market, DayOneCapturesLaunchShare) {
+  const cost::MarketWindowModel market{18.0, Money{500e6}, 0.4};
+  EXPECT_NEAR(market.revenue(0.0).value(), 200e6, 1e-3);
+  EXPECT_DOUBLE_EQ(market.delay_cost(0.0).value(), 0.0);
+}
+
+TEST(Market, RevenueDecaysToZeroAtWindowEnd) {
+  const cost::MarketWindowModel market{18.0, Money{500e6}};
+  EXPECT_NEAR(market.revenue(18.0).value(), 0.0, 1e-6);
+  EXPECT_NEAR(market.revenue(100.0).value(), 0.0, 1e-6);
+}
+
+TEST(Market, DelayCostIsMonotoneAndConvexEarly) {
+  const cost::MarketWindowModel market{18.0, Money{500e6}};
+  double prev = -1.0;
+  for (double t = 0.0; t <= 18.0; t += 1.5) {
+    const double cost = market.delay_cost(t).value();
+    EXPECT_GE(cost, prev);
+    prev = cost;
+  }
+  // The first month costs little (triangle opens slowly); month 9 is
+  // ruinous.
+  EXPECT_LT(market.delay_cost(1.0).value(), market.delay_cost(9.0).value() * 0.1);
+}
+
+TEST(Schedule, BudgetConvertsToMonths) {
+  cost::ScheduleModel schedule;
+  schedule.engineers = 50.0;
+  schedule.loaded_cost_per_engineer_month = Money{20000.0};
+  schedule.minimum_months = 6.0;
+  // 12 M$ at 1 M$/month burn = 12 months.
+  EXPECT_NEAR(schedule.months_for(Money{12e6}), 12.0, 1e-9);
+  // Small budgets floor at the critical path.
+  EXPECT_DOUBLE_EQ(schedule.months_for(Money{1e6}), 6.0);
+}
+
+TEST(TimeToMarket, DenserDesignsShipLaterAndForfeitRevenue) {
+  cost::TimeToMarketInputs inputs;
+  const auto dense = cost::time_to_market_cost(inputs, 150.0);
+  const auto sparse = cost::time_to_market_cost(inputs, 500.0);
+  EXPECT_GT(dense.design_cost.value(), sparse.design_cost.value());
+  EXPECT_GE(dense.schedule_months, sparse.schedule_months);
+  EXPECT_GE(dense.forfeited_revenue.value(), sparse.forfeited_revenue.value());
+  EXPECT_GE(dense.opportunity_per_transistor.value(),
+            sparse.opportunity_per_transistor.value());
+}
+
+TEST(TimeToMarket, FastFlowsForfeitNothing) {
+  cost::TimeToMarketInputs inputs;
+  inputs.schedule.engineers = 10000.0;  // infinite parallelism
+  const auto point = cost::time_to_market_cost(inputs, 200.0);
+  EXPECT_DOUBLE_EQ(point.schedule_months, inputs.schedule.minimum_months);
+  EXPECT_DOUBLE_EQ(point.forfeited_revenue.value(), 0.0);
+}
+
+// --------------------------------------------------------------------------
+// Speed binning
+
+geometry::WaferMap binning_map() {
+  return geometry::WaferMap{geometry::WaferSpec::mm200(),
+                            geometry::DieSize{Millimeters{12.0}, Millimeters{12.0}}};
+}
+
+TEST(Binning, CountsAddUpAndRevenueMatchesPriceBook) {
+  const geometry::WaferMap map = binning_map();
+  fabsim::BinningParams params;
+  const auto r = fabsim::simulate_binning(map, params, Probability{1.0}, 10, 7);
+  std::int64_t total = 0;
+  for (const std::int64_t c : r.bin_counts) total += c;
+  EXPECT_EQ(total, r.functional_dies);
+  EXPECT_EQ(r.functional_dies, map.die_count() * 10);
+  double expected_revenue = 0.0;
+  for (std::size_t b = 0; b < params.bin_prices.size(); ++b) {
+    expected_revenue += params.bin_prices[b].value() * static_cast<double>(r.bin_counts[b]);
+  }
+  EXPECT_NEAR(r.revenue.value(), expected_revenue, 1e-6);
+}
+
+TEST(Binning, YieldThinsTheDiePopulation) {
+  const geometry::WaferMap map = binning_map();
+  fabsim::BinningParams params;
+  const auto full = fabsim::simulate_binning(map, params, Probability{1.0}, 50, 7);
+  const auto half = fabsim::simulate_binning(map, params, Probability{0.5}, 50, 7);
+  EXPECT_NEAR(static_cast<double>(half.functional_dies),
+              static_cast<double>(full.functional_dies) * 0.5,
+              static_cast<double>(full.functional_dies) * 0.05);
+}
+
+TEST(Binning, TighterProcessSellsMoreTopBin) {
+  const geometry::WaferMap map = binning_map();
+  fabsim::BinningParams loose;
+  loose.sigma_random = 0.10;
+  fabsim::BinningParams tight;
+  tight.sigma_random = 0.02;
+  const auto r_loose = fabsim::simulate_binning(map, loose, Probability{1.0}, 50, 3);
+  const auto r_tight = fabsim::simulate_binning(map, tight, Probability{1.0}, 50, 3);
+  // Mean frequency sits below nominal either way (radial slowdown),
+  // but the loose process scatters more dies into low bins and scrap.
+  EXPECT_GT(r_loose.scrap(), r_tight.scrap());
+  EXPECT_GT(r_tight.revenue_per_functional_die().value(),
+            r_loose.revenue_per_functional_die().value());
+}
+
+TEST(Binning, RadialGradientCostsRevenue) {
+  const geometry::WaferMap map = binning_map();
+  fabsim::BinningParams flat;
+  flat.radial_slowdown = 0.0;
+  fabsim::BinningParams graded;
+  graded.radial_slowdown = 0.12;
+  const auto r_flat = fabsim::simulate_binning(map, flat, Probability{1.0}, 50, 3);
+  const auto r_graded = fabsim::simulate_binning(map, graded, Probability{1.0}, 50, 3);
+  EXPECT_GT(r_flat.mean_frequency_mhz, r_graded.mean_frequency_mhz);
+  EXPECT_GT(r_flat.revenue.value(), r_graded.revenue.value());
+}
+
+TEST(Binning, Validation) {
+  const geometry::WaferMap map = binning_map();
+  fabsim::BinningParams bad;
+  bad.bin_floors_mhz = {400.0, 500.0};  // ascending: wrong
+  bad.bin_prices = {Money{1.0}, Money{2.0}};
+  EXPECT_THROW(fabsim::simulate_binning(map, bad, Probability{1.0}, 1),
+               std::invalid_argument);
+  fabsim::BinningParams mismatched;
+  mismatched.bin_prices.pop_back();
+  EXPECT_THROW(fabsim::simulate_binning(map, mismatched, Probability{1.0}, 1),
+               std::invalid_argument);
+  EXPECT_THROW(fabsim::simulate_binning(map, fabsim::BinningParams{}, Probability{1.0}, 0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nanocost

@@ -1,0 +1,156 @@
+// Tests for the flow extensions: rip-up-and-reroute, timing-driven
+// placement, measured critical area feeding the cost model.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "nanocost/core/generalized_cost.hpp"
+#include "nanocost/defect/layout_critical_area.hpp"
+#include "nanocost/layout/generators.hpp"
+#include "nanocost/netlist/generator.hpp"
+#include "nanocost/place/placer.hpp"
+#include "nanocost/route/router.hpp"
+#include "nanocost/timing/sta.hpp"
+
+namespace nanocost {
+namespace {
+
+TEST(RipUp, ReducesOverflowUnderPressure) {
+  netlist::GeneratorParams gen;
+  gen.gate_count = 400;
+  gen.locality = 0.15;  // long nets, real congestion
+  gen.seed = 14;
+  const netlist::Netlist nl = netlist::generate_random_logic(gen);
+  const place::PlaceResult placed = place::anneal_place(nl, 12, 36, {});
+
+  route::RouterParams tight;
+  tight.h_capacity = 3;
+  tight.v_capacity = 3;
+  tight.rip_up_passes = 0;
+  const route::RouteResult single = route::route(nl, placed.placement, tight);
+
+  route::RouterParams iterative = tight;
+  iterative.rip_up_passes = 5;
+  const route::RouteResult multi = route::route(nl, placed.placement, iterative);
+
+  // Rip-up never makes overflow worse, and under real pressure helps.
+  EXPECT_LE(multi.overflowed_edges, single.overflowed_edges);
+  if (single.overflowed_edges > 0) {
+    EXPECT_LT(multi.overflowed_edges, single.overflowed_edges);
+  }
+  // Same connections still routed.
+  EXPECT_EQ(multi.connections_routed, single.connections_routed);
+}
+
+TEST(RipUp, NoopWhenAlreadyClean) {
+  netlist::GeneratorParams gen;
+  gen.gate_count = 150;
+  gen.locality = 0.7;
+  const netlist::Netlist nl = netlist::generate_random_logic(gen);
+  const place::PlaceResult placed = place::anneal_place(nl, 8, 20, {});
+  route::RouterParams roomy;
+  roomy.h_capacity = 20;
+  roomy.v_capacity = 20;
+  roomy.rip_up_passes = 3;
+  const route::RouteResult r = route::route(nl, placed.placement, roomy);
+  EXPECT_TRUE(r.routable());
+  route::RouterParams bad = roomy;
+  bad.rip_up_passes = -1;
+  EXPECT_THROW(route::route(nl, placed.placement, bad), std::invalid_argument);
+}
+
+TEST(WeightedPlacement, WeightsChangeTheObjective) {
+  netlist::GeneratorParams gen;
+  gen.gate_count = 100;
+  gen.seed = 3;
+  const netlist::Netlist nl = netlist::generate_random_logic(gen);
+  const place::Placement p = place::Placement::ordered(nl, 5, 20);
+  std::vector<double> unit(static_cast<std::size_t>(nl.net_count()), 1.0);
+  EXPECT_NEAR(place::total_weighted_hpwl(nl, p, unit), place::total_hpwl(nl, p), 1e-9);
+  std::vector<double> doubled(static_cast<std::size_t>(nl.net_count()), 2.0);
+  EXPECT_NEAR(place::total_weighted_hpwl(nl, p, doubled), 2.0 * place::total_hpwl(nl, p),
+              1e-9);
+  // Missing entries default to weight 1.
+  EXPECT_NEAR(place::total_weighted_hpwl(nl, p, {}), place::total_hpwl(nl, p), 1e-9);
+}
+
+TEST(WeightedPlacement, TimingDrivenRefinementShortensTheCriticalPath) {
+  // The timing-closure loop: place, time, weight nets by criticality,
+  // *refine* the existing placement (warm start, cool schedule), keep
+  // improvements.  Run on the macro scale where wires matter.
+  netlist::GeneratorParams gen;
+  gen.gate_count = 300;
+  gen.locality = 0.2;
+  gen.seed = 10;
+  const netlist::Netlist nl = netlist::generate_random_logic(gen);
+  const std::int32_t rows = 10, cols = 32;
+
+  timing::TimingParams tp;
+  tp.site_pitch_um = 150.0;  // macro-assembly scale: wire-dominated
+
+  place::AnnealParams anneal;
+  anneal.seed = 2;
+  const place::PlaceResult first = place::anneal_place(nl, rows, cols, anneal);
+  const timing::TimingResult t1 = timing::analyze_placed(nl, first.placement, tp);
+
+  place::Placement current = first.placement;
+  timing::TimingResult best = t1;
+  for (int iter = 1; iter <= 3; ++iter) {
+    // Criticality weights: quadratic in arrival fraction.
+    std::vector<double> weights(static_cast<std::size_t>(nl.net_count()), 1.0);
+    for (std::int32_t n = 0; n < nl.net_count(); ++n) {
+      const double c =
+          best.net_arrival_ps[static_cast<std::size_t>(n)] / best.critical_path_ps;
+      weights[static_cast<std::size_t>(n)] = 1.0 + 8.0 * c * c;
+    }
+    place::AnnealParams refine;
+    refine.seed = 50 + static_cast<std::uint64_t>(iter);
+    const place::PlaceResult result =
+        place::anneal_refine_weighted(nl, current, weights, refine);
+    const timing::TimingResult t = timing::analyze_placed(nl, result.placement, tp);
+    if (t.critical_path_ps < best.critical_path_ps) {
+      best = t;
+      current = result.placement;
+    }
+  }
+  EXPECT_LT(best.critical_path_ps, t1.critical_path_ps);
+}
+
+TEST(WeightedPlacement, RefineValidatesWarmStart) {
+  netlist::GeneratorParams gen;
+  gen.gate_count = 20;
+  const netlist::Netlist nl = netlist::generate_random_logic(gen);
+  const place::Placement wrong = place::Placement::ordered(nl, 4, 6);
+  netlist::GeneratorParams bigger = gen;
+  bigger.gate_count = 24;
+  const netlist::Netlist other = netlist::generate_random_logic(bigger);
+  EXPECT_THROW(place::anneal_refine_weighted(other, wrong, {}), std::invalid_argument);
+}
+
+TEST(MeasuredCriticalArea, OverridesTheDensityModelInEq7) {
+  // Measure a real fabric's critical area and feed it into the
+  // generalized cost model.
+  auto lib = std::make_shared<layout::Library>();
+  const layout::Cell* sram = layout::make_sram_array(*lib, 32, 32);
+  const layout::Design design(lib, sram, units::Micrometers{0.25});
+  const auto ca = defect::extract_critical_area(
+      design, defect::DefectSizeDistribution::for_feature_size(units::Micrometers{0.25}));
+  ASSERT_GT(ca.ratio(), 0.0);
+
+  core::ProductScenario scenario;
+  scenario.transistors = 1e7;
+  scenario.measured_critical_area_ratio = ca.ratio();
+  const core::GeneralizedCostModel model(scenario);
+  const core::CostEvaluation e = model.evaluate(300.0);
+  EXPECT_DOUBLE_EQ(e.critical_area_ratio, ca.ratio());
+
+  // Yield with a smaller measured ratio beats the same scenario with a
+  // larger one.
+  core::ProductScenario tighter = scenario;
+  tighter.measured_critical_area_ratio = ca.ratio() * 2.0;
+  const core::GeneralizedCostModel worse(tighter);
+  EXPECT_GT(e.yield.value(), worse.evaluate(300.0).yield.value());
+}
+
+}  // namespace
+}  // namespace nanocost

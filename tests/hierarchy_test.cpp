@@ -1,0 +1,78 @@
+#include <gtest/gtest.h>
+
+#include "nanocost/layout/generators.hpp"
+#include "nanocost/regularity/hierarchy.hpp"
+
+namespace nanocost::regularity {
+namespace {
+
+TEST(Hierarchy, SramArrayHasHugeReuse) {
+  layout::Library lib;
+  const layout::Cell* sram = layout::make_sram_array(lib, 64, 64);
+  const HierarchyReport r = analyze_hierarchy(*sram);
+  // Two masters: the bitcell and the top; 64*64 bitcell placements + top.
+  EXPECT_EQ(r.unique_cells, 2);
+  EXPECT_EQ(r.total_placements, 64 * 64 + 1);
+  EXPECT_GT(r.reuse_factor(), 1000.0);
+  EXPECT_GT(r.compression(), 1000.0);
+  EXPECT_EQ(r.flat_rects, sram->flat_rect_count());
+}
+
+TEST(Hierarchy, FlatCustomHasNoReuse) {
+  layout::Library lib;
+  const layout::Cell* blob = layout::make_random_custom(lib, 1000, 300.0);
+  const HierarchyReport r = analyze_hierarchy(*blob);
+  EXPECT_EQ(r.unique_cells, 1);
+  EXPECT_EQ(r.total_placements, 1);
+  EXPECT_DOUBLE_EQ(r.reuse_factor(), 1.0);
+  EXPECT_DOUBLE_EQ(r.compression(), 1.0);
+}
+
+TEST(Hierarchy, StdCellBlockSitsBetween) {
+  layout::Library lib;
+  layout::StdCellBlockParams params;
+  params.rows = 8;
+  params.row_width_lambda = 256;
+  const layout::Cell* block = layout::make_stdcell_block(lib, params);
+  const HierarchyReport r = analyze_hierarchy(*block);
+  // 4 library cells + the top.
+  EXPECT_EQ(r.unique_cells, 5);
+  EXPECT_GT(r.reuse_factor(), 5.0);
+  EXPECT_GT(r.compression(), 1.0);
+  EXPECT_EQ(r.flat_rects, block->flat_rect_count());
+}
+
+TEST(Hierarchy, NestedArraysMultiplyThrough) {
+  layout::Library lib;
+  layout::Cell& leaf = lib.create_cell("leaf");
+  leaf.add_rect(layout::Rect{layout::Layer::kPoly, 0, 0, 2, 2});
+  layout::Cell& mid = lib.create_cell("mid");
+  layout::Instance inner;
+  inner.cell = &leaf;
+  inner.nx = 3;
+  inner.pitch_x = 4;
+  mid.add_instance(inner);
+  layout::Cell& top = lib.create_cell("top");
+  layout::Instance outer;
+  outer.cell = &mid;
+  outer.ny = 5;
+  outer.pitch_y = 4;
+  top.add_instance(outer);
+
+  const HierarchyReport r = analyze_hierarchy(top);
+  EXPECT_EQ(r.unique_cells, 3);
+  EXPECT_EQ(r.total_placements, 1 + 5 + 15);  // top + mids + leaves
+  EXPECT_EQ(r.flat_rects, 15);
+  EXPECT_EQ(r.master_rects, 1);
+}
+
+TEST(Hierarchy, EmptyTopIsGraceful) {
+  layout::Cell empty("empty");
+  const HierarchyReport r = analyze_hierarchy(empty);
+  EXPECT_EQ(r.unique_cells, 1);
+  EXPECT_EQ(r.total_placements, 1);
+  EXPECT_DOUBLE_EQ(r.compression(), 0.0);
+}
+
+}  // namespace
+}  // namespace nanocost::regularity

@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+
+#include "nanocost/defect/critical_area.hpp"
+#include "nanocost/defect/layout_critical_area.hpp"
+#include "nanocost/layout/generators.hpp"
+
+namespace nanocost::defect {
+namespace {
+
+using layout::Layer;
+using layout::Rect;
+using units::Micrometers;
+
+DefectSizeDistribution dist() {
+  return DefectSizeDistribution::for_feature_size(Micrometers{0.25});
+}
+
+layout::Design design_of(std::shared_ptr<layout::Library> lib, const layout::Cell* top) {
+  return layout::Design{std::move(lib), top, Micrometers{0.25}};
+}
+
+TEST(ExcessIntegral, MatchesClosedFormProperties) {
+  const auto d = dist();
+  const SizeExcessIntegral excess(d);
+  // No gap, huge cap: expected size minus nothing below zero -> E[X] - 0
+  // ... E[min(X, cap->inf)] = E[X].
+  EXPECT_NEAR(excess(0.0, 1e9), d.mean().value(), d.mean().value() * 0.01);
+  // Monotone decreasing in gap, increasing in cap.
+  EXPECT_GT(excess(0.1, 1.0), excess(0.5, 1.0));
+  EXPECT_GT(excess(0.1, 1.0), excess(0.1, 0.1));
+  // Beyond the distribution support: zero.
+  EXPECT_DOUBLE_EQ(excess(1000.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(excess(0.3, 0.0), 0.0);
+}
+
+TEST(ExcessIntegral, AgreesWithDirectQuadrature) {
+  const auto d = dist();
+  const SizeExcessIntegral excess(d, 2048);
+  // Direct Riemann sum of E[min((X - g)+, cap)].
+  const double g = 0.25, cap = 0.5;
+  double direct = 0.0;
+  const int n = 200000;
+  const double a = d.xmin().value(), b = d.xmax().value();
+  for (int i = 0; i < n; ++i) {
+    const double x = a + (b - a) * (i + 0.5) / n;
+    const double band = std::min(std::max(x - g, 0.0), cap);
+    direct += band * d.pdf(Micrometers{x}) * (b - a) / n;
+  }
+  EXPECT_NEAR(excess(g, cap), direct, direct * 0.02);
+}
+
+TEST(Extraction, TwoParallelWiresMatchHandAnalysis) {
+  // Two 1-lambda wires, 1-lambda gap, 100 lambda long, at 0.25 um.
+  auto lib = std::make_shared<layout::Library>();
+  layout::Cell& cell = lib->create_cell("pair");
+  cell.add_rect(Rect{Layer::kMetal1, 0, 0, 2, 200});
+  cell.add_rect(Rect{Layer::kMetal1, 4, 0, 6, 200});
+  const layout::Design d = design_of(lib, &cell);
+
+  const LayoutCriticalArea ca = extract_critical_area(d, dist());
+  ASSERT_EQ(ca.layers.size(), 1u);
+  EXPECT_EQ(ca.layers[0].neighbor_pairs, 1);
+  EXPECT_EQ(ca.layers[0].shapes, 2);
+  // Hand: run = 25 um, gap 0.25, cap 0.25 um.
+  const SizeExcessIntegral excess(dist());
+  const double expected_short = 25.0 * excess(0.25, 0.25) * 1e-8;
+  EXPECT_NEAR(ca.layers[0].short_area_cm2, expected_short, expected_short * 0.02);
+  EXPECT_GT(ca.layers[0].open_area_cm2, 0.0);
+}
+
+TEST(Extraction, AgreesWithWireArrayModelOnItsOwnPattern) {
+  // Draw the WireArray geometry literally and compare extractors.
+  const int wires = 20;
+  auto lib = std::make_shared<layout::Library>();
+  layout::Cell& cell = lib->create_cell("array");
+  for (int i = 0; i < wires; ++i) {
+    const layout::Coord y = i * 4;  // width 2 units, spacing 2 units
+    cell.add_rect(Rect{Layer::kMetal1, 0, y, 800, y + 2});
+  }
+  const layout::Design d = design_of(lib, &cell);
+  const LayoutCriticalArea measured = extract_critical_area(d, dist());
+
+  const WireArray model{Micrometers{0.25}, Micrometers{0.25}, Micrometers{100.0}, wires};
+  const double model_short = model.average_short_critical_area(dist()).value() * 1e-8;
+  // The extractor only counts adjacent-pair bands (capped at one wire
+  // width), the model caps at one pitch: same order, within 2x.
+  EXPECT_GT(measured.layers[0].short_area_cm2, model_short * 0.4);
+  EXPECT_LT(measured.layers[0].short_area_cm2, model_short * 2.0);
+}
+
+TEST(Extraction, DenserFabricHasHigherRatio) {
+  auto lib = std::make_shared<layout::Library>();
+  const layout::Cell* sram = layout::make_sram_array(*lib, 16, 16);
+  const layout::Cell* ga = layout::make_gate_array(*lib, 16, 16, 0.5);
+  const auto ca_sram = extract_critical_area(design_of(lib, sram), dist());
+  const auto ca_ga = extract_critical_area(design_of(lib, ga), dist());
+  EXPECT_GT(ca_sram.ratio(), ca_ga.ratio());
+  EXPECT_GT(ca_sram.ratio(), 0.0);
+  EXPECT_LT(ca_sram.ratio(), 1.0);
+}
+
+TEST(Extraction, EmptyDesignIsZero) {
+  auto lib = std::make_shared<layout::Library>();
+  layout::Cell& cell = lib->create_cell("empty");
+  const layout::Design d = design_of(lib, &cell);
+  const LayoutCriticalArea ca = extract_critical_area(d, dist());
+  EXPECT_TRUE(ca.layers.empty());
+  EXPECT_DOUBLE_EQ(ca.total_area_cm2, 0.0);
+  EXPECT_DOUBLE_EQ(ca.ratio(), 0.0);
+}
+
+TEST(Extraction, FarNeighborsContributeNothing) {
+  auto lib = std::make_shared<layout::Library>();
+  layout::Cell& cell = lib->create_cell("far");
+  cell.add_rect(Rect{Layer::kMetal1, 0, 0, 2, 100});
+  cell.add_rect(Rect{Layer::kMetal1, 100, 0, 102, 100});  // 49 lambda away
+  const layout::Design d = design_of(lib, &cell);
+  const LayoutCriticalArea ca = extract_critical_area(d, dist(), 8.0);
+  EXPECT_EQ(ca.layers[0].neighbor_pairs, 0);
+  EXPECT_DOUBLE_EQ(ca.layers[0].short_area_cm2, 0.0);
+}
+
+TEST(Extraction, Validation) {
+  auto lib = std::make_shared<layout::Library>();
+  layout::Cell& cell = lib->create_cell("x");
+  cell.add_rect(Rect{Layer::kMetal1, 0, 0, 2, 2});
+  const layout::Design d = design_of(lib, &cell);
+  EXPECT_THROW(extract_critical_area(d, dist(), 0.0), std::domain_error);
+  EXPECT_THROW(SizeExcessIntegral(dist(), 2), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nanocost::defect

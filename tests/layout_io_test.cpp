@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+
+#include "nanocost/layout/counting.hpp"
+#include "nanocost/layout/generators.hpp"
+#include "nanocost/layout/io.hpp"
+#include "nanocost/layout/stats.hpp"
+
+namespace nanocost::layout {
+namespace {
+
+using units::Micrometers;
+
+Design make_reference_design() {
+  auto lib = std::make_shared<Library>();
+  const Cell* top = make_sram_array(*lib, 4, 6);
+  return Design{lib, top, Micrometers{0.25}};
+}
+
+TEST(Io, OrientationNamesRoundTrip) {
+  for (int i = 0; i < kOrientationCount; ++i) {
+    const auto o = static_cast<Orientation>(i);
+    EXPECT_EQ(parse_orientation(orientation_name(o)), o);
+  }
+  EXPECT_THROW(parse_orientation("R45"), std::runtime_error);
+}
+
+TEST(Io, SaveLoadRoundTripsStructure) {
+  const Design original = make_reference_design();
+  std::stringstream buffer;
+  save_design(buffer, original);
+  const Design loaded = load_design(buffer);
+
+  EXPECT_EQ(loaded.lambda().value(), original.lambda().value());
+  EXPECT_EQ(loaded.top().name(), original.top().name());
+  EXPECT_EQ(loaded.flat_rect_count(), original.flat_rect_count());
+  EXPECT_EQ(loaded.transistor_count(), original.transistor_count());
+  EXPECT_NEAR(loaded.area().value(), original.area().value(), 1e-15);
+  EXPECT_NEAR(loaded.density().decompression_index,
+              original.density().decompression_index, 1e-12);
+}
+
+TEST(Io, RoundTripPreservesGeneratorVariety) {
+  auto lib = std::make_shared<Library>();
+  StdCellBlockParams params;
+  params.rows = 4;
+  params.row_width_lambda = 128;
+  const Cell* block = make_stdcell_block(*lib, params);
+  const Design original{lib, block, Micrometers{0.18}};
+
+  std::stringstream buffer;
+  save_design(buffer, original);
+  const Design loaded = load_design(buffer);
+  EXPECT_EQ(loaded.flat_rect_count(), original.flat_rect_count());
+  EXPECT_EQ(loaded.transistor_count(), original.transistor_count());
+  // Flipped rows exercise orientation serialization.
+  const Rect b0 = original.top().bounding_box();
+  const Rect b1 = loaded.top().bounding_box();
+  EXPECT_EQ(b0, b1);
+}
+
+TEST(Io, FileRoundTrip) {
+  const Design original = make_reference_design();
+  const std::string path = ::testing::TempDir() + "/nanocost_io_test.layout";
+  save_design_file(path, original);
+  const Design loaded = load_design_file(path);
+  EXPECT_EQ(loaded.transistor_count(), original.transistor_count());
+  std::remove(path.c_str());
+}
+
+TEST(Io, MissingFileThrows) {
+  EXPECT_THROW(load_design_file("/nonexistent/dir/file.layout"), std::runtime_error);
+}
+
+TEST(Io, ParserRejectsMalformedInput) {
+  const auto expect_reject = [](const std::string& text) {
+    std::stringstream ss(text);
+    EXPECT_THROW(load_design(ss), std::runtime_error) << text;
+  };
+  expect_reject("");                                           // empty
+  expect_reject("wrong-magic v1\n");                           // bad header
+  expect_reject("nanocost-layout v2\n");                       // bad version
+  expect_reject("nanocost-layout v1\nlambda_um 0.25\n");       // no top
+  expect_reject("nanocost-layout v1\nlambda_um 0.25\ntop x\n");  // undefined top
+  expect_reject(
+      "nanocost-layout v1\nlambda_um 0.25\ncell a\nrect plutonium 0 0 1 1\nendcell\ntop a\n");
+  expect_reject(
+      "nanocost-layout v1\nlambda_um 0.25\ncell a\nrect poly 0 0 0 1\nendcell\ntop a\n");
+  expect_reject(
+      "nanocost-layout v1\nlambda_um 0.25\ncell a\ninst b R0 0 0\nendcell\ntop a\n");
+  expect_reject("nanocost-layout v1\nlambda_um 0.25\ncell a\ncell b\n");  // nested
+  expect_reject("nanocost-layout v1\ncell a\nendcell\ntop a\n");          // no lambda
+  // Self-instantiation is structurally impossible to *write* but must
+  // be rejected on read.
+  expect_reject(
+      "nanocost-layout v1\nlambda_um 0.25\ncell a\ninst a R0 0 0\nendcell\ntop a\n");
+}
+
+TEST(Io, DefinitionBeforeUseIsEnforced) {
+  // `inst` referencing a cell defined later in the stream fails.
+  const std::string text =
+      "nanocost-layout v1\nlambda_um 0.25\n"
+      "cell parent\ninst child R0 0 0\nendcell\n"
+      "cell child\nrect poly 0 0 2 2\nendcell\n"
+      "top parent\n";
+  std::stringstream ss(text);
+  EXPECT_THROW(load_design(ss), std::runtime_error);
+}
+
+TEST(Stats, SramCompositionIsSensible) {
+  auto lib = std::make_shared<Library>();
+  const Cell* sram = make_sram_array(*lib, 8, 8);
+  const LayoutStats stats = collect_stats(*sram);
+
+  EXPECT_EQ(stats.total_rects, sram->flat_rect_count());
+  EXPECT_GT(stats.layer(Layer::kDiffusion).rect_count, 0);
+  EXPECT_GT(stats.layer(Layer::kPoly).rect_count, 0);
+  EXPECT_GT(stats.layer(Layer::kMetal1).rect_count, 0);
+  // 6 transistors/cell: 6 diffusion + 6 poly rects per bitcell.
+  EXPECT_EQ(stats.layer(Layer::kPoly).rect_count, 8 * 8 * 6);
+  EXPECT_TRUE(stats.bounding_box.valid());
+}
+
+TEST(Stats, CoverageAndInterconnectShare) {
+  auto lib = std::make_shared<Library>();
+  const Cell* sram = make_sram_array(*lib, 8, 8);
+  const LayoutStats stats = collect_stats(*sram);
+  for (const Layer l : {Layer::kDiffusion, Layer::kPoly, Layer::kMetal1, Layer::kMetal2}) {
+    EXPECT_GT(stats.layer_coverage(l), 0.0);
+    EXPECT_LT(stats.layer_coverage(l), 1.0);
+  }
+  const double share = stats.interconnect_share();
+  EXPECT_GT(share, 0.0);
+  EXPECT_LT(share, 1.0);
+}
+
+TEST(Stats, StdCellChannelsRaiseInterconnectShare) {
+  const auto share_for = [](double channel_ratio) {
+    Library lib;
+    StdCellBlockParams params;
+    params.rows = 8;
+    params.row_width_lambda = 256;
+    params.routing_channel_ratio = channel_ratio;
+    const Cell* block = make_stdcell_block(lib, params);
+    return collect_stats(*block).interconnect_share();
+  };
+  EXPECT_GT(share_for(2.0), share_for(0.5));
+}
+
+TEST(Stats, WireLengthScalesWithLambda) {
+  auto lib = std::make_shared<Library>();
+  const Cell* sram = make_sram_array(*lib, 4, 4);
+  const LayoutStats stats = collect_stats(*sram);
+  const double at25 = stats.total_wire_length(Micrometers{0.25}).value();
+  const double at50 = stats.total_wire_length(Micrometers{0.5}).value();
+  EXPECT_NEAR(at50, at25 * 2.0, 1e-9);
+  EXPECT_GT(at25, 0.0);
+}
+
+TEST(Stats, EmptyCellIsZero) {
+  Cell empty("empty");
+  const LayoutStats stats = collect_stats(empty);
+  EXPECT_EQ(stats.total_rects, 0);
+  EXPECT_DOUBLE_EQ(stats.interconnect_share(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.layer_coverage(Layer::kPoly), 0.0);
+}
+
+}  // namespace
+}  // namespace nanocost::layout

@@ -1,0 +1,339 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+
+#include "nanocost/layout/cell.hpp"
+#include "nanocost/layout/counting.hpp"
+#include "nanocost/layout/density.hpp"
+#include "nanocost/layout/design.hpp"
+#include "nanocost/layout/generators.hpp"
+#include "nanocost/layout/types.hpp"
+
+namespace nanocost::layout {
+namespace {
+
+using units::Micrometers;
+using units::SquareCentimeters;
+
+TEST(Types, RectBasics) {
+  const Rect r{Layer::kPoly, 0, 0, 4, 6};
+  EXPECT_EQ(r.width(), 4);
+  EXPECT_EQ(r.height(), 6);
+  EXPECT_EQ(r.area(), 24);
+  EXPECT_TRUE(r.valid());
+  EXPECT_FALSE((Rect{Layer::kPoly, 2, 0, 2, 6}).valid());
+}
+
+TEST(Types, IntersectionSemantics) {
+  const Rect a{Layer::kPoly, 0, 0, 10, 10};
+  const Rect b{Layer::kDiffusion, 5, 5, 15, 15};
+  EXPECT_TRUE(a.intersects(b));
+  const Rect i = a.intersection(b);
+  EXPECT_EQ(i.x0, 5);
+  EXPECT_EQ(i.y0, 5);
+  EXPECT_EQ(i.x1, 10);
+  EXPECT_EQ(i.y1, 10);
+  // Touching edges do not intersect (open interval semantics).
+  const Rect c{Layer::kPoly, 10, 0, 20, 10};
+  EXPECT_FALSE(a.intersects(c));
+}
+
+TEST(Types, OrientationsFormAGroup) {
+  // Every orientation has an inverse whose composition is R0.
+  const Point p{3, 7};
+  for (int o = 0; o < kOrientationCount; ++o) {
+    const auto orient = static_cast<Orientation>(o);
+    bool found = false;
+    for (int inv = 0; inv < kOrientationCount; ++inv) {
+      if (compose(static_cast<Orientation>(inv), orient) == Orientation::kR0) {
+        found = true;
+        const Transform t1{orient, 0, 0};
+        const Transform t2{static_cast<Orientation>(inv), 0, 0};
+        const Point q = t2.apply(t1.apply(p));
+        EXPECT_EQ(q, p);
+      }
+    }
+    EXPECT_TRUE(found) << "orientation " << o << " has no inverse";
+  }
+}
+
+TEST(Types, ComposeMatchesSequentialApplication) {
+  const Rect r{Layer::kMetal1, 1, 2, 5, 9};
+  for (int a = 0; a < kOrientationCount; ++a) {
+    for (int b = 0; b < kOrientationCount; ++b) {
+      const Transform outer{static_cast<Orientation>(a), 11, -3};
+      const Transform inner{static_cast<Orientation>(b), -4, 7};
+      const Rect sequential = outer.apply(inner.apply(r));
+      const Rect composed = outer.compose(inner).apply(r);
+      EXPECT_EQ(sequential, composed) << "outer=" << a << " inner=" << b;
+    }
+  }
+}
+
+TEST(Types, R90RotatesAsExpected) {
+  const Transform t{Orientation::kR90, 0, 0};
+  const Point p = t.apply(Point{1, 0});
+  EXPECT_EQ(p.x, 0);
+  EXPECT_EQ(p.y, 1);
+}
+
+TEST(Cell, RejectsBadGeometry) {
+  Cell cell("bad");
+  EXPECT_THROW(cell.add_rect(Rect{Layer::kPoly, 5, 0, 5, 10}), std::invalid_argument);
+  Instance null_inst;
+  EXPECT_THROW(cell.add_instance(null_inst), std::invalid_argument);
+}
+
+TEST(Cell, RejectsZeroPitchArrays) {
+  Cell child("child");
+  child.add_rect(Rect{Layer::kPoly, 0, 0, 2, 2});
+  Cell parent("parent");
+  Instance inst;
+  inst.cell = &child;
+  inst.nx = 3;
+  inst.pitch_x = 0;
+  EXPECT_THROW(parent.add_instance(inst), std::invalid_argument);
+}
+
+TEST(Cell, BoundingBoxCoversArrays) {
+  Library lib;
+  Cell& unit = lib.create_cell("unit");
+  unit.add_rect(Rect{Layer::kPoly, 0, 0, 4, 4});
+  Cell& top = lib.create_cell("top");
+  Instance array;
+  array.cell = &unit;
+  array.nx = 5;
+  array.ny = 3;
+  array.pitch_x = 10;
+  array.pitch_y = 8;
+  top.add_instance(array);
+  const Rect box = top.bounding_box();
+  EXPECT_EQ(box.x0, 0);
+  EXPECT_EQ(box.y0, 0);
+  EXPECT_EQ(box.x1, 44);  // last column starts at 40, unit is 4 wide
+  EXPECT_EQ(box.y1, 20);
+}
+
+TEST(Cell, FlatRectCountMultipliesThroughHierarchy) {
+  Library lib;
+  Cell& leaf = lib.create_cell("leaf");
+  leaf.add_rect(Rect{Layer::kPoly, 0, 0, 2, 2});
+  leaf.add_rect(Rect{Layer::kDiffusion, 0, 0, 2, 2});
+  Cell& mid = lib.create_cell("mid");
+  Instance inst;
+  inst.cell = &leaf;
+  inst.nx = 4;
+  inst.pitch_x = 4;
+  mid.add_instance(inst);
+  Cell& top = lib.create_cell("top");
+  Instance inst2;
+  inst2.cell = &mid;
+  inst2.ny = 3;
+  inst2.pitch_y = 4;
+  top.add_instance(inst2);
+  EXPECT_EQ(top.flat_rect_count(), 2 * 4 * 3);
+}
+
+TEST(Cell, FlattenVisitsEveryPlacement) {
+  Library lib;
+  Cell& leaf = lib.create_cell("leaf");
+  leaf.add_rect(Rect{Layer::kPoly, 0, 0, 2, 2});
+  Cell& top = lib.create_cell("top");
+  Instance inst;
+  inst.cell = &leaf;
+  inst.nx = 3;
+  inst.ny = 2;
+  inst.pitch_x = 5;
+  inst.pitch_y = 7;
+  top.add_instance(inst);
+  int count = 0;
+  Coord max_x = 0, max_y = 0;
+  for_each_flat_rect(top, Transform{}, [&](const Rect& r) {
+    ++count;
+    max_x = std::max(max_x, r.x1);
+    max_y = std::max(max_y, r.y1);
+  });
+  EXPECT_EQ(count, 6);
+  EXPECT_EQ(max_x, 12);
+  EXPECT_EQ(max_y, 9);
+}
+
+TEST(Library, DuplicateNamesRejected) {
+  Library lib;
+  lib.create_cell("a");
+  EXPECT_THROW(lib.create_cell("a"), std::invalid_argument);
+  EXPECT_NE(lib.find("a"), nullptr);
+  EXPECT_EQ(lib.find("missing"), nullptr);
+}
+
+TEST(Counting, SingleTransistor) {
+  Library lib;
+  Cell& cell = lib.create_cell("t");
+  cell.add_rect(Rect{Layer::kDiffusion, 0, 0, 6, 4});
+  cell.add_rect(Rect{Layer::kPoly, 2, -2, 4, 6});
+  EXPECT_EQ(count_transistors_flat(cell), 1);
+  EXPECT_EQ(count_transistors_hierarchical(cell), 1);
+}
+
+TEST(Counting, NonOverlappingShapesCountZero) {
+  Library lib;
+  Cell& cell = lib.create_cell("t");
+  cell.add_rect(Rect{Layer::kDiffusion, 0, 0, 6, 4});
+  cell.add_rect(Rect{Layer::kPoly, 10, 10, 12, 18});
+  EXPECT_EQ(count_transistors_flat(cell), 0);
+}
+
+TEST(Counting, PolyCrossingTwoDiffusionsIsTwoGates) {
+  Library lib;
+  Cell& cell = lib.create_cell("t");
+  cell.add_rect(Rect{Layer::kDiffusion, 0, 0, 6, 4});
+  cell.add_rect(Rect{Layer::kDiffusion, 0, 10, 6, 14});
+  cell.add_rect(Rect{Layer::kPoly, 2, -2, 4, 16});
+  EXPECT_EQ(count_transistors_flat(cell), 2);
+}
+
+TEST(Counting, FlatAndHierarchicalAgreeOnGenerators) {
+  Library lib;
+  const Cell* sram = make_sram_array(lib, 8, 16);
+  EXPECT_EQ(count_transistors_flat(*sram), count_transistors_hierarchical(*sram));
+  const Cell* dp = make_datapath(lib, 16, 4);
+  EXPECT_EQ(count_transistors_flat(*dp), count_transistors_hierarchical(*dp));
+  StdCellBlockParams params;
+  params.rows = 4;
+  params.row_width_lambda = 128;
+  const Cell* block = make_stdcell_block(lib, params);
+  EXPECT_EQ(count_transistors_flat(*block), count_transistors_hierarchical(*block));
+}
+
+TEST(Density, FormulaMatchesHand) {
+  // 1 cm^2, 1M transistors, lambda 1 um -> 1e8 um^2 / (1e6 * 1) = 100.
+  EXPECT_DOUBLE_EQ(decompression_index(SquareCentimeters{1.0}, 1e6, Micrometers{1.0}), 100.0);
+  // Table A1 row 5 (Pentium Pro): 3.06 cm^2, 5.5M, 0.6 um -> 154.5.
+  EXPECT_NEAR(decompression_index(SquareCentimeters{3.06}, 5.5e6, Micrometers{0.6}), 154.5,
+              0.1);
+}
+
+TEST(Density, MetricsAreMutuallyConsistent) {
+  const DensityMetrics m = density_metrics(SquareCentimeters{2.0}, 4e6, Micrometers{0.25});
+  EXPECT_NEAR(m.density_index * m.decompression_index, 1.0, 1e-12);
+  EXPECT_NEAR(m.transistors_per_cm2, 2e6, 1e-6);
+}
+
+TEST(Density, AreaForInvertsDecompressionIndex) {
+  const SquareCentimeters area = area_for(1e7, 300.0, Micrometers{0.25});
+  EXPECT_NEAR(decompression_index(area, 1e7, Micrometers{0.25}), 300.0, 1e-9);
+}
+
+TEST(Density, RejectsNonPositiveInputs) {
+  EXPECT_THROW(decompression_index(SquareCentimeters{0.0}, 1e6, Micrometers{0.25}),
+               std::domain_error);
+  EXPECT_THROW(decompression_index(SquareCentimeters{1.0}, 0.0, Micrometers{0.25}),
+               std::domain_error);
+  EXPECT_THROW(area_for(1e6, -5.0, Micrometers{0.25}), std::domain_error);
+}
+
+TEST(Generators, SramBitcellDensityIsThirty) {
+  Library lib;
+  const Cell* sram = make_sram_array(lib, 64, 64);
+  auto shared = std::make_shared<Library>(std::move(lib));
+  const Design design(shared, sram, Micrometers{0.25});
+  EXPECT_EQ(design.transistor_count(), 64 * 64 * 6);
+  EXPECT_NEAR(design.density().decompression_index, 30.0, 0.5);
+}
+
+TEST(Generators, SramScalesExactly) {
+  Library lib;
+  const Cell* small = make_sram_array(lib, 4, 4);
+  const Cell* large = make_sram_array(lib, 8, 8);
+  EXPECT_EQ(count_transistors_hierarchical(*small) * 4,
+            count_transistors_hierarchical(*large));
+}
+
+TEST(Generators, DatapathDensityIsCustomRange) {
+  Library lib;
+  const Cell* dp = make_datapath(lib, 32, 8);
+  auto shared = std::make_shared<Library>(std::move(lib));
+  const Design design(shared, dp, Micrometers{0.25});
+  EXPECT_EQ(design.transistor_count(), 32 * 8 * 8);
+  // 64 x 32 half-lambda units per 8 transistors = 512 lambda^2 / 8 = 64.
+  EXPECT_NEAR(design.density().decompression_index, 64.0, 1.0);
+}
+
+TEST(Generators, StdCellBlockLandsInAsicRange) {
+  Library lib;
+  StdCellBlockParams params;
+  params.rows = 16;
+  params.row_width_lambda = 512;
+  params.routing_channel_ratio = 1.0;
+  params.placement_utilization = 0.8;
+  const Cell* block = make_stdcell_block(lib, params);
+  auto shared = std::make_shared<Library>(std::move(lib));
+  const Design design(shared, block, Micrometers{0.25});
+  const double sd = design.density().decompression_index;
+  EXPECT_GT(sd, 150.0);
+  EXPECT_LT(sd, 900.0);
+  EXPECT_GT(design.transistor_count(), 500);
+}
+
+TEST(Generators, MoreRoutingChannelMeansSparser) {
+  const auto sd_for_channel = [](double ratio) {
+    Library lib;
+    StdCellBlockParams params;
+    params.rows = 8;
+    params.row_width_lambda = 256;
+    params.routing_channel_ratio = ratio;
+    const Cell* block = make_stdcell_block(lib, params);
+    auto shared = std::make_shared<Library>(std::move(lib));
+    return Design(shared, block, Micrometers{0.25}).density().decompression_index;
+  };
+  EXPECT_LT(sd_for_channel(0.5), sd_for_channel(2.0));
+}
+
+TEST(Generators, GateArrayCountsAllSitesRegardlessOfUse) {
+  Library lib;
+  const Cell* full = make_gate_array(lib, 16, 16, 1.0);
+  const Cell* empty = make_gate_array(lib, 16, 16, 0.0);
+  EXPECT_EQ(count_transistors_hierarchical(*full), 16 * 16 * 2);
+  EXPECT_EQ(count_transistors_hierarchical(*empty), 16 * 16 * 2);
+}
+
+TEST(Generators, RandomCustomHitsTransistorTargetAndDensity) {
+  Library lib;
+  const Cell* blob = make_random_custom(lib, 5000, 400.0, 7);
+  EXPECT_EQ(count_transistors_hierarchical(*blob), 5000);
+  auto shared = std::make_shared<Library>(std::move(lib));
+  const Design design(shared, blob, Micrometers{0.25});
+  const double sd = design.density().decompression_index;
+  EXPECT_NEAR(sd, 400.0, 400.0 * 0.35);  // jitter + bbox slack
+}
+
+TEST(Generators, ValidateArguments) {
+  Library lib;
+  EXPECT_THROW(make_sram_array(lib, 0, 4), std::invalid_argument);
+  EXPECT_THROW(make_datapath(lib, 4, 0), std::invalid_argument);
+  EXPECT_THROW(make_gate_array(lib, 4, 4, 1.5), std::invalid_argument);
+  EXPECT_THROW(make_random_custom(lib, 100, 5.0), std::invalid_argument);
+  StdCellBlockParams bad;
+  bad.placement_utilization = 0.0;
+  EXPECT_THROW(make_stdcell_block(lib, bad), std::invalid_argument);
+}
+
+TEST(Design, RequiresLibraryAndTop) {
+  EXPECT_THROW(Design(nullptr, nullptr, Micrometers{0.25}), std::invalid_argument);
+}
+
+TEST(Design, AreaScalesWithLambdaSquared) {
+  Library lib;
+  const Cell* sram = make_sram_array(lib, 16, 16);
+  auto shared = std::make_shared<Library>(std::move(lib));
+  const Design coarse(shared, sram, Micrometers{0.5});
+  const Design fine(shared, sram, Micrometers{0.25});
+  EXPECT_NEAR(coarse.area().value() / fine.area().value(), 4.0, 1e-9);
+  // s_d is lambda-independent: same layout, same index.
+  EXPECT_NEAR(coarse.density().decompression_index, fine.density().decompression_index,
+              1e-9);
+}
+
+}  // namespace
+}  // namespace nanocost::layout

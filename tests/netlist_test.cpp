@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "nanocost/netlist/estimate.hpp"
+#include "nanocost/netlist/generator.hpp"
+#include "nanocost/netlist/netlist.hpp"
+
+namespace nanocost::netlist {
+namespace {
+
+TEST(Netlist, GateTypeMetadata) {
+  EXPECT_EQ(gate_type_name(GateType::kNand2), "nand2");
+  EXPECT_EQ(transistors_in(GateType::kInv), 2);
+  EXPECT_EQ(transistors_in(GateType::kDff), 20);
+  EXPECT_EQ(fanin_of(GateType::kInv), 1);
+  EXPECT_EQ(fanin_of(GateType::kNor2), 2);
+}
+
+TEST(Netlist, BuildsConnectivityBothWays) {
+  Netlist nl;
+  const std::int32_t a = nl.add_primary_input();
+  const std::int32_t b = nl.add_primary_input();
+  const std::int32_t g0 = nl.add_gate(GateType::kNand2, {a, b});
+  const std::int32_t g0_out = nl.output_net_of(g0);
+  const std::int32_t g1 = nl.add_gate(GateType::kInv, {g0_out});
+
+  EXPECT_EQ(nl.gate_count(), 2);
+  EXPECT_EQ(nl.net_count(), 4);  // 2 PIs + 2 gate outputs
+  // Forward: gate inputs reference the nets.
+  EXPECT_EQ(nl.gates()[1].input_nets[0], g0_out);
+  // Backward: nets know their sinks and drivers.
+  EXPECT_EQ(nl.nets()[static_cast<std::size_t>(a)].sink_gates[0], g0);
+  EXPECT_EQ(nl.nets()[static_cast<std::size_t>(g0_out)].driver_gate, g0);
+  EXPECT_EQ(nl.nets()[static_cast<std::size_t>(g0_out)].sink_gates[0], g1);
+  EXPECT_EQ(nl.nets()[static_cast<std::size_t>(a)].driver_gate, -1);
+}
+
+TEST(Netlist, ArityAndRangeValidated) {
+  Netlist nl;
+  const std::int32_t a = nl.add_primary_input();
+  EXPECT_THROW(nl.add_gate(GateType::kInv, {a, a}), std::invalid_argument);
+  EXPECT_THROW(nl.add_gate(GateType::kNand2, {a}), std::invalid_argument);
+  EXPECT_THROW(nl.add_gate(GateType::kInv, {99}), std::invalid_argument);
+  EXPECT_THROW(nl.add_gate(GateType::kInv, {-1}), std::invalid_argument);
+}
+
+TEST(Netlist, TransistorCountSumsTypes) {
+  Netlist nl;
+  const std::int32_t a = nl.add_primary_input();
+  const std::int32_t b = nl.add_primary_input();
+  nl.add_gate(GateType::kInv, {a});        // 2
+  nl.add_gate(GateType::kNand2, {a, b});   // 4
+  nl.add_gate(GateType::kDff, {a, b});     // 20
+  EXPECT_EQ(nl.transistor_count(), 26);
+  const auto histogram = nl.type_histogram();
+  EXPECT_EQ(histogram[static_cast<int>(GateType::kInv)], 1);
+  EXPECT_EQ(histogram[static_cast<int>(GateType::kDff)], 1);
+}
+
+TEST(Netlist, AverageFanoutCountsDrivenNetsOnly) {
+  Netlist nl;
+  const std::int32_t a = nl.add_primary_input();
+  const std::int32_t g0 = nl.add_gate(GateType::kInv, {a});
+  const std::int32_t out = nl.output_net_of(g0);
+  nl.add_gate(GateType::kInv, {out});
+  nl.add_gate(GateType::kInv, {out});
+  // Driven nets: g0's output (2 sinks) + two unloaded outputs.
+  EXPECT_NEAR(nl.average_fanout(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(Generator, ProducesRequestedShape) {
+  GeneratorParams params;
+  params.gate_count = 500;
+  params.primary_inputs = 16;
+  const Netlist nl = generate_random_logic(params);
+  EXPECT_EQ(nl.gate_count(), 500);
+  EXPECT_EQ(nl.net_count(), 516);
+  EXPECT_GT(nl.transistor_count(), 500 * 2);
+  // All four types appear at the default mix.
+  for (const std::int32_t count : nl.type_histogram()) {
+    EXPECT_GT(count, 0);
+  }
+}
+
+TEST(Generator, DeterministicPerSeed) {
+  GeneratorParams params;
+  params.gate_count = 200;
+  params.seed = 42;
+  const Netlist a = generate_random_logic(params);
+  const Netlist b = generate_random_logic(params);
+  ASSERT_EQ(a.gate_count(), b.gate_count());
+  for (std::int32_t g = 0; g < a.gate_count(); ++g) {
+    EXPECT_EQ(a.gates()[static_cast<std::size_t>(g)].type,
+              b.gates()[static_cast<std::size_t>(g)].type);
+    EXPECT_EQ(a.gates()[static_cast<std::size_t>(g)].input_nets,
+              b.gates()[static_cast<std::size_t>(g)].input_nets);
+  }
+}
+
+TEST(Generator, LocalityShortensConnectionsInCreationOrder) {
+  GeneratorParams local;
+  local.gate_count = 1000;
+  local.locality = 0.8;
+  GeneratorParams global = local;
+  global.locality = 0.02;
+
+  const auto mean_reach = [](const Netlist& nl) {
+    double sum = 0.0;
+    std::int64_t count = 0;
+    for (std::int32_t g = 0; g < nl.gate_count(); ++g) {
+      const Gate& gate = nl.gates()[static_cast<std::size_t>(g)];
+      for (const std::int32_t in : gate.input_nets) {
+        sum += static_cast<double>(gate.output_net - in);
+        ++count;
+      }
+    }
+    return sum / static_cast<double>(count);
+  };
+  EXPECT_LT(mean_reach(generate_random_logic(local)),
+            mean_reach(generate_random_logic(global)) * 0.2);
+}
+
+TEST(Generator, Validation) {
+  GeneratorParams bad;
+  bad.gate_count = 0;
+  EXPECT_THROW(generate_random_logic(bad), std::invalid_argument);
+  bad = GeneratorParams{};
+  bad.locality = 0.0;
+  EXPECT_THROW(generate_random_logic(bad), std::invalid_argument);
+  bad = GeneratorParams{};
+  bad.type_weights[0] = bad.type_weights[1] = bad.type_weights[2] = bad.type_weights[3] =
+      0.0;
+  EXPECT_THROW(generate_random_logic(bad), std::invalid_argument);
+}
+
+TEST(Estimate, ScalesWithPinsAndRentExponent) {
+  GeneratorParams params;
+  params.gate_count = 500;
+  const Netlist nl = generate_random_logic(params);
+  const double sites = 600.0;
+  EstimateParams flat;
+  flat.rent_exponent = 0.5;  // size-independent net length
+  EstimateParams steep;
+  steep.rent_exponent = 0.7;
+  EXPECT_GT(estimate_total_wirelength(nl, sites, steep),
+            estimate_total_wirelength(nl, sites, flat));
+  // At p = 0.5 the estimate is independent of block size.
+  EXPECT_NEAR(estimate_total_wirelength(nl, sites, flat),
+              estimate_total_wirelength(nl, sites * 4.0, flat), 1e-9);
+  // Above 0.5 it grows with block size.
+  EXPECT_GT(estimate_total_wirelength(nl, sites * 4.0, steep),
+            estimate_total_wirelength(nl, sites, steep));
+}
+
+TEST(Estimate, AverageIsTotalOverNets) {
+  GeneratorParams params;
+  params.gate_count = 300;
+  const Netlist nl = generate_random_logic(params);
+  const double avg = estimate_average_net_length(nl, 400.0);
+  EXPECT_GT(avg, 0.0);
+  EXPECT_LT(avg, estimate_total_wirelength(nl, 400.0));
+}
+
+TEST(Estimate, Validation) {
+  const Netlist nl = generate_random_logic(GeneratorParams{});
+  EXPECT_THROW(estimate_total_wirelength(nl, 0.0), std::invalid_argument);
+  EstimateParams bad;
+  bad.rent_exponent = 1.0;
+  EXPECT_THROW(estimate_total_wirelength(nl, 100.0, bad), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nanocost::netlist

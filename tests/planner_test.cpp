@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "nanocost/core/planner.hpp"
+
+namespace nanocost::core {
+namespace {
+
+TEST(Planner, ProducesSortedFeasibleCandidates) {
+  ProductSpec spec;
+  spec.transistors = 1e7;
+  spec.n_wafers = 20000.0;
+  const Plan plan = plan_product(spec, roadmap::Roadmap::itrs1999());
+  ASSERT_FALSE(plan.candidates.empty());
+  for (std::size_t i = 1; i < plan.candidates.size(); ++i) {
+    EXPECT_LE(plan.candidates[i - 1].cost_per_transistor.value(),
+              plan.candidates[i].cost_per_transistor.value());
+  }
+  for (const PlanCandidate& c : plan.candidates) {
+    EXPECT_LE(c.die_area.value(), 8.0);  // reticle limit
+    EXPECT_GT(c.s_d, 100.0);
+    EXPECT_GT(c.cost_per_die.value(), 0.0);
+  }
+}
+
+TEST(Planner, FinerNodesWinForTheSameProduct) {
+  // With roadmap-flat Cm_sq, the lambda^2 shrink makes the finest node
+  // that fits the cheapest home for a fixed design.
+  ProductSpec spec;
+  spec.transistors = 1e7;
+  const Plan plan = plan_product(spec, roadmap::Roadmap::itrs1999());
+  EXPECT_EQ(plan.best().node, "35nm");
+}
+
+TEST(Planner, HugeDesignsAreForcedToFineNodes) {
+  // A 500M-transistor product cannot fit older nodes at ASIC density.
+  ProductSpec spec;
+  spec.transistors = 5e8;
+  const Plan plan = plan_product(spec, roadmap::Roadmap::itrs1999());
+  for (const PlanCandidate& c : plan.candidates) {
+    EXPECT_GE(c.year, 2005);  // 180/130 nm cannot host it
+  }
+}
+
+TEST(Planner, VolumeFlipsTheStyleChoice) {
+  ProductSpec proto;
+  proto.transistors = 5e6;
+  proto.n_wafers = 100.0;
+  ProductSpec volume = proto;
+  volume.n_wafers = 500000.0;
+  const Plan p1 = plan_product(proto, roadmap::Roadmap::itrs1999());
+  const Plan p2 = plan_product(volume, roadmap::Roadmap::itrs1999());
+  EXPECT_EQ(p1.best().style, DesignStyle::kFpga);
+  EXPECT_NE(p2.best().style, DesignStyle::kFpga);
+  EXPECT_LT(p2.best().cost_per_transistor.value(),
+            p1.best().cost_per_transistor.value());
+}
+
+TEST(Planner, CustomStyleGetsOptimizedDensity) {
+  ProductSpec spec;
+  spec.transistors = 1e7;
+  spec.styles = {standard_styles()[0]};  // full custom only
+  const Plan plan = plan_product(spec, roadmap::Roadmap::itrs1999());
+  for (const PlanCandidate& c : plan.candidates) {
+    // Optimized, not pinned to the profile's 130.
+    EXPECT_NE(c.s_d, 130.0);
+    EXPECT_GT(c.s_d, 102.0);
+  }
+}
+
+TEST(Planner, Validation) {
+  ProductSpec empty;
+  empty.styles.clear();
+  EXPECT_THROW(plan_product(empty, roadmap::Roadmap::itrs1999()), std::invalid_argument);
+  ProductSpec monster;
+  monster.transistors = 1e12;  // fits nowhere
+  EXPECT_THROW(plan_product(monster, roadmap::Roadmap::itrs1999()), std::domain_error);
+}
+
+}  // namespace
+}  // namespace nanocost::core

@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "nanocost/layout/generators.hpp"
+#include "nanocost/process/design_rules.hpp"
+#include "nanocost/process/interconnect.hpp"
+#include "nanocost/process/prediction.hpp"
+
+namespace nanocost::process {
+namespace {
+
+using units::Micrometers;
+
+TEST(DesignRules, PhysicalDimensionsScaleWithLambda) {
+  const DesignRules coarse = DesignRules::scalable_cmos(Micrometers{0.5});
+  const DesignRules fine = DesignRules::scalable_cmos(Micrometers{0.25});
+  EXPECT_DOUBLE_EQ(coarse.min_width(layout::Layer::kPoly).value(), 0.5);
+  EXPECT_DOUBLE_EQ(fine.min_width(layout::Layer::kPoly).value(), 0.25);
+  EXPECT_DOUBLE_EQ(fine.min_pitch(layout::Layer::kMetal1).value(), 0.5);
+}
+
+TEST(DesignRules, UpperMetalsAreCoarser) {
+  const DesignRules rules = DesignRules::scalable_cmos(Micrometers{0.25});
+  EXPECT_GT(rules.min_pitch(layout::Layer::kMetal6).value(),
+            rules.min_pitch(layout::Layer::kMetal1).value());
+  EXPECT_LT(rules.tracks_per_mm(layout::Layer::kMetal6),
+            rules.tracks_per_mm(layout::Layer::kMetal1));
+}
+
+TEST(DesignRules, TracksPerMmSanity) {
+  const DesignRules rules = DesignRules::scalable_cmos(Micrometers{0.25});
+  // metal1 pitch 2 lambda = 0.5 um -> 2000 tracks per mm.
+  EXPECT_NEAR(rules.tracks_per_mm(layout::Layer::kMetal1), 2000.0, 1e-9);
+}
+
+TEST(DesignRules, GeneratedFabricsAreWidthClean) {
+  // Every generator draws at >= minimum width: zero violations.
+  layout::Library lib;
+  const layout::Cell* sram = layout::make_sram_array(lib, 8, 8);
+  std::vector<layout::Rect> rects;
+  layout::for_each_flat_rect(*sram, layout::Transform{},
+                             [&](const layout::Rect& r) { rects.push_back(r); });
+  const DesignRules rules = DesignRules::scalable_cmos(Micrometers{0.25});
+  EXPECT_EQ(rules.count_width_violations(rects), 0);
+}
+
+TEST(DesignRules, ViolationsAreCounted) {
+  const DesignRules rules = DesignRules::scalable_cmos(Micrometers{0.25});
+  // A 1-unit (half-lambda) wide metal1 wire violates the 1-lambda rule.
+  std::vector<layout::Rect> rects{layout::Rect{layout::Layer::kMetal1, 0, 0, 1, 100}};
+  EXPECT_EQ(rules.count_width_violations(rects), 1);
+}
+
+TEST(Interconnect, AnchorValuesAtQuarterMicron) {
+  const InterconnectModel m = InterconnectModel::for_feature_size(Micrometers{0.25});
+  EXPECT_NEAR(m.resistance_ohm_per_mm(), 60.0, 1e-9);
+  EXPECT_NEAR(m.capacitance_pf_per_mm(), 0.20, 1e-9);
+  EXPECT_NEAR(m.gate_delay_ps(), 80.0, 1e-9);
+}
+
+TEST(Interconnect, ResistanceGrowsQuadraticallyAsLambdaShrinks) {
+  const InterconnectModel at25 = InterconnectModel::for_feature_size(Micrometers{0.25});
+  const InterconnectModel at13 = InterconnectModel::for_feature_size(Micrometers{0.125});
+  EXPECT_NEAR(at13.resistance_ohm_per_mm() / at25.resistance_ohm_per_mm(), 4.0, 1e-9);
+  EXPECT_NEAR(at13.gate_delay_ps() / at25.gate_delay_ps(), 0.5, 1e-9);
+}
+
+TEST(Interconnect, WireDelayIsQuadraticInLength) {
+  const InterconnectModel m = InterconnectModel::for_feature_size(Micrometers{0.25});
+  EXPECT_NEAR(m.wire_delay_ps(2.0) / m.wire_delay_ps(1.0), 4.0, 1e-9);
+  EXPECT_DOUBLE_EQ(m.wire_delay_ps(0.0), 0.0);
+}
+
+TEST(Interconnect, CriticalLengthShrinksWithNode) {
+  // The radius of "safe to estimate without placement" shrinks -- the
+  // paper's reason timing closure gets harder.
+  const double l25 =
+      InterconnectModel::for_feature_size(Micrometers{0.25}).critical_length_mm();
+  const double l13 =
+      InterconnectModel::for_feature_size(Micrometers{0.13}).critical_length_mm();
+  EXPECT_LT(l13, l25);
+  // At the critical length the wire costs exactly one gate delay.
+  const InterconnectModel m = InterconnectModel::for_feature_size(Micrometers{0.25});
+  EXPECT_NEAR(m.wire_delay_ps(m.critical_length_mm()), m.gate_delay_ps(), 1e-6);
+}
+
+TEST(Interconnect, RepeatersLinearizeLongWires) {
+  const InterconnectModel m = InterconnectModel::for_feature_size(Micrometers{0.18});
+  const double raw = m.wire_delay_ps(10.0);
+  const double repeated = m.repeated_wire_delay_ps(10.0);
+  EXPECT_LT(repeated, raw);
+  // Short wires are untouched.
+  const double short_len = m.critical_length_mm() * 0.5;
+  EXPECT_DOUBLE_EQ(m.repeated_wire_delay_ps(short_len), m.wire_delay_ps(short_len));
+  // Doubling a long repeated wire roughly doubles (not quadruples) delay.
+  EXPECT_LT(m.repeated_wire_delay_ps(20.0), 2.5 * repeated);
+}
+
+TEST(Prediction, NeighborhoodGrowsAsLambdaShrinks) {
+  const PredictionModel coarse{Micrometers{0.5}};
+  const PredictionModel fine{Micrometers{0.1}};
+  EXPECT_GT(fine.neighborhood_cells(), coarse.neighborhood_cells() * 10.0);
+  // 500 nm radius at lambda = 0.5 um: radius 1 lambda -> pi cells.
+  EXPECT_NEAR(coarse.neighborhood_cells(), M_PI, 1e-9);
+}
+
+TEST(Prediction, SigmaAndIterationsGrowWithNode) {
+  const PredictionModel coarse{Micrometers{0.5}};
+  const PredictionModel fine{Micrometers{0.1}};
+  EXPECT_GT(fine.estimate_sigma(), coarse.estimate_sigma());
+  EXPECT_GT(fine.expected_iterations(), coarse.expected_iterations());
+  EXPECT_GE(fine.expected_iterations(), 1.0);
+}
+
+TEST(Prediction, SuccessProbabilityBehaves) {
+  const PredictionModel m{Micrometers{0.25}};
+  const double p = m.iteration_success_probability();
+  EXPECT_GT(p, 0.0);
+  EXPECT_LT(p, 1.0);
+  // Relaxing the margin improves convergence -- the paper's "timing
+  // objectives must be relaxed" lever.
+  EXPECT_GT(m.iteration_success_probability(0.5), p);
+  EXPECT_LT(m.expected_iterations(0.5), m.expected_iterations());
+}
+
+TEST(Prediction, CalibrationScalesA0ByRelativeIterations) {
+  const PredictionModel fine{Micrometers{0.13}};
+  const cost::DesignCostParams base;
+  const cost::DesignCostParams scaled =
+      fine.calibrate_design_cost(base, Micrometers{0.25});
+  const PredictionModel reference{Micrometers{0.25}};
+  EXPECT_NEAR(scaled.a0,
+              base.a0 * fine.expected_iterations() / reference.expected_iterations(),
+              1e-9);
+  EXPECT_GT(scaled.a0, base.a0);  // finer node, more iterations
+  // Self-calibration is the identity.
+  const cost::DesignCostParams self =
+      reference.calibrate_design_cost(base, Micrometers{0.25});
+  EXPECT_NEAR(self.a0, base.a0, 1e-12);
+}
+
+TEST(Prediction, RegularityShrinksSigma) {
+  const PredictionModel m{Micrometers{0.18}};
+  EXPECT_DOUBLE_EQ(m.sigma_with_regularity(0.0), m.estimate_sigma());
+  EXPECT_LT(m.sigma_with_regularity(0.9), m.estimate_sigma() * 0.4);
+  EXPECT_DOUBLE_EQ(m.sigma_with_regularity(1.0), 0.0);
+  EXPECT_THROW(m.sigma_with_regularity(1.5), std::domain_error);
+}
+
+TEST(Prediction, Validation) {
+  PredictionParams bad;
+  bad.margin = 0.0;
+  EXPECT_THROW(PredictionModel(Micrometers{0.25}, bad), std::domain_error);
+  const PredictionModel m{Micrometers{0.25}};
+  EXPECT_THROW(m.expected_iterations(0.0), std::domain_error);
+}
+
+}  // namespace
+}  // namespace nanocost::process

@@ -1,0 +1,190 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "nanocost/layout/generators.hpp"
+#include "nanocost/regularity/extractor.hpp"
+#include "nanocost/regularity/reuse.hpp"
+#include "nanocost/units/money.hpp"
+
+namespace nanocost::regularity {
+namespace {
+
+using layout::Layer;
+using layout::Rect;
+
+TEST(Extractor, EmptyInputGivesEmptyReport) {
+  const RegularityReport r = extract_patterns(std::vector<Rect>{});
+  EXPECT_EQ(r.total_windows, 0);
+  EXPECT_EQ(r.unique_patterns, 0);
+  EXPECT_DOUBLE_EQ(r.regularity_index(), 0.0);
+}
+
+TEST(Extractor, PerfectArrayHasOnePattern) {
+  // A grid of identical 4x4 squares aligned to the window grid.
+  std::vector<Rect> rects;
+  for (int y = 0; y < 8; ++y) {
+    for (int x = 0; x < 8; ++x) {
+      rects.push_back(Rect{Layer::kPoly, x * 16, y * 16, x * 16 + 4, y * 16 + 4});
+    }
+  }
+  ExtractorParams params;
+  params.window = 16;
+  const RegularityReport r = extract_patterns(rects, params);
+  EXPECT_EQ(r.total_windows, 64);
+  EXPECT_EQ(r.unique_patterns, 1);
+  EXPECT_NEAR(r.regularity_index(), 1.0 - 1.0 / 64.0, 1e-12);
+  EXPECT_DOUBLE_EQ(r.top_k_coverage(1), 1.0);
+  EXPECT_DOUBLE_EQ(r.pattern_entropy_bits(), 0.0);
+}
+
+TEST(Extractor, AllDistinctWindowsHaveZeroRegularity) {
+  // Each window gets a rectangle of a different size.
+  std::vector<Rect> rects;
+  for (int i = 0; i < 16; ++i) {
+    rects.push_back(Rect{Layer::kPoly, i * 16, 0, i * 16 + 1 + i % 8, 2 + i / 2});
+  }
+  ExtractorParams params;
+  params.window = 16;
+  const RegularityReport r = extract_patterns(rects, params);
+  EXPECT_EQ(r.total_windows, r.unique_patterns);
+  EXPECT_DOUBLE_EQ(r.regularity_index(), 0.0);
+  EXPECT_NEAR(r.pattern_entropy_bits(), std::log2(static_cast<double>(r.total_windows)),
+              1e-9);
+}
+
+TEST(Extractor, CensusOccurrencesSumToTotal) {
+  layout::Library lib;
+  const layout::Cell* block = layout::make_stdcell_block(lib, {});
+  const RegularityReport r = extract_patterns(*block);
+  std::int64_t sum = 0;
+  for (const PatternClass& pc : r.census) sum += pc.occurrences;
+  EXPECT_EQ(sum, r.total_windows);
+  // Census is sorted by occurrences, descending.
+  for (std::size_t i = 1; i < r.census.size(); ++i) {
+    EXPECT_GE(r.census[i - 1].occurrences, r.census[i].occurrences);
+  }
+}
+
+TEST(Extractor, SramIsFarMoreRegularThanRandomCustom) {
+  layout::Library lib;
+  const layout::Cell* sram = layout::make_sram_array(lib, 32, 32);
+  const layout::Cell* custom = layout::make_random_custom(lib, 1000, 200.0, 3);
+  ExtractorParams params;
+  params.window = 48;
+  const RegularityReport r_sram = extract_patterns(*sram, params);
+  const RegularityReport r_custom = extract_patterns(*custom, params);
+  EXPECT_GT(r_sram.regularity_index(), 0.9);
+  EXPECT_LT(r_custom.regularity_index(), 0.5);
+  EXPECT_LT(r_sram.unique_patterns, r_custom.unique_patterns);
+}
+
+TEST(Extractor, TranslationInvariance) {
+  // The same geometry shifted by whole windows produces the same census.
+  std::vector<Rect> rects, shifted;
+  for (int i = 0; i < 10; ++i) {
+    const Rect r{Layer::kMetal1, i * 32 + 3, 5, i * 32 + 9, 20};
+    rects.push_back(r);
+    shifted.push_back(r.translated(32 * 100, 32 * 7));
+  }
+  ExtractorParams params;
+  params.window = 32;
+  const RegularityReport a = extract_patterns(rects, params);
+  const RegularityReport b = extract_patterns(shifted, params);
+  EXPECT_EQ(a.unique_patterns, b.unique_patterns);
+  EXPECT_EQ(a.total_windows, b.total_windows);
+}
+
+TEST(Extractor, OrientationInvariantMatchesMirroredRows) {
+  // One window with a pattern, another with its MX mirror.  The window
+  // grid anchors at the geometry's bounding box, so the first rect
+  // touches (0, 0) to pin the grid there.
+  std::vector<Rect> rects;
+  rects.push_back(Rect{Layer::kPoly, 0, 0, 4, 10});       // window 0
+  // MX mirror within a 16-unit window: y -> 16 - y maps [0,10] to [6,16].
+  rects.push_back(Rect{Layer::kPoly, 16, 6, 20, 16});     // window 1
+  ExtractorParams plain;
+  plain.window = 16;
+  ExtractorParams invariant = plain;
+  invariant.orientation_invariant = true;
+  EXPECT_EQ(extract_patterns(rects, plain).unique_patterns, 2);
+  EXPECT_EQ(extract_patterns(rects, invariant).unique_patterns, 1);
+}
+
+TEST(Extractor, EmptyWindowHandling) {
+  // Two occupied windows separated by an empty one.
+  std::vector<Rect> rects;
+  rects.push_back(Rect{Layer::kPoly, 0, 0, 4, 4});
+  rects.push_back(Rect{Layer::kPoly, 32, 0, 36, 4});
+  ExtractorParams ignore;
+  ignore.window = 16;
+  ignore.ignore_empty_windows = true;
+  const RegularityReport a = extract_patterns(rects, ignore);
+  EXPECT_EQ(a.total_windows, 2);
+  EXPECT_EQ(a.empty_windows, 1);
+
+  ExtractorParams keep = ignore;
+  keep.ignore_empty_windows = false;
+  const RegularityReport b = extract_patterns(rects, keep);
+  EXPECT_EQ(b.total_windows, 3);
+  EXPECT_EQ(b.unique_patterns, 2);  // the shape class + the empty class
+}
+
+TEST(Extractor, WindowSizeValidated) {
+  ExtractorParams params;
+  params.window = 0;
+  EXPECT_THROW(extract_patterns(std::vector<Rect>{Rect{Layer::kPoly, 0, 0, 1, 1}}, params),
+               std::invalid_argument);
+}
+
+TEST(Extractor, RectSpanningWindowsIsClippedIntoBoth) {
+  std::vector<Rect> rects;
+  rects.push_back(Rect{Layer::kPoly, 0, 0, 2, 2});      // pins the grid origin
+  rects.push_back(Rect{Layer::kMetal1, 8, 4, 24, 8});   // spans windows 0 and 1
+  ExtractorParams params;
+  params.window = 16;
+  const RegularityReport r = extract_patterns(rects, params);
+  EXPECT_EQ(r.total_windows, 2);
+  // Window 0 holds the origin square plus the left clip [8,16]x[4,8];
+  // window 1 holds only the right clip [0,8]x[4,8] -- two patterns.
+  EXPECT_EQ(r.unique_patterns, 2);
+}
+
+TEST(Reuse, CharacterizationCostScalesWithUniquePatterns) {
+  RegularityReport r;
+  r.total_windows = 100;
+  r.unique_patterns = 7;
+  EXPECT_DOUBLE_EQ(characterization_cost(r, units::Money{1000.0}).value(), 7000.0);
+}
+
+TEST(Reuse, EffortScaleInterpolates) {
+  RegularityReport regular;
+  regular.total_windows = 1000;
+  regular.unique_patterns = 10;
+  RegularityReport unique;
+  unique.total_windows = 1000;
+  unique.unique_patterns = 1000;
+  EXPECT_LT(design_effort_scale(regular), design_effort_scale(unique));
+  EXPECT_DOUBLE_EQ(design_effort_scale(unique), 1.0);
+  EXPECT_NEAR(design_effort_scale(regular, 0.1), 0.1 + 0.9 * 0.01, 1e-12);
+  EXPECT_THROW(design_effort_scale(regular, 0.0), std::domain_error);
+}
+
+TEST(Reuse, EffectiveVolumeGrowsWithSharingForRegularDesigns) {
+  RegularityReport regular;
+  regular.total_windows = 1000;
+  regular.unique_patterns = 10;
+  const double v1 = effective_volume_multiplier(regular, 1);
+  const double v4 = effective_volume_multiplier(regular, 4);
+  EXPECT_DOUBLE_EQ(v1, 1.0);
+  EXPECT_GT(v4, 2.0);  // 99% regular share amortizes nearly 4x
+  // An all-unique design gains nothing from sharing.
+  RegularityReport unique;
+  unique.total_windows = 1000;
+  unique.unique_patterns = 1000;
+  EXPECT_NEAR(effective_volume_multiplier(unique, 4), 1.0, 1e-12);
+  EXPECT_THROW(effective_volume_multiplier(regular, 0), std::domain_error);
+}
+
+}  // namespace
+}  // namespace nanocost::regularity

@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "nanocost/report/chart.hpp"
+#include "nanocost/report/table.hpp"
+#include "nanocost/report/wafer_view.hpp"
+
+namespace nanocost::report {
+namespace {
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"name", "s_d"});
+  t.add_row({"K7", "335.6"});
+  t.add_row({"Pentium III", "207.1"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("| name"), std::string::npos);
+  EXPECT_NE(s.find("| K7"), std::string::npos);
+  EXPECT_NE(s.find("| Pentium III"), std::string::npos);
+  // Every line has the same width.
+  std::size_t first_len = s.find('\n');
+  std::size_t pos = 0;
+  while (pos < s.size()) {
+    const std::size_t next = s.find('\n', pos);
+    EXPECT_EQ(next - pos, first_len);
+    pos = next + 1;
+  }
+}
+
+TEST(Table, RowArityEnforced) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only one"}), std::invalid_argument);
+  EXPECT_THROW(Table{std::vector<std::string>{}}, std::invalid_argument);
+}
+
+TEST(Table, CsvEscapesSpecials) {
+  Table t({"device", "note"});
+  t.add_row({"ASIC, telecom", "says \"fast\""});
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\"ASIC, telecom\""), std::string::npos);
+  EXPECT_NE(csv.find("\"says \"\"fast\"\"\""), std::string::npos);
+}
+
+TEST(Chart, RendersPointsAndLegend) {
+  Series s;
+  s.name = "trend";
+  s.marker = 'x';
+  s.points = {{1.0, 1.0}, {2.0, 4.0}, {3.0, 9.0}};
+  const std::string out = render_chart({s});
+  EXPECT_NE(out.find('x'), std::string::npos);
+  EXPECT_NE(out.find("x = trend"), std::string::npos);
+}
+
+TEST(Chart, LogScaleRejectsNonPositive) {
+  Series s;
+  s.points = {{0.0, 1.0}};
+  ChartOptions opts;
+  opts.x_scale = Scale::kLog;
+  EXPECT_THROW(render_chart({s}, opts), std::invalid_argument);
+}
+
+TEST(Chart, EmptyChartIsGraceful) {
+  EXPECT_EQ(render_chart({}), "(empty chart)\n");
+}
+
+TEST(Chart, DegenerateRangeHandled) {
+  Series s;
+  s.points = {{5.0, 5.0}, {5.0, 5.0}};
+  EXPECT_NO_THROW(render_chart({s}));
+}
+
+TEST(Chart, TooSmallAreaRejected) {
+  Series s;
+  s.points = {{1.0, 1.0}};
+  ChartOptions opts;
+  opts.width = 2;
+  EXPECT_THROW(render_chart({s}, opts), std::invalid_argument);
+}
+
+TEST(WaferView, RendersEveryDieSiteOnce) {
+  const geometry::WaferMap map(
+      geometry::WaferSpec::mm150(),
+      geometry::DieSize{units::Millimeters{20.0}, units::Millimeters{20.0}});
+  ASSERT_GT(map.die_count(), 0);
+  int calls = 0;
+  const std::string out = render_wafer_map(map, [&](std::int64_t) {
+    ++calls;
+    return '#';
+  });
+  EXPECT_EQ(calls, map.die_count());
+  // Exactly die_count '#' characters appear.
+  EXPECT_EQ(static_cast<std::int64_t>(std::count(out.begin(), out.end(), '#')),
+            map.die_count());
+}
+
+TEST(WaferView, GoodBadUsesTwoMarkers) {
+  const geometry::WaferMap map(
+      geometry::WaferSpec::mm150(),
+      geometry::DieSize{units::Millimeters{25.0}, units::Millimeters{25.0}});
+  const std::string out =
+      render_good_bad(map, [](std::int64_t site) { return site % 2 == 0; });
+  EXPECT_NE(out.find('o'), std::string::npos);
+  EXPECT_NE(out.find('X'), std::string::npos);
+}
+
+TEST(WaferView, EmptyMapIsGraceful) {
+  const geometry::WaferMap empty(
+      geometry::WaferSpec::mm150(),
+      geometry::DieSize{units::Millimeters{400.0}, units::Millimeters{400.0}});
+  EXPECT_EQ(render_wafer_map(empty, [](std::int64_t) { return '#'; }),
+            "(empty wafer map)\n");
+}
+
+}  // namespace
+}  // namespace nanocost::report

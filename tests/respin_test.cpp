@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "nanocost/cost/respin.hpp"
+
+namespace nanocost::cost {
+namespace {
+
+using units::Micrometers;
+
+TEST(Respin, EscapedBugsScaleWithSizeAndCoverage) {
+  const RespinModel model;
+  EXPECT_GT(model.escaped_bugs(1e8), model.escaped_bugs(1e6));
+  RespinParams strict;
+  strict.verification_coverage = 0.999;
+  const RespinModel thorough{strict};
+  EXPECT_LT(thorough.escaped_bugs(1e7), model.escaped_bugs(1e7));
+}
+
+TEST(Respin, FirstSiliconSuccessIsPoissonZero) {
+  const RespinModel model;
+  const double escaped = model.escaped_bugs(1e7);
+  EXPECT_NEAR(model.first_silicon_success(1e7).value(), std::exp(-escaped), 1e-12);
+}
+
+TEST(Respin, SmallCleanDesignsUsuallyWorkFirstTime) {
+  RespinParams strict;
+  strict.verification_coverage = 0.99;
+  const RespinModel model{strict};
+  EXPECT_GT(model.first_silicon_success(1e6).value(), 0.95);
+  EXPECT_LT(model.expected_respins(1e6), 0.1);
+}
+
+TEST(Respin, BigDesignsRespinMore) {
+  const RespinModel model;
+  EXPECT_GT(model.expected_respins(1e8), model.expected_respins(1e6));
+  // Expected respins is finite and small even for huge designs: each
+  // spin's verification whittles the escapes geometrically.
+  EXPECT_LT(model.expected_respins(1e9), 10.0);
+}
+
+TEST(Respin, ExpectedRespinsConsistentWithSuccessProbability) {
+  const RespinModel model;
+  // At least P(first silicon fails) respins are needed.
+  const double p_fail = 1.0 - model.first_silicon_success(1e7).value();
+  EXPECT_GE(model.expected_respins(1e7), p_fail);
+}
+
+TEST(Respin, MaskNreIncludesExpectedRespins) {
+  const RespinModel model;
+  const MaskCostModel masks{Micrometers{0.18}, 24};
+  const double expected =
+      masks.set_cost().value() * (1.0 + model.expected_respins(1e7));
+  EXPECT_NEAR(model.expected_mask_nre(masks, 1e7).value(), expected, 1e-6);
+  EXPECT_GT(model.expected_mask_nre(masks, 1e7).value(), masks.set_cost().value());
+}
+
+TEST(Respin, CoverageIsTheLever) {
+  // Raising verification coverage 95% -> 99.5% collapses respins --
+  // the economic argument for verification investment at NRE-heavy
+  // nanometer nodes.
+  RespinParams loose;
+  loose.verification_coverage = 0.95;
+  RespinParams tight;
+  tight.verification_coverage = 0.995;
+  const double big = 2e8;
+  EXPECT_LT(RespinModel{tight}.expected_respins(big),
+            RespinModel{loose}.expected_respins(big) * 0.5);
+}
+
+TEST(Respin, Validation) {
+  RespinParams bad;
+  bad.verification_coverage = 1.0;
+  EXPECT_THROW(RespinModel{bad}, std::invalid_argument);
+  bad.verification_coverage = 0.0;
+  EXPECT_THROW(RespinModel{bad}, std::invalid_argument);
+  const RespinModel model;
+  EXPECT_THROW(model.escaped_bugs(0.0), std::domain_error);
+}
+
+}  // namespace
+}  // namespace nanocost::cost

@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "nanocost/core/optimizer.hpp"
+#include "nanocost/core/risk.hpp"
+
+namespace nanocost::core {
+namespace {
+
+UncertainInputs reference() {
+  UncertainInputs u;
+  u.nominal.transistors_per_chip = 1e7;
+  u.nominal.n_wafers = 10000.0;
+  u.nominal.yield = units::Probability{0.7};
+  return u;
+}
+
+TEST(Risk, ZeroUncertaintyCollapsesToPointEstimate) {
+  UncertainInputs u = reference();
+  u.yield_sigma = 1e-12;
+  u.cm_sq_sigma_rel = 1e-12;
+  u.design_cost_sigma_rel = 1e-12;
+  u.volume_sigma_rel = 1e-12;
+  const double s_d = 300.0;
+  const RiskResult r = monte_carlo_cost(u, s_d, 500, 7);
+  const double point = cost_per_transistor_eq4(u.nominal, s_d).total.value();
+  EXPECT_NEAR(r.mean, point, point * 1e-6);
+  EXPECT_NEAR(r.stddev, 0.0, point * 1e-6);
+  EXPECT_NEAR(r.p50, point, point * 1e-6);
+}
+
+TEST(Risk, PercentilesAreOrderedAndSpread) {
+  const RiskResult r = monte_carlo_cost(reference(), 300.0, 4000, 11);
+  EXPECT_LT(r.p10, r.p50);
+  EXPECT_LT(r.p50, r.p90);
+  EXPECT_GT(r.stddev, 0.0);
+  // Lognormal-ish right skew: mean above median.
+  EXPECT_GT(r.mean, r.p50 * 0.98);
+}
+
+TEST(Risk, MoreVolumeRiskWidensTheDistribution) {
+  UncertainInputs narrow = reference();
+  narrow.volume_sigma_rel = 0.1;
+  UncertainInputs wide = reference();
+  wide.volume_sigma_rel = 1.0;
+  const RiskResult a = monte_carlo_cost(narrow, 250.0, 4000, 3);
+  const RiskResult b = monte_carlo_cost(wide, 250.0, 4000, 3);
+  EXPECT_GT(b.p90 / b.p10, a.p90 / a.p10);
+}
+
+TEST(Risk, BudgetProbabilityBehaves) {
+  const UncertainInputs u = reference();
+  const RiskResult r = monte_carlo_cost(u, 300.0, 4000, 5, /*die_budget=*/1e9);
+  EXPECT_DOUBLE_EQ(r.prob_over_budget, 0.0);
+  const RiskResult tight = monte_carlo_cost(u, 300.0, 4000, 5, /*die_budget=*/1e-9);
+  EXPECT_DOUBLE_EQ(tight.prob_over_budget, 1.0);
+  // A budget at the median per-die cost is exceeded about half the time.
+  const RiskResult mid = monte_carlo_cost(
+      u, 300.0, 4000, 5, r.p50 * u.nominal.transistors_per_chip);
+  EXPECT_NEAR(mid.prob_over_budget, 0.5, 0.05);
+}
+
+TEST(Risk, DeterministicPerSeed) {
+  const UncertainInputs u = reference();
+  const RiskResult a = monte_carlo_cost(u, 300.0, 1000, 99);
+  const RiskResult b = monte_carlo_cost(u, 300.0, 1000, 99);
+  EXPECT_DOUBLE_EQ(a.mean, b.mean);
+  EXPECT_DOUBLE_EQ(a.p90, b.p90);
+}
+
+TEST(Risk, RobustOptimumIsSparserUnderVolumeRisk) {
+  // Volume risk hurts dense designs (their NRE needs the volume); the
+  // p90-robust choice backs off toward sparser s_d than the nominal
+  // optimum.
+  UncertainInputs u = reference();
+  u.volume_sigma_rel = 1.0;
+  u.nominal.n_wafers = 5000.0;
+  const Optimum nominal = optimal_sd_eq4(u.nominal);
+  const RobustOptimum robust = robust_sd(u, 0.9, 110.0, 1500.0, 24, 1500, 17);
+  EXPECT_GE(robust.s_d, nominal.s_d * 0.95);
+  EXPECT_GT(robust.quantile_cost, 0.0);
+}
+
+TEST(Risk, Validation) {
+  const UncertainInputs u = reference();
+  EXPECT_THROW(monte_carlo_cost(u, 300.0, 5), std::invalid_argument);
+  EXPECT_THROW(robust_sd(u, 0.0, 110.0, 1000.0, 10), std::invalid_argument);
+  EXPECT_THROW(robust_sd(u, 0.9, 1000.0, 110.0, 10), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nanocost::core

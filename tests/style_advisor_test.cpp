@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "nanocost/core/style_advisor.hpp"
+
+namespace nanocost::core {
+namespace {
+
+Eq4Inputs reference_product() {
+  Eq4Inputs inputs;
+  inputs.transistors_per_chip = 5e6;
+  inputs.lambda = units::Micrometers{0.25};
+  inputs.yield = units::Probability{0.8};
+  inputs.mask_cost = units::Money{600000.0};
+  return inputs;
+}
+
+TEST(StyleAdvisor, StandardPortfolioHasFourStyles) {
+  const auto styles = standard_styles();
+  ASSERT_EQ(styles.size(), 4u);
+  // Densities follow the style ladder.
+  EXPECT_LT(styles[0].typical_sd, styles[1].typical_sd);
+  EXPECT_LT(styles[1].typical_sd, styles[2].typical_sd);
+  EXPECT_LT(styles[2].typical_sd, styles[3].typical_sd);
+  // The FPGA pays no masks and wastes the most fabric.
+  EXPECT_DOUBLE_EQ(styles[3].mask_cost_share, 0.0);
+  EXPECT_LT(styles[3].utilization, styles[2].utilization);
+}
+
+TEST(StyleAdvisor, NamesAreHuman) {
+  EXPECT_EQ(style_name(DesignStyle::kFullCustom), "full custom");
+  EXPECT_EQ(style_name(DesignStyle::kFpga), "FPGA");
+}
+
+TEST(StyleAdvisor, ReturnsSortedEvaluations) {
+  Eq4Inputs product = reference_product();
+  product.n_wafers = 10000.0;
+  const auto evals = advise(product);
+  ASSERT_EQ(evals.size(), 4u);
+  for (std::size_t i = 1; i < evals.size(); ++i) {
+    EXPECT_LE(evals[i - 1].breakdown.total.value(), evals[i].breakdown.total.value());
+  }
+}
+
+TEST(StyleAdvisor, FpgaWinsTinyVolumes) {
+  Eq4Inputs product = reference_product();
+  product.n_wafers = 100.0;  // a prototype run
+  const auto evals = advise(product);
+  EXPECT_EQ(evals.front().profile.style, DesignStyle::kFpga);
+}
+
+TEST(StyleAdvisor, DedicatedSiliconWinsHugeVolumes) {
+  Eq4Inputs product = reference_product();
+  product.n_wafers = 1e6;
+  const auto evals = advise(product);
+  const DesignStyle winner = evals.front().profile.style;
+  EXPECT_TRUE(winner == DesignStyle::kFullCustom || winner == DesignStyle::kStandardCell);
+  // And the FPGA is the *worst* choice at this volume (2x wasted fabric).
+  EXPECT_EQ(evals.back().profile.style, DesignStyle::kFpga);
+}
+
+TEST(StyleAdvisor, CrossoverSequenceIsMonotoneInStyleLadder) {
+  // As volume grows, the winner moves monotonically down the
+  // programmability ladder (FPGA -> gate array -> std cell / custom):
+  // once a denser style wins, cheaper-NRE styles never win again.
+  Eq4Inputs product = reference_product();
+  const auto points = volume_crossovers(product, 50.0, 2e6, 40);
+  ASSERT_FALSE(points.empty());
+  const auto rank = [](DesignStyle s) {
+    switch (s) {
+      case DesignStyle::kFpga: return 0;
+      case DesignStyle::kGateArray: return 1;
+      case DesignStyle::kStandardCell: return 2;
+      case DesignStyle::kFullCustom: return 3;
+    }
+    return -1;
+  };
+  int prev = rank(points.front().winner);
+  for (const VolumeCrossover& p : points) {
+    EXPECT_GE(rank(p.winner), prev) << "volume " << p.n_wafers;
+    prev = rank(p.winner);
+  }
+  // The sweep actually crosses at least once.
+  EXPECT_NE(rank(points.front().winner), rank(points.back().winner));
+  // Costs fall with volume throughout.
+  EXPECT_LT(points.back().winning_cost.value(), points.front().winning_cost.value());
+}
+
+TEST(StyleAdvisor, CustomStyleListIsHonored) {
+  Eq4Inputs product = reference_product();
+  product.n_wafers = 10000.0;
+  std::vector<StyleProfile> only_asic{standard_styles()[1]};
+  const auto evals = advise(product, only_asic);
+  ASSERT_EQ(evals.size(), 1u);
+  EXPECT_EQ(evals.front().profile.style, DesignStyle::kStandardCell);
+}
+
+TEST(StyleAdvisor, Validation) {
+  const Eq4Inputs product = reference_product();
+  EXPECT_THROW(advise(product, {}), std::invalid_argument);
+  EXPECT_THROW(volume_crossovers(product, 100.0, 50.0, 10), std::invalid_argument);
+  EXPECT_THROW(volume_crossovers(product, 100.0, 1000.0, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nanocost::core

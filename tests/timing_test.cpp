@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "nanocost/netlist/generator.hpp"
+#include "nanocost/place/placer.hpp"
+#include "nanocost/timing/sta.hpp"
+
+namespace nanocost::timing {
+namespace {
+
+using netlist::GateType;
+using netlist::Netlist;
+
+/// Inverter chain of length n: PI -> inv -> inv -> ...
+Netlist inv_chain(int n) {
+  Netlist nl;
+  std::int32_t net = nl.add_primary_input();
+  for (int i = 0; i < n; ++i) {
+    const std::int32_t g = nl.add_gate(GateType::kInv, {net});
+    net = nl.output_net_of(g);
+  }
+  return nl;
+}
+
+TEST(Sta, InverterChainAddsGateDelays) {
+  const Netlist nl = inv_chain(5);
+  // Adjacent placement: negligible wire.
+  const place::Placement p = place::Placement::ordered(nl, 1, 5);
+  TimingParams params;
+  const TimingResult r = analyze_placed(nl, p, params);
+  const double unit =
+      process::InterconnectModel::for_feature_size(params.lambda).gate_delay_ps();
+  // Five inverters plus four 1-site wires (tiny but nonzero).
+  EXPECT_GT(r.critical_path_ps, 5.0 * unit);
+  EXPECT_LT(r.critical_path_ps, 5.2 * unit);
+  EXPECT_EQ(r.critical_path.size(), 5u);
+  // The path is the chain in order.
+  for (std::size_t i = 0; i < r.critical_path.size(); ++i) {
+    EXPECT_EQ(r.critical_path[i], static_cast<std::int32_t>(i));
+  }
+  EXPECT_NEAR(r.total_gate_delay_ps + r.total_wire_delay_ps, r.critical_path_ps, 1e-9);
+}
+
+TEST(Sta, FarPlacementAddsWireDelay) {
+  const Netlist nl = inv_chain(2);
+  place::Placement near(1, 100, 2);
+  near.assign(0, 0);
+  near.assign(1, 1);
+  place::Placement far(1, 100, 2);
+  far.assign(0, 0);
+  far.assign(1, 99);
+  const double t_near = analyze_placed(nl, near).critical_path_ps;
+  const double t_far = analyze_placed(nl, far).critical_path_ps;
+  EXPECT_GT(t_far, t_near);
+}
+
+TEST(Sta, DffBreaksPaths) {
+  // PI -> inv -> DFF -> inv: two short paths, not one long one.
+  Netlist nl;
+  const std::int32_t a = nl.add_primary_input();
+  const std::int32_t clk = nl.add_primary_input();
+  const std::int32_t g0 = nl.add_gate(GateType::kInv, {a});
+  const std::int32_t ff = nl.add_gate(GateType::kDff, {nl.output_net_of(g0), clk});
+  nl.add_gate(GateType::kInv, {nl.output_net_of(ff)});
+
+  const place::Placement p = place::Placement::ordered(nl, 1, 3);
+  TimingParams params;
+  const double unit =
+      process::InterconnectModel::for_feature_size(params.lambda).gate_delay_ps();
+  const TimingResult r = analyze_placed(nl, p, params);
+  // Longest register-bounded path: DFF clk->q (2.0) + inv (1.0) < the
+  // unregistered 5-stage sum it would be otherwise.
+  EXPECT_LT(r.critical_path_ps, 3.5 * unit);
+  EXPECT_GT(r.critical_path_ps, 2.0 * unit);
+}
+
+TEST(Sta, EstimatedModeUsesUniformNets) {
+  const Netlist nl = inv_chain(10);
+  const TimingResult r = analyze_estimated(nl, 100.0);
+  EXPECT_GT(r.critical_path_ps, 0.0);
+  EXPECT_EQ(r.critical_path.size(), 10u);
+}
+
+TEST(Sta, ClosureGapSignsMatchReality) {
+  // A badly placed design is slower than the estimate says (positive
+  // gap); an annealed one is comparable or better.
+  netlist::GeneratorParams gen;
+  gen.gate_count = 400;
+  gen.locality = 0.5;
+  gen.seed = 6;
+  const Netlist nl = netlist::generate_random_logic(gen);
+  const std::int32_t rows = 12, cols = 40;
+  const double sites = static_cast<double>(rows) * cols;
+
+  const TimingResult estimated = analyze_estimated(nl, sites);
+  const TimingResult bad =
+      analyze_placed(nl, place::Placement::random(nl, rows, cols, 3));
+  const place::PlaceResult good = place::anneal_place(nl, rows, cols, {});
+  const TimingResult placed = analyze_placed(nl, good.placement);
+
+  EXPECT_GT(closure_gap(estimated, bad), closure_gap(estimated, placed));
+  EXPECT_GT(closure_gap(estimated, bad), 0.0);
+}
+
+TEST(Sta, FinerNodesAreFasterButWireDominated) {
+  netlist::GeneratorParams gen;
+  gen.gate_count = 600;
+  gen.locality = 0.2;  // long wires
+  const Netlist nl = netlist::generate_random_logic(gen);
+  const place::PlaceResult placed = place::anneal_place(nl, 16, 45, {});
+
+  TimingParams coarse;
+  coarse.lambda = units::Micrometers{0.5};
+  coarse.site_pitch_um = 12.0;
+  TimingParams fine;
+  fine.lambda = units::Micrometers{0.13};
+  fine.site_pitch_um = 3.1;  // scaled layout
+
+  const TimingResult t_coarse = analyze_placed(nl, placed.placement, coarse);
+  const TimingResult t_fine = analyze_placed(nl, placed.placement, fine);
+  // Absolute speed improves with scaling...
+  EXPECT_LT(t_fine.critical_path_ps, t_coarse.critical_path_ps);
+  // ...but wires eat a growing share of the path: the Sec.-2.4 squeeze.
+  const double share_coarse =
+      t_coarse.total_wire_delay_ps / t_coarse.critical_path_ps;
+  const double share_fine = t_fine.total_wire_delay_ps / t_fine.critical_path_ps;
+  EXPECT_GT(share_fine, share_coarse);
+}
+
+TEST(Sta, ClosureGapValidation) {
+  TimingResult zero;
+  TimingResult other;
+  other.critical_path_ps = 1.0;
+  EXPECT_THROW(closure_gap(zero, other), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nanocost::timing

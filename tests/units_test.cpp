@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "nanocost/units/area.hpp"
+#include "nanocost/units/format.hpp"
+#include "nanocost/units/length.hpp"
+#include "nanocost/units/money.hpp"
+#include "nanocost/units/probability.hpp"
+#include "nanocost/units/quantity.hpp"
+
+namespace nanocost::units {
+namespace {
+
+using namespace nanocost::units::literals;
+
+TEST(Length, ConversionsAreExact) {
+  EXPECT_DOUBLE_EQ(Micrometers{0.25}.to_nanometers().value(), 250.0);
+  EXPECT_DOUBLE_EQ(Nanometers{180.0}.to_micrometers().value(), 0.18);
+  EXPECT_DOUBLE_EQ(Centimeters{1.0}.to_micrometers().value(), 1e4);
+  EXPECT_DOUBLE_EQ(Millimeters{200.0}.to_centimeters().value(), 20.0);
+  EXPECT_DOUBLE_EQ(Micrometers{1.0}.to_centimeters().value(), 1e-4);
+  EXPECT_DOUBLE_EQ(Centimeters{2.0}.to_millimeters().value(), 20.0);
+  EXPECT_DOUBLE_EQ(Millimeters{1.0}.to_micrometers().value(), 1000.0);
+  EXPECT_DOUBLE_EQ(Nanometers{1e7}.to_centimeters().value(), 1.0);
+}
+
+TEST(Length, RoundTripsThroughAllScales) {
+  const Micrometers original{0.35};
+  const Micrometers round_tripped = original.to_nanometers().to_micrometers();
+  EXPECT_DOUBLE_EQ(round_tripped.value(), original.value());
+}
+
+TEST(Length, LiteralsProduceCorrectTypes) {
+  EXPECT_DOUBLE_EQ((180_nm).value(), 180.0);
+  EXPECT_DOUBLE_EQ((0.25_um).value(), 0.25);
+  EXPECT_DOUBLE_EQ((200_mm).value(), 200.0);
+  EXPECT_DOUBLE_EQ((3.4_cm).value(), 3.4);
+}
+
+TEST(Quantity, ArithmeticWorks) {
+  const Micrometers a{2.0}, b{3.0};
+  EXPECT_DOUBLE_EQ((a + b).value(), 5.0);
+  EXPECT_DOUBLE_EQ((b - a).value(), 1.0);
+  EXPECT_DOUBLE_EQ((-a).value(), -2.0);
+  EXPECT_DOUBLE_EQ((a * 4.0).value(), 8.0);
+  EXPECT_DOUBLE_EQ((4.0 * a).value(), 8.0);
+  EXPECT_DOUBLE_EQ((b / 2.0).value(), 1.5);
+  EXPECT_DOUBLE_EQ(b / a, 1.5);  // same-unit ratio is dimensionless
+}
+
+TEST(Quantity, CompoundOperators) {
+  Micrometers a{1.0};
+  a += Micrometers{2.0};
+  EXPECT_DOUBLE_EQ(a.value(), 3.0);
+  a -= Micrometers{0.5};
+  EXPECT_DOUBLE_EQ(a.value(), 2.5);
+  a *= 2.0;
+  EXPECT_DOUBLE_EQ(a.value(), 5.0);
+  a /= 5.0;
+  EXPECT_DOUBLE_EQ(a.value(), 1.0);
+}
+
+TEST(Quantity, Comparisons) {
+  EXPECT_LT(Micrometers{0.18}, Micrometers{0.25});
+  EXPECT_EQ(Micrometers{0.25}, Micrometers{0.25});
+  EXPECT_GE(Micrometers{0.35}, Micrometers{0.25});
+}
+
+TEST(Quantity, RequirePositiveThrowsOnBadInput) {
+  EXPECT_THROW(require_positive(Micrometers{0.0}, "x"), std::domain_error);
+  EXPECT_THROW(require_positive(Micrometers{-1.0}, "x"), std::domain_error);
+  EXPECT_THROW(require_positive(Micrometers{std::nan("")}, "x"), std::domain_error);
+  EXPECT_NO_THROW(require_positive(Micrometers{0.1}, "x"));
+  EXPECT_THROW(require_non_negative(Micrometers{-0.1}, "x"), std::domain_error);
+  EXPECT_NO_THROW(require_non_negative(Micrometers{0.0}, "x"));
+}
+
+TEST(Quantity, RequirePositiveDoubleOverload) {
+  EXPECT_THROW(require_positive(0.0, "x"), std::domain_error);
+  EXPECT_DOUBLE_EQ(require_positive(2.5, "x"), 2.5);
+  EXPECT_DOUBLE_EQ(require_non_negative(0.0, "x"), 0.0);
+}
+
+TEST(Area, LengthProductsGiveAreas) {
+  EXPECT_DOUBLE_EQ((Micrometers{2.0} * Micrometers{3.0}).value(), 6.0);
+  EXPECT_DOUBLE_EQ((Centimeters{2.0} * Centimeters{2.0}).value(), 4.0);
+  // mm * mm -> cm^2: 10 mm x 10 mm = 1 cm^2.
+  EXPECT_DOUBLE_EQ((Millimeters{10.0} * Millimeters{10.0}).value(), 1.0);
+}
+
+TEST(Area, UnitConversions) {
+  EXPECT_DOUBLE_EQ(SquareCentimeters{1.0}.to_square_micrometers().value(), 1e8);
+  EXPECT_DOUBLE_EQ(SquareMicrometers{1e8}.to_square_centimeters().value(), 1.0);
+}
+
+TEST(Area, LambdaSquare) {
+  EXPECT_DOUBLE_EQ(lambda_square(Micrometers{0.25}).value(), 0.0625);
+}
+
+TEST(Money, AreaRateProducts) {
+  const CostPerArea rate{8.0};
+  const SquareCentimeters area{3.4};
+  EXPECT_DOUBLE_EQ((rate * area).value(), 27.2);
+  EXPECT_DOUBLE_EQ((area * rate).value(), 27.2);
+  EXPECT_DOUBLE_EQ((Money{100.0} / SquareCentimeters{50.0}).value(), 2.0);
+}
+
+TEST(Probability, ConstructionValidates) {
+  EXPECT_NO_THROW(Probability{0.0});
+  EXPECT_NO_THROW(Probability{1.0});
+  EXPECT_THROW(Probability{-0.01}, std::domain_error);
+  EXPECT_THROW(Probability{1.01}, std::domain_error);
+  EXPECT_THROW(Probability{std::nan("")}, std::domain_error);
+}
+
+TEST(Probability, ClampedMapsOutOfRangeSafely) {
+  EXPECT_DOUBLE_EQ(Probability::clamped(1.5).value(), 1.0);
+  EXPECT_DOUBLE_EQ(Probability::clamped(-0.5).value(), 0.0);
+  EXPECT_DOUBLE_EQ(Probability::clamped(std::nan("")).value(), 0.0);
+  EXPECT_DOUBLE_EQ(Probability::clamped(0.42).value(), 0.42);
+}
+
+TEST(Probability, ComplementAndProduct) {
+  EXPECT_DOUBLE_EQ(Probability{0.3}.complement().value(), 0.7);
+  EXPECT_DOUBLE_EQ((Probability{0.5} * Probability{0.5}).value(), 0.25);
+}
+
+TEST(Format, Money) {
+  EXPECT_EQ(format_money(Money{12.5}), "$12.50");
+  EXPECT_EQ(format_money(Money{0.0}), "$0.00");
+  EXPECT_EQ(format_money(Money{2500000.0}), "$2.5M");
+  // Sub-cent costs come out in scientific notation.
+  EXPECT_EQ(format_money(Money{1.234e-6}), "$1.234e-06");
+}
+
+TEST(Format, FeatureSize) {
+  EXPECT_EQ(format_feature_size(Micrometers{0.18}), "180 nm");
+  EXPECT_EQ(format_feature_size(Micrometers{1.5}), "1.50 um");
+}
+
+TEST(Format, SiSuffixes) {
+  EXPECT_EQ(format_si(12500000.0), "12.5M");
+  EXPECT_EQ(format_si(3620000000.0), "3.62G");
+  EXPECT_EQ(format_si(21000.0), "21k");
+  EXPECT_EQ(format_si(42.0), "42");
+}
+
+TEST(Format, PercentAndFixed) {
+  EXPECT_EQ(format_percent(Probability{0.873}), "87.3%");
+  EXPECT_EQ(format_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(format_sci(0.000314159, 2), "3.14e-04");
+}
+
+}  // namespace
+}  // namespace nanocost::units

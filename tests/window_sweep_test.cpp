@@ -1,0 +1,68 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "nanocost/layout/generators.hpp"
+#include "nanocost/regularity/window_sweep.hpp"
+
+namespace nanocost::regularity {
+namespace {
+
+TEST(WindowSweep, LadderShapeIsReported) {
+  layout::Library lib;
+  const layout::Cell* sram = layout::make_sram_array(lib, 32, 32);
+  const auto sweep = sweep_windows(*sram, 12, 5);
+  ASSERT_EQ(sweep.size(), 5u);
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    EXPECT_EQ(sweep[i].window, 12 << i);
+    EXPECT_GT(sweep[i].total_windows, 0);
+    EXPECT_GE(sweep[i].unique_patterns, 1);
+  }
+  // Window count shrinks as windows grow.
+  for (std::size_t i = 1; i < sweep.size(); ++i) {
+    EXPECT_LT(sweep[i].total_windows, sweep[i - 1].total_windows);
+  }
+}
+
+TEST(WindowSweep, SramStaysRegularAcrossScales) {
+  layout::Library lib;
+  const layout::Cell* sram = layout::make_sram_array(lib, 64, 64);
+  // Bitcell is 24 x 30 units; sample at pitch-multiples-ish sizes.
+  for (const auto& p : sweep_windows(*sram, 24, 4)) {
+    EXPECT_GT(p.regularity_index, 0.8) << "window " << p.window;
+  }
+}
+
+TEST(WindowSweep, RandomCustomNeverBecomesRegular) {
+  layout::Library lib;
+  const layout::Cell* blob = layout::make_random_custom(lib, 2000, 300.0, 5);
+  for (const auto& p : sweep_windows(*blob, 16, 4)) {
+    EXPECT_LT(p.regularity_index, 0.5) << "window " << p.window;
+  }
+}
+
+TEST(WindowSweep, CharacteristicScalePrefersLargerWindows) {
+  layout::Library lib;
+  const layout::Cell* sram = layout::make_sram_array(lib, 64, 64);
+  const auto sweep = sweep_windows(*sram, 24, 4);
+  const auto scale = characteristic_scale(sweep);
+  // The chosen scale is the largest window whose regularity stays near
+  // the best -- strictly larger than the smallest probe for an SRAM.
+  EXPECT_GT(scale.window, sweep.front().window);
+  double best = 0.0;
+  for (const auto& p : sweep) best = std::max(best, p.regularity_index);
+  EXPECT_GE(scale.regularity_index, best - 0.05);
+}
+
+TEST(WindowSweep, Validation) {
+  layout::Library lib;
+  const layout::Cell* sram = layout::make_sram_array(lib, 4, 4);
+  EXPECT_THROW(sweep_windows(*sram, 0, 3), std::invalid_argument);
+  EXPECT_THROW(sweep_windows(*sram, 16, 0), std::invalid_argument);
+  EXPECT_THROW(characteristic_scale({}), std::invalid_argument);
+  const auto sweep = sweep_windows(*sram, 16, 2);
+  EXPECT_THROW(characteristic_scale(sweep, 1.5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nanocost::regularity

@@ -1,0 +1,230 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "nanocost/yield/composite.hpp"
+#include "nanocost/yield/learning.hpp"
+#include "nanocost/yield/models.hpp"
+#include "nanocost/yield/parametric.hpp"
+
+namespace nanocost::yield {
+namespace {
+
+using units::Probability;
+using units::SquareCentimeters;
+
+TEST(Models, PerfectYieldAtZeroFaults) {
+  EXPECT_DOUBLE_EQ(PoissonYield{}.yield(0.0).value(), 1.0);
+  EXPECT_DOUBLE_EQ(MurphyYield{}.yield(0.0).value(), 1.0);
+  EXPECT_DOUBLE_EQ(SeedsYield{}.yield(0.0).value(), 1.0);
+  EXPECT_DOUBLE_EQ(BoseEinsteinYield{}.yield(0.0).value(), 1.0);
+  EXPECT_DOUBLE_EQ(NegativeBinomialYield{2.0}.yield(0.0).value(), 1.0);
+}
+
+TEST(Models, KnownValuesAtOneFault) {
+  EXPECT_NEAR(PoissonYield{}.yield(1.0).value(), std::exp(-1.0), 1e-12);
+  EXPECT_NEAR(MurphyYield{}.yield(1.0).value(), std::pow(1.0 - std::exp(-1.0), 2), 1e-12);
+  EXPECT_NEAR(SeedsYield{}.yield(1.0).value(), std::exp(-1.0), 1e-12);
+  EXPECT_NEAR(BoseEinsteinYield{}.yield(1.0).value(), 0.5, 1e-12);
+  EXPECT_NEAR(NegativeBinomialYield{2.0}.yield(1.0).value(), std::pow(1.5, -2.0), 1e-12);
+}
+
+TEST(Models, OrderingAtModerateFaultCounts) {
+  // Poisson is always the most pessimistic of the classic models; Seeds
+  // overtakes Murphy once lambda is large (its sqrt grows slower), the
+  // large-die optimism it is known for.
+  for (const double l : {0.5, 1.0, 2.0, 4.0, 8.0}) {
+    const double poisson = PoissonYield{}.yield(l).value();
+    const double murphy = MurphyYield{}.yield(l).value();
+    EXPECT_LT(poisson, murphy) << "lambda = " << l;
+  }
+  for (const double l : {2.0, 4.0, 8.0}) {
+    EXPECT_GT(SeedsYield{}.yield(l).value(), MurphyYield{}.yield(l).value())
+        << "lambda = " << l;
+  }
+}
+
+TEST(Models, NegativeBinomialLimits) {
+  // alpha -> infinity recovers Poisson; alpha = 1 is Bose-Einstein.
+  const double l = 1.7;
+  EXPECT_NEAR(NegativeBinomialYield{1e7}.yield(l).value(), PoissonYield{}.yield(l).value(),
+              1e-5);
+  EXPECT_NEAR(NegativeBinomialYield{1.0}.yield(l).value(),
+              BoseEinsteinYield{}.yield(l).value(), 1e-12);
+}
+
+TEST(Models, ClusteringHelpsYieldAtHighFaultCounts) {
+  // With the same mean fault count, clustering concentrates faults on
+  // fewer dies: negative binomial with small alpha beats Poisson.
+  const double l = 3.0;
+  EXPECT_GT(NegativeBinomialYield{0.5}.yield(l).value(), PoissonYield{}.yield(l).value());
+  EXPECT_GT(NegativeBinomialYield{0.5}.yield(l).value(),
+            NegativeBinomialYield{5.0}.yield(l).value());
+}
+
+TEST(Models, NegativeInputsRejected) {
+  EXPECT_THROW(PoissonYield{}.yield(-0.1), std::domain_error);
+  EXPECT_THROW(NegativeBinomialYield{0.0}, std::domain_error);
+  EXPECT_THROW(NegativeBinomialYield{-1.0}, std::domain_error);
+}
+
+TEST(Models, YieldForDieMultipliesOut) {
+  const MurphyYield murphy;
+  const double direct = murphy.yield(2.0 * 0.5 * 0.8).value();
+  const double via_die =
+      murphy.yield_for_die(SquareCentimeters{2.0}, 0.5, 0.8).value();
+  EXPECT_DOUBLE_EQ(direct, via_die);
+}
+
+TEST(Models, FactoryParsesSpecs) {
+  EXPECT_EQ(make_yield_model("poisson")->name(), "poisson");
+  EXPECT_EQ(make_yield_model("murphy")->name(), "murphy");
+  EXPECT_EQ(make_yield_model("seeds")->name(), "seeds");
+  EXPECT_EQ(make_yield_model("bose-einstein")->name(), "bose-einstein");
+  const auto nb = make_yield_model("negbin:2.5");
+  EXPECT_NEAR(nb->yield(1.0).value(), NegativeBinomialYield{2.5}.yield(1.0).value(), 1e-12);
+  EXPECT_THROW(make_yield_model("voodoo"), std::invalid_argument);
+}
+
+class ModelMonotonicity : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ModelMonotonicity, YieldDecreasesWithFaults) {
+  const auto model = make_yield_model(GetParam());
+  double prev = 2.0;
+  for (double l = 0.0; l < 20.0; l += 0.37) {
+    const double y = model->yield(l).value();
+    EXPECT_LE(y, prev) << model->name() << " at lambda = " << l;
+    EXPECT_GE(y, 0.0);
+    EXPECT_LE(y, 1.0);
+    prev = y;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, ModelMonotonicity,
+                         ::testing::Values("poisson", "murphy", "seeds", "bose-einstein",
+                                           "negbin:0.5", "negbin:2", "negbin:10"));
+
+TEST(Learning, DensityDecaysToFloor) {
+  const LearningCurve curve{2.0, 0.4, 10000.0};
+  EXPECT_DOUBLE_EQ(curve.density_at(0.0), 2.0);
+  EXPECT_NEAR(curve.density_at(1e7), 0.4, 1e-6);
+  EXPECT_GT(curve.density_at(5000.0), curve.density_at(20000.0));
+}
+
+TEST(Learning, AverageAboveFloorBelowStart) {
+  const LearningCurve curve{2.0, 0.4, 10000.0};
+  const double avg = curve.average_density_over(30000.0);
+  EXPECT_GT(avg, 0.4);
+  EXPECT_LT(avg, 2.0);
+  // Longer runs average closer to the floor.
+  EXPECT_LT(curve.average_density_over(100000.0), avg);
+}
+
+TEST(Learning, AverageMatchesNumericalIntegral) {
+  const LearningCurve curve{1.5, 0.3, 8000.0};
+  const double n = 25000.0;
+  const int steps = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < steps; ++i) {
+    sum += curve.density_at(n * (i + 0.5) / steps);
+  }
+  EXPECT_NEAR(curve.average_density_over(n), sum / steps, 1e-6);
+}
+
+TEST(Learning, ForFeatureSizeScales) {
+  const auto coarse = LearningCurve::for_feature_size_um(0.25);
+  const auto fine = LearningCurve::for_feature_size_um(0.13);
+  EXPECT_GT(fine.start_density(), coarse.start_density());
+  EXPECT_GT(fine.floor_density(), coarse.floor_density());
+  EXPECT_GT(fine.ramp_wafers(), coarse.ramp_wafers());
+}
+
+TEST(Learning, ValidatesArguments) {
+  EXPECT_THROW(LearningCurve(1.0, 2.0, 100.0), std::domain_error);
+  EXPECT_THROW(LearningCurve(0.0, 0.0, 100.0), std::domain_error);
+  const LearningCurve ok{1.0, 0.1, 100.0};
+  EXPECT_THROW(ok.density_at(-1.0), std::domain_error);
+}
+
+TEST(Parametric, TwoSidedYield) {
+  // Mean centered between limits 3 sigma away on each side.
+  const ParametricYield py{0.0, 1.0, -3.0, 3.0};
+  EXPECT_NEAR(py.yield().value(), 0.9973, 1e-4);
+  EXPECT_NEAR(py.cpk(), 1.0, 1e-12);
+}
+
+TEST(Parametric, OneSidedYield) {
+  const ParametricYield upper_only{0.0, 1.0, std::nullopt, 1.645};
+  EXPECT_NEAR(upper_only.yield().value(), 0.95, 1e-3);
+  const ParametricYield lower_only{0.0, 1.0, -1.645, std::nullopt};
+  EXPECT_NEAR(lower_only.yield().value(), 0.95, 1e-3);
+}
+
+TEST(Parametric, MarginImprovesYield) {
+  const ParametricYield py{0.0, 1.0, -1.0, 1.0};
+  EXPECT_GT(py.yield_with_margin(1.0).value(), py.yield().value());
+  EXPECT_DOUBLE_EQ(py.yield_with_margin(0.0).value(), py.yield().value());
+}
+
+TEST(Parametric, Validation) {
+  EXPECT_THROW(ParametricYield(0.0, 0.0, -1.0, 1.0), std::domain_error);
+  EXPECT_THROW(ParametricYield(0.0, 1.0, std::nullopt, std::nullopt), std::invalid_argument);
+  EXPECT_THROW(ParametricYield(0.0, 1.0, 1.0, -1.0), std::invalid_argument);
+}
+
+TEST(Parametric, StandardNormalCdf) {
+  EXPECT_NEAR(standard_normal_cdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(standard_normal_cdf(1.96), 0.975, 1e-3);
+  EXPECT_NEAR(standard_normal_cdf(-1.96), 0.025, 1e-3);
+}
+
+TEST(Composite, MultipliesAllLossMechanisms) {
+  const CompositeYield cy{Probability{0.95}, std::make_shared<PoissonYield>(),
+                          Probability{0.9}};
+  const double functional = std::exp(-1.0 * 0.5);
+  EXPECT_NEAR(cy.total(SquareCentimeters{1.0}, 0.5).value(), 0.95 * functional * 0.9, 1e-12);
+}
+
+TEST(Composite, DefaultIsMurphyOnly) {
+  const CompositeYield cy;
+  EXPECT_NEAR(cy.total(SquareCentimeters{1.0}, 1.0).value(),
+              MurphyYield{}.yield(1.0).value(), 1e-12);
+}
+
+TEST(Composite, RequiresFunctionalModel) {
+  EXPECT_THROW(CompositeYield(Probability{1.0}, nullptr, Probability{1.0}),
+               std::invalid_argument);
+}
+
+TEST(Composite, EffectiveYieldIsTheUySubstitution) {
+  const Probability y{0.8};
+  const Probability u{0.6};
+  EXPECT_NEAR(effective_yield(y, u).value(), 0.48, 1e-12);
+}
+
+struct AreaDensityCase {
+  double area;
+  double density;
+};
+
+class YieldAreaSweep : public ::testing::TestWithParam<AreaDensityCase> {};
+
+TEST_P(YieldAreaSweep, LargerDiesYieldWorse) {
+  const auto [area, density] = GetParam();
+  const MurphyYield murphy;
+  const double y_small = murphy.yield_for_die(SquareCentimeters{area}, density).value();
+  const double y_large = murphy.yield_for_die(SquareCentimeters{area * 2.0}, density).value();
+  EXPECT_GT(y_small, y_large);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AreaDensityGrid, YieldAreaSweep,
+    ::testing::Values(AreaDensityCase{0.5, 0.3}, AreaDensityCase{1.0, 0.3},
+                      AreaDensityCase{2.0, 0.5}, AreaDensityCase{3.4, 0.8},
+                      AreaDensityCase{0.2, 1.5}));
+
+}  // namespace
+}  // namespace nanocost::yield
