@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_design_styles"
+  "../bench/ablation_design_styles.pdb"
+  "CMakeFiles/ablation_design_styles.dir/ablation_design_styles.cpp.o"
+  "CMakeFiles/ablation_design_styles.dir/ablation_design_styles.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_design_styles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

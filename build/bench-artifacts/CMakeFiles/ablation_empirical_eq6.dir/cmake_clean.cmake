@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_empirical_eq6"
+  "../bench/ablation_empirical_eq6.pdb"
+  "CMakeFiles/ablation_empirical_eq6.dir/ablation_empirical_eq6.cpp.o"
+  "CMakeFiles/ablation_empirical_eq6.dir/ablation_empirical_eq6.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_empirical_eq6.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

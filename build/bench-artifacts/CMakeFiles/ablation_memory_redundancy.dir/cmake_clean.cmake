@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_memory_redundancy"
+  "../bench/ablation_memory_redundancy.pdb"
+  "CMakeFiles/ablation_memory_redundancy.dir/ablation_memory_redundancy.cpp.o"
+  "CMakeFiles/ablation_memory_redundancy.dir/ablation_memory_redundancy.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_memory_redundancy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

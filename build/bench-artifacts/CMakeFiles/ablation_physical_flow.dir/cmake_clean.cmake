@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_physical_flow"
+  "../bench/ablation_physical_flow.pdb"
+  "CMakeFiles/ablation_physical_flow.dir/ablation_physical_flow.cpp.o"
+  "CMakeFiles/ablation_physical_flow.dir/ablation_physical_flow.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_physical_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_regularity"
+  "../bench/ablation_regularity.pdb"
+  "CMakeFiles/ablation_regularity.dir/ablation_regularity.cpp.o"
+  "CMakeFiles/ablation_regularity.dir/ablation_regularity.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_regularity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_risk"
+  "../bench/ablation_risk.pdb"
+  "CMakeFiles/ablation_risk.dir/ablation_risk.cpp.o"
+  "CMakeFiles/ablation_risk.dir/ablation_risk.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_risk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_time_to_market"
+  "../bench/ablation_time_to_market.pdb"
+  "CMakeFiles/ablation_time_to_market.dir/ablation_time_to_market.cpp.o"
+  "CMakeFiles/ablation_time_to_market.dir/ablation_time_to_market.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_time_to_market.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

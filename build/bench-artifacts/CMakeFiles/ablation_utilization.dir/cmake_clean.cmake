@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_utilization"
+  "../bench/ablation_utilization.pdb"
+  "CMakeFiles/ablation_utilization.dir/ablation_utilization.cpp.o"
+  "CMakeFiles/ablation_utilization.dir/ablation_utilization.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_utilization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_volume_crossover"
+  "../bench/ablation_volume_crossover.pdb"
+  "CMakeFiles/ablation_volume_crossover.dir/ablation_volume_crossover.cpp.o"
+  "CMakeFiles/ablation_volume_crossover.dir/ablation_volume_crossover.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_volume_crossover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_wirelength"
+  "../bench/ablation_wirelength.pdb"
+  "CMakeFiles/ablation_wirelength.dir/ablation_wirelength.cpp.o"
+  "CMakeFiles/ablation_wirelength.dir/ablation_wirelength.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_wirelength.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fab_economics"
+  "../bench/fab_economics.pdb"
+  "CMakeFiles/fab_economics.dir/fab_economics.cpp.o"
+  "CMakeFiles/fab_economics.dir/fab_economics.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fab_economics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

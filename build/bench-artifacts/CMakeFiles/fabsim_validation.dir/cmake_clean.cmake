@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fabsim_validation"
+  "../bench/fabsim_validation.pdb"
+  "CMakeFiles/fabsim_validation.dir/fabsim_validation.cpp.o"
+  "CMakeFiles/fabsim_validation.dir/fabsim_validation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fabsim_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig1_industrial_sd"
+  "../bench/fig1_industrial_sd.pdb"
+  "CMakeFiles/fig1_industrial_sd.dir/fig1_industrial_sd.cpp.o"
+  "CMakeFiles/fig1_industrial_sd.dir/fig1_industrial_sd.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_industrial_sd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig1_industrial_sd.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig2_itrs_sd"
+  "../bench/fig2_itrs_sd.pdb"
+  "CMakeFiles/fig2_itrs_sd.dir/fig2_itrs_sd.cpp.o"
+  "CMakeFiles/fig2_itrs_sd.dir/fig2_itrs_sd.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_itrs_sd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

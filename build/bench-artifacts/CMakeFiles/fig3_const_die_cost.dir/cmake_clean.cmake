@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3_const_die_cost"
+  "../bench/fig3_const_die_cost.pdb"
+  "CMakeFiles/fig3_const_die_cost.dir/fig3_const_die_cost.cpp.o"
+  "CMakeFiles/fig3_const_die_cost.dir/fig3_const_die_cost.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_const_die_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

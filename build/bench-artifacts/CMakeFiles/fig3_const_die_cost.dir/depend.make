@@ -1,0 +1,2 @@
+# Empty dependencies file for fig3_const_die_cost.
+# This may be replaced when dependencies are built.

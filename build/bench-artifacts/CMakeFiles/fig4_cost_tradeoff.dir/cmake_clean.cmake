@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_cost_tradeoff"
+  "../bench/fig4_cost_tradeoff.pdb"
+  "CMakeFiles/fig4_cost_tradeoff.dir/fig4_cost_tradeoff.cpp.o"
+  "CMakeFiles/fig4_cost_tradeoff.dir/fig4_cost_tradeoff.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_cost_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

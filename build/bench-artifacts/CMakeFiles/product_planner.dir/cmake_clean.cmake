@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/product_planner"
+  "../bench/product_planner.pdb"
+  "CMakeFiles/product_planner.dir/product_planner.cpp.o"
+  "CMakeFiles/product_planner.dir/product_planner.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/product_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table_a1"
+  "../bench/table_a1.pdb"
+  "CMakeFiles/table_a1.dir/table_a1.cpp.o"
+  "CMakeFiles/table_a1.dir/table_a1.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_a1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asic_flow.dir/asic_flow.cpp.o"
+  "CMakeFiles/asic_flow.dir/asic_flow.cpp.o.d"
+  "asic_flow"
+  "asic_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asic_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fabline_monte_carlo.dir/fabline_monte_carlo.cpp.o"
+  "CMakeFiles/fabline_monte_carlo.dir/fabline_monte_carlo.cpp.o.d"
+  "fabline_monte_carlo"
+  "fabline_monte_carlo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fabline_monte_carlo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpu_cost_explorer.dir/mpu_cost_explorer.cpp.o"
+  "CMakeFiles/mpu_cost_explorer.dir/mpu_cost_explorer.cpp.o.d"
+  "mpu_cost_explorer"
+  "mpu_cost_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpu_cost_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

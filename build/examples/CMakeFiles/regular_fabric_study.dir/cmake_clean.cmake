@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/regular_fabric_study.dir/regular_fabric_study.cpp.o"
+  "CMakeFiles/regular_fabric_study.dir/regular_fabric_study.cpp.o.d"
+  "regular_fabric_study"
+  "regular_fabric_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/regular_fabric_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

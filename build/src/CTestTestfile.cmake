@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("units")
+subdirs("geometry")
+subdirs("defect")
+subdirs("process")
+subdirs("yield")
+subdirs("layout")
+subdirs("netlist")
+subdirs("regularity")
+subdirs("place")
+subdirs("timing")
+subdirs("route")
+subdirs("floorplan")
+subdirs("roadmap")
+subdirs("data")
+subdirs("cost")
+subdirs("core")
+subdirs("fabsim")
+subdirs("report")

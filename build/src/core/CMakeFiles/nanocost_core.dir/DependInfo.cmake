@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/generalized_cost.cpp" "src/core/CMakeFiles/nanocost_core.dir/generalized_cost.cpp.o" "gcc" "src/core/CMakeFiles/nanocost_core.dir/generalized_cost.cpp.o.d"
+  "/root/repo/src/core/itrs_analysis.cpp" "src/core/CMakeFiles/nanocost_core.dir/itrs_analysis.cpp.o" "gcc" "src/core/CMakeFiles/nanocost_core.dir/itrs_analysis.cpp.o.d"
+  "/root/repo/src/core/optimizer.cpp" "src/core/CMakeFiles/nanocost_core.dir/optimizer.cpp.o" "gcc" "src/core/CMakeFiles/nanocost_core.dir/optimizer.cpp.o.d"
+  "/root/repo/src/core/planner.cpp" "src/core/CMakeFiles/nanocost_core.dir/planner.cpp.o" "gcc" "src/core/CMakeFiles/nanocost_core.dir/planner.cpp.o.d"
+  "/root/repo/src/core/regularity_link.cpp" "src/core/CMakeFiles/nanocost_core.dir/regularity_link.cpp.o" "gcc" "src/core/CMakeFiles/nanocost_core.dir/regularity_link.cpp.o.d"
+  "/root/repo/src/core/risk.cpp" "src/core/CMakeFiles/nanocost_core.dir/risk.cpp.o" "gcc" "src/core/CMakeFiles/nanocost_core.dir/risk.cpp.o.d"
+  "/root/repo/src/core/sensitivity.cpp" "src/core/CMakeFiles/nanocost_core.dir/sensitivity.cpp.o" "gcc" "src/core/CMakeFiles/nanocost_core.dir/sensitivity.cpp.o.d"
+  "/root/repo/src/core/style_advisor.cpp" "src/core/CMakeFiles/nanocost_core.dir/style_advisor.cpp.o" "gcc" "src/core/CMakeFiles/nanocost_core.dir/style_advisor.cpp.o.d"
+  "/root/repo/src/core/transistor_cost.cpp" "src/core/CMakeFiles/nanocost_core.dir/transistor_cost.cpp.o" "gcc" "src/core/CMakeFiles/nanocost_core.dir/transistor_cost.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/units/CMakeFiles/nanocost_units.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/nanocost_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/defect/CMakeFiles/nanocost_defect.dir/DependInfo.cmake"
+  "/root/repo/build/src/yield/CMakeFiles/nanocost_yield.dir/DependInfo.cmake"
+  "/root/repo/build/src/layout/CMakeFiles/nanocost_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/regularity/CMakeFiles/nanocost_regularity.dir/DependInfo.cmake"
+  "/root/repo/build/src/roadmap/CMakeFiles/nanocost_roadmap.dir/DependInfo.cmake"
+  "/root/repo/build/src/cost/CMakeFiles/nanocost_cost.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nanocost_core.dir/generalized_cost.cpp.o"
+  "CMakeFiles/nanocost_core.dir/generalized_cost.cpp.o.d"
+  "CMakeFiles/nanocost_core.dir/itrs_analysis.cpp.o"
+  "CMakeFiles/nanocost_core.dir/itrs_analysis.cpp.o.d"
+  "CMakeFiles/nanocost_core.dir/optimizer.cpp.o"
+  "CMakeFiles/nanocost_core.dir/optimizer.cpp.o.d"
+  "CMakeFiles/nanocost_core.dir/planner.cpp.o"
+  "CMakeFiles/nanocost_core.dir/planner.cpp.o.d"
+  "CMakeFiles/nanocost_core.dir/regularity_link.cpp.o"
+  "CMakeFiles/nanocost_core.dir/regularity_link.cpp.o.d"
+  "CMakeFiles/nanocost_core.dir/risk.cpp.o"
+  "CMakeFiles/nanocost_core.dir/risk.cpp.o.d"
+  "CMakeFiles/nanocost_core.dir/sensitivity.cpp.o"
+  "CMakeFiles/nanocost_core.dir/sensitivity.cpp.o.d"
+  "CMakeFiles/nanocost_core.dir/style_advisor.cpp.o"
+  "CMakeFiles/nanocost_core.dir/style_advisor.cpp.o.d"
+  "CMakeFiles/nanocost_core.dir/transistor_cost.cpp.o"
+  "CMakeFiles/nanocost_core.dir/transistor_cost.cpp.o.d"
+  "libnanocost_core.a"
+  "libnanocost_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nanocost_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cost/design_cost.cpp" "src/cost/CMakeFiles/nanocost_cost.dir/design_cost.cpp.o" "gcc" "src/cost/CMakeFiles/nanocost_cost.dir/design_cost.cpp.o.d"
+  "/root/repo/src/cost/fab_capex.cpp" "src/cost/CMakeFiles/nanocost_cost.dir/fab_capex.cpp.o" "gcc" "src/cost/CMakeFiles/nanocost_cost.dir/fab_capex.cpp.o.d"
+  "/root/repo/src/cost/mask_cost.cpp" "src/cost/CMakeFiles/nanocost_cost.dir/mask_cost.cpp.o" "gcc" "src/cost/CMakeFiles/nanocost_cost.dir/mask_cost.cpp.o.d"
+  "/root/repo/src/cost/respin.cpp" "src/cost/CMakeFiles/nanocost_cost.dir/respin.cpp.o" "gcc" "src/cost/CMakeFiles/nanocost_cost.dir/respin.cpp.o.d"
+  "/root/repo/src/cost/test_cost.cpp" "src/cost/CMakeFiles/nanocost_cost.dir/test_cost.cpp.o" "gcc" "src/cost/CMakeFiles/nanocost_cost.dir/test_cost.cpp.o.d"
+  "/root/repo/src/cost/time_to_market.cpp" "src/cost/CMakeFiles/nanocost_cost.dir/time_to_market.cpp.o" "gcc" "src/cost/CMakeFiles/nanocost_cost.dir/time_to_market.cpp.o.d"
+  "/root/repo/src/cost/wafer_cost.cpp" "src/cost/CMakeFiles/nanocost_cost.dir/wafer_cost.cpp.o" "gcc" "src/cost/CMakeFiles/nanocost_cost.dir/wafer_cost.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/units/CMakeFiles/nanocost_units.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/nanocost_geometry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nanocost_cost.dir/design_cost.cpp.o"
+  "CMakeFiles/nanocost_cost.dir/design_cost.cpp.o.d"
+  "CMakeFiles/nanocost_cost.dir/fab_capex.cpp.o"
+  "CMakeFiles/nanocost_cost.dir/fab_capex.cpp.o.d"
+  "CMakeFiles/nanocost_cost.dir/mask_cost.cpp.o"
+  "CMakeFiles/nanocost_cost.dir/mask_cost.cpp.o.d"
+  "CMakeFiles/nanocost_cost.dir/respin.cpp.o"
+  "CMakeFiles/nanocost_cost.dir/respin.cpp.o.d"
+  "CMakeFiles/nanocost_cost.dir/test_cost.cpp.o"
+  "CMakeFiles/nanocost_cost.dir/test_cost.cpp.o.d"
+  "CMakeFiles/nanocost_cost.dir/time_to_market.cpp.o"
+  "CMakeFiles/nanocost_cost.dir/time_to_market.cpp.o.d"
+  "CMakeFiles/nanocost_cost.dir/wafer_cost.cpp.o"
+  "CMakeFiles/nanocost_cost.dir/wafer_cost.cpp.o.d"
+  "libnanocost_cost.a"
+  "libnanocost_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nanocost_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/stats.cpp" "src/data/CMakeFiles/nanocost_data.dir/stats.cpp.o" "gcc" "src/data/CMakeFiles/nanocost_data.dir/stats.cpp.o.d"
+  "/root/repo/src/data/table_a1.cpp" "src/data/CMakeFiles/nanocost_data.dir/table_a1.cpp.o" "gcc" "src/data/CMakeFiles/nanocost_data.dir/table_a1.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/units/CMakeFiles/nanocost_units.dir/DependInfo.cmake"
+  "/root/repo/build/src/layout/CMakeFiles/nanocost_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/roadmap/CMakeFiles/nanocost_roadmap.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

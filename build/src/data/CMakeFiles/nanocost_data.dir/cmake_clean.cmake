@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nanocost_data.dir/stats.cpp.o"
+  "CMakeFiles/nanocost_data.dir/stats.cpp.o.d"
+  "CMakeFiles/nanocost_data.dir/table_a1.cpp.o"
+  "CMakeFiles/nanocost_data.dir/table_a1.cpp.o.d"
+  "libnanocost_data.a"
+  "libnanocost_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nanocost_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

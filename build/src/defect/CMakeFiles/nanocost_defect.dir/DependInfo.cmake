@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/defect/critical_area.cpp" "src/defect/CMakeFiles/nanocost_defect.dir/critical_area.cpp.o" "gcc" "src/defect/CMakeFiles/nanocost_defect.dir/critical_area.cpp.o.d"
+  "/root/repo/src/defect/layout_critical_area.cpp" "src/defect/CMakeFiles/nanocost_defect.dir/layout_critical_area.cpp.o" "gcc" "src/defect/CMakeFiles/nanocost_defect.dir/layout_critical_area.cpp.o.d"
+  "/root/repo/src/defect/size_distribution.cpp" "src/defect/CMakeFiles/nanocost_defect.dir/size_distribution.cpp.o" "gcc" "src/defect/CMakeFiles/nanocost_defect.dir/size_distribution.cpp.o.d"
+  "/root/repo/src/defect/spatial.cpp" "src/defect/CMakeFiles/nanocost_defect.dir/spatial.cpp.o" "gcc" "src/defect/CMakeFiles/nanocost_defect.dir/spatial.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/units/CMakeFiles/nanocost_units.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/nanocost_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/layout/CMakeFiles/nanocost_layout.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

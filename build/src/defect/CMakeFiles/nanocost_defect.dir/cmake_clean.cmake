@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nanocost_defect.dir/critical_area.cpp.o"
+  "CMakeFiles/nanocost_defect.dir/critical_area.cpp.o.d"
+  "CMakeFiles/nanocost_defect.dir/layout_critical_area.cpp.o"
+  "CMakeFiles/nanocost_defect.dir/layout_critical_area.cpp.o.d"
+  "CMakeFiles/nanocost_defect.dir/size_distribution.cpp.o"
+  "CMakeFiles/nanocost_defect.dir/size_distribution.cpp.o.d"
+  "CMakeFiles/nanocost_defect.dir/spatial.cpp.o"
+  "CMakeFiles/nanocost_defect.dir/spatial.cpp.o.d"
+  "libnanocost_defect.a"
+  "libnanocost_defect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nanocost_defect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

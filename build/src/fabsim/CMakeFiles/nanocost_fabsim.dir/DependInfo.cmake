@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fabsim/binning.cpp" "src/fabsim/CMakeFiles/nanocost_fabsim.dir/binning.cpp.o" "gcc" "src/fabsim/CMakeFiles/nanocost_fabsim.dir/binning.cpp.o.d"
+  "/root/repo/src/fabsim/economics.cpp" "src/fabsim/CMakeFiles/nanocost_fabsim.dir/economics.cpp.o" "gcc" "src/fabsim/CMakeFiles/nanocost_fabsim.dir/economics.cpp.o.d"
+  "/root/repo/src/fabsim/simulator.cpp" "src/fabsim/CMakeFiles/nanocost_fabsim.dir/simulator.cpp.o" "gcc" "src/fabsim/CMakeFiles/nanocost_fabsim.dir/simulator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/units/CMakeFiles/nanocost_units.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/nanocost_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/defect/CMakeFiles/nanocost_defect.dir/DependInfo.cmake"
+  "/root/repo/build/src/yield/CMakeFiles/nanocost_yield.dir/DependInfo.cmake"
+  "/root/repo/build/src/cost/CMakeFiles/nanocost_cost.dir/DependInfo.cmake"
+  "/root/repo/build/src/layout/CMakeFiles/nanocost_layout.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

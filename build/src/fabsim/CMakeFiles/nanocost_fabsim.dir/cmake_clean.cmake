@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nanocost_fabsim.dir/binning.cpp.o"
+  "CMakeFiles/nanocost_fabsim.dir/binning.cpp.o.d"
+  "CMakeFiles/nanocost_fabsim.dir/economics.cpp.o"
+  "CMakeFiles/nanocost_fabsim.dir/economics.cpp.o.d"
+  "CMakeFiles/nanocost_fabsim.dir/simulator.cpp.o"
+  "CMakeFiles/nanocost_fabsim.dir/simulator.cpp.o.d"
+  "libnanocost_fabsim.a"
+  "libnanocost_fabsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nanocost_fabsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

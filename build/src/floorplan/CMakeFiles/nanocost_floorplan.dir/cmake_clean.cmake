@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nanocost_floorplan.dir/slicing.cpp.o"
+  "CMakeFiles/nanocost_floorplan.dir/slicing.cpp.o.d"
+  "libnanocost_floorplan.a"
+  "libnanocost_floorplan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nanocost_floorplan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geometry/die.cpp" "src/geometry/CMakeFiles/nanocost_geometry.dir/die.cpp.o" "gcc" "src/geometry/CMakeFiles/nanocost_geometry.dir/die.cpp.o.d"
+  "/root/repo/src/geometry/reticle.cpp" "src/geometry/CMakeFiles/nanocost_geometry.dir/reticle.cpp.o" "gcc" "src/geometry/CMakeFiles/nanocost_geometry.dir/reticle.cpp.o.d"
+  "/root/repo/src/geometry/wafer.cpp" "src/geometry/CMakeFiles/nanocost_geometry.dir/wafer.cpp.o" "gcc" "src/geometry/CMakeFiles/nanocost_geometry.dir/wafer.cpp.o.d"
+  "/root/repo/src/geometry/wafer_map.cpp" "src/geometry/CMakeFiles/nanocost_geometry.dir/wafer_map.cpp.o" "gcc" "src/geometry/CMakeFiles/nanocost_geometry.dir/wafer_map.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/units/CMakeFiles/nanocost_units.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nanocost_geometry.dir/die.cpp.o"
+  "CMakeFiles/nanocost_geometry.dir/die.cpp.o.d"
+  "CMakeFiles/nanocost_geometry.dir/reticle.cpp.o"
+  "CMakeFiles/nanocost_geometry.dir/reticle.cpp.o.d"
+  "CMakeFiles/nanocost_geometry.dir/wafer.cpp.o"
+  "CMakeFiles/nanocost_geometry.dir/wafer.cpp.o.d"
+  "CMakeFiles/nanocost_geometry.dir/wafer_map.cpp.o"
+  "CMakeFiles/nanocost_geometry.dir/wafer_map.cpp.o.d"
+  "libnanocost_geometry.a"
+  "libnanocost_geometry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nanocost_geometry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

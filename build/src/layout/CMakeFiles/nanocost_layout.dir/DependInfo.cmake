@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/layout/cell.cpp" "src/layout/CMakeFiles/nanocost_layout.dir/cell.cpp.o" "gcc" "src/layout/CMakeFiles/nanocost_layout.dir/cell.cpp.o.d"
+  "/root/repo/src/layout/counting.cpp" "src/layout/CMakeFiles/nanocost_layout.dir/counting.cpp.o" "gcc" "src/layout/CMakeFiles/nanocost_layout.dir/counting.cpp.o.d"
+  "/root/repo/src/layout/density.cpp" "src/layout/CMakeFiles/nanocost_layout.dir/density.cpp.o" "gcc" "src/layout/CMakeFiles/nanocost_layout.dir/density.cpp.o.d"
+  "/root/repo/src/layout/design.cpp" "src/layout/CMakeFiles/nanocost_layout.dir/design.cpp.o" "gcc" "src/layout/CMakeFiles/nanocost_layout.dir/design.cpp.o.d"
+  "/root/repo/src/layout/generators.cpp" "src/layout/CMakeFiles/nanocost_layout.dir/generators.cpp.o" "gcc" "src/layout/CMakeFiles/nanocost_layout.dir/generators.cpp.o.d"
+  "/root/repo/src/layout/io.cpp" "src/layout/CMakeFiles/nanocost_layout.dir/io.cpp.o" "gcc" "src/layout/CMakeFiles/nanocost_layout.dir/io.cpp.o.d"
+  "/root/repo/src/layout/stats.cpp" "src/layout/CMakeFiles/nanocost_layout.dir/stats.cpp.o" "gcc" "src/layout/CMakeFiles/nanocost_layout.dir/stats.cpp.o.d"
+  "/root/repo/src/layout/types.cpp" "src/layout/CMakeFiles/nanocost_layout.dir/types.cpp.o" "gcc" "src/layout/CMakeFiles/nanocost_layout.dir/types.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/units/CMakeFiles/nanocost_units.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

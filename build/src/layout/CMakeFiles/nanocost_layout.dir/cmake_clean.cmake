@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nanocost_layout.dir/cell.cpp.o"
+  "CMakeFiles/nanocost_layout.dir/cell.cpp.o.d"
+  "CMakeFiles/nanocost_layout.dir/counting.cpp.o"
+  "CMakeFiles/nanocost_layout.dir/counting.cpp.o.d"
+  "CMakeFiles/nanocost_layout.dir/density.cpp.o"
+  "CMakeFiles/nanocost_layout.dir/density.cpp.o.d"
+  "CMakeFiles/nanocost_layout.dir/design.cpp.o"
+  "CMakeFiles/nanocost_layout.dir/design.cpp.o.d"
+  "CMakeFiles/nanocost_layout.dir/generators.cpp.o"
+  "CMakeFiles/nanocost_layout.dir/generators.cpp.o.d"
+  "CMakeFiles/nanocost_layout.dir/io.cpp.o"
+  "CMakeFiles/nanocost_layout.dir/io.cpp.o.d"
+  "CMakeFiles/nanocost_layout.dir/stats.cpp.o"
+  "CMakeFiles/nanocost_layout.dir/stats.cpp.o.d"
+  "CMakeFiles/nanocost_layout.dir/types.cpp.o"
+  "CMakeFiles/nanocost_layout.dir/types.cpp.o.d"
+  "libnanocost_layout.a"
+  "libnanocost_layout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nanocost_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

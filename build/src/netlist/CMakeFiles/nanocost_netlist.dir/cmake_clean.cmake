@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nanocost_netlist.dir/estimate.cpp.o"
+  "CMakeFiles/nanocost_netlist.dir/estimate.cpp.o.d"
+  "CMakeFiles/nanocost_netlist.dir/generator.cpp.o"
+  "CMakeFiles/nanocost_netlist.dir/generator.cpp.o.d"
+  "CMakeFiles/nanocost_netlist.dir/netlist.cpp.o"
+  "CMakeFiles/nanocost_netlist.dir/netlist.cpp.o.d"
+  "libnanocost_netlist.a"
+  "libnanocost_netlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nanocost_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

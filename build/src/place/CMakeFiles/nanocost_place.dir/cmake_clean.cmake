@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nanocost_place.dir/placer.cpp.o"
+  "CMakeFiles/nanocost_place.dir/placer.cpp.o.d"
+  "CMakeFiles/nanocost_place.dir/synthesis.cpp.o"
+  "CMakeFiles/nanocost_place.dir/synthesis.cpp.o.d"
+  "libnanocost_place.a"
+  "libnanocost_place.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nanocost_place.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

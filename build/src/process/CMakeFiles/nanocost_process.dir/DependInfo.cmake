@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/process/design_rules.cpp" "src/process/CMakeFiles/nanocost_process.dir/design_rules.cpp.o" "gcc" "src/process/CMakeFiles/nanocost_process.dir/design_rules.cpp.o.d"
+  "/root/repo/src/process/drc.cpp" "src/process/CMakeFiles/nanocost_process.dir/drc.cpp.o" "gcc" "src/process/CMakeFiles/nanocost_process.dir/drc.cpp.o.d"
+  "/root/repo/src/process/interconnect.cpp" "src/process/CMakeFiles/nanocost_process.dir/interconnect.cpp.o" "gcc" "src/process/CMakeFiles/nanocost_process.dir/interconnect.cpp.o.d"
+  "/root/repo/src/process/prediction.cpp" "src/process/CMakeFiles/nanocost_process.dir/prediction.cpp.o" "gcc" "src/process/CMakeFiles/nanocost_process.dir/prediction.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/units/CMakeFiles/nanocost_units.dir/DependInfo.cmake"
+  "/root/repo/build/src/layout/CMakeFiles/nanocost_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/cost/CMakeFiles/nanocost_cost.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/nanocost_geometry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nanocost_process.dir/design_rules.cpp.o"
+  "CMakeFiles/nanocost_process.dir/design_rules.cpp.o.d"
+  "CMakeFiles/nanocost_process.dir/drc.cpp.o"
+  "CMakeFiles/nanocost_process.dir/drc.cpp.o.d"
+  "CMakeFiles/nanocost_process.dir/interconnect.cpp.o"
+  "CMakeFiles/nanocost_process.dir/interconnect.cpp.o.d"
+  "CMakeFiles/nanocost_process.dir/prediction.cpp.o"
+  "CMakeFiles/nanocost_process.dir/prediction.cpp.o.d"
+  "libnanocost_process.a"
+  "libnanocost_process.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nanocost_process.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

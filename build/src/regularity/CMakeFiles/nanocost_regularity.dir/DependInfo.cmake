@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/regularity/extractor.cpp" "src/regularity/CMakeFiles/nanocost_regularity.dir/extractor.cpp.o" "gcc" "src/regularity/CMakeFiles/nanocost_regularity.dir/extractor.cpp.o.d"
+  "/root/repo/src/regularity/hierarchy.cpp" "src/regularity/CMakeFiles/nanocost_regularity.dir/hierarchy.cpp.o" "gcc" "src/regularity/CMakeFiles/nanocost_regularity.dir/hierarchy.cpp.o.d"
+  "/root/repo/src/regularity/reuse.cpp" "src/regularity/CMakeFiles/nanocost_regularity.dir/reuse.cpp.o" "gcc" "src/regularity/CMakeFiles/nanocost_regularity.dir/reuse.cpp.o.d"
+  "/root/repo/src/regularity/window_sweep.cpp" "src/regularity/CMakeFiles/nanocost_regularity.dir/window_sweep.cpp.o" "gcc" "src/regularity/CMakeFiles/nanocost_regularity.dir/window_sweep.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/units/CMakeFiles/nanocost_units.dir/DependInfo.cmake"
+  "/root/repo/build/src/layout/CMakeFiles/nanocost_layout.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nanocost_regularity.dir/extractor.cpp.o"
+  "CMakeFiles/nanocost_regularity.dir/extractor.cpp.o.d"
+  "CMakeFiles/nanocost_regularity.dir/hierarchy.cpp.o"
+  "CMakeFiles/nanocost_regularity.dir/hierarchy.cpp.o.d"
+  "CMakeFiles/nanocost_regularity.dir/reuse.cpp.o"
+  "CMakeFiles/nanocost_regularity.dir/reuse.cpp.o.d"
+  "CMakeFiles/nanocost_regularity.dir/window_sweep.cpp.o"
+  "CMakeFiles/nanocost_regularity.dir/window_sweep.cpp.o.d"
+  "libnanocost_regularity.a"
+  "libnanocost_regularity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nanocost_regularity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nanocost_report.dir/chart.cpp.o"
+  "CMakeFiles/nanocost_report.dir/chart.cpp.o.d"
+  "CMakeFiles/nanocost_report.dir/table.cpp.o"
+  "CMakeFiles/nanocost_report.dir/table.cpp.o.d"
+  "CMakeFiles/nanocost_report.dir/wafer_view.cpp.o"
+  "CMakeFiles/nanocost_report.dir/wafer_view.cpp.o.d"
+  "libnanocost_report.a"
+  "libnanocost_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nanocost_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

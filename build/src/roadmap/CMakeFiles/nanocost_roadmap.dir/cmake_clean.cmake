@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nanocost_roadmap.dir/roadmap.cpp.o"
+  "CMakeFiles/nanocost_roadmap.dir/roadmap.cpp.o.d"
+  "libnanocost_roadmap.a"
+  "libnanocost_roadmap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nanocost_roadmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libnanocost_roadmap.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nanocost_route.dir/router.cpp.o"
+  "CMakeFiles/nanocost_route.dir/router.cpp.o.d"
+  "libnanocost_route.a"
+  "libnanocost_route.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nanocost_route.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nanocost_timing.dir/sta.cpp.o"
+  "CMakeFiles/nanocost_timing.dir/sta.cpp.o.d"
+  "libnanocost_timing.a"
+  "libnanocost_timing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nanocost_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

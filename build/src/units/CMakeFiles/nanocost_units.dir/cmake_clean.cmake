@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nanocost_units.dir/format.cpp.o"
+  "CMakeFiles/nanocost_units.dir/format.cpp.o.d"
+  "libnanocost_units.a"
+  "libnanocost_units.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nanocost_units.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/yield/composite.cpp" "src/yield/CMakeFiles/nanocost_yield.dir/composite.cpp.o" "gcc" "src/yield/CMakeFiles/nanocost_yield.dir/composite.cpp.o.d"
+  "/root/repo/src/yield/learning.cpp" "src/yield/CMakeFiles/nanocost_yield.dir/learning.cpp.o" "gcc" "src/yield/CMakeFiles/nanocost_yield.dir/learning.cpp.o.d"
+  "/root/repo/src/yield/models.cpp" "src/yield/CMakeFiles/nanocost_yield.dir/models.cpp.o" "gcc" "src/yield/CMakeFiles/nanocost_yield.dir/models.cpp.o.d"
+  "/root/repo/src/yield/parametric.cpp" "src/yield/CMakeFiles/nanocost_yield.dir/parametric.cpp.o" "gcc" "src/yield/CMakeFiles/nanocost_yield.dir/parametric.cpp.o.d"
+  "/root/repo/src/yield/radial.cpp" "src/yield/CMakeFiles/nanocost_yield.dir/radial.cpp.o" "gcc" "src/yield/CMakeFiles/nanocost_yield.dir/radial.cpp.o.d"
+  "/root/repo/src/yield/redundancy.cpp" "src/yield/CMakeFiles/nanocost_yield.dir/redundancy.cpp.o" "gcc" "src/yield/CMakeFiles/nanocost_yield.dir/redundancy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/units/CMakeFiles/nanocost_units.dir/DependInfo.cmake"
+  "/root/repo/build/src/defect/CMakeFiles/nanocost_defect.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/nanocost_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/layout/CMakeFiles/nanocost_layout.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nanocost_yield.dir/composite.cpp.o"
+  "CMakeFiles/nanocost_yield.dir/composite.cpp.o.d"
+  "CMakeFiles/nanocost_yield.dir/learning.cpp.o"
+  "CMakeFiles/nanocost_yield.dir/learning.cpp.o.d"
+  "CMakeFiles/nanocost_yield.dir/models.cpp.o"
+  "CMakeFiles/nanocost_yield.dir/models.cpp.o.d"
+  "CMakeFiles/nanocost_yield.dir/parametric.cpp.o"
+  "CMakeFiles/nanocost_yield.dir/parametric.cpp.o.d"
+  "CMakeFiles/nanocost_yield.dir/radial.cpp.o"
+  "CMakeFiles/nanocost_yield.dir/radial.cpp.o.d"
+  "CMakeFiles/nanocost_yield.dir/redundancy.cpp.o"
+  "CMakeFiles/nanocost_yield.dir/redundancy.cpp.o.d"
+  "libnanocost_yield.a"
+  "libnanocost_yield.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nanocost_yield.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

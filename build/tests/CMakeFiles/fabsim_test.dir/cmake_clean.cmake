@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fabsim_test.dir/fabsim_test.cpp.o"
+  "CMakeFiles/fabsim_test.dir/fabsim_test.cpp.o.d"
+  "fabsim_test"
+  "fabsim_test.pdb"
+  "fabsim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fabsim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

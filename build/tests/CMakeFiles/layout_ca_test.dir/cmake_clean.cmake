@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/layout_ca_test.dir/layout_ca_test.cpp.o"
+  "CMakeFiles/layout_ca_test.dir/layout_ca_test.cpp.o.d"
+  "layout_ca_test"
+  "layout_ca_test.pdb"
+  "layout_ca_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/layout_ca_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/radial_yield_test.dir/radial_yield_test.cpp.o"
+  "CMakeFiles/radial_yield_test.dir/radial_yield_test.cpp.o.d"
+  "radial_yield_test"
+  "radial_yield_test.pdb"
+  "radial_yield_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/radial_yield_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/regularity_test.cpp" "tests/CMakeFiles/regularity_test.dir/regularity_test.cpp.o" "gcc" "tests/CMakeFiles/regularity_test.dir/regularity_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/timing/CMakeFiles/nanocost_timing.dir/DependInfo.cmake"
+  "/root/repo/build/src/process/CMakeFiles/nanocost_process.dir/DependInfo.cmake"
+  "/root/repo/build/src/route/CMakeFiles/nanocost_route.dir/DependInfo.cmake"
+  "/root/repo/build/src/place/CMakeFiles/nanocost_place.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/nanocost_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/floorplan/CMakeFiles/nanocost_floorplan.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/nanocost_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/nanocost_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/regularity/CMakeFiles/nanocost_regularity.dir/DependInfo.cmake"
+  "/root/repo/build/src/roadmap/CMakeFiles/nanocost_roadmap.dir/DependInfo.cmake"
+  "/root/repo/build/src/fabsim/CMakeFiles/nanocost_fabsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/yield/CMakeFiles/nanocost_yield.dir/DependInfo.cmake"
+  "/root/repo/build/src/defect/CMakeFiles/nanocost_defect.dir/DependInfo.cmake"
+  "/root/repo/build/src/layout/CMakeFiles/nanocost_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/cost/CMakeFiles/nanocost_cost.dir/DependInfo.cmake"
+  "/root/repo/build/src/report/CMakeFiles/nanocost_report.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/nanocost_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/units/CMakeFiles/nanocost_units.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/regularity_test.dir/regularity_test.cpp.o"
+  "CMakeFiles/regularity_test.dir/regularity_test.cpp.o.d"
+  "regularity_test"
+  "regularity_test.pdb"
+  "regularity_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/regularity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/respin_test.dir/respin_test.cpp.o"
+  "CMakeFiles/respin_test.dir/respin_test.cpp.o.d"
+  "respin_test"
+  "respin_test.pdb"
+  "respin_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/respin_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

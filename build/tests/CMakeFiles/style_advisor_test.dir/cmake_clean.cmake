@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/style_advisor_test.dir/style_advisor_test.cpp.o"
+  "CMakeFiles/style_advisor_test.dir/style_advisor_test.cpp.o.d"
+  "style_advisor_test"
+  "style_advisor_test.pdb"
+  "style_advisor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/style_advisor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
