@@ -1,12 +1,24 @@
 // Microbenchmarks (google-benchmark): throughput of the heavy kernels --
 // layout flattening + transistor counting, pattern extraction, wafer-map
 // construction, Monte-Carlo wafer simulation, and cost-model evaluation.
+//
+// The custom main() first times the two parallel hot paths (fabsim lot,
+// risk Monte-Carlo) at 1/2/8/hardware threads and writes the results to
+// BENCH_perf.json (ns/op + speedup vs serial) so the perf trajectory is
+// machine-trackable across PRs; then the google-benchmark suite runs.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
 #include <random>
+#include <string>
+#include <vector>
 
 #include "nanocost/core/generalized_cost.hpp"
 #include "nanocost/core/optimizer.hpp"
+#include "nanocost/core/risk.hpp"
+#include "nanocost/exec/thread_pool.hpp"
 #include "nanocost/fabsim/simulator.hpp"
 #include "nanocost/geometry/wafer_map.hpp"
 #include "nanocost/layout/counting.hpp"
@@ -20,6 +32,24 @@
 namespace {
 
 using namespace nanocost;
+
+fabsim::FabSimulator make_fabsim() {
+  defect::DefectFieldParams field;
+  field.density_per_cm2 = 0.5;
+  return fabsim::FabSimulator{
+      geometry::WaferSpec::mm200(),
+      geometry::DieSize{units::Millimeters{12.0}, units::Millimeters{12.0}},
+      defect::DefectSizeDistribution::for_feature_size(units::Micrometers{0.25}), field,
+      defect::WireArray{units::Micrometers{0.25}, units::Micrometers{0.25},
+                        units::Micrometers{100.0}, 50}};
+}
+
+core::UncertainInputs make_risk_inputs() {
+  core::UncertainInputs inputs;
+  inputs.nominal.transistors_per_chip = 1e7;
+  inputs.nominal.n_wafers = 10000.0;
+  return inputs;
+}
 
 void BM_TransistorCountFlat(benchmark::State& state) {
   layout::Library lib;
@@ -82,20 +112,44 @@ void BM_WaferMap(benchmark::State& state) {
 BENCHMARK(BM_WaferMap)->Arg(5)->Arg(10)->Arg(20);
 
 void BM_FabSimWafer(benchmark::State& state) {
-  defect::DefectFieldParams field;
-  field.density_per_cm2 = 0.5;
-  const fabsim::FabSimulator sim(
-      geometry::WaferSpec::mm200(),
-      geometry::DieSize{units::Millimeters{12.0}, units::Millimeters{12.0}},
-      defect::DefectSizeDistribution::for_feature_size(units::Micrometers{0.25}), field,
-      defect::WireArray{units::Micrometers{0.25}, units::Micrometers{0.25},
-                        units::Micrometers{100.0}, 50});
+  const fabsim::FabSimulator sim = make_fabsim();
   std::uint64_t seed = 1;
   for (auto _ : state) {
     benchmark::DoNotOptimize(sim.run(1, seed++));
   }
 }
 BENCHMARK(BM_FabSimWafer);
+
+void BM_FabSimLot(benchmark::State& state) {
+  const fabsim::FabSimulator sim = make_fabsim();
+  exec::ThreadPool pool(static_cast<int>(state.range(0)));
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.run(16, seed++, &pool));
+  }
+  state.SetItemsProcessed(state.iterations() * 16);
+}
+BENCHMARK(BM_FabSimLot)->Arg(1)->Arg(2)->Arg(8)->Unit(benchmark::kMillisecond);
+
+void BM_RiskMonteCarlo(benchmark::State& state) {
+  const core::UncertainInputs inputs = make_risk_inputs();
+  exec::ThreadPool pool(static_cast<int>(state.range(0)));
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::monte_carlo_cost(inputs, 300.0, 4000, seed++, 0.0, &pool));
+  }
+  state.SetItemsProcessed(state.iterations() * 4000);
+}
+BENCHMARK(BM_RiskMonteCarlo)->Arg(1)->Arg(2)->Arg(8);
+
+void BM_RobustSd(benchmark::State& state) {
+  const core::UncertainInputs inputs = make_risk_inputs();
+  exec::ThreadPool pool(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::robust_sd(inputs, 0.9, 120.0, 1500.0, 16, 500, 1, &pool));
+  }
+}
+BENCHMARK(BM_RobustSd)->Arg(1)->Arg(2)->Arg(8)->Unit(benchmark::kMillisecond);
 
 void BM_GeneralizedEvaluate(benchmark::State& state) {
   core::ProductScenario scenario;
@@ -156,4 +210,99 @@ void BM_StaticTiming(benchmark::State& state) {
 }
 BENCHMARK(BM_StaticTiming);
 
+// ---- BENCH_perf.json: parallel hot-path timings -------------------------
+
+struct TimedCase {
+  std::string name;
+  int threads = 1;
+  double ns_per_op = 0.0;
+  double speedup_vs_serial = 1.0;
+};
+
+/// Best-of-`reps` wall time of one invocation of `fn`, in nanoseconds.
+template <typename Fn>
+double time_ns(Fn&& fn, int reps) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    best = std::min(best,
+                    static_cast<double>(
+                        std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count()));
+  }
+  return best;
+}
+
+std::vector<int> bench_thread_counts() {
+  std::vector<int> counts{1, 2, 8, exec::ThreadPool::default_thread_count()};
+  std::sort(counts.begin(), counts.end());
+  counts.erase(std::unique(counts.begin(), counts.end()), counts.end());
+  return counts;
+}
+
+/// Times `work(pool)` across the thread ladder and appends one case per
+/// thread count, with speedup relative to the 1-thread run.
+template <typename Work>
+void run_ladder(const std::string& name, std::vector<TimedCase>& cases, Work&& work) {
+  double serial_ns = 0.0;
+  for (const int threads : bench_thread_counts()) {
+    exec::ThreadPool pool(threads);
+    const double ns = time_ns([&] { work(pool); }, 3);
+    if (threads == 1) serial_ns = ns;
+    TimedCase c;
+    c.name = name;
+    c.threads = threads;
+    c.ns_per_op = ns;
+    c.speedup_vs_serial = serial_ns > 0.0 ? serial_ns / ns : 1.0;
+    cases.push_back(c);
+    std::printf("  %-24s threads=%-3d  %12.0f ns/op  speedup %.2fx\n", name.c_str(),
+                threads, ns, c.speedup_vs_serial);
+  }
+}
+
+void write_bench_json() {
+  std::puts("=== parallel hot paths (writes BENCH_perf.json) ===");
+  std::vector<TimedCase> cases;
+
+  const fabsim::FabSimulator sim = make_fabsim();
+  run_ladder("fabsim_lot_200w", cases,
+             [&](exec::ThreadPool& pool) { benchmark::DoNotOptimize(sim.run(200, 42, &pool)); });
+
+  const core::UncertainInputs inputs = make_risk_inputs();
+  run_ladder("risk_mc_20000", cases, [&](exec::ThreadPool& pool) {
+    benchmark::DoNotOptimize(core::monte_carlo_cost(inputs, 300.0, 20000, 1, 0.0, &pool));
+  });
+  run_ladder("robust_sd_24x2000", cases, [&](exec::ThreadPool& pool) {
+    benchmark::DoNotOptimize(core::robust_sd(inputs, 0.9, 120.0, 1500.0, 24, 2000, 1, &pool));
+  });
+
+  std::FILE* f = std::fopen("BENCH_perf.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_perf.json\n");
+    return;
+  }
+  std::fprintf(f, "{\n  \"hardware_concurrency\": %d,\n  \"cases\": [\n",
+               exec::ThreadPool::default_thread_count());
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"threads\": %d, \"ns_per_op\": %.0f, "
+                 "\"speedup_vs_serial\": %.3f}%s\n",
+                 cases[i].name.c_str(), cases[i].threads, cases[i].ns_per_op,
+                 cases[i].speedup_vs_serial, i + 1 < cases.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::puts("wrote BENCH_perf.json\n");
+}
+
 }  // namespace
+
+int main(int argc, char** argv) {
+  write_bench_json();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -14,6 +14,10 @@
 #include "nanocost/core/generalized_cost.hpp"
 #include "nanocost/core/transistor_cost.hpp"
 
+namespace nanocost::exec {
+class ThreadPool;
+}
+
 namespace nanocost::core {
 
 /// Result of a density optimization.
@@ -44,8 +48,10 @@ struct SweepPoint final {
 };
 
 /// Logarithmic sweep of eq. (4) over [lo, hi] with `steps` samples.
+/// Grid points evaluate in parallel on `pool` (null: global pool); the
+/// model is pure, so the sweep is deterministic at any thread count.
 [[nodiscard]] std::vector<SweepPoint> sweep_eq4(const Eq4Inputs& inputs, double lo, double hi,
-                                                int steps);
+                                                int steps, exec::ThreadPool* pool = nullptr);
 
 /// One sample of a generalized-model sweep.
 struct GeneralizedSweepPoint final {
@@ -54,6 +60,7 @@ struct GeneralizedSweepPoint final {
 };
 
 [[nodiscard]] std::vector<GeneralizedSweepPoint> sweep_generalized(
-    const GeneralizedCostModel& model, double lo, double hi, int steps);
+    const GeneralizedCostModel& model, double lo, double hi, int steps,
+    exec::ThreadPool* pool = nullptr);
 
 }  // namespace nanocost::core

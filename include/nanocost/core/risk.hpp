@@ -12,6 +12,10 @@
 
 #include "nanocost/core/transistor_cost.hpp"
 
+namespace nanocost::exec {
+class ThreadPool;
+}
+
 namespace nanocost::core {
 
 /// Relative uncertainties on the eq.-4 inputs.  Multiplicative factors
@@ -38,10 +42,14 @@ struct RiskResult final {
 
 /// Monte-Carlo propagation of the uncertainties through eq. (4) at a
 /// fixed s_d.  `die_budget` (optional, <= 0 disables) sets the
-/// over-budget probability threshold on per-die cost.
+/// over-budget probability threshold on per-die cost.  Samples are
+/// generated in parallel on `pool` (null: global pool); sample i always
+/// consumes the stream seeded with SeedSequence::for_task(seed, i), so
+/// the result is identical for every thread count.
 [[nodiscard]] RiskResult monte_carlo_cost(const UncertainInputs& inputs, double s_d,
                                           int samples = 4000, std::uint64_t seed = 1,
-                                          double die_budget = 0.0);
+                                          double die_budget = 0.0,
+                                          exec::ThreadPool* pool = nullptr);
 
 /// Robust density choice: the s_d minimizing the `quantile` (e.g. 0.9)
 /// of the C_tr distribution over a log grid [lo, hi] with `steps`
@@ -52,8 +60,13 @@ struct RobustOptimum final {
   double quantile_cost = 0.0;
 };
 
+/// Grid points run in parallel; every grid point draws the *same*
+/// scenario set (seeds derive from `seed` and the sample index, never
+/// from the grid point or thread), preserving common random numbers
+/// across the grid.
 [[nodiscard]] RobustOptimum robust_sd(const UncertainInputs& inputs, double quantile,
                                       double lo, double hi, int steps, int samples = 2000,
-                                      std::uint64_t seed = 1);
+                                      std::uint64_t seed = 1,
+                                      exec::ThreadPool* pool = nullptr);
 
 }  // namespace nanocost::core

@@ -70,6 +70,10 @@ class DefectField final {
   /// gamma-mixed Poisson that yields negative-binomial die statistics.
   [[nodiscard]] std::vector<Defect> sample_wafer(std::mt19937_64& rng) const;
 
+  /// Same draw, but reusing `out` as the defect buffer (cleared, then
+  /// filled) -- avoids one allocation per wafer in lot-scale simulation.
+  void sample_wafer(std::mt19937_64& rng, std::vector<Defect>& out) const;
+
   [[nodiscard]] const DefectFieldParams& params() const noexcept { return params_; }
 
  private:

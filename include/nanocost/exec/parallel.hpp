@@ -1,0 +1,76 @@
+// Chunked parallel loops over an index range.
+//
+// Both loops decompose [0, n) into fixed-size chunks of `grain`
+// iterations.  The chunk grid depends only on (n, grain) -- never on the
+// thread count -- and parallel_reduce merges per-chunk scratch in chunk
+// order on the calling thread, so even order-sensitive merges (e.g.
+// floating-point accumulation) are bitwise-reproducible for a given
+// grain regardless of how many threads executed the chunks.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "nanocost/exec/thread_pool.hpp"
+
+namespace nanocost::exec {
+
+/// Number of chunks a range of `n` splits into at a given grain.
+[[nodiscard]] constexpr std::int64_t chunk_count(std::int64_t n, std::int64_t grain) noexcept {
+  return grain > 0 ? (n + grain - 1) / grain : 0;
+}
+
+/// body(begin, end) over [0, n) in chunks of `grain`.  `pool` may be
+/// null (global pool).  body must be safe to invoke concurrently from
+/// multiple threads on disjoint ranges.
+template <typename Body>
+void parallel_for(ThreadPool* pool, std::int64_t n, std::int64_t grain, Body&& body) {
+  if (n <= 0) return;
+  if (grain < 1) throw std::invalid_argument("parallel_for grain must be >= 1");
+  const std::int64_t chunks = chunk_count(n, grain);
+  if (chunks == 1) {
+    body(std::int64_t{0}, n);
+    return;
+  }
+  pool_or_global(pool).run_tasks(chunks, [&](std::int64_t c) {
+    const std::int64_t begin = c * grain;
+    const std::int64_t end = begin + grain < n ? begin + grain : n;
+    body(begin, end);
+  });
+}
+
+/// Chunked loop with per-chunk scratch state:
+///   make()                    -> Scratch, called once per chunk
+///   body(begin, end, scratch) -> processes one chunk into its scratch
+///   merge(scratch)            -> called serially on the caller, in
+///                                ascending chunk order, after all
+///                                chunks complete
+/// The merge order is a function of (n, grain) only, so reductions are
+/// deterministic for any thread count.
+template <typename MakeScratch, typename Body, typename Merge>
+void parallel_reduce(ThreadPool* pool, std::int64_t n, std::int64_t grain, MakeScratch&& make,
+                     Body&& body, Merge&& merge) {
+  if (n <= 0) return;
+  if (grain < 1) throw std::invalid_argument("parallel_reduce grain must be >= 1");
+  using Scratch = decltype(make());
+  const std::int64_t chunks = chunk_count(n, grain);
+  if (chunks == 1) {
+    Scratch scratch = make();
+    body(std::int64_t{0}, n, scratch);
+    merge(std::move(scratch));
+    return;
+  }
+  std::vector<Scratch> scratches;
+  scratches.reserve(static_cast<std::size_t>(chunks));
+  for (std::int64_t c = 0; c < chunks; ++c) scratches.push_back(make());
+  pool_or_global(pool).run_tasks(chunks, [&](std::int64_t c) {
+    const std::int64_t begin = c * grain;
+    const std::int64_t end = begin + grain < n ? begin + grain : n;
+    body(begin, end, scratches[static_cast<std::size_t>(c)]);
+  });
+  for (Scratch& scratch : scratches) merge(std::move(scratch));
+}
+
+}  // namespace nanocost::exec

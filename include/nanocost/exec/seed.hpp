@@ -1,0 +1,49 @@
+// Counter-based deterministic seed derivation.
+//
+// Parallel Monte-Carlo is only reproducible if the random stream a task
+// consumes is a function of the *task*, not of the thread that happens
+// to run it.  SeedSequence derives one 64-bit seed per task index from a
+// base seed via the splitmix64 output function: task i receives the i-th
+// output of the splitmix64 stream seeded with `base`, computed in O(1)
+// by random access (state_i = base + (i+1) * gamma).  Every parallel
+// loop in nanocost seeds one RNG per task (wafer, MC sample, grid point)
+// this way, which makes results bitwise-independent of thread count and
+// schedule.
+#pragma once
+
+#include <cstdint>
+
+namespace nanocost::exec {
+
+/// splitmix64 output function (Steele, Lea, Flood 2014): a bijective
+/// avalanche mix of a 64-bit state.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t z) noexcept {
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// Derives per-task seeds from a base seed.
+class SeedSequence final {
+ public:
+  constexpr explicit SeedSequence(std::uint64_t base_seed) noexcept : base_(base_seed) {}
+
+  /// Seed for task `task_index`: the task_index-th output of the
+  /// splitmix64 generator seeded with `base_seed`.  Pure and O(1), so a
+  /// task's stream does not depend on which thread claims it.
+  [[nodiscard]] static constexpr std::uint64_t for_task(std::uint64_t base_seed,
+                                                        std::uint64_t task_index) noexcept {
+    constexpr std::uint64_t kGamma = 0x9E3779B97F4A7C15ULL;  // golden-ratio increment
+    return splitmix64(base_seed + (task_index + 1) * kGamma);
+  }
+
+  [[nodiscard]] constexpr std::uint64_t derive(std::uint64_t task_index) const noexcept {
+    return for_task(base_, task_index);
+  }
+  [[nodiscard]] constexpr std::uint64_t base() const noexcept { return base_; }
+
+ private:
+  std::uint64_t base_;
+};
+
+}  // namespace nanocost::exec

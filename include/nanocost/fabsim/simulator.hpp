@@ -20,6 +20,10 @@
 #include "nanocost/units/probability.hpp"
 #include "nanocost/yield/learning.hpp"
 
+namespace nanocost::exec {
+class ThreadPool;
+}
+
 namespace nanocost::fabsim {
 
 /// Probability that a defect of a given size landing uniformly on the
@@ -44,6 +48,37 @@ class DieKillModel final {
  private:
   defect::WireArray array_;
   units::SquareCentimeters die_area_;
+};
+
+/// Log-spaced lookup table over defect size for DieKillModel::
+/// kill_probability.  Built once per simulator; evaluating a defect then
+/// costs one log + one linear interpolation instead of two critical-area
+/// evaluations.  The kill probability is piecewise linear in the defect
+/// size, so bins verified linear at construction interpolate *exactly*;
+/// the handful of bins containing a slope breakpoint (spacing/width
+/// onsets, saturation, the probability cap) fall back to direct
+/// evaluation -- the table agrees with the model to rounding error
+/// everywhere on the support.
+class KillProbabilityLut final {
+ public:
+  KillProbabilityLut(const DieKillModel& model, units::Micrometers xmin,
+                     units::Micrometers xmax, int bins = 2048);
+
+  /// P(fatal | defect size); sizes outside [xmin, xmax] use the model.
+  [[nodiscard]] double operator()(units::Micrometers size) const noexcept;
+
+  [[nodiscard]] int bins() const noexcept { return static_cast<int>(slope_.size()); }
+  /// Bins served by interpolation (the rest fall back to the model).
+  [[nodiscard]] int interpolated_bins() const noexcept;
+
+ private:
+  DieKillModel model_;
+  double log_xmin_ = 0.0;
+  double inv_dlog_ = 0.0;
+  std::vector<double> node_x_;
+  std::vector<double> node_p_;
+  std::vector<double> slope_;
+  std::vector<std::uint8_t> interp_ok_;
 };
 
 /// One simulated wafer.
@@ -85,19 +120,27 @@ class FabSimulator final {
                defect::DefectSizeDistribution sizes, defect::DefectFieldParams field,
                defect::WireArray representative_pattern);
 
-  /// Simulate `n_wafers` at constant defect density.
-  [[nodiscard]] LotResult run(std::int64_t n_wafers, std::uint64_t seed = 42) const;
+  /// Simulate `n_wafers` at constant defect density.  Wafers execute in
+  /// parallel on `pool` (null: the global pool); wafer i always consumes
+  /// the RNG stream seeded with SeedSequence::for_task(seed, i), so the
+  /// result is identical for every thread count and schedule.
+  [[nodiscard]] LotResult run(std::int64_t n_wafers, std::uint64_t seed = 42,
+                              exec::ThreadPool* pool = nullptr) const;
 
   /// Simulate a maturity ramp: defect density follows the learning
   /// curve as cumulative wafers accrue.  Returns one LotResult per
-  /// checkpoint of `checkpoint_wafers` wafers.
+  /// checkpoint of `checkpoint_wafers` wafers.  Parallel and
+  /// deterministic like run(); wafer seeds are derived from the global
+  /// (cross-checkpoint) wafer index.
   [[nodiscard]] std::vector<LotResult> run_ramp(const yield::LearningCurve& curve,
                                                 std::int64_t total_wafers,
                                                 std::int64_t checkpoint_wafers,
-                                                std::uint64_t seed = 42) const;
+                                                std::uint64_t seed = 42,
+                                                exec::ThreadPool* pool = nullptr) const;
 
   [[nodiscard]] const geometry::WaferMap& wafer_map() const noexcept { return map_; }
   [[nodiscard]] const DieKillModel& kill_model() const noexcept { return kill_; }
+  [[nodiscard]] const KillProbabilityLut& kill_lut() const noexcept { return lut_; }
   /// The analytic mean faults per die this configuration implies.
   [[nodiscard]] double analytic_mean_faults() const;
 
@@ -113,9 +156,11 @@ class FabSimulator final {
   defect::DefectFieldParams field_params_;
   geometry::WaferMap map_;
   DieKillModel kill_;
+  KillProbabilityLut lut_;
 
   void simulate_wafer(std::mt19937_64& rng, const defect::DefectField& field,
-                      WaferResult& result, std::vector<std::int32_t>& faults_scratch,
+                      WaferResult& result, std::vector<defect::Defect>& defect_buffer,
+                      std::vector<std::int32_t>& faults_scratch,
                       std::vector<std::int64_t>& histogram) const;
 };
 

@@ -12,6 +12,10 @@
 
 #include "nanocost/regularity/extractor.hpp"
 
+namespace nanocost::exec {
+class ThreadPool;
+}
+
 namespace nanocost::regularity {
 
 /// One sweep sample.
@@ -24,9 +28,12 @@ struct WindowSweepPoint final {
 
 /// Runs the extractor at each window size (geometric ladder from
 /// `min_window`, doubling, `steps` sizes) and reports the census shape.
+/// The geometry is flattened once; the per-size extractions run in
+/// parallel on `pool` (null: global pool) -- extraction is pure, so the
+/// sweep is deterministic at any thread count.
 [[nodiscard]] std::vector<WindowSweepPoint> sweep_windows(
     const layout::Cell& top, layout::Coord min_window, int steps,
-    bool orientation_invariant = false);
+    bool orientation_invariant = false, exec::ThreadPool* pool = nullptr);
 
 /// The sweep's best window: the largest window size whose regularity
 /// index stays within `tolerance` of the sweep's maximum -- bigger

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "nanocost/exec/parallel.hpp"
+
 namespace nanocost::core {
 
 Optimum minimize_unimodal(const std::function<units::Money(double)>& objective, double lo,
@@ -80,20 +82,41 @@ std::vector<double> log_grid(double lo, double hi, int steps) {
 
 }  // namespace
 
-std::vector<SweepPoint> sweep_eq4(const Eq4Inputs& inputs, double lo, double hi, int steps) {
-  std::vector<SweepPoint> out;
-  for (const double s_d : log_grid(lo, hi, steps)) {
-    out.push_back(SweepPoint{s_d, cost_per_transistor_eq4(inputs, s_d)});
-  }
+namespace {
+
+/// Grid points per parallel chunk for the s_d sweeps.
+constexpr std::int64_t kSweepGrain = 8;
+
+}  // namespace
+
+std::vector<SweepPoint> sweep_eq4(const Eq4Inputs& inputs, double lo, double hi, int steps,
+                                  exec::ThreadPool* pool) {
+  const std::vector<double> grid = log_grid(lo, hi, steps);
+  std::vector<SweepPoint> out(grid.size());
+  exec::parallel_for(pool, static_cast<std::int64_t>(grid.size()), kSweepGrain,
+                     [&](std::int64_t begin, std::int64_t end) {
+                       for (std::int64_t i = begin; i < end; ++i) {
+                         const double s_d = grid[static_cast<std::size_t>(i)];
+                         out[static_cast<std::size_t>(i)] =
+                             SweepPoint{s_d, cost_per_transistor_eq4(inputs, s_d)};
+                       }
+                     });
   return out;
 }
 
 std::vector<GeneralizedSweepPoint> sweep_generalized(const GeneralizedCostModel& model,
-                                                     double lo, double hi, int steps) {
-  std::vector<GeneralizedSweepPoint> out;
-  for (const double s_d : log_grid(lo, hi, steps)) {
-    out.push_back(GeneralizedSweepPoint{s_d, model.evaluate(s_d)});
-  }
+                                                     double lo, double hi, int steps,
+                                                     exec::ThreadPool* pool) {
+  const std::vector<double> grid = log_grid(lo, hi, steps);
+  std::vector<GeneralizedSweepPoint> out(grid.size());
+  exec::parallel_for(pool, static_cast<std::int64_t>(grid.size()), kSweepGrain,
+                     [&](std::int64_t begin, std::int64_t end) {
+                       for (std::int64_t i = begin; i < end; ++i) {
+                         const double s_d = grid[static_cast<std::size_t>(i)];
+                         out[static_cast<std::size_t>(i)] =
+                             GeneralizedSweepPoint{s_d, model.evaluate(s_d)};
+                       }
+                     });
   return out;
 }
 

@@ -6,6 +6,9 @@
 #include <stdexcept>
 #include <vector>
 
+#include "nanocost/exec/parallel.hpp"
+#include "nanocost/exec/seed.hpp"
+
 namespace nanocost::core {
 
 namespace {
@@ -18,39 +21,46 @@ double percentile(std::vector<double>& sorted, double q) {
   return sorted[lo] * (1.0 - t) + sorted[hi] * t;
 }
 
+/// Samples per parallel chunk; the chunk grid depends only on the
+/// sample count, so results are thread-count invariant.
+constexpr std::int64_t kSampleGrain = 128;
+
 std::vector<double> sample_costs(const UncertainInputs& inputs, double s_d, int samples,
-                                 std::uint64_t seed) {
+                                 std::uint64_t seed, exec::ThreadPool* pool) {
   if (samples < 10) {
     throw std::invalid_argument("risk analysis needs at least 10 samples");
   }
-  std::mt19937_64 rng(seed);
-  std::normal_distribution<double> gauss(0.0, 1.0);
+  std::vector<double> costs(static_cast<std::size_t>(samples));
+  exec::parallel_for(pool, samples, kSampleGrain, [&](std::int64_t begin, std::int64_t end) {
+    for (std::int64_t i = begin; i < end; ++i) {
+      // One RNG per scenario, derived from the sample index: scenario i
+      // is the same no matter which thread (or grid point) evaluates it.
+      std::mt19937_64 rng(exec::SeedSequence::for_task(seed, static_cast<std::uint64_t>(i)));
+      std::normal_distribution<double> gauss(0.0, 1.0);
 
-  std::vector<double> costs;
-  costs.reserve(static_cast<std::size_t>(samples));
-  for (int i = 0; i < samples; ++i) {
-    Eq4Inputs draw = inputs.nominal;
-    const double y =
-        inputs.nominal.yield.value() + inputs.yield_sigma * gauss(rng);
-    draw.yield = units::Probability::clamped(std::max(y, 0.01));
-    draw.manufacturing_cost =
-        inputs.nominal.manufacturing_cost * std::exp(inputs.cm_sq_sigma_rel * gauss(rng));
-    draw.n_wafers =
-        inputs.nominal.n_wafers * std::exp(inputs.volume_sigma_rel * gauss(rng));
-    cost::DesignCostParams params = inputs.nominal.design_model.params();
-    params.a0 *= std::exp(inputs.design_cost_sigma_rel * gauss(rng));
-    draw.design_model = cost::DesignCostModel{params};
+      Eq4Inputs draw = inputs.nominal;
+      const double y = inputs.nominal.yield.value() + inputs.yield_sigma * gauss(rng);
+      draw.yield = units::Probability::clamped(std::max(y, 0.01));
+      draw.manufacturing_cost =
+          inputs.nominal.manufacturing_cost * std::exp(inputs.cm_sq_sigma_rel * gauss(rng));
+      draw.n_wafers =
+          inputs.nominal.n_wafers * std::exp(inputs.volume_sigma_rel * gauss(rng));
+      cost::DesignCostParams params = inputs.nominal.design_model.params();
+      params.a0 *= std::exp(inputs.design_cost_sigma_rel * gauss(rng));
+      draw.design_model = cost::DesignCostModel{params};
 
-    costs.push_back(cost_per_transistor_eq4(draw, s_d).total.value());
-  }
+      costs[static_cast<std::size_t>(i)] = cost_per_transistor_eq4(draw, s_d).total.value();
+    }
+  });
   return costs;
 }
 
 }  // namespace
 
 RiskResult monte_carlo_cost(const UncertainInputs& inputs, double s_d, int samples,
-                            std::uint64_t seed, double die_budget) {
-  std::vector<double> costs = sample_costs(inputs, s_d, samples, seed);
+                            std::uint64_t seed, double die_budget,
+                            exec::ThreadPool* pool) {
+  std::vector<double> costs = sample_costs(inputs, s_d, samples, seed, pool);
 
   RiskResult result;
   double sum = 0.0;
@@ -77,25 +87,38 @@ RiskResult monte_carlo_cost(const UncertainInputs& inputs, double s_d, int sampl
 }
 
 RobustOptimum robust_sd(const UncertainInputs& inputs, double quantile, double lo,
-                        double hi, int steps, int samples, std::uint64_t seed) {
+                        double hi, int steps, int samples, std::uint64_t seed,
+                        exec::ThreadPool* pool) {
   if (!(quantile > 0.0 && quantile < 1.0)) {
     throw std::invalid_argument("quantile must be in (0, 1)");
   }
   if (!(lo > 0.0 && lo < hi) || steps < 2) {
     throw std::invalid_argument("robust sweep needs 0 < lo < hi and steps >= 2");
   }
+  const double ratio = std::log(hi / lo) / (steps - 1);
+  std::vector<double> grid(static_cast<std::size_t>(steps));
+  for (int i = 0; i < steps; ++i) grid[static_cast<std::size_t>(i)] = lo * std::exp(ratio * i);
+
+  // Grid points are independent and run in parallel; common random
+  // numbers hold because scenario seeds derive from (seed, sample
+  // index) only -- every grid point prices the identical scenario set.
+  // The nested sample_costs loop runs inline on the worker lane.
+  std::vector<double> quantile_cost(grid.size());
+  exec::parallel_for(pool, steps, 1, [&](std::int64_t begin, std::int64_t end) {
+    for (std::int64_t i = begin; i < end; ++i) {
+      std::vector<double> costs =
+          sample_costs(inputs, grid[static_cast<std::size_t>(i)], samples, seed, pool);
+      std::sort(costs.begin(), costs.end());
+      quantile_cost[static_cast<std::size_t>(i)] = percentile(costs, quantile);
+    }
+  });
+
   RobustOptimum best;
   best.quantile_cost = 1e300;
-  const double ratio = std::log(hi / lo) / (steps - 1);
-  for (int i = 0; i < steps; ++i) {
-    const double s_d = lo * std::exp(ratio * i);
-    // Common random numbers across grid points: same seed.
-    std::vector<double> costs = sample_costs(inputs, s_d, samples, seed);
-    std::sort(costs.begin(), costs.end());
-    const double q = percentile(costs, quantile);
-    if (q < best.quantile_cost) {
-      best.quantile_cost = q;
-      best.s_d = s_d;
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    if (quantile_cost[i] < best.quantile_cost) {
+      best.quantile_cost = quantile_cost[i];
+      best.s_d = grid[i];
     }
   }
   return best;

@@ -55,6 +55,42 @@ void DefectField::sample_position(std::mt19937_64& rng, Defect& d) const {
 }
 
 std::vector<Defect> DefectField::sample_wafer(std::mt19937_64& rng) const {
+  std::vector<Defect> defects;
+  sample_wafer(rng, defects);
+  return defects;
+}
+
+namespace {
+
+/// Exact Poisson draw by Knuth's product-of-uniforms method, applied to
+/// additive chunks of the mean (Poisson(a + b) = Poisson(a) +
+/// Poisson(b)) so exp(-chunk) never underflows.  Used instead of
+/// std::poisson_distribution because libstdc++'s large-mean setup calls
+/// glibc lgamma(), which writes the global `signgam` -- a data race
+/// when wafers are sampled concurrently.  This sampler touches only
+/// local state.
+long sample_poisson(std::mt19937_64& rng, double mean) {
+  std::uniform_real_distribution<double> uni(0.0, 1.0);
+  long total = 0;
+  while (mean > 0.0) {
+    const double chunk = std::min(mean, 60.0);
+    const double limit = std::exp(-chunk);
+    long k = -1;
+    double prod = 1.0;
+    do {
+      prod *= uni(rng);
+      ++k;
+    } while (prod > limit);
+    total += k;
+    mean -= chunk;
+  }
+  return total;
+}
+
+}  // namespace
+
+void DefectField::sample_wafer(std::mt19937_64& rng, std::vector<Defect>& out) const {
+  out.clear();
   double mean = expected_count();
   if (params_.clustered) {
     // Gamma multiplier with shape alpha and mean 1: the gamma-mixed
@@ -62,18 +98,15 @@ std::vector<Defect> DefectField::sample_wafer(std::mt19937_64& rng) const {
     std::gamma_distribution<double> gamma(params_.cluster_alpha, 1.0 / params_.cluster_alpha);
     mean *= gamma(rng);
   }
-  std::poisson_distribution<long> poisson(mean);
-  const long n = mean > 0.0 ? poisson(rng) : 0;
+  const long n = sample_poisson(rng, mean);
 
-  std::vector<Defect> defects;
-  defects.reserve(static_cast<std::size_t>(n));
+  out.reserve(static_cast<std::size_t>(n));
   for (long i = 0; i < n; ++i) {
     Defect d;
     sample_position(rng, d);
     d.size = sizes_.sample(rng);
-    defects.push_back(d);
+    out.push_back(d);
   }
-  return defects;
 }
 
 }  // namespace nanocost::defect

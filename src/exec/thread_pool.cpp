@@ -1,0 +1,183 @@
+#include "nanocost/exec/thread_pool.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace nanocost::exec {
+
+namespace {
+
+// True while the current thread is executing tasks of some batch; a
+// nested run_tasks then executes inline instead of re-entering a pool.
+thread_local bool t_in_parallel_region = false;
+
+}  // namespace
+
+struct ThreadPool::Impl {
+  // One dispatched batch of tasks.  Workers keep a shared_ptr snapshot,
+  // so a lane waking late can only touch its own (already drained)
+  // batch, never a newer one.
+  struct Batch {
+    const std::function<void(std::int64_t)>* task = nullptr;
+    std::int64_t n = 0;
+    std::atomic<std::int64_t> next{0};
+    std::int64_t finished = 0;        // guarded by mu
+    std::exception_ptr error;         // guarded by mu; first failure wins
+  };
+
+  std::mutex mu;
+  std::condition_variable work_cv;    // workers: a new batch is available
+  std::condition_variable done_cv;    // caller: the batch has drained
+  std::shared_ptr<Batch> current;     // guarded by mu
+  std::uint64_t epoch = 0;            // guarded by mu; bumped per batch
+  bool busy = false;                  // guarded by mu; one batch at a time
+  bool stop = false;                  // guarded by mu
+  int lanes = 1;
+  std::vector<std::thread> workers;
+
+  /// Claims and runs tasks of `batch` until the counter drains; returns
+  /// the number of tasks this lane executed (or skipped after an error).
+  std::int64_t work_on(Batch& batch) {
+    std::int64_t done = 0;
+    const bool was_in_region = t_in_parallel_region;
+    t_in_parallel_region = true;
+    for (;;) {
+      const std::int64_t i = batch.next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= batch.n) break;
+      bool skip;
+      {
+        std::lock_guard<std::mutex> lk(mu);
+        skip = static_cast<bool>(batch.error);
+      }
+      if (!skip) {
+        try {
+          (*batch.task)(i);
+        } catch (...) {
+          std::lock_guard<std::mutex> lk(mu);
+          if (!batch.error) batch.error = std::current_exception();
+        }
+      }
+      ++done;
+    }
+    t_in_parallel_region = was_in_region;
+    return done;
+  }
+
+  void worker_loop() {
+    std::uint64_t seen_epoch = 0;
+    for (;;) {
+      std::shared_ptr<Batch> batch;
+      {
+        std::unique_lock<std::mutex> lk(mu);
+        work_cv.wait(lk, [&] { return stop || epoch != seen_epoch; });
+        if (stop) return;
+        seen_epoch = epoch;
+        batch = current;
+      }
+      if (!batch) continue;
+      const std::int64_t done = work_on(*batch);
+      {
+        std::lock_guard<std::mutex> lk(mu);
+        batch->finished += done;
+        if (batch->finished == batch->n) done_cv.notify_all();
+      }
+    }
+  }
+};
+
+ThreadPool::ThreadPool(int threads) : impl_(std::make_unique<Impl>()) {
+  impl_->lanes = threads > 0 ? threads : default_thread_count();
+  impl_->workers.reserve(static_cast<std::size_t>(impl_->lanes - 1));
+  for (int i = 1; i < impl_->lanes; ++i) {
+    impl_->workers.emplace_back([this] { impl_->worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(impl_->mu);
+    impl_->stop = true;
+  }
+  impl_->work_cv.notify_all();
+  for (std::thread& w : impl_->workers) w.join();
+}
+
+int ThreadPool::thread_count() const noexcept { return impl_->lanes; }
+
+void ThreadPool::run_tasks(std::int64_t n_tasks,
+                           const std::function<void(std::int64_t)>& task) {
+  if (n_tasks <= 0) return;
+  if (!task) throw std::invalid_argument("run_tasks needs a callable task");
+
+  const auto run_inline = [&] {
+    const bool was_in_region = t_in_parallel_region;
+    t_in_parallel_region = true;
+    try {
+      for (std::int64_t i = 0; i < n_tasks; ++i) task(i);
+    } catch (...) {
+      t_in_parallel_region = was_in_region;
+      throw;
+    }
+    t_in_parallel_region = was_in_region;
+  };
+
+  if (t_in_parallel_region || impl_->lanes == 1 || n_tasks == 1) {
+    run_inline();
+    return;
+  }
+
+  auto batch = std::make_shared<Impl::Batch>();
+  batch->task = &task;
+  batch->n = n_tasks;
+  bool claimed = false;
+  {
+    std::lock_guard<std::mutex> lk(impl_->mu);
+    if (!impl_->busy && !impl_->stop) {
+      impl_->busy = true;
+      impl_->current = batch;
+      ++impl_->epoch;
+      claimed = true;
+    }
+  }
+  if (!claimed) {
+    // Another thread is already driving a batch on this pool; do not
+    // interleave two batches -- fall back to inline execution.
+    run_inline();
+    return;
+  }
+  impl_->work_cv.notify_all();
+
+  const std::int64_t done = impl_->work_on(*batch);
+
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lk(impl_->mu);
+    batch->finished += done;
+    impl_->done_cv.wait(lk, [&] { return batch->finished == batch->n; });
+    impl_->busy = false;
+    impl_->current.reset();
+    error = batch->error;
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+int ThreadPool::default_thread_count() {
+  if (const char* env = std::getenv("NANOCOST_THREADS")) {
+    const long parsed = std::strtol(env, nullptr, 10);
+    if (parsed >= 1) return static_cast<int>(parsed > 1024 ? 1024 : parsed);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace nanocost::exec

@@ -2,9 +2,29 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 #include <stdexcept>
 
+#include "nanocost/exec/parallel.hpp"
+#include "nanocost/exec/seed.hpp"
+
 namespace nanocost::fabsim {
+
+namespace {
+
+/// Wafers per parallel chunk.  The chunk grid is a function of the lot
+/// size only, never of the thread count.
+constexpr std::int64_t kWaferGrain = 4;
+
+/// Per-chunk simulation scratch: reused across the chunk's wafers so a
+/// lot run allocates O(chunks), not O(wafers).
+struct WaferScratch {
+  std::vector<defect::Defect> defects;
+  std::vector<std::int32_t> faults;
+  std::vector<std::int64_t> histogram = std::vector<std::int64_t>(4, 0);
+};
+
+}  // namespace
 
 DieKillModel::DieKillModel(defect::WireArray array, units::SquareCentimeters die_area)
     : array_(std::move(array)), die_area_(die_area) {
@@ -56,6 +76,82 @@ double DieKillModel::mean_faults_per_die(double defect_density_per_cm2,
   return defect_density_per_cm2 * die_area_.value() * expected_kill;
 }
 
+KillProbabilityLut::KillProbabilityLut(const DieKillModel& model, units::Micrometers xmin,
+                                       units::Micrometers xmax, int bins)
+    : model_(model) {
+  if (!(xmin.value() > 0.0 && xmin.value() < xmax.value())) {
+    throw std::invalid_argument("kill LUT needs 0 < xmin < xmax");
+  }
+  if (bins < 8) {
+    throw std::invalid_argument("kill LUT needs at least 8 bins");
+  }
+  log_xmin_ = std::log(xmin.value());
+  const double dlog = (std::log(xmax.value()) - log_xmin_) / bins;
+  inv_dlog_ = 1.0 / dlog;
+
+  node_x_.resize(static_cast<std::size_t>(bins) + 1);
+  node_p_.resize(node_x_.size());
+  for (int i = 0; i <= bins; ++i) {
+    // Pin the endpoints so range checks against node_x_ are exact.
+    const double x = i == 0      ? xmin.value()
+                     : i == bins ? xmax.value()
+                                 : std::exp(log_xmin_ + i * dlog);
+    node_x_[static_cast<std::size_t>(i)] = x;
+    node_p_[static_cast<std::size_t>(i)] = model_.kill_probability(units::Micrometers{x});
+  }
+
+  slope_.resize(static_cast<std::size_t>(bins));
+  interp_ok_.resize(static_cast<std::size_t>(bins));
+  for (int i = 0; i < bins; ++i) {
+    const double a = node_x_[static_cast<std::size_t>(i)];
+    const double b = node_x_[static_cast<std::size_t>(i) + 1];
+    const double pa = node_p_[static_cast<std::size_t>(i)];
+    const double pb = node_p_[static_cast<std::size_t>(i) + 1];
+    const double slope = (pb - pa) / (b - a);
+    slope_[static_cast<std::size_t>(i)] = slope;
+    // The kill probability is piecewise linear in size; a bin whose
+    // chord matches the model at three interior points contains no
+    // breakpoint and interpolates exactly.  Bins straddling a kink keep
+    // direct evaluation.
+    bool linear = true;
+    for (const double t : {0.25, 0.5, 0.75}) {
+      const double x = a + t * (b - a);
+      const double direct = model_.kill_probability(units::Micrometers{x});
+      const double interp = pa + slope * (x - a);
+      if (std::abs(direct - interp) > 1e-12 + 1e-9 * std::abs(direct)) {
+        linear = false;
+        break;
+      }
+    }
+    interp_ok_[static_cast<std::size_t>(i)] = linear ? 1 : 0;
+  }
+}
+
+double KillProbabilityLut::operator()(units::Micrometers size) const noexcept {
+  const double x = size.value();
+  if (!(x >= node_x_.front() && x <= node_x_.back())) {
+    return model_.kill_probability(size);
+  }
+  auto i = static_cast<std::int64_t>((std::log(x) - log_xmin_) * inv_dlog_);
+  const auto last = static_cast<std::int64_t>(slope_.size()) - 1;
+  i = std::clamp(i, std::int64_t{0}, last);
+  // Float rounding of the log can land one bin off; nudge to the bin
+  // actually bracketing x.
+  while (i > 0 && x < node_x_[static_cast<std::size_t>(i)]) --i;
+  while (i < last && x > node_x_[static_cast<std::size_t>(i) + 1]) ++i;
+  if (!interp_ok_[static_cast<std::size_t>(i)]) {
+    return model_.kill_probability(size);
+  }
+  return node_p_[static_cast<std::size_t>(i)] +
+         slope_[static_cast<std::size_t>(i)] * (x - node_x_[static_cast<std::size_t>(i)]);
+}
+
+int KillProbabilityLut::interpolated_bins() const noexcept {
+  int n = 0;
+  for (const std::uint8_t ok : interp_ok_) n += ok;
+  return n;
+}
+
 double LotResult::fault_mean() const noexcept {
   std::int64_t total = 0, weighted = 0;
   for (std::size_t k = 0; k < fault_histogram.size(); ++k) {
@@ -95,7 +191,8 @@ FabSimulator::FabSimulator(geometry::WaferSpec wafer, geometry::DieSize die,
                            defect::DefectFieldParams field,
                            defect::WireArray representative_pattern)
     : wafer_(wafer), die_(die), sizes_(sizes), field_params_(field), map_(wafer, die),
-      kill_(std::move(representative_pattern), die.area()) {
+      kill_(std::move(representative_pattern), die.area()),
+      lut_(kill_, sizes.xmin(), sizes.xmax()) {
   if (map_.die_count() == 0) {
     throw std::invalid_argument("die does not fit on the wafer");
   }
@@ -107,19 +204,20 @@ double FabSimulator::analytic_mean_faults() const {
 
 void FabSimulator::simulate_wafer(std::mt19937_64& rng, const defect::DefectField& field,
                                   WaferResult& result,
+                                  std::vector<defect::Defect>& defect_buffer,
                                   std::vector<std::int32_t>& faults_scratch,
                                   std::vector<std::int64_t>& histogram) const {
   faults_scratch.assign(static_cast<std::size_t>(map_.die_count()), 0);
-  const std::vector<defect::Defect> defects = field.sample_wafer(rng);
-  result.defects = static_cast<std::int64_t>(defects.size());
+  field.sample_wafer(rng, defect_buffer);
+  result.defects = static_cast<std::int64_t>(defect_buffer.size());
   result.gross_dies = map_.die_count();
 
   std::uniform_real_distribution<double> uni(0.0, 1.0);
-  for (const defect::Defect& d : defects) {
+  for (const defect::Defect& d : defect_buffer) {
     const std::int64_t site = map_.site_at(d.x, d.y);
     if (site < 0) continue;
     ++result.defects_on_dies;
-    if (uni(rng) < kill_.kill_probability(d.size)) {
+    if (uni(rng) < lut_(d.size)) {
       ++faults_scratch[static_cast<std::size_t>(site)];
     }
   }
@@ -138,59 +236,105 @@ std::vector<std::int32_t> FabSimulator::snapshot_faults(std::uint64_t seed) cons
   std::mt19937_64 rng(seed);
   const defect::DefectField field(wafer_, sizes_, field_params_);
   WaferResult wafer_result;
-  std::vector<std::int32_t> faults;
-  std::vector<std::int64_t> histogram(4, 0);
-  simulate_wafer(rng, field, wafer_result, faults, histogram);
-  return faults;
+  WaferScratch scratch;
+  simulate_wafer(rng, field, wafer_result, scratch.defects, scratch.faults,
+                 scratch.histogram);
+  return std::move(scratch.faults);
 }
 
-LotResult FabSimulator::run(std::int64_t n_wafers, std::uint64_t seed) const {
+namespace {
+
+/// Folds per-chunk histograms into the lot and totals up the wafers.
+void finalize_lot(LotResult& lot, std::vector<std::int64_t>&& histogram) {
+  if (histogram.size() > lot.fault_histogram.size()) {
+    lot.fault_histogram.resize(histogram.size(), 0);
+  }
+  for (std::size_t k = 0; k < histogram.size(); ++k) {
+    lot.fault_histogram[k] += histogram[k];
+  }
+}
+
+void total_up(LotResult& lot) {
+  for (const WaferResult& w : lot.wafers) {
+    lot.total_dies += w.gross_dies;
+    lot.good_dies += w.good_dies;
+  }
+}
+
+}  // namespace
+
+LotResult FabSimulator::run(std::int64_t n_wafers, std::uint64_t seed,
+                            exec::ThreadPool* pool) const {
   if (n_wafers < 1) {
     throw std::invalid_argument("lot needs at least one wafer");
   }
-  std::mt19937_64 rng(seed);
   const defect::DefectField field(wafer_, sizes_, field_params_);
 
   LotResult lot;
   lot.fault_histogram.assign(4, 0);
-  lot.wafers.reserve(static_cast<std::size_t>(n_wafers));
-  std::vector<std::int32_t> scratch;
-  for (std::int64_t i = 0; i < n_wafers; ++i) {
-    WaferResult w;
-    simulate_wafer(rng, field, w, scratch, lot.fault_histogram);
-    lot.total_dies += w.gross_dies;
-    lot.good_dies += w.good_dies;
-    lot.wafers.push_back(w);
-  }
+  lot.wafers.assign(static_cast<std::size_t>(n_wafers), WaferResult{});
+  exec::parallel_reduce(
+      pool, n_wafers, kWaferGrain, [] { return WaferScratch{}; },
+      [&](std::int64_t begin, std::int64_t end, WaferScratch& scratch) {
+        for (std::int64_t i = begin; i < end; ++i) {
+          std::mt19937_64 rng(
+              exec::SeedSequence::for_task(seed, static_cast<std::uint64_t>(i)));
+          simulate_wafer(rng, field, lot.wafers[static_cast<std::size_t>(i)],
+                         scratch.defects, scratch.faults, scratch.histogram);
+        }
+      },
+      [&](WaferScratch&& scratch) { finalize_lot(lot, std::move(scratch.histogram)); });
+  total_up(lot);
   return lot;
 }
 
 std::vector<LotResult> FabSimulator::run_ramp(const yield::LearningCurve& curve,
                                               std::int64_t total_wafers,
                                               std::int64_t checkpoint_wafers,
-                                              std::uint64_t seed) const {
+                                              std::uint64_t seed,
+                                              exec::ThreadPool* pool) const {
   if (total_wafers < 1 || checkpoint_wafers < 1) {
     throw std::invalid_argument("ramp needs positive wafer counts");
   }
-  std::mt19937_64 rng(seed);
+  // Per-chunk scratch carries the last defect field so consecutive
+  // wafers at an (effectively) unchanged learning-curve density reuse
+  // it instead of rebuilding the field per wafer.
+  struct RampScratch {
+    WaferScratch wafer;
+    std::optional<defect::DefectField> field;
+    double density = -1.0;
+  };
+
   std::vector<LotResult> checkpoints;
-  std::vector<std::int32_t> scratch;
   std::int64_t done = 0;
   while (done < total_wafers) {
     const std::int64_t batch = std::min(checkpoint_wafers, total_wafers - done);
     LotResult lot;
     lot.fault_histogram.assign(4, 0);
-    lot.wafers.reserve(static_cast<std::size_t>(batch));
-    for (std::int64_t i = 0; i < batch; ++i) {
-      defect::DefectFieldParams params = field_params_;
-      params.density_per_cm2 = curve.density_at(static_cast<double>(done + i));
-      const defect::DefectField field(wafer_, sizes_, params);
-      WaferResult w;
-      simulate_wafer(rng, field, w, scratch, lot.fault_histogram);
-      lot.total_dies += w.gross_dies;
-      lot.good_dies += w.good_dies;
-      lot.wafers.push_back(w);
-    }
+    lot.wafers.assign(static_cast<std::size_t>(batch), WaferResult{});
+    exec::parallel_reduce(
+        pool, batch, kWaferGrain, [] { return RampScratch{}; },
+        [&](std::int64_t begin, std::int64_t end, RampScratch& scratch) {
+          for (std::int64_t i = begin; i < end; ++i) {
+            const std::int64_t global = done + i;  // cross-checkpoint wafer index
+            const double density = curve.density_at(static_cast<double>(global));
+            if (!scratch.field || density != scratch.density) {
+              defect::DefectFieldParams params = field_params_;
+              params.density_per_cm2 = density;
+              scratch.field.emplace(wafer_, sizes_, params);
+              scratch.density = density;
+            }
+            std::mt19937_64 rng(
+                exec::SeedSequence::for_task(seed, static_cast<std::uint64_t>(global)));
+            simulate_wafer(rng, *scratch.field, lot.wafers[static_cast<std::size_t>(i)],
+                           scratch.wafer.defects, scratch.wafer.faults,
+                           scratch.wafer.histogram);
+          }
+        },
+        [&](RampScratch&& scratch) {
+          finalize_lot(lot, std::move(scratch.wafer.histogram));
+        });
+    total_up(lot);
     checkpoints.push_back(std::move(lot));
     done += batch;
   }

@@ -3,11 +3,14 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "nanocost/exec/parallel.hpp"
+
 namespace nanocost::regularity {
 
 std::vector<WindowSweepPoint> sweep_windows(const layout::Cell& top,
                                             layout::Coord min_window, int steps,
-                                            bool orientation_invariant) {
+                                            bool orientation_invariant,
+                                            exec::ThreadPool* pool) {
   if (min_window <= 0 || steps < 1) {
     throw std::invalid_argument("window sweep needs min_window > 0 and steps >= 1");
   }
@@ -17,20 +20,29 @@ std::vector<WindowSweepPoint> sweep_windows(const layout::Cell& top,
   layout::for_each_flat_rect(top, layout::Transform{},
                              [&](const layout::Rect& r) { rects.push_back(r); });
 
-  std::vector<WindowSweepPoint> out;
+  std::vector<layout::Coord> windows(static_cast<std::size_t>(steps));
   layout::Coord window = min_window;
   for (int i = 0; i < steps; ++i, window *= 2) {
-    ExtractorParams params;
-    params.window = window;
-    params.orientation_invariant = orientation_invariant;
-    const RegularityReport report = extract_patterns(rects, params);
-    WindowSweepPoint point;
-    point.window = window;
-    point.total_windows = report.total_windows;
-    point.unique_patterns = report.unique_patterns;
-    point.regularity_index = report.regularity_index();
-    out.push_back(point);
+    windows[static_cast<std::size_t>(i)] = window;
   }
+
+  // One extraction per ladder rung; rungs are independent and the
+  // extractor is pure over (rects, params).
+  std::vector<WindowSweepPoint> out(windows.size());
+  exec::parallel_for(pool, steps, 1, [&](std::int64_t begin, std::int64_t end) {
+    for (std::int64_t i = begin; i < end; ++i) {
+      ExtractorParams params;
+      params.window = windows[static_cast<std::size_t>(i)];
+      params.orientation_invariant = orientation_invariant;
+      const RegularityReport report = extract_patterns(rects, params);
+      WindowSweepPoint point;
+      point.window = params.window;
+      point.total_windows = report.total_windows;
+      point.unique_patterns = report.unique_patterns;
+      point.regularity_index = report.regularity_index();
+      out[static_cast<std::size_t>(i)] = point;
+    }
+  });
   return out;
 }
 

@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "nanocost/exec/parallel.hpp"
+#include "nanocost/exec/seed.hpp"
+#include "nanocost/exec/thread_pool.hpp"
+
+namespace nanocost::exec {
+namespace {
+
+TEST(SeedSequence, IsDeterministic) {
+  EXPECT_EQ(SeedSequence::for_task(42, 0), SeedSequence::for_task(42, 0));
+  EXPECT_EQ(SeedSequence{42}.derive(17), SeedSequence::for_task(42, 17));
+}
+
+TEST(SeedSequence, NearbyTasksAndBasesGetDistinctSeeds) {
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t base : {0ULL, 1ULL, 42ULL, 0xFFFFFFFFFFFFFFFFULL}) {
+    for (std::uint64_t task = 0; task < 1000; ++task) {
+      seen.insert(SeedSequence::for_task(base, task));
+    }
+  }
+  EXPECT_EQ(seen.size(), 4u * 1000u);
+}
+
+TEST(SeedSequence, MatchesSplitmix64Stream) {
+  // for_task(base, i) is random access into the splitmix64 stream.
+  constexpr std::uint64_t kGamma = 0x9E3779B97F4A7C15ULL;
+  std::uint64_t state = 123;
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    state += kGamma;
+    EXPECT_EQ(SeedSequence::for_task(123, i), splitmix64(state));
+  }
+}
+
+TEST(ThreadPool, DefaultThreadCountIsPositive) {
+  EXPECT_GE(ThreadPool::default_thread_count(), 1);
+  EXPECT_GE(ThreadPool::global().thread_count(), 1);
+}
+
+TEST(ThreadPool, RunsEveryTaskExactlyOnce) {
+  for (const int threads : {1, 2, 8}) {
+    ThreadPool pool(threads);
+    EXPECT_EQ(pool.thread_count(), threads);
+    const std::int64_t n = 1000;
+    std::vector<std::atomic<int>> hits(n);
+    pool.run_tasks(n, [&](std::int64_t i) { hits[static_cast<std::size_t>(i)]++; });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ThreadPool, ZeroTasksIsANoop) {
+  ThreadPool pool(2);
+  pool.run_tasks(0, [](std::int64_t) { FAIL() << "task ran"; });
+}
+
+TEST(ThreadPool, PropagatesTaskExceptions) {
+  for (const int threads : {1, 4}) {
+    ThreadPool pool(threads);
+    EXPECT_THROW(pool.run_tasks(64,
+                                [](std::int64_t i) {
+                                  if (i == 13) throw std::runtime_error("boom");
+                                }),
+                 std::runtime_error);
+  }
+}
+
+TEST(ThreadPool, NestedRegionsRunInline) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(64);
+  pool.run_tasks(8, [&](std::int64_t outer) {
+    // Nested parallel region on the same pool must not deadlock.
+    pool.run_tasks(8, [&](std::int64_t inner) {
+      hits[static_cast<std::size_t>(outer * 8 + inner)]++;
+    });
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, CoversTheRangeInChunks) {
+  for (const int threads : {1, 3}) {
+    ThreadPool pool(threads);
+    const std::int64_t n = 1037;
+    std::vector<std::atomic<int>> hits(n);
+    parallel_for(&pool, n, 64, [&](std::int64_t begin, std::int64_t end) {
+      ASSERT_LT(begin, end);
+      ASSERT_LE(end - begin, 64);
+      for (std::int64_t i = begin; i < end; ++i) hits[static_cast<std::size_t>(i)]++;
+    });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ParallelFor, ValidatesGrain) {
+  ThreadPool pool(2);
+  EXPECT_THROW(parallel_for(&pool, 10, 0, [](std::int64_t, std::int64_t) {}),
+               std::invalid_argument);
+}
+
+TEST(ParallelReduce, MergesInChunkOrderForAnyThreadCount) {
+  // The merge sequence must be the ascending chunk order, regardless of
+  // which threads ran the chunks.
+  const std::int64_t n = 999;
+  const std::int64_t grain = 10;
+  for (const int threads : {1, 2, 8}) {
+    ThreadPool pool(threads);
+    std::vector<std::int64_t> merge_order;
+    parallel_reduce(
+        &pool, n, grain, [] { return std::int64_t{-1}; },
+        [&](std::int64_t begin, std::int64_t, std::int64_t& chunk_id) {
+          chunk_id = begin / grain;
+        },
+        [&](std::int64_t chunk_id) { merge_order.push_back(chunk_id); });
+    ASSERT_EQ(merge_order.size(), static_cast<std::size_t>(chunk_count(n, grain)));
+    for (std::size_t c = 0; c < merge_order.size(); ++c) {
+      EXPECT_EQ(merge_order[c], static_cast<std::int64_t>(c));
+    }
+  }
+}
+
+TEST(ParallelReduce, SumsMatchSerial) {
+  const std::int64_t n = 12345;
+  std::int64_t expected = 0;
+  for (std::int64_t i = 0; i < n; ++i) expected += i * i;
+  for (const int threads : {1, 2, 8}) {
+    ThreadPool pool(threads);
+    std::int64_t total = 0;
+    parallel_reduce(
+        &pool, n, 100, [] { return std::int64_t{0}; },
+        [](std::int64_t begin, std::int64_t end, std::int64_t& acc) {
+          for (std::int64_t i = begin; i < end; ++i) acc += i * i;
+        },
+        [&](std::int64_t acc) { total += acc; });
+    EXPECT_EQ(total, expected);
+  }
+}
+
+TEST(ChunkCount, RoundsUp) {
+  EXPECT_EQ(chunk_count(0, 4), 0);
+  EXPECT_EQ(chunk_count(1, 4), 1);
+  EXPECT_EQ(chunk_count(4, 4), 1);
+  EXPECT_EQ(chunk_count(5, 4), 2);
+  EXPECT_EQ(chunk_count(1000, 1), 1000);
+}
+
+}  // namespace
+}  // namespace nanocost::exec
