@@ -241,6 +241,16 @@ std::vector<int> bench_thread_counts() {
   return counts;
 }
 
+/// Times serial `work()` (no thread ladder) and appends one case.
+template <typename Work>
+void run_serial(const std::string& name, std::vector<TimedCase>& cases, Work&& work) {
+  TimedCase c;
+  c.name = name;
+  c.ns_per_op = time_ns(work, 3);
+  cases.push_back(c);
+  std::printf("  %-24s threads=%-3d  %12.0f ns/op\n", name.c_str(), c.threads, c.ns_per_op);
+}
+
 /// Times `work(pool)` across the thread ladder and appends one case per
 /// thread count, with speedup relative to the 1-thread run.
 template <typename Work>
@@ -277,13 +287,43 @@ void write_bench_json() {
     benchmark::DoNotOptimize(core::robust_sd(inputs, 0.9, 120.0, 1500.0, 24, 2000, 1, &pool));
   });
 
+  // Physical-design kernels: multi-start placement across the ladder,
+  // then the serial incremental router and STA.
+  netlist::GeneratorParams gen;
+  gen.gate_count = 500;
+  gen.locality = 0.4;
+  const netlist::Netlist place_nl = netlist::generate_random_logic(gen);
+  run_ladder("anneal_place_500", cases, [&](exec::ThreadPool& pool) {
+    benchmark::DoNotOptimize(place::anneal_place_multistart(place_nl, 25, 35, 4, {}, &pool));
+  });
+
+  gen.gate_count = 1000;
+  const netlist::Netlist route_nl = netlist::generate_random_logic(gen);
+  const place::PlaceResult routed_place = place::anneal_place(route_nl, 20, 60, {});
+  run_serial("global_route", cases, [&] {
+    benchmark::DoNotOptimize(route::route(route_nl, routed_place.placement));
+  });
+
+  gen.gate_count = 2000;
+  const netlist::Netlist sta_nl = netlist::generate_random_logic(gen);
+  const place::PlaceResult sta_place = place::anneal_place(sta_nl, 25, 96, {});
+  timing::TimingAnalyzer sta(sta_nl);
+  run_serial("sta_post_place", cases, [&] {
+    benchmark::DoNotOptimize(sta.analyze_placed(sta_place.placement));
+  });
+
   std::FILE* f = std::fopen("BENCH_perf.json", "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot write BENCH_perf.json\n");
     return;
   }
-  std::fprintf(f, "{\n  \"hardware_concurrency\": %d,\n  \"cases\": [\n",
-               exec::ThreadPool::default_thread_count());
+  // On a 1-core machine every thread count degenerates to serial
+  // execution, so the speedup columns carry no information.
+  std::fprintf(f, "{\n  \"hardware_concurrency\": %d,\n", exec::ThreadPool::default_thread_count());
+  if (exec::ThreadPool::default_thread_count() == 1) {
+    std::fprintf(f, "  \"meaningless_speedup\": true,\n");
+  }
+  std::fprintf(f, "  \"cases\": [\n");
   for (std::size_t i = 0; i < cases.size(); ++i) {
     std::fprintf(f,
                  "    {\"name\": \"%s\", \"threads\": %d, \"ns_per_op\": %.0f, "

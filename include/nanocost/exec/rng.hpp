@@ -1,0 +1,103 @@
+// In-repo uniform random draws with a standard-library-independent stream.
+//
+// std::uniform_int_distribution and std::uniform_real_distribution are
+// implementation-defined: libstdc++ and libc++ consume the engine
+// differently and return different values from the same seed, so any
+// result produced through them is only reproducible on one standard
+// library.  Every nanocost kernel that promises a deterministic stream
+// (the placer, multi-start seeds) draws through these helpers instead:
+// a splitmix64 engine plus Lemire's debiased multiply-shift bounded
+// draw and a 53-bit mantissa unit-interval draw, all fully specified
+// here.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "nanocost/exec/seed.hpp"
+
+namespace nanocost::exec {
+
+/// splitmix64 engine (Steele, Lea, Flood 2014): a Weyl sequence through
+/// the splitmix64 output function.  Satisfies UniformRandomBitGenerator.
+class SplitMix64 final {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  constexpr std::uint64_t next() noexcept {
+    state_ += 0x9E3779B97F4A7C15ULL;  // golden-ratio increment
+    return splitmix64(state_);
+  }
+  constexpr std::uint64_t operator()() noexcept { return next(); }
+
+  [[nodiscard]] static constexpr std::uint64_t min() noexcept { return 0; }
+  [[nodiscard]] static constexpr std::uint64_t max() noexcept {
+    return std::numeric_limits<std::uint64_t>::max();
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+namespace detail {
+
+/// Lemire's multiply-shift applied to the 32-bit word `x`, drawing
+/// fresh words from `rng` in the (probability < n / 2^32) rejection
+/// case.  Factored out so one engine output can seed several draws.
+[[nodiscard]] inline std::uint32_t lemire_bounded(SplitMix64& rng, std::uint32_t x,
+                                                  std::uint32_t n) {
+  std::uint64_t m = static_cast<std::uint64_t>(x) * n;
+  auto low = static_cast<std::uint32_t>(m);
+  if (low < n) {
+    const std::uint32_t threshold = (0u - n) % n;
+    while (low < threshold) {
+      x = static_cast<std::uint32_t>(rng.next() >> 32);
+      m = static_cast<std::uint64_t>(x) * n;
+      low = static_cast<std::uint32_t>(m);
+    }
+  }
+  return static_cast<std::uint32_t>(m >> 32);
+}
+
+}  // namespace detail
+
+/// Uniform draw in [0, n) for n >= 1: Lemire's multiply-shift with
+/// rejection of the biased low fraction (Lemire 2019, "Fast Random
+/// Integer Generation in an Interval").  Exactly uniform; the rejection
+/// loop runs with probability < n / 2^32 per draw.
+[[nodiscard]] inline std::uint32_t bounded_u32(SplitMix64& rng, std::uint32_t n) {
+  return detail::lemire_bounded(rng, static_cast<std::uint32_t>(rng.next() >> 32), n);
+}
+
+/// Uniform draw in [0, n) as a signed 32-bit index (n >= 1).
+[[nodiscard]] inline std::int32_t bounded_i32(SplitMix64& rng, std::int32_t n) {
+  return static_cast<std::int32_t>(bounded_u32(rng, static_cast<std::uint32_t>(n)));
+}
+
+/// Two uniform draws -- first in [0, n0), second in [0, n1) -- paying
+/// for one engine output: the high and low halves each go through the
+/// debiased multiply-shift above (rejections, essentially never taken,
+/// fall back to fresh outputs), so both draws stay exactly uniform.
+/// The placer's gate+site pick is the intended caller: it halves the
+/// inner loop's engine cost.
+struct I32Pair final {
+  std::int32_t first = 0, second = 0;
+};
+[[nodiscard]] inline I32Pair bounded_i32_pair(SplitMix64& rng, std::int32_t n0, std::int32_t n1) {
+  const std::uint64_t bits = rng.next();
+  const auto a = detail::lemire_bounded(rng, static_cast<std::uint32_t>(bits >> 32),
+                                        static_cast<std::uint32_t>(n0));
+  const auto b = detail::lemire_bounded(rng, static_cast<std::uint32_t>(bits),
+                                        static_cast<std::uint32_t>(n1));
+  return I32Pair{static_cast<std::int32_t>(a), static_cast<std::int32_t>(b)};
+}
+
+/// Uniform double in [0, 1): the top 53 bits of one engine output
+/// scaled by 2^-53 (every representable value equally likely).
+[[nodiscard]] inline double uniform_unit(SplitMix64& rng) {
+  return static_cast<double>(rng.next() >> 11) * 0x1.0p-53;
+}
+
+}  // namespace nanocost::exec

@@ -1,0 +1,327 @@
+// Incremental per-net bounding-box cache for the annealing placer.
+//
+// The placer's inner loop needs the weighted-HPWL delta of a swap.
+// Recomputing each affected net's bounding box from its pins through
+// the placement (site -> row/col division per pin) makes a move cost
+// O(sum of affected-net pin counts) twice per move; this cache keeps
+// every gate's coordinates and every net's box extremes plus the
+// number of pins sitting on each extreme, so a proposed swap is
+// evaluated in O(1) per affected net in the common case: removing the
+// moved pin cannot shrink an extreme it does not sit on (or one still
+// held by other pins), so the new value is the surviving extremes
+// stretched to the destination.  Only a pin that is the last on one
+// of its extremes triggers a rescan of the net's cached coordinates
+// (recompute-on-shrink), and 2-pin nets -- the bulk of real netlists
+// -- bypass the box entirely.  Rejection, the overwhelmingly common
+// annealing outcome, costs a coordinate restore and nothing else; all
+// box/value writes happen on commit.
+//
+// Invariant (cross-checked by place_incremental_test and, when the
+// NANOCOST_PLACE_CHECK environment variable is set, by the placer
+// itself every N moves): after any sequence of committed swaps, the
+// cached boxes equal the boxes recomputed from scratch, and resum()
+// equals total_weighted_hpwl of the tracked placement bit-for-bit.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#if defined(__SSE2__) || defined(_M_X64)
+#include <emmintrin.h>
+#define NANOCOST_HPWL_SSE2 1
+#endif
+
+#include "nanocost/netlist/netlist.hpp"
+#include "nanocost/place/placer.hpp"
+
+namespace nanocost::place {
+
+/// Tracks per-net half-perimeter boxes under gate moves.
+class HpwlCache final {
+ public:
+  /// Snapshots `placement`'s coordinates; `net_weights` may be null
+  /// (all nets weigh 1) and is indexed by net id with missing entries
+  /// defaulting to 1, matching total_weighted_hpwl.
+  HpwlCache(const netlist::Netlist& netlist, const Placement& placement,
+            double row_weight = 2.0, const std::vector<double>* net_weights = nullptr);
+
+  /// Running weighted-HPWL total over committed swaps.  Subject to
+  /// floating-point drift over many commits; resync with resum().
+  [[nodiscard]] double total() const noexcept { return total_; }
+
+  /// Exact weighted HPWL re-summed from the cached integer boxes in
+  /// net order: O(nets), drift-free, bitwise-equal to
+  /// total_weighted_hpwl of the tracked placement.
+  [[nodiscard]] double resum() const;
+
+  /// Proposes moving `gate` to (row, col), with `other_gate` (>= 0 for
+  /// a swap, -1 for a move to an empty site) taking gate's old
+  /// position.  Returns the weighted-HPWL delta and leaves the
+  /// proposal pending: follow with commit() to adopt it or discard()
+  /// to drop it.  At most one proposal may be pending.  Defined inline
+  /// below: this and discard() are the annealer's per-move costs.
+  double peek_swap(std::int32_t gate, std::int32_t row, std::int32_t col,
+                   std::int32_t other_gate);
+
+  /// Adopts the pending proposal (boxes and running total).
+  void commit() {
+    // Rebuild every affected net's box from the (already moved)
+    // coordinates.  A net shared by both gates is scanned twice, which
+    // is idempotent; commits are the rare annealing outcome, so the
+    // *peek* path stays write-free and all bookkeeping lands here.
+    refresh_nets_of(pending_gate_);
+    if (pending_other_ >= 0) refresh_nets_of(pending_other_);
+    total_ += pending_delta_;
+    pending_gate_ = -1;
+  }
+
+  /// Drops the pending proposal (restores the moved coordinates).
+  void discard() {
+    const auto ga = static_cast<std::size_t>(pending_gate_);
+    if (pending_other_ >= 0) {
+      // The partner returns to the proposal site, i.e. gate's current spot.
+      pos_[static_cast<std::size_t>(pending_other_)] = pos_[ga];
+    }
+    pos_[ga] = Pos{static_cast<float>(pending_old_c_), static_cast<float>(pending_old_r_)};
+    pending_gate_ = -1;
+  }
+
+  /// peek_swap + commit in one call.  Calling again with the original
+  /// position reverts, and the returned delta is the exact negation.
+  double apply_swap(std::int32_t gate, std::int32_t row, std::int32_t col,
+                    std::int32_t other_gate) {
+    const double delta = peek_swap(gate, row, col, other_gate);
+    commit();
+    return delta;
+  }
+
+  [[nodiscard]] std::int32_t row_of(std::int32_t gate) const {
+    return static_cast<std::int32_t>(pos_[static_cast<std::size_t>(gate)].r);
+  }
+  [[nodiscard]] std::int32_t col_of(std::int32_t gate) const {
+    return static_cast<std::int32_t>(pos_[static_cast<std::size_t>(gate)].c);
+  }
+  /// Cached HPWL of one net (unweighted).
+  [[nodiscard]] double net_hpwl(std::int32_t net) const;
+
+ private:
+  // Gate coordinates as a float pair: column and row are tiny integers
+  // (exact in float far beyond any realistic grid, < 2^24), and packing
+  // them into the two low lanes of an SSE register lets scan_value()
+  // min/max both axes at once with SSE2's minps/maxps -- there is no
+  // SSE2 *integer* 32-bit min/max.  Aligned to 8 so a pair loads as one
+  // 64-bit lane.
+  struct alignas(8) Pos {
+    float c = 0.0F, r = 0.0F;
+  };
+  struct Box {
+    std::int32_t min_c = 0, max_c = 0, min_r = 0, max_r = 0;
+    std::int32_t cnt_min_c = 0, cnt_max_c = 0, cnt_min_r = 0, cnt_max_r = 0;
+  };
+
+  /// Pin count at or below which a net's value is always rescanned from
+  /// its cached coordinates instead of going through the committed box:
+  /// at a handful of pins the register min/max scan is cheaper than the
+  /// box load and extreme tests.
+  static constexpr std::int32_t kSmallNetPins = 8;
+
+  [[nodiscard]] Box scan_box(std::int32_t net) const;
+  [[nodiscard]] double scan_value(std::int32_t net) const;
+  [[nodiscard]] double box_value(const Box& box) const {
+    return static_cast<double>(box.max_c - box.min_c) +
+           row_weight_ * static_cast<double>(box.max_r - box.min_r);
+  }
+  void refresh_nets_of(std::int32_t gate);
+
+  double row_weight_;
+  // Gate coordinates (the cache's own copy of the placement), packed
+  // so a pin visit touches one cache line, not two.
+  std::vector<Pos> pos_;
+  // CSR gate -> (net, pin multiplicity in that net).
+  std::vector<std::int32_t> gate_net_offset_;
+  std::vector<std::int32_t> gate_net_id_;
+  std::vector<std::int32_t> gate_net_mult_;
+  // CSR net -> gate pin occurrences (driver + sinks).
+  std::vector<std::int32_t> net_pin_offset_;
+  std::vector<std::int32_t> net_pin_gate_;
+  std::vector<Box> box_;
+  // box_value of the committed box, kept in lockstep so the delta loop
+  // never recomputes the "old" side.
+  std::vector<double> value_;
+  std::vector<double> weight_;
+  double total_ = 0.0;
+  // Pending-proposal state: evaluation writes nothing but the moved
+  // coordinates, so this is all a discard has to undo.
+  double pending_delta_ = 0.0;
+  std::int32_t pending_gate_ = -1;
+  std::int32_t pending_other_ = -1;
+  std::int32_t pending_old_r_ = 0;
+  std::int32_t pending_old_c_ = 0;
+};
+
+inline double HpwlCache::scan_value(std::int32_t net) const {
+  const auto n = static_cast<std::size_t>(net);
+  const std::int32_t begin = net_pin_offset_[n];
+  const std::int32_t end = net_pin_offset_[n + 1];
+  if (begin == end) return 0.0;
+  // Clamped 4-pin unroll: nets of up to 4 pins (the bulk of real
+  // netlists) take a branchless fixed-shape path; re-reading the last
+  // pin for the padding lanes cannot change a min/max.
+  const std::int32_t last = end - 1;
+#if defined(NANOCOST_HPWL_SSE2)
+  // Each Pos is one 64-bit (c, r) float lane; pairing two pins per
+  // register, minps/maxps reduce both axes of four pins in two ops.
+  // Coordinates are small integers, so the float arithmetic (and the
+  // final widening to double) is exact: bitwise-identical to the
+  // scalar path below.
+  const auto pin_pd = [&](std::int32_t i) {
+    return reinterpret_cast<const double*>(
+        &pos_[static_cast<std::size_t>(net_pin_gate_[static_cast<std::size_t>(std::min(i, last))])]);
+  };
+  const __m128 v01 =
+      _mm_castpd_ps(_mm_loadh_pd(_mm_load_sd(pin_pd(begin)), pin_pd(begin + 1)));
+  const __m128 v23 =
+      _mm_castpd_ps(_mm_loadh_pd(_mm_load_sd(pin_pd(begin + 2)), pin_pd(begin + 3)));
+  __m128 mn = _mm_min_ps(v01, v23);
+  __m128 mx = _mm_max_ps(v01, v23);
+  for (std::int32_t i = begin + 4; i < end; ++i) {
+    const __m128 p = _mm_castpd_ps(_mm_load_sd(reinterpret_cast<const double*>(
+        &pos_[static_cast<std::size_t>(net_pin_gate_[static_cast<std::size_t>(i)])])));
+    const __m128 pp = _mm_movelh_ps(p, p);
+    mn = _mm_min_ps(mn, pp);
+    mx = _mm_max_ps(mx, pp);
+  }
+  mn = _mm_min_ps(mn, _mm_movehl_ps(mn, mn));
+  mx = _mm_max_ps(mx, _mm_movehl_ps(mx, mx));
+  const __m128d d = _mm_cvtps_pd(_mm_sub_ps(mx, mn));  // [span_c, span_r]
+  return _mm_cvtsd_f64(d) + row_weight_ * _mm_cvtsd_f64(_mm_unpackhi_pd(d, d));
+#else
+  const auto pin = [&](std::int32_t i) {
+    return pos_[static_cast<std::size_t>(net_pin_gate_[static_cast<std::size_t>(std::min(i, last))])];
+  };
+  const Pos p0 = pin(begin);
+  const Pos p1 = pin(begin + 1);
+  const Pos p2 = pin(begin + 2);
+  const Pos p3 = pin(begin + 3);
+  float min_c = std::min(std::min(p0.c, p1.c), std::min(p2.c, p3.c));
+  float max_c = std::max(std::max(p0.c, p1.c), std::max(p2.c, p3.c));
+  float min_r = std::min(std::min(p0.r, p1.r), std::min(p2.r, p3.r));
+  float max_r = std::max(std::max(p0.r, p1.r), std::max(p2.r, p3.r));
+  for (std::int32_t i = begin + 4; i < end; ++i) {
+    const Pos p = pos_[static_cast<std::size_t>(net_pin_gate_[static_cast<std::size_t>(i)])];
+    min_c = std::min(min_c, p.c);
+    max_c = std::max(max_c, p.c);
+    min_r = std::min(min_r, p.r);
+    max_r = std::max(max_r, p.r);
+  }
+  return static_cast<double>(max_c - min_c) + row_weight_ * static_cast<double>(max_r - min_r);
+#endif
+}
+
+inline double HpwlCache::peek_swap(std::int32_t gate, std::int32_t row, std::int32_t col,
+                                   std::int32_t other_gate) {
+  const auto ga = static_cast<std::size_t>(gate);
+  const Pos old_pos = pos_[ga];
+  const auto old_r = static_cast<std::int32_t>(old_pos.r);
+  const auto old_c = static_cast<std::int32_t>(old_pos.c);
+  pending_gate_ = gate;
+  pending_other_ = other_gate;
+  pending_old_r_ = old_r;
+  pending_old_c_ = old_c;
+
+  // Move the coordinates up front: value scans read them directly.
+  pos_[ga] = Pos{static_cast<float>(col), static_cast<float>(row)};
+  if (other_gate >= 0) {
+    pos_[static_cast<std::size_t>(other_gate)] = old_pos;
+  }
+
+  // Each affected net's new value: small nets (the bulk of real
+  // netlists) are min/max-scanned from their cached pin coordinates in
+  // registers -- all pins of one net are contiguous in the CSR, and at
+  // a handful of pins a scan beats any bookkeeping.  High-fanout nets
+  // go O(1) through their committed box: removing the moved pin
+  // cannot shrink an extreme it does not sit on (or one still held by
+  // other pins, per the extreme counts), so the new value is the
+  // surviving extremes stretched to the destination; only a pin that
+  // is the last on one of its extremes forces a rescan
+  // (recompute-on-shrink).  The old value is the cached value_[n].
+  // Nothing is written on the peek path.
+  const auto eval_moved = [&](std::size_t n, std::int32_t fc, std::int32_t fr, std::int32_t tc,
+                              std::int32_t tr, std::int32_t mult) -> double {
+    if (net_pin_offset_[n + 1] - net_pin_offset_[n] <= kSmallNetPins) {
+      return scan_value(static_cast<std::int32_t>(n));
+    }
+    const Box& box = box_[n];
+    if ((fc == box.min_c && box.cnt_min_c == mult) ||
+        (fc == box.max_c && box.cnt_max_c == mult) ||
+        (fr == box.min_r && box.cnt_min_r == mult) ||
+        (fr == box.max_r && box.cnt_max_r == mult)) {
+      return scan_value(static_cast<std::int32_t>(n));
+    }
+    const std::int32_t min_c = std::min(box.min_c, tc);
+    const std::int32_t max_c = std::max(box.max_c, tc);
+    const std::int32_t min_r = std::min(box.min_r, tr);
+    const std::int32_t max_r = std::max(box.max_r, tr);
+    return static_cast<double>(max_c - min_c) + row_weight_ * static_cast<double>(max_r - min_r);
+  };
+
+  double delta = 0.0;
+  const auto gi = static_cast<std::size_t>(gate);
+  const std::int32_t gb = gate_net_offset_[gi];
+  const std::int32_t ge = gate_net_offset_[gi + 1];
+
+  if (other_gate < 0) {
+    // Move to an empty site: one gate, distinct nets, no dedup needed.
+    for (std::int32_t i = gb; i < ge; ++i) {
+      const auto n = static_cast<std::size_t>(gate_net_id_[static_cast<std::size_t>(i)]);
+      const double change = eval_moved(n, old_c, old_r, col, row,
+                                       gate_net_mult_[static_cast<std::size_t>(i)]) -
+                            value_[n];
+      // Unit weights multiply by exactly 1.0, so one unconditional
+      // multiply is branchless and bitwise-identical either way.
+      delta += weight_[n] * change;
+    }
+  } else {
+    // Swap: each gate's net list is ascending (built in net order), so
+    // a two-pointer merge visits every affected net once and catches
+    // nets shared by both gates (counted once, scanned with both
+    // coordinates already in place) without any marking state.
+    const auto oi = static_cast<std::size_t>(other_gate);
+    const std::int32_t ob = gate_net_offset_[oi];
+    const std::int32_t oe = gate_net_offset_[oi + 1];
+    std::int32_t i = gb;
+    std::int32_t j = ob;
+    constexpr std::int32_t kEnd = std::numeric_limits<std::int32_t>::max();
+    while (i < ge || j < oe) {
+      const std::int32_t ni = i < ge ? gate_net_id_[static_cast<std::size_t>(i)] : kEnd;
+      const std::int32_t nj = j < oe ? gate_net_id_[static_cast<std::size_t>(j)] : kEnd;
+      double value;
+      std::size_t n;
+      if (ni < nj) {
+        n = static_cast<std::size_t>(ni);
+        value = eval_moved(n, old_c, old_r, col, row,
+                           gate_net_mult_[static_cast<std::size_t>(i)]);
+        ++i;
+      } else if (nj < ni) {
+        n = static_cast<std::size_t>(nj);
+        value = eval_moved(n, col, row, old_c, old_r,
+                           gate_net_mult_[static_cast<std::size_t>(j)]);
+        ++j;
+      } else {
+        n = static_cast<std::size_t>(ni);
+        value = scan_value(ni);
+        ++i;
+        ++j;
+      }
+      const double change = value - value_[n];
+      delta += weight_[n] * change;
+    }
+  }
+
+  pending_delta_ = delta;
+  return delta;
+}
+
+}  // namespace nanocost::place

@@ -11,6 +11,10 @@
 
 #include "nanocost/netlist/netlist.hpp"
 
+namespace nanocost::exec {
+class ThreadPool;
+}
+
 namespace nanocost::place {
 
 /// A legal placement: every gate assigned to a distinct site on a
@@ -77,9 +81,34 @@ struct PlaceResult final {
   std::int64_t moves_accepted = 0;
 };
 
-/// Anneals from the ordered placement.
+/// Anneals from the ordered placement.  The inner loop keeps
+/// incremental per-net bounding-box caches (see hpwl_cache.hpp), so a
+/// move's delta-HPWL costs O(affected nets) with an O(1) per-net
+/// common case; setting the NANOCOST_PLACE_CHECK environment variable
+/// to a move interval N cross-validates the cache against a full
+/// recomputation every N moves (throws std::logic_error on mismatch).
 [[nodiscard]] PlaceResult anneal_place(const netlist::Netlist& netlist, std::int32_t rows,
                                        std::int32_t cols, const AnnealParams& params = {});
+
+/// Result of a multi-start annealing run.
+struct MultistartResult final {
+  PlaceResult best;                ///< the winning start's result
+  std::int32_t best_start = 0;     ///< index of the winning start
+  std::int32_t starts = 0;         ///< number of independent starts
+  std::vector<double> start_hpwls; ///< final HPWL of every start
+};
+
+/// Deterministic parallel multi-start annealing: `starts` independent
+/// anneals fan out across `pool` (null = global pool), start i seeded
+/// with SeedSequence::for_task(params.seed, i); start 0 anneals from
+/// the ordered placement, the rest from seed-derived random
+/// placements.  The winner minimizes (final_hpwl, start index), so the
+/// result is bitwise-identical for any thread count.
+[[nodiscard]] MultistartResult anneal_place_multistart(const netlist::Netlist& netlist,
+                                                       std::int32_t rows, std::int32_t cols,
+                                                       std::int32_t starts,
+                                                       const AnnealParams& params = {},
+                                                       exec::ThreadPool* pool = nullptr);
 
 /// Net-weighted HPWL: sum of per-net HPWL times weight (weights indexed
 /// by net id; missing entries default to 1).  Weighting critical nets

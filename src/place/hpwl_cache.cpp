@@ -1,0 +1,155 @@
+#include "nanocost/place/hpwl_cache.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <limits>
+
+namespace nanocost::place {
+
+using netlist::Net;
+using netlist::Netlist;
+
+HpwlCache::HpwlCache(const Netlist& netlist, const Placement& placement, double row_weight,
+                     const std::vector<double>* net_weights)
+    : row_weight_(row_weight) {
+  const auto gates = static_cast<std::size_t>(netlist.gate_count());
+  const auto nets = static_cast<std::size_t>(netlist.net_count());
+
+  pos_.resize(gates);
+  for (std::int32_t g = 0; g < netlist.gate_count(); ++g) {
+    pos_[static_cast<std::size_t>(g)] =
+        Pos{static_cast<float>(placement.col_of(g)), static_cast<float>(placement.row_of(g))};
+  }
+
+  // Net -> pin occurrences (driver first, then sinks, duplicates kept).
+  net_pin_offset_.assign(nets + 1, 0);
+  for (std::size_t n = 0; n < nets; ++n) {
+    const Net& net = netlist.nets()[n];
+    net_pin_offset_[n + 1] = net_pin_offset_[n] + (net.driver_gate >= 0 ? 1 : 0) +
+                             static_cast<std::int32_t>(net.sink_gates.size());
+  }
+  net_pin_gate_.resize(static_cast<std::size_t>(net_pin_offset_[nets]));
+  for (std::size_t n = 0; n < nets; ++n) {
+    const Net& net = netlist.nets()[n];
+    std::int32_t at = net_pin_offset_[n];
+    if (net.driver_gate >= 0) net_pin_gate_[static_cast<std::size_t>(at++)] = net.driver_gate;
+    for (const std::int32_t sink : net.sink_gates) {
+      net_pin_gate_[static_cast<std::size_t>(at++)] = sink;
+    }
+  }
+
+  // Gate -> (net, multiplicity), built by counting each gate's pin
+  // occurrences per net (occurrences of one net are contiguous because
+  // the net's pin list is scanned in one run).
+  std::vector<std::int32_t> entries(gates, 0);
+  std::vector<std::int32_t> last_net(gates, -1);
+  for (std::size_t n = 0; n < nets; ++n) {
+    for (std::int32_t i = net_pin_offset_[n]; i < net_pin_offset_[n + 1]; ++i) {
+      const auto g = static_cast<std::size_t>(net_pin_gate_[static_cast<std::size_t>(i)]);
+      if (last_net[g] != static_cast<std::int32_t>(n)) {
+        last_net[g] = static_cast<std::int32_t>(n);
+        ++entries[g];
+      }
+    }
+  }
+  gate_net_offset_.assign(gates + 1, 0);
+  for (std::size_t g = 0; g < gates; ++g) {
+    gate_net_offset_[g + 1] = gate_net_offset_[g] + entries[g];
+  }
+  gate_net_id_.resize(static_cast<std::size_t>(gate_net_offset_[gates]));
+  gate_net_mult_.assign(gate_net_id_.size(), 0);
+  std::vector<std::int32_t> fill(gate_net_offset_.begin(), gate_net_offset_.end() - 1);
+  std::fill(last_net.begin(), last_net.end(), -1);
+  for (std::size_t n = 0; n < nets; ++n) {
+    for (std::int32_t i = net_pin_offset_[n]; i < net_pin_offset_[n + 1]; ++i) {
+      const auto g = static_cast<std::size_t>(net_pin_gate_[static_cast<std::size_t>(i)]);
+      if (last_net[g] != static_cast<std::int32_t>(n)) {
+        last_net[g] = static_cast<std::int32_t>(n);
+        gate_net_id_[static_cast<std::size_t>(fill[g])] = static_cast<std::int32_t>(n);
+        gate_net_mult_[static_cast<std::size_t>(fill[g])] = 1;
+        ++fill[g];
+      } else {
+        ++gate_net_mult_[static_cast<std::size_t>(fill[g] - 1)];
+      }
+    }
+  }
+
+  weight_.resize(nets);
+  for (std::size_t n = 0; n < nets; ++n) {
+    weight_[n] = net_weights != nullptr && n < net_weights->size() ? (*net_weights)[n] : 1.0;
+  }
+
+  box_.resize(nets);
+  value_.resize(nets);
+  for (std::size_t n = 0; n < nets; ++n) {
+    box_[n] = scan_box(static_cast<std::int32_t>(n));
+    value_[n] = box_value(box_[n]);
+  }
+  total_ = resum();
+}
+
+HpwlCache::Box HpwlCache::scan_box(std::int32_t net) const {
+  const auto n = static_cast<std::size_t>(net);
+  const std::int32_t begin = net_pin_offset_[n];
+  const std::int32_t end = net_pin_offset_[n + 1];
+  if (begin == end) return Box{};  // pinless net
+  Box box;
+  box.min_c = std::numeric_limits<std::int32_t>::max();
+  box.max_c = std::numeric_limits<std::int32_t>::min();
+  box.min_r = box.min_c;
+  box.max_r = box.max_c;
+  for (std::int32_t i = begin; i < end; ++i) {
+    const Pos fp = pos_[static_cast<std::size_t>(net_pin_gate_[static_cast<std::size_t>(i)])];
+    const struct { std::int32_t c, r; } p{static_cast<std::int32_t>(fp.c),
+                                          static_cast<std::int32_t>(fp.r)};
+    if (p.c < box.min_c) {
+      box.min_c = p.c;
+      box.cnt_min_c = 1;
+    } else if (p.c == box.min_c) {
+      ++box.cnt_min_c;
+    }
+    if (p.c > box.max_c) {
+      box.max_c = p.c;
+      box.cnt_max_c = 1;
+    } else if (p.c == box.max_c) {
+      ++box.cnt_max_c;
+    }
+    if (p.r < box.min_r) {
+      box.min_r = p.r;
+      box.cnt_min_r = 1;
+    } else if (p.r == box.min_r) {
+      ++box.cnt_min_r;
+    }
+    if (p.r > box.max_r) {
+      box.max_r = p.r;
+      box.cnt_max_r = 1;
+    } else if (p.r == box.max_r) {
+      ++box.cnt_max_r;
+    }
+  }
+  return box;
+}
+
+double HpwlCache::net_hpwl(std::int32_t net) const {
+  return box_value(box_[static_cast<std::size_t>(net)]);
+}
+
+double HpwlCache::resum() const {
+  double total = 0.0;
+  for (std::size_t n = 0; n < box_.size(); ++n) {
+    total += weight_[n] * box_value(box_[n]);
+  }
+  return total;
+}
+
+void HpwlCache::refresh_nets_of(std::int32_t gate) {
+  const auto gi = static_cast<std::size_t>(gate);
+  for (std::int32_t i = gate_net_offset_[gi]; i < gate_net_offset_[gi + 1]; ++i) {
+    const std::int32_t net = gate_net_id_[static_cast<std::size_t>(i)];
+    const auto n = static_cast<std::size_t>(net);
+    box_[n] = scan_box(net);
+    value_[n] = box_value(box_[n]);
+  }
+}
+
+}  // namespace nanocost::place

@@ -1,10 +1,18 @@
 #include "nanocost/place/placer.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <cmath>
+#include <cstdlib>
 #include <limits>
-#include <random>
+#include <optional>
 #include <stdexcept>
+#include <string>
+
+#include "nanocost/exec/parallel.hpp"
+#include "nanocost/exec/rng.hpp"
+#include "nanocost/exec/seed.hpp"
+#include "nanocost/place/hpwl_cache.hpp"
 
 namespace nanocost::place {
 
@@ -56,8 +64,14 @@ Placement Placement::random(const Netlist& netlist, std::int32_t rows, std::int3
   Placement p(rows, cols, netlist.gate_count());
   std::vector<std::int32_t> sites(static_cast<std::size_t>(p.site_count()));
   for (std::int32_t s = 0; s < p.site_count(); ++s) sites[static_cast<std::size_t>(s)] = s;
-  std::mt19937_64 rng(seed);
-  std::shuffle(sites.begin(), sites.end(), rng);
+  // In-repo Fisher-Yates (std::shuffle's draw sequence is
+  // implementation-defined, so it is not reproducible across standard
+  // libraries).
+  exec::SplitMix64 rng(seed);
+  for (std::int32_t i = p.site_count() - 1; i > 0; --i) {
+    const std::int32_t j = exec::bounded_i32(rng, i + 1);
+    std::swap(sites[static_cast<std::size_t>(i)], sites[static_cast<std::size_t>(j)]);
+  }
   for (std::int32_t g = 0; g < netlist.gate_count(); ++g) {
     p.assign(g, sites[static_cast<std::size_t>(g)]);
   }
@@ -113,6 +127,15 @@ double total_weighted_hpwl(const Netlist& netlist, const Placement& placement,
 
 namespace {
 
+/// NANOCOST_PLACE_CHECK: 0 = off, otherwise the cross-validation move
+/// interval (an unparsable value falls back to every 8192 moves).
+std::int64_t place_check_interval() {
+  const char* env = std::getenv("NANOCOST_PLACE_CHECK");
+  if (env == nullptr || *env == '\0') return 0;
+  const long long parsed = std::atoll(env);
+  return parsed > 0 ? parsed : 8192;
+}
+
 PlaceResult anneal_impl(const Netlist& netlist, std::int32_t rows, std::int32_t cols,
                         const AnnealParams& params, const std::vector<double>* net_weights,
                         const Placement* start = nullptr) {
@@ -125,103 +148,135 @@ PlaceResult anneal_impl(const Netlist& netlist, std::int32_t rows, std::int32_t 
   }
   Placement placement = start != nullptr ? *start : Placement::ordered(netlist, rows, cols);
 
-  // Gate -> incident nets adjacency (each net once per gate).
-  std::vector<std::vector<std::int32_t>> nets_of_gate(
-      static_cast<std::size_t>(netlist.gate_count()));
-  for (std::int32_t n = 0; n < netlist.net_count(); ++n) {
-    const Net& net = netlist.nets()[static_cast<std::size_t>(n)];
-    if (net.driver_gate >= 0) {
-      nets_of_gate[static_cast<std::size_t>(net.driver_gate)].push_back(n);
-    }
-    for (const std::int32_t sink : net.sink_gates) {
-      auto& list = nets_of_gate[static_cast<std::size_t>(sink)];
-      if (list.empty() || list.back() != n) list.push_back(n);
-    }
-  }
-
-  const auto weight_of = [net_weights](std::int32_t n) {
-    return net_weights != nullptr && static_cast<std::size_t>(n) < net_weights->size()
-               ? (*net_weights)[static_cast<std::size_t>(n)]
-               : 1.0;
-  };
   const auto objective = [&](const Placement& p) {
     return net_weights != nullptr
                ? total_weighted_hpwl(netlist, p, *net_weights, params.row_weight)
                : total_hpwl(netlist, p, params.row_weight);
   };
 
-  const double initial = objective(placement);
+  // The incremental per-net bounding-box cache; its construction-time
+  // total is bitwise-equal to the full recomputation (same per-net
+  // values, same summation order).
+  HpwlCache cache(netlist, placement, params.row_weight, net_weights);
+  const double initial = cache.total();
   double current = initial;
   double temperature = params.initial_temperature > 0.0
                            ? params.initial_temperature
                            : std::max(initial / std::max(netlist.gate_count(), 1), 1.0);
   const double stop = temperature * params.stop_temperature_fraction;
 
-  std::mt19937_64 rng(params.seed);
-  std::uniform_int_distribution<std::int32_t> pick_gate(0, netlist.gate_count() - 1);
-  std::uniform_int_distribution<std::int32_t> pick_site(0, placement.site_count() - 1);
-  std::uniform_real_distribution<double> uni(0.0, 1.0);
-
-  // Scratch for affected-net dedup.
-  std::vector<std::int32_t> affected;
-  std::vector<std::uint32_t> stamp(static_cast<std::size_t>(netlist.net_count()), 0);
-  std::uint32_t tick = 0;
-
   PlaceResult result{std::move(placement), initial, initial, 0, 0};
   if (netlist.gate_count() < 2) return result;
 
-  const auto cost_of_affected = [&](const std::vector<std::int32_t>& nets) {
-    double sum = 0.0;
-    for (const std::int32_t n : nets) {
-      sum += weight_of(n) * net_hpwl(netlist.nets()[static_cast<std::size_t>(n)],
-                                     result.placement, params.row_weight);
+  exec::SplitMix64 rng(params.seed);
+  const std::int32_t gate_count = netlist.gate_count();
+  const std::int32_t site_count = result.placement.site_count();
+  const std::int64_t check_every = place_check_interval();
+
+  // Flat occupancy + site-coordinate tables: the loop never touches
+  // the Placement (bounds-checked, divides per access); the winning
+  // layout is written back once at the end.
+  std::vector<std::int32_t> site_of(static_cast<std::size_t>(gate_count));
+  std::vector<std::int32_t> gate_of(static_cast<std::size_t>(site_count), -1);
+  for (std::int32_t g = 0; g < gate_count; ++g) {
+    const std::int32_t s = result.placement.site_of(g);
+    site_of[static_cast<std::size_t>(g)] = s;
+    gate_of[static_cast<std::size_t>(s)] = g;
+  }
+  struct SiteRC {
+    std::int32_t r, c;
+  };
+  std::vector<SiteRC> site_rc(static_cast<std::size_t>(site_count));
+  for (std::int32_t s = 0; s < site_count; ++s) {
+    site_rc[static_cast<std::size_t>(s)] = SiteRC{s / cols, s % cols};
+  }
+  const auto rebuild_placement = [&]() {
+    Placement p(rows, cols, gate_count);
+    for (std::int32_t g = 0; g < gate_count; ++g) {
+      p.assign(g, site_of[static_cast<std::size_t>(g)]);
     }
-    return sum;
+    return p;
   };
 
+  // With unit weights and an integral row weight every delta is an
+  // integer-valued double, so each level's acceptance probabilities
+  // exp(-d/T) can be tabulated once instead of calling exp per move;
+  // the table reproduces std::exp(-delta/T) bit-for-bit, so accept
+  // decisions (and results) are unchanged.
+  const bool integer_deltas =
+      net_weights == nullptr && params.row_weight == std::floor(params.row_weight);
+  std::vector<double> accept_table;
+  std::int64_t tried = 0;
+  std::int64_t accepted = 0;
+
   while (temperature > stop) {
-    const std::int64_t moves =
-        static_cast<std::int64_t>(params.moves_per_temperature_per_gate) *
-        netlist.gate_count();
-    for (std::int64_t m = 0; m < moves; ++m) {
-      const std::int32_t gate = pick_gate(rng);
-      const std::int32_t from = result.placement.site_of(gate);
-      const std::int32_t to = pick_site(rng);
-      if (to == from) continue;
-      const std::int32_t other = result.placement.gate_at(to);
-
-      // Collect affected nets (both gates' nets, deduplicated).
-      ++tick;
-      affected.clear();
-      for (const std::int32_t n : nets_of_gate[static_cast<std::size_t>(gate)]) {
-        if (stamp[static_cast<std::size_t>(n)] != tick) {
-          stamp[static_cast<std::size_t>(n)] = tick;
-          affected.push_back(n);
-        }
-      }
-      if (other >= 0) {
-        for (const std::int32_t n : nets_of_gate[static_cast<std::size_t>(other)]) {
-          if (stamp[static_cast<std::size_t>(n)] != tick) {
-            stamp[static_cast<std::size_t>(n)] = tick;
-            affected.push_back(n);
-          }
-        }
-      }
-
-      const double before = cost_of_affected(affected);
-      result.placement.swap_sites(from, to);
-      const double after = cost_of_affected(affected);
-      const double delta = after - before;
-      ++result.moves_tried;
-      if (delta <= 0.0 || uni(rng) < std::exp(-delta / temperature)) {
-        current += delta;
-        ++result.moves_accepted;
-      } else {
-        result.placement.swap_sites(from, to);  // revert
+    // exp(-delta/T) below this delta/T is ~1e-14: reject without
+    // drawing (the acceptance probability is unobservably small).
+    const double certain_reject = 32.0 * temperature;
+    if (integer_deltas) {
+      const auto entries = static_cast<std::size_t>(std::min(certain_reject, 65536.0)) + 1;
+      accept_table.resize(entries);
+      for (std::size_t d = 0; d < entries; ++d) {
+        accept_table[d] = std::exp(-static_cast<double>(d) / temperature);
       }
     }
+    const std::int64_t moves =
+        static_cast<std::int64_t>(params.moves_per_temperature_per_gate) * gate_count;
+    for (std::int64_t m = 0; m < moves; ++m) {
+      const auto [gate, to] = exec::bounded_i32_pair(rng, gate_count, site_count);
+      const std::int32_t from = site_of[static_cast<std::size_t>(gate)];
+      if (to == from) continue;
+      const std::int32_t other = gate_of[static_cast<std::size_t>(to)];
+
+      const SiteRC rc = site_rc[static_cast<std::size_t>(to)];
+      const double delta = cache.peek_swap(gate, rc.r, rc.c, other);
+      ++tried;
+      bool accept;
+      if (delta <= 0.0) {
+        accept = true;
+      } else if (delta >= certain_reject) {
+        accept = false;
+      } else {
+        const auto di = static_cast<std::size_t>(delta);
+        const double threshold =
+            integer_deltas && static_cast<double>(di) == delta && di < accept_table.size()
+                ? accept_table[di]
+                : std::exp(-delta / temperature);
+        accept = exec::uniform_unit(rng) < threshold;
+      }
+      if (accept) {
+        cache.commit();
+        site_of[static_cast<std::size_t>(gate)] = to;
+        gate_of[static_cast<std::size_t>(to)] = gate;
+        gate_of[static_cast<std::size_t>(from)] = other;
+        if (other >= 0) site_of[static_cast<std::size_t>(other)] = from;
+        current += delta;
+        ++accepted;
+      } else {
+        cache.discard();
+      }
+      if (check_every > 0 && tried % check_every == 0) {
+        const double exact = objective(rebuild_placement());
+        const double cached = cache.resum();
+        if (std::abs(cached - exact) > 1e-6 * std::max(std::abs(exact), 1.0)) {
+          throw std::logic_error("NANOCOST_PLACE_CHECK: incremental HPWL cache (" +
+                                 std::to_string(cached) + ") diverged from recompute (" +
+                                 std::to_string(exact) + ")");
+        }
+      }
+    }
+    // The accepted-move accumulator drifts over millions of += delta;
+    // resync it from the cache's exact box re-sum each cooling step.
+    const double resynced = cache.resum();
+    assert(std::abs(current - resynced) <=
+           1e-6 * std::max(std::abs(resynced), 1.0) + 1e-9);
+    current = resynced;
     temperature *= params.cooling;
   }
+  (void)current;
+  result.moves_tried = tried;
+  result.moves_accepted = accepted;
+  result.placement = rebuild_placement();
   result.final_hpwl = objective(result.placement);
   return result;
 }
@@ -231,6 +286,45 @@ PlaceResult anneal_impl(const Netlist& netlist, std::int32_t rows, std::int32_t 
 PlaceResult anneal_place(const Netlist& netlist, std::int32_t rows, std::int32_t cols,
                          const AnnealParams& params) {
   return anneal_impl(netlist, rows, cols, params, nullptr);
+}
+
+MultistartResult anneal_place_multistart(const Netlist& netlist, std::int32_t rows,
+                                         std::int32_t cols, std::int32_t starts,
+                                         const AnnealParams& params,
+                                         exec::ThreadPool* pool) {
+  if (starts < 1) throw std::invalid_argument("multi-start needs starts >= 1");
+  std::vector<std::optional<PlaceResult>> results(static_cast<std::size_t>(starts));
+  // One task per start; each start's seed and initial placement are
+  // pure functions of (params.seed, start index), so the fan-out is
+  // bitwise thread-count-invariant.
+  exec::parallel_for(pool, starts, 1, [&](std::int64_t begin, std::int64_t end) {
+    for (std::int64_t i = begin; i < end; ++i) {
+      AnnealParams task = params;
+      task.seed = exec::SeedSequence::for_task(params.seed, static_cast<std::uint64_t>(i));
+      if (i == 0) {
+        results[static_cast<std::size_t>(i)] =
+            anneal_impl(netlist, rows, cols, task, nullptr);
+      } else {
+        const Placement random_start =
+            Placement::random(netlist, rows, cols, exec::splitmix64(task.seed));
+        results[static_cast<std::size_t>(i)] =
+            anneal_impl(netlist, rows, cols, task, nullptr, &random_start);
+      }
+    }
+  });
+
+  std::vector<double> hpwls;
+  hpwls.reserve(static_cast<std::size_t>(starts));
+  std::int32_t best = 0;
+  for (std::int32_t i = 0; i < starts; ++i) {
+    const PlaceResult& r = *results[static_cast<std::size_t>(i)];
+    hpwls.push_back(r.final_hpwl);
+    // (final_hpwl, start index) tie-break: strictly-better wins, the
+    // lowest index keeps ties.
+    if (r.final_hpwl < results[static_cast<std::size_t>(best)]->final_hpwl) best = i;
+  }
+  return MultistartResult{std::move(*results[static_cast<std::size_t>(best)]), best, starts,
+                          std::move(hpwls)};
 }
 
 PlaceResult anneal_place_weighted(const Netlist& netlist, std::int32_t rows,

@@ -192,15 +192,31 @@ Routed choose_with_detours(const RoutingGrid& g, Point a, Point b, const RouterP
   return best;
 }
 
-/// Routes one two-pin connection with the cheaper of the two L-shapes;
-/// commits it and records the choice.
-std::int64_t route_two_pin(RoutingGrid& g, Point a, Point b, const RouterParams& p,
-                           std::vector<Routed>& log) {
-  if (a.r == b.r && a.c == b.c) return 0;
-  const Routed routed = choose_l_shape(g, a, b, p);
-  commit_connection(g, routed);
-  log.push_back(routed);
-  return path_edges(routed);
+/// Enumerates the flat edge ids of a committed path.  Ids number the
+/// horizontal edges row-major first (r * (cols-1) + c), then the
+/// vertical ones (h_count + r * cols + c) -- the keys of the rip-up
+/// stage's dirty-edge bookkeeping.
+template <typename Fn>
+void for_each_edge(const RoutingGrid& g, const Routed& r, Fn&& fn) {
+  const std::int32_t hw = g.cols() - 1;
+  const std::int32_t h_count = g.rows() * hw;
+  const auto h_edges = [&](std::int32_t row, std::int32_t c0, std::int32_t c1) {
+    for (std::int32_t c = std::min(c0, c1); c < std::max(c0, c1); ++c) fn(row * hw + c);
+  };
+  const auto v_edges = [&](std::int32_t col, std::int32_t r0, std::int32_t r1) {
+    for (std::int32_t row = std::min(r0, r1); row < std::max(r0, r1); ++row) {
+      fn(h_count + row * g.cols() + col);
+    }
+  };
+  if (r.hvh) {
+    h_edges(r.a.r, r.a.c, r.mid);
+    v_edges(r.mid, r.a.r, r.b.r);
+    h_edges(r.b.r, r.mid, r.b.c);
+  } else {
+    v_edges(r.a.c, r.a.r, r.mid);
+    h_edges(r.mid, r.a.c, r.b.c);
+    v_edges(r.b.c, r.mid, r.b.r);
+  }
 }
 
 }  // namespace
@@ -252,8 +268,14 @@ RouteResult route(const Netlist& netlist, const place::Placement& placement,
         }
       }
       used[best_pin] = true;
-      result.total_wirelength_edges +=
-          route_two_pin(result.grid, best_anchor, pins[best_pin], params, log);
+      const Point a = best_anchor;
+      const Point b = pins[best_pin];
+      if (a.r != b.r || a.c != b.c) {
+        const Routed routed = choose_l_shape(result.grid, a, b, params);
+        commit_connection(result.grid, routed);
+        log.push_back(routed);
+        result.total_wirelength_edges += path_edges(routed);
+      }
       ++result.connections_routed;
       connected.push_back(pins[best_pin]);
     }
@@ -261,20 +283,92 @@ RouteResult route(const Netlist& netlist, const place::Placement& placement,
 
   // Rip-up and reroute: pull connections off overflowed edges one at a
   // time and reroute them with the full detour search (Z/U shapes)
-  // against the live congestion picture.
-  for (int pass = 0; pass < params.rip_up_passes; ++pass) {
-    std::int64_t rerouted = 0;
-    for (Routed& r : log) {
-      if (!touches_overflow(result.grid, r, params)) continue;
-      uncommit_connection(result.grid, r);
-      result.total_wirelength_edges -= path_edges(r);
-      const Routed replacement = choose_with_detours(result.grid, r.a, r.b, params);
-      r = replacement;
-      commit_connection(result.grid, r);
-      result.total_wirelength_edges += path_edges(r);
-      ++rerouted;
+  // against the live congestion picture.  Instead of re-walking every
+  // connection's path each pass, a dirty-edge overflow set narrows
+  // each pass to candidate connections: every connection registers on
+  // the edges of its committed path, connections on overflowed edges
+  // are marked dirty, and a reroute that leaves an edge overflowed
+  // re-marks that edge's registrants.  Registrations go stale when a
+  // reroute moves a path -- a stale mark is cleared by the
+  // touches_overflow re-verification, never missed -- so the set of
+  // reroutes, their order, and the final routing are identical to the
+  // full scan.
+  if (params.rip_up_passes > 0 && !log.empty()) {
+    const std::int32_t grid_rows = result.grid.rows();
+    const std::int32_t grid_cols = result.grid.cols();
+    const std::int32_t h_edge_count = grid_rows * (grid_cols - 1);
+    const std::int32_t edge_count = h_edge_count + (grid_rows - 1) * grid_cols;
+    const auto edge_overflowed = [&](std::int32_t e) {
+      if (e < h_edge_count) {
+        return result.grid.h_demand(e / (grid_cols - 1), e % (grid_cols - 1)) >
+               params.h_capacity;
+      }
+      const std::int32_t ve = e - h_edge_count;
+      return result.grid.v_demand(ve / grid_cols, ve % grid_cols) > params.v_capacity;
+    };
+
+    bool any_overflow = false;
+    for (std::int32_t e = 0; e < edge_count && !any_overflow; ++e) {
+      any_overflow = edge_overflowed(e);
     }
-    if (rerouted == 0) break;
+
+    // With no overflow the full scan would reroute nothing and stop
+    // after one pass; skip building the tracking structures entirely.
+    if (any_overflow) {
+      // Edge -> registered connections as intrusive per-edge linked
+      // lists (one head per edge, one next-pointer per registration):
+      // O(1) allocation-free appends, so reroute registrations cost
+      // the same as the initial ones.
+      std::vector<std::int32_t> user_head(static_cast<std::size_t>(edge_count), -1);
+      std::vector<std::int32_t> user_conn;
+      std::vector<std::int32_t> user_next;
+      user_conn.reserve(static_cast<std::size_t>(result.total_wirelength_edges));
+      user_next.reserve(static_cast<std::size_t>(result.total_wirelength_edges));
+      const auto register_user = [&](std::int32_t conn, std::int32_t e) {
+        user_conn.push_back(conn);
+        user_next.push_back(user_head[static_cast<std::size_t>(e)]);
+        user_head[static_cast<std::size_t>(e)] = static_cast<std::int32_t>(user_conn.size()) - 1;
+      };
+      std::vector<char> dirty(log.size(), 0);
+      const auto mark_users = [&](std::int32_t e) {
+        for (std::int32_t i = user_head[static_cast<std::size_t>(e)]; i >= 0;
+             i = user_next[static_cast<std::size_t>(i)]) {
+          dirty[static_cast<std::size_t>(user_conn[static_cast<std::size_t>(i)])] = 1;
+        }
+      };
+      for (std::size_t k = 0; k < log.size(); ++k) {
+        for_each_edge(result.grid, log[k],
+                      [&](std::int32_t e) { register_user(static_cast<std::int32_t>(k), e); });
+      }
+      for (std::int32_t e = 0; e < edge_count; ++e) {
+        if (edge_overflowed(e)) mark_users(e);
+      }
+
+      for (int pass = 0; pass < params.rip_up_passes; ++pass) {
+        std::int64_t rerouted = 0;
+        for (std::size_t k = 0; k < log.size(); ++k) {
+          if (dirty[k] == 0) continue;
+          if (!touches_overflow(result.grid, log[k], params)) {
+            dirty[k] = 0;  // stale mark (edge recovered or path moved off it)
+            continue;
+          }
+          uncommit_connection(result.grid, log[k]);
+          result.total_wirelength_edges -= path_edges(log[k]);
+          dirty[k] = 0;
+          const Routed replacement =
+              choose_with_detours(result.grid, log[k].a, log[k].b, params);
+          log[k] = replacement;
+          result.total_wirelength_edges += path_edges(replacement);
+          commit_connection(result.grid, replacement);
+          for_each_edge(result.grid, replacement, [&](std::int32_t e) {
+            register_user(static_cast<std::int32_t>(k), e);
+            if (edge_overflowed(e)) mark_users(e);
+          });
+          ++rerouted;
+        }
+        if (rerouted == 0) break;
+      }
+    }
   }
 
   // Congestion census.

@@ -14,6 +14,8 @@
 #include "nanocost/exec/thread_pool.hpp"
 #include "nanocost/fabsim/simulator.hpp"
 #include "nanocost/layout/generators.hpp"
+#include "nanocost/netlist/generator.hpp"
+#include "nanocost/place/placer.hpp"
 #include "nanocost/regularity/window_sweep.hpp"
 
 namespace nanocost {
@@ -188,6 +190,36 @@ TEST(KillLut, ValidatesInputs) {
                std::invalid_argument);
   EXPECT_THROW(fabsim::KillProbabilityLut(kill, Micrometers{0.1}, Micrometers{10.0}, 2),
                std::invalid_argument);
+}
+
+TEST(Determinism, MultistartPlacementIsThreadCountInvariant) {
+  netlist::GeneratorParams gen;
+  gen.gate_count = 150;
+  gen.locality = 0.4;
+  const netlist::Netlist nl = netlist::generate_random_logic(gen);
+
+  place::AnnealParams params;
+  params.seed = 13;
+  exec::ThreadPool serial(1);
+  const place::MultistartResult reference =
+      place::anneal_place_multistart(nl, 12, 16, 6, params, &serial);
+  ASSERT_EQ(reference.starts, 6);
+  ASSERT_EQ(reference.start_hpwls.size(), 6u);
+
+  for (const int threads : test_thread_counts()) {
+    exec::ThreadPool pool(threads);
+    const place::MultistartResult run =
+        place::anneal_place_multistart(nl, 12, 16, 6, params, &pool);
+    // Bitwise-identical winner (HPWL doubles and the full placement),
+    // start index, and the whole per-start HPWL vector.
+    EXPECT_EQ(run.best_start, reference.best_start);
+    EXPECT_EQ(run.best.final_hpwl, reference.best.final_hpwl);
+    EXPECT_EQ(run.best.initial_hpwl, reference.best.initial_hpwl);
+    EXPECT_EQ(run.start_hpwls, reference.start_hpwls);
+    for (std::int32_t g = 0; g < nl.gate_count(); ++g) {
+      ASSERT_EQ(run.best.placement.site_of(g), reference.best.placement.site_of(g));
+    }
+  }
 }
 
 TEST(Determinism, GlobalPoolPathMatchesExplicitPools) {
