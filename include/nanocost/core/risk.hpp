@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "nanocost/core/transistor_cost.hpp"
 
@@ -39,6 +40,21 @@ struct RiskResult final {
   /// no budget given).
   double prob_over_budget = 0.0;
 };
+
+/// C_tr of scenario `index` at density s_d: one lognormal/clamped-normal
+/// draw of the eq.-4 inputs priced through the cost model.  A pure
+/// function of (inputs, s_d, seed, index) -- the same scenario no matter
+/// which thread, grid point, or campaign chunk evaluates it.  This is
+/// the unit kernel monte_carlo_cost and core::RiskCampaign both run.
+[[nodiscard]] double risk_sample_cost(const UncertainInputs& inputs, double s_d,
+                                      std::uint64_t seed, std::uint64_t index);
+
+/// Distribution summary over an explicit cost-sample vector (needs >= 2
+/// samples): exactly the reduction monte_carlo_cost applies, exposed so
+/// partial campaigns summarize their completed samples identically.
+[[nodiscard]] RiskResult summarize_cost_samples(std::vector<double> costs,
+                                                const UncertainInputs& inputs,
+                                                double die_budget = 0.0);
 
 /// Monte-Carlo propagation of the uncertainties through eq. (4) at a
 /// fixed s_d.  `die_budget` (optional, <= 0 disables) sets the

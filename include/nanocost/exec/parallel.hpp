@@ -14,8 +14,13 @@
 #include <vector>
 
 #include "nanocost/exec/thread_pool.hpp"
+#include "nanocost/robust/fault_injection.hpp"
 
 namespace nanocost::exec {
+
+/// Injection site evaluated once per chunk of every parallel loop; the
+/// unit index is the chunk index.  Off: one relaxed load per chunk.
+inline constexpr robust::FaultSite kChunkFaultSite{"exec.chunk"};
 
 /// Number of chunks a range of `n` splits into at a given grain.
 [[nodiscard]] constexpr std::int64_t chunk_count(std::int64_t n, std::int64_t grain) noexcept {
@@ -31,10 +36,12 @@ void parallel_for(ThreadPool* pool, std::int64_t n, std::int64_t grain, Body&& b
   if (grain < 1) throw std::invalid_argument("parallel_for grain must be >= 1");
   const std::int64_t chunks = chunk_count(n, grain);
   if (chunks == 1) {
+    robust::inject(kChunkFaultSite, 0);
     body(std::int64_t{0}, n);
     return;
   }
   pool_or_global(pool).run_tasks(chunks, [&](std::int64_t c) {
+    robust::inject(kChunkFaultSite, static_cast<std::uint64_t>(c));
     const std::int64_t begin = c * grain;
     const std::int64_t end = begin + grain < n ? begin + grain : n;
     body(begin, end);
@@ -57,6 +64,7 @@ void parallel_reduce(ThreadPool* pool, std::int64_t n, std::int64_t grain, MakeS
   using Scratch = decltype(make());
   const std::int64_t chunks = chunk_count(n, grain);
   if (chunks == 1) {
+    robust::inject(kChunkFaultSite, 0);
     Scratch scratch = make();
     body(std::int64_t{0}, n, scratch);
     merge(std::move(scratch));
@@ -66,6 +74,7 @@ void parallel_reduce(ThreadPool* pool, std::int64_t n, std::int64_t grain, MakeS
   scratches.reserve(static_cast<std::size_t>(chunks));
   for (std::int64_t c = 0; c < chunks; ++c) scratches.push_back(make());
   pool_or_global(pool).run_tasks(chunks, [&](std::int64_t c) {
+    robust::inject(kChunkFaultSite, static_cast<std::uint64_t>(c));
     const std::int64_t begin = c * grain;
     const std::int64_t end = begin + grain < n ? begin + grain : n;
     body(begin, end, scratches[static_cast<std::size_t>(c)]);

@@ -34,8 +34,10 @@ class ThreadPool final {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   /// Runs task(0) .. task(n_tasks - 1), blocking until all complete.
-  /// The caller participates.  The first exception thrown by any task is
-  /// rethrown on the caller after the batch drains.  Reentrant calls
+  /// The caller participates.  If tasks throw, the exception of the
+  /// *lowest-index* throwing task is rethrown on the caller after the
+  /// batch drains -- a deterministic choice for any thread count -- and
+  /// the pool stays reusable for subsequent batches.  Reentrant calls
   /// from inside a task run inline serially.
   void run_tasks(std::int64_t n_tasks, const std::function<void(std::int64_t)>& task);
 

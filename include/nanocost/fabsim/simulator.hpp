@@ -127,6 +127,15 @@ class FabSimulator final {
   [[nodiscard]] LotResult run(std::int64_t n_wafers, std::uint64_t seed = 42,
                               exec::ThreadPool* pool = nullptr) const;
 
+  /// Simulates wafers [begin, end) of the lot seeded with `seed`
+  /// serially on the calling thread: results[i - begin] receives wafer
+  /// i, and the chunk's die-level fault counts fold into `histogram`.
+  /// Wafer i consumes exactly the stream it consumes under run(), so a
+  /// union of ranges reproduces run() bitwise -- this is the campaign
+  /// engine's chunk kernel (fabsim::FabLotCampaign).
+  void run_units(std::int64_t begin, std::int64_t end, std::uint64_t seed,
+                 WaferResult* results, std::vector<std::int64_t>& histogram) const;
+
   /// Simulate a maturity ramp: defect density follows the learning
   /// curve as cumulative wafers accrue.  Returns one LotResult per
   /// checkpoint of `checkpoint_wafers` wafers.  Parallel and

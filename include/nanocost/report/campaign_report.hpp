@@ -1,0 +1,17 @@
+// Human-readable campaign health: completeness, retries, quarantine.
+#pragma once
+
+#include <string>
+
+#include "nanocost/robust/campaign.hpp"
+
+namespace nanocost::report {
+
+/// Renders a campaign result as an ASCII block: progress counters,
+/// completeness fraction, retry count, and -- when units were lost --
+/// the quarantined chunks with their unit ranges and errors.
+/// `unit_name` names the work unit in the output ("wafer", "sample").
+[[nodiscard]] std::string render_campaign(const robust::CampaignResult& result,
+                                          const std::string& unit_name = "unit");
+
+}  // namespace nanocost::report

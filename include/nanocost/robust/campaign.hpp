@@ -1,0 +1,117 @@
+// Fault-tolerant, resumable Monte-Carlo campaigns.
+//
+// A campaign is `unit_count` independent work units (wafers, MC samples)
+// processed in fixed chunks of `grain` units.  Each chunk is a pure
+// function of its index -- per-unit RNG streams derive from the unit
+// index (exec/seed.hpp) -- which buys three properties at once:
+//
+//  * determinism: chunk results do not depend on thread count or
+//    schedule, and the final merge walks chunks in ascending order;
+//  * resumability: a checkpoint is just the completed-chunk blobs
+//    (robust/checkpoint.hpp) -- no RNG or scheduler state to capture;
+//  * graceful degradation: a failing chunk is retried a bounded number
+//    of times (with robust::AttemptScope advancing the transient-fault
+//    schedule) and then quarantined, so one poisoned unit costs one
+//    chunk of coverage instead of the whole run.
+//
+// The engine runs chunks in waves on the thread pool, checkpointing
+// between waves, and reports completeness plus the quarantined-chunk
+// list instead of rethrowing first-failure (the `allow_partial = false`
+// mode restores strict semantics: the lowest-index failure is
+// rethrown after the run drains).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace nanocost::exec {
+class ThreadPool;
+}
+
+namespace nanocost::robust {
+
+/// A campaign workload.  Implementations must make run_chunk a pure
+/// function of [begin, end): same range, same bytes -- on any thread,
+/// at any time, in any process.  The produced blob must be non-empty.
+class CampaignTask {
+ public:
+  virtual ~CampaignTask() = default;
+
+  /// Stable campaign name; part of the checkpoint fingerprint.
+  [[nodiscard]] virtual const char* name() const = 0;
+  /// Hash of everything that shapes the results (seed, model config).
+  /// Mixed with name/unit_count/grain into the checkpoint fingerprint.
+  [[nodiscard]] virtual std::uint64_t config_fingerprint() const = 0;
+  [[nodiscard]] virtual std::int64_t unit_count() const = 0;
+  /// Units per chunk; also the quarantine blast radius.
+  [[nodiscard]] virtual std::int64_t grain() const = 0;
+  /// Computes units [begin, end) into `blob` (serialized accumulator).
+  virtual void run_chunk(std::int64_t begin, std::int64_t end,
+                         std::vector<std::uint8_t>& blob) const = 0;
+};
+
+struct CampaignOptions final {
+  /// Checkpoint file; empty disables persistence (in-memory run only).
+  std::string checkpoint_path;
+  /// Chunks per scheduling wave; a checkpoint is written after each
+  /// wave, so this is also the persistence cadence.
+  std::int64_t wave_chunks = 64;
+  /// Total tries per chunk (1 = no retry) before quarantine.
+  int max_attempts = 3;
+  /// true: quarantine persistent failures and report partial results.
+  /// false: strict mode -- rethrow the lowest-index chunk failure after
+  /// the run drains.
+  bool allow_partial = true;
+  /// Stop (checkpoint and return, `interrupted` set) after processing
+  /// this many pending chunks; 0 means run to completion.  This is the
+  /// hook kill/resume tests and demos use to interrupt mid-campaign.
+  std::int64_t max_chunks_this_run = 0;
+  /// null: the global pool.
+  exec::ThreadPool* pool = nullptr;
+};
+
+/// One chunk that exhausted its attempts.
+struct ChunkFailure final {
+  std::int64_t chunk = 0;
+  std::int64_t unit_begin = 0;
+  std::int64_t unit_end = 0;
+  std::string error;  ///< what() of the last attempt's exception
+};
+
+struct CampaignResult final {
+  /// Indexed by chunk; empty blob = not completed (quarantined or not
+  /// yet run).  Merge in ascending index for deterministic assembly.
+  std::vector<std::vector<std::uint8_t>> chunks;
+  std::vector<ChunkFailure> quarantined;  ///< sorted by chunk index
+  std::int64_t total_chunks = 0;
+  std::int64_t completed_chunks = 0;
+  std::int64_t total_units = 0;
+  std::int64_t completed_units = 0;
+  /// Chunks restored from the checkpoint instead of recomputed.
+  std::int64_t resumed_chunks = 0;
+  /// Extra attempts spent beyond each chunk's first try.
+  std::int64_t retries = 0;
+  /// true when max_chunks_this_run stopped the run early.
+  bool interrupted = false;
+
+  /// Fraction of units with results: 1.0 for a clean complete run.
+  [[nodiscard]] double completeness() const noexcept {
+    return total_units > 0
+               ? static_cast<double>(completed_units) / static_cast<double>(total_units)
+               : 1.0;
+  }
+  /// Unit indices covered by quarantined chunks, ascending.
+  [[nodiscard]] std::vector<std::int64_t> failed_units() const;
+};
+
+/// Fingerprint binding a checkpoint to one campaign configuration.
+[[nodiscard]] std::uint64_t campaign_fingerprint(const CampaignTask& task);
+
+/// Runs (or resumes) `task` under `options`.  Always returns a result;
+/// throws only on checkpoint identity mismatch, I/O failure, or -- in
+/// strict mode -- the lowest-index chunk failure.
+[[nodiscard]] CampaignResult run_campaign(const CampaignTask& task,
+                                          const CampaignOptions& options = {});
+
+}  // namespace nanocost::robust

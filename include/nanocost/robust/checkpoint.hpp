@@ -1,0 +1,61 @@
+// Campaign checkpoint files.
+//
+// Because every chunk of a campaign is a pure function of its chunk
+// index, a checkpoint needs no RNG state and no scheduler state: it is
+// the set of completed chunks plus each chunk's serialized partial
+// accumulator.  Resuming recomputes only the missing chunks and merges
+// everything in ascending chunk order, which is why a killed-and-resumed
+// campaign reproduces an uninterrupted one bitwise -- at any thread
+// count.
+//
+// File layout (little-endian, see DESIGN.md section 9):
+//   magic   "NCCKPT01"                     8 bytes
+//   u64     fingerprint (campaign identity: name/config/seed hash)
+//   i64     unit_count
+//   i64     grain (units per chunk)
+//   i64     record count
+//   records i64 chunk_index, i64 blob_size, blob bytes, u64 fnv1a(blob)
+//
+// Loading is tolerant of truncation: a partial trailing record (a crash
+// mid-write of the non-atomic path) is dropped and its chunk recomputed.
+// A fingerprint mismatch throws -- resuming someone else's campaign
+// would silently corrupt results.  Saves go through a temp file plus
+// atomic rename.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace nanocost::robust {
+
+/// Identity + partial state of a campaign on disk.
+struct Checkpoint final {
+  std::uint64_t fingerprint = 0;
+  std::int64_t unit_count = 0;
+  std::int64_t grain = 0;
+  /// Indexed by chunk; an empty blob means "not completed yet".
+  std::vector<std::vector<std::uint8_t>> chunks;
+
+  [[nodiscard]] std::int64_t completed_chunks() const noexcept;
+};
+
+/// Thrown when a checkpoint on disk belongs to a different campaign
+/// configuration (fingerprint / unit count / grain mismatch).
+class CheckpointMismatch final : public std::runtime_error {
+ public:
+  explicit CheckpointMismatch(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Writes `ckpt` to `path` atomically (temp file + rename).  Throws
+/// std::runtime_error on I/O failure.
+void save_checkpoint(const std::string& path, const Checkpoint& ckpt);
+
+/// Loads `path` into `out`.  Returns false when the file does not exist.
+/// Throws CheckpointMismatch when the header disagrees with `expected`
+/// (fingerprint, unit_count, grain); tolerates truncated tails by
+/// dropping incomplete or checksum-failing records.
+bool load_checkpoint(const std::string& path, const Checkpoint& expected, Checkpoint& out);
+
+}  // namespace nanocost::robust

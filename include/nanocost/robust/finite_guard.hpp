@@ -1,0 +1,78 @@
+// NaN/Inf tripwires at module boundaries.
+//
+// A NaN that escapes one model silently poisons every downstream mean,
+// percentile, and optimum -- the campaign "succeeds" and reports
+// garbage.  FiniteGuard turns that into an immediate diagnostic naming
+// the boundary (site) and the offending value, at the cost of one
+// std::isfinite per checked value.  Guards sit where data crosses
+// modules: fabsim -> economics, risk -> optimizer, yield -> cost.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+
+namespace nanocost::robust {
+
+/// Thrown when a guarded boundary sees a non-finite value.
+class NonFiniteError final : public std::domain_error {
+ public:
+  NonFiniteError(const char* site, double value, std::ptrdiff_t index = -1)
+      : std::domain_error(format(site, value, index)),
+        site_(site),
+        value_(value),
+        index_(index) {}
+
+  [[nodiscard]] const std::string& site() const noexcept { return site_; }
+  [[nodiscard]] double value() const noexcept { return value_; }
+  /// Element index for range checks, -1 for scalar checks.
+  [[nodiscard]] std::ptrdiff_t index() const noexcept { return index_; }
+
+ private:
+  static std::string format(const char* site, double value, std::ptrdiff_t index) {
+    std::string msg = "non-finite value " + std::to_string(value) + " at boundary " + site;
+    if (index >= 0) msg += " [element " + std::to_string(index) + "]";
+    return msg;
+  }
+
+  std::string site_;
+  double value_ = 0.0;
+  std::ptrdiff_t index_ = -1;
+};
+
+/// Passes `value` through unless it is NaN/Inf, in which case it throws
+/// NonFiniteError naming the boundary.
+inline double check_finite(double value, const char* site) {
+  if (!std::isfinite(value)) [[unlikely]] {
+    throw NonFiniteError(site, value);
+  }
+  return value;
+}
+
+/// Checks every element of [values, values + n); the diagnostic names
+/// the first offending element.
+inline void check_finite_range(const double* values, std::size_t n, const char* site) {
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!std::isfinite(values[i])) [[unlikely]] {
+      throw NonFiniteError(site, values[i], static_cast<std::ptrdiff_t>(i));
+    }
+  }
+}
+
+/// A named boundary: bind the site once, check many values through it.
+class FiniteGuard final {
+ public:
+  constexpr explicit FiniteGuard(const char* site) noexcept : site_(site) {}
+
+  double operator()(double value) const { return check_finite(value, site_); }
+  void range(const double* values, std::size_t n) const {
+    check_finite_range(values, n, site_);
+  }
+  [[nodiscard]] constexpr const char* site() const noexcept { return site_; }
+
+ private:
+  const char* site_;
+};
+
+}  // namespace nanocost::robust

@@ -7,6 +7,7 @@
 #include "nanocost/geometry/die.hpp"
 #include "nanocost/geometry/wafer_map.hpp"
 #include "nanocost/layout/density.hpp"
+#include "nanocost/robust/finite_guard.hpp"
 #include "nanocost/units/quantity.hpp"
 
 namespace nanocost::core {
@@ -63,6 +64,9 @@ CostEvaluation GeneralizedCostModel::evaluate(double s_d) const {
   }
   out.yield = scenario_.yield_model->yield_for_die(out.die_area, density,
                                                    out.critical_area_ratio);
+  // yield -> cost boundary: a pluggable yield model must not push NaN
+  // into the eq.-7 assembly below.
+  robust::check_finite(out.yield.value(), "yield.cost");
   if (out.yield.value() <= 0.0) {
     throw std::domain_error("yield collapsed to zero at s_d = " + std::to_string(s_d));
   }

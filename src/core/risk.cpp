@@ -8,10 +8,17 @@
 
 #include "nanocost/exec/parallel.hpp"
 #include "nanocost/exec/seed.hpp"
+#include "nanocost/robust/fault_injection.hpp"
+#include "nanocost/robust/finite_guard.hpp"
 
 namespace nanocost::core {
 
 namespace {
+
+/// Injection site evaluated once per Monte-Carlo scenario; the unit
+/// index is the sample index.  NaN faults poison the sampled cost,
+/// which the risk.samples FiniteGuard then catches by name.
+constexpr robust::FaultSite kSampleFaultSite{"risk.sample"};
 
 double percentile(std::vector<double>& sorted, double q) {
   const double idx = q * (static_cast<double>(sorted.size()) - 1.0);
@@ -33,23 +40,8 @@ std::vector<double> sample_costs(const UncertainInputs& inputs, double s_d, int 
   std::vector<double> costs(static_cast<std::size_t>(samples));
   exec::parallel_for(pool, samples, kSampleGrain, [&](std::int64_t begin, std::int64_t end) {
     for (std::int64_t i = begin; i < end; ++i) {
-      // One RNG per scenario, derived from the sample index: scenario i
-      // is the same no matter which thread (or grid point) evaluates it.
-      std::mt19937_64 rng(exec::SeedSequence::for_task(seed, static_cast<std::uint64_t>(i)));
-      std::normal_distribution<double> gauss(0.0, 1.0);
-
-      Eq4Inputs draw = inputs.nominal;
-      const double y = inputs.nominal.yield.value() + inputs.yield_sigma * gauss(rng);
-      draw.yield = units::Probability::clamped(std::max(y, 0.01));
-      draw.manufacturing_cost =
-          inputs.nominal.manufacturing_cost * std::exp(inputs.cm_sq_sigma_rel * gauss(rng));
-      draw.n_wafers =
-          inputs.nominal.n_wafers * std::exp(inputs.volume_sigma_rel * gauss(rng));
-      cost::DesignCostParams params = inputs.nominal.design_model.params();
-      params.a0 *= std::exp(inputs.design_cost_sigma_rel * gauss(rng));
-      draw.design_model = cost::DesignCostModel{params};
-
-      costs[static_cast<std::size_t>(i)] = cost_per_transistor_eq4(draw, s_d).total.value();
+      costs[static_cast<std::size_t>(i)] =
+          risk_sample_cost(inputs, s_d, seed, static_cast<std::uint64_t>(i));
     }
   });
   return costs;
@@ -57,11 +49,32 @@ std::vector<double> sample_costs(const UncertainInputs& inputs, double s_d, int 
 
 }  // namespace
 
-RiskResult monte_carlo_cost(const UncertainInputs& inputs, double s_d, int samples,
-                            std::uint64_t seed, double die_budget,
-                            exec::ThreadPool* pool) {
-  std::vector<double> costs = sample_costs(inputs, s_d, samples, seed, pool);
+double risk_sample_cost(const UncertainInputs& inputs, double s_d, std::uint64_t seed,
+                        std::uint64_t index) {
+  // One RNG per scenario, derived from the sample index: scenario i
+  // is the same no matter which thread (or grid point) evaluates it.
+  std::mt19937_64 rng(exec::SeedSequence::for_task(seed, index));
+  std::normal_distribution<double> gauss(0.0, 1.0);
 
+  Eq4Inputs draw = inputs.nominal;
+  const double y = inputs.nominal.yield.value() + inputs.yield_sigma * gauss(rng);
+  draw.yield = units::Probability::clamped(std::max(y, 0.01));
+  draw.manufacturing_cost =
+      inputs.nominal.manufacturing_cost * std::exp(inputs.cm_sq_sigma_rel * gauss(rng));
+  draw.n_wafers = inputs.nominal.n_wafers * std::exp(inputs.volume_sigma_rel * gauss(rng));
+  cost::DesignCostParams params = inputs.nominal.design_model.params();
+  params.a0 *= std::exp(inputs.design_cost_sigma_rel * gauss(rng));
+  draw.design_model = cost::DesignCostModel{params};
+
+  return robust::observe(kSampleFaultSite, index,
+                         cost_per_transistor_eq4(draw, s_d).total.value());
+}
+
+RiskResult summarize_cost_samples(std::vector<double> costs, const UncertainInputs& inputs,
+                                  double die_budget) {
+  if (costs.size() < 2) {
+    throw std::invalid_argument("risk summary needs at least 2 cost samples");
+  }
   RiskResult result;
   double sum = 0.0;
   int over = 0;
@@ -84,6 +97,17 @@ RiskResult monte_carlo_cost(const UncertainInputs& inputs, double s_d, int sampl
       die_budget > 0.0 ? static_cast<double>(over) / static_cast<double>(costs.size())
                        : 0.0;
   return result;
+}
+
+RiskResult monte_carlo_cost(const UncertainInputs& inputs, double s_d, int samples,
+                            std::uint64_t seed, double die_budget,
+                            exec::ThreadPool* pool) {
+  std::vector<double> costs = sample_costs(inputs, s_d, samples, seed, pool);
+  // risk -> consumer boundary: a NaN sample (model escape or injected
+  // poison) must surface as a named diagnostic, not as a NaN mean that
+  // silently corrupts every quantile and optimizer decision downstream.
+  robust::check_finite_range(costs.data(), costs.size(), "risk.samples");
+  return summarize_cost_samples(std::move(costs), inputs, die_budget);
 }
 
 RobustOptimum robust_sd(const UncertainInputs& inputs, double quantile, double lo,
@@ -112,6 +136,10 @@ RobustOptimum robust_sd(const UncertainInputs& inputs, double quantile, double l
       quantile_cost[static_cast<std::size_t>(i)] = percentile(costs, quantile);
     }
   });
+
+  // risk -> optimizer boundary: the sweep must not pick an optimum off
+  // a poisoned quantile.
+  robust::check_finite_range(quantile_cost.data(), quantile_cost.size(), "risk.quantile");
 
   RobustOptimum best;
   best.quantile_cost = 1e300;

@@ -1,5 +1,6 @@
 #include "nanocost/core/transistor_cost.hpp"
 
+#include <cmath>
 #include <stdexcept>
 
 #include "nanocost/units/quantity.hpp"
@@ -15,8 +16,9 @@ double lambda_squared_cm2(units::Micrometers lambda) {
 }
 
 void require_yield_positive(units::Probability y, const char* what) {
-  if (y.value() <= 0.0) {
-    throw std::domain_error(std::string(what) + " must be > 0");
+  // Negated comparison so NaN (for which y > 0 is false) also throws.
+  if (!(std::isfinite(y.value()) && y.value() > 0.0)) {
+    throw std::domain_error(std::string(what) + " must be finite and > 0");
   }
 }
 
@@ -69,6 +71,9 @@ double sd_for_die_cost(units::Money die_cost_budget, units::Probability yield,
 
 Eq4Breakdown cost_per_transistor_eq4(const Eq4Inputs& inputs, double s_d) {
   units::require_positive(s_d, "s_d");
+  units::require_positive(inputs.lambda, "lambda");
+  units::require_positive(inputs.manufacturing_cost, "manufacturing cost per cm^2");
+  units::require_positive(inputs.transistors_per_chip, "transistors per chip");
   require_yield_positive(inputs.yield, "yield");
   require_yield_positive(inputs.utilization, "utilization");
 

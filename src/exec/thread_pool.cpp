@@ -27,7 +27,14 @@ struct ThreadPool::Impl {
     std::int64_t n = 0;
     std::atomic<std::int64_t> next{0};
     std::int64_t finished = 0;        // guarded by mu
-    std::exception_ptr error;         // guarded by mu; first failure wins
+    // Guarded by mu.  The *lowest-index* failure wins, not the first in
+    // time: tasks are claimed in ascending order, so once an error at
+    // index e is recorded every not-yet-claimed task has a higher index
+    // and can be skipped, while in-flight lower-index tasks may still
+    // replace it.  The rethrown exception is therefore a deterministic
+    // function of the task set, independent of thread count.
+    std::exception_ptr error;
+    std::int64_t error_index = 0;
   };
 
   std::mutex mu;
@@ -52,14 +59,20 @@ struct ThreadPool::Impl {
       bool skip;
       {
         std::lock_guard<std::mutex> lk(mu);
-        skip = static_cast<bool>(batch.error);
+        // Only tasks *above* the recorded failure may be skipped: a task
+        // below it could still throw and must win, or the reported
+        // exception would depend on scheduling.
+        skip = static_cast<bool>(batch.error) && batch.error_index < i;
       }
       if (!skip) {
         try {
           (*batch.task)(i);
         } catch (...) {
           std::lock_guard<std::mutex> lk(mu);
-          if (!batch.error) batch.error = std::current_exception();
+          if (!batch.error || i < batch.error_index) {
+            batch.error = std::current_exception();
+            batch.error_index = i;
+          }
         }
       }
       ++done;

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "nanocost/robust/finite_guard.hpp"
 #include "nanocost/units/quantity.hpp"
 
 namespace nanocost::fabsim {
@@ -13,15 +14,20 @@ RunEconomics price_lot(const LotResult& lot, const cost::WaferCostModel& wafer_m
   if (lot.wafers.empty()) {
     throw std::invalid_argument("cannot price an empty lot");
   }
+  // fabsim -> economics boundary: nothing non-finite from the simulated
+  // lot or the wafer cost model may leak into money figures.
+  const robust::FiniteGuard guard("fabsim.economics");
   RunEconomics out;
   const double n_wafers = static_cast<double>(lot.wafers.size());
-  out.wafer_cost = wafer_model.wafer_cost(run_wafers > 0.0 ? run_wafers : n_wafers);
+  out.wafer_cost = units::Money{guard(
+      wafer_model.wafer_cost(run_wafers > 0.0 ? run_wafers : n_wafers).value())};
   out.total_cost = out.wafer_cost * n_wafers;
-  out.measured_yield = lot.yield();
+  out.measured_yield = guard(lot.yield());
   out.good_dies = lot.good_dies;
   if (lot.good_dies > 0) {
     out.cost_per_good_die = out.total_cost / static_cast<double>(lot.good_dies);
     out.cost_per_good_transistor = out.cost_per_good_die / transistors_per_die;
+    guard(out.cost_per_good_transistor.value());
   }
   return out;
 }

@@ -7,10 +7,15 @@
 
 #include "nanocost/exec/parallel.hpp"
 #include "nanocost/exec/seed.hpp"
+#include "nanocost/robust/fault_injection.hpp"
 
 namespace nanocost::fabsim {
 
 namespace {
+
+/// Injection site evaluated once per simulated wafer; the unit index is
+/// the (lot- or ramp-global) wafer index.
+constexpr robust::FaultSite kWaferFaultSite{"fabsim.wafer"};
 
 /// Wafers per parallel chunk.  The chunk grid is a function of the lot
 /// size only, never of the thread count.
@@ -277,6 +282,7 @@ LotResult FabSimulator::run(std::int64_t n_wafers, std::uint64_t seed,
       pool, n_wafers, kWaferGrain, [] { return WaferScratch{}; },
       [&](std::int64_t begin, std::int64_t end, WaferScratch& scratch) {
         for (std::int64_t i = begin; i < end; ++i) {
+          robust::inject(kWaferFaultSite, static_cast<std::uint64_t>(i));
           std::mt19937_64 rng(
               exec::SeedSequence::for_task(seed, static_cast<std::uint64_t>(i)));
           simulate_wafer(rng, field, lot.wafers[static_cast<std::size_t>(i)],
@@ -286,6 +292,28 @@ LotResult FabSimulator::run(std::int64_t n_wafers, std::uint64_t seed,
       [&](WaferScratch&& scratch) { finalize_lot(lot, std::move(scratch.histogram)); });
   total_up(lot);
   return lot;
+}
+
+void FabSimulator::run_units(std::int64_t begin, std::int64_t end, std::uint64_t seed,
+                             WaferResult* results,
+                             std::vector<std::int64_t>& histogram) const {
+  if (begin < 0 || end < begin) {
+    throw std::invalid_argument("run_units needs 0 <= begin <= end");
+  }
+  const defect::DefectField field(wafer_, sizes_, field_params_);
+  WaferScratch scratch;
+  for (std::int64_t i = begin; i < end; ++i) {
+    robust::inject(kWaferFaultSite, static_cast<std::uint64_t>(i));
+    std::mt19937_64 rng(exec::SeedSequence::for_task(seed, static_cast<std::uint64_t>(i)));
+    simulate_wafer(rng, field, results[i - begin], scratch.defects, scratch.faults,
+                   scratch.histogram);
+  }
+  if (scratch.histogram.size() > histogram.size()) {
+    histogram.resize(scratch.histogram.size(), 0);
+  }
+  for (std::size_t k = 0; k < scratch.histogram.size(); ++k) {
+    histogram[k] += scratch.histogram[k];
+  }
 }
 
 std::vector<LotResult> FabSimulator::run_ramp(const yield::LearningCurve& curve,
@@ -317,6 +345,7 @@ std::vector<LotResult> FabSimulator::run_ramp(const yield::LearningCurve& curve,
         [&](std::int64_t begin, std::int64_t end, RampScratch& scratch) {
           for (std::int64_t i = begin; i < end; ++i) {
             const std::int64_t global = done + i;  // cross-checkpoint wafer index
+            robust::inject(kWaferFaultSite, static_cast<std::uint64_t>(global));
             const double density = curve.density_at(static_cast<double>(global));
             if (!scratch.field || density != scratch.density) {
               defect::DefectFieldParams params = field_params_;

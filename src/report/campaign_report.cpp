@@ -1,0 +1,39 @@
+#include "nanocost/report/campaign_report.hpp"
+
+#include <cstdio>
+
+namespace nanocost::report {
+
+std::string render_campaign(const robust::CampaignResult& result,
+                            const std::string& unit_name) {
+  char line[256];
+  std::string out;
+  std::snprintf(line, sizeof(line), "campaign: %lld/%lld chunks (%lld/%lld %ss), completeness %.4f\n",
+                static_cast<long long>(result.completed_chunks),
+                static_cast<long long>(result.total_chunks),
+                static_cast<long long>(result.completed_units),
+                static_cast<long long>(result.total_units), unit_name.c_str(),
+                result.completeness());
+  out += line;
+  std::snprintf(line, sizeof(line), "  resumed chunks: %lld, retries: %lld%s\n",
+                static_cast<long long>(result.resumed_chunks),
+                static_cast<long long>(result.retries),
+                result.interrupted ? ", interrupted (checkpointed mid-run)" : "");
+  out += line;
+  if (result.quarantined.empty()) {
+    out += "  quarantine: empty\n";
+    return out;
+  }
+  std::snprintf(line, sizeof(line), "  quarantine: %zu chunk(s)\n", result.quarantined.size());
+  out += line;
+  for (const robust::ChunkFailure& f : result.quarantined) {
+    std::snprintf(line, sizeof(line), "    chunk %lld (%ss [%lld, %lld)): %.160s\n",
+                  static_cast<long long>(f.chunk), unit_name.c_str(),
+                  static_cast<long long>(f.unit_begin), static_cast<long long>(f.unit_end),
+                  f.error.c_str());
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace nanocost::report

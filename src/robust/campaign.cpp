@@ -1,0 +1,160 @@
+#include "nanocost/robust/campaign.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <stdexcept>
+
+#include "nanocost/exec/parallel.hpp"
+#include "nanocost/exec/seed.hpp"
+#include "nanocost/exec/thread_pool.hpp"
+#include "nanocost/robust/checkpoint.hpp"
+#include "nanocost/robust/fault_injection.hpp"
+
+namespace nanocost::robust {
+
+namespace {
+
+struct Mix {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  void operator()(std::uint64_t v) {
+    h ^= v;
+    h *= 0x100000001B3ULL;
+    h = exec::splitmix64(h);
+  }
+};
+
+}  // namespace
+
+std::vector<std::int64_t> CampaignResult::failed_units() const {
+  std::vector<std::int64_t> units;
+  for (const ChunkFailure& f : quarantined) {
+    for (std::int64_t u = f.unit_begin; u < f.unit_end; ++u) units.push_back(u);
+  }
+  return units;
+}
+
+std::uint64_t campaign_fingerprint(const CampaignTask& task) {
+  Mix mix;
+  mix(fnv1a(task.name()));
+  mix(static_cast<std::uint64_t>(task.unit_count()));
+  mix(static_cast<std::uint64_t>(task.grain()));
+  mix(task.config_fingerprint());
+  return mix.h;
+}
+
+CampaignResult run_campaign(const CampaignTask& task, const CampaignOptions& options) {
+  const std::int64_t units = task.unit_count();
+  const std::int64_t grain = task.grain();
+  if (units < 1 || grain < 1) {
+    throw std::invalid_argument("campaign needs unit_count >= 1 and grain >= 1");
+  }
+  if (options.wave_chunks < 1) {
+    throw std::invalid_argument("campaign wave_chunks must be >= 1");
+  }
+  if (options.max_attempts < 1) {
+    throw std::invalid_argument("campaign max_attempts must be >= 1");
+  }
+  const std::int64_t n_chunks = exec::chunk_count(units, grain);
+  const auto chunk_begin = [&](std::int64_t c) { return c * grain; };
+  const auto chunk_end = [&](std::int64_t c) { return std::min(c * grain + grain, units); };
+
+  CampaignResult result;
+  result.total_chunks = n_chunks;
+  result.total_units = units;
+  result.chunks.assign(static_cast<std::size_t>(n_chunks), {});
+
+  // Resume: restore completed chunk blobs from the checkpoint, if any.
+  Checkpoint expected;
+  expected.fingerprint = campaign_fingerprint(task);
+  expected.unit_count = units;
+  expected.grain = grain;
+  if (!options.checkpoint_path.empty()) {
+    Checkpoint loaded;
+    if (load_checkpoint(options.checkpoint_path, expected, loaded)) {
+      for (std::size_t c = 0; c < loaded.chunks.size() && c < result.chunks.size(); ++c) {
+        if (!loaded.chunks[c].empty()) {
+          result.chunks[c] = std::move(loaded.chunks[c]);
+          ++result.resumed_chunks;
+        }
+      }
+    }
+  }
+
+  std::vector<std::int64_t> pending;
+  for (std::int64_t c = 0; c < n_chunks; ++c) {
+    if (result.chunks[static_cast<std::size_t>(c)].empty()) pending.push_back(c);
+  }
+  std::int64_t budget = options.max_chunks_this_run > 0
+                            ? std::min<std::int64_t>(options.max_chunks_this_run,
+                                                     static_cast<std::int64_t>(pending.size()))
+                            : static_cast<std::int64_t>(pending.size());
+  result.interrupted = budget < static_cast<std::int64_t>(pending.size());
+
+  std::atomic<std::int64_t> retries{0};
+  std::mutex quarantine_mu;
+  const auto save = [&] {
+    if (options.checkpoint_path.empty()) return;
+    Checkpoint ckpt = expected;
+    ckpt.chunks = result.chunks;  // copy: blobs stay owned by the result
+    save_checkpoint(options.checkpoint_path, ckpt);
+  };
+
+  exec::ThreadPool& pool = exec::pool_or_global(options.pool);
+  for (std::int64_t wave_start = 0; wave_start < budget;
+       wave_start += options.wave_chunks) {
+    const std::int64_t wave = std::min(options.wave_chunks, budget - wave_start);
+    pool.run_tasks(wave, [&](std::int64_t t) {
+      const std::int64_t chunk = pending[static_cast<std::size_t>(wave_start + t)];
+      auto& blob = result.chunks[static_cast<std::size_t>(chunk)];
+      std::string last_error;
+      for (int attempt = 0; attempt < options.max_attempts; ++attempt) {
+        AttemptScope scope(static_cast<std::uint32_t>(attempt));
+        try {
+          blob.clear();
+          task.run_chunk(chunk_begin(chunk), chunk_end(chunk), blob);
+          if (blob.empty()) {
+            throw std::logic_error("campaign chunk produced an empty blob");
+          }
+          if (attempt > 0) retries.fetch_add(attempt, std::memory_order_relaxed);
+          return;
+        } catch (const std::exception& e) {
+          last_error = e.what();
+        } catch (...) {
+          last_error = "unknown exception";
+        }
+      }
+      blob.clear();
+      retries.fetch_add(options.max_attempts - 1, std::memory_order_relaxed);
+      ChunkFailure failure;
+      failure.chunk = chunk;
+      failure.unit_begin = chunk_begin(chunk);
+      failure.unit_end = chunk_end(chunk);
+      failure.error = std::move(last_error);
+      std::lock_guard<std::mutex> lk(quarantine_mu);
+      result.quarantined.push_back(std::move(failure));
+    });
+    save();
+  }
+
+  result.retries = retries.load(std::memory_order_relaxed);
+  std::sort(result.quarantined.begin(), result.quarantined.end(),
+            [](const ChunkFailure& a, const ChunkFailure& b) { return a.chunk < b.chunk; });
+  for (std::int64_t c = 0; c < n_chunks; ++c) {
+    if (!result.chunks[static_cast<std::size_t>(c)].empty()) {
+      ++result.completed_chunks;
+      result.completed_units += chunk_end(c) - chunk_begin(c);
+    }
+  }
+  if (!options.allow_partial && !result.quarantined.empty()) {
+    const ChunkFailure& first = result.quarantined.front();
+    throw std::runtime_error("campaign chunk " + std::to_string(first.chunk) + " (units [" +
+                             std::to_string(first.unit_begin) + ", " +
+                             std::to_string(first.unit_end) + ")) failed after " +
+                             std::to_string(options.max_attempts) +
+                             " attempts: " + first.error);
+  }
+  return result;
+}
+
+}  // namespace nanocost::robust

@@ -1,0 +1,133 @@
+#include "nanocost/robust/checkpoint.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+#include "nanocost/robust/fault_injection.hpp"
+
+namespace nanocost::robust {
+
+namespace {
+
+constexpr char kMagic[8] = {'N', 'C', 'C', 'K', 'P', 'T', '0', '1'};
+
+struct FileCloser {
+  void operator()(std::FILE* f) const noexcept {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using File = std::unique_ptr<std::FILE, FileCloser>;
+
+bool write_u64(std::FILE* f, std::uint64_t v) {
+  // Serialized little-endian regardless of host order.
+  std::uint8_t buf[8];
+  for (int i = 0; i < 8; ++i) buf[i] = static_cast<std::uint8_t>(v >> (8 * i));
+  return std::fwrite(buf, 1, 8, f) == 8;
+}
+
+bool write_i64(std::FILE* f, std::int64_t v) {
+  return write_u64(f, static_cast<std::uint64_t>(v));
+}
+
+bool read_u64(std::FILE* f, std::uint64_t& v) {
+  std::uint8_t buf[8];
+  if (std::fread(buf, 1, 8, f) != 8) return false;
+  v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(buf[i]) << (8 * i);
+  return true;
+}
+
+bool read_i64(std::FILE* f, std::int64_t& v) {
+  std::uint64_t u = 0;
+  if (!read_u64(f, u)) return false;
+  v = static_cast<std::int64_t>(u);
+  return true;
+}
+
+std::uint64_t blob_checksum(const std::vector<std::uint8_t>& blob) {
+  return fnv1a(std::string_view(reinterpret_cast<const char*>(blob.data()), blob.size()));
+}
+
+}  // namespace
+
+std::int64_t Checkpoint::completed_chunks() const noexcept {
+  std::int64_t n = 0;
+  for (const auto& blob : chunks) {
+    if (!blob.empty()) ++n;
+  }
+  return n;
+}
+
+void save_checkpoint(const std::string& path, const Checkpoint& ckpt) {
+  const std::string tmp = path + ".tmp";
+  {
+    File f(std::fopen(tmp.c_str(), "wb"));
+    if (!f) {
+      throw std::runtime_error("cannot open checkpoint temp file " + tmp);
+    }
+    bool ok = std::fwrite(kMagic, 1, sizeof(kMagic), f.get()) == sizeof(kMagic);
+    ok = ok && write_u64(f.get(), ckpt.fingerprint);
+    ok = ok && write_i64(f.get(), ckpt.unit_count);
+    ok = ok && write_i64(f.get(), ckpt.grain);
+    ok = ok && write_i64(f.get(), ckpt.completed_chunks());
+    for (std::size_t c = 0; ok && c < ckpt.chunks.size(); ++c) {
+      const auto& blob = ckpt.chunks[c];
+      if (blob.empty()) continue;
+      ok = write_i64(f.get(), static_cast<std::int64_t>(c));
+      ok = ok && write_i64(f.get(), static_cast<std::int64_t>(blob.size()));
+      ok = ok && std::fwrite(blob.data(), 1, blob.size(), f.get()) == blob.size();
+      ok = ok && write_u64(f.get(), blob_checksum(blob));
+    }
+    ok = ok && std::fflush(f.get()) == 0;
+    if (!ok) {
+      throw std::runtime_error("failed writing checkpoint " + tmp);
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    throw std::runtime_error("cannot rename checkpoint into place: " + path);
+  }
+}
+
+bool load_checkpoint(const std::string& path, const Checkpoint& expected, Checkpoint& out) {
+  File f(std::fopen(path.c_str(), "rb"));
+  if (!f) return false;
+
+  char magic[sizeof(kMagic)];
+  if (std::fread(magic, 1, sizeof(magic), f.get()) != sizeof(magic) ||
+      std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    throw CheckpointMismatch("checkpoint " + path + " has a bad magic header");
+  }
+  Checkpoint loaded;
+  std::int64_t records = 0;
+  if (!read_u64(f.get(), loaded.fingerprint) || !read_i64(f.get(), loaded.unit_count) ||
+      !read_i64(f.get(), loaded.grain) || !read_i64(f.get(), records)) {
+    throw CheckpointMismatch("checkpoint " + path + " has a truncated header");
+  }
+  if (loaded.fingerprint != expected.fingerprint ||
+      loaded.unit_count != expected.unit_count || loaded.grain != expected.grain) {
+    throw CheckpointMismatch(
+        "checkpoint " + path +
+        " belongs to a different campaign (fingerprint/config mismatch)");
+  }
+  const std::int64_t n_chunks =
+      loaded.grain > 0 ? (loaded.unit_count + loaded.grain - 1) / loaded.grain : 0;
+  loaded.chunks.assign(static_cast<std::size_t>(n_chunks), {});
+
+  // Records past a truncation or checksum failure are dropped silently:
+  // the engine simply recomputes those chunks.
+  for (std::int64_t r = 0; r < records; ++r) {
+    std::int64_t chunk = 0, size = 0;
+    if (!read_i64(f.get(), chunk) || !read_i64(f.get(), size)) break;
+    if (chunk < 0 || chunk >= n_chunks || size < 0) break;
+    std::vector<std::uint8_t> blob(static_cast<std::size_t>(size));
+    if (size > 0 && std::fread(blob.data(), 1, blob.size(), f.get()) != blob.size()) break;
+    std::uint64_t checksum = 0;
+    if (!read_u64(f.get(), checksum) || checksum != blob_checksum(blob)) break;
+    loaded.chunks[static_cast<std::size_t>(chunk)] = std::move(blob);
+  }
+  out = std::move(loaded);
+  return true;
+}
+
+}  // namespace nanocost::robust

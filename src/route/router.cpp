@@ -5,7 +5,15 @@
 #include <limits>
 #include <stdexcept>
 
+#include "nanocost/robust/fault_injection.hpp"
+
 namespace nanocost::route {
+
+namespace {
+/// Injection site evaluated once per rip-up pass; the unit index is the
+/// pass number.
+constexpr robust::FaultSite kRoutePassFaultSite{"route.pass"};
+}  // namespace
 
 using netlist::Net;
 using netlist::Netlist;
@@ -345,6 +353,7 @@ RouteResult route(const Netlist& netlist, const place::Placement& placement,
       }
 
       for (int pass = 0; pass < params.rip_up_passes; ++pass) {
+        robust::inject(kRoutePassFaultSite, static_cast<std::uint64_t>(pass));
         std::int64_t rerouted = 0;
         for (std::size_t k = 0; k < log.size(); ++k) {
           if (dirty[k] == 0) continue;

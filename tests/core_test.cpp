@@ -57,6 +57,70 @@ TEST(Eq3, MonotoneInEveryParameter) {
             base);
 }
 
+TEST(Robustness, Eq1To5EntryPointsRejectNonFiniteInputs) {
+  // A NaN slipping into any paper equation poisons every downstream
+  // optimum silently; the entry points must refuse it loudly instead.
+  const double kNaN = std::nan("");
+  const double kInf = INFINITY;
+
+  // Eq. (1).  Probability cannot hold NaN directly (its constructor
+  // throws); clamped() maps NaN to 0, which the yield guard rejects.
+  EXPECT_THROW(cost_per_transistor_eq1(Money{kNaN}, 1e7, 100.0, Probability{0.5}),
+               std::domain_error);
+  EXPECT_THROW(cost_per_transistor_eq1(Money{2000.0}, kInf, 100.0, Probability{0.5}),
+               std::domain_error);
+  EXPECT_THROW(cost_per_transistor_eq1(Money{2000.0}, 1e7, kNaN, Probability{0.5}),
+               std::domain_error);
+  EXPECT_THROW(
+      cost_per_transistor_eq1(Money{2000.0}, 1e7, 100.0, Probability::clamped(kNaN)),
+      std::domain_error);
+
+  // Eq. (3).
+  EXPECT_THROW(cost_per_transistor_eq3(CostPerArea{kInf}, Micrometers{0.25}, 300.0,
+                                       Probability{0.8}),
+               std::domain_error);
+  EXPECT_THROW(cost_per_transistor_eq3(CostPerArea{8.0}, Micrometers{kNaN}, 300.0,
+                                       Probability{0.8}),
+               std::domain_error);
+  EXPECT_THROW(cost_per_transistor_eq3(CostPerArea{8.0}, Micrometers{0.25}, kNaN,
+                                       Probability{0.8}),
+               std::domain_error);
+
+  // Eq. (5).
+  EXPECT_THROW(design_cost_per_area_eq5(Money{kNaN}, Money{9e6}, 1000.0,
+                                        SquareCentimeters{100.0}),
+               std::domain_error);
+  EXPECT_THROW(design_cost_per_area_eq5(Money{1e6}, Money{kInf}, 1000.0,
+                                        SquareCentimeters{100.0}),
+               std::domain_error);
+  EXPECT_THROW(design_cost_per_area_eq5(Money{1e6}, Money{9e6}, kNaN,
+                                        SquareCentimeters{100.0}),
+               std::domain_error);
+  EXPECT_THROW(design_cost_per_area_eq5(Money{1e6}, Money{9e6}, 1000.0,
+                                        SquareCentimeters{kInf}),
+               std::domain_error);
+
+  // The eq. (3) inversion behind Fig. 3.
+  EXPECT_THROW(sd_for_die_cost(Money{kNaN}, Probability{0.8}, CostPerArea{8.0}, 1e7,
+                               Micrometers{0.25}),
+               std::domain_error);
+  EXPECT_THROW(sd_for_die_cost(Money{50.0}, Probability{0.8}, CostPerArea{kInf}, 1e7,
+                               Micrometers{0.25}),
+               std::domain_error);
+
+  // Eq. (4): non-finite scalars and a NaN-clamped yield both refuse.
+  Eq4Inputs inputs;
+  EXPECT_THROW((void)cost_per_transistor_eq4(inputs, kNaN), std::domain_error);
+  inputs.manufacturing_cost = CostPerArea{kNaN};
+  EXPECT_THROW((void)cost_per_transistor_eq4(inputs, 300.0), std::domain_error);
+  inputs = Eq4Inputs{};
+  inputs.transistors_per_chip = kInf;
+  EXPECT_THROW((void)cost_per_transistor_eq4(inputs, 300.0), std::domain_error);
+  inputs = Eq4Inputs{};
+  inputs.yield = Probability::clamped(kNaN);
+  EXPECT_THROW((void)cost_per_transistor_eq4(inputs, 300.0), std::domain_error);
+}
+
 TEST(Eq5, AmortizesNreOverFabricatedSilicon) {
   const CostPerArea cd = design_cost_per_area_eq5(Money{1e6}, Money{9e6}, 1000.0,
                                                   SquareCentimeters{100.0});

@@ -70,6 +70,87 @@ TEST(ThreadPool, PropagatesTaskExceptions) {
   }
 }
 
+TEST(ThreadPool, PropagatesTheLowestIndexException) {
+  // Several tasks throw; the rethrown exception must be the one of the
+  // lowest-index thrower -- a deterministic choice for any thread count
+  // and any schedule.
+  const std::vector<std::int64_t> throwers{71, 23, 58, 90};
+  const int hw = ThreadPool::default_thread_count();
+  for (const int threads : {1, 2, hw}) {
+    ThreadPool pool(threads);
+    for (int repeat = 0; repeat < 8; ++repeat) {
+      try {
+        pool.run_tasks(128, [&](std::int64_t i) {
+          for (const std::int64_t t : throwers) {
+            if (i == t) throw std::runtime_error("task " + std::to_string(i));
+          }
+        });
+        FAIL() << "expected an exception";
+      } catch (const std::runtime_error& e) {
+        EXPECT_STREQ(e.what(), "task 23") << "threads " << threads;
+      }
+    }
+  }
+}
+
+TEST(ThreadPool, StaysUsableAfterAnException) {
+  const int hw = ThreadPool::default_thread_count();
+  for (const int threads : {1, 2, hw}) {
+    ThreadPool pool(threads);
+    EXPECT_THROW(pool.run_tasks(64,
+                                [](std::int64_t i) {
+                                  if (i == 7) throw std::runtime_error("boom");
+                                }),
+                 std::runtime_error);
+    // The failed batch must not wedge the pool: the next batch runs
+    // every task exactly once.
+    const std::int64_t n = 256;
+    std::vector<std::atomic<int>> hits(n);
+    pool.run_tasks(n, [&](std::int64_t i) { hits[static_cast<std::size_t>(i)]++; });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ParallelFor, PropagatesTheLowestChunkException) {
+  // A worker failing mid-range surfaces the lowest-begin chunk's
+  // exception through parallel_for, for any thread count.
+  const int hw = ThreadPool::default_thread_count();
+  for (const int threads : {1, 2, hw}) {
+    ThreadPool pool(threads);
+    try {
+      parallel_for(&pool, 1000, 32, [](std::int64_t begin, std::int64_t) {
+        if (begin >= 320) throw std::runtime_error("chunk " + std::to_string(begin));
+      });
+      FAIL() << "expected an exception";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "chunk 320") << "threads " << threads;
+    }
+  }
+}
+
+TEST(ParallelReduce, PropagatesWorkerExceptionsAndStaysUsable) {
+  const int hw = ThreadPool::default_thread_count();
+  for (const int threads : {1, 2, hw}) {
+    ThreadPool pool(threads);
+    EXPECT_THROW(parallel_reduce(
+                     &pool, 500, 25, [] { return 0; },
+                     [](std::int64_t begin, std::int64_t, int&) {
+                       if (begin >= 100) throw std::runtime_error("reduce boom");
+                     },
+                     [](int) {}),
+                 std::runtime_error);
+    // The same pool still reduces correctly afterwards.
+    std::int64_t total = 0;
+    parallel_reduce(
+        &pool, 100, 10, [] { return std::int64_t{0}; },
+        [](std::int64_t begin, std::int64_t end, std::int64_t& acc) {
+          for (std::int64_t i = begin; i < end; ++i) acc += i;
+        },
+        [&](std::int64_t acc) { total += acc; });
+    EXPECT_EQ(total, 99 * 100 / 2);
+  }
+}
+
 TEST(ThreadPool, NestedRegionsRunInline) {
   ThreadPool pool(4);
   std::vector<std::atomic<int>> hits(64);

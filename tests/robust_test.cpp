@@ -1,0 +1,265 @@
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "nanocost/robust/checkpoint.hpp"
+#include "nanocost/robust/fault_injection.hpp"
+#include "nanocost/robust/finite_guard.hpp"
+
+namespace nanocost::robust {
+namespace {
+
+// Installing plans mutates process state, so every test restores the
+// disabled default on exit.
+struct PlanGuard {
+  ~PlanGuard() { clear_fault_plan(); }
+};
+
+TEST(FaultPlan, ParsesTheEnvGrammar) {
+  const FaultPlan plan = FaultPlan::parse(
+      "fabsim.wafer=1e-3:throw:persistent; risk.sample=0.25:nan ;seed=99");
+  EXPECT_EQ(plan.schedule_seed(), 99u);
+  const FaultSpec* wafer = plan.find(fnv1a("fabsim.wafer"));
+  ASSERT_NE(wafer, nullptr);
+  EXPECT_DOUBLE_EQ(wafer->rate, 1e-3);
+  EXPECT_EQ(wafer->kind, FaultKind::kThrow);
+  EXPECT_FALSE(wafer->transient);
+  const FaultSpec* sample = plan.find(fnv1a("risk.sample"));
+  ASSERT_NE(sample, nullptr);
+  EXPECT_DOUBLE_EQ(sample->rate, 0.25);
+  EXPECT_EQ(sample->kind, FaultKind::kNaN);
+  EXPECT_TRUE(sample->transient);
+  EXPECT_EQ(plan.find(fnv1a("unknown.site")), nullptr);
+}
+
+TEST(FaultPlan, RejectsMalformedInput) {
+  EXPECT_THROW((void)FaultPlan::parse("no-equals-sign"), std::invalid_argument);
+  EXPECT_THROW((void)FaultPlan::parse("site=notanumber"), std::invalid_argument);
+  EXPECT_THROW((void)FaultPlan::parse("site=0.5:badflag"), std::invalid_argument);
+  EXPECT_THROW((void)FaultPlan::parse("site=1.5"), std::invalid_argument);
+  EXPECT_THROW((void)FaultPlan::parse("site=-0.1"), std::invalid_argument);
+  EXPECT_THROW((void)FaultPlan::parse("=0.5"), std::invalid_argument);
+}
+
+TEST(FaultInjection, DisabledByDefaultAndAfterClear) {
+  PlanGuard guard;
+  clear_fault_plan();
+  constexpr FaultSite site{"test.site"};
+  EXPECT_FALSE(faults_enabled());
+  EXPECT_NO_THROW(inject(site, 0));
+  EXPECT_DOUBLE_EQ(observe(site, 0, 3.25), 3.25);
+
+  FaultPlan plan;
+  plan.add("test.site", FaultSpec{1.0, FaultKind::kThrow, false, 0});
+  install_fault_plan(plan);
+  EXPECT_TRUE(faults_enabled());
+  EXPECT_THROW(inject(site, 0), FaultInjected);
+  clear_fault_plan();
+  EXPECT_FALSE(faults_enabled());
+  EXPECT_NO_THROW(inject(site, 0));
+}
+
+TEST(FaultInjection, ExceptionNamesSiteAndIndex) {
+  PlanGuard guard;
+  FaultPlan plan;
+  plan.add("test.throw", FaultSpec{1.0, FaultKind::kThrow, false, 0});
+  install_fault_plan(plan);
+  constexpr FaultSite site{"test.throw"};
+  try {
+    inject(site, 1234);
+    FAIL() << "expected FaultInjected";
+  } catch (const FaultInjected& e) {
+    EXPECT_EQ(e.site(), "test.throw");
+    EXPECT_EQ(e.index(), 1234u);
+    EXPECT_NE(std::string(e.what()).find("test.throw"), std::string::npos);
+  }
+}
+
+TEST(FaultInjection, ScheduleIsAPureFunctionOfSiteIndexAttempt) {
+  PlanGuard guard;
+  FaultPlan plan;
+  plan.seed(7).add("test.sched", FaultSpec{0.2, FaultKind::kNaN, true, 0});
+  install_fault_plan(plan);
+  constexpr FaultSite site{"test.sched"};
+  std::vector<bool> first;
+  for (std::uint64_t i = 0; i < 512; ++i) {
+    first.push_back(std::isnan(observe(site, i, 1.0)));
+  }
+  // Replay: identical schedule, call after call.
+  int fired = 0;
+  for (std::uint64_t i = 0; i < 512; ++i) {
+    EXPECT_EQ(std::isnan(observe(site, i, 1.0)), first[i]) << "index " << i;
+    fired += first[i] ? 1 : 0;
+  }
+  // ~20% of 512 draws; a huge tolerance keeps this hash-stable.
+  EXPECT_GT(fired, 50);
+  EXPECT_LT(fired, 160);
+  // A different plan seed reshuffles the schedule.
+  FaultPlan reseeded;
+  reseeded.seed(8).add("test.sched", FaultSpec{0.2, FaultKind::kNaN, true, 0});
+  install_fault_plan(reseeded);
+  bool differs = false;
+  for (std::uint64_t i = 0; i < 512 && !differs; ++i) {
+    differs = std::isnan(observe(site, i, 1.0)) != first[i];
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(FaultInjection, TransientFaultsHealAcrossAttemptsPersistentDoNot) {
+  PlanGuard guard;
+  FaultPlan plan;
+  plan.seed(3)
+      .add("test.transient", FaultSpec{0.3, FaultKind::kNaN, true, 0})
+      .add("test.persistent", FaultSpec{0.3, FaultKind::kNaN, false, 0});
+  install_fault_plan(plan);
+  constexpr FaultSite transient{"test.transient"};
+  constexpr FaultSite persistent{"test.persistent"};
+  int healed = 0;
+  for (std::uint64_t i = 0; i < 512; ++i) {
+    bool attempt0 = false;
+    bool attempt1 = false;
+    {
+      AttemptScope scope(0);
+      attempt0 = std::isnan(observe(transient, i, 1.0));
+      // Persistent faults ignore the attempt entirely.
+      const bool p0 = std::isnan(observe(persistent, i, 1.0));
+      AttemptScope nested(1);
+      EXPECT_EQ(std::isnan(observe(persistent, i, 1.0)), p0) << "index " << i;
+    }
+    {
+      AttemptScope scope(1);
+      attempt1 = std::isnan(observe(transient, i, 1.0));
+    }
+    if (attempt0 && !attempt1) ++healed;
+  }
+  // P(fire on attempt 0, heal on attempt 1) = 0.3 * 0.7 over 512 draws.
+  EXPECT_GT(healed, 60);
+}
+
+TEST(FaultInjection, AttemptScopeRestoresOnExit) {
+  EXPECT_EQ(AttemptScope::current(), 0u);
+  {
+    AttemptScope outer(2);
+    EXPECT_EQ(AttemptScope::current(), 2u);
+    {
+      AttemptScope inner(5);
+      EXPECT_EQ(AttemptScope::current(), 5u);
+    }
+    EXPECT_EQ(AttemptScope::current(), 2u);
+  }
+  EXPECT_EQ(AttemptScope::current(), 0u);
+}
+
+TEST(FiniteGuard, PassesFiniteRejectsNaNAndInf) {
+  EXPECT_DOUBLE_EQ(check_finite(2.5, "t.site"), 2.5);
+  EXPECT_THROW((void)check_finite(std::nan(""), "t.site"), NonFiniteError);
+  EXPECT_THROW((void)check_finite(INFINITY, "t.site"), NonFiniteError);
+
+  const std::vector<double> ok{1.0, 2.0, 3.0};
+  EXPECT_NO_THROW(check_finite_range(ok.data(), ok.size(), "t.range"));
+  std::vector<double> bad{1.0, 2.0, std::nan(""), 4.0};
+  try {
+    check_finite_range(bad.data(), bad.size(), "t.range");
+    FAIL() << "expected NonFiniteError";
+  } catch (const NonFiniteError& e) {
+    EXPECT_EQ(e.index(), 2);
+    EXPECT_NE(std::string(e.what()).find("t.range"), std::string::npos);
+  }
+
+  const FiniteGuard guard("t.guard");
+  EXPECT_DOUBLE_EQ(guard(1.5), 1.5);
+  EXPECT_THROW((void)guard(-INFINITY), NonFiniteError);
+}
+
+class CheckpointFile : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "nanocost_ckpt_" +
+            std::to_string(reinterpret_cast<std::uintptr_t>(this)) + ".bin";
+    std::remove(path_.c_str());
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  static Checkpoint sample() {
+    Checkpoint c;
+    c.fingerprint = 0xFEEDBEEF;
+    c.unit_count = 10;
+    c.grain = 4;
+    c.chunks.assign(3, {});
+    c.chunks[0] = {1, 2, 3};
+    c.chunks[2] = {9, 8, 7, 6};
+    return c;
+  }
+
+  std::string path_;
+};
+
+TEST_F(CheckpointFile, RoundTripsBitwise) {
+  const Checkpoint saved = sample();
+  save_checkpoint(path_, saved);
+  Checkpoint loaded;
+  ASSERT_TRUE(load_checkpoint(path_, saved, loaded));
+  EXPECT_EQ(loaded.fingerprint, saved.fingerprint);
+  EXPECT_EQ(loaded.unit_count, saved.unit_count);
+  EXPECT_EQ(loaded.grain, saved.grain);
+  ASSERT_EQ(loaded.chunks.size(), saved.chunks.size());
+  EXPECT_EQ(loaded.chunks[0], saved.chunks[0]);
+  EXPECT_TRUE(loaded.chunks[1].empty());
+  EXPECT_EQ(loaded.chunks[2], saved.chunks[2]);
+  EXPECT_EQ(loaded.completed_chunks(), 2);
+}
+
+TEST_F(CheckpointFile, MissingFileReturnsFalse) {
+  Checkpoint out;
+  EXPECT_FALSE(load_checkpoint(path_, sample(), out));
+}
+
+TEST_F(CheckpointFile, FingerprintMismatchThrows) {
+  save_checkpoint(path_, sample());
+  Checkpoint expected = sample();
+  expected.fingerprint ^= 1;
+  Checkpoint out;
+  EXPECT_THROW((void)load_checkpoint(path_, expected, out), CheckpointMismatch);
+  expected = sample();
+  expected.grain = 5;
+  EXPECT_THROW((void)load_checkpoint(path_, expected, out), CheckpointMismatch);
+}
+
+TEST_F(CheckpointFile, TruncatedTailDropsThePartialRecord) {
+  const Checkpoint saved = sample();
+  save_checkpoint(path_, saved);
+  // Chop bytes off the end: the torn trailing record must be dropped,
+  // not corrupt the load.
+  std::FILE* f = std::fopen(path_.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fclose(f);
+  for (long cut = 1; cut <= 6; ++cut) {
+    save_checkpoint(path_, saved);
+    ASSERT_EQ(0, truncate(path_.c_str(), size - cut));
+    Checkpoint out;
+    ASSERT_TRUE(load_checkpoint(path_, saved, out));
+    // The first record (chunk 0) is intact; the second (chunk 2, the
+    // last on disk) lost bytes and must come back empty.
+    EXPECT_EQ(out.chunks[0], saved.chunks[0]);
+    EXPECT_TRUE(out.chunks[2].empty()) << "cut " << cut;
+  }
+}
+
+TEST_F(CheckpointFile, GarbageMagicThrows) {
+  std::FILE* f = std::fopen(path_.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fputs("NOT A CHECKPOINT FILE AT ALL", f);
+  std::fclose(f);
+  Checkpoint out;
+  EXPECT_THROW((void)load_checkpoint(path_, sample(), out), CheckpointMismatch);
+}
+
+}  // namespace
+}  // namespace nanocost::robust

@@ -82,6 +82,19 @@ TEST(Quantity, RequirePositiveDoubleOverload) {
   EXPECT_DOUBLE_EQ(require_non_negative(0.0, "x"), 0.0);
 }
 
+TEST(Quantity, ValidatorsRejectEveryNonFiniteValue) {
+  // NaN compares false against everything, so a naive `v <= 0` guard
+  // would wave it through; infinities pass sign checks outright.  Both
+  // validators must reject all of them, in both overloads.
+  const double bads[] = {std::nan(""), -std::nan(""), INFINITY, -INFINITY};
+  for (const double bad : bads) {
+    EXPECT_THROW(require_positive(bad, "x"), std::domain_error) << bad;
+    EXPECT_THROW(require_non_negative(bad, "x"), std::domain_error) << bad;
+    EXPECT_THROW(require_positive(Micrometers{bad}, "x"), std::domain_error) << bad;
+    EXPECT_THROW(require_non_negative(Micrometers{bad}, "x"), std::domain_error) << bad;
+  }
+}
+
 TEST(Area, LengthProductsGiveAreas) {
   EXPECT_DOUBLE_EQ((Micrometers{2.0} * Micrometers{3.0}).value(), 6.0);
   EXPECT_DOUBLE_EQ((Centimeters{2.0} * Centimeters{2.0}).value(), 4.0);
