@@ -24,6 +24,7 @@
 #include "nanocost/layout/counting.hpp"
 #include "nanocost/layout/generators.hpp"
 #include "nanocost/netlist/generator.hpp"
+#include "nanocost/obs/metrics.hpp"
 #include "nanocost/place/placer.hpp"
 #include "nanocost/regularity/extractor.hpp"
 #include "nanocost/route/router.hpp"
@@ -217,7 +218,27 @@ struct TimedCase {
   int threads = 1;
   double ns_per_op = 0.0;
   double speedup_vs_serial = 1.0;
+  /// Non-zero obs counter totals of one instrumented (untimed) run;
+  /// captured once per case name -- totals are thread-count-invariant.
+  std::vector<std::pair<std::string, std::uint64_t>> obs_counters;
 };
+
+/// Runs `work` once with metrics on (timing is done separately, with
+/// metrics off, so the timed numbers stay uninstrumented) and returns
+/// the non-zero counter totals.
+template <typename Work>
+std::vector<std::pair<std::string, std::uint64_t>> collect_obs_counters(Work&& work) {
+  obs::reset_metrics();
+  obs::set_metrics_enabled(true);
+  work();
+  obs::set_metrics_enabled(false);
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  for (const auto& [name, value] : obs::snapshot_metrics().counters) {
+    if (value > 0) out.emplace_back(name, value);
+  }
+  obs::reset_metrics();
+  return out;
+}
 
 /// Best-of-`reps` wall time of one invocation of `fn`, in nanoseconds.
 template <typename Fn>
@@ -247,8 +268,10 @@ void run_serial(const std::string& name, std::vector<TimedCase>& cases, Work&& w
   TimedCase c;
   c.name = name;
   c.ns_per_op = time_ns(work, 3);
-  cases.push_back(c);
-  std::printf("  %-24s threads=%-3d  %12.0f ns/op\n", name.c_str(), c.threads, c.ns_per_op);
+  c.obs_counters = collect_obs_counters(work);
+  cases.push_back(std::move(c));
+  std::printf("  %-24s threads=%-3d  %12.0f ns/op\n", name.c_str(), 1,
+              cases.back().ns_per_op);
 }
 
 /// Times `work(pool)` across the thread ladder and appends one case per
@@ -259,15 +282,18 @@ void run_ladder(const std::string& name, std::vector<TimedCase>& cases, Work&& w
   for (const int threads : bench_thread_counts()) {
     exec::ThreadPool pool(threads);
     const double ns = time_ns([&] { work(pool); }, 3);
-    if (threads == 1) serial_ns = ns;
     TimedCase c;
+    if (threads == 1) {
+      serial_ns = ns;
+      c.obs_counters = collect_obs_counters([&] { work(pool); });
+    }
     c.name = name;
     c.threads = threads;
     c.ns_per_op = ns;
     c.speedup_vs_serial = serial_ns > 0.0 ? serial_ns / ns : 1.0;
-    cases.push_back(c);
+    cases.push_back(std::move(c));
     std::printf("  %-24s threads=%-3d  %12.0f ns/op  speedup %.2fx\n", name.c_str(),
-                threads, ns, c.speedup_vs_serial);
+                threads, ns, cases.back().speedup_vs_serial);
   }
 }
 
@@ -319,7 +345,8 @@ void write_bench_json() {
   }
   // On a 1-core machine every thread count degenerates to serial
   // execution, so the speedup columns carry no information.
-  std::fprintf(f, "{\n  \"hardware_concurrency\": %d,\n", exec::ThreadPool::default_thread_count());
+  std::fprintf(f, "{\n  \"schema_version\": 2,\n  \"hardware_concurrency\": %d,\n",
+               exec::ThreadPool::default_thread_count());
   if (exec::ThreadPool::default_thread_count() == 1) {
     std::fprintf(f, "  \"meaningless_speedup\": true,\n");
   }
@@ -327,9 +354,19 @@ void write_bench_json() {
   for (std::size_t i = 0; i < cases.size(); ++i) {
     std::fprintf(f,
                  "    {\"name\": \"%s\", \"threads\": %d, \"ns_per_op\": %.0f, "
-                 "\"speedup_vs_serial\": %.3f}%s\n",
+                 "\"speedup_vs_serial\": %.3f",
                  cases[i].name.c_str(), cases[i].threads, cases[i].ns_per_op,
-                 cases[i].speedup_vs_serial, i + 1 < cases.size() ? "," : "");
+                 cases[i].speedup_vs_serial);
+    if (!cases[i].obs_counters.empty()) {
+      std::fprintf(f, ", \"obs\": {");
+      for (std::size_t k = 0; k < cases[i].obs_counters.size(); ++k) {
+        std::fprintf(f, "%s\"%s\": %llu", k > 0 ? ", " : "",
+                     cases[i].obs_counters[k].first.c_str(),
+                     static_cast<unsigned long long>(cases[i].obs_counters[k].second));
+      }
+      std::fprintf(f, "}");
+    }
+    std::fprintf(f, "}%s\n", i + 1 < cases.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);

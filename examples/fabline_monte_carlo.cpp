@@ -10,15 +10,44 @@
 #include "nanocost/fabsim/campaign.hpp"
 #include "nanocost/fabsim/economics.hpp"
 #include "nanocost/fabsim/simulator.hpp"
+#include "nanocost/netlist/generator.hpp"
+#include "nanocost/obs/metrics.hpp"
+#include "nanocost/obs/trace.hpp"
+#include "nanocost/place/placer.hpp"
 #include "nanocost/report/campaign_report.hpp"
 #include "nanocost/report/table.hpp"
 #include "nanocost/report/wafer_view.hpp"
 #include "nanocost/robust/campaign.hpp"
 #include "nanocost/robust/fault_injection.hpp"
+#include "nanocost/route/router.hpp"
+#include "nanocost/timing/sta.hpp"
 #include "nanocost/units/format.hpp"
 #include "nanocost/yield/models.hpp"
 
 namespace {
+
+/// With `--trace`/`--metrics` the campaign demo also runs a small
+/// place -> route -> STA pass, so one trace shows the whole engine:
+/// exec batches, fabsim wafers, robust waves, and physical design.
+void run_physical_design_sample() {
+  using namespace nanocost;
+  netlist::GeneratorParams gen;
+  gen.gate_count = 300;
+  gen.seed = 11;
+  const netlist::Netlist logic = netlist::generate_random_logic(gen);
+  place::AnnealParams anneal;
+  anneal.seed = 11;
+  const place::PlaceResult placed = place::anneal_place(logic, 15, 20, anneal);
+  const route::RouteResult routed = route::route(logic, placed.placement, {});
+  timing::TimingAnalyzer sta(logic);
+  const timing::TimingResult estimated = sta.analyze_estimated(15.0 * 20.0);
+  const timing::TimingResult actual = sta.analyze_placed(placed.placement);
+  std::printf(
+      "physical-design sample: hpwl %.0f, wirelength %lld edges, "
+      "critical path %.0f ps (estimated %.0f ps)\n",
+      placed.final_hpwl, static_cast<long long>(routed.total_wirelength_edges),
+      actual.critical_path_ps, estimated.critical_path_ps);
+}
 
 /// `--faults`: inject deterministic wafer faults and show graceful
 /// degradation; `--resume`: kill the campaign mid-run, resume it from
@@ -73,6 +102,7 @@ int run_campaign_demo(bool with_faults, bool with_resume) {
   }
 
   std::fputs(report::render_campaign(result, "wafer").c_str(), stdout);
+  if (obs::trace_enabled() || obs::metrics_enabled()) run_physical_design_sample();
   const fabsim::PartialLot partial = task.assemble(result);
   std::printf("\nassembled lot: %lld/%lld wafers, measured yield %.4f\n",
               static_cast<long long>(partial.completed_wafers),
@@ -100,11 +130,35 @@ int main(int argc, char** argv) {
 
   bool with_faults = false;
   bool with_resume = false;
+  bool with_metrics = false;
+  std::string trace_file;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--faults") == 0) with_faults = true;
     if (std::strcmp(argv[i], "--resume") == 0) with_resume = true;
+    if (std::strcmp(argv[i], "--metrics") == 0) with_metrics = true;
+    if (std::strcmp(argv[i], "--trace") == 0) {
+      if (i + 1 >= argc) {
+        std::fputs("--trace needs an output file path\n", stderr);
+        return 2;
+      }
+      trace_file = argv[++i];
+    }
   }
-  if (with_faults || with_resume) return run_campaign_demo(with_faults, with_resume);
+  if (with_metrics) obs::set_metrics_enabled(true);
+  if (!trace_file.empty()) obs::start_trace(trace_file);
+
+  const auto finish = [&](int rc) {
+    if (with_metrics) std::fputs(obs::render_metrics_text().c_str(), stdout);
+    if (!trace_file.empty()) {
+      if (!obs::stop_trace()) return rc == 0 ? 1 : rc;
+      std::printf("trace written to %s\n", trace_file.c_str());
+    }
+    return rc;
+  };
+
+  if (with_faults || with_resume || with_metrics || !trace_file.empty()) {
+    return finish(run_campaign_demo(with_faults, with_resume));
+  }
 
   std::puts("=== Fabline Monte Carlo: one product, cradle to economics ===\n");
 

@@ -14,6 +14,8 @@
 #include <vector>
 
 #include "nanocost/exec/thread_pool.hpp"
+#include "nanocost/obs/metrics.hpp"
+#include "nanocost/obs/trace.hpp"
 #include "nanocost/robust/fault_injection.hpp"
 
 namespace nanocost::exec {
@@ -21,6 +23,20 @@ namespace nanocost::exec {
 /// Injection site evaluated once per chunk of every parallel loop; the
 /// unit index is the chunk index.  Off: one relaxed load per chunk.
 inline constexpr robust::FaultSite kChunkFaultSite{"exec.chunk"};
+
+namespace detail {
+
+/// Observation evaluated once per chunk (span + counter).  Off: two
+/// relaxed loads per chunk, no other work.
+inline void observe_chunk_begin(obs::ObsSpan& span, std::int64_t chunk) {
+  span.arg("chunk", static_cast<std::uint64_t>(chunk));
+  if (obs::metrics_enabled()) {
+    static obs::Counter& chunks = obs::counter("exec.chunks");
+    chunks.add();
+  }
+}
+
+}  // namespace detail
 
 /// Number of chunks a range of `n` splits into at a given grain.
 [[nodiscard]] constexpr std::int64_t chunk_count(std::int64_t n, std::int64_t grain) noexcept {
@@ -36,11 +52,15 @@ void parallel_for(ThreadPool* pool, std::int64_t n, std::int64_t grain, Body&& b
   if (grain < 1) throw std::invalid_argument("parallel_for grain must be >= 1");
   const std::int64_t chunks = chunk_count(n, grain);
   if (chunks == 1) {
+    obs::ObsSpan span("exec.chunk");
+    detail::observe_chunk_begin(span, 0);
     robust::inject(kChunkFaultSite, 0);
     body(std::int64_t{0}, n);
     return;
   }
   pool_or_global(pool).run_tasks(chunks, [&](std::int64_t c) {
+    obs::ObsSpan span("exec.chunk");
+    detail::observe_chunk_begin(span, c);
     robust::inject(kChunkFaultSite, static_cast<std::uint64_t>(c));
     const std::int64_t begin = c * grain;
     const std::int64_t end = begin + grain < n ? begin + grain : n;
@@ -64,6 +84,8 @@ void parallel_reduce(ThreadPool* pool, std::int64_t n, std::int64_t grain, MakeS
   using Scratch = decltype(make());
   const std::int64_t chunks = chunk_count(n, grain);
   if (chunks == 1) {
+    obs::ObsSpan span("exec.chunk");
+    detail::observe_chunk_begin(span, 0);
     robust::inject(kChunkFaultSite, 0);
     Scratch scratch = make();
     body(std::int64_t{0}, n, scratch);
@@ -74,6 +96,8 @@ void parallel_reduce(ThreadPool* pool, std::int64_t n, std::int64_t grain, MakeS
   scratches.reserve(static_cast<std::size_t>(chunks));
   for (std::int64_t c = 0; c < chunks; ++c) scratches.push_back(make());
   pool_or_global(pool).run_tasks(chunks, [&](std::int64_t c) {
+    obs::ObsSpan span("exec.chunk");
+    detail::observe_chunk_begin(span, c);
     robust::inject(kChunkFaultSite, static_cast<std::uint64_t>(c));
     const std::int64_t begin = c * grain;
     const std::int64_t end = begin + grain < n ? begin + grain : n;

@@ -1,0 +1,190 @@
+// Thread-safe metrics registry: named counters, gauges, fixed-bucket
+// histograms.
+//
+// The engine's long campaigns (fabsim lots, risk sweeps, anneals) are
+// invisible without instrumentation, but instrumentation must be free
+// when nobody is looking.  The contract mirrors robust's fault
+// injection: every site first checks `metrics_enabled()` -- one relaxed
+// atomic load plus a predictable branch when metrics are off -- and
+// only then touches a metric.  Hot-path updates on enabled metrics are
+// lock-free relaxed atomics; registration (first lookup of a name) takes
+// a mutex once per site.
+//
+// Metrics are observational only: no engine output may depend on a
+// metric value, so enabling them cannot perturb results (enforced by
+// tests/obs_test.cpp bitwise-determinism checks).
+//
+// Enable via code (`set_metrics_enabled(true)`) or the environment
+// (`NANOCOST_METRICS=1`).  A malformed NANOCOST_METRICS value prints
+// one diagnostic to stderr and leaves metrics disabled.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace nanocost::obs {
+
+/// Monotone event count.  add() is a relaxed fetch_add: lock-free, and
+/// safe from any thread.
+class Counter final {
+ public:
+  explicit Counter(std::string name) : name_(std::move(name)) {}
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void add(std::uint64_t delta = 1) noexcept {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::string name_;
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-written value (a level, not a count).  Stores a double via
+/// relaxed atomic store; add() is a CAS loop (rare path, still
+/// lock-free).
+class Gauge final {
+ public:
+  explicit Gauge(std::string name) : name_(std::move(name)) {}
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void set(double v) noexcept { value_.store(v, std::memory_order_relaxed); }
+  void add(double delta) noexcept {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + delta, std::memory_order_relaxed)) {
+    }
+  }
+  [[nodiscard]] double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  void reset() noexcept { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::string name_;
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram over non-negative integer samples (durations
+/// in microseconds, byte counts, ...).  Bucket i counts samples
+/// `v <= bounds[i]` (first match); larger samples land in the overflow
+/// bucket.  All updates are relaxed atomics; record() is wait-free
+/// except the min/max CAS loops (which converge in a handful of steps).
+class Histogram final {
+ public:
+  Histogram(std::string name, std::vector<std::uint64_t> bounds);
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void record(std::uint64_t v) noexcept;
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] const std::vector<std::uint64_t>& bounds() const noexcept { return bounds_; }
+  /// Count in bucket i (i == bounds().size() is the overflow bucket).
+  [[nodiscard]] std::uint64_t bucket_count(std::size_t i) const noexcept {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t sum() const noexcept {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t min() const noexcept;  ///< 0 when empty
+  [[nodiscard]] std::uint64_t max() const noexcept;  ///< 0 when empty
+  [[nodiscard]] double mean() const noexcept {
+    const std::uint64_t n = count();
+    return n > 0 ? static_cast<double>(sum()) / static_cast<double>(n) : 0.0;
+  }
+  void reset() noexcept;
+
+ private:
+  std::string name_;
+  std::vector<std::uint64_t> bounds_;  ///< ascending upper bounds
+  /// bounds_.size() + 1 slots; the last is the overflow bucket.
+  std::vector<std::atomic<std::uint64_t>> buckets_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> min_{~0ULL};
+  std::atomic<std::uint64_t> max_{0};
+};
+
+/// Looks up (or registers) a metric by name.  References stay valid for
+/// the process lifetime; idiomatic sites cache them in a function-local
+/// static so the registry mutex is paid once per site:
+///   static obs::Counter& c = obs::counter("fabsim.wafers");
+[[nodiscard]] Counter& counter(std::string_view name);
+[[nodiscard]] Gauge& gauge(std::string_view name);
+/// `bounds` must be non-empty and strictly ascending; a second lookup of
+/// an existing histogram returns it unchanged (bounds ignored).
+[[nodiscard]] Histogram& histogram(std::string_view name, std::vector<std::uint64_t> bounds);
+
+/// Value of a registered counter, or 0 when no such counter exists --
+/// for report surfaces that must not create metrics as a side effect.
+[[nodiscard]] std::uint64_t counter_value(std::string_view name);
+/// The registered histogram, or nullptr.
+[[nodiscard]] const Histogram* find_histogram(std::string_view name);
+
+/// Forces metrics on or off, overriding (and settling) the environment.
+void set_metrics_enabled(bool enabled);
+
+/// Zeroes every registered metric.  Not atomic with respect to
+/// concurrent updates; call between runs (tests, benches), not during.
+void reset_metrics();
+
+/// Point-in-time copy of every registered metric, sorted by name.
+struct HistogramSnapshot final {
+  std::string name;
+  std::vector<std::uint64_t> bounds;
+  std::vector<std::uint64_t> buckets;  ///< bounds.size() + 1 (overflow last)
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t min = 0;
+  std::uint64_t max = 0;
+};
+struct MetricsSnapshot final {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<HistogramSnapshot> histograms;
+};
+[[nodiscard]] MetricsSnapshot snapshot_metrics();
+
+/// Human-readable snapshot block (one metric per line).
+[[nodiscard]] std::string render_metrics_text();
+/// The same snapshot as a JSON object:
+///   {"counters": {...}, "gauges": {...}, "histograms": {name: {...}}}
+[[nodiscard]] std::string render_metrics_json();
+
+namespace detail {
+
+/// 0 = not yet initialised (env not read), 1 = disabled, 2 = enabled.
+extern std::atomic<int> g_metrics_state;
+
+/// Reads NANOCOST_METRICS once and settles g_metrics_state.  A value
+/// that is not a recognised boolean prints one stderr diagnostic and
+/// disables metrics.
+bool init_metrics_state_from_env();
+
+}  // namespace detail
+
+/// True when metrics collection is on.  The off path is a single
+/// relaxed load plus compare -- cheap enough for every hot-path site.
+[[nodiscard]] inline bool metrics_enabled() noexcept {
+  const int s = detail::g_metrics_state.load(std::memory_order_relaxed);
+  if (s == 0) [[unlikely]] {
+    return detail::init_metrics_state_from_env();
+  }
+  return s == 2;
+}
+
+}  // namespace nanocost::obs

@@ -1,0 +1,118 @@
+// Span tracer: RAII scopes -> Chrome trace-event JSON.
+//
+// An ObsSpan marks one timed scope (a thread-pool batch, a campaign
+// wave, an anneal temperature level).  When tracing is off -- the
+// default -- constructing a span costs one relaxed atomic load and a
+// predictable branch, mirroring robust's fault-injection gate.  When
+// tracing is on, each span records (name, thread, start, duration, up
+// to two integer args) into a per-thread buffer; stop_trace() (or the
+// atexit hook installed when NANOCOST_TRACE enables tracing from the
+// environment) merges the buffers and writes Chrome trace-event JSON
+// loadable in chrome://tracing or https://ui.perfetto.dev.
+//
+// Tracing is observational only: it reads clocks and writes buffers,
+// never engine state, so traced runs are bitwise-identical to untraced
+// ones (tests/obs_test.cpp).
+//
+// Span and arg names must be string literals (or otherwise outlive the
+// trace); the tracer stores the pointers, not copies.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace nanocost::obs {
+
+namespace detail {
+
+/// 0 = not yet initialised (env not read), 1 = disabled, 2 = enabled.
+extern std::atomic<int> g_trace_state;
+
+/// Reads NANOCOST_TRACE once and settles g_trace_state.  An empty value
+/// prints one stderr diagnostic and disables tracing.
+bool init_trace_state_from_env();
+
+/// Nanoseconds since the trace epoch (the moment tracing started).
+[[nodiscard]] std::uint64_t trace_now_ns() noexcept;
+
+struct SpanRecord final {
+  const char* name = nullptr;
+  std::uint64_t t0_ns = 0;
+  std::uint64_t dur_ns = 0;
+  const char* arg_key[2] = {nullptr, nullptr};
+  std::uint64_t arg_val[2] = {0, 0};
+  int n_args = 0;
+};
+
+/// Appends one finished span to the calling thread's buffer.
+void record_span(const SpanRecord& record) noexcept;
+
+}  // namespace detail
+
+/// True when span tracing is on.  The off path is a single relaxed load
+/// plus compare.
+[[nodiscard]] inline bool trace_enabled() noexcept {
+  const int s = detail::g_trace_state.load(std::memory_order_relaxed);
+  if (s == 0) [[unlikely]] {
+    return detail::init_trace_state_from_env();
+  }
+  return s == 2;
+}
+
+/// Starts tracing into `path` (overwrites any previous trace target and
+/// discards buffered events from earlier sessions).  Programmatic
+/// equivalent of NANOCOST_TRACE=<path>.
+void start_trace(std::string path);
+
+/// Stops tracing and writes the collected events to the configured
+/// path.  Returns false (with one stderr diagnostic) when the file
+/// cannot be written.  A no-op returning true when tracing is off.
+bool stop_trace();
+
+/// The path the current/last trace session writes to (empty when
+/// tracing was never enabled).
+[[nodiscard]] std::string trace_path();
+
+/// RAII timed scope.  Destruction records the span; arg() attaches up
+/// to two named integer arguments (shown in the trace viewer).
+class ObsSpan final {
+ public:
+  explicit ObsSpan(const char* name) noexcept : name_(name) {
+    if (trace_enabled()) [[unlikely]] {
+      armed_ = true;
+      t0_ns_ = detail::trace_now_ns();
+    }
+  }
+  ~ObsSpan() {
+    if (armed_) [[unlikely]] {
+      finish();
+    }
+  }
+  ObsSpan(const ObsSpan&) = delete;
+  ObsSpan& operator=(const ObsSpan&) = delete;
+
+  /// `key` must be a string literal; at most two args are kept.
+  void arg(const char* key, std::uint64_t value) noexcept {
+    if (armed_ && n_args_ < 2) {
+      arg_key_[n_args_] = key;
+      arg_val_[n_args_] = value;
+      ++n_args_;
+    }
+  }
+
+  /// Whether this span is recording (tracing was on at construction).
+  [[nodiscard]] bool armed() const noexcept { return armed_; }
+
+ private:
+  void finish() noexcept;
+
+  const char* name_;
+  std::uint64_t t0_ns_ = 0;
+  const char* arg_key_[2] = {nullptr, nullptr};
+  std::uint64_t arg_val_[2] = {0, 0};
+  int n_args_ = 0;
+  bool armed_ = false;
+};
+
+}  // namespace nanocost::obs

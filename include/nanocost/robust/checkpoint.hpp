@@ -23,6 +23,7 @@
 // atomic rename.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <stdexcept>
 #include <string>
@@ -48,9 +49,10 @@ class CheckpointMismatch final : public std::runtime_error {
   explicit CheckpointMismatch(const std::string& what) : std::runtime_error(what) {}
 };
 
-/// Writes `ckpt` to `path` atomically (temp file + rename).  Throws
-/// std::runtime_error on I/O failure.
-void save_checkpoint(const std::string& path, const Checkpoint& ckpt);
+/// Writes `ckpt` to `path` atomically (temp file + rename) and returns
+/// the number of bytes written.  Throws std::runtime_error on I/O
+/// failure.
+std::size_t save_checkpoint(const std::string& path, const Checkpoint& ckpt);
 
 /// Loads `path` into `out`.  Returns false when the file does not exist.
 /// Throws CheckpointMismatch when the header disagrees with `expected`

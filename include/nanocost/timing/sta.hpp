@@ -82,6 +82,9 @@ class TimingAnalyzer final {
   std::vector<std::int32_t> gate_col_;
   std::vector<std::int32_t> gate_row_;
   std::vector<std::int32_t> critical_input_;
+  /// Analyses served by this analyzer; the second and later ones reuse
+  /// the levelization (observability only, never read by the engine).
+  int analyses_run_ = 0;
 };
 
 /// Post-placement STA: wire delays from each net's real HPWL.

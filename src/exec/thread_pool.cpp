@@ -1,12 +1,16 @@
 #include "nanocost/exec/thread_pool.hpp"
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdlib>
 #include <mutex>
 #include <stdexcept>
 #include <thread>
 #include <vector>
+
+#include "nanocost/obs/metrics.hpp"
+#include "nanocost/obs/trace.hpp"
 
 namespace nanocost::exec {
 
@@ -15,6 +19,13 @@ namespace {
 // True while the current thread is executing tasks of some batch; a
 // nested run_tasks then executes inline instead of re-entering a pool.
 thread_local bool t_in_parallel_region = false;
+
+std::uint64_t steady_now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
 
 }  // namespace
 
@@ -35,6 +46,10 @@ struct ThreadPool::Impl {
     // function of the task set, independent of thread count.
     std::exception_ptr error;
     std::int64_t error_index = 0;
+    // steady_clock ns when the batch was published to the workers; 0
+    // unless metrics are on.  Purely observational (dispatch-latency
+    // histogram) -- no scheduling decision reads it.
+    std::uint64_t publish_ns = 0;
   };
 
   std::mutex mu;
@@ -50,6 +65,7 @@ struct ThreadPool::Impl {
   /// Claims and runs tasks of `batch` until the counter drains; returns
   /// the number of tasks this lane executed (or skipped after an error).
   std::int64_t work_on(Batch& batch) {
+    obs::ObsSpan span("exec.lane");
     std::int64_t done = 0;
     const bool was_in_region = t_in_parallel_region;
     t_in_parallel_region = true;
@@ -78,6 +94,7 @@ struct ThreadPool::Impl {
       ++done;
     }
     t_in_parallel_region = was_in_region;
+    span.arg("tasks", static_cast<std::uint64_t>(done));
     return done;
   }
 
@@ -93,6 +110,12 @@ struct ThreadPool::Impl {
         batch = current;
       }
       if (!batch) continue;
+      if (batch->publish_ns != 0) {
+        static obs::Histogram& dispatch_us = obs::histogram(
+            "exec.dispatch_us", {1, 10, 100, 1000, 10000, 100000});
+        const std::uint64_t now = steady_now_ns();
+        dispatch_us.record(now > batch->publish_ns ? (now - batch->publish_ns) / 1000 : 0);
+      }
       const std::int64_t done = work_on(*batch);
       {
         std::lock_guard<std::mutex> lk(mu);
@@ -127,6 +150,15 @@ void ThreadPool::run_tasks(std::int64_t n_tasks,
   if (n_tasks <= 0) return;
   if (!task) throw std::invalid_argument("run_tasks needs a callable task");
 
+  obs::ObsSpan span("exec.batch");
+  span.arg("tasks", static_cast<std::uint64_t>(n_tasks));
+  if (obs::metrics_enabled()) {
+    static obs::Counter& batches = obs::counter("exec.batches");
+    static obs::Counter& tasks = obs::counter("exec.tasks");
+    batches.add();
+    tasks.add(static_cast<std::uint64_t>(n_tasks));
+  }
+
   const auto run_inline = [&] {
     const bool was_in_region = t_in_parallel_region;
     t_in_parallel_region = true;
@@ -147,6 +179,7 @@ void ThreadPool::run_tasks(std::int64_t n_tasks,
   auto batch = std::make_shared<Impl::Batch>();
   batch->task = &task;
   batch->n = n_tasks;
+  if (obs::metrics_enabled()) batch->publish_ns = steady_now_ns();
   bool claimed = false;
   {
     std::lock_guard<std::mutex> lk(impl_->mu);

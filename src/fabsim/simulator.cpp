@@ -7,6 +7,8 @@
 
 #include "nanocost/exec/parallel.hpp"
 #include "nanocost/exec/seed.hpp"
+#include "nanocost/obs/metrics.hpp"
+#include "nanocost/obs/trace.hpp"
 #include "nanocost/robust/fault_injection.hpp"
 
 namespace nanocost::fabsim {
@@ -212,10 +214,18 @@ void FabSimulator::simulate_wafer(std::mt19937_64& rng, const defect::DefectFiel
                                   std::vector<defect::Defect>& defect_buffer,
                                   std::vector<std::int32_t>& faults_scratch,
                                   std::vector<std::int64_t>& histogram) const {
+  obs::ObsSpan span("fabsim.wafer");
   faults_scratch.assign(static_cast<std::size_t>(map_.die_count()), 0);
   field.sample_wafer(rng, defect_buffer);
   result.defects = static_cast<std::int64_t>(defect_buffer.size());
   result.gross_dies = map_.die_count();
+  span.arg("defects", static_cast<std::uint64_t>(result.defects));
+  if (obs::metrics_enabled()) {
+    static obs::Counter& wafers = obs::counter("fabsim.wafers");
+    static obs::Counter& defects = obs::counter("fabsim.defects");
+    wafers.add();
+    defects.add(static_cast<std::uint64_t>(result.defects));
+  }
 
   std::uniform_real_distribution<double> uni(0.0, 1.0);
   for (const defect::Defect& d : defect_buffer) {
@@ -273,6 +283,8 @@ LotResult FabSimulator::run(std::int64_t n_wafers, std::uint64_t seed,
   if (n_wafers < 1) {
     throw std::invalid_argument("lot needs at least one wafer");
   }
+  obs::ObsSpan span("fabsim.lot");
+  span.arg("wafers", static_cast<std::uint64_t>(n_wafers));
   const defect::DefectField field(wafer_, sizes_, field_params_);
 
   LotResult lot;
@@ -300,6 +312,8 @@ void FabSimulator::run_units(std::int64_t begin, std::int64_t end, std::uint64_t
   if (begin < 0 || end < begin) {
     throw std::invalid_argument("run_units needs 0 <= begin <= end");
   }
+  obs::ObsSpan span("fabsim.units");
+  span.arg("wafers", static_cast<std::uint64_t>(end - begin));
   const defect::DefectField field(wafer_, sizes_, field_params_);
   WaferScratch scratch;
   for (std::int64_t i = begin; i < end; ++i) {
@@ -337,6 +351,8 @@ std::vector<LotResult> FabSimulator::run_ramp(const yield::LearningCurve& curve,
   std::int64_t done = 0;
   while (done < total_wafers) {
     const std::int64_t batch = std::min(checkpoint_wafers, total_wafers - done);
+    obs::ObsSpan span("fabsim.lot");
+    span.arg("wafers", static_cast<std::uint64_t>(batch));
     LotResult lot;
     lot.fault_histogram.assign(4, 0);
     lot.wafers.assign(static_cast<std::size_t>(batch), WaferResult{});

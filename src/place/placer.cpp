@@ -12,6 +12,8 @@
 #include "nanocost/exec/parallel.hpp"
 #include "nanocost/exec/rng.hpp"
 #include "nanocost/exec/seed.hpp"
+#include "nanocost/obs/metrics.hpp"
+#include "nanocost/obs/trace.hpp"
 #include "nanocost/place/hpwl_cache.hpp"
 
 namespace nanocost::place {
@@ -146,6 +148,7 @@ PlaceResult anneal_impl(const Netlist& netlist, std::int32_t rows, std::int32_t 
                            start->gate_count() != netlist.gate_count())) {
     throw std::invalid_argument("warm-start placement does not match the grid/netlist");
   }
+  obs::ObsSpan anneal_span("place.anneal");
   Placement placement = start != nullptr ? *start : Placement::ordered(netlist, rows, cols);
 
   const auto objective = [&](const Placement& p) {
@@ -210,6 +213,7 @@ PlaceResult anneal_impl(const Netlist& netlist, std::int32_t rows, std::int32_t 
   std::int64_t accepted = 0;
 
   while (temperature > stop) {
+    obs::ObsSpan level_span("place.level");
     // exp(-delta/T) below this delta/T is ~1e-14: reject without
     // drawing (the acceptance probability is unobservably small).
     const double certain_reject = 32.0 * temperature;
@@ -278,6 +282,20 @@ PlaceResult anneal_impl(const Netlist& netlist, std::int32_t rows, std::int32_t 
   result.moves_accepted = accepted;
   result.placement = rebuild_placement();
   result.final_hpwl = objective(result.placement);
+  // Totals are folded in once per anneal, not per move: the 54 ns/move
+  // inner loop stays untouched even with metrics on.
+  anneal_span.arg("tried", static_cast<std::uint64_t>(tried));
+  anneal_span.arg("accepted", static_cast<std::uint64_t>(accepted));
+  if (obs::metrics_enabled()) {
+    static obs::Counter& anneals = obs::counter("place.anneals");
+    static obs::Counter& moves_tried = obs::counter("place.moves_tried");
+    static obs::Counter& moves_accepted = obs::counter("place.moves_accepted");
+    static obs::Counter& rejects = obs::counter("place.rejects_write_free");
+    anneals.add();
+    moves_tried.add(static_cast<std::uint64_t>(tried));
+    moves_accepted.add(static_cast<std::uint64_t>(accepted));
+    rejects.add(static_cast<std::uint64_t>(tried - accepted));
+  }
   return result;
 }
 
@@ -293,12 +311,16 @@ MultistartResult anneal_place_multistart(const Netlist& netlist, std::int32_t ro
                                          const AnnealParams& params,
                                          exec::ThreadPool* pool) {
   if (starts < 1) throw std::invalid_argument("multi-start needs starts >= 1");
+  obs::ObsSpan span("place.multistart");
+  span.arg("starts", static_cast<std::uint64_t>(starts));
   std::vector<std::optional<PlaceResult>> results(static_cast<std::size_t>(starts));
   // One task per start; each start's seed and initial placement are
   // pure functions of (params.seed, start index), so the fan-out is
   // bitwise thread-count-invariant.
   exec::parallel_for(pool, starts, 1, [&](std::int64_t begin, std::int64_t end) {
     for (std::int64_t i = begin; i < end; ++i) {
+      obs::ObsSpan start_span("place.start");
+      start_span.arg("start", static_cast<std::uint64_t>(i));
       AnnealParams task = params;
       task.seed = exec::SeedSequence::for_task(params.seed, static_cast<std::uint64_t>(i));
       if (i == 0) {

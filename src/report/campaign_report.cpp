@@ -2,7 +2,45 @@
 
 #include <cstdio>
 
+#include "nanocost/obs/metrics.hpp"
+
 namespace nanocost::report {
+
+namespace {
+
+/// Observability footer sourced from the metrics registry.  The
+/// registry is process-cumulative, so across several campaigns in one
+/// process these totals cover all of them, not just `result` -- the
+/// footer says so.  Rendered only when metrics are on; counters are
+/// looked up without registering them as a side effect.
+std::string render_obs_footer() {
+  if (!obs::metrics_enabled()) return {};
+  char line[256];
+  std::string out = "  observability (process totals):\n";
+  std::snprintf(line, sizeof(line),
+                "    chunks retried: %llu, quarantined: %llu\n",
+                static_cast<unsigned long long>(obs::counter_value("robust.retries")),
+                static_cast<unsigned long long>(obs::counter_value("robust.quarantined")));
+  out += line;
+  std::snprintf(line, sizeof(line),
+                "    checkpoint writes: %llu (%llu bytes)\n",
+                static_cast<unsigned long long>(
+                    obs::counter_value("robust.checkpoint_writes")),
+                static_cast<unsigned long long>(
+                    obs::counter_value("robust.checkpoint_bytes")));
+  out += line;
+  if (const obs::Histogram* waves = obs::find_histogram("robust.wave_ms")) {
+    std::snprintf(line, sizeof(line),
+                  "    waves: %llu, wall-time per wave: mean %.1f ms (min %llu, max %llu)\n",
+                  static_cast<unsigned long long>(waves->count()), waves->mean(),
+                  static_cast<unsigned long long>(waves->min()),
+                  static_cast<unsigned long long>(waves->max()));
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace
 
 std::string render_campaign(const robust::CampaignResult& result,
                             const std::string& unit_name) {
@@ -22,6 +60,7 @@ std::string render_campaign(const robust::CampaignResult& result,
   out += line;
   if (result.quarantined.empty()) {
     out += "  quarantine: empty\n";
+    out += render_obs_footer();
     return out;
   }
   std::snprintf(line, sizeof(line), "  quarantine: %zu chunk(s)\n", result.quarantined.size());
@@ -33,6 +72,7 @@ std::string render_campaign(const robust::CampaignResult& result,
                   f.error.c_str());
     out += line;
   }
+  out += render_obs_footer();
   return out;
 }
 

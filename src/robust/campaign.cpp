@@ -2,12 +2,15 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <mutex>
 #include <stdexcept>
 
 #include "nanocost/exec/parallel.hpp"
 #include "nanocost/exec/seed.hpp"
 #include "nanocost/exec/thread_pool.hpp"
+#include "nanocost/obs/metrics.hpp"
+#include "nanocost/obs/trace.hpp"
 #include "nanocost/robust/checkpoint.hpp"
 #include "nanocost/robust/fault_injection.hpp"
 
@@ -95,17 +98,32 @@ CampaignResult run_campaign(const CampaignTask& task, const CampaignOptions& opt
   std::mutex quarantine_mu;
   const auto save = [&] {
     if (options.checkpoint_path.empty()) return;
+    obs::ObsSpan span("robust.checkpoint");
     Checkpoint ckpt = expected;
     ckpt.chunks = result.chunks;  // copy: blobs stay owned by the result
-    save_checkpoint(options.checkpoint_path, ckpt);
+    const std::size_t bytes = save_checkpoint(options.checkpoint_path, ckpt);
+    span.arg("bytes", static_cast<std::uint64_t>(bytes));
+    if (obs::metrics_enabled()) {
+      static obs::Counter& writes = obs::counter("robust.checkpoint_writes");
+      static obs::Counter& written = obs::counter("robust.checkpoint_bytes");
+      writes.add();
+      written.add(static_cast<std::uint64_t>(bytes));
+    }
   };
 
   exec::ThreadPool& pool = exec::pool_or_global(options.pool);
   for (std::int64_t wave_start = 0; wave_start < budget;
        wave_start += options.wave_chunks) {
     const std::int64_t wave = std::min(options.wave_chunks, budget - wave_start);
+    obs::ObsSpan wave_span("robust.wave");
+    wave_span.arg("chunks", static_cast<std::uint64_t>(wave));
+    const bool timed = obs::metrics_enabled();
+    const auto wave_t0 = timed ? std::chrono::steady_clock::now()
+                               : std::chrono::steady_clock::time_point{};
     pool.run_tasks(wave, [&](std::int64_t t) {
       const std::int64_t chunk = pending[static_cast<std::size_t>(wave_start + t)];
+      obs::ObsSpan chunk_span("robust.chunk");
+      chunk_span.arg("chunk", static_cast<std::uint64_t>(chunk));
       auto& blob = result.chunks[static_cast<std::size_t>(chunk)];
       std::string last_error;
       for (int attempt = 0; attempt < options.max_attempts; ++attempt) {
@@ -117,6 +135,15 @@ CampaignResult run_campaign(const CampaignTask& task, const CampaignOptions& opt
             throw std::logic_error("campaign chunk produced an empty blob");
           }
           if (attempt > 0) retries.fetch_add(attempt, std::memory_order_relaxed);
+          chunk_span.arg("attempts", static_cast<std::uint64_t>(attempt) + 1);
+          if (obs::metrics_enabled()) {
+            static obs::Counter& completed = obs::counter("robust.chunks_completed");
+            completed.add();
+            if (attempt > 0) {
+              static obs::Counter& retried = obs::counter("robust.retries");
+              retried.add(static_cast<std::uint64_t>(attempt));
+            }
+          }
           return;
         } catch (const std::exception& e) {
           last_error = e.what();
@@ -126,6 +153,13 @@ CampaignResult run_campaign(const CampaignTask& task, const CampaignOptions& opt
       }
       blob.clear();
       retries.fetch_add(options.max_attempts - 1, std::memory_order_relaxed);
+      chunk_span.arg("attempts", static_cast<std::uint64_t>(options.max_attempts));
+      if (obs::metrics_enabled()) {
+        static obs::Counter& quarantined = obs::counter("robust.quarantined");
+        static obs::Counter& retried = obs::counter("robust.retries");
+        quarantined.add();
+        retried.add(static_cast<std::uint64_t>(options.max_attempts) - 1);
+      }
       ChunkFailure failure;
       failure.chunk = chunk;
       failure.unit_begin = chunk_begin(chunk);
@@ -134,6 +168,16 @@ CampaignResult run_campaign(const CampaignTask& task, const CampaignOptions& opt
       std::lock_guard<std::mutex> lk(quarantine_mu);
       result.quarantined.push_back(std::move(failure));
     });
+    if (timed) {
+      static obs::Histogram& wave_ms =
+          obs::histogram("robust.wave_ms", {1, 10, 100, 1000, 10000, 100000});
+      wave_ms.record(static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              std::chrono::steady_clock::now() - wave_t0)
+              .count()));
+      static obs::Counter& waves = obs::counter("robust.waves");
+      waves.add();
+    }
     save();
   }
 
@@ -145,6 +189,11 @@ CampaignResult run_campaign(const CampaignTask& task, const CampaignOptions& opt
       ++result.completed_chunks;
       result.completed_units += chunk_end(c) - chunk_begin(c);
     }
+  }
+  if (obs::metrics_enabled() && result.total_units > 0) {
+    static obs::Gauge& completeness = obs::gauge("robust.completeness");
+    completeness.set(static_cast<double>(result.completed_units) /
+                     static_cast<double>(result.total_units));
   }
   if (!options.allow_partial && !result.quarantined.empty()) {
     const ChunkFailure& first = result.quarantined.front();

@@ -59,8 +59,9 @@ std::int64_t Checkpoint::completed_chunks() const noexcept {
   return n;
 }
 
-void save_checkpoint(const std::string& path, const Checkpoint& ckpt) {
+std::size_t save_checkpoint(const std::string& path, const Checkpoint& ckpt) {
   const std::string tmp = path + ".tmp";
+  std::size_t bytes = sizeof(kMagic) + 4 * 8;  // magic + fingerprint + 3 header ints
   {
     File f(std::fopen(tmp.c_str(), "wb"));
     if (!f) {
@@ -78,6 +79,7 @@ void save_checkpoint(const std::string& path, const Checkpoint& ckpt) {
       ok = ok && write_i64(f.get(), static_cast<std::int64_t>(blob.size()));
       ok = ok && std::fwrite(blob.data(), 1, blob.size(), f.get()) == blob.size();
       ok = ok && write_u64(f.get(), blob_checksum(blob));
+      bytes += 3 * 8 + blob.size();
     }
     ok = ok && std::fflush(f.get()) == 0;
     if (!ok) {
@@ -87,6 +89,7 @@ void save_checkpoint(const std::string& path, const Checkpoint& ckpt) {
   if (std::rename(tmp.c_str(), path.c_str()) != 0) {
     throw std::runtime_error("cannot rename checkpoint into place: " + path);
   }
+  return bytes;
 }
 
 bool load_checkpoint(const std::string& path, const Checkpoint& expected, Checkpoint& out) {

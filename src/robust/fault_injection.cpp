@@ -2,6 +2,7 @@
 
 #include <charconv>
 #include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <memory>
 #include <mutex>
@@ -166,7 +167,15 @@ bool init_fault_state_from_env() {
   if (settled != 0) return settled == 2;
   FaultPlan plan;
   if (const char* env = std::getenv("NANOCOST_FAULTS")) {
-    plan = FaultPlan::parse(env);
+    try {
+      plan = FaultPlan::parse(env);
+    } catch (const std::exception& e) {
+      // A malformed plan must not take down (or silently alter) the
+      // engine from a hot-path gate: report once and run clean.
+      std::fprintf(stderr, "nanocost: NANOCOST_FAULTS rejected: %s; fault injection disabled\n",
+                   e.what());
+      plan = FaultPlan{};
+    }
   }
   const bool enabled = !plan.empty();
   auto next = std::make_shared<const FaultPlan>(std::move(plan));

@@ -5,6 +5,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "nanocost/obs/metrics.hpp"
+#include "nanocost/obs/trace.hpp"
 #include "nanocost/robust/fault_injection.hpp"
 
 namespace nanocost::route {
@@ -237,6 +239,7 @@ RouteResult route(const Netlist& netlist, const place::Placement& placement,
   if (params.rip_up_passes < 0) {
     throw std::invalid_argument("rip-up pass count must be >= 0");
   }
+  obs::ObsSpan route_span("route.route");
   RouteResult result;
   result.grid = RoutingGrid(placement.rows(), placement.cols());
 
@@ -354,6 +357,15 @@ RouteResult route(const Netlist& netlist, const place::Placement& placement,
 
       for (int pass = 0; pass < params.rip_up_passes; ++pass) {
         robust::inject(kRoutePassFaultSite, static_cast<std::uint64_t>(pass));
+        obs::ObsSpan pass_span("route.pass");
+        pass_span.arg("pass", static_cast<std::uint64_t>(pass));
+        if (pass_span.armed()) {
+          // Counting the dirty set is O(connections); only pay it when
+          // this span is actually recording.
+          std::uint64_t n_dirty = 0;
+          for (const char d : dirty) n_dirty += static_cast<std::uint64_t>(d);
+          pass_span.arg("dirty", n_dirty);
+        }
         std::int64_t rerouted = 0;
         for (std::size_t k = 0; k < log.size(); ++k) {
           if (dirty[k] == 0) continue;
@@ -375,9 +387,20 @@ RouteResult route(const Netlist& netlist, const place::Placement& placement,
           });
           ++rerouted;
         }
+        if (obs::metrics_enabled()) {
+          static obs::Counter& passes = obs::counter("route.passes");
+          static obs::Counter& reroutes = obs::counter("route.reroutes");
+          passes.add();
+          reroutes.add(static_cast<std::uint64_t>(rerouted));
+        }
         if (rerouted == 0) break;
       }
     }
+  }
+  route_span.arg("connections", static_cast<std::uint64_t>(result.connections_routed));
+  if (obs::metrics_enabled()) {
+    static obs::Counter& routes = obs::counter("route.routes");
+    routes.add();
   }
 
   // Congestion census.

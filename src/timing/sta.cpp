@@ -5,6 +5,8 @@
 #include <stdexcept>
 
 #include "nanocost/netlist/estimate.hpp"
+#include "nanocost/obs/metrics.hpp"
+#include "nanocost/obs/trace.hpp"
 
 namespace nanocost::timing {
 
@@ -17,6 +19,12 @@ TimingAnalyzer::TimingAnalyzer(const Netlist& netlist, const TimingParams& param
     : netlist_(netlist),
       params_(params),
       wires_(process::InterconnectModel::for_feature_size(params.lambda)) {
+  obs::ObsSpan span("timing.levelize");
+  span.arg("gates", static_cast<std::uint64_t>(netlist.gate_count()));
+  if (obs::metrics_enabled()) {
+    static obs::Counter& levelizations = obs::counter("timing.levelizations");
+    levelizations.add();
+  }
   const auto gates = static_cast<std::size_t>(netlist.gate_count());
   const auto nets = static_cast<std::size_t>(netlist.net_count());
   const double unit_gate_delay = wires_.gate_delay_ps();
@@ -100,6 +108,16 @@ TimingAnalyzer::TimingAnalyzer(const Netlist& netlist, const TimingParams& param
 }
 
 TimingResult TimingAnalyzer::run() {
+  obs::ObsSpan span("timing.analyze");
+  ++analyses_run_;
+  if (obs::metrics_enabled()) {
+    static obs::Counter& analyses = obs::counter("timing.analyses");
+    analyses.add();
+    if (analyses_run_ > 1) {
+      static obs::Counter& reuse_hits = obs::counter("timing.reuse_hits");
+      reuse_hits.add();
+    }
+  }
   const Netlist& nl = netlist_;
   TimingResult result;
   result.net_arrival_ps.assign(static_cast<std::size_t>(nl.net_count()), 0.0);

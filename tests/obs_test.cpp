@@ -1,0 +1,420 @@
+// nanocost::obs: metrics registry, span tracer, and the inertness
+// contract (observation on == observation off, bitwise, at any thread
+// count).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "nanocost/core/risk.hpp"
+#include "nanocost/exec/thread_pool.hpp"
+#include "nanocost/fabsim/simulator.hpp"
+#include "nanocost/netlist/generator.hpp"
+#include "nanocost/obs/metrics.hpp"
+#include "nanocost/obs/trace.hpp"
+#include "nanocost/place/placer.hpp"
+
+namespace {
+
+using namespace nanocost;
+
+// ---- minimal JSON well-formedness checker -------------------------------
+//
+// Enough of a recursive-descent parser to prove the trace and metrics
+// exports parse as JSON (objects, arrays, strings, numbers, literals).
+
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& text) : s_(text) {}
+
+  bool valid() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == s_.size();
+  }
+
+ private:
+  bool value() {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{':
+        return object();
+      case '[':
+        return array();
+      case '"':
+        return string();
+      case 't':
+        return literal("true");
+      case 'f':
+        return literal("false");
+      case 'n':
+        return literal("null");
+      default:
+        return number();
+    }
+  }
+
+  bool object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (peek() != ':') return false;
+      ++pos_;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == '}') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == ']') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool string() {
+    if (peek() != '"') return false;
+    ++pos_;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      if (s_[pos_] == '\\') ++pos_;
+      ++pos_;
+    }
+    if (pos_ >= s_.size()) return false;
+    ++pos_;  // closing quote
+    return true;
+  }
+
+  bool number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) != 0 || s_[pos_] == '.' ||
+            s_[pos_] == 'e' || s_[pos_] == 'E' || s_[pos_] == '+' || s_[pos_] == '-')) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  bool literal(const char* word) {
+    for (const char* p = word; *p != '\0'; ++p, ++pos_) {
+      if (pos_ >= s_.size() || s_[pos_] != *p) return false;
+    }
+    return true;
+  }
+
+  [[nodiscard]] char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+  void skip_ws() {
+    while (pos_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[pos_])) != 0) ++pos_;
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+// ---- metrics registry ----------------------------------------------------
+
+TEST(ObsMetrics, CounterGaugeBasics) {
+  obs::Counter& c = obs::counter("test.counter_basics");
+  c.reset();
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  EXPECT_EQ(obs::counter_value("test.counter_basics"), 42u);
+  // The same name resolves to the same metric.
+  EXPECT_EQ(&obs::counter("test.counter_basics"), &c);
+
+  obs::Gauge& g = obs::gauge("test.gauge_basics");
+  g.set(2.5);
+  g.add(-1.0);
+  EXPECT_DOUBLE_EQ(g.value(), 1.5);
+
+  // Lookup of an unregistered counter reports 0 without registering it.
+  EXPECT_EQ(obs::counter_value("test.never_registered"), 0u);
+  bool found = false;
+  for (const auto& [name, value] : obs::snapshot_metrics().counters) {
+    if (name == "test.never_registered") found = true;
+  }
+  EXPECT_FALSE(found);
+}
+
+TEST(ObsMetrics, HistogramBuckets) {
+  obs::Histogram& h = obs::histogram("test.hist_buckets", {10, 100, 1000});
+  h.reset();
+  h.record(5);     // <= 10           -> bucket 0
+  h.record(10);    // boundary        -> bucket 0
+  h.record(11);    // <= 100          -> bucket 1
+  h.record(100);   //                 -> bucket 1
+  h.record(999);   // <= 1000         -> bucket 2
+  h.record(5000);  // above all bounds -> overflow
+  EXPECT_EQ(h.bucket_count(0), 2u);
+  EXPECT_EQ(h.bucket_count(1), 2u);
+  EXPECT_EQ(h.bucket_count(2), 1u);
+  EXPECT_EQ(h.bucket_count(3), 1u);
+  EXPECT_EQ(h.count(), 6u);
+  EXPECT_EQ(h.sum(), 5u + 10u + 11u + 100u + 999u + 5000u);
+  EXPECT_EQ(h.min(), 5u);
+  EXPECT_EQ(h.max(), 5000u);
+  EXPECT_DOUBLE_EQ(h.mean(), static_cast<double>(h.sum()) / 6.0);
+
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0u);  // empty histogram reports 0, not the sentinel
+  EXPECT_EQ(h.max(), 0u);
+
+  // Re-lookup returns the registered histogram; new bounds are ignored.
+  EXPECT_EQ(&obs::histogram("test.hist_buckets", {7}), &h);
+  EXPECT_EQ(h.bounds().size(), 3u);
+
+  EXPECT_THROW(obs::histogram("test.hist_bad_empty", {}), std::invalid_argument);
+  EXPECT_THROW(obs::histogram("test.hist_bad_order", {10, 10}), std::invalid_argument);
+}
+
+TEST(ObsMetrics, ConcurrentIncrementsAreExact) {
+  obs::Counter& c = obs::counter("test.concurrent_counter");
+  obs::Histogram& h = obs::histogram("test.concurrent_hist", {8, 64});
+  c.reset();
+  h.reset();
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      // Concurrent same-name registration must resolve to one metric.
+      obs::Counter& mine = obs::counter("test.concurrent_counter");
+      EXPECT_EQ(&mine, &c);
+      for (int i = 0; i < kPerThread; ++i) {
+        mine.add();
+        h.record(static_cast<std::uint64_t>((t + i) % 100));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(h.count(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+  std::uint64_t bucket_total = 0;
+  for (std::size_t i = 0; i <= h.bounds().size(); ++i) bucket_total += h.bucket_count(i);
+  EXPECT_EQ(bucket_total, h.count());
+  EXPECT_EQ(h.max(), 99u);
+}
+
+TEST(ObsMetrics, SnapshotAndRendersAreWellFormed) {
+  obs::counter("test.render_counter").add(3);
+  obs::gauge("test.render_gauge").set(0.25);
+  obs::histogram("test.render_hist", {10}).record(4);
+
+  const obs::MetricsSnapshot snap = obs::snapshot_metrics();
+  for (std::size_t i = 1; i < snap.counters.size(); ++i) {
+    EXPECT_LE(snap.counters[i - 1].first, snap.counters[i].first) << "counters not sorted";
+  }
+
+  const std::string json = obs::render_metrics_json();
+  JsonChecker checker(json);
+  EXPECT_TRUE(checker.valid()) << json;
+  EXPECT_NE(json.find("\"test.render_counter\": 3"), std::string::npos);
+
+  const std::string text = obs::render_metrics_text();
+  EXPECT_NE(text.find("test.render_gauge"), std::string::npos);
+  EXPECT_NE(text.find("test.render_hist"), std::string::npos);
+}
+
+// ---- span tracer ---------------------------------------------------------
+
+TEST(ObsTrace, DisabledSpansAreUnarmed) {
+  // Force-settle tracing off (overrides any stale state from other
+  // tests in this process).
+  (void)obs::stop_trace();
+  obs::ObsSpan span("test.disabled");
+  EXPECT_FALSE(span.armed());
+}
+
+TEST(ObsTrace, TraceFileIsValidChromeJson) {
+  const std::string path = "obs_test_trace_valid.json";
+  std::remove(path.c_str());
+  obs::start_trace(path);
+  EXPECT_EQ(obs::trace_path(), path);
+  {
+    obs::ObsSpan outer("test.outer");
+    outer.arg("alpha", 1);
+    outer.arg("beta", 2);
+    obs::ObsSpan inner("test.inner");
+    EXPECT_TRUE(outer.armed());
+  }
+  // Spans from several threads land in per-thread buffers.
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([t] {
+      obs::ObsSpan span("test.threaded");
+      span.arg("thread", static_cast<std::uint64_t>(t));
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  ASSERT_TRUE(obs::stop_trace());
+
+  const std::string trace = slurp(path);
+  ASSERT_FALSE(trace.empty());
+  JsonChecker checker(trace);
+  EXPECT_TRUE(checker.valid());
+  EXPECT_NE(trace.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(trace.find("\"test.outer\""), std::string::npos);
+  EXPECT_NE(trace.find("\"test.inner\""), std::string::npos);
+  EXPECT_NE(trace.find("\"test.threaded\""), std::string::npos);
+  EXPECT_NE(trace.find("\"alpha\": 1"), std::string::npos);
+  EXPECT_NE(trace.find("\"ph\": \"X\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(ObsTrace, StopWithoutStartIsANoOp) { EXPECT_TRUE(obs::stop_trace()); }
+
+TEST(ObsTrace, UnwritablePathReportsFailure) {
+  obs::start_trace("/nonexistent-dir-for-obs-test/trace.json");
+  { obs::ObsSpan span("test.unwritable"); }
+  EXPECT_FALSE(obs::stop_trace());
+}
+
+// ---- inertness: observation must not change engine outputs ---------------
+
+fabsim::FabSimulator make_sim() {
+  defect::DefectFieldParams field;
+  field.density_per_cm2 = 0.6;
+  field.clustered = true;
+  field.cluster_alpha = 2.0;
+  return fabsim::FabSimulator{
+      geometry::WaferSpec::mm200(),
+      geometry::DieSize{units::Millimeters{14.0}, units::Millimeters{14.0}},
+      defect::DefectSizeDistribution::for_feature_size(units::Micrometers{0.25}), field,
+      defect::WireArray{units::Micrometers{0.25}, units::Micrometers{0.25},
+                        units::Micrometers{100.0}, 50}};
+}
+
+bool same_lot(const fabsim::LotResult& a, const fabsim::LotResult& b) {
+  if (a.total_dies != b.total_dies || a.good_dies != b.good_dies ||
+      a.fault_histogram != b.fault_histogram || a.wafers.size() != b.wafers.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.wafers.size(); ++i) {
+    if (a.wafers[i].gross_dies != b.wafers[i].gross_dies ||
+        a.wafers[i].good_dies != b.wafers[i].good_dies ||
+        a.wafers[i].defects != b.wafers[i].defects ||
+        a.wafers[i].defects_on_dies != b.wafers[i].defects_on_dies) {
+      return false;
+    }
+  }
+  return true;
+}
+
+TEST(ObsDeterminism, ObservationIsBitwiseInert) {
+  const fabsim::FabSimulator sim = make_sim();
+  const core::UncertainInputs risk_inputs = [] {
+    core::UncertainInputs inputs;
+    inputs.nominal.transistors_per_chip = 1e7;
+    inputs.nominal.n_wafers = 10000.0;
+    return inputs;
+  }();
+  netlist::GeneratorParams gen;
+  gen.gate_count = 150;
+  gen.locality = 0.4;
+  const netlist::Netlist nl = netlist::generate_random_logic(gen);
+
+  const std::vector<int> thread_counts{1, 2, exec::ThreadPool::default_thread_count()};
+  for (const int threads : thread_counts) {
+    exec::ThreadPool pool(threads);
+
+    // Baseline: observation fully off.
+    obs::set_metrics_enabled(false);
+    (void)obs::stop_trace();
+    const fabsim::LotResult lot_off = sim.run(24, 7, &pool);
+    const core::RiskResult risk_off =
+        core::monte_carlo_cost(risk_inputs, 300.0, 2000, 1, 0.0, &pool);
+    const place::MultistartResult place_off =
+        place::anneal_place_multistart(nl, 12, 15, 3, {}, &pool);
+
+    // Instrumented: metrics + tracing on for the same workloads.
+    const std::string path = "obs_test_inert_" + std::to_string(threads) + ".json";
+    std::remove(path.c_str());
+    obs::set_metrics_enabled(true);
+    obs::start_trace(path);
+    const fabsim::LotResult lot_on = sim.run(24, 7, &pool);
+    const core::RiskResult risk_on =
+        core::monte_carlo_cost(risk_inputs, 300.0, 2000, 1, 0.0, &pool);
+    const place::MultistartResult place_on =
+        place::anneal_place_multistart(nl, 12, 15, 3, {}, &pool);
+    ASSERT_TRUE(obs::stop_trace());
+    obs::set_metrics_enabled(false);
+
+    EXPECT_TRUE(same_lot(lot_off, lot_on)) << "fabsim diverged at " << threads << " threads";
+    EXPECT_EQ(risk_off.mean, risk_on.mean) << threads << " threads";
+    EXPECT_EQ(risk_off.stddev, risk_on.stddev);
+    EXPECT_EQ(risk_off.p10, risk_on.p10);
+    EXPECT_EQ(risk_off.p50, risk_on.p50);
+    EXPECT_EQ(risk_off.p90, risk_on.p90);
+    EXPECT_EQ(place_off.best.final_hpwl, place_on.best.final_hpwl) << threads << " threads";
+    EXPECT_EQ(place_off.best_start, place_on.best_start);
+    EXPECT_EQ(place_off.start_hpwls, place_on.start_hpwls);
+    for (std::int32_t g = 0; g < nl.gate_count(); ++g) {
+      ASSERT_EQ(place_off.best.placement.site_of(g), place_on.best.placement.site_of(g));
+    }
+
+    // The metrics actually observed the work (not a disabled no-op run).
+    EXPECT_GE(obs::counter_value("fabsim.wafers"), 24u);
+    EXPECT_GE(obs::counter_value("place.anneals"), 3u);
+
+    // And the trace saw spans from the instrumented layers.
+    const std::string trace = slurp(path);
+    JsonChecker checker(trace);
+    EXPECT_TRUE(checker.valid());
+    EXPECT_NE(trace.find("\"fabsim.lot\""), std::string::npos);
+    EXPECT_NE(trace.find("\"fabsim.wafer\""), std::string::npos);
+    EXPECT_NE(trace.find("\"exec.chunk\""), std::string::npos);
+    EXPECT_NE(trace.find("\"place.anneal\""), std::string::npos);
+    std::remove(path.c_str());
+  }
+}
+
+}  // namespace
