@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <optional>
 #include <string>
 
 #include "nanocost/fabsim/campaign.hpp"
@@ -18,6 +19,7 @@
 #include "nanocost/report/table.hpp"
 #include "nanocost/report/wafer_view.hpp"
 #include "nanocost/robust/campaign.hpp"
+#include "nanocost/robust/cancel.hpp"
 #include "nanocost/robust/fault_injection.hpp"
 #include "nanocost/route/router.hpp"
 #include "nanocost/timing/sta.hpp"
@@ -122,6 +124,64 @@ int run_campaign_demo(bool with_faults, bool with_resume) {
   return 0;
 }
 
+/// `--deadline-ms N`: run a lot big enough that the wall-clock budget
+/// trips mid-campaign, show the graceful degradation (typed partial
+/// result, checkpointed frontier), then resume with no deadline and
+/// verify the finished lot is bitwise what an undisturbed run produces.
+int run_deadline_demo(double deadline_ms) {
+  using namespace nanocost;
+  using namespace nanocost::units::literals;
+
+  std::puts("=== Deadline-bounded fabline campaign ===\n");
+  defect::DefectFieldParams field;
+  field.density_per_cm2 = 0.6;
+  field.clustered = true;
+  field.cluster_alpha = 2.0;
+  const fabsim::FabSimulator sim(
+      geometry::WaferSpec::mm200(), geometry::DieSize{13.0_mm, 13.0_mm},
+      defect::DefectSizeDistribution::for_feature_size(0.25_um), field,
+      defect::WireArray{0.25_um, 0.25_um, 100.0_um, 50});
+  // Big enough that tens of milliseconds cannot finish it.
+  const std::int64_t n_wafers = 20000;
+  const std::uint64_t seed = 7;
+  const fabsim::FabLotCampaign task(sim, n_wafers, seed);
+
+  const std::string path = "fabline_deadline.ckpt";
+  std::remove(path.c_str());
+  robust::CampaignOptions options;
+  options.checkpoint_path = path;
+  options.wave_chunks = 8;
+  options.cancel = robust::CancelToken::with_deadline(deadline_ms);
+  const robust::CampaignResult bounded = robust::run_campaign(task, options);
+  const fabsim::PartialLot cut = task.assemble(bounded);
+  std::printf("deadline run (%.0f ms): completeness %.4f (expired %s), frontier %lld chunks\n",
+              deadline_ms, bounded.completeness(), bounded.expired ? "yes" : "no",
+              static_cast<long long>(cut.frontier_chunks));
+  std::fputs(report::render_campaign(bounded, "wafer").c_str(), stdout);
+
+  options.cancel = robust::CancelToken{};  // resume with no deadline
+  const robust::CampaignResult full = robust::run_campaign(task, options);
+  std::printf("\nresumed: %lld chunks restored from the checkpoint, %lld recomputed\n",
+              static_cast<long long>(full.resumed_chunks),
+              static_cast<long long>(full.completed_chunks - full.resumed_chunks));
+  std::remove(path.c_str());
+
+  const fabsim::PartialLot partial = task.assemble(full);
+  std::printf("assembled lot: %lld/%lld wafers, measured yield %.4f\n",
+              static_cast<long long>(partial.completed_wafers),
+              static_cast<long long>(n_wafers), partial.lot.yield());
+  if (partial.completeness == 1.0) {
+    robust::clear_fault_plan();
+    const fabsim::LotResult direct = sim.run(n_wafers, seed);
+    const bool identical = direct.good_dies == partial.lot.good_dies &&
+                           direct.total_dies == partial.lot.total_dies &&
+                           direct.fault_histogram == partial.lot.fault_histogram;
+    std::printf("bitwise vs undisturbed run: %s\n", identical ? "IDENTICAL" : "MISMATCH");
+    return identical ? 0 : 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -131,11 +191,35 @@ int main(int argc, char** argv) {
   bool with_faults = false;
   bool with_resume = false;
   bool with_metrics = false;
+  double deadline_ms = 0.0;
+  double budget_ms = 0.0;
   std::string trace_file;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--faults") == 0) with_faults = true;
     if (std::strcmp(argv[i], "--resume") == 0) with_resume = true;
     if (std::strcmp(argv[i], "--metrics") == 0) with_metrics = true;
+    if (std::strcmp(argv[i], "--deadline-ms") == 0) {
+      if (i + 1 >= argc) {
+        std::fputs("--deadline-ms needs a millisecond budget\n", stderr);
+        return 2;
+      }
+      deadline_ms = std::atof(argv[++i]);
+      if (deadline_ms <= 0.0) {
+        std::fputs("--deadline-ms needs a positive millisecond budget\n", stderr);
+        return 2;
+      }
+    }
+    if (std::strcmp(argv[i], "--budget") == 0) {
+      if (i + 1 >= argc) {
+        std::fputs("--budget needs a millisecond budget\n", stderr);
+        return 2;
+      }
+      budget_ms = std::atof(argv[++i]);
+      if (budget_ms <= 0.0) {
+        std::fputs("--budget needs a positive millisecond budget\n", stderr);
+        return 2;
+      }
+    }
     if (std::strcmp(argv[i], "--trace") == 0) {
       if (i + 1 >= argc) {
         std::fputs("--trace needs an output file path\n", stderr);
@@ -147,6 +231,17 @@ int main(int argc, char** argv) {
   if (with_metrics) obs::set_metrics_enabled(true);
   if (!trace_file.empty()) obs::start_trace(trace_file);
 
+  // `--budget M` bounds the whole invocation: the ambient token is
+  // inherited by every deadline-aware path (campaign waves, partial
+  // lot runs), so the demo degrades gracefully instead of overrunning.
+  robust::CancelToken budget_token;
+  std::optional<robust::CancelScope> budget_scope;
+  if (budget_ms > 0.0) {
+    budget_token = robust::CancelToken::with_deadline(budget_ms);
+    budget_scope.emplace(budget_token);
+    std::printf("global budget: %.0f ms\n\n", budget_ms);
+  }
+
   const auto finish = [&](int rc) {
     if (with_metrics) std::fputs(obs::render_metrics_text().c_str(), stdout);
     if (!trace_file.empty()) {
@@ -156,6 +251,9 @@ int main(int argc, char** argv) {
     return rc;
   };
 
+  if (deadline_ms > 0.0) {
+    return finish(run_deadline_demo(deadline_ms));
+  }
   if (with_faults || with_resume || with_metrics || !trace_file.empty()) {
     return finish(run_campaign_demo(with_faults, with_resume));
   }
@@ -203,7 +301,20 @@ int main(int argc, char** argv) {
   const fabsim::FabSimulator mature_sim(
       wafer, die, defect::DefectSizeDistribution::for_feature_size(0.25_um), mature,
       defect::WireArray{0.25_um, 0.25_um, 100.0_um, 50});
-  const auto lot = mature_sim.run(500, 7);
+  // Deadline-aware: under --budget an expired clock truncates the lot
+  // at the chunk frontier instead of overrunning; with no budget this
+  // is bitwise sim.run(500, 7).
+  fabsim::PartialLot mature_lot = mature_sim.run_partial(500, 7);
+  if (mature_lot.cancelled) {
+    std::printf("global budget expired mid-lot: keeping the %lld completed wafers\n",
+                static_cast<long long>(mature_lot.completed_wafers));
+    if (mature_lot.completed_wafers < 1) {
+      std::puts("no wafer completed before the budget expired; stopping here.");
+      return 0;
+    }
+    mature_lot.lot.wafers.resize(static_cast<std::size_t>(mature_lot.completed_wafers));
+  }
+  const fabsim::LotResult& lot = mature_lot.lot;
   const double lambda = mature_sim.analytic_mean_faults();
 
   // One wafer, as the prober sees it ('o' good, 'X' killed).

@@ -85,4 +85,28 @@ struct RobustOptimum final {
                                       std::uint64_t seed = 1,
                                       exec::ThreadPool* pool = nullptr);
 
+/// A robust-density sweep truncated by a deadline: the optimum over the
+/// leading `completed_steps` grid points only (the sweep walks the grid
+/// low-to-high density, so a partial sweep covers a contiguous density
+/// prefix).  completed_steps == 0 leaves `optimum` default (nothing to
+/// choose from).
+struct PartialSweep final {
+  RobustOptimum optimum;
+  double completeness = 1.0;
+  int completed_steps = 0;
+  std::int64_t frontier_chunks = 0;  ///< grid points == chunks (grain 1)
+  bool cancelled = false;
+};
+
+/// Deadline-aware robust_sd(): honors the caller's ambient cancel token
+/// (robust::CancelScope) at grid-point granularity.  On expiry the
+/// optimum is taken over exactly the completed leading grid points --
+/// bitwise what robust_sd over that prefix would pick, at any thread
+/// count.  With no ambient token this is robust_sd plus one relaxed
+/// atomic load.
+[[nodiscard]] PartialSweep robust_sd_partial(const UncertainInputs& inputs, double quantile,
+                                             double lo, double hi, int steps,
+                                             int samples = 2000, std::uint64_t seed = 1,
+                                             exec::ThreadPool* pool = nullptr);
+
 }  // namespace nanocost::core

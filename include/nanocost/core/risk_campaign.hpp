@@ -21,7 +21,8 @@
 
 namespace nanocost::core {
 
-/// Risk summary over whatever fraction of the campaign completed.
+/// Risk summary over whatever fraction of the work completed -- a
+/// degraded campaign, or a deadline-truncated monte_carlo_cost_partial.
 struct PartialRisk final {
   /// Summary of the completed scenarios (monte_carlo_cost's reduction).
   RiskResult result;
@@ -32,7 +33,25 @@ struct PartialRisk final {
   /// count -- fewer survivors, wider interval.
   double mean_ci_lo = 0.0;
   double mean_ci_hi = 0.0;
+  /// Completed leading chunks; the summary covers exactly the samples
+  /// of chunks [0, frontier_chunks) for deadline-truncated runs.
+  std::int64_t frontier_chunks = 0;
+  /// true when a cancel token / deadline truncated the run.
+  bool cancelled = false;
 };
+
+/// Deadline-aware monte_carlo_cost(): honors the caller's ambient
+/// cancel token (robust::CancelScope) at chunk (RiskCampaign::kGrain
+/// samples) granularity.  On expiry the summary covers exactly the
+/// completed leading chunks -- bitwise what monte_carlo_cost over that
+/// sample prefix computes, at any thread count -- with the 95% CI on
+/// the mean widened by the smaller survivor count.  Fewer than 2
+/// completed samples leaves `result` zeroed.  With no ambient token
+/// this costs one relaxed atomic load over monte_carlo_cost.
+[[nodiscard]] PartialRisk monte_carlo_cost_partial(const UncertainInputs& inputs, double s_d,
+                                                   int samples = 4000, std::uint64_t seed = 1,
+                                                   double die_budget = 0.0,
+                                                   exec::ThreadPool* pool = nullptr);
 
 /// CampaignTask over risk_sample_cost.
 class RiskCampaign final : public robust::CampaignTask {

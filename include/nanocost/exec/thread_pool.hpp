@@ -41,6 +41,18 @@ class ThreadPool final {
   /// from inside a task run inline serially.
   void run_tasks(std::int64_t n_tasks, const std::function<void(std::int64_t)>& task);
 
+  /// Like run_tasks, but polls `cancelled` before executing each task;
+  /// once it returns true the result latches and every not-yet-started
+  /// task is skipped (in-flight tasks finish).  The caller still blocks
+  /// until the batch drains.  Exceptions win over cancellation: a task
+  /// that threw -- even one that started before the trip and threw
+  /// after -- is rethrown exactly as in the plain overload, lowest
+  /// index first, so the surfaced error never depends on where the
+  /// cancellation raced in.  `cancelled` must be thread-safe; an empty
+  /// function behaves like the plain overload.
+  void run_tasks(std::int64_t n_tasks, const std::function<void(std::int64_t)>& task,
+                 const std::function<bool()>& cancelled);
+
   /// Number of execution lanes (workers + the calling thread).
   [[nodiscard]] int thread_count() const noexcept;
 

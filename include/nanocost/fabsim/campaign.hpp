@@ -18,15 +18,8 @@
 
 namespace nanocost::fabsim {
 
-/// A lot assembled from a (possibly partial) campaign.
-struct PartialLot final {
-  /// Wafer slots of quarantined chunks stay default-initialised; the
-  /// aggregate fields count completed wafers only.
-  LotResult lot;
-  double completeness = 1.0;
-  std::int64_t completed_wafers = 0;
-  std::vector<std::int64_t> failed_wafers;  ///< ascending wafer indices
-};
+// PartialLot lives in simulator.hpp: it is also what the deadline-aware
+// FabSimulator::run_partial returns.
 
 /// CampaignTask over FabSimulator::run_units.
 class FabLotCampaign final : public robust::CampaignTask {

@@ -113,6 +113,24 @@ struct LotResult final {
   [[nodiscard]] double yield_stddev() const noexcept;
 };
 
+/// A lot assembled from a partial source: a degraded campaign
+/// (fabsim::FabLotCampaign::assemble) or a deadline-truncated
+/// FabSimulator::run_partial.
+struct PartialLot final {
+  /// Wafer slots of quarantined/uncompleted chunks stay
+  /// default-initialised; the aggregate fields count completed wafers
+  /// only.
+  LotResult lot;
+  double completeness = 1.0;
+  std::int64_t completed_wafers = 0;
+  std::vector<std::int64_t> failed_wafers;  ///< ascending wafer indices
+  /// Completed leading chunks (the cancellation frontier); the lot is
+  /// bitwise a fresh run truncated at frontier_chunks * grain wafers.
+  std::int64_t frontier_chunks = 0;
+  /// true when a cancel token / deadline truncated the run.
+  bool cancelled = false;
+};
+
 /// The simulator: one die product on one process.
 class FabSimulator final {
  public:
@@ -126,6 +144,15 @@ class FabSimulator final {
   /// result is identical for every thread count and schedule.
   [[nodiscard]] LotResult run(std::int64_t n_wafers, std::uint64_t seed = 42,
                               exec::ThreadPool* pool = nullptr) const;
+
+  /// Deadline-aware run(): honors the caller's ambient cancel token
+  /// (robust::CancelScope) at wafer-chunk granularity.  On expiry the
+  /// returned lot covers exactly the completed chunk frontier --
+  /// bitwise what run() on frontier_chunks * grain wafers produces, at
+  /// any thread count -- with completeness and the frontier reported.
+  /// With no ambient token this is run() plus one relaxed atomic load.
+  [[nodiscard]] PartialLot run_partial(std::int64_t n_wafers, std::uint64_t seed = 42,
+                                       exec::ThreadPool* pool = nullptr) const;
 
   /// Simulates wafers [begin, end) of the lot seeded with `seed`
   /// serially on the calling thread: results[i - begin] receives wafer

@@ -1,0 +1,109 @@
+// Overload protection: a bounded admission queue over the campaign
+// engine.
+//
+// A production engine serving heavy traffic cannot run every request to
+// completion; it has to shed or shrink load *deterministically*, so two
+// replicas given the same submission sequence degrade identically.  Two
+// policies:
+//
+//  * kRejectNewest: the queue holds at most `capacity` campaigns; a
+//    submission past capacity is shed at submit() with a clear error
+//    message and never executed.  Admission depends only on submission
+//    order.
+//  * kDegradeBudgets: everything is admitted, but when the queue is
+//    oversubscribed each campaign's per-run chunk budget
+//    (max_chunks_this_run) is scaled by capacity / queued, so the queue
+//    drains in roughly the time `capacity` full campaigns would --
+//    every result partial-but-resumable instead of a tail of rejects.
+//
+// The whole queue drains under one optional wall-clock budget
+// (total_budget_ms) and/or an external CancelToken; each campaign runs
+// under a child token, so one slow campaign cannot eat the budget of
+// the ones behind it silently -- they come back kExpired, resumable.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nanocost/robust/campaign.hpp"
+#include "nanocost/robust/cancel.hpp"
+
+namespace nanocost::robust {
+
+/// What to do with work beyond `capacity`.
+enum class ShedPolicy : std::uint8_t {
+  kRejectNewest,    ///< shed at submit() with a clear error
+  kDegradeBudgets,  ///< admit all, shrink per-campaign chunk budgets
+};
+
+struct AdmissionOptions final {
+  /// Campaigns the queue is sized for; also the degrade-policy divisor.
+  std::size_t capacity = 8;
+  ShedPolicy policy = ShedPolicy::kRejectNewest;
+  /// Wall-clock budget for draining the whole queue, ms; 0 = none.
+  double total_budget_ms = 0.0;
+  /// External kill switch (e.g. shutdown); combined with the budget via
+  /// a child token.  Invalid = none.
+  CancelToken cancel;
+};
+
+enum class SubmissionStatus : std::uint8_t {
+  kQueued,     ///< admitted, not yet run
+  kShed,       ///< rejected at submit() (kRejectNewest at capacity)
+  kCompleted,  ///< ran to full completeness
+  kPartial,    ///< ran, returned a partial result (budget/quarantine)
+  kExpired,    ///< the queue deadline tripped before or during the run
+};
+
+struct SubmissionOutcome final {
+  SubmissionStatus status = SubmissionStatus::kQueued;
+  /// Populated for kCompleted/kPartial/kExpired-during-run; default for
+  /// kShed and for kExpired campaigns that never started.
+  CampaignResult result;
+  std::string message;  ///< shed/expired reason, empty otherwise
+};
+
+/// Bounded FIFO of campaigns with deterministic load shedding.  Not
+/// thread-safe: one thread submits and runs; the parallelism lives
+/// inside each campaign.
+class CampaignQueue final {
+ public:
+  explicit CampaignQueue(AdmissionOptions options);
+
+  /// Admits (or sheds) `task`; returns its outcome slot index.  `task`
+  /// must outlive run().  Under kRejectNewest a full queue sheds the
+  /// submission immediately: outcome kShed, message naming the
+  /// capacity.  `options.cancel` and `options.max_chunks_this_run` may
+  /// be overridden by the queue at run() time (child deadline token,
+  /// degraded budget); everything else passes through.
+  std::size_t submit(const CampaignTask& task, CampaignOptions options = {});
+
+  /// Drains admitted campaigns in submission order and returns all
+  /// outcomes (indexed like submit()).  Callable once; later submits
+  /// require a new queue.
+  const std::vector<SubmissionOutcome>& run();
+
+  [[nodiscard]] const std::vector<SubmissionOutcome>& outcomes() const noexcept {
+    return outcomes_;
+  }
+  [[nodiscard]] std::size_t shed_count() const noexcept;
+  [[nodiscard]] std::size_t expired_count() const noexcept;
+  [[nodiscard]] std::size_t partial_count() const noexcept;
+  [[nodiscard]] std::size_t completed_count() const noexcept;
+
+ private:
+  struct Admitted {
+    const CampaignTask* task = nullptr;
+    CampaignOptions options;
+    std::size_t slot = 0;
+  };
+
+  AdmissionOptions options_;
+  std::vector<Admitted> admitted_;
+  std::vector<SubmissionOutcome> outcomes_;
+  bool ran_ = false;
+};
+
+}  // namespace nanocost::robust

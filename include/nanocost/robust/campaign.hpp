@@ -25,6 +25,8 @@
 #include <string>
 #include <vector>
 
+#include "nanocost/robust/cancel.hpp"
+
 namespace nanocost::exec {
 class ThreadPool;
 }
@@ -69,6 +71,25 @@ struct CampaignOptions final {
   std::int64_t max_chunks_this_run = 0;
   /// null: the global pool.
   exec::ThreadPool* pool = nullptr;
+  /// Deadline / cancellation for this run.  An invalid token (the
+  /// default) falls back to the caller's ambient token
+  /// (current_cancel_token()).  Expiry stops the run on a chunk
+  /// boundary: completed chunks are checkpointed, pending ones stay
+  /// pending, and the result comes back with `expired` set -- resumable
+  /// exactly like a killed run.
+  CancelToken cancel;
+  /// Soft per-wave wall-clock deadline in ms (0 disables).  A wave that
+  /// overruns it halves the next wave's chunk count (floor 1), tightening
+  /// the checkpoint/cancellation cadence under overload; a wave back
+  /// under it restores `wave_chunks`.  Purely a scheduling knob -- chunk
+  /// results are unaffected.
+  double wave_soft_deadline_ms = 0.0;
+  /// Base backoff before retry attempt a: sleep retry_backoff_ms *
+  /// 2^(a-1) ms (0 disables).  A backoff that does not fit in the
+  /// remaining cancel-token budget is not taken: the chunk abandons its
+  /// retries and stays *pending* (not quarantined), so a resume with a
+  /// fresh budget retries it.
+  double retry_backoff_ms = 0.0;
 };
 
 /// One chunk that exhausted its attempts.
@@ -92,8 +113,15 @@ struct CampaignResult final {
   std::int64_t resumed_chunks = 0;
   /// Extra attempts spent beyond each chunk's first try.
   std::int64_t retries = 0;
-  /// true when max_chunks_this_run stopped the run early.
+  /// true when max_chunks_this_run or the cancel token stopped the run
+  /// early (not every chunk was attempted).
   bool interrupted = false;
+  /// true when the cancel token / deadline stopped the run.
+  bool expired = false;
+  /// First chunk without a result (== total_chunks on a full run): the
+  /// exact frontier a deadline-truncated assembly is deterministic
+  /// against.
+  std::int64_t frontier_chunks = 0;
 
   /// Fraction of units with results: 1.0 for a clean complete run.
   [[nodiscard]] double completeness() const noexcept {
@@ -109,8 +137,10 @@ struct CampaignResult final {
 [[nodiscard]] std::uint64_t campaign_fingerprint(const CampaignTask& task);
 
 /// Runs (or resumes) `task` under `options`.  Always returns a result;
-/// throws only on checkpoint identity mismatch, I/O failure, or -- in
-/// strict mode -- the lowest-index chunk failure.
+/// throws only on checkpoint identity mismatch or corruption, I/O
+/// failure, or -- in strict mode -- the lowest-index chunk failure.
+/// Deadline expiry never throws: it checkpoints and returns a partial
+/// result with `expired` set.
 [[nodiscard]] CampaignResult run_campaign(const CampaignTask& task,
                                           const CampaignOptions& options = {});
 

@@ -16,11 +16,14 @@
 //   i64     record count
 //   records i64 chunk_index, i64 blob_size, blob bytes, u64 fnv1a(blob)
 //
-// Loading is tolerant of truncation: a partial trailing record (a crash
-// mid-write of the non-atomic path) is dropped and its chunk recomputed.
-// A fingerprint mismatch throws -- resuming someone else's campaign
-// would silently corrupt results.  Saves go through a temp file plus
-// atomic rename.
+// Loading is strict: saves go through a temp file plus atomic rename,
+// so a checkpoint either exists whole or not at all -- any truncation,
+// torn record, out-of-range field, or per-chunk checksum failure is
+// therefore real corruption (disk fault, concurrent writer, bit flip)
+// and throws CheckpointCorrupt with the offending record named, rather
+// than silently resuming from bytes that were never written as a unit.
+// A fingerprint mismatch throws CheckpointMismatch -- resuming someone
+// else's campaign would silently corrupt results.
 #pragma once
 
 #include <cstddef>
@@ -49,6 +52,15 @@ class CheckpointMismatch final : public std::runtime_error {
   explicit CheckpointMismatch(const std::string& what) : std::runtime_error(what) {}
 };
 
+/// Thrown when a checkpoint file is structurally damaged: truncated
+/// header or record, record fields out of range for the declared
+/// campaign shape, a blob failing its fnv1a checksum, or trailing
+/// garbage.  The message names the file and the first bad record.
+class CheckpointCorrupt final : public std::runtime_error {
+ public:
+  explicit CheckpointCorrupt(const std::string& what) : std::runtime_error(what) {}
+};
+
 /// Writes `ckpt` to `path` atomically (temp file + rename) and returns
 /// the number of bytes written.  Throws std::runtime_error on I/O
 /// failure.
@@ -56,8 +68,9 @@ std::size_t save_checkpoint(const std::string& path, const Checkpoint& ckpt);
 
 /// Loads `path` into `out`.  Returns false when the file does not exist.
 /// Throws CheckpointMismatch when the header disagrees with `expected`
-/// (fingerprint, unit_count, grain); tolerates truncated tails by
-/// dropping incomplete or checksum-failing records.
+/// (fingerprint, unit_count, grain) and CheckpointCorrupt when the file
+/// is truncated, a record is malformed or fails its checksum, or bytes
+/// trail the last record.  `out` is untouched on error.
 bool load_checkpoint(const std::string& path, const Checkpoint& expected, Checkpoint& out);
 
 }  // namespace nanocost::robust

@@ -61,6 +61,13 @@ struct RouteResult final {
   std::int64_t overflowed_edges = 0;   ///< edges with demand > capacity
   double max_utilization = 0.0;        ///< max demand / capacity over edges
   double average_utilization = 0.0;    ///< mean demand / capacity over used edges
+  /// Rip-up passes fully executed.  Under an ambient cancel token
+  /// (robust::CancelScope) the router checks the token between passes:
+  /// an expired deadline stops refinement after the current pass, so the
+  /// result equals a fresh run with rip_up_passes =
+  /// completed_rip_up_passes -- a coarser routing, never a torn one.
+  int completed_rip_up_passes = 0;
+  bool cancelled = false;  ///< a deadline cut the rip-up refinement short
 
   [[nodiscard]] bool routable() const noexcept { return overflowed_edges == 0; }
 };

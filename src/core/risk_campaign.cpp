@@ -5,6 +5,7 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "nanocost/exec/parallel.hpp"
 #include "nanocost/exec/seed.hpp"
 #include "nanocost/robust/finite_guard.hpp"
 
@@ -80,11 +81,58 @@ PartialRisk RiskCampaign::assemble(const robust::CampaignResult& result) const {
   out.completed_samples = static_cast<std::int64_t>(costs.size());
   out.completeness = result.completeness();
   out.failed_samples = result.failed_units();
+  out.cancelled = result.expired;
+  for (const auto& blob : result.chunks) {
+    if (!blob.empty()) {
+      ++out.frontier_chunks;
+    } else {
+      break;
+    }
+  }
   out.result = summarize_cost_samples(std::move(costs), inputs_, die_budget_);
   const double n = static_cast<double>(out.completed_samples);
   const double half_width = 1.96 * out.result.stddev / std::sqrt(n);
   out.mean_ci_lo = out.result.mean - half_width;
   out.mean_ci_hi = out.result.mean + half_width;
+  return out;
+}
+
+PartialRisk monte_carlo_cost_partial(const UncertainInputs& inputs, double s_d, int samples,
+                                     std::uint64_t seed, double die_budget,
+                                     exec::ThreadPool* pool) {
+  if (samples < 10) {
+    throw std::invalid_argument("risk analysis needs at least 10 samples");
+  }
+  const robust::CancelToken token = robust::current_cancel_token();
+  std::vector<double> costs(static_cast<std::size_t>(samples));
+  const exec::LoopStatus status = exec::parallel_for_cancellable(
+      pool, samples, RiskCampaign::kGrain, token,
+      [&](std::int64_t begin, std::int64_t end) {
+        for (std::int64_t i = begin; i < end; ++i) {
+          costs[static_cast<std::size_t>(i)] =
+              risk_sample_cost(inputs, s_d, seed, static_cast<std::uint64_t>(i));
+        }
+      });
+
+  PartialRisk out;
+  // Samples at/after the frontier may have run out of order; only the
+  // contiguous prefix is summarized, so the result is a pure function
+  // of the frontier.
+  const std::int64_t completed = std::min<std::int64_t>(
+      samples, status.frontier * RiskCampaign::kGrain);
+  costs.resize(static_cast<std::size_t>(completed));
+  robust::check_finite_range(costs.data(), costs.size(), "risk.samples");
+  out.completed_samples = completed;
+  out.completeness = status.completeness();
+  out.frontier_chunks = status.frontier;
+  out.cancelled = status.cancelled;
+  if (completed >= 2) {
+    out.result = summarize_cost_samples(std::move(costs), inputs, die_budget);
+    const double n = static_cast<double>(completed);
+    const double half_width = 1.96 * out.result.stddev / std::sqrt(n);
+    out.mean_ci_lo = out.result.mean - half_width;
+    out.mean_ci_hi = out.result.mean + half_width;
+  }
   return out;
 }
 

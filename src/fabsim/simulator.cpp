@@ -306,6 +306,47 @@ LotResult FabSimulator::run(std::int64_t n_wafers, std::uint64_t seed,
   return lot;
 }
 
+PartialLot FabSimulator::run_partial(std::int64_t n_wafers, std::uint64_t seed,
+                                     exec::ThreadPool* pool) const {
+  if (n_wafers < 1) {
+    throw std::invalid_argument("lot needs at least one wafer");
+  }
+  obs::ObsSpan span("fabsim.lot_partial");
+  span.arg("wafers", static_cast<std::uint64_t>(n_wafers));
+  const robust::CancelToken token = robust::current_cancel_token();
+  const defect::DefectField field(wafer_, sizes_, field_params_);
+
+  PartialLot out;
+  LotResult& lot = out.lot;
+  lot.fault_histogram.assign(4, 0);
+  lot.wafers.assign(static_cast<std::size_t>(n_wafers), WaferResult{});
+  const exec::LoopStatus status = exec::parallel_reduce_cancellable(
+      pool, n_wafers, kWaferGrain, token, [] { return WaferScratch{}; },
+      [&](std::int64_t begin, std::int64_t end, WaferScratch& scratch) {
+        for (std::int64_t i = begin; i < end; ++i) {
+          robust::inject(kWaferFaultSite, static_cast<std::uint64_t>(i));
+          std::mt19937_64 rng(
+              exec::SeedSequence::for_task(seed, static_cast<std::uint64_t>(i)));
+          simulate_wafer(rng, field, lot.wafers[static_cast<std::size_t>(i)],
+                         scratch.defects, scratch.faults, scratch.histogram);
+        }
+      },
+      [&](WaferScratch&& scratch) { finalize_lot(lot, std::move(scratch.histogram)); });
+  // Wafers at/after the frontier may have run out of order; discard them
+  // so the lot is a pure function of the frontier.
+  const std::int64_t completed =
+      std::min(n_wafers, status.frontier * kWaferGrain);
+  for (std::int64_t i = completed; i < n_wafers; ++i) {
+    lot.wafers[static_cast<std::size_t>(i)] = WaferResult{};
+  }
+  total_up(lot);
+  out.completed_wafers = completed;
+  out.completeness = status.completeness();
+  out.frontier_chunks = status.frontier;
+  out.cancelled = status.cancelled;
+  return out;
+}
+
 void FabSimulator::run_units(std::int64_t begin, std::int64_t end, std::uint64_t seed,
                              WaferResult* results,
                              std::vector<std::int64_t>& histogram) const {

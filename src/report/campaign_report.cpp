@@ -37,6 +37,28 @@ std::string render_obs_footer() {
                   static_cast<unsigned long long>(waves->max()));
     out += line;
   }
+  // Overload/deadline lines appear only once those paths have fired --
+  // a process that never shed or expired anything keeps a quiet footer.
+  const std::uint64_t shed = obs::counter_value("robust.shed");
+  const std::uint64_t expired = obs::counter_value("robust.expired");
+  const std::uint64_t abandoned = obs::counter_value("robust.retry_abandoned");
+  if (shed > 0 || expired > 0 || abandoned > 0) {
+    std::snprintf(line, sizeof(line),
+                  "    overload: shed %llu, expired %llu, retries abandoned %llu\n",
+                  static_cast<unsigned long long>(shed),
+                  static_cast<unsigned long long>(expired),
+                  static_cast<unsigned long long>(abandoned));
+    out += line;
+  }
+  if (const obs::Histogram* lat = obs::find_histogram("robust.cancel_latency_us")) {
+    if (lat->count() > 0) {
+      std::snprintf(line, sizeof(line),
+                    "    cancel latency: %llu observation(s), mean %.0f us (max %llu)\n",
+                    static_cast<unsigned long long>(lat->count()), lat->mean(),
+                    static_cast<unsigned long long>(lat->max()));
+      out += line;
+    }
+  }
   return out;
 }
 
@@ -56,7 +78,9 @@ std::string render_campaign(const robust::CampaignResult& result,
   std::snprintf(line, sizeof(line), "  resumed chunks: %lld, retries: %lld%s\n",
                 static_cast<long long>(result.resumed_chunks),
                 static_cast<long long>(result.retries),
-                result.interrupted ? ", interrupted (checkpointed mid-run)" : "");
+                result.expired       ? ", deadline expired (checkpointed, resumable)"
+                : result.interrupted ? ", interrupted (checkpointed mid-run)"
+                                     : "");
   out += line;
   if (result.quarantined.empty()) {
     out += "  quarantine: empty\n";

@@ -1,0 +1,126 @@
+#include "nanocost/robust/admission.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "nanocost/exec/parallel.hpp"
+#include "nanocost/obs/metrics.hpp"
+
+namespace nanocost::robust {
+
+namespace {
+
+std::size_t count_status(const std::vector<SubmissionOutcome>& outcomes,
+                         SubmissionStatus status) {
+  std::size_t n = 0;
+  for (const SubmissionOutcome& o : outcomes) {
+    if (o.status == status) ++n;
+  }
+  return n;
+}
+
+}  // namespace
+
+CampaignQueue::CampaignQueue(AdmissionOptions options) : options_(options) {
+  if (options_.capacity < 1) {
+    throw std::invalid_argument("admission queue needs capacity >= 1");
+  }
+}
+
+std::size_t CampaignQueue::submit(const CampaignTask& task, CampaignOptions options) {
+  if (ran_) {
+    throw std::logic_error("admission queue already drained; submissions are closed");
+  }
+  const std::size_t slot = outcomes_.size();
+  outcomes_.emplace_back();
+  if (options_.policy == ShedPolicy::kRejectNewest && admitted_.size() >= options_.capacity) {
+    // Deterministic: admission depends only on the submission order,
+    // never on timing or what earlier campaigns did.
+    outcomes_[slot].status = SubmissionStatus::kShed;
+    outcomes_[slot].message = "shed: queue at capacity (" +
+                              std::to_string(options_.capacity) +
+                              "); resubmit when the queue drains";
+    if (obs::metrics_enabled()) {
+      static obs::Counter& shed = obs::counter("robust.shed");
+      shed.add();
+    }
+    return slot;
+  }
+  admitted_.push_back(Admitted{&task, std::move(options), slot});
+  return slot;
+}
+
+const std::vector<SubmissionOutcome>& CampaignQueue::run() {
+  if (ran_) return outcomes_;
+  ran_ = true;
+
+  // One token governs the whole drain: the external switch, tightened
+  // by the queue budget when one is set.
+  CancelToken drain = options_.cancel;
+  if (options_.total_budget_ms > 0.0) {
+    drain = drain.valid() ? drain.child_with_deadline(options_.total_budget_ms)
+                          : CancelToken::with_deadline(options_.total_budget_ms);
+  }
+
+  // kDegradeBudgets: oversubscription shrinks every admitted campaign's
+  // chunk budget by capacity / queued -- a pure function of the queue
+  // composition, so degradation is reproducible.
+  const bool degrade = options_.policy == ShedPolicy::kDegradeBudgets &&
+                       admitted_.size() > options_.capacity;
+
+  if (obs::metrics_enabled()) {
+    static obs::Gauge& depth = obs::gauge("robust.queue_depth");
+    depth.set(static_cast<double>(admitted_.size()));
+  }
+
+  for (Admitted& a : admitted_) {
+    SubmissionOutcome& outcome = outcomes_[a.slot];
+    if (drain.valid() && drain.expired()) {
+      outcome.status = SubmissionStatus::kExpired;
+      outcome.message = "expired: queue budget exhausted before this campaign started";
+      if (obs::metrics_enabled()) {
+        static obs::Counter& expired = obs::counter("robust.expired");
+        expired.add();
+      }
+      continue;
+    }
+    CampaignOptions run_options = a.options;
+    if (drain.valid()) run_options.cancel = drain.child();
+    if (degrade) {
+      const std::int64_t total =
+          exec::chunk_count(a.task->unit_count(), a.task->grain());
+      const std::int64_t share = std::max<std::int64_t>(
+          1, total * static_cast<std::int64_t>(options_.capacity) /
+                 static_cast<std::int64_t>(admitted_.size()));
+      run_options.max_chunks_this_run =
+          run_options.max_chunks_this_run > 0
+              ? std::min(run_options.max_chunks_this_run, share)
+              : share;
+    }
+    outcome.result = run_campaign(*a.task, run_options);
+    if (outcome.result.expired) {
+      outcome.status = SubmissionStatus::kExpired;
+      outcome.message = "expired: the queue deadline tripped mid-run; resumable";
+    } else if (outcome.result.completeness() < 1.0 || outcome.result.interrupted) {
+      outcome.status = SubmissionStatus::kPartial;
+    } else {
+      outcome.status = SubmissionStatus::kCompleted;
+    }
+  }
+  return outcomes_;
+}
+
+std::size_t CampaignQueue::shed_count() const noexcept {
+  return count_status(outcomes_, SubmissionStatus::kShed);
+}
+std::size_t CampaignQueue::expired_count() const noexcept {
+  return count_status(outcomes_, SubmissionStatus::kExpired);
+}
+std::size_t CampaignQueue::partial_count() const noexcept {
+  return count_status(outcomes_, SubmissionStatus::kPartial);
+}
+std::size_t CampaignQueue::completed_count() const noexcept {
+  return count_status(outcomes_, SubmissionStatus::kCompleted);
+}
+
+}  // namespace nanocost::robust

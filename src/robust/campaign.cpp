@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <mutex>
 #include <stdexcept>
+#include <thread>
 
 #include "nanocost/exec/parallel.hpp"
 #include "nanocost/exec/seed.hpp"
@@ -94,7 +96,16 @@ CampaignResult run_campaign(const CampaignTask& task, const CampaignOptions& opt
                             : static_cast<std::int64_t>(pending.size());
   result.interrupted = budget < static_cast<std::int64_t>(pending.size());
 
+  // Deadline/cancellation: an explicit token wins; otherwise the
+  // caller's ambient token (one relaxed load when none is installed).
+  const CancelToken token =
+      options.cancel.valid() ? options.cancel : current_cancel_token();
+
   std::atomic<std::int64_t> retries{0};
+  // Set when a chunk gave up on its remaining retry attempts because
+  // the backoff would not fit the remaining budget; the chunk stays
+  // pending (not quarantined), so a resume retries it fresh.
+  std::atomic<bool> abandoned_retries{false};
   std::mutex quarantine_mu;
   const auto save = [&] {
     if (options.checkpoint_path.empty()) return;
@@ -111,83 +122,163 @@ CampaignResult run_campaign(const CampaignTask& task, const CampaignOptions& opt
     }
   };
 
+  const auto run_one_chunk = [&](std::int64_t chunk) {
+    obs::ObsSpan chunk_span("robust.chunk");
+    chunk_span.arg("chunk", static_cast<std::uint64_t>(chunk));
+    auto& blob = result.chunks[static_cast<std::size_t>(chunk)];
+    std::string last_error;
+    for (int attempt = 0; attempt < options.max_attempts; ++attempt) {
+      AttemptScope scope(static_cast<std::uint32_t>(attempt));
+      try {
+        blob.clear();
+        task.run_chunk(chunk_begin(chunk), chunk_end(chunk), blob);
+        if (blob.empty()) {
+          throw std::logic_error("campaign chunk produced an empty blob");
+        }
+        if (attempt > 0) retries.fetch_add(attempt, std::memory_order_relaxed);
+        chunk_span.arg("attempts", static_cast<std::uint64_t>(attempt) + 1);
+        if (obs::metrics_enabled()) {
+          static obs::Counter& completed = obs::counter("robust.chunks_completed");
+          completed.add();
+          if (attempt > 0) {
+            static obs::Counter& retried = obs::counter("robust.retries");
+            retried.add(static_cast<std::uint64_t>(attempt));
+          }
+        }
+        return;
+      } catch (const std::exception& e) {
+        last_error = e.what();
+      } catch (...) {
+        last_error = "unknown exception";
+      }
+      if (attempt + 1 >= options.max_attempts) break;
+      // About to retry: an exhausted budget (or a backoff sleep that
+      // would not fit in it) abandons the remaining attempts.  The
+      // chunk stays pending -- a resume with fresh budget retries it --
+      // which keeps deadline pressure from mis-filing transient
+      // failures as quarantined-permanent.
+      const bool expired_now = token.valid() && token.expired();
+      double backoff_ms = 0.0;
+      if (options.retry_backoff_ms > 0.0) {
+        backoff_ms = options.retry_backoff_ms * static_cast<double>(std::int64_t{1} << attempt);
+      }
+      const bool backoff_overruns =
+          backoff_ms > 0.0 && token.valid() && backoff_ms >= token.remaining_ms();
+      if (expired_now || backoff_overruns) {
+        blob.clear();
+        retries.fetch_add(attempt, std::memory_order_relaxed);
+        chunk_span.arg("abandoned_after", static_cast<std::uint64_t>(attempt) + 1);
+        abandoned_retries.store(true, std::memory_order_relaxed);
+        if (obs::metrics_enabled()) {
+          static obs::Counter& abandoned = obs::counter("robust.retry_abandoned");
+          abandoned.add();
+        }
+        return;
+      }
+      if (backoff_ms > 0.0) {
+        std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(backoff_ms));
+      }
+    }
+    blob.clear();
+    retries.fetch_add(options.max_attempts - 1, std::memory_order_relaxed);
+    chunk_span.arg("attempts", static_cast<std::uint64_t>(options.max_attempts));
+    if (obs::metrics_enabled()) {
+      static obs::Counter& quarantined = obs::counter("robust.quarantined");
+      static obs::Counter& retried = obs::counter("robust.retries");
+      quarantined.add();
+      retried.add(static_cast<std::uint64_t>(options.max_attempts) - 1);
+    }
+    ChunkFailure failure;
+    failure.chunk = chunk;
+    failure.unit_begin = chunk_begin(chunk);
+    failure.unit_end = chunk_end(chunk);
+    failure.error = std::move(last_error);
+    std::lock_guard<std::mutex> lk(quarantine_mu);
+    result.quarantined.push_back(std::move(failure));
+  };
+
   exec::ThreadPool& pool = exec::pool_or_global(options.pool);
-  for (std::int64_t wave_start = 0; wave_start < budget;
-       wave_start += options.wave_chunks) {
-    const std::int64_t wave = std::min(options.wave_chunks, budget - wave_start);
+  // The wave size adapts under the soft deadline (overrun: halve, back
+  // under: restore) but never changes which chunks run or what they
+  // produce -- only the checkpoint / cancellation-check cadence.
+  std::int64_t next_wave_chunks = options.wave_chunks;
+  std::int64_t wave_start = 0;
+  while (wave_start < budget) {
+    if (token.valid() && token.expired()) {
+      result.expired = true;
+      break;
+    }
+    if (token.valid() && obs::metrics_enabled()) {
+      const double remaining = token.remaining_ms();
+      if (std::isfinite(remaining)) {
+        static obs::Gauge& deadline_gauge = obs::gauge("robust.deadline_remaining_ms");
+        deadline_gauge.set(remaining);
+      }
+    }
+    const std::int64_t wave = std::min(next_wave_chunks, budget - wave_start);
     obs::ObsSpan wave_span("robust.wave");
     wave_span.arg("chunks", static_cast<std::uint64_t>(wave));
-    const bool timed = obs::metrics_enabled();
+    const bool timed = obs::metrics_enabled() || options.wave_soft_deadline_ms > 0.0;
     const auto wave_t0 = timed ? std::chrono::steady_clock::now()
                                : std::chrono::steady_clock::time_point{};
-    pool.run_tasks(wave, [&](std::int64_t t) {
-      const std::int64_t chunk = pending[static_cast<std::size_t>(wave_start + t)];
-      obs::ObsSpan chunk_span("robust.chunk");
-      chunk_span.arg("chunk", static_cast<std::uint64_t>(chunk));
-      auto& blob = result.chunks[static_cast<std::size_t>(chunk)];
-      std::string last_error;
-      for (int attempt = 0; attempt < options.max_attempts; ++attempt) {
-        AttemptScope scope(static_cast<std::uint32_t>(attempt));
-        try {
-          blob.clear();
-          task.run_chunk(chunk_begin(chunk), chunk_end(chunk), blob);
-          if (blob.empty()) {
-            throw std::logic_error("campaign chunk produced an empty blob");
-          }
-          if (attempt > 0) retries.fetch_add(attempt, std::memory_order_relaxed);
-          chunk_span.arg("attempts", static_cast<std::uint64_t>(attempt) + 1);
-          if (obs::metrics_enabled()) {
-            static obs::Counter& completed = obs::counter("robust.chunks_completed");
-            completed.add();
-            if (attempt > 0) {
-              static obs::Counter& retried = obs::counter("robust.retries");
-              retried.add(static_cast<std::uint64_t>(attempt));
-            }
-          }
-          return;
-        } catch (const std::exception& e) {
-          last_error = e.what();
-        } catch (...) {
-          last_error = "unknown exception";
-        }
-      }
-      blob.clear();
-      retries.fetch_add(options.max_attempts - 1, std::memory_order_relaxed);
-      chunk_span.arg("attempts", static_cast<std::uint64_t>(options.max_attempts));
-      if (obs::metrics_enabled()) {
-        static obs::Counter& quarantined = obs::counter("robust.quarantined");
-        static obs::Counter& retried = obs::counter("robust.retries");
-        quarantined.add();
-        retried.add(static_cast<std::uint64_t>(options.max_attempts) - 1);
-      }
-      ChunkFailure failure;
-      failure.chunk = chunk;
-      failure.unit_begin = chunk_begin(chunk);
-      failure.unit_end = chunk_end(chunk);
-      failure.error = std::move(last_error);
-      std::lock_guard<std::mutex> lk(quarantine_mu);
-      result.quarantined.push_back(std::move(failure));
-    });
-    if (timed) {
+    const auto wave_task = [&](std::int64_t t) {
+      run_one_chunk(pending[static_cast<std::size_t>(wave_start + t)]);
+    };
+    if (token.valid()) {
+      pool.run_tasks(wave, wave_task, [&token] { return token.expired(); });
+    } else {
+      pool.run_tasks(wave, wave_task);
+    }
+    const double wave_elapsed_ms =
+        timed ? std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - wave_t0)
+                    .count()
+              : 0.0;
+    if (obs::metrics_enabled()) {
       static obs::Histogram& wave_ms =
           obs::histogram("robust.wave_ms", {1, 10, 100, 1000, 10000, 100000});
-      wave_ms.record(static_cast<std::uint64_t>(
-          std::chrono::duration_cast<std::chrono::milliseconds>(
-              std::chrono::steady_clock::now() - wave_t0)
-              .count()));
+      wave_ms.record(static_cast<std::uint64_t>(wave_elapsed_ms));
       static obs::Counter& waves = obs::counter("robust.waves");
       waves.add();
     }
+    if (options.wave_soft_deadline_ms > 0.0) {
+      next_wave_chunks = wave_elapsed_ms > options.wave_soft_deadline_ms
+                             ? std::max<std::int64_t>(1, wave / 2)
+                             : options.wave_chunks;
+    }
     save();
+    wave_start += wave;
   }
 
   result.retries = retries.load(std::memory_order_relaxed);
   std::sort(result.quarantined.begin(), result.quarantined.end(),
             [](const ChunkFailure& a, const ChunkFailure& b) { return a.chunk < b.chunk; });
+  result.frontier_chunks = n_chunks;
   for (std::int64_t c = 0; c < n_chunks; ++c) {
     if (!result.chunks[static_cast<std::size_t>(c)].empty()) {
       ++result.completed_chunks;
       result.completed_units += chunk_end(c) - chunk_begin(c);
+    } else if (result.frontier_chunks == n_chunks) {
+      result.frontier_chunks = c;
+    }
+  }
+  // Expiry that stopped work mid-wave: the token tripped and left
+  // chunks neither completed nor quarantined.  A run that finished all
+  // its work before the deadline passed is not "expired".
+  const bool work_left =
+      result.completed_chunks + static_cast<std::int64_t>(result.quarantined.size()) <
+      result.total_chunks;
+  if (token.valid() && work_left && token.expired()) result.expired = true;
+  // Every executed wave already checkpointed, so the frontier at
+  // interruption is on disk; just flag the result as resumable.
+  if (result.expired || abandoned_retries.load(std::memory_order_relaxed)) {
+    result.interrupted = true;
+  }
+  if (result.expired) {
+    note_cancel_observed(token);
+    if (obs::metrics_enabled()) {
+      static obs::Counter& expired_runs = obs::counter("robust.expired");
+      expired_runs.add();
     }
   }
   if (obs::metrics_enabled() && result.total_units > 0) {

@@ -96,6 +96,19 @@ bool load_checkpoint(const std::string& path, const Checkpoint& expected, Checkp
   File f(std::fopen(path.c_str(), "rb"));
   if (!f) return false;
 
+  // Saves are atomic (temp + rename), so damage here was never a valid
+  // checkpoint; validate record sizes against the real file size before
+  // trusting them -- a bit-flipped length field must not drive a huge
+  // allocation or a misaligned parse of the following records.
+  if (std::fseek(f.get(), 0, SEEK_END) != 0) {
+    throw CheckpointCorrupt("checkpoint " + path + " is not seekable");
+  }
+  const long file_size = std::ftell(f.get());
+  if (file_size < 0) {
+    throw CheckpointCorrupt("checkpoint " + path + " is not seekable");
+  }
+  std::rewind(f.get());
+
   char magic[sizeof(kMagic)];
   if (std::fread(magic, 1, sizeof(magic), f.get()) != sizeof(magic) ||
       std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
@@ -105,7 +118,7 @@ bool load_checkpoint(const std::string& path, const Checkpoint& expected, Checkp
   std::int64_t records = 0;
   if (!read_u64(f.get(), loaded.fingerprint) || !read_i64(f.get(), loaded.unit_count) ||
       !read_i64(f.get(), loaded.grain) || !read_i64(f.get(), records)) {
-    throw CheckpointMismatch("checkpoint " + path + " has a truncated header");
+    throw CheckpointCorrupt("checkpoint " + path + " has a truncated header");
   }
   if (loaded.fingerprint != expected.fingerprint ||
       loaded.unit_count != expected.unit_count || loaded.grain != expected.grain) {
@@ -115,19 +128,55 @@ bool load_checkpoint(const std::string& path, const Checkpoint& expected, Checkp
   }
   const std::int64_t n_chunks =
       loaded.grain > 0 ? (loaded.unit_count + loaded.grain - 1) / loaded.grain : 0;
+  if (records < 0 || records > n_chunks) {
+    throw CheckpointCorrupt("checkpoint " + path + " declares " + std::to_string(records) +
+                            " records for a " + std::to_string(n_chunks) +
+                            "-chunk campaign");
+  }
   loaded.chunks.assign(static_cast<std::size_t>(n_chunks), {});
 
-  // Records past a truncation or checksum failure are dropped silently:
-  // the engine simply recomputes those chunks.
   for (std::int64_t r = 0; r < records; ++r) {
+    const auto corrupt = [&](const std::string& why) {
+      return CheckpointCorrupt("checkpoint " + path + " record " + std::to_string(r) +
+                               " is corrupt: " + why);
+    };
     std::int64_t chunk = 0, size = 0;
-    if (!read_i64(f.get(), chunk) || !read_i64(f.get(), size)) break;
-    if (chunk < 0 || chunk >= n_chunks || size < 0) break;
+    if (!read_i64(f.get(), chunk) || !read_i64(f.get(), size)) {
+      throw corrupt("truncated record header");
+    }
+    if (chunk < 0 || chunk >= n_chunks) {
+      throw corrupt("chunk index " + std::to_string(chunk) + " out of range [0, " +
+                    std::to_string(n_chunks) + ")");
+    }
+    const long here = std::ftell(f.get());
+    // Each record still owes `size` blob bytes plus an 8-byte checksum.
+    if (size < 0 || here < 0 || size > static_cast<std::int64_t>(file_size - here) - 8) {
+      throw corrupt("blob size " + std::to_string(size) +
+                    " exceeds the bytes remaining in the file");
+    }
+    if (!loaded.chunks[static_cast<std::size_t>(chunk)].empty()) {
+      throw corrupt("duplicate record for chunk " + std::to_string(chunk));
+    }
     std::vector<std::uint8_t> blob(static_cast<std::size_t>(size));
-    if (size > 0 && std::fread(blob.data(), 1, blob.size(), f.get()) != blob.size()) break;
+    if (size > 0 && std::fread(blob.data(), 1, blob.size(), f.get()) != blob.size()) {
+      throw corrupt("truncated blob");
+    }
     std::uint64_t checksum = 0;
-    if (!read_u64(f.get(), checksum) || checksum != blob_checksum(blob)) break;
+    if (!read_u64(f.get(), checksum)) {
+      throw corrupt("truncated checksum");
+    }
+    if (checksum != blob_checksum(blob)) {
+      throw corrupt("chunk " + std::to_string(chunk) +
+                    " failed its fnv1a checksum (bit flip?)");
+    }
+    if (blob.empty()) {
+      throw corrupt("chunk " + std::to_string(chunk) + " has an empty blob");
+    }
     loaded.chunks[static_cast<std::size_t>(chunk)] = std::move(blob);
+  }
+  if (std::ftell(f.get()) != file_size) {
+    throw CheckpointCorrupt("checkpoint " + path + " has trailing bytes after record " +
+                            std::to_string(records));
   }
   out = std::move(loaded);
   return true;

@@ -7,6 +7,7 @@
 
 #include "nanocost/obs/metrics.hpp"
 #include "nanocost/obs/trace.hpp"
+#include "nanocost/robust/cancel.hpp"
 #include "nanocost/robust/fault_injection.hpp"
 
 namespace nanocost::route {
@@ -240,6 +241,10 @@ RouteResult route(const Netlist& netlist, const place::Placement& placement,
     throw std::invalid_argument("rip-up pass count must be >= 0");
   }
   obs::ObsSpan route_span("route.route");
+  // Snapshot the ambient deadline once: rip-up passes below stop at
+  // pass boundaries when it trips.  Without one this is a single
+  // relaxed atomic load.
+  const robust::CancelToken cancel = robust::current_cancel_token();
   RouteResult result;
   result.grid = RoutingGrid(placement.rows(), placement.cols());
 
@@ -356,6 +361,14 @@ RouteResult route(const Netlist& netlist, const place::Placement& placement,
       }
 
       for (int pass = 0; pass < params.rip_up_passes; ++pass) {
+        // Pass granularity keeps the result well-formed: an expired
+        // deadline yields the routing as of the last finished pass --
+        // exactly a fresh run with that many rip-up passes.
+        if (cancel.valid() && cancel.expired()) {
+          result.cancelled = true;
+          robust::note_cancel_observed(cancel);
+          break;
+        }
         robust::inject(kRoutePassFaultSite, static_cast<std::uint64_t>(pass));
         obs::ObsSpan pass_span("route.pass");
         pass_span.arg("pass", static_cast<std::uint64_t>(pass));
@@ -393,6 +406,7 @@ RouteResult route(const Netlist& netlist, const place::Placement& placement,
           passes.add();
           reroutes.add(static_cast<std::uint64_t>(rerouted));
         }
+        ++result.completed_rip_up_passes;
         if (rerouted == 0) break;
       }
     }

@@ -229,5 +229,121 @@ TEST(ChunkCount, RoundsUp) {
   EXPECT_EQ(chunk_count(1000, 1), 1000);
 }
 
+TEST(ThreadPoolCancel, CancelledBatchSkipsNotYetStartedTasks) {
+  const int hw = ThreadPool::default_thread_count();
+  for (const int threads : {1, 2, hw}) {
+    ThreadPool pool(threads);
+    std::atomic<bool> stop{false};
+    std::atomic<std::int64_t> ran{0};
+    pool.run_tasks(
+        512,
+        [&](std::int64_t i) {
+          ran.fetch_add(1);
+          if (i == 0) stop.store(true);
+        },
+        [&] { return stop.load(); });
+    // Task 0 trips the flag; everything claimed afterwards is skipped.
+    // At least one task ran, and nowhere near all 512 at 1 thread.
+    EXPECT_GE(ran.load(), 1) << "threads " << threads;
+    if (threads == 1) {
+      EXPECT_LT(ran.load(), 512);
+    }
+    // The pool is not wedged: the accounting drained all 512 claims.
+    std::atomic<std::int64_t> next{0};
+    pool.run_tasks(64, [&](std::int64_t) { next.fetch_add(1); });
+    EXPECT_EQ(next.load(), 64);
+  }
+}
+
+TEST(ThreadPoolCancel, EmptyCancelCallbackBehavesLikeThePlainOverload) {
+  ThreadPool pool(2);
+  const std::function<bool()> empty;
+  std::vector<std::atomic<int>> hits(128);
+  pool.run_tasks(
+      128, [&](std::int64_t i) { hits[static_cast<std::size_t>(i)]++; }, empty);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolCancel, ExceptionWinsOverCancellation) {
+  // Regression: a task that trips the cancel flag and *then* throws must
+  // still surface its exception -- deterministically the lowest-index
+  // thrower -- not be silently swallowed by the cancellation path.
+  const int hw = ThreadPool::default_thread_count();
+  for (const int threads : {1, 2, hw}) {
+    ThreadPool pool(threads);
+    for (int repeat = 0; repeat < 8; ++repeat) {
+      std::atomic<bool> stop{false};
+      try {
+        pool.run_tasks(
+            256,
+            [&](std::int64_t i) {
+              if (i == 0) stop.store(true);
+              throw std::runtime_error("task " + std::to_string(i));
+            },
+            [&] { return stop.load(); });
+        // Legal only if cancellation latched before any task started
+        // throwing -- impossible here: task 0 throws unconditionally
+        // and the poll happens before the first task executes, when
+        // stop is still false.
+        FAIL() << "expected an exception (threads " << threads << ")";
+      } catch (const std::runtime_error& e) {
+        EXPECT_STREQ(e.what(), "task 0") << "threads " << threads;
+      }
+    }
+  }
+}
+
+TEST(ParallelForCancellable, InvalidTokenRunsEverything) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  const LoopStatus status = parallel_for_cancellable(
+      &pool, 1000, 32, robust::CancelToken{}, [&](std::int64_t begin, std::int64_t end) {
+        for (std::int64_t i = begin; i < end; ++i) hits[static_cast<std::size_t>(i)]++;
+      });
+  EXPECT_TRUE(status.complete());
+  EXPECT_FALSE(status.cancelled);
+  EXPECT_EQ(status.total_chunks, chunk_count(1000, 32));
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelForCancellable, FrontierIsTheFirstIncompleteChunk) {
+  const int hw = ThreadPool::default_thread_count();
+  for (const int threads : {1, 2, hw}) {
+    ThreadPool pool(threads);
+    robust::CancelToken token = robust::CancelToken::manual();
+    const LoopStatus status = parallel_for_cancellable(
+        &pool, 640, 8, token, [&](std::int64_t begin, std::int64_t) {
+          if (begin >= 160) token.cancel();  // chunk 20 onward trips it
+        });
+    EXPECT_TRUE(status.cancelled) << "threads " << threads;
+    EXPECT_FALSE(status.complete());
+    EXPECT_GE(status.frontier, 0);
+    EXPECT_LT(status.frontier, status.total_chunks);
+  }
+}
+
+TEST(ParallelReduceCancellable, MergesOnlyBelowTheFrontierInOrder) {
+  // Chunks past the trip point may complete out of order on other lanes;
+  // none of them may leak into the merged result.
+  const int hw = ThreadPool::default_thread_count();
+  for (const int threads : {1, 2, hw}) {
+    ThreadPool pool(threads);
+    robust::CancelToken token = robust::CancelToken::manual();
+    std::vector<std::int64_t> merged;
+    const LoopStatus status = parallel_reduce_cancellable(
+        &pool, 320, 8, token, [] { return std::int64_t{-1}; },
+        [&](std::int64_t begin, std::int64_t, std::int64_t& acc) {
+          acc = begin / 8;
+          if (begin >= 80) token.cancel();
+        },
+        [&](std::int64_t&& acc) { merged.push_back(acc); });
+    EXPECT_EQ(static_cast<std::int64_t>(merged.size()), status.frontier)
+        << "threads " << threads;
+    for (std::size_t k = 0; k < merged.size(); ++k) {
+      EXPECT_EQ(merged[k], static_cast<std::int64_t>(k)) << "threads " << threads;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace nanocost::exec
