@@ -11,9 +11,13 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <random>
 #include <string>
 #include <vector>
+
+#include "nanocost/exec/simd.hpp"
 
 #include "nanocost/core/generalized_cost.hpp"
 #include "nanocost/core/optimizer.hpp"
@@ -218,10 +222,67 @@ struct TimedCase {
   int threads = 1;
   double ns_per_op = 0.0;
   double speedup_vs_serial = 1.0;
+  /// ns_per_op / baseline ns_per_op for the same (name, threads) in the
+  /// committed BENCH_perf.json; 0 when the baseline lacks the case.
+  double baseline_ratio = 0.0;
   /// Non-zero obs counter totals of one instrumented (untimed) run;
   /// captured once per case name -- totals are thread-count-invariant.
   std::vector<std::pair<std::string, std::uint64_t>> obs_counters;
 };
+
+/// "model name" line of /proc/cpuinfo -- perf numbers are only
+/// comparable on the same part, and the perf gate keys on this.
+std::string cpu_model() {
+  std::FILE* f = std::fopen("/proc/cpuinfo", "r");
+  if (f == nullptr) return "unknown";
+  std::string model = "unknown";
+  char line[512];
+  while (std::fgets(line, sizeof line, f) != nullptr) {
+    if (std::strncmp(line, "model name", 10) == 0) {
+      const char* colon = std::strchr(line, ':');
+      if (colon != nullptr) {
+        const char* p = colon + 1;
+        while (*p == ' ' || *p == '\t') ++p;
+        model = p;
+        while (!model.empty() && (model.back() == '\n' || model.back() == '\r')) {
+          model.pop_back();
+        }
+      }
+      break;
+    }
+  }
+  std::fclose(f);
+  return model;
+}
+
+/// One baseline sample from a committed BENCH_perf.json.
+struct BaselineCase {
+  std::string name;
+  int threads = 0;
+  double ns_per_op = 0.0;
+};
+
+/// Tolerant line-oriented scan of a committed BENCH_perf.json (any
+/// schema version: every writer emits one case per line with name /
+/// threads / ns_per_op leading).  A real JSON parser is deliberately
+/// not required for a file this tool itself writes.
+std::vector<BaselineCase> load_baseline(const char* path) {
+  std::vector<BaselineCase> out;
+  std::FILE* f = std::fopen(path, "r");
+  if (f == nullptr) return out;
+  char line[1024];
+  while (std::fgets(line, sizeof line, f) != nullptr) {
+    BaselineCase c;
+    char name[128];
+    if (std::sscanf(line, " {\"name\": \"%127[^\"]\", \"threads\": %d, \"ns_per_op\": %lf",
+                    name, &c.threads, &c.ns_per_op) == 3) {
+      c.name = name;
+      out.push_back(std::move(c));
+    }
+  }
+  std::fclose(f);
+  return out;
+}
 
 /// Runs `work` once with metrics on (timing is done separately, with
 /// metrics off, so the timed numbers stay uninstrumented) and returns
@@ -240,20 +301,27 @@ std::vector<std::pair<std::string, std::uint64_t>> collect_obs_counters(Work&& w
   return out;
 }
 
-/// Best-of-`reps` wall time of one invocation of `fn`, in nanoseconds.
+/// Median-of-`reps` wall time of one invocation of `fn`, in
+/// nanoseconds.  The median is robust against the one-sided noise a
+/// shared machine injects (interrupts, frequency dips) without
+/// rewarding a single lucky run the way best-of does.
 template <typename Fn>
 double time_ns(Fn&& fn, int reps) {
-  double best = 1e300;
+  std::vector<double> samples;
+  samples.reserve(static_cast<std::size_t>(reps));
   for (int r = 0; r < reps; ++r) {
     const auto t0 = std::chrono::steady_clock::now();
     fn();
     const auto t1 = std::chrono::steady_clock::now();
-    best = std::min(best,
-                    static_cast<double>(
-                        std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count()));
+    samples.push_back(static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count()));
   }
-  return best;
+  std::sort(samples.begin(), samples.end());
+  return samples[samples.size() / 2];
 }
+
+/// Benchmark repetitions per case; the median of these is reported.
+constexpr int kBenchReps = 5;
 
 std::vector<int> bench_thread_counts() {
   std::vector<int> counts{1, 2, 8, exec::ThreadPool::default_thread_count()};
@@ -267,7 +335,7 @@ template <typename Work>
 void run_serial(const std::string& name, std::vector<TimedCase>& cases, Work&& work) {
   TimedCase c;
   c.name = name;
-  c.ns_per_op = time_ns(work, 3);
+  c.ns_per_op = time_ns(work, kBenchReps);
   c.obs_counters = collect_obs_counters(work);
   cases.push_back(std::move(c));
   std::printf("  %-24s threads=%-3d  %12.0f ns/op\n", name.c_str(), 1,
@@ -281,7 +349,7 @@ void run_ladder(const std::string& name, std::vector<TimedCase>& cases, Work&& w
   double serial_ns = 0.0;
   for (const int threads : bench_thread_counts()) {
     exec::ThreadPool pool(threads);
-    const double ns = time_ns([&] { work(pool); }, 3);
+    const double ns = time_ns([&] { work(pool); }, kBenchReps);
     TimedCase c;
     if (threads == 1) {
       serial_ns = ns;
@@ -338,6 +406,24 @@ void write_bench_json() {
     benchmark::DoNotOptimize(sta.analyze_placed(sta_place.placement));
   });
 
+  // Annotate each case with its ratio against the committed baseline
+  // (NANOCOST_BENCH_BASELINE overrides the default path, which assumes
+  // the benchmark runs from a build directory one level under the
+  // repo).  The perf gate consumes these ratios.
+  const char* baseline_env = std::getenv("NANOCOST_BENCH_BASELINE");
+  const char* baseline_path =
+      (baseline_env != nullptr && baseline_env[0] != '\0') ? baseline_env
+                                                           : "../BENCH_perf.json";
+  const std::vector<BaselineCase> baseline = load_baseline(baseline_path);
+  for (TimedCase& c : cases) {
+    for (const BaselineCase& b : baseline) {
+      if (b.name == c.name && b.threads == c.threads && b.ns_per_op > 0.0) {
+        c.baseline_ratio = c.ns_per_op / b.ns_per_op;
+        break;
+      }
+    }
+  }
+
   std::FILE* f = std::fopen("BENCH_perf.json", "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot write BENCH_perf.json\n");
@@ -345,8 +431,13 @@ void write_bench_json() {
   }
   // On a 1-core machine every thread count degenerates to serial
   // execution, so the speedup columns carry no information.
-  std::fprintf(f, "{\n  \"schema_version\": 2,\n  \"hardware_concurrency\": %d,\n",
+  std::fprintf(f, "{\n  \"schema_version\": 3,\n  \"hardware_concurrency\": %d,\n",
                exec::ThreadPool::default_thread_count());
+  std::fprintf(f, "  \"cpu_model\": \"%s\",\n", cpu_model().c_str());
+  std::fprintf(f, "  \"compiler\": \"%s\",\n", __VERSION__);
+  std::fprintf(f, "  \"simd_level\": \"%s\",\n",
+               exec::simd_level_name(exec::simd_level()));
+  std::fprintf(f, "  \"bench_reps\": %d,\n", kBenchReps);
   if (exec::ThreadPool::default_thread_count() == 1) {
     std::fprintf(f, "  \"meaningless_speedup\": true,\n");
   }
@@ -357,6 +448,9 @@ void write_bench_json() {
                  "\"speedup_vs_serial\": %.3f",
                  cases[i].name.c_str(), cases[i].threads, cases[i].ns_per_op,
                  cases[i].speedup_vs_serial);
+    if (cases[i].baseline_ratio > 0.0) {
+      std::fprintf(f, ", \"baseline_ratio\": %.3f", cases[i].baseline_ratio);
+    }
     if (!cases[i].obs_counters.empty()) {
       std::fprintf(f, ", \"obs\": {");
       for (std::size_t k = 0; k < cases[i].obs_counters.size(); ++k) {

@@ -8,10 +8,12 @@
 // choice beats the nominal optimum in expectation.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
 #include "nanocost/core/transistor_cost.hpp"
+#include "nanocost/exec/simd.hpp"
 
 namespace nanocost::exec {
 class ThreadPool;
@@ -48,6 +50,23 @@ struct RiskResult final {
 /// the unit kernel monte_carlo_cost and core::RiskCampaign both run.
 [[nodiscard]] double risk_sample_cost(const UncertainInputs& inputs, double s_d,
                                       std::uint64_t seed, std::uint64_t index);
+
+/// SoA batch form of risk_sample_cost: fills out[0..n) with scenarios
+/// index0..index0+n-1, bitwise what n scalar calls return (checked by
+/// simd_parity_test).  The batch amortizes everything constant across
+/// scenarios -- the eq.-6 pow() terms, validation, the seed derivation
+/// -- and draws the per-scenario uniforms through the vectorized
+/// rng_batch columns; only the transcendental tail (log/sincos/exp of
+/// the Gaussian draws) stays scalar, in all paths.  This is the kernel
+/// monte_carlo_cost and robust_sd actually run per chunk.
+void risk_sample_cost_batch(const UncertainInputs& inputs, double s_d, std::uint64_t seed,
+                            std::uint64_t index0, std::size_t n, double* out);
+
+/// Lane-pinned variant for parity testing; everything else should use
+/// risk_sample_cost_batch, which dispatches on exec::simd_level().
+void risk_sample_cost_batch_at(exec::SimdLevel level, const UncertainInputs& inputs,
+                               double s_d, std::uint64_t seed, std::uint64_t index0,
+                               std::size_t n, double* out);
 
 /// Distribution summary over an explicit cost-sample vector (needs >= 2
 /// samples): exactly the reduction monte_carlo_cost applies, exposed so

@@ -13,8 +13,11 @@
 // normalized over [xmin, xmax].
 #pragma once
 
+#include <cstddef>
 #include <random>
 
+#include "nanocost/exec/rng.hpp"
+#include "nanocost/exec/simd.hpp"
 #include "nanocost/units/length.hpp"
 
 namespace nanocost::defect {
@@ -46,6 +49,17 @@ class DefectSizeDistribution final {
 
   /// Inverse-CDF sampling.
   [[nodiscard]] units::Micrometers sample(std::mt19937_64& rng) const;
+
+  /// SoA inverse-CDF sampling: draws n uniforms from `rng` (the
+  /// exec/rng.hpp stream) and fills out[0..n) with sizes in
+  /// micrometers.  Same distribution as sample(), restructured around
+  /// precomputed tail constants so the classic q = 3 tail inverts with
+  /// one sqrt + one divide (IEEE-exact, hence vectorizable) instead of
+  /// two pow() calls; general q falls back to scalar pow.  Bitwise
+  /// identical at every SimdLevel (simd_parity_test).
+  void sample_batch(exec::SplitMix64& rng, double* out, std::size_t n) const;
+  void sample_batch_at(exec::SimdLevel level, exec::SplitMix64& rng, double* out,
+                       std::size_t n) const;
 
  private:
   units::Micrometers xmin_;

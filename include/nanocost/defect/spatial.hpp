@@ -9,10 +9,13 @@
 // wafer edge), the mechanism behind radial yield models.
 #pragma once
 
+#include <cstddef>
 #include <random>
 #include <vector>
 
 #include "nanocost/defect/size_distribution.hpp"
+#include "nanocost/exec/rng.hpp"
+#include "nanocost/exec/simd.hpp"
 #include "nanocost/geometry/wafer.hpp"
 #include "nanocost/units/length.hpp"
 
@@ -23,6 +26,23 @@ struct Defect final {
   units::Millimeters x{};
   units::Millimeters y{};
   units::Micrometers size{};
+};
+
+/// Structure-of-arrays defect population: the batched fab-simulator
+/// pipeline streams positions and sizes through contiguous lanes
+/// instead of hopping across Defect structs.  Parallel arrays, always
+/// equal length.
+struct DefectSoA final {
+  std::vector<double> x_mm;
+  std::vector<double> y_mm;
+  std::vector<double> size_um;
+
+  [[nodiscard]] std::size_t size() const noexcept { return x_mm.size(); }
+  void clear() noexcept {
+    x_mm.clear();
+    y_mm.clear();
+    size_um.clear();
+  }
 };
 
 /// Radial modulation of defect density: multiplier(r) = 1 + edge_boost *
@@ -73,6 +93,16 @@ class DefectField final {
   /// Same draw, but reusing `out` as the defect buffer (cleared, then
   /// filled) -- avoids one allocation per wafer in lot-scale simulation.
   void sample_wafer(std::mt19937_64& rng, std::vector<Defect>& out) const;
+
+  /// SoA wafer draw on the counter-based exec stream.  Positions come
+  /// from square rejection against the disc (flat radial profile) with
+  /// the candidate uniforms drawn through the vectorized rng_batch
+  /// path, or from the scalar envelope rejection (radial profile); the
+  /// size column runs through DefectSizeDistribution::sample_batch_at.
+  /// Bitwise identical -- values and stream consumption -- at every
+  /// SimdLevel (simd_parity_test).
+  void sample_wafer(exec::SplitMix64& rng, DefectSoA& out) const;
+  void sample_wafer_at(exec::SimdLevel level, exec::SplitMix64& rng, DefectSoA& out) const;
 
   [[nodiscard]] const DefectFieldParams& params() const noexcept { return params_; }
 

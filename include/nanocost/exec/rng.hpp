@@ -11,6 +11,7 @@
 // here.
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 #include <limits>
 
@@ -20,6 +21,13 @@ namespace nanocost::exec {
 
 /// splitmix64 engine (Steele, Lea, Flood 2014): a Weyl sequence through
 /// the splitmix64 output function.  Satisfies UniformRandomBitGenerator.
+///
+/// The engine is counter-based: output i of a stream seeded with s is
+/// splitmix64(s + (i+1) * gamma), a pure function of (s, i).  That is
+/// what makes the batched API in exec/rng_batch.hpp possible -- a
+/// vector lane can compute outputs i..i+7 of the *same* stream without
+/// serial state chaining, and advance() lets scalar and batched
+/// consumers interleave on one stream without drift.
 class SplitMix64 final {
  public:
   using result_type = std::uint64_t;
@@ -31,6 +39,15 @@ class SplitMix64 final {
     return splitmix64(state_);
   }
   constexpr std::uint64_t operator()() noexcept { return next(); }
+
+  /// The Weyl state; outputs continue at splitmix64(state() + gamma).
+  [[nodiscard]] constexpr std::uint64_t state() const noexcept { return state_; }
+
+  /// Skips the next `n` outputs in O(1) -- the Weyl sequence advances
+  /// by n * gamma.  Batched draws use this to keep the engine in step.
+  constexpr void advance(std::uint64_t n) noexcept {
+    state_ += n * 0x9E3779B97F4A7C15ULL;
+  }
 
   [[nodiscard]] static constexpr std::uint64_t min() noexcept { return 0; }
   [[nodiscard]] static constexpr std::uint64_t max() noexcept {
@@ -98,6 +115,31 @@ struct I32Pair final {
 /// scaled by 2^-53 (every representable value equally likely).
 [[nodiscard]] inline double uniform_unit(SplitMix64& rng) {
   return static_cast<double>(rng.next() >> 11) * 0x1.0p-53;
+}
+
+/// 2*pi at double precision -- shared by every Box-Muller consumer so
+/// scalar and batched draws use the identical constant.
+inline constexpr double kTwoPi = 6.283185307179586476925286766559;
+
+/// A pair of independent standard-normal draws.
+struct GaussPair final {
+  double z0 = 0.0, z1 = 0.0;
+};
+
+/// Box-Muller from exactly two engine outputs (fixed consumption: no
+/// rejection, so batched and scalar callers stay in lockstep).  u1 is
+/// mapped into (0, 1] -- the +1 before scaling -- so the log never sees
+/// zero; u2 keeps the standard [0, 1) mapping.  Used instead of
+/// std::normal_distribution for the same reason as the draws above: the
+/// standard library's algorithm (and hence the stream) is
+/// implementation-defined, and its ziggurat/polar rejection loops
+/// consume a data-dependent number of outputs.
+[[nodiscard]] inline GaussPair gauss_pair(SplitMix64& rng) {
+  const double u1 = static_cast<double>((rng.next() >> 11) + 1) * 0x1.0p-53;
+  const double u2 = static_cast<double>(rng.next() >> 11) * 0x1.0p-53;
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double t = kTwoPi * u2;
+  return GaussPair{r * std::cos(t), r * std::sin(t)};
 }
 
 }  // namespace nanocost::exec

@@ -1,0 +1,74 @@
+// Batched (SoA) forms of the exec/rng.hpp draws.
+//
+// SplitMix64 is counter-based -- output i of a stream is
+// splitmix64(state + (i+1) * gamma), a pure function of the state and
+// the index -- so a batch of N consecutive outputs is N independent
+// evaluations of the same mix function on an affine index sequence.
+// That is embarrassingly SIMD, and it is the root of every vectorized
+// kernel in this repo: the batch helpers here fill an output array
+// with *exactly* the values N scalar next() calls would produce and
+// advance the engine past them, so scalar and batched consumers of one
+// stream interleave freely.
+//
+// Contract (checked by simd_parity_test): for every function, every
+// SimdLevel produces bitwise-identical output.  The vector lanes use
+// only IEEE-exact operations (integer arithmetic; double add/mul,
+// which round lane-wise exactly like scalar); nothing transcendental
+// is vectorized.  The _at variants pin the lane explicitly -- they
+// exist for the parity test and for callers that must not consult the
+// process-global level; everything else should use the plain forms,
+// which dispatch on exec::simd_level().
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "nanocost/exec/rng.hpp"
+#include "nanocost/exec/simd.hpp"
+
+namespace nanocost::exec {
+
+/// The next `n` engine outputs, exactly as n next() calls would return
+/// them; the engine advances past the batch.
+void splitmix64_batch(SplitMix64& rng, std::uint64_t* out, std::size_t n);
+void splitmix64_batch_at(SimdLevel level, SplitMix64& rng, std::uint64_t* out, std::size_t n);
+
+/// The next `n` uniform [0, 1) doubles (uniform_unit applied n times).
+void uniform_unit_batch(SplitMix64& rng, double* out, std::size_t n);
+void uniform_unit_batch_at(SimdLevel level, SplitMix64& rng, double* out, std::size_t n);
+
+/// The next `n` bounded draws (bounded_u32 applied n times, including
+/// its rejection behaviour: a batch whose lanes could reject re-runs
+/// the affected tail through the scalar path, consuming the identical
+/// stream).  Requires bound >= 1.
+void bounded_u32_batch(SplitMix64& rng, std::uint32_t bound, std::uint32_t* out, std::size_t n);
+void bounded_u32_batch_at(SimdLevel level, SplitMix64& rng, std::uint32_t bound,
+                          std::uint32_t* out, std::size_t n);
+
+/// Task seeds i0..i0+n-1 of SeedSequence::for_task(base, i), batched:
+/// the per-unit seeding of every parallel kernel, which is itself one
+/// splitmix64 of an affine sequence.
+void for_task_batch(std::uint64_t base, std::uint64_t index0, std::uint64_t* out, std::size_t n);
+void for_task_batch_at(SimdLevel level, std::uint64_t base, std::uint64_t index0,
+                       std::uint64_t* out, std::size_t n);
+
+/// out[i] = splitmix64(states[i] + addend): output `addend/gamma` of n
+/// *different* streams at once.  The risk batch kernel uses this to
+/// draw one column (e.g. "every scenario's first uniform") across a
+/// tile of scenarios.
+void mix_add_batch(const std::uint64_t* states, std::uint64_t addend, std::uint64_t* out,
+                   std::size_t n);
+void mix_add_batch_at(SimdLevel level, const std::uint64_t* states, std::uint64_t addend,
+                      std::uint64_t* out, std::size_t n);
+
+/// Elementwise bit-to-double mappers matching uniform_unit and the
+/// gauss_pair u1 mapping: [0,1) = (b >> 11) * 2^-53, and (0,1] =
+/// ((b >> 11) + 1) * 2^-53.  Exact at every level (the 53-bit integer
+/// converts to double without rounding).
+void u53_to_unit_batch(const std::uint64_t* bits, double* out, std::size_t n);
+void u53_to_unit_batch_at(SimdLevel level, const std::uint64_t* bits, double* out, std::size_t n);
+void u53_to_unit_pos_batch(const std::uint64_t* bits, double* out, std::size_t n);
+void u53_to_unit_pos_batch_at(SimdLevel level, const std::uint64_t* bits, double* out,
+                              std::size_t n);
+
+}  // namespace nanocost::exec

@@ -23,6 +23,11 @@ namespace nanocost::exec {
   return z ^ (z >> 31);
 }
 
+/// The Weyl increment shared by SplitMix64 and SeedSequence: stream
+/// output i is splitmix64(state + (i+1) * kGoldenGamma).  Exposed so
+/// batched kernels can address individual outputs of a stream.
+inline constexpr std::uint64_t kGoldenGamma = 0x9E3779B97F4A7C15ULL;
+
 /// Derives per-task seeds from a base seed.
 class SeedSequence final {
  public:

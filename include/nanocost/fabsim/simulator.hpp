@@ -10,12 +10,15 @@
 // feeds measured yields back into the cost models.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <random>
 #include <vector>
 
 #include "nanocost/defect/critical_area.hpp"
 #include "nanocost/defect/spatial.hpp"
+#include "nanocost/exec/rng.hpp"
+#include "nanocost/exec/simd.hpp"
 #include "nanocost/geometry/wafer_map.hpp"
 #include "nanocost/units/probability.hpp"
 #include "nanocost/yield/learning.hpp"
@@ -67,18 +70,36 @@ class KillProbabilityLut final {
   /// P(fatal | defect size); sizes outside [xmin, xmax] use the model.
   [[nodiscard]] double operator()(units::Micrometers size) const noexcept;
 
+  /// Column form for the SoA wafer pipeline: out[i] = (*this)(size_um[i])
+  /// for sizes in micrometers.  Bin location goes through an
+  /// exponent-keyed hint table (no log per lookup); the AVX2 lane
+  /// gathers nodes and interpolates four sizes at once, bitwise what the
+  /// scalar path returns (simd_parity_test).
+  void evaluate_batch(const double* size_um, double* out, std::size_t n) const noexcept;
+  void evaluate_batch_at(exec::SimdLevel level, const double* size_um, double* out,
+                         std::size_t n) const noexcept;
+
   [[nodiscard]] int bins() const noexcept { return static_cast<int>(slope_.size()); }
   /// Bins served by interpolation (the rest fall back to the model).
   [[nodiscard]] int interpolated_bins() const noexcept;
 
  private:
   DieKillModel model_;
-  double log_xmin_ = 0.0;
-  double inv_dlog_ = 0.0;
   std::vector<double> node_x_;
   std::vector<double> node_p_;
   std::vector<double> slope_;
   std::vector<std::uint8_t> interp_ok_;
+  // Bin-location hint table, keyed on the upper bits of the size's IEEE
+  // representation (monotone for the positive finite support):
+  // hint_[(bits(x) - bits_min_) >> hint_shift_] underestimates the
+  // bracketing bin by at most a step or two, fixed by an upward nudge.
+  std::int64_t bits_min_ = 0;
+  int hint_shift_ = 0;
+  std::vector<std::int32_t> hint_;
+
+  /// Scalar reference lookup: the value operator() and every batch lane
+  /// must reproduce bitwise.
+  [[nodiscard]] double evaluate(double x) const noexcept;
 };
 
 /// One simulated wafer.
@@ -194,10 +215,25 @@ class FabSimulator final {
   DieKillModel kill_;
   KillProbabilityLut lut_;
 
-  void simulate_wafer(std::mt19937_64& rng, const defect::DefectField& field,
-                      WaferResult& result, std::vector<defect::Defect>& defect_buffer,
-                      std::vector<std::int32_t>& faults_scratch,
-                      std::vector<std::int64_t>& histogram) const;
+  /// Per-chunk scratch for the SoA wafer pipeline: one set of columns
+  /// reused across a chunk's wafers, so a lot run allocates O(chunks).
+  struct WaferScratch {
+    defect::DefectSoA defects;
+    std::vector<std::int64_t> sites;     ///< site per defect (-1 off-die)
+    std::vector<double> on_die_size;     ///< compacted sizes of on-die defects
+    std::vector<std::int64_t> on_die_site;
+    std::vector<double> kill_p;          ///< LUT kill probability column
+    std::vector<double> kill_u;          ///< kill-draw uniform column
+    std::vector<std::int32_t> faults;    ///< per-site fault counts
+    std::vector<std::int64_t> histogram = std::vector<std::int64_t>(4, 0);
+  };
+
+  /// One wafer through the SoA pipeline: sample the defect population in
+  /// column form, locate every defect's site in one pass, batch-evaluate
+  /// the kill LUT over the on-die sizes, draw all kill uniforms through
+  /// the batched RNG, then scatter the kills into per-site fault counts.
+  void simulate_wafer(exec::SplitMix64& rng, const defect::DefectField& field,
+                      WaferResult& result, WaferScratch& scratch) const;
 };
 
 }  // namespace nanocost::fabsim

@@ -7,6 +7,7 @@
 // radial yield models consume.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -63,6 +64,13 @@ class WaferMap final {
 
   /// Index of the site containing point (x, y), or -1 if none.
   [[nodiscard]] std::int64_t site_at(units::Millimeters x, units::Millimeters y) const noexcept;
+
+  /// Column form of site_at for the SoA fab-simulator pipeline:
+  /// out[i] = site_at(x_mm[i], y_mm[i]).  A plain scalar loop -- the
+  /// lookup is grid math plus two indirections, which the batch layout
+  /// keeps cache-friendly without needing a vector lane.
+  void site_at_batch(const double* x_mm, const double* y_mm, std::int64_t* out,
+                     std::size_t n) const noexcept;
 
  private:
   WaferSpec wafer_;

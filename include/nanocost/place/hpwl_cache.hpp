@@ -28,12 +28,9 @@
 #include <limits>
 #include <vector>
 
-#if defined(__SSE2__) || defined(_M_X64)
-#include <emmintrin.h>
-#define NANOCOST_HPWL_SSE2 1
-#endif
-
+#include "nanocost/exec/simd.hpp"
 #include "nanocost/netlist/netlist.hpp"
+#include "nanocost/place/pin_scan.hpp"
 #include "nanocost/place/placer.hpp"
 
 namespace nanocost::place {
@@ -107,15 +104,9 @@ class HpwlCache final {
   [[nodiscard]] double net_hpwl(std::int32_t net) const;
 
  private:
-  // Gate coordinates as a float pair: column and row are tiny integers
-  // (exact in float far beyond any realistic grid, < 2^24), and packing
-  // them into the two low lanes of an SSE register lets scan_value()
-  // min/max both axes at once with SSE2's minps/maxps -- there is no
-  // SSE2 *integer* 32-bit min/max.  Aligned to 8 so a pair loads as one
-  // 64-bit lane.
-  struct alignas(8) Pos {
-    float c = 0.0F, r = 0.0F;
-  };
+  // Gate coordinates as (c, r) float pairs -- see pin_scan.hpp, which
+  // owns the layout and the vector scans over it.
+  using Pos = detail::PinPos;
   struct Box {
     std::int32_t min_c = 0, max_c = 0, min_r = 0, max_r = 0;
     std::int32_t cnt_min_c = 0, cnt_max_c = 0, cnt_min_r = 0, cnt_max_r = 0;
@@ -128,7 +119,10 @@ class HpwlCache final {
   static constexpr std::int32_t kSmallNetPins = 8;
 
   [[nodiscard]] Box scan_box(std::int32_t net) const;
-  [[nodiscard]] double scan_value(std::int32_t net) const;
+  // Force-inlined: with three scan variants reachable from the
+  // dispatch, GCC's size heuristics otherwise stop inlining this
+  // into the annealer's move loop, costing ~10% of the anneal.
+  [[nodiscard]] NANOCOST_PIN_SCAN_INLINE double scan_value(std::int32_t net) const;
   [[nodiscard]] double box_value(const Box& box) const {
     return static_cast<double>(box.max_c - box.min_c) +
            row_weight_ * static_cast<double>(box.max_r - box.min_r);
@@ -136,6 +130,9 @@ class HpwlCache final {
   void refresh_nets_of(std::int32_t gate);
 
   double row_weight_;
+  // Scan lane width, resolved once at construction (scan_value runs per
+  // affected net per move; a dispatch call there would dominate it).
+  exec::SimdLevel simd_level_ = exec::simd_level();
   // Gate coordinates (the cache's own copy of the placement), packed
   // so a pin visit touches one cache line, not two.
   std::vector<Pos> pos_;
@@ -161,63 +158,18 @@ class HpwlCache final {
   std::int32_t pending_old_c_ = 0;
 };
 
-inline double HpwlCache::scan_value(std::int32_t net) const {
+NANOCOST_PIN_SCAN_INLINE double HpwlCache::scan_value(std::int32_t net) const {
   const auto n = static_cast<std::size_t>(net);
   const std::int32_t begin = net_pin_offset_[n];
   const std::int32_t end = net_pin_offset_[n + 1];
   if (begin == end) return 0.0;
-  // Clamped 4-pin unroll: nets of up to 4 pins (the bulk of real
-  // netlists) take a branchless fixed-shape path; re-reading the last
-  // pin for the padding lanes cannot change a min/max.
-  const std::int32_t last = end - 1;
-#if defined(NANOCOST_HPWL_SSE2)
-  // Each Pos is one 64-bit (c, r) float lane; pairing two pins per
-  // register, minps/maxps reduce both axes of four pins in two ops.
-  // Coordinates are small integers, so the float arithmetic (and the
-  // final widening to double) is exact: bitwise-identical to the
-  // scalar path below.
-  const auto pin_pd = [&](std::int32_t i) {
-    return reinterpret_cast<const double*>(
-        &pos_[static_cast<std::size_t>(net_pin_gate_[static_cast<std::size_t>(std::min(i, last))])]);
-  };
-  const __m128 v01 =
-      _mm_castpd_ps(_mm_loadh_pd(_mm_load_sd(pin_pd(begin)), pin_pd(begin + 1)));
-  const __m128 v23 =
-      _mm_castpd_ps(_mm_loadh_pd(_mm_load_sd(pin_pd(begin + 2)), pin_pd(begin + 3)));
-  __m128 mn = _mm_min_ps(v01, v23);
-  __m128 mx = _mm_max_ps(v01, v23);
-  for (std::int32_t i = begin + 4; i < end; ++i) {
-    const __m128 p = _mm_castpd_ps(_mm_load_sd(reinterpret_cast<const double*>(
-        &pos_[static_cast<std::size_t>(net_pin_gate_[static_cast<std::size_t>(i)])])));
-    const __m128 pp = _mm_movelh_ps(p, p);
-    mn = _mm_min_ps(mn, pp);
-    mx = _mm_max_ps(mx, pp);
-  }
-  mn = _mm_min_ps(mn, _mm_movehl_ps(mn, mn));
-  mx = _mm_max_ps(mx, _mm_movehl_ps(mx, mx));
-  const __m128d d = _mm_cvtps_pd(_mm_sub_ps(mx, mn));  // [span_c, span_r]
-  return _mm_cvtsd_f64(d) + row_weight_ * _mm_cvtsd_f64(_mm_unpackhi_pd(d, d));
-#else
-  const auto pin = [&](std::int32_t i) {
-    return pos_[static_cast<std::size_t>(net_pin_gate_[static_cast<std::size_t>(std::min(i, last))])];
-  };
-  const Pos p0 = pin(begin);
-  const Pos p1 = pin(begin + 1);
-  const Pos p2 = pin(begin + 2);
-  const Pos p3 = pin(begin + 3);
-  float min_c = std::min(std::min(p0.c, p1.c), std::min(p2.c, p3.c));
-  float max_c = std::max(std::max(p0.c, p1.c), std::max(p2.c, p3.c));
-  float min_r = std::min(std::min(p0.r, p1.r), std::min(p2.r, p3.r));
-  float max_r = std::max(std::max(p0.r, p1.r), std::max(p2.r, p3.r));
-  for (std::int32_t i = begin + 4; i < end; ++i) {
-    const Pos p = pos_[static_cast<std::size_t>(net_pin_gate_[static_cast<std::size_t>(i)])];
-    min_c = std::min(min_c, p.c);
-    max_c = std::max(max_c, p.c);
-    min_r = std::min(min_r, p.r);
-    max_r = std::max(max_r, p.r);
-  }
-  return static_cast<double>(max_c - min_c) + row_weight_ * static_cast<double>(max_r - min_r);
-#endif
+  // The scan variants (pin_scan.hpp) share one clamped-unroll contract:
+  // coordinates are small integers, min/max on them is order-free, and
+  // the float spans (and their widening to double) are exact, so every
+  // lane width returns the same value bitwise.
+  const detail::PinSpan s =
+      detail::scan_span(simd_level_, pos_.data(), net_pin_gate_.data(), begin, end);
+  return static_cast<double>(s.span_c) + row_weight_ * static_cast<double>(s.span_r);
 }
 
 inline double HpwlCache::peek_swap(std::int32_t gate, std::int32_t row, std::int32_t col,

@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Performance regression gate.
+
+Compares a freshly generated BENCH_perf.json against the committed
+baseline and fails (exit 1) when any threads=1 case slowed down past
+the tolerance.  Only threads=1 is gated: multi-thread numbers on
+shared CI runners carry too much scheduler noise to gate on.
+
+Tolerances:
+  * same cpu_model as the baseline  -> fail above 1.15x
+  * different / unknown cpu_model   -> fail above 2.0x, with a warning
+    (cross-hardware ns_per_op comparisons are only a sanity check)
+
+The committed baseline may predate schema_version 3 and lack the
+cpu_model field; that is treated as "unknown hardware".
+
+Usage: perf_gate.py <fresh.json> <baseline.json>
+"""
+
+import json
+import sys
+
+SAME_CPU_TOLERANCE = 1.15
+CROSS_CPU_TOLERANCE = 2.0
+
+
+def load(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"perf_gate: cannot read {path}: {err}", file=sys.stderr)
+        sys.exit(2)
+
+
+def serial_cases(doc):
+    return {
+        c["name"]: float(c["ns_per_op"])
+        for c in doc.get("cases", [])
+        if c.get("threads") == 1 and float(c.get("ns_per_op", 0)) > 0
+    }
+
+
+def main(argv):
+    if len(argv) != 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    fresh_doc = load(argv[1])
+    base_doc = load(argv[2])
+
+    fresh_cpu = fresh_doc.get("cpu_model", "unknown")
+    base_cpu = base_doc.get("cpu_model", "unknown")
+    same_cpu = fresh_cpu == base_cpu and fresh_cpu != "unknown"
+    tolerance = SAME_CPU_TOLERANCE if same_cpu else CROSS_CPU_TOLERANCE
+    if not same_cpu:
+        print(
+            f"perf_gate: WARNING cpu_model mismatch (fresh={fresh_cpu!r}, "
+            f"baseline={base_cpu!r}); relaxing tolerance to {tolerance}x"
+        )
+
+    fresh = serial_cases(fresh_doc)
+    base = serial_cases(base_doc)
+    missing = sorted(set(base) - set(fresh))
+    if missing:
+        print(f"perf_gate: WARNING baseline cases absent from fresh run: {missing}")
+
+    failed = False
+    print(f"perf_gate: tolerance {tolerance}x at threads=1")
+    print(f"{'case':<24} {'baseline ns':>14} {'fresh ns':>14} {'ratio':>7}")
+    for name in sorted(set(base) & set(fresh)):
+        ratio = fresh[name] / base[name]
+        verdict = "ok"
+        if ratio > tolerance:
+            verdict = "FAIL"
+            failed = True
+        print(
+            f"{name:<24} {base[name]:>14.0f} {fresh[name]:>14.0f} "
+            f"{ratio:>6.2f}x  {verdict}"
+        )
+
+    if failed:
+        print("perf_gate: FAILED -- serial regression beyond tolerance", file=sys.stderr)
+        return 1
+    print("perf_gate: passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -3,7 +3,13 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "nanocost/exec/rng_batch.hpp"
 #include "nanocost/units/quantity.hpp"
+
+#if (defined(__x86_64__) || defined(__i386__)) && (defined(__GNUC__) || defined(__clang__))
+#define NANOCOST_X86_SIMD 1
+#include <immintrin.h>
+#endif
 
 namespace nanocost::defect {
 
@@ -98,6 +104,138 @@ units::Micrometers DefectSizeDistribution::sample(std::mt19937_64& rng) const {
   double x = std::pow(t, 1.0 / (1.0 - q_));
   if (x > xmax_.value()) x = xmax_.value();  // numerical guard at the tail end
   return units::Micrometers{x};
+}
+
+namespace {
+
+/// Precomputed inverse-CDF constants shared by the batch paths: with
+///   t(m) = x0^(1-q) - (m - below_mass) * (q-1) / x0^(q-1)
+/// the tail inverse is x = t^(1/(1-q)), which for the classic q = 3
+/// collapses to x = 1/sqrt(t) -- sqrt and divide, both IEEE-exact.
+struct TailConstants {
+  double x0 = 0.0, a = 0.0, xmax = 0.0;
+  double below_mass = 0.0, total_mass = 0.0;
+  double c1 = 0.0;  ///< x0^(1-q)
+  double c2 = 0.0;  ///< (q-1) / x0^(q-1)
+};
+
+/// One sample from one uniform; the scalar reference the vector lanes
+/// must match bitwise (q == 3 form).
+inline double invert_size_q3(const TailConstants& k, double u) {
+  const double m = u * k.total_mass;
+  if (m <= k.below_mass) {
+    return std::sqrt(k.a * k.a + 2.0 * k.x0 * k.x0 * m);
+  }
+  const double t = k.c1 - (m - k.below_mass) * k.c2;
+  const double x = 1.0 / std::sqrt(t);
+  return x > k.xmax ? k.xmax : x;
+}
+
+#if defined(NANOCOST_X86_SIMD)
+
+/// 4-wide q = 3 inversion: both branches evaluate (sqrt of a negative
+/// in a masked-off lane is a quiet NaN, discarded by the blend) and
+/// every operation is IEEE-exact, so each lane equals invert_size_q3.
+__attribute__((target("avx2"))) void invert_size_q3_avx2(const TailConstants& k,
+                                                         const double* u, double* out,
+                                                         std::size_t n) {
+  const __m256d total = _mm256_set1_pd(k.total_mass);
+  const __m256d below = _mm256_set1_pd(k.below_mass);
+  const __m256d a2 = _mm256_set1_pd(k.a * k.a);
+  const __m256d two_x02 = _mm256_set1_pd(2.0 * k.x0 * k.x0);
+  const __m256d c1 = _mm256_set1_pd(k.c1);
+  const __m256d c2 = _mm256_set1_pd(k.c2);
+  const __m256d xmax = _mm256_set1_pd(k.xmax);
+  const __m256d one = _mm256_set1_pd(1.0);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d m = _mm256_mul_pd(_mm256_loadu_pd(u + i), total);
+    const __m256d rising =
+        _mm256_sqrt_pd(_mm256_add_pd(a2, _mm256_mul_pd(two_x02, m)));
+    const __m256d t =
+        _mm256_sub_pd(c1, _mm256_mul_pd(_mm256_sub_pd(m, below), c2));
+    __m256d tail = _mm256_div_pd(one, _mm256_sqrt_pd(t));
+    // x > xmax ? xmax : x, spelled as a blend so the NaN semantics of
+    // the scalar comparison carry over exactly.
+    const __m256d over = _mm256_cmp_pd(tail, xmax, _CMP_GT_OQ);
+    tail = _mm256_blendv_pd(tail, xmax, over);
+    const __m256d use_rising = _mm256_cmp_pd(m, below, _CMP_LE_OQ);
+    _mm256_storeu_pd(out + i, _mm256_blendv_pd(tail, rising, use_rising));
+  }
+  for (; i < n; ++i) out[i] = invert_size_q3(k, u[i]);
+}
+
+__attribute__((target("sse2"))) void invert_size_q3_sse2(const TailConstants& k,
+                                                         const double* u, double* out,
+                                                         std::size_t n) {
+  const __m128d total = _mm_set1_pd(k.total_mass);
+  const __m128d below = _mm_set1_pd(k.below_mass);
+  const __m128d a2 = _mm_set1_pd(k.a * k.a);
+  const __m128d two_x02 = _mm_set1_pd(2.0 * k.x0 * k.x0);
+  const __m128d c1 = _mm_set1_pd(k.c1);
+  const __m128d c2 = _mm_set1_pd(k.c2);
+  const __m128d xmax = _mm_set1_pd(k.xmax);
+  const __m128d one = _mm_set1_pd(1.0);
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const __m128d m = _mm_mul_pd(_mm_loadu_pd(u + i), total);
+    const __m128d rising = _mm_sqrt_pd(_mm_add_pd(a2, _mm_mul_pd(two_x02, m)));
+    const __m128d t = _mm_sub_pd(c1, _mm_mul_pd(_mm_sub_pd(m, below), c2));
+    __m128d tail = _mm_div_pd(one, _mm_sqrt_pd(t));
+    const __m128d over = _mm_cmpgt_pd(tail, xmax);
+    tail = _mm_or_pd(_mm_and_pd(over, xmax), _mm_andnot_pd(over, tail));
+    const __m128d use_rising = _mm_cmple_pd(m, below);
+    _mm_storeu_pd(out + i,
+                  _mm_or_pd(_mm_and_pd(use_rising, rising), _mm_andnot_pd(use_rising, tail)));
+  }
+  for (; i < n; ++i) out[i] = invert_size_q3(k, u[i]);
+}
+
+#endif  // NANOCOST_X86_SIMD
+
+}  // namespace
+
+void DefectSizeDistribution::sample_batch_at(exec::SimdLevel level, exec::SplitMix64& rng,
+                                             double* out, std::size_t n) const {
+  // The uniforms land in the output array and are transformed in place
+  // (each size depends only on its own uniform).
+  exec::uniform_unit_batch_at(level, rng, out, n);
+
+  TailConstants k;
+  k.x0 = peak_.value();
+  k.a = xmin_.value();
+  k.xmax = xmax_.value();
+  k.below_mass = below_mass_;
+  k.total_mass = total_mass_;
+  k.c1 = std::pow(k.x0, 1.0 - q_);
+  k.c2 = (q_ - 1.0) / std::pow(k.x0, q_ - 1.0);
+
+  if (q_ == 3.0) {
+#if defined(NANOCOST_X86_SIMD)
+    if (level == exec::SimdLevel::kAvx2) return invert_size_q3_avx2(k, out, out, n);
+    if (level == exec::SimdLevel::kSse2) return invert_size_q3_sse2(k, out, out, n);
+#endif
+    for (std::size_t i = 0; i < n; ++i) out[i] = invert_size_q3(k, out[i]);
+    return;
+  }
+  // General q: the tail needs a data-dependent pow, which stays scalar
+  // libm at every level.
+  const double inv_exp = 1.0 / (1.0 - q_);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double m = out[i] * k.total_mass;
+    if (m <= k.below_mass) {
+      out[i] = std::sqrt(k.a * k.a + 2.0 * k.x0 * k.x0 * m);
+      continue;
+    }
+    const double t = k.c1 - (m - k.below_mass) * k.c2;
+    const double x = std::pow(t, inv_exp);
+    out[i] = x > k.xmax ? k.xmax : x;
+  }
+}
+
+void DefectSizeDistribution::sample_batch(exec::SplitMix64& rng, double* out,
+                                          std::size_t n) const {
+  sample_batch_at(exec::simd_level(), rng, out, n);
 }
 
 }  // namespace nanocost::defect

@@ -4,6 +4,7 @@
 #include <numbers>
 #include <stdexcept>
 
+#include "nanocost/exec/rng_batch.hpp"
 #include "nanocost/units/quantity.hpp"
 
 namespace nanocost::defect {
@@ -107,6 +108,92 @@ void DefectField::sample_wafer(std::mt19937_64& rng, std::vector<Defect>& out) c
     d.size = sizes_.sample(rng);
     out.push_back(d);
   }
+}
+
+namespace {
+
+/// The Knuth Poisson sampler above, on the counter-based exec stream.
+/// Same chunked product-of-uniforms scheme; consumption is
+/// data-dependent but scalar, hence identical at every SimdLevel.
+long sample_poisson(exec::SplitMix64& rng, double mean) {
+  long total = 0;
+  while (mean > 0.0) {
+    const double chunk = std::min(mean, 60.0);
+    const double limit = std::exp(-chunk);
+    long k = -1;
+    double prod = 1.0;
+    do {
+      prod *= exec::uniform_unit(rng);
+      ++k;
+    } while (prod > limit);
+    total += k;
+    mean -= chunk;
+  }
+  return total;
+}
+
+}  // namespace
+
+void DefectField::sample_wafer_at(exec::SimdLevel level, exec::SplitMix64& rng,
+                                  DefectSoA& out) const {
+  out.clear();
+  double mean = expected_count();
+  if (params_.clustered) {
+    // Gamma multiplier with shape alpha and mean 1 (scalar draw in all
+    // paths -- the standard library's algorithm is fine here because
+    // every SimdLevel runs the identical code on the identical stream).
+    std::gamma_distribution<double> gamma(params_.cluster_alpha, 1.0 / params_.cluster_alpha);
+    mean *= gamma(rng);
+  }
+  const long n = sample_poisson(rng, mean);
+  const auto count = static_cast<std::size_t>(n);
+  out.x_mm.reserve(count);
+  out.y_mm.reserve(count);
+  out.size_um.resize(count);
+
+  const double radius_mm = wafer_.radius().value();
+  if (params_.radial.is_flat()) {
+    // Uniform over the disc by square rejection: each round draws 8
+    // candidate points (16 uniforms) through the batched RNG and keeps
+    // the ones inside the disc.  Whole 16-uniform blocks are always
+    // consumed -- surplus acceptances in the final block are discarded
+    // -- and the accept tests are plain scalar arithmetic on bitwise
+    // identical uniforms, so the stream position after sampling agrees
+    // across SimdLevels.
+    double u[16];
+    while (out.x_mm.size() < count) {
+      exec::uniform_unit_batch_at(level, rng, u, 16);
+      for (int i = 0; i < 8; ++i) {
+        if (out.x_mm.size() == count) break;
+        const double cx = (2.0 * u[i] - 1.0) * radius_mm;
+        const double cy = (2.0 * u[8 + i] - 1.0) * radius_mm;
+        if (cx * cx + cy * cy <= radius_mm * radius_mm) {
+          out.x_mm.push_back(cx);
+          out.y_mm.push_back(cy);
+        }
+      }
+    }
+  } else {
+    // Radial profile: the same envelope rejection as sample_position,
+    // scalar at every level (the win is in the RNG and size columns).
+    const double max_mult = params_.radial.multiplier(1.0);
+    for (std::size_t i = 0; i < count; ++i) {
+      for (;;) {
+        const double ur = std::sqrt(exec::uniform_unit(rng));
+        if (exec::uniform_unit(rng) * max_mult > params_.radial.multiplier(ur)) continue;
+        const double theta = exec::kTwoPi * exec::uniform_unit(rng);
+        const double r = ur * radius_mm;
+        out.x_mm.push_back(r * std::cos(theta));
+        out.y_mm.push_back(r * std::sin(theta));
+        break;
+      }
+    }
+  }
+  sizes_.sample_batch_at(level, rng, out.size_um.data(), count);
+}
+
+void DefectField::sample_wafer(exec::SplitMix64& rng, DefectSoA& out) const {
+  sample_wafer_at(exec::simd_level(), rng, out);
 }
 
 }  // namespace nanocost::defect

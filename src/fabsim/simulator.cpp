@@ -1,15 +1,22 @@
 #include "nanocost/fabsim/simulator.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <optional>
 #include <stdexcept>
 
 #include "nanocost/exec/parallel.hpp"
+#include "nanocost/exec/rng_batch.hpp"
 #include "nanocost/exec/seed.hpp"
 #include "nanocost/obs/metrics.hpp"
 #include "nanocost/obs/trace.hpp"
 #include "nanocost/robust/fault_injection.hpp"
+
+#if (defined(__x86_64__) || defined(__i386__)) && (defined(__GNUC__) || defined(__clang__))
+#define NANOCOST_X86_SIMD 1
+#include <immintrin.h>
+#endif
 
 namespace nanocost::fabsim {
 
@@ -22,14 +29,6 @@ constexpr robust::FaultSite kWaferFaultSite{"fabsim.wafer"};
 /// Wafers per parallel chunk.  The chunk grid is a function of the lot
 /// size only, never of the thread count.
 constexpr std::int64_t kWaferGrain = 4;
-
-/// Per-chunk simulation scratch: reused across the chunk's wafers so a
-/// lot run allocates O(chunks), not O(wafers).
-struct WaferScratch {
-  std::vector<defect::Defect> defects;
-  std::vector<std::int32_t> faults;
-  std::vector<std::int64_t> histogram = std::vector<std::int64_t>(4, 0);
-};
 
 }  // namespace
 
@@ -92,9 +91,8 @@ KillProbabilityLut::KillProbabilityLut(const DieKillModel& model, units::Microme
   if (bins < 8) {
     throw std::invalid_argument("kill LUT needs at least 8 bins");
   }
-  log_xmin_ = std::log(xmin.value());
-  const double dlog = (std::log(xmax.value()) - log_xmin_) / bins;
-  inv_dlog_ = 1.0 / dlog;
+  const double log_xmin = std::log(xmin.value());
+  const double dlog = (std::log(xmax.value()) - log_xmin) / bins;
 
   node_x_.resize(static_cast<std::size_t>(bins) + 1);
   node_p_.resize(node_x_.size());
@@ -102,7 +100,7 @@ KillProbabilityLut::KillProbabilityLut(const DieKillModel& model, units::Microme
     // Pin the endpoints so range checks against node_x_ are exact.
     const double x = i == 0      ? xmin.value()
                      : i == bins ? xmax.value()
-                                 : std::exp(log_xmin_ + i * dlog);
+                                 : std::exp(log_xmin + i * dlog);
     node_x_[static_cast<std::size_t>(i)] = x;
     node_p_[static_cast<std::size_t>(i)] = model_.kill_probability(units::Micrometers{x});
   }
@@ -132,25 +130,145 @@ KillProbabilityLut::KillProbabilityLut(const DieKillModel& model, units::Microme
     }
     interp_ok_[static_cast<std::size_t>(i)] = linear ? 1 : 0;
   }
+
+  // Bin-location hint table.  The IEEE bit pattern of a positive finite
+  // double is monotone in its value, so the top bits of
+  // bits(x) - bits(xmin) index a uniform grid over the support in
+  // "exponent+mantissa" space -- log-like resolution without a log.
+  // Each cell stores the last bin starting at or below the cell's lower
+  // edge; a lookup then only ever nudges upward, typically 0-1 steps.
+  bits_min_ = std::bit_cast<std::int64_t>(node_x_.front());
+  const auto bits_max = std::bit_cast<std::int64_t>(node_x_.back());
+  const std::int64_t span = bits_max - bits_min_;
+  hint_shift_ = 0;
+  while ((span >> hint_shift_) >= 8191) ++hint_shift_;
+  const auto cells = static_cast<std::size_t>(span >> hint_shift_) + 1;
+  hint_.resize(cells);
+  const auto last = static_cast<std::int64_t>(slope_.size()) - 1;
+  for (std::size_t k = 0; k < cells; ++k) {
+    const double cell_lo = std::bit_cast<double>(
+        bits_min_ + (static_cast<std::int64_t>(k) << hint_shift_));
+    const auto it = std::upper_bound(node_x_.begin(), node_x_.end(), cell_lo);
+    const auto bin = std::clamp(static_cast<std::int64_t>(it - node_x_.begin()) - 1,
+                                std::int64_t{0}, last);
+    hint_[k] = static_cast<std::int32_t>(bin);
+  }
 }
 
-double KillProbabilityLut::operator()(units::Micrometers size) const noexcept {
-  const double x = size.value();
+double KillProbabilityLut::evaluate(double x) const noexcept {
   if (!(x >= node_x_.front() && x <= node_x_.back())) {
-    return model_.kill_probability(size);
+    return model_.kill_probability(units::Micrometers{x});
   }
-  auto i = static_cast<std::int64_t>((std::log(x) - log_xmin_) * inv_dlog_);
+  const std::int64_t cell = (std::bit_cast<std::int64_t>(x) - bits_min_) >> hint_shift_;
   const auto last = static_cast<std::int64_t>(slope_.size()) - 1;
-  i = std::clamp(i, std::int64_t{0}, last);
-  // Float rounding of the log can land one bin off; nudge to the bin
-  // actually bracketing x.
-  while (i > 0 && x < node_x_[static_cast<std::size_t>(i)]) --i;
+  std::int64_t i = hint_[static_cast<std::size_t>(cell)];
+  // The hint is at or below the bracketing bin; nudge upward only.
   while (i < last && x > node_x_[static_cast<std::size_t>(i) + 1]) ++i;
   if (!interp_ok_[static_cast<std::size_t>(i)]) {
-    return model_.kill_probability(size);
+    return model_.kill_probability(units::Micrometers{x});
   }
   return node_p_[static_cast<std::size_t>(i)] +
          slope_[static_cast<std::size_t>(i)] * (x - node_x_[static_cast<std::size_t>(i)]);
+}
+
+double KillProbabilityLut::operator()(units::Micrometers size) const noexcept {
+  return evaluate(size.value());
+}
+
+#if defined(NANOCOST_X86_SIMD)
+
+namespace {
+
+/// Raw pointers into the LUT columns for the vector lane (the lane is a
+/// free function so it can carry a target attribute).
+struct LutView final {
+  const double* node_x;
+  const double* node_p;
+  const double* slope;
+  const std::uint8_t* interp_ok;
+  const std::int32_t* hint;
+  std::int64_t bits_min;
+  int shift;
+  std::int64_t last;
+  double front;
+  double back;
+};
+
+/// 4-wide LUT lookup.  Every arithmetic step mirrors evaluate():
+/// identical bit-key, identical upward nudge, identical interpolation
+/// parse (mul then add; intrinsics never fuse).  Quads with an
+/// out-of-support (or NaN) lane, and lanes landing in a non-linear bin,
+/// fall back to the scalar path, so those return the same values too.
+__attribute__((target("avx2"))) void lut_evaluate_avx2(const KillProbabilityLut& lut,
+                                                       const LutView& v, const double* x,
+                                                       double* out, std::size_t n) {
+  const __m256d front = _mm256_set1_pd(v.front);
+  const __m256d back = _mm256_set1_pd(v.back);
+  const __m256i bits_min = _mm256_set1_epi64x(v.bits_min);
+  const __m256i last = _mm256_set1_epi64x(v.last);
+  const __m256i one = _mm256_set1_epi64x(1);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d xs = _mm256_loadu_pd(x + i);
+    const __m256d in = _mm256_and_pd(_mm256_cmp_pd(xs, front, _CMP_GE_OQ),
+                                     _mm256_cmp_pd(xs, back, _CMP_LE_OQ));
+    if (_mm256_movemask_pd(in) != 0xF) {
+      for (std::size_t j = i; j < i + 4; ++j) out[j] = lut(units::Micrometers{x[j]});
+      continue;
+    }
+    const __m256i cell =
+        _mm256_srli_epi64(_mm256_sub_epi64(_mm256_castpd_si256(xs), bits_min), v.shift);
+    __m256i bin = _mm256_cvtepi32_epi64(_mm256_i64gather_epi32(v.hint, cell, 4));
+    for (;;) {
+      const __m256i bin1 = _mm256_add_epi64(bin, one);
+      const __m256d next = _mm256_i64gather_pd(v.node_x, bin1, 8);
+      const __m256i need =
+          _mm256_and_si256(_mm256_castpd_si256(_mm256_cmp_pd(xs, next, _CMP_GT_OQ)),
+                           _mm256_cmpgt_epi64(last, bin));
+      if (_mm256_testz_si256(need, need)) break;
+      bin = _mm256_sub_epi64(bin, need);  // need lanes are -1: subtracting adds 1
+    }
+    const __m256d px = _mm256_i64gather_pd(v.node_x, bin, 8);
+    const __m256d pp = _mm256_i64gather_pd(v.node_p, bin, 8);
+    const __m256d ps = _mm256_i64gather_pd(v.slope, bin, 8);
+    _mm256_storeu_pd(out + i, _mm256_add_pd(pp, _mm256_mul_pd(ps, _mm256_sub_pd(xs, px))));
+    alignas(32) std::int64_t idx[4];
+    _mm256_store_si256(reinterpret_cast<__m256i*>(idx), bin);
+    for (int j = 0; j < 4; ++j) {
+      if (!v.interp_ok[static_cast<std::size_t>(idx[j])]) {
+        out[i + static_cast<std::size_t>(j)] =
+            lut(units::Micrometers{x[i + static_cast<std::size_t>(j)]});
+      }
+    }
+  }
+  for (; i < n; ++i) out[i] = lut(units::Micrometers{x[i]});
+}
+
+}  // namespace
+
+#endif  // NANOCOST_X86_SIMD
+
+void KillProbabilityLut::evaluate_batch_at(exec::SimdLevel level, const double* size_um,
+                                           double* out, std::size_t n) const noexcept {
+#if defined(NANOCOST_X86_SIMD)
+  if (level == exec::SimdLevel::kAvx2) {
+    const LutView v{node_x_.data(), node_p_.data(),    slope_.data(),
+                    interp_ok_.data(), hint_.data(),   bits_min_,
+                    hint_shift_,       static_cast<std::int64_t>(slope_.size()) - 1,
+                    node_x_.front(),   node_x_.back()};
+    lut_evaluate_avx2(*this, v, size_um, out, n);
+    return;
+  }
+#endif
+  // The SSE2 tier has no gather; the scalar path (already log-free via
+  // the hint table) is the honest fallback for it.
+  (void)level;
+  for (std::size_t i = 0; i < n; ++i) out[i] = evaluate(size_um[i]);
+}
+
+void KillProbabilityLut::evaluate_batch(const double* size_um, double* out,
+                                        std::size_t n) const noexcept {
+  evaluate_batch_at(exec::simd_level(), size_um, out, n);
 }
 
 int KillProbabilityLut::interpolated_bins() const noexcept {
@@ -209,15 +327,13 @@ double FabSimulator::analytic_mean_faults() const {
   return kill_.mean_faults_per_die(field_params_.density_per_cm2, sizes_);
 }
 
-void FabSimulator::simulate_wafer(std::mt19937_64& rng, const defect::DefectField& field,
-                                  WaferResult& result,
-                                  std::vector<defect::Defect>& defect_buffer,
-                                  std::vector<std::int32_t>& faults_scratch,
-                                  std::vector<std::int64_t>& histogram) const {
+void FabSimulator::simulate_wafer(exec::SplitMix64& rng, const defect::DefectField& field,
+                                  WaferResult& result, WaferScratch& scratch) const {
   obs::ObsSpan span("fabsim.wafer");
-  faults_scratch.assign(static_cast<std::size_t>(map_.die_count()), 0);
-  field.sample_wafer(rng, defect_buffer);
-  result.defects = static_cast<std::int64_t>(defect_buffer.size());
+  scratch.faults.assign(static_cast<std::size_t>(map_.die_count()), 0);
+  field.sample_wafer(rng, scratch.defects);
+  const std::size_t n = scratch.defects.size();
+  result.defects = static_cast<std::int64_t>(n);
   result.gross_dies = map_.die_count();
   span.arg("defects", static_cast<std::uint64_t>(result.defects));
   if (obs::metrics_enabled()) {
@@ -227,33 +343,49 @@ void FabSimulator::simulate_wafer(std::mt19937_64& rng, const defect::DefectFiel
     defects.add(static_cast<std::uint64_t>(result.defects));
   }
 
-  std::uniform_real_distribution<double> uni(0.0, 1.0);
-  for (const defect::Defect& d : defect_buffer) {
-    const std::int64_t site = map_.site_at(d.x, d.y);
-    if (site < 0) continue;
-    ++result.defects_on_dies;
-    if (uni(rng) < lut_(d.size)) {
-      ++faults_scratch[static_cast<std::size_t>(site)];
+  // Locate every defect in one pass over the position columns, then
+  // compact the on-die survivors so the kill stage runs dense.
+  scratch.sites.resize(n);
+  map_.site_at_batch(scratch.defects.x_mm.data(), scratch.defects.y_mm.data(),
+                     scratch.sites.data(), n);
+  scratch.on_die_size.clear();
+  scratch.on_die_site.clear();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (scratch.sites[i] < 0) continue;
+    scratch.on_die_size.push_back(scratch.defects.size_um[i]);
+    scratch.on_die_site.push_back(scratch.sites[i]);
+  }
+  const std::size_t on_die = scratch.on_die_size.size();
+  result.defects_on_dies = static_cast<std::int64_t>(on_die);
+
+  // Batch the kill stage: LUT over the size column, one batched block
+  // of kill uniforms, then scatter the kills into per-site counts.
+  scratch.kill_p.resize(on_die);
+  scratch.kill_u.resize(on_die);
+  lut_.evaluate_batch(scratch.on_die_size.data(), scratch.kill_p.data(), on_die);
+  exec::uniform_unit_batch(rng, scratch.kill_u.data(), on_die);
+  for (std::size_t i = 0; i < on_die; ++i) {
+    if (scratch.kill_u[i] < scratch.kill_p[i]) {
+      ++scratch.faults[static_cast<std::size_t>(scratch.on_die_site[i])];
     }
   }
 
   result.good_dies = 0;
-  for (const std::int32_t f : faults_scratch) {
+  for (const std::int32_t f : scratch.faults) {
     if (f == 0) ++result.good_dies;
-    if (static_cast<std::size_t>(f) >= histogram.size()) {
-      histogram.resize(static_cast<std::size_t>(f) + 1, 0);
+    if (static_cast<std::size_t>(f) >= scratch.histogram.size()) {
+      scratch.histogram.resize(static_cast<std::size_t>(f) + 1, 0);
     }
-    ++histogram[static_cast<std::size_t>(f)];
+    ++scratch.histogram[static_cast<std::size_t>(f)];
   }
 }
 
 std::vector<std::int32_t> FabSimulator::snapshot_faults(std::uint64_t seed) const {
-  std::mt19937_64 rng(seed);
+  exec::SplitMix64 rng(seed);
   const defect::DefectField field(wafer_, sizes_, field_params_);
   WaferResult wafer_result;
   WaferScratch scratch;
-  simulate_wafer(rng, field, wafer_result, scratch.defects, scratch.faults,
-                 scratch.histogram);
+  simulate_wafer(rng, field, wafer_result, scratch);
   return std::move(scratch.faults);
 }
 
@@ -295,10 +427,9 @@ LotResult FabSimulator::run(std::int64_t n_wafers, std::uint64_t seed,
       [&](std::int64_t begin, std::int64_t end, WaferScratch& scratch) {
         for (std::int64_t i = begin; i < end; ++i) {
           robust::inject(kWaferFaultSite, static_cast<std::uint64_t>(i));
-          std::mt19937_64 rng(
+          exec::SplitMix64 rng(
               exec::SeedSequence::for_task(seed, static_cast<std::uint64_t>(i)));
-          simulate_wafer(rng, field, lot.wafers[static_cast<std::size_t>(i)],
-                         scratch.defects, scratch.faults, scratch.histogram);
+          simulate_wafer(rng, field, lot.wafers[static_cast<std::size_t>(i)], scratch);
         }
       },
       [&](WaferScratch&& scratch) { finalize_lot(lot, std::move(scratch.histogram)); });
@@ -325,10 +456,9 @@ PartialLot FabSimulator::run_partial(std::int64_t n_wafers, std::uint64_t seed,
       [&](std::int64_t begin, std::int64_t end, WaferScratch& scratch) {
         for (std::int64_t i = begin; i < end; ++i) {
           robust::inject(kWaferFaultSite, static_cast<std::uint64_t>(i));
-          std::mt19937_64 rng(
+          exec::SplitMix64 rng(
               exec::SeedSequence::for_task(seed, static_cast<std::uint64_t>(i)));
-          simulate_wafer(rng, field, lot.wafers[static_cast<std::size_t>(i)],
-                         scratch.defects, scratch.faults, scratch.histogram);
+          simulate_wafer(rng, field, lot.wafers[static_cast<std::size_t>(i)], scratch);
         }
       },
       [&](WaferScratch&& scratch) { finalize_lot(lot, std::move(scratch.histogram)); });
@@ -359,9 +489,8 @@ void FabSimulator::run_units(std::int64_t begin, std::int64_t end, std::uint64_t
   WaferScratch scratch;
   for (std::int64_t i = begin; i < end; ++i) {
     robust::inject(kWaferFaultSite, static_cast<std::uint64_t>(i));
-    std::mt19937_64 rng(exec::SeedSequence::for_task(seed, static_cast<std::uint64_t>(i)));
-    simulate_wafer(rng, field, results[i - begin], scratch.defects, scratch.faults,
-                   scratch.histogram);
+    exec::SplitMix64 rng(exec::SeedSequence::for_task(seed, static_cast<std::uint64_t>(i)));
+    simulate_wafer(rng, field, results[i - begin], scratch);
   }
   if (scratch.histogram.size() > histogram.size()) {
     histogram.resize(scratch.histogram.size(), 0);
@@ -410,11 +539,10 @@ std::vector<LotResult> FabSimulator::run_ramp(const yield::LearningCurve& curve,
               scratch.field.emplace(wafer_, sizes_, params);
               scratch.density = density;
             }
-            std::mt19937_64 rng(
+            exec::SplitMix64 rng(
                 exec::SeedSequence::for_task(seed, static_cast<std::uint64_t>(global)));
             simulate_wafer(rng, *scratch.field, lot.wafers[static_cast<std::size_t>(i)],
-                           scratch.wafer.defects, scratch.wafer.faults,
-                           scratch.wafer.histogram);
+                           scratch.wafer);
           }
         },
         [&](RampScratch&& scratch) {

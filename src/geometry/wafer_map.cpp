@@ -196,4 +196,11 @@ std::int64_t WaferMap::site_at(units::Millimeters x, units::Millimeters y) const
   return idx;
 }
 
+void WaferMap::site_at_batch(const double* x_mm, const double* y_mm, std::int64_t* out,
+                             std::size_t n) const noexcept {
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = site_at(units::Millimeters{x_mm[i]}, units::Millimeters{y_mm[i]});
+  }
+}
+
 }  // namespace nanocost::geometry
