@@ -19,6 +19,8 @@
 
 #include "nanocost/exec/simd.hpp"
 
+#include "nanocost/cache/cached.hpp"
+#include "nanocost/cache/lru.hpp"
 #include "nanocost/core/generalized_cost.hpp"
 #include "nanocost/core/optimizer.hpp"
 #include "nanocost/core/risk.hpp"
@@ -380,6 +382,26 @@ void write_bench_json() {
   run_ladder("robust_sd_24x2000", cases, [&](exec::ThreadPool& pool) {
     benchmark::DoNotOptimize(core::robust_sd(inputs, 0.9, 120.0, 1500.0, 24, 2000, 1, &pool));
   });
+
+  // Warm-hit latency of the cached spellings: one prewarm miss fills
+  // the LRU, then every timed iteration is a pure hit (key hash +
+  // lookup + decode).  The perf gate checks these against the cold
+  // cases above for the >= 50x warm-hit contract.
+  {
+    exec::ThreadPool pool(1);
+    benchmark::DoNotOptimize(
+        cache::monte_carlo_cost_cached(inputs, 300.0, 20000, 1, 0.0, &pool));
+    run_serial("risk_mc_20000_cached", cases, [&] {
+      benchmark::DoNotOptimize(
+          cache::monte_carlo_cost_cached(inputs, 300.0, 20000, 1, 0.0, &pool));
+    });
+    benchmark::DoNotOptimize(
+        cache::robust_sd_cached(inputs, 0.9, 120.0, 1500.0, 24, 2000, 1, &pool));
+    run_serial("robust_sd_24x2000_cached", cases, [&] {
+      benchmark::DoNotOptimize(
+          cache::robust_sd_cached(inputs, 0.9, 120.0, 1500.0, 24, 2000, 1, &pool));
+    });
+  }
 
   // Physical-design kernels: multi-start placement across the ladder,
   // then the serial incremental router and STA.

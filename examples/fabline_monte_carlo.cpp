@@ -8,6 +8,8 @@
 #include <optional>
 #include <string>
 
+#include "nanocost/cache/codec.hpp"
+#include "nanocost/cache/hash.hpp"
 #include "nanocost/fabsim/campaign.hpp"
 #include "nanocost/fabsim/economics.hpp"
 #include "nanocost/fabsim/simulator.hpp"
@@ -54,8 +56,12 @@ void run_physical_design_sample() {
 /// `--faults`: inject deterministic wafer faults and show graceful
 /// degradation; `--resume`: kill the campaign mid-run, resume it from
 /// the checkpoint, and verify the lot is bitwise what an uninterrupted
-/// run produces.  Both run the campaign engine instead of phases 1-3.
-int run_campaign_demo(bool with_faults, bool with_resume) {
+/// run produces.  `--cache-dir <path>`: enable the content-addressed
+/// artifact tier -- a second invocation against the same directory
+/// serves every chunk from disk and reproduces the lot bitwise (the
+/// "lot digest" line is the proof).  All run the campaign engine
+/// instead of phases 1-3.
+int run_campaign_demo(bool with_faults, bool with_resume, const std::string& cache_dir) {
   using namespace nanocost;
   using namespace nanocost::units::literals;
 
@@ -82,6 +88,10 @@ int run_campaign_demo(bool with_faults, bool with_resume) {
   }
 
   robust::CampaignOptions options;
+  options.artifact_dir = cache_dir;
+  if (!cache_dir.empty()) {
+    std::printf("artifact tier: %s\n\n", cache_dir.c_str());
+  }
   robust::CampaignResult result;
   if (with_resume) {
     const std::string path = "fabline_campaign.ckpt";
@@ -109,6 +119,19 @@ int run_campaign_demo(bool with_faults, bool with_resume) {
   std::printf("\nassembled lot: %lld/%lld wafers, measured yield %.4f\n",
               static_cast<long long>(partial.completed_wafers),
               static_cast<long long>(n_wafers), partial.lot.yield());
+  if (!cache_dir.empty()) {
+    // Hit/miss totals plus a content digest of the assembled lot: two
+    // invocations against a warm directory must print the same digest
+    // (the CI cache smoke compares these lines verbatim).
+    const std::vector<std::uint8_t> encoded = cache::encode(partial.lot);
+    std::printf("artifact tier: %lld hits, %lld stores, %lld recomputed\n",
+                static_cast<long long>(result.artifact_hits),
+                static_cast<long long>(result.artifact_stores),
+                static_cast<long long>(result.completed_chunks - result.artifact_hits -
+                                       result.resumed_chunks));
+    std::printf("lot digest: %s\n",
+                cache::hash128(encoded.data(), encoded.size()).hex().c_str());
+  }
 
   if (with_resume && partial.completeness == 1.0) {
     // The money property: kill + resume reproduces the uninterrupted
@@ -194,10 +217,18 @@ int main(int argc, char** argv) {
   double deadline_ms = 0.0;
   double budget_ms = 0.0;
   std::string trace_file;
+  std::string cache_dir;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--faults") == 0) with_faults = true;
     if (std::strcmp(argv[i], "--resume") == 0) with_resume = true;
     if (std::strcmp(argv[i], "--metrics") == 0) with_metrics = true;
+    if (std::strcmp(argv[i], "--cache-dir") == 0) {
+      if (i + 1 >= argc) {
+        std::fputs("--cache-dir needs a directory path\n", stderr);
+        return 2;
+      }
+      cache_dir = argv[++i];
+    }
     if (std::strcmp(argv[i], "--deadline-ms") == 0) {
       if (i + 1 >= argc) {
         std::fputs("--deadline-ms needs a millisecond budget\n", stderr);
@@ -254,8 +285,9 @@ int main(int argc, char** argv) {
   if (deadline_ms > 0.0) {
     return finish(run_deadline_demo(deadline_ms));
   }
-  if (with_faults || with_resume || with_metrics || !trace_file.empty()) {
-    return finish(run_campaign_demo(with_faults, with_resume));
+  if (with_faults || with_resume || with_metrics || !trace_file.empty() ||
+      !cache_dir.empty()) {
+    return finish(run_campaign_demo(with_faults, with_resume, cache_dir));
   }
 
   std::puts("=== Fabline Monte Carlo: one product, cradle to economics ===\n");

@@ -1,0 +1,93 @@
+// Byte codec for cached results.
+//
+// Cached values travel as flat little-endian byte blobs -- through the
+// in-memory LRU and the on-disk artifact tier alike -- because the
+// result structs hold std::vectors and unit wrappers whose in-memory
+// representation is neither contiguous nor portable.  The encoding is
+// the identity on information: decode(encode(r)) reproduces r field
+// for field, floats by IEEE bit pattern, so "cache hit equals cold
+// recompute" can be checked by memcmp on encoded bytes
+// (tests/cache_test.cpp does exactly that).
+//
+// Layout per type: fields in struct declaration order; f64 by bit
+// pattern, integers little-endian fixed-width, vectors as u64 length
+// followed by elements.  The encoding is versioned implicitly through
+// cache/key.hpp's kKeySchemaVersion -- keys and blobs invalidate
+// together.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nanocost/core/optimizer.hpp"
+#include "nanocost/core/risk.hpp"
+#include "nanocost/fabsim/simulator.hpp"
+#include "nanocost/place/placer.hpp"
+#include "nanocost/regularity/window_sweep.hpp"
+
+namespace nanocost::cache {
+
+/// Appends little-endian fields to a growing byte vector.
+class ByteWriter final {
+ public:
+  void u8(std::uint8_t v) { out_.push_back(v); }
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) out_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  void i32(std::int32_t v) { u64(static_cast<std::uint64_t>(static_cast<std::int64_t>(v))); }
+  void f64(double v);
+
+  [[nodiscard]] std::vector<std::uint8_t> take() { return std::move(out_); }
+
+ private:
+  std::vector<std::uint8_t> out_;
+};
+
+/// Reads the writer's format back; throws std::runtime_error on
+/// truncation or trailing garbage (a malformed blob must never decode
+/// silently).
+class ByteReader final {
+ public:
+  explicit ByteReader(const std::vector<std::uint8_t>& blob) : blob_(blob) {}
+
+  [[nodiscard]] std::uint8_t u8();
+  [[nodiscard]] std::uint64_t u64();
+  [[nodiscard]] std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+  [[nodiscard]] std::int32_t i32() { return static_cast<std::int32_t>(i64()); }
+  [[nodiscard]] double f64();
+
+  /// Throws unless every byte was consumed.
+  void expect_end() const;
+
+ private:
+  const std::vector<std::uint8_t>& blob_;
+  std::size_t pos_ = 0;
+};
+
+// ---- Result codecs ------------------------------------------------------
+// One encode/decode pair per cached entry-point result type.
+
+[[nodiscard]] std::vector<std::uint8_t> encode(const core::RiskResult& r);
+[[nodiscard]] core::RiskResult decode_risk_result(const std::vector<std::uint8_t>& blob);
+
+[[nodiscard]] std::vector<std::uint8_t> encode(const core::RobustOptimum& r);
+[[nodiscard]] core::RobustOptimum decode_robust_optimum(const std::vector<std::uint8_t>& blob);
+
+[[nodiscard]] std::vector<std::uint8_t> encode(const std::vector<core::SweepPoint>& r);
+[[nodiscard]] std::vector<core::SweepPoint> decode_sweep_points(
+    const std::vector<std::uint8_t>& blob);
+
+[[nodiscard]] std::vector<std::uint8_t> encode(
+    const std::vector<regularity::WindowSweepPoint>& r);
+[[nodiscard]] std::vector<regularity::WindowSweepPoint> decode_window_sweep_points(
+    const std::vector<std::uint8_t>& blob);
+
+[[nodiscard]] std::vector<std::uint8_t> encode(const fabsim::LotResult& r);
+[[nodiscard]] fabsim::LotResult decode_lot_result(const std::vector<std::uint8_t>& blob);
+
+[[nodiscard]] std::vector<std::uint8_t> encode(const place::MultistartResult& r);
+[[nodiscard]] place::MultistartResult decode_multistart_result(
+    const std::vector<std::uint8_t>& blob);
+
+}  // namespace nanocost::cache

@@ -1,0 +1,173 @@
+// Canonical parameter hashing for the deterministic entry points.
+//
+// A cache key must equal exactly when the computation's observable
+// output equals, and must differ whenever any input that shapes the
+// output differs.  PRs 1-6 made every major entry point a pure
+// function of its full input struct (bitwise thread-count- and
+// SIMD-level-invariant), so the key is simply a versioned, field-tagged
+// byte serialization of those inputs fed through the in-repo 128-bit
+// hash (cache/hash.hpp):
+//
+//   key = H( magic, schema version, entry-point name,
+//            [type code, tag hash, value bytes]* )
+//
+// Canonicalization rules (DESIGN.md section 13):
+//   * every field is written explicitly, tagged with the hash of its
+//     name -- no struct memcpy, so padding bytes and layout never leak
+//     into the key, and reordering or renaming fields changes it loudly;
+//   * floating-point values hash by IEEE-754 bit pattern (bit_cast),
+//     so +0.0 / -0.0 and NaN payloads are distinct, exactly like the
+//     kernels see them;
+//   * integers serialize little-endian at fixed width regardless of
+//     host; bools as one byte;
+//   * aggregate inputs (roadmap/process tables, netlists, layout cells)
+//     hash their full content, not an identity or pointer.
+//
+// kKeySchemaVersion is the invalidation lever: bump it whenever any
+// kernel changes observable output (a new RNG consumption order, a
+// reassociated reduction, a changed default), and every old key -- in
+// memory or on disk -- misses instead of serving stale bytes.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <string_view>
+
+#include "nanocost/cache/hash.hpp"
+#include "nanocost/core/risk.hpp"
+#include "nanocost/core/transistor_cost.hpp"
+#include "nanocost/fabsim/simulator.hpp"
+#include "nanocost/layout/cell.hpp"
+#include "nanocost/netlist/netlist.hpp"
+#include "nanocost/place/placer.hpp"
+
+namespace nanocost::cache {
+
+// kKeySchemaVersion -- the invalidation lever described above -- lives
+// in cache/hash.hpp next to the pinned hash construction, so the
+// on-disk artifact tier (robust/artifact_store.hpp, below this module
+// in the link order) can fold it into blob addresses too.
+
+/// FNV-1a over the field tag; constexpr so tags cost nothing at runtime
+/// when the compiler folds them.
+[[nodiscard]] constexpr std::uint64_t tag_hash(std::string_view tag) noexcept {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (const char c : tag) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+/// Builds one canonical key.  Field order is part of the schema: append
+/// fields in declaration order of the input struct.
+class KeyBuilder final {
+ public:
+  /// `entry_point` names the computation (e.g. "core.monte_carlo_cost");
+  /// two entry points never share keys even on identical inputs.
+  explicit KeyBuilder(std::string_view entry_point) {
+    hash_.update("NCKEY");
+    hash_.update_u64(kKeySchemaVersion);
+    hash_.update_u64(tag_hash(entry_point));
+  }
+
+  KeyBuilder& f64(std::string_view tag, double v) {
+    field(kF64, tag);
+    hash_.update_u64(std::bit_cast<std::uint64_t>(v));
+    return *this;
+  }
+  KeyBuilder& u64(std::string_view tag, std::uint64_t v) {
+    field(kU64, tag);
+    hash_.update_u64(v);
+    return *this;
+  }
+  KeyBuilder& i64(std::string_view tag, std::int64_t v) {
+    field(kI64, tag);
+    hash_.update_u64(static_cast<std::uint64_t>(v));
+    return *this;
+  }
+  KeyBuilder& i32(std::string_view tag, std::int32_t v) {
+    field(kI32, tag);
+    hash_.update_u64(static_cast<std::uint64_t>(static_cast<std::int64_t>(v)));
+    return *this;
+  }
+  KeyBuilder& boolean(std::string_view tag, bool v) {
+    field(kBool, tag);
+    const std::uint8_t b = v ? 1 : 0;
+    hash_.update(&b, 1);
+    return *this;
+  }
+  KeyBuilder& str(std::string_view tag, std::string_view v) {
+    field(kStr, tag);
+    hash_.update_u64(v.size());
+    hash_.update(v);
+    return *this;
+  }
+  /// Embeds a sub-digest (e.g. a recursively hashed layout cell).
+  KeyBuilder& sub(std::string_view tag, const Digest128& d) {
+    field(kSub, tag);
+    hash_.update_u64(d.hi);
+    hash_.update_u64(d.lo);
+    return *this;
+  }
+
+  [[nodiscard]] Digest128 digest() const { return hash_.digest(); }
+
+ private:
+  enum TypeCode : std::uint8_t { kF64 = 1, kU64, kI64, kI32, kBool, kStr, kSub };
+
+  void field(TypeCode code, std::string_view tag) {
+    const auto c = static_cast<std::uint8_t>(code);
+    hash_.update(&c, 1);
+    hash_.update_u64(tag_hash(tag));
+  }
+
+  Hash128 hash_;
+};
+
+// ---- Entry-point keys ---------------------------------------------------
+// One function per deterministic entry point; each hashes the complete
+// input closure of the computation (config structs recursively, tables
+// and netlists by content).
+
+/// eq. (4) log sweep: core::sweep_eq4.
+[[nodiscard]] Digest128 sweep_eq4_key(const core::Eq4Inputs& inputs, double lo, double hi,
+                                      int steps);
+
+/// Monte-Carlo risk propagation: core::monte_carlo_cost.
+[[nodiscard]] Digest128 monte_carlo_cost_key(const core::UncertainInputs& inputs, double s_d,
+                                             int samples, std::uint64_t seed,
+                                             double die_budget);
+
+/// Robust density sweep: core::robust_sd.
+[[nodiscard]] Digest128 robust_sd_key(const core::UncertainInputs& inputs, double quantile,
+                                      double lo, double hi, int steps, int samples,
+                                      std::uint64_t seed);
+
+/// Fabline lot simulation: fabsim::FabSimulator::run.  Hashes the full
+/// simulator configuration (wafer, die, size distribution, defect
+/// field, representative pattern) plus the run shape.
+[[nodiscard]] Digest128 fabsim_run_key(const fabsim::FabSimulator& sim, std::int64_t n_wafers,
+                                       std::uint64_t seed);
+
+/// Multi-start annealing: place::anneal_place_multistart.  The netlist
+/// hashes by content (gates, connectivity), not identity.
+[[nodiscard]] Digest128 anneal_place_multistart_key(const netlist::Netlist& netlist,
+                                                    std::int32_t rows, std::int32_t cols,
+                                                    std::int32_t starts,
+                                                    const place::AnnealParams& params);
+
+/// Regularity window sweep: regularity::sweep_windows.  The cell
+/// hierarchy hashes recursively by content (rects + instances), with
+/// shared sub-cells hashed once.
+[[nodiscard]] Digest128 window_sweep_key(const layout::Cell& top, std::int64_t min_window,
+                                         int steps, bool orientation_invariant);
+
+/// Content digest of a layout cell hierarchy (exposed for reuse and for
+/// the golden-vector tests).
+[[nodiscard]] Digest128 cell_content_digest(const layout::Cell& cell);
+
+/// Content digest of a netlist (exposed for the golden-vector tests).
+[[nodiscard]] Digest128 netlist_content_digest(const netlist::Netlist& netlist);
+
+}  // namespace nanocost::cache

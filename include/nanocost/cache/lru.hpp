@@ -1,0 +1,104 @@
+// Sharded in-memory LRU result cache.
+//
+// Values are opaque encoded byte blobs (cache/codec.hpp) keyed by the
+// canonical 128-bit parameter digest (cache/key.hpp).  Concurrency is
+// handled by mutex striping: the key's high lane selects one of N
+// shards, each a classic list+map LRU under its own mutex, so parallel
+// lookups of unrelated keys never contend.  Eviction is byte-budgeted
+// per shard (budget / shards), oldest first; a blob larger than a
+// shard's budget is simply not cached.
+//
+// Hit/miss/insert/evict counters are relaxed atomics -- they are
+// monotonic telemetry, not synchronization -- and are exact: every
+// lookup bumps exactly one of hits/misses, every accepted insert bumps
+// insertions, every removal for space bumps evictions (verified under
+// TSan by tests/cache_test.cpp).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "nanocost/cache/hash.hpp"
+
+namespace nanocost::cache {
+
+/// Exact point-in-time counter snapshot.
+struct CacheStats final {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t insertions = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t bytes = 0;     ///< payload bytes currently resident
+  std::uint64_t entries = 0;   ///< entries currently resident
+};
+
+class ShardedLruCache final {
+ public:
+  /// `byte_budget` caps the total payload bytes across all shards;
+  /// `shards` is rounded up to a power of two.
+  explicit ShardedLruCache(std::size_t byte_budget, std::size_t shards = 16);
+
+  ShardedLruCache(const ShardedLruCache&) = delete;
+  ShardedLruCache& operator=(const ShardedLruCache&) = delete;
+
+  /// Copies the blob into `out` and promotes the entry to
+  /// most-recently-used.  Exactly one of hits/misses increments.
+  [[nodiscard]] bool lookup(const Digest128& key, std::vector<std::uint8_t>& out);
+
+  /// Inserts (or refreshes) `blob` under `key`, evicting oldest entries
+  /// until the shard fits its budget.  Oversized blobs are rejected
+  /// without counting as insertions.
+  void insert(const Digest128& key, const std::vector<std::uint8_t>& blob);
+
+  /// Drops every entry; counters are preserved.
+  void clear();
+
+  [[nodiscard]] CacheStats stats() const;
+  [[nodiscard]] std::size_t shard_count() const noexcept { return shards_.size(); }
+  [[nodiscard]] std::size_t byte_budget() const noexcept { return byte_budget_; }
+
+ private:
+  struct Entry {
+    Digest128 key;
+    std::vector<std::uint8_t> blob;
+  };
+  /// One stripe: LRU list (front = most recent) + index into it.
+  struct Shard {
+    std::mutex mutex;
+    std::list<Entry> order;
+    std::unordered_map<Digest128, std::list<Entry>::iterator, DigestHash> index;
+    std::size_t bytes = 0;
+  };
+
+  [[nodiscard]] Shard& shard_for(const Digest128& key) noexcept {
+    // hi is already uniform; mask selects the stripe.
+    return *shards_[static_cast<std::size_t>(key.hi) & shard_mask_];
+  }
+  [[nodiscard]] const Shard& shard_for(const Digest128& key) const noexcept {
+    return *shards_[static_cast<std::size_t>(key.hi) & shard_mask_];
+  }
+
+  std::size_t byte_budget_;
+  std::size_t shard_budget_;
+  std::size_t shard_mask_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> insertions_{0};
+  std::atomic<std::uint64_t> evictions_{0};
+};
+
+/// The process-wide result cache behind the *_cached entry points.
+/// 64 MiB default budget -- comfortably holds every result this
+/// repository's workloads produce while staying irrelevant next to the
+/// working sets of the computations themselves.
+[[nodiscard]] ShardedLruCache& global_result_cache();
+
+}  // namespace nanocost::cache

@@ -48,6 +48,10 @@ class DieKillModel final {
   [[nodiscard]] double mean_faults_per_die(double defect_density_per_cm2,
                                            const defect::DefectSizeDistribution& sizes) const;
 
+  /// The representative pattern -- part of the simulator's input
+  /// closure, exposed for content-hashed cache keys.
+  [[nodiscard]] const defect::WireArray& array() const noexcept { return array_; }
+
  private:
   defect::WireArray array_;
   units::SquareCentimeters die_area_;
@@ -196,6 +200,17 @@ class FabSimulator final {
                                                 exec::ThreadPool* pool = nullptr) const;
 
   [[nodiscard]] const geometry::WaferMap& wafer_map() const noexcept { return map_; }
+  // Configuration accessors: the full input closure of run()/run_ramp(),
+  // exposed so cache keys (cache/key.hpp) can hash the simulator by
+  // content instead of identity.
+  [[nodiscard]] const geometry::WaferSpec& wafer_spec() const noexcept { return wafer_; }
+  [[nodiscard]] const geometry::DieSize& die() const noexcept { return die_; }
+  [[nodiscard]] const defect::DefectSizeDistribution& size_distribution() const noexcept {
+    return sizes_;
+  }
+  [[nodiscard]] const defect::DefectFieldParams& field_params() const noexcept {
+    return field_params_;
+  }
   [[nodiscard]] const DieKillModel& kill_model() const noexcept { return kill_; }
   [[nodiscard]] const KillProbabilityLut& kill_lut() const noexcept { return lut_; }
   /// The analytic mean faults per die this configuration implies.

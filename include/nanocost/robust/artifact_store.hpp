@@ -1,0 +1,69 @@
+// Content-addressed on-disk artifact tier.
+//
+// Extends the NCCKPT01 checkpoint machinery downward: where a
+// checkpoint is one file holding a whole campaign's partial state, the
+// artifact store is a directory of independently addressable blobs,
+// one file per 128-bit content digest:
+//
+//   <dir>/<32-hex-digest>.ncblob
+//
+// Each blob file (little-endian, DESIGN.md section 13):
+//   magic   "NCBLOB01"                     8 bytes
+//   u64     digest hi, u64 digest lo       (self-identifying)
+//   i64     payload size
+//   payload bytes
+//   u64     fnv1a(payload)
+//
+// The same durability contract as checkpoints: stores publish through
+// a temp file plus atomic rename, so a blob either exists whole or not
+// at all, and loading is strict -- truncation, a digest that disagrees
+// with the filename's, a bad checksum, or trailing bytes throw
+// robust::CheckpointCorrupt naming the file.  Content addressing makes
+// stores idempotent (same digest => same bytes) and sharing free: any
+// campaign whose chunk hashes to an existing blob reuses it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nanocost/cache/hash.hpp"
+#include "nanocost/robust/checkpoint.hpp"
+
+namespace nanocost::robust {
+
+class ArtifactStore final {
+ public:
+  /// Creates `dir` (and parents) if absent; throws std::runtime_error
+  /// when the directory cannot be created.
+  explicit ArtifactStore(std::string dir);
+
+  /// Blob path for a digest: <dir>/<hex>.ncblob.
+  [[nodiscard]] std::string path_for(const cache::Digest128& key) const;
+
+  /// Loads the blob for `key` into `payload`.  Returns false when no
+  /// blob exists; throws CheckpointCorrupt (naming the file) on any
+  /// structural damage.  `payload` is untouched on miss or error.
+  [[nodiscard]] bool load(const cache::Digest128& key, std::vector<std::uint8_t>& payload) const;
+
+  /// Publishes `payload` under `key` atomically (temp file + rename).
+  /// Idempotent: an existing blob is left untouched (content addressing
+  /// guarantees it holds the same bytes).  Throws std::runtime_error on
+  /// I/O failure.
+  void store(const cache::Digest128& key, const std::vector<std::uint8_t>& payload) const;
+
+  [[nodiscard]] const std::string& dir() const noexcept { return dir_; }
+
+ private:
+  std::string dir_;
+};
+
+/// Artifact key of one campaign chunk: the campaign identity
+/// (fingerprint/unit_count/grain, exactly the NCCKPT01 header) plus the
+/// chunk index, under the cache key schema version so kernel-output
+/// changes orphan old blobs instead of serving them.
+[[nodiscard]] cache::Digest128 chunk_artifact_key(std::uint64_t fingerprint,
+                                                  std::int64_t unit_count, std::int64_t grain,
+                                                  std::int64_t chunk);
+
+}  // namespace nanocost::robust

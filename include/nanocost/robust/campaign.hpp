@@ -56,6 +56,17 @@ class CampaignTask {
 struct CampaignOptions final {
   /// Checkpoint file; empty disables persistence (in-memory run only).
   std::string checkpoint_path;
+  /// Content-addressed artifact directory (robust/artifact_store.hpp);
+  /// empty disables the tier.  Before computing, each pending chunk is
+  /// looked up by its content address (campaign fingerprint + chunk
+  /// index under the cache key schema version) and a stored blob is
+  /// accepted verbatim -- chunks are pure functions of their index, so
+  /// the bytes are what run_chunk would produce.  Completed chunks
+  /// publish back into the directory (atomic rename; publish failures
+  /// are counted, never fatal).  Unlike a checkpoint, the directory is
+  /// shared: any campaign with the same fingerprint reuses the blobs,
+  /// across processes and runs.
+  std::string artifact_dir;
   /// Chunks per scheduling wave; a checkpoint is written after each
   /// wave, so this is also the persistence cadence.
   std::int64_t wave_chunks = 64;
@@ -111,6 +122,10 @@ struct CampaignResult final {
   std::int64_t completed_units = 0;
   /// Chunks restored from the checkpoint instead of recomputed.
   std::int64_t resumed_chunks = 0;
+  /// Chunks served by the artifact tier instead of recomputed.
+  std::int64_t artifact_hits = 0;
+  /// Chunks published into the artifact tier this run.
+  std::int64_t artifact_stores = 0;
   /// Extra attempts spent beyond each chunk's first try.
   std::int64_t retries = 0;
   /// true when max_chunks_this_run or the cancel token stopped the run

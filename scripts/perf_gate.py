@@ -2,14 +2,23 @@
 """Performance regression gate.
 
 Compares a freshly generated BENCH_perf.json against the committed
-baseline and fails (exit 1) when any threads=1 case slowed down past
-the tolerance.  Only threads=1 is gated: multi-thread numbers on
-shared CI runners carry too much scheduler noise to gate on.
+baseline and fails (exit 1) when any case present in both slowed down
+past the tolerance.  All thread counts are gated; rows with threads > 1
+are skipped (with a warning) when either document carries
+`meaningless_speedup: true` -- on a 1-core machine every thread count
+degenerates to serial execution, so those rows measure scheduler
+overhead, not the kernels.
 
 Tolerances:
   * same cpu_model as the baseline  -> fail above 1.15x
   * different / unknown cpu_model   -> fail above 2.0x, with a warning
     (cross-hardware ns_per_op comparisons are only a sanity check)
+
+Warm-cache contract: for each (cold, cold + "_cached") case pair in the
+fresh run, the warm hit must be at least WARM_HIT_SPEEDUP times faster
+than the cold threads=1 run.  The cached spellings only pay a key hash,
+an LRU lookup, and a decode, so falling under 50x means the cache hit
+path itself regressed.
 
 The committed baseline may predate schema_version 3 and lack the
 cpu_model field; that is treated as "unknown hardware".
@@ -22,6 +31,8 @@ import sys
 
 SAME_CPU_TOLERANCE = 1.15
 CROSS_CPU_TOLERANCE = 2.0
+WARM_HIT_SPEEDUP = 50.0
+CACHED_SUFFIX = "_cached"
 
 
 def load(path):
@@ -33,12 +44,74 @@ def load(path):
         sys.exit(2)
 
 
-def serial_cases(doc):
+def cases_by_key(doc):
+    """(name, threads) -> ns_per_op for every timed case."""
     return {
-        c["name"]: float(c["ns_per_op"])
+        (c["name"], int(c.get("threads", 1))): float(c["ns_per_op"])
         for c in doc.get("cases", [])
-        if c.get("threads") == 1 and float(c.get("ns_per_op", 0)) > 0
+        if float(c.get("ns_per_op", 0)) > 0
     }
+
+
+def gate_regressions(fresh_doc, base_doc, tolerance):
+    fresh = cases_by_key(fresh_doc)
+    base = cases_by_key(base_doc)
+    meaningless = bool(fresh_doc.get("meaningless_speedup")) or bool(
+        base_doc.get("meaningless_speedup")
+    )
+
+    missing = sorted(set(base) - set(fresh))
+    if missing:
+        print(f"perf_gate: WARNING baseline cases absent from fresh run: {missing}")
+    fresh_only = sorted(set(fresh) - set(base))
+    if fresh_only:
+        print(f"perf_gate: new cases without a baseline (reported only): {fresh_only}")
+
+    failed = False
+    print(f"perf_gate: tolerance {tolerance}x")
+    print(f"{'case':<32} {'thr':>3} {'baseline ns':>14} {'fresh ns':>14} {'ratio':>7}")
+    for name, threads in sorted(set(base) & set(fresh)):
+        key = (name, threads)
+        ratio = fresh[key] / base[key]
+        if threads > 1 and meaningless:
+            print(
+                f"{name:<32} {threads:>3} {base[key]:>14.0f} {fresh[key]:>14.0f} "
+                f"{ratio:>6.2f}x  skip (meaningless_speedup)"
+            )
+            continue
+        verdict = "ok"
+        if ratio > tolerance:
+            verdict = "FAIL"
+            failed = True
+        print(
+            f"{name:<32} {threads:>3} {base[key]:>14.0f} {fresh[key]:>14.0f} "
+            f"{ratio:>6.2f}x  {verdict}"
+        )
+    return failed
+
+
+def gate_warm_hits(fresh_doc):
+    """Every *_cached case must beat its cold counterpart by 50x at threads=1."""
+    fresh = cases_by_key(fresh_doc)
+    failed = False
+    for (name, threads), warm_ns in sorted(fresh.items()):
+        if threads != 1 or not name.endswith(CACHED_SUFFIX):
+            continue
+        cold_key = (name[: -len(CACHED_SUFFIX)], 1)
+        if cold_key not in fresh:
+            print(f"perf_gate: WARNING {name} has no cold counterpart {cold_key[0]}")
+            continue
+        speedup = fresh[cold_key] / warm_ns
+        verdict = "ok"
+        if speedup < WARM_HIT_SPEEDUP:
+            verdict = "FAIL"
+            failed = True
+        print(
+            f"perf_gate: warm-hit {name}: cold {fresh[cold_key]:.0f} ns / "
+            f"warm {warm_ns:.0f} ns = {speedup:.0f}x (need >= {WARM_HIT_SPEEDUP:.0f}x)"
+            f"  {verdict}"
+        )
+    return failed
 
 
 def main(argv):
@@ -58,28 +131,14 @@ def main(argv):
             f"baseline={base_cpu!r}); relaxing tolerance to {tolerance}x"
         )
 
-    fresh = serial_cases(fresh_doc)
-    base = serial_cases(base_doc)
-    missing = sorted(set(base) - set(fresh))
-    if missing:
-        print(f"perf_gate: WARNING baseline cases absent from fresh run: {missing}")
-
-    failed = False
-    print(f"perf_gate: tolerance {tolerance}x at threads=1")
-    print(f"{'case':<24} {'baseline ns':>14} {'fresh ns':>14} {'ratio':>7}")
-    for name in sorted(set(base) & set(fresh)):
-        ratio = fresh[name] / base[name]
-        verdict = "ok"
-        if ratio > tolerance:
-            verdict = "FAIL"
-            failed = True
-        print(
-            f"{name:<24} {base[name]:>14.0f} {fresh[name]:>14.0f} "
-            f"{ratio:>6.2f}x  {verdict}"
-        )
+    failed = gate_regressions(fresh_doc, base_doc, tolerance)
+    warm_failed = gate_warm_hits(fresh_doc)
 
     if failed:
-        print("perf_gate: FAILED -- serial regression beyond tolerance", file=sys.stderr)
+        print("perf_gate: FAILED -- regression beyond tolerance", file=sys.stderr)
+        return 1
+    if warm_failed:
+        print("perf_gate: FAILED -- warm cache hit under the 50x contract", file=sys.stderr)
         return 1
     print("perf_gate: passed")
     return 0

@@ -1,0 +1,112 @@
+#include "nanocost/cache/cached.hpp"
+
+#include "nanocost/cache/codec.hpp"
+#include "nanocost/cache/key.hpp"
+#include "nanocost/cache/lru.hpp"
+#include "nanocost/obs/metrics.hpp"
+#include "nanocost/obs/trace.hpp"
+
+namespace nanocost::cache {
+
+namespace {
+
+void count_hit() {
+  if (obs::metrics_enabled()) {
+    static obs::Counter& hits = obs::counter("cache.hits");
+    hits.add(1);
+  }
+}
+
+void count_miss(std::size_t inserted_bytes) {
+  if (obs::metrics_enabled()) {
+    static obs::Counter& misses = obs::counter("cache.misses");
+    static obs::Counter& bytes = obs::counter("cache.insert_bytes");
+    misses.add(1);
+    bytes.add(static_cast<std::uint64_t>(inserted_bytes));
+  }
+}
+
+/// The one hit-or-compute shape every cached spelling instantiates:
+/// lookup, decode on hit; compute, encode, insert, return the computed
+/// value on miss.  `compute` runs outside any lock.
+template <typename Decode, typename Compute>
+auto hit_or_compute(const Digest128& key, Decode decode, Compute compute) {
+  std::vector<std::uint8_t> blob;
+  bool hit = false;
+  {
+    obs::ObsSpan span("cache.lookup");
+    span.arg("key_hi", key.hi);
+    hit = global_result_cache().lookup(key, blob);
+    span.arg("hit", hit ? 1 : 0);
+  }
+  if (hit) {
+    count_hit();
+    return decode(blob);
+  }
+  auto result = compute();
+  std::vector<std::uint8_t> encoded = encode(result);
+  const std::size_t bytes = encoded.size();
+  global_result_cache().insert(key, encoded);
+  count_miss(bytes);
+  return result;
+}
+
+}  // namespace
+
+std::vector<core::SweepPoint> sweep_eq4_cached(const core::Eq4Inputs& inputs, double lo,
+                                               double hi, int steps, exec::ThreadPool* pool) {
+  return hit_or_compute(
+      sweep_eq4_key(inputs, lo, hi, steps),
+      [](const std::vector<std::uint8_t>& blob) { return decode_sweep_points(blob); },
+      [&] { return core::sweep_eq4(inputs, lo, hi, steps, pool); });
+}
+
+core::RiskResult monte_carlo_cost_cached(const core::UncertainInputs& inputs, double s_d,
+                                         int samples, std::uint64_t seed, double die_budget,
+                                         exec::ThreadPool* pool) {
+  return hit_or_compute(
+      monte_carlo_cost_key(inputs, s_d, samples, seed, die_budget),
+      [](const std::vector<std::uint8_t>& blob) { return decode_risk_result(blob); },
+      [&] { return core::monte_carlo_cost(inputs, s_d, samples, seed, die_budget, pool); });
+}
+
+core::RobustOptimum robust_sd_cached(const core::UncertainInputs& inputs, double quantile,
+                                     double lo, double hi, int steps, int samples,
+                                     std::uint64_t seed, exec::ThreadPool* pool) {
+  return hit_or_compute(
+      robust_sd_key(inputs, quantile, lo, hi, steps, samples, seed),
+      [](const std::vector<std::uint8_t>& blob) { return decode_robust_optimum(blob); },
+      [&] { return core::robust_sd(inputs, quantile, lo, hi, steps, samples, seed, pool); });
+}
+
+std::vector<regularity::WindowSweepPoint> sweep_windows_cached(const layout::Cell& top,
+                                                               layout::Coord min_window,
+                                                               int steps,
+                                                               bool orientation_invariant,
+                                                               exec::ThreadPool* pool) {
+  return hit_or_compute(
+      window_sweep_key(top, min_window, steps, orientation_invariant),
+      [](const std::vector<std::uint8_t>& blob) { return decode_window_sweep_points(blob); },
+      [&] { return regularity::sweep_windows(top, min_window, steps, orientation_invariant, pool); });
+}
+
+fabsim::LotResult fabsim_run_cached(const fabsim::FabSimulator& sim, std::int64_t n_wafers,
+                                    std::uint64_t seed, exec::ThreadPool* pool) {
+  return hit_or_compute(
+      fabsim_run_key(sim, n_wafers, seed),
+      [](const std::vector<std::uint8_t>& blob) { return decode_lot_result(blob); },
+      [&] { return sim.run(n_wafers, seed, pool); });
+}
+
+place::MultistartResult anneal_place_multistart_cached(const netlist::Netlist& netlist,
+                                                       std::int32_t rows, std::int32_t cols,
+                                                       std::int32_t starts,
+                                                       const place::AnnealParams& params,
+                                                       exec::ThreadPool* pool) {
+  return hit_or_compute(
+      anneal_place_multistart_key(netlist, rows, cols, starts, params),
+      [](const std::vector<std::uint8_t>& blob) { return decode_multistart_result(blob); },
+      [&] { return place::anneal_place_multistart(netlist, rows, cols, starts, params, pool); });
+}
+
+}  // namespace nanocost::cache

@@ -1,0 +1,92 @@
+#include "nanocost/cache/lru.hpp"
+
+#include <bit>
+#include <utility>
+
+namespace nanocost::cache {
+
+ShardedLruCache::ShardedLruCache(std::size_t byte_budget, std::size_t shards)
+    : byte_budget_(byte_budget) {
+  const std::size_t n = std::bit_ceil(shards == 0 ? std::size_t{1} : shards);
+  shard_mask_ = n - 1;
+  shard_budget_ = byte_budget_ / n;
+  shards_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) shards_.push_back(std::make_unique<Shard>());
+}
+
+bool ShardedLruCache::lookup(const Digest128& key, std::vector<std::uint8_t>& out) {
+  Shard& shard = shard_for(key);
+  {
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    const auto it = shard.index.find(key);
+    if (it != shard.index.end()) {
+      // Promote to most-recently-used, then copy out under the lock
+      // (the entry may be evicted the instant the lock drops).
+      shard.order.splice(shard.order.begin(), shard.order, it->second);
+      out = it->second->blob;
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  return false;
+}
+
+void ShardedLruCache::insert(const Digest128& key, const std::vector<std::uint8_t>& blob) {
+  if (blob.size() > shard_budget_) return;  // would evict the whole shard for nothing
+  Shard& shard = shard_for(key);
+  std::uint64_t evicted = 0;
+  {
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    if (const auto it = shard.index.find(key); it != shard.index.end()) {
+      // Refresh: replace the payload and promote.
+      shard.bytes -= it->second->blob.size();
+      shard.bytes += blob.size();
+      it->second->blob = blob;
+      shard.order.splice(shard.order.begin(), shard.order, it->second);
+    } else {
+      shard.order.push_front(Entry{key, blob});
+      shard.index.emplace(key, shard.order.begin());
+      shard.bytes += blob.size();
+    }
+    while (shard.bytes > shard_budget_ && shard.order.size() > 1) {
+      const Entry& oldest = shard.order.back();
+      shard.bytes -= oldest.blob.size();
+      shard.index.erase(oldest.key);
+      shard.order.pop_back();
+      ++evicted;
+    }
+  }
+  insertions_.fetch_add(1, std::memory_order_relaxed);
+  if (evicted > 0) evictions_.fetch_add(evicted, std::memory_order_relaxed);
+}
+
+void ShardedLruCache::clear() {
+  for (auto& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard->mutex);
+    shard->order.clear();
+    shard->index.clear();
+    shard->bytes = 0;
+  }
+}
+
+CacheStats ShardedLruCache::stats() const {
+  CacheStats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.insertions = insertions_.load(std::memory_order_relaxed);
+  s.evictions = evictions_.load(std::memory_order_relaxed);
+  for (const auto& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard->mutex);
+    s.bytes += shard->bytes;
+    s.entries += shard->order.size();
+  }
+  return s;
+}
+
+ShardedLruCache& global_result_cache() {
+  static ShardedLruCache cache(64 * 1024 * 1024, 16);
+  return cache;
+}
+
+}  // namespace nanocost::cache

@@ -8,11 +8,14 @@
 #include <stdexcept>
 #include <thread>
 
+#include <memory>
+
 #include "nanocost/exec/parallel.hpp"
 #include "nanocost/exec/seed.hpp"
 #include "nanocost/exec/thread_pool.hpp"
 #include "nanocost/obs/metrics.hpp"
 #include "nanocost/obs/trace.hpp"
+#include "nanocost/robust/artifact_store.hpp"
 #include "nanocost/robust/checkpoint.hpp"
 #include "nanocost/robust/fault_injection.hpp"
 
@@ -86,6 +89,39 @@ CampaignResult run_campaign(const CampaignTask& task, const CampaignOptions& opt
     }
   }
 
+  // Artifact tier: fill remaining gaps from the content-addressed blob
+  // directory.  Loads run here, on the caller's thread and outside the
+  // chunk retry loop, so a corrupt blob throws CheckpointCorrupt
+  // deterministically instead of being mis-filed as a retryable chunk
+  // failure (strict rejection, like checkpoints).
+  std::unique_ptr<ArtifactStore> artifacts;
+  if (!options.artifact_dir.empty()) {
+    artifacts = std::make_unique<ArtifactStore>(options.artifact_dir);
+    obs::ObsSpan span("robust.artifact_scan");
+    for (std::int64_t c = 0; c < n_chunks; ++c) {
+      auto& slot = result.chunks[static_cast<std::size_t>(c)];
+      if (!slot.empty()) continue;
+      std::vector<std::uint8_t> payload;
+      if (!artifacts->load(chunk_artifact_key(expected.fingerprint, units, grain, c),
+                           payload)) {
+        continue;
+      }
+      if (payload.empty()) {
+        // Chunk blobs are non-empty by contract (run_campaign enforces
+        // it below); an empty artifact was never a valid chunk.
+        throw CheckpointCorrupt("artifact blob for chunk " + std::to_string(c) + " in " +
+                                options.artifact_dir + " holds an empty chunk payload");
+      }
+      slot = std::move(payload);
+      ++result.artifact_hits;
+    }
+    span.arg("hits", static_cast<std::uint64_t>(result.artifact_hits));
+    if (obs::metrics_enabled() && result.artifact_hits > 0) {
+      static obs::Counter& hits = obs::counter("robust.artifact_hits");
+      hits.add(static_cast<std::uint64_t>(result.artifact_hits));
+    }
+  }
+
   std::vector<std::int64_t> pending;
   for (std::int64_t c = 0; c < n_chunks; ++c) {
     if (result.chunks[static_cast<std::size_t>(c)].empty()) pending.push_back(c);
@@ -102,6 +138,7 @@ CampaignResult run_campaign(const CampaignTask& task, const CampaignOptions& opt
       options.cancel.valid() ? options.cancel : current_cancel_token();
 
   std::atomic<std::int64_t> retries{0};
+  std::atomic<std::int64_t> artifact_stores{0};
   // Set when a chunk gave up on its remaining retry attempts because
   // the backoff would not fit the remaining budget; the chunk stays
   // pending (not quarantined), so a resume retries it fresh.
@@ -143,6 +180,25 @@ CampaignResult run_campaign(const CampaignTask& task, const CampaignOptions& opt
           if (attempt > 0) {
             static obs::Counter& retried = obs::counter("robust.retries");
             retried.add(static_cast<std::uint64_t>(attempt));
+          }
+        }
+        if (artifacts) {
+          // Publish is best-effort: the result is already in hand, so a
+          // full disk or permission error costs the *next* run a
+          // recompute, never this run its answer.
+          try {
+            artifacts->store(chunk_artifact_key(expected.fingerprint, units, grain, chunk),
+                             blob);
+            artifact_stores.fetch_add(1, std::memory_order_relaxed);
+            if (obs::metrics_enabled()) {
+              static obs::Counter& stored = obs::counter("robust.artifact_stores");
+              stored.add();
+            }
+          } catch (const std::exception&) {
+            if (obs::metrics_enabled()) {
+              static obs::Counter& errors = obs::counter("robust.artifact_store_errors");
+              errors.add();
+            }
           }
         }
         return;
@@ -251,6 +307,7 @@ CampaignResult run_campaign(const CampaignTask& task, const CampaignOptions& opt
   }
 
   result.retries = retries.load(std::memory_order_relaxed);
+  result.artifact_stores = artifact_stores.load(std::memory_order_relaxed);
   std::sort(result.quarantined.begin(), result.quarantined.end(),
             [](const ChunkFailure& a, const ChunkFailure& b) { return a.chunk < b.chunk; });
   result.frontier_chunks = n_chunks;

@@ -1,0 +1,685 @@
+// Tests for the content-addressed result cache (PR 7).
+//
+// Four layers under test:
+//  * cache/hash.hpp   -- the 128-bit digest is an on-disk format
+//                        (artifact filenames embed it), so golden
+//                        vectors pin the exact mixing; any change must
+//                        bump kKeySchemaVersion and these constants.
+//  * cache/key.hpp    -- canonical parameter keys: golden vectors plus
+//                        sensitivity (entry point, tag, value, type
+//                        code all distinguish).
+//  * cache/lru.hpp    -- sharded LRU semantics and exact counters,
+//                        including a multi-thread run for TSan.
+//  * robust/artifact_store.hpp -- NCBLOB01 round-trip and strict
+//                        corrupt-blob rejection naming the file.
+// Plus the end-to-end contracts: every *_cached entry point returns
+// bytes memcmp-identical to a cold recompute at 1/2/hardware threads,
+// and a killed-then-rerun campaign with an artifact tier recomputes
+// zero completed chunks while matching the undisturbed run bitwise.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "nanocost/cache/cached.hpp"
+#include "nanocost/cache/codec.hpp"
+#include "nanocost/cache/hash.hpp"
+#include "nanocost/cache/key.hpp"
+#include "nanocost/cache/lru.hpp"
+#include "nanocost/core/optimizer.hpp"
+#include "nanocost/core/risk.hpp"
+#include "nanocost/exec/thread_pool.hpp"
+#include "nanocost/fabsim/simulator.hpp"
+#include "nanocost/layout/cell.hpp"
+#include "nanocost/netlist/netlist.hpp"
+#include "nanocost/place/placer.hpp"
+#include "nanocost/robust/artifact_store.hpp"
+#include "nanocost/robust/campaign.hpp"
+#include "nanocost/robust/checkpoint.hpp"
+
+namespace {
+
+using namespace nanocost;
+using units::Micrometers;
+using units::Millimeters;
+
+// ---------------------------------------------------------------------------
+// Hash128: golden vectors pin the mixing as a format.
+
+TEST(CacheHash, GoldenVectorsPinTheFormat) {
+  // Generated once from this implementation; these are now frozen.  If
+  // any of them changes, the on-disk artifact addresses change too:
+  // bump cache::kKeySchemaVersion and regenerate.
+  EXPECT_EQ(cache::hash128("").hex(), "d11cd54311233a55006fd016bdeab0e6");
+  EXPECT_EQ(cache::hash128("a").hex(), "b1c3e309215686fd8d127f7f72548195");
+  EXPECT_EQ(cache::hash128("nanocost").hex(), "949d7aef830582994118e93c82183bcd");
+  EXPECT_EQ(cache::hash128("The quick brown fox jumps over the lazy dog").hex(),
+            "e2896eed971665a90b90d4f576233929");
+  // One exact block and one block + 1 tail byte exercise both paths.
+  EXPECT_EQ(cache::hash128("0123456789abcdef").hex(), "8df406a626e4d927686cb1f25fd9ecb1");
+  EXPECT_EQ(cache::hash128("0123456789abcdef!").hex(), "5da9570962f2f2e89ca272287d7b5e28");
+}
+
+TEST(CacheHash, U64UpdateIsLittleEndianBytes) {
+  cache::Hash128 h;
+  h.update_u64(0x0123456789ABCDEFULL);
+  EXPECT_EQ(h.digest().hex(), "dbf055cdf53d7e6968193d6850a4c827");
+  // Same digest as feeding the eight LE bytes directly.
+  const std::uint8_t bytes[8] = {0xEF, 0xCD, 0xAB, 0x89, 0x67, 0x45, 0x23, 0x01};
+  cache::Hash128 g;
+  g.update(bytes, sizeof bytes);
+  EXPECT_EQ(g.digest(), h.digest());
+}
+
+TEST(CacheHash, IncrementalUpdatesMatchOneShot) {
+  const std::string text = "The quick brown fox jumps over the lazy dog";
+  for (std::size_t split = 0; split <= text.size(); ++split) {
+    cache::Hash128 h;
+    h.update(text.data(), split);
+    h.update(text.data() + split, text.size() - split);
+    EXPECT_EQ(h.digest(), cache::hash128(text)) << "split at " << split;
+  }
+}
+
+TEST(CacheHash, DigestHexRoundTripsAndOrders) {
+  const cache::Digest128 d = cache::hash128("nanocost");
+  EXPECT_EQ(d.hex().size(), 32u);
+  EXPECT_NE(d, cache::hash128("nanocost!"));
+  EXPECT_EQ(d, cache::hash128("nanocost"));
+}
+
+// ---------------------------------------------------------------------------
+// Canonical keys.
+
+TEST(CacheKey, TagHashIsStable) {
+  EXPECT_EQ(cache::tag_hash("s_d"), 0x82f27b195d7d0419ULL);
+  EXPECT_NE(cache::tag_hash("s_d"), cache::tag_hash("sd_"));
+}
+
+TEST(CacheKey, GoldenEntryPointKeys) {
+  // Default-constructed inputs, frozen at schema version 1.
+  const core::Eq4Inputs eq4;
+  EXPECT_EQ(cache::sweep_eq4_key(eq4, 100.0, 2000.0, 24).hex(),
+            "516967a7ba1cb5162d2a9e02aea6321b");
+  const core::UncertainInputs un;
+  EXPECT_EQ(cache::monte_carlo_cost_key(un, 300.0, 20000, 1, 0.0).hex(),
+            "29fd29ecffee41241a9bab641339bde8");
+  EXPECT_EQ(cache::robust_sd_key(un, 0.9, 120.0, 1500.0, 24, 2000, 1).hex(),
+            "d58e820ac417634d56ead920af99806b");
+}
+
+TEST(CacheKey, GoldenContentDigests) {
+  netlist::Netlist nl;
+  const auto a = nl.add_primary_input();
+  const auto b = nl.add_primary_input();
+  const auto g0 = nl.add_gate(netlist::GateType::kNand2, {a, b});
+  (void)nl.add_gate(netlist::GateType::kInv, {nl.output_net_of(g0)});
+  EXPECT_EQ(cache::netlist_content_digest(nl).hex(), "f571fb06d83a9a81ba1dd2449c249672");
+  const place::AnnealParams params;
+  EXPECT_EQ(cache::anneal_place_multistart_key(nl, 2, 2, 2, params).hex(),
+            "467fc15a66dac98c970a8ce64573de33");
+
+  layout::Library lib;
+  layout::Cell& leaf = lib.create_cell("leaf");
+  leaf.add_rect(layout::Rect{layout::Layer::kPoly, 0, 0, 10, 4});
+  layout::Cell& top = lib.create_cell("top");
+  layout::Instance inst;
+  inst.cell = &leaf;
+  inst.nx = 2;
+  inst.ny = 1;
+  inst.pitch_x = 12;
+  top.add_instance(inst);
+  EXPECT_EQ(cache::cell_content_digest(top).hex(), "1f4ece6ec49ea2b7c60a78100f09742b");
+  EXPECT_EQ(cache::window_sweep_key(top, 8, 3, false).hex(),
+            "374404707203ab2c45a92a2aa8401323");
+}
+
+TEST(CacheKey, KeysAreDeterministicAndSensitive) {
+  const core::Eq4Inputs eq4;
+  const cache::Digest128 base = cache::sweep_eq4_key(eq4, 100.0, 2000.0, 24);
+  EXPECT_EQ(base, cache::sweep_eq4_key(eq4, 100.0, 2000.0, 24));
+
+  core::Eq4Inputs tweaked = eq4;
+  tweaked.transistors_per_chip += 1.0;
+  EXPECT_NE(base, cache::sweep_eq4_key(tweaked, 100.0, 2000.0, 24));
+  EXPECT_NE(base, cache::sweep_eq4_key(eq4, 100.0, 2000.0, 25));
+  EXPECT_NE(base, cache::sweep_eq4_key(eq4, 100.0 + 1e-12, 2000.0, 24));
+}
+
+TEST(CacheKey, BuilderDistinguishesEntryPointTagValueAndType) {
+  const auto key = [](const char* entry, const char* tag, auto write) {
+    cache::KeyBuilder b(entry);
+    write(b, tag);
+    return b.digest();
+  };
+  const auto f64 = [](cache::KeyBuilder& b, const char* tag) { b.f64(tag, 1.0); };
+  const cache::Digest128 base = key("ep_a", "x", f64);
+  EXPECT_EQ(base, key("ep_a", "x", f64));
+  EXPECT_NE(base, key("ep_b", "x", f64));  // entry point distinguishes
+  EXPECT_NE(base, key("ep_a", "y", f64));  // field tag distinguishes
+  EXPECT_NE(base, key("ep_a", "x", [](cache::KeyBuilder& b, const char* tag) {
+              b.f64(tag, 2.0);  // value distinguishes
+            }));
+  // Type code distinguishes even with identical payload bits.
+  const double one = 1.0;
+  std::uint64_t one_bits;
+  static_assert(sizeof one_bits == sizeof one);
+  std::memcpy(&one_bits, &one, sizeof one_bits);
+  EXPECT_NE(base, key("ep_a", "x", [one_bits](cache::KeyBuilder& b, const char* tag) {
+              b.u64(tag, one_bits);
+            }));
+}
+
+TEST(CacheKey, CellDigestSeesNestedContentNotIdentity) {
+  // Two structurally identical hierarchies hash equal; a one-rect edit
+  // deep in the leaf changes the top digest.
+  const auto build = [](layout::Library& lib, layout::Coord x1) -> layout::Cell& {
+    layout::Cell& leaf = lib.create_cell("leaf");
+    leaf.add_rect(layout::Rect{layout::Layer::kDiffusion, 0, 0, x1, 4});
+    layout::Cell& top = lib.create_cell("top");
+    layout::Instance inst;
+    inst.cell = &leaf;
+    inst.nx = 3;
+    inst.ny = 2;
+    inst.pitch_x = 20;
+    inst.pitch_y = 10;
+    top.add_instance(inst);
+    return top;
+  };
+  layout::Library lib_a, lib_b, lib_c, lib_d;
+  EXPECT_EQ(cache::cell_content_digest(build(lib_a, 10)),
+            cache::cell_content_digest(build(lib_b, 10)));
+  EXPECT_NE(cache::cell_content_digest(build(lib_c, 10)),
+            cache::cell_content_digest(build(lib_d, 11)));
+}
+
+// ---------------------------------------------------------------------------
+// Codec round-trips.
+
+TEST(CacheCodec, RiskAndRobustRoundTrip) {
+  core::RiskResult r{};
+  r.mean = 1.25;
+  r.stddev = 0.5;
+  r.p10 = 0.75;
+  r.p50 = 1.2;
+  r.p90 = 2.25;
+  r.prob_over_budget = 0.125;
+  const std::vector<std::uint8_t> blob = cache::encode(r);
+  const core::RiskResult back = cache::decode_risk_result(blob);
+  EXPECT_EQ(std::memcmp(&r, &back, sizeof r), 0);
+
+  core::RobustOptimum opt{};
+  opt.s_d = 321.5;
+  opt.quantile_cost = 1e-7;
+  const core::RobustOptimum opt_back = cache::decode_robust_optimum(cache::encode(opt));
+  EXPECT_EQ(std::memcmp(&opt, &opt_back, sizeof opt), 0);
+}
+
+TEST(CacheCodec, SweepPointsRoundTrip) {
+  const core::Eq4Inputs inputs;
+  const std::vector<core::SweepPoint> points = core::sweep_eq4(inputs, 150.0, 500.0, 5);
+  ASSERT_FALSE(points.empty());
+  const std::vector<core::SweepPoint> back = cache::decode_sweep_points(cache::encode(points));
+  ASSERT_EQ(back.size(), points.size());
+  const std::vector<std::uint8_t> a = cache::encode(points);
+  const std::vector<std::uint8_t> b = cache::encode(back);
+  EXPECT_EQ(a, b);
+}
+
+TEST(CacheCodec, TruncatedAndTrailingBlobsThrow) {
+  core::RiskResult r{};
+  std::vector<std::uint8_t> blob = cache::encode(r);
+  std::vector<std::uint8_t> truncated(blob.begin(), blob.end() - 1);
+  EXPECT_THROW((void)cache::decode_risk_result(truncated), std::runtime_error);
+  blob.push_back(0);  // trailing garbage must not be silently accepted
+  EXPECT_THROW((void)cache::decode_risk_result(blob), std::runtime_error);
+  // A length prefix promising more elements than the blob can hold must
+  // throw, not allocate.
+  std::vector<std::uint8_t> bogus(8, 0xFF);
+  EXPECT_THROW((void)cache::decode_sweep_points(bogus), std::runtime_error);
+}
+
+// ---------------------------------------------------------------------------
+// Sharded LRU.
+
+std::vector<std::uint8_t> blob_of(std::size_t n, std::uint8_t fill) {
+  return std::vector<std::uint8_t>(n, fill);
+}
+
+TEST(CacheLru, HitMissInsertAndStats) {
+  cache::ShardedLruCache lru(1 << 20, 4);
+  EXPECT_EQ(lru.shard_count(), 4u);
+  const cache::Digest128 k = cache::hash128("k");
+  std::vector<std::uint8_t> out;
+  EXPECT_FALSE(lru.lookup(k, out));
+  lru.insert(k, blob_of(100, 0xAB));
+  ASSERT_TRUE(lru.lookup(k, out));
+  EXPECT_EQ(out, blob_of(100, 0xAB));
+  const cache::CacheStats s = lru.stats();
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.insertions, 1u);
+  EXPECT_EQ(s.entries, 1u);
+  EXPECT_EQ(s.bytes, 100u);
+}
+
+TEST(CacheLru, InsertRefreshesInsteadOfDuplicating) {
+  cache::ShardedLruCache lru(1 << 20, 1);
+  const cache::Digest128 k = cache::hash128("k");
+  lru.insert(k, blob_of(10, 1));
+  lru.insert(k, blob_of(20, 2));
+  const cache::CacheStats s = lru.stats();
+  EXPECT_EQ(s.entries, 1u);
+  EXPECT_EQ(s.bytes, 20u);
+  std::vector<std::uint8_t> out;
+  ASSERT_TRUE(lru.lookup(k, out));
+  EXPECT_EQ(out, blob_of(20, 2));
+}
+
+TEST(CacheLru, EvictsOldestFirstUnderByteBudget) {
+  // One shard with room for exactly two 100-byte blobs.
+  cache::ShardedLruCache lru(200, 1);
+  const cache::Digest128 ka = cache::hash128("a");
+  const cache::Digest128 kb = cache::hash128("b");
+  const cache::Digest128 kc = cache::hash128("c");
+  lru.insert(ka, blob_of(100, 1));
+  lru.insert(kb, blob_of(100, 2));
+  std::vector<std::uint8_t> out;
+  ASSERT_TRUE(lru.lookup(ka, out));  // promote a: b is now oldest
+  lru.insert(kc, blob_of(100, 3));   // evicts b
+  EXPECT_TRUE(lru.lookup(ka, out));
+  EXPECT_FALSE(lru.lookup(kb, out));
+  EXPECT_TRUE(lru.lookup(kc, out));
+  const cache::CacheStats s = lru.stats();
+  EXPECT_EQ(s.entries, 2u);
+  EXPECT_EQ(s.evictions, 1u);
+  EXPECT_LE(s.bytes, 200u);
+}
+
+TEST(CacheLru, OversizedBlobsAreRejectedNotCached) {
+  cache::ShardedLruCache lru(100, 1);
+  const cache::Digest128 k = cache::hash128("big");
+  lru.insert(k, blob_of(101, 9));
+  std::vector<std::uint8_t> out;
+  EXPECT_FALSE(lru.lookup(k, out));
+  EXPECT_EQ(lru.stats().insertions, 0u);
+  EXPECT_EQ(lru.stats().entries, 0u);
+}
+
+TEST(CacheLru, ClearDropsEntriesAndKeepsCounters) {
+  cache::ShardedLruCache lru(1 << 20, 4);
+  lru.insert(cache::hash128("x"), blob_of(10, 1));
+  lru.insert(cache::hash128("y"), blob_of(10, 2));
+  lru.clear();
+  const cache::CacheStats s = lru.stats();
+  EXPECT_EQ(s.entries, 0u);
+  EXPECT_EQ(s.bytes, 0u);
+  EXPECT_EQ(s.insertions, 2u);
+  std::vector<std::uint8_t> out;
+  EXPECT_FALSE(lru.lookup(cache::hash128("x"), out));
+}
+
+TEST(CacheLru, CountersAreExactUnderConcurrency) {
+  // Run under TSan in CI.  Each thread does `kOps` lookups and an
+  // insert on every miss; hits + misses must equal total lookups
+  // exactly -- no lost updates, no double counting.
+  cache::ShardedLruCache lru(1 << 18, 8);
+  constexpr int kThreads = 4;
+  constexpr int kOps = 2000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&lru, t] {
+      std::vector<std::uint8_t> out;
+      for (int i = 0; i < kOps; ++i) {
+        // 64 shared keys: plenty of cross-thread contention per shard.
+        const cache::Digest128 k =
+            cache::hash128("key" + std::to_string((t * 7 + i) % 64));
+        if (!lru.lookup(k, out)) {
+          lru.insert(k, blob_of(64, static_cast<std::uint8_t>(i)));
+        }
+      }
+    });
+  }
+  for (std::thread& w : workers) {
+    w.join();
+  }
+  const cache::CacheStats s = lru.stats();
+  EXPECT_EQ(s.hits + s.misses, static_cast<std::uint64_t>(kThreads) * kOps);
+  EXPECT_EQ(s.insertions, s.misses);  // every miss inserted, none evicted...
+  EXPECT_EQ(s.evictions, 0u);         // ...64 * 64B fits easily per shard
+  EXPECT_LE(s.entries, 64u);
+}
+
+// ---------------------------------------------------------------------------
+// Cached entry points: a hit is memcmp-identical to a cold recompute,
+// at 1 / 2 / hardware threads.  (CI re-runs this binary under
+// NANOCOST_SIMD=scalar and =avx2, covering the SIMD axis.)
+
+std::vector<exec::ThreadPool*> pool_ladder(exec::ThreadPool& p1, exec::ThreadPool& p2,
+                                           exec::ThreadPool& phw) {
+  return {&p1, &p2, &phw};
+}
+
+TEST(CachedEntryPoints, MonteCarloHitMatchesColdAtEveryThreadCount) {
+  const core::UncertainInputs inputs;
+  const std::vector<std::uint8_t> cold =
+      cache::encode(core::monte_carlo_cost(inputs, 310.0, 2000, 7, 1e-7));
+  exec::ThreadPool p1(1), p2(2);
+  exec::ThreadPool phw(static_cast<int>(std::thread::hardware_concurrency()));
+  for (exec::ThreadPool* pool : pool_ladder(p1, p2, phw)) {
+    const std::vector<std::uint8_t> warm =
+        cache::encode(cache::monte_carlo_cost_cached(inputs, 310.0, 2000, 7, 1e-7, pool));
+    ASSERT_EQ(warm.size(), cold.size());
+    EXPECT_EQ(std::memcmp(warm.data(), cold.data(), cold.size()), 0);
+  }
+}
+
+TEST(CachedEntryPoints, RobustSdHitMatchesColdAtEveryThreadCount) {
+  const core::UncertainInputs inputs;
+  const std::vector<std::uint8_t> cold =
+      cache::encode(core::robust_sd(inputs, 0.9, 150.0, 900.0, 8, 500, 3));
+  exec::ThreadPool p1(1), p2(2);
+  exec::ThreadPool phw(static_cast<int>(std::thread::hardware_concurrency()));
+  for (exec::ThreadPool* pool : pool_ladder(p1, p2, phw)) {
+    const std::vector<std::uint8_t> warm =
+        cache::encode(cache::robust_sd_cached(inputs, 0.9, 150.0, 900.0, 8, 500, 3, pool));
+    ASSERT_EQ(warm.size(), cold.size());
+    EXPECT_EQ(std::memcmp(warm.data(), cold.data(), cold.size()), 0);
+  }
+}
+
+TEST(CachedEntryPoints, SweepEq4HitMatchesCold) {
+  const core::Eq4Inputs inputs;
+  const std::vector<std::uint8_t> cold =
+      cache::encode(core::sweep_eq4(inputs, 120.0, 1200.0, 12));
+  exec::ThreadPool p1(1), p2(2);
+  exec::ThreadPool phw(static_cast<int>(std::thread::hardware_concurrency()));
+  for (exec::ThreadPool* pool : pool_ladder(p1, p2, phw)) {
+    EXPECT_EQ(cache::encode(cache::sweep_eq4_cached(inputs, 120.0, 1200.0, 12, pool)), cold);
+  }
+}
+
+TEST(CachedEntryPoints, WindowSweepHitMatchesCold) {
+  layout::Library lib;
+  layout::Cell& leaf = lib.create_cell("leaf");
+  leaf.add_rect(layout::Rect{layout::Layer::kPoly, 0, 0, 6, 2});
+  leaf.add_rect(layout::Rect{layout::Layer::kDiffusion, 0, 4, 6, 6});
+  layout::Cell& top = lib.create_cell("top");
+  layout::Instance inst;
+  inst.cell = &leaf;
+  inst.nx = 4;
+  inst.ny = 4;
+  inst.pitch_x = 8;
+  inst.pitch_y = 8;
+  top.add_instance(inst);
+
+  const std::vector<std::uint8_t> cold =
+      cache::encode(regularity::sweep_windows(top, 4, 3, false));
+  exec::ThreadPool p1(1), p2(2);
+  exec::ThreadPool phw(static_cast<int>(std::thread::hardware_concurrency()));
+  for (exec::ThreadPool* pool : pool_ladder(p1, p2, phw)) {
+    EXPECT_EQ(cache::encode(cache::sweep_windows_cached(top, 4, 3, false, pool)), cold);
+  }
+}
+
+TEST(CachedEntryPoints, FabsimRunHitMatchesCold) {
+  const geometry::WaferSpec wafer = geometry::WaferSpec::mm200();
+  const geometry::DieSize die{Millimeters{15.0}, Millimeters{15.0}};
+  defect::DefectFieldParams field;
+  field.density_per_cm2 = 0.5;
+  const fabsim::FabSimulator sim(
+      wafer, die, defect::DefectSizeDistribution::for_feature_size(Micrometers{0.25}), field,
+      defect::WireArray{Micrometers{0.25}, Micrometers{0.25}, Micrometers{100.0}, 50});
+
+  const std::vector<std::uint8_t> cold = cache::encode(sim.run(6, 99));
+  exec::ThreadPool p1(1), p2(2);
+  exec::ThreadPool phw(static_cast<int>(std::thread::hardware_concurrency()));
+  for (exec::ThreadPool* pool : pool_ladder(p1, p2, phw)) {
+    EXPECT_EQ(cache::encode(cache::fabsim_run_cached(sim, 6, 99, pool)), cold);
+  }
+}
+
+TEST(CachedEntryPoints, AnnealMultistartHitMatchesCold) {
+  netlist::Netlist nl;
+  const auto a = nl.add_primary_input();
+  const auto b = nl.add_primary_input();
+  const auto g0 = nl.add_gate(netlist::GateType::kNand2, {a, b});
+  const auto g1 = nl.add_gate(netlist::GateType::kInv, {nl.output_net_of(g0)});
+  (void)nl.add_gate(netlist::GateType::kNor2, {nl.output_net_of(g0), nl.output_net_of(g1)});
+
+  place::AnnealParams params;
+  params.seed = 5;
+  const std::vector<std::uint8_t> cold =
+      cache::encode(place::anneal_place_multistart(nl, 2, 2, 2, params));
+  exec::ThreadPool p1(1), p2(2);
+  exec::ThreadPool phw(static_cast<int>(std::thread::hardware_concurrency()));
+  for (exec::ThreadPool* pool : pool_ladder(p1, p2, phw)) {
+    EXPECT_EQ(cache::encode(cache::anneal_place_multistart_cached(nl, 2, 2, 2, params, pool)),
+              cold);
+  }
+}
+
+TEST(CachedEntryPoints, SecondCallIsAHit) {
+  const cache::CacheStats before = cache::global_result_cache().stats();
+  const core::UncertainInputs inputs;
+  // A key not used elsewhere in this binary: miss then hit.
+  (void)cache::monte_carlo_cost_cached(inputs, 777.0, 400, 11, 0.0);
+  (void)cache::monte_carlo_cost_cached(inputs, 777.0, 400, 11, 0.0);
+  const cache::CacheStats after = cache::global_result_cache().stats();
+  EXPECT_EQ(after.misses - before.misses, 1u);
+  EXPECT_GE(after.hits - before.hits, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Artifact store (NCBLOB01).
+
+class TempDir final {
+ public:
+  explicit TempDir(const char* tag) {
+    dir_ = std::filesystem::temp_directory_path() /
+           (std::string("nanocost_cache_test_") + tag + "_" +
+            std::to_string(static_cast<unsigned long long>(::getpid())));
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+  }
+  ~TempDir() { std::filesystem::remove_all(dir_); }
+  [[nodiscard]] std::string path() const { return dir_.string(); }
+
+ private:
+  std::filesystem::path dir_;
+};
+
+TEST(ArtifactStore, RoundTripsAndMissesCleanly) {
+  const TempDir tmp("roundtrip");
+  robust::ArtifactStore store(tmp.path());
+  const cache::Digest128 key = cache::hash128("chunk-0");
+  std::vector<std::uint8_t> payload = {1, 2, 3, 4, 5};
+  std::vector<std::uint8_t> out;
+  EXPECT_FALSE(store.load(key, out));
+  store.store(key, payload);
+  ASSERT_TRUE(store.load(key, out));
+  EXPECT_EQ(out, payload);
+  // Idempotent: storing again (even different bytes) keeps the first
+  // publish -- content addresses never change their content.
+  store.store(key, {9, 9, 9});
+  ASSERT_TRUE(store.load(key, out));
+  EXPECT_EQ(out, payload);
+}
+
+TEST(ArtifactStore, BlobFileIsNamedByTheDigest) {
+  const TempDir tmp("naming");
+  robust::ArtifactStore store(tmp.path());
+  const cache::Digest128 key = cache::hash128("named");
+  store.store(key, {42});
+  EXPECT_TRUE(std::filesystem::exists(std::filesystem::path(tmp.path()) /
+                                      (key.hex() + ".ncblob")));
+}
+
+void expect_corrupt_naming_file(robust::ArtifactStore& store, const cache::Digest128& key,
+                                const std::string& expected_path) {
+  std::vector<std::uint8_t> out;
+  try {
+    (void)store.load(key, out);
+    FAIL() << "expected CheckpointCorrupt for " << expected_path;
+  } catch (const robust::CheckpointCorrupt& err) {
+    EXPECT_NE(std::string(err.what()).find(expected_path), std::string::npos)
+        << "message must name the offending file: " << err.what();
+  }
+}
+
+TEST(ArtifactStore, TruncatedBlobIsRejectedWithTheFileNamed) {
+  const TempDir tmp("truncated");
+  robust::ArtifactStore store(tmp.path());
+  const cache::Digest128 key = cache::hash128("truncate-me");
+  store.store(key, blob_of(64, 0x5A));
+  const std::string path = store.path_for(key);
+  std::filesystem::resize_file(path, std::filesystem::file_size(path) - 7);
+  expect_corrupt_naming_file(store, key, path);
+}
+
+TEST(ArtifactStore, FlippedPayloadByteFailsTheChecksum) {
+  const TempDir tmp("bitflip");
+  robust::ArtifactStore store(tmp.path());
+  const cache::Digest128 key = cache::hash128("flip-me");
+  store.store(key, blob_of(64, 0x5A));
+  const std::string path = store.path_for(key);
+  std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(f.is_open());
+  f.seekp(40);  // inside the payload (header is 32 bytes)
+  const char flipped = static_cast<char>(0x5A ^ 0x01);
+  f.write(&flipped, 1);
+  f.close();
+  expect_corrupt_naming_file(store, key, path);
+}
+
+TEST(ArtifactStore, TrailingGarbageIsRejected) {
+  const TempDir tmp("trailing");
+  robust::ArtifactStore store(tmp.path());
+  const cache::Digest128 key = cache::hash128("pad-me");
+  store.store(key, blob_of(16, 0x11));
+  const std::string path = store.path_for(key);
+  std::ofstream f(path, std::ios::app | std::ios::binary);
+  f.write("junk", 4);
+  f.close();
+  expect_corrupt_naming_file(store, key, path);
+}
+
+TEST(ArtifactStore, RenamedBlobFailsTheDigestCheck) {
+  // A blob copied under the wrong content address must not be served.
+  const TempDir tmp("renamed");
+  robust::ArtifactStore store(tmp.path());
+  const cache::Digest128 key_a = cache::hash128("blob-a");
+  const cache::Digest128 key_b = cache::hash128("blob-b");
+  store.store(key_a, blob_of(16, 0xAA));
+  std::filesystem::rename(store.path_for(key_a), store.path_for(key_b));
+  expect_corrupt_naming_file(store, key_b, store.path_for(key_b));
+}
+
+// ---------------------------------------------------------------------------
+// Campaign artifact tier: kill, rerun, recompute nothing.
+
+/// Deterministic blob-producing campaign (chunk bytes are a pure
+/// function of the unit index).
+class BlobTask final : public robust::CampaignTask {
+ public:
+  BlobTask(std::int64_t units, std::int64_t grain) : units_(units), grain_(grain) {}
+  [[nodiscard]] const char* name() const override { return "test.cache.blob"; }
+  [[nodiscard]] std::uint64_t config_fingerprint() const override { return 0xB10BULL; }
+  [[nodiscard]] std::int64_t unit_count() const override { return units_; }
+  [[nodiscard]] std::int64_t grain() const override { return grain_; }
+  void run_chunk(std::int64_t begin, std::int64_t end,
+                 std::vector<std::uint8_t>& blob) const override {
+    for (std::int64_t i = begin; i < end; ++i) {
+      blob.push_back(static_cast<std::uint8_t>((i * 37 + 11) & 0xFF));
+    }
+  }
+
+ private:
+  std::int64_t units_;
+  std::int64_t grain_;
+};
+
+TEST(CampaignArtifacts, KilledThenRerunRecomputesZeroCompletedChunks) {
+  const BlobTask task(40, 4);  // 10 chunks
+  exec::ThreadPool serial(1);
+
+  // Undisturbed reference run, no persistence of any kind.
+  robust::CampaignOptions plain;
+  plain.pool = &serial;
+  const robust::CampaignResult reference = robust::run_campaign(task, plain);
+  ASSERT_EQ(reference.completed_chunks, 10);
+
+  const TempDir tmp("campaign");
+  // Run 1: killed after 6 chunks, publishing into the artifact tier.
+  robust::CampaignOptions first;
+  first.pool = &serial;
+  first.artifact_dir = tmp.path();
+  first.max_chunks_this_run = 6;
+  const robust::CampaignResult killed = robust::run_campaign(task, first);
+  EXPECT_TRUE(killed.interrupted);
+  EXPECT_EQ(killed.completed_chunks, 6);
+  EXPECT_EQ(killed.artifact_stores, 6);
+  EXPECT_EQ(killed.artifact_hits, 0);
+
+  // Run 2: fresh process state (no checkpoint!), same artifact dir.
+  // Every chunk run 1 completed must come from the tier, not compute.
+  robust::CampaignOptions second;
+  second.pool = &serial;
+  second.artifact_dir = tmp.path();
+  const robust::CampaignResult rerun = robust::run_campaign(task, second);
+  EXPECT_FALSE(rerun.interrupted);
+  EXPECT_EQ(rerun.completed_chunks, 10);
+  EXPECT_EQ(rerun.artifact_hits, 6);
+  EXPECT_EQ(rerun.artifact_stores, 4);
+  EXPECT_EQ(rerun.resumed_chunks, 0);
+
+  // Bitwise identity with the undisturbed run, chunk by chunk.
+  ASSERT_EQ(rerun.chunks.size(), reference.chunks.size());
+  for (std::size_t c = 0; c < reference.chunks.size(); ++c) {
+    EXPECT_EQ(rerun.chunks[c], reference.chunks[c]) << "chunk " << c;
+  }
+
+  // Run 3: fully warm -- zero computation.
+  const robust::CampaignResult warm = robust::run_campaign(task, second);
+  EXPECT_EQ(warm.artifact_hits, 10);
+  EXPECT_EQ(warm.artifact_stores, 0);
+}
+
+TEST(CampaignArtifacts, CorruptBlobFailsTheRunDeterministically) {
+  const BlobTask task(8, 4);  // 2 chunks
+  exec::ThreadPool serial(1);
+  const TempDir tmp("corrupt");
+  robust::CampaignOptions options;
+  options.pool = &serial;
+  options.artifact_dir = tmp.path();
+  (void)robust::run_campaign(task, options);
+
+  // Truncate one published blob; the next run must refuse it loudly
+  // (a corrupt artifact is an integrity failure, not a retryable miss).
+  robust::ArtifactStore store(tmp.path());
+  const cache::Digest128 key =
+      robust::chunk_artifact_key(robust::campaign_fingerprint(task), 8, 4, 1);
+  const std::string path = store.path_for(key);
+  ASSERT_TRUE(std::filesystem::exists(path));
+  std::filesystem::resize_file(path, std::filesystem::file_size(path) - 3);
+  EXPECT_THROW((void)robust::run_campaign(task, options), robust::CheckpointCorrupt);
+}
+
+TEST(CampaignArtifacts, ChunkKeyBindsFingerprintGeometryAndIndex) {
+  const cache::Digest128 base = robust::chunk_artifact_key(1, 40, 4, 0);
+  EXPECT_EQ(base, robust::chunk_artifact_key(1, 40, 4, 0));
+  EXPECT_NE(base, robust::chunk_artifact_key(2, 40, 4, 0));
+  EXPECT_NE(base, robust::chunk_artifact_key(1, 44, 4, 0));
+  EXPECT_NE(base, robust::chunk_artifact_key(1, 40, 5, 0));
+  EXPECT_NE(base, robust::chunk_artifact_key(1, 40, 4, 1));
+}
+
+}  // namespace
