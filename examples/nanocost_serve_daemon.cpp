@@ -1,0 +1,118 @@
+// The nanocost daemon: serve cost/risk/campaign jobs over a Unix-domain
+// socket speaking NCWIRE01.
+//
+//   nanocost_serve --socket /tmp/nanocost.sock [--workers N]
+//                  [--capacity N] [--policy reject|degrade]
+//                  [--artifact-dir DIR] [--artifact-cap BYTES]
+//                  [--request-budget-ms MS] [--drain-budget-ms MS]
+//
+// The daemon runs until SIGINT/SIGTERM, then drains gracefully: stops
+// accepting, finishes (or checkpoints) in-flight work, answers every
+// admitted request, sweeps the artifact tier, and prints the drain
+// report.  Kill -9 it mid-campaign instead and the artifact tier still
+// carries the completed chunks: restart + resubmit recomputes nothing
+// (scripts/ci uses exactly that to prove crash tolerance).
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "nanocost/serve/server.hpp"
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+void handle_signal(int) { g_stop.store(true, std::memory_order_release); }
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --socket PATH [--workers N] [--capacity N]\n"
+               "          [--policy reject|degrade] [--artifact-dir DIR]\n"
+               "          [--artifact-cap BYTES] [--request-budget-ms MS]\n"
+               "          [--drain-budget-ms MS]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace nanocost;
+
+  std::string socket_path;
+  serve::ServerOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const bool has_value = i + 1 < argc;
+    if (arg == "--socket" && has_value) {
+      socket_path = argv[++i];
+    } else if (arg == "--workers" && has_value) {
+      options.worker_threads = std::atoi(argv[++i]);
+    } else if (arg == "--capacity" && has_value) {
+      options.campaign_capacity = static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else if (arg == "--policy" && has_value) {
+      const std::string policy = argv[++i];
+      if (policy == "reject") {
+        options.campaign_policy = robust::ShedPolicy::kRejectNewest;
+      } else if (policy == "degrade") {
+        options.campaign_policy = robust::ShedPolicy::kDegradeBudgets;
+      } else {
+        return usage(argv[0]);
+      }
+    } else if (arg == "--artifact-dir" && has_value) {
+      options.artifact_dir = argv[++i];
+    } else if (arg == "--artifact-cap" && has_value) {
+      options.artifact_byte_cap = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    } else if (arg == "--request-budget-ms" && has_value) {
+      options.request_budget_ms = std::atof(argv[++i]);
+    } else if (arg == "--drain-budget-ms" && has_value) {
+      options.drain_budget_ms = std::atof(argv[++i]);
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (socket_path.empty()) return usage(argv[0]);
+
+  std::signal(SIGINT, handle_signal);
+  std::signal(SIGTERM, handle_signal);
+
+  serve::Server server(options);
+  try {
+    server.listen_unix(socket_path);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "nanocost_serve: %s\n", e.what());
+    return 1;
+  }
+  std::printf("nanocost_serve: listening on %s (workers %d, capacity %zu, %s)\n",
+              socket_path.c_str(), options.worker_threads, options.campaign_capacity,
+              options.campaign_policy == robust::ShedPolicy::kRejectNewest ? "reject"
+                                                                           : "degrade");
+  std::fflush(stdout);
+
+  while (!g_stop.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+
+  std::puts("nanocost_serve: draining...");
+  const serve::DrainReport report = server.shutdown();
+  std::printf(
+      "nanocost_serve: drained. served %llu responses (%llu coalesced, %llu wire "
+      "errors); campaigns: %llu completed, %llu stopped resumable, %llu shed; "
+      "artifact sweep evicted %llu/%llu blobs (%llu of %llu bytes)\n",
+      static_cast<unsigned long long>(report.requests_served),
+      static_cast<unsigned long long>(report.coalesced),
+      static_cast<unsigned long long>(report.wire_errors),
+      static_cast<unsigned long long>(report.campaigns_completed),
+      static_cast<unsigned long long>(report.campaigns_stopped),
+      static_cast<unsigned long long>(report.campaigns_shed),
+      static_cast<unsigned long long>(report.artifact_sweep.evicted_blobs),
+      static_cast<unsigned long long>(report.artifact_sweep.scanned_blobs),
+      static_cast<unsigned long long>(report.artifact_sweep.evicted_bytes),
+      static_cast<unsigned long long>(report.artifact_sweep.scanned_bytes));
+  return 0;
+}

@@ -1,0 +1,104 @@
+// Submit one job to a running nanocost_serve daemon and print the
+// outcome -- the client half of the serve smoke tests.
+//
+//   nanocost_submit --socket PATH eq4  [--steps N]
+//   nanocost_submit --socket PATH risk [--samples N] [--sd X] [--seed S]
+//   nanocost_submit --socket PATH campaign [--wafers N] [--seed S]
+//                   [--max-chunks N]
+//
+// Prints one line: status, completeness, frontier, artifact hits, and
+// the fnv1a digest of the result bytes.  Two invocations that print
+// the same digest received bitwise-identical results -- the smoke
+// test's crash-tolerance check compares digests across a server kill.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "nanocost/robust/fault_injection.hpp"
+#include "nanocost/serve/client.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --socket PATH eq4|risk|campaign [--steps N] [--samples N]\n"
+               "          [--sd X] [--wafers N] [--seed S] [--max-chunks N]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace nanocost;
+
+  std::string socket_path;
+  std::string kind;
+  int steps = 40;
+  int samples = 2000;
+  double s_d = 1000.0;
+  long long wafers = 32;
+  unsigned long long seed = 7;
+  long long max_chunks = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const bool has_value = i + 1 < argc;
+    if (arg == "--socket" && has_value) {
+      socket_path = argv[++i];
+    } else if (arg == "eq4" || arg == "risk" || arg == "campaign") {
+      kind = arg;
+    } else if (arg == "--steps" && has_value) {
+      steps = std::atoi(argv[++i]);
+    } else if (arg == "--samples" && has_value) {
+      samples = std::atoi(argv[++i]);
+    } else if (arg == "--sd" && has_value) {
+      s_d = std::atof(argv[++i]);
+    } else if (arg == "--wafers" && has_value) {
+      wafers = std::atoll(argv[++i]);
+    } else if (arg == "--seed" && has_value) {
+      seed = static_cast<unsigned long long>(std::atoll(argv[++i]));
+    } else if (arg == "--max-chunks" && has_value) {
+      max_chunks = std::atoll(argv[++i]);
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (socket_path.empty() || kind.empty()) return usage(argv[0]);
+
+  try {
+    serve::Client client = serve::Client::connect_unix(socket_path);
+    std::uint64_t id = 0;
+    if (kind == "eq4") {
+      serve::Eq4Job job;
+      job.steps = steps;
+      id = client.submit(job);
+    } else if (kind == "risk") {
+      serve::RiskJob job;
+      job.s_d = s_d;
+      job.samples = samples;
+      job.seed = seed;
+      id = client.submit(job);
+    } else {
+      serve::CampaignJob job;
+      job.n_wafers = wafers;
+      job.seed = seed;
+      job.max_chunks = max_chunks;
+      id = client.submit(job);
+    }
+    const serve::Response r = client.wait(id);
+    const std::uint64_t digest = robust::fnv1a(std::string_view(
+        reinterpret_cast<const char*>(r.result.data()), r.result.size()));
+    std::printf("%s status=%s completeness=%.4f frontier=%lld artifact_hits=%llu "
+                "coalesced=%d digest=%016llx%s%s\n",
+                kind.c_str(), serve::response_status_name(r.status), r.completeness,
+                static_cast<long long>(r.frontier_chunks),
+                static_cast<unsigned long long>(r.artifact_hits), r.coalesced ? 1 : 0,
+                static_cast<unsigned long long>(digest), r.message.empty() ? "" : " -- ",
+                r.message.c_str());
+    return r.status == serve::ResponseStatus::kError ? 1 : 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "nanocost_submit: %s\n", e.what());
+    return 1;
+  }
+}

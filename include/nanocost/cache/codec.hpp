@@ -17,6 +17,8 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "nanocost/core/optimizer.hpp"
@@ -37,6 +39,10 @@ class ByteWriter final {
   void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
   void i32(std::int32_t v) { u64(static_cast<std::uint64_t>(static_cast<std::int64_t>(v))); }
   void f64(double v);
+  /// u64 length followed by the raw bytes.
+  void bytes(const std::vector<std::uint8_t>& v);
+  /// u64 length followed by the raw characters.
+  void str(std::string_view v);
 
   [[nodiscard]] std::vector<std::uint8_t> take() { return std::move(out_); }
 
@@ -56,6 +62,12 @@ class ByteReader final {
   [[nodiscard]] std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
   [[nodiscard]] std::int32_t i32() { return static_cast<std::int32_t>(i64()); }
   [[nodiscard]] double f64();
+  /// Counterpart of ByteWriter::bytes(); the declared length is
+  /// validated against the bytes remaining before any allocation, so a
+  /// corrupted length field throws instead of driving a giant reserve.
+  [[nodiscard]] std::vector<std::uint8_t> bytes();
+  /// Counterpart of ByteWriter::str(), with the same length validation.
+  [[nodiscard]] std::string str();
 
   /// Throws unless every byte was consumed.
   void expect_end() const;

@@ -32,11 +32,21 @@
 
 namespace nanocost::robust {
 
+/// What one eviction sweep did.
+struct SweepReport final {
+  std::uint64_t scanned_blobs = 0;
+  std::uint64_t scanned_bytes = 0;
+  std::uint64_t evicted_blobs = 0;
+  std::uint64_t evicted_bytes = 0;
+};
+
 class ArtifactStore final {
  public:
   /// Creates `dir` (and parents) if absent; throws std::runtime_error
-  /// when the directory cannot be created.
-  explicit ArtifactStore(std::string dir);
+  /// when the directory cannot be created.  `byte_cap` bounds the total
+  /// on-disk blob bytes sweep() enforces; 0 leaves the store unbounded
+  /// (the pre-existing behaviour).
+  explicit ArtifactStore(std::string dir, std::uint64_t byte_cap = 0);
 
   /// Blob path for a digest: <dir>/<hex>.ncblob.
   [[nodiscard]] std::string path_for(const cache::Digest128& key) const;
@@ -53,9 +63,24 @@ class ArtifactStore final {
   void store(const cache::Digest128& key, const std::vector<std::uint8_t>& payload) const;
 
   [[nodiscard]] const std::string& dir() const noexcept { return dir_; }
+  [[nodiscard]] std::uint64_t byte_cap() const noexcept { return byte_cap_; }
+
+  /// Sum of all committed blob bytes on disk (in-flight .tmp files are
+  /// not blobs and do not count).
+  [[nodiscard]] std::uint64_t total_bytes() const;
+
+  /// Evicts committed blobs -- highest digest first, a pure function of
+  /// the directory contents, so two replicas holding the same blobs
+  /// evict the same ones -- until total bytes fit under byte_cap().
+  /// A no-op (scan only) when the cap is 0 or already satisfied.
+  /// Eviction is a plain unlink: a concurrent run_campaign consult that
+  /// already opened the blob keeps reading it, and one that misses the
+  /// evicted file simply recomputes the chunk -- never an error.
+  SweepReport sweep() const;
 
  private:
   std::string dir_;
+  std::uint64_t byte_cap_ = 0;
 };
 
 /// Artifact key of one campaign chunk: the campaign identity

@@ -1,0 +1,58 @@
+// Client side of nanocost::serve: NCWIRE01 framing over a socket or
+// pipe pair, request-id bookkeeping, and typed submit/wait calls.
+//
+// The client is single-threaded by design (one connection, one caller);
+// concurrency tests run one Client per thread.  Responses may arrive
+// out of submission order -- identical jobs coalesce server-side and
+// campaigns finish on their own cadence -- so wait() parks non-matching
+// responses until their id is asked for.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "nanocost/serve/jobs.hpp"
+#include "nanocost/serve/wire.hpp"
+
+namespace nanocost::serve {
+
+class Client final {
+ public:
+  /// Adopts pipe/socket descriptors (closed on destruction).
+  Client(int read_fd, int write_fd);
+
+  /// Connects to a Unix-domain socket; throws std::runtime_error when
+  /// the daemon is not there.
+  [[nodiscard]] static Client connect_unix(const std::string& path);
+
+  Client(Client&&) noexcept = default;
+  Client& operator=(Client&&) noexcept = default;
+
+  /// Submits a job; a zero request_id is replaced with a fresh one.
+  /// Returns the id to wait() on.  Throws WireError on transport
+  /// failure.
+  std::uint64_t submit(Eq4Job job);
+  std::uint64_t submit(RiskJob job);
+  std::uint64_t submit(CampaignJob job);
+
+  /// Blocks until the response for `request_id` arrives (parking any
+  /// others).  Throws WireError on transport failure or unexpected
+  /// stream close, std::runtime_error when the server answers with an
+  /// error *frame* (connection-fatal diagnostics; job-level failures
+  /// come back as a Response with status kError instead).
+  [[nodiscard]] Response wait(std::uint64_t request_id);
+
+  /// Round-trips a ping frame; false when the stream closed instead.
+  [[nodiscard]] bool ping();
+
+ private:
+  std::unique_ptr<FdStream> stream_;
+  std::map<std::uint64_t, Response> parked_;
+  std::uint64_t next_id_ = 1;
+
+  std::uint64_t fresh_id(std::uint64_t requested);
+};
+
+}  // namespace nanocost::serve

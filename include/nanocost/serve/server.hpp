@@ -1,0 +1,111 @@
+// The nanocost::serve daemon: a crash-tolerant multi-tenant job server.
+//
+// One long-lived Server accepts NCWIRE01 connections -- a Unix-domain
+// socket in production, pipe pairs in tests -- and runs the three job
+// families end to end:
+//
+//   * light jobs (eq4 sweeps, risk Monte-Carlo) dispatch to a small
+//     worker pool, each under the per-request budget via the
+//     Deadline/CancelToken hierarchy; a slow request returns a typed
+//     resumable partial, never a hung connection;
+//   * campaigns are admitted synchronously -- in arrival order -- into
+//     a robust::CampaignQueue, so overload sheds or degrades
+//     deterministically (acceptance depends only on the submission
+//     sequence), and run one at a time on a dedicated runner thread
+//     with checkpoints and the content-addressed artifact tier
+//     underneath: kill the server mid-campaign, restart, resubmit, and
+//     the completed chunks replay from blobs with zero recompute;
+//   * identical in-flight requests coalesce on their canonical cache
+//     key: one computation, every waiter gets the same bytes.
+//
+// Failure containment: a malformed frame kills its *connection* with a
+// diagnostic error frame (WireError naming the offense); a semantically
+// invalid job gets an error *response* on a healthy connection; an
+// injected fault (serve.accept / serve.read / serve.write /
+// serve.dispatch under NANOCOST_FAULTS) exercises each of those paths
+// deterministically.  The server itself dies only by shutdown().
+//
+// shutdown() is a graceful drain: stop accepting, finish (or, past
+// drain_budget_ms, checkpoint-and-stop) everything in flight, send a
+// final outcome for every admitted request, flush/sweep the artifact
+// tier, and report what happened.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "nanocost/robust/admission.hpp"
+#include "nanocost/robust/artifact_store.hpp"
+
+namespace nanocost::exec {
+class ThreadPool;
+}
+
+namespace nanocost::serve {
+
+struct ServerOptions final {
+  /// Worker threads for light jobs (eq4/risk).  Campaigns run on their
+  /// own runner thread regardless.
+  int worker_threads = 2;
+  /// Campaign admission capacity and policy (robust/admission.hpp).
+  std::size_t campaign_capacity = 4;
+  robust::ShedPolicy campaign_policy = robust::ShedPolicy::kRejectNewest;
+  /// Artifact tier root; empty disables checkpoints and blobs.
+  std::string artifact_dir;
+  /// Byte cap the shutdown sweep enforces on the artifact tier; 0 =
+  /// unbounded.
+  std::uint64_t artifact_byte_cap = 0;
+  /// Per-request wall-clock budget for light jobs, ms; 0 = none.
+  double request_budget_ms = 0.0;
+  /// Grace period shutdown() gives in-flight campaigns before stopping
+  /// them at a chunk boundary (checkpointed, resumable); 0 = wait for
+  /// them to finish.
+  double drain_budget_ms = 0.0;
+  /// CampaignOptions::wave_chunks for served campaigns.
+  std::int64_t campaign_wave_chunks = 64;
+  /// Compute pool for kernels (null: the global pool).
+  exec::ThreadPool* pool = nullptr;
+};
+
+/// What a graceful drain found and did.
+struct DrainReport final {
+  std::uint64_t requests_served = 0;   ///< responses written (all types)
+  std::uint64_t wire_errors = 0;       ///< connections killed by WireError
+  std::uint64_t coalesced = 0;         ///< requests served from an in-flight twin
+  std::uint64_t campaigns_completed = 0;
+  std::uint64_t campaigns_stopped = 0;  ///< checkpointed + resumable at drain
+  std::uint64_t campaigns_shed = 0;
+  robust::SweepReport artifact_sweep;  ///< the shutdown eviction sweep
+};
+
+class Server final {
+ public:
+  explicit Server(ServerOptions options);
+  /// Destruction drains (shutdown() if not already called).
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Adopts an accepted byte stream as one client connection: spawns
+  /// its reader.  `read_fd`/`write_fd` may be pipe ends (tests) or one
+  /// socket fd.  Thread-safe; throws std::logic_error after shutdown.
+  void add_connection(int read_fd, int write_fd);
+
+  /// Binds a Unix-domain socket at `path` (unlinking any stale one) and
+  /// accepts connections until shutdown.  Throws std::runtime_error on
+  /// bind failure.
+  void listen_unix(const std::string& path);
+
+  /// Graceful drain; idempotent (the second call returns the first
+  /// report).  See the header comment for the sequence.
+  DrainReport shutdown();
+
+  [[nodiscard]] const ServerOptions& options() const noexcept;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace nanocost::serve

@@ -1,0 +1,149 @@
+// NCWIRE01: the length-prefixed framed wire protocol of nanocost::serve.
+//
+// One frame (little-endian, DESIGN.md section 14):
+//   magic   "NCWIRE01"                      8 bytes
+//   u32     version (kWireVersion)
+//   u32     frame type (FrameType)
+//   u64     payload length (<= kMaxPayloadBytes)
+//   payload bytes
+//   u64     fnv1a(version || type || payload)
+//
+// Reading is held to the NCCKPT01/NCBLOB01 strictness standard: a
+// malformed peer can corrupt its *connection*, never the server.  Bad
+// magic, an unsupported version, an unknown frame type, an oversized
+// declared length, truncation (EOF mid-frame), and a checksum mismatch
+// each throw WireError with a diagnostic naming the frame and the
+// offense -- no crash, no hang, no allocation driven by a corrupt
+// length.  The checksum covers the version and type words as well as
+// the payload, so any single bit flip anywhere after the magic is
+// caught by exactly one of the checks above (a magic flip fails the
+// magic compare itself).
+//
+// Frames travel over any byte stream: a Unix-domain socket for the
+// daemon, a pipe pair in tests.  FdStream carries the deterministic
+// fault-injection sites serve.read / serve.write, so I/O failure paths
+// are testable under NANOCOST_FAULTS like every other failure path in
+// the codebase.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace nanocost::serve {
+
+inline constexpr char kWireMagic[8] = {'N', 'C', 'W', 'I', 'R', 'E', '0', '1'};
+inline constexpr std::uint32_t kWireVersion = 1;
+/// Upper bound on one frame's payload; a declared length past this is
+/// rejected before any allocation.
+inline constexpr std::uint64_t kMaxPayloadBytes = 16ull * 1024 * 1024;
+
+/// Frame types.  Requests flow client -> server, responses server ->
+/// client; every request payload starts with a u64 request id that the
+/// matching response echoes (responses may arrive out of submission
+/// order when requests coalesce).
+enum class FrameType : std::uint32_t {
+  kEq4Request = 1,       ///< serve::Eq4Job
+  kRiskRequest = 2,      ///< serve::RiskJob
+  kCampaignRequest = 3,  ///< serve::CampaignJob
+  kPing = 4,             ///< payload: u64 request id only
+  kResponse = 0x81,      ///< serve::Response
+  kPong = 0x82,          ///< payload: u64 request id only
+  kErrorFrame = 0x83,    ///< payload: u64 request id (0 = none), str message
+};
+
+[[nodiscard]] bool is_known_frame_type(std::uint32_t type) noexcept;
+[[nodiscard]] const char* frame_type_name(FrameType type) noexcept;
+
+/// Thrown on any structural damage to the byte stream.  The message
+/// names the frame (by type when known) and the offense.
+class WireError final : public std::runtime_error {
+ public:
+  explicit WireError(const std::string& what) : std::runtime_error(what) {}
+};
+
+struct Frame final {
+  FrameType type = FrameType::kPing;
+  std::vector<std::uint8_t> payload;
+};
+
+/// A blocking byte stream the framing layer reads/writes.  EOF is
+/// reported, not thrown: read_some returns 0 only at end-of-stream.
+class ByteStream {
+ public:
+  virtual ~ByteStream() = default;
+  /// Reads up to `n` bytes into `out`; returns the count read (0 = EOF).
+  /// Throws WireError on transport failure.
+  virtual std::size_t read_some(std::uint8_t* out, std::size_t n) = 0;
+  /// Writes all `n` bytes; throws WireError on transport failure.
+  virtual void write_all(const std::uint8_t* data, std::size_t n) = 0;
+};
+
+/// ByteStream over POSIX file descriptors (socket or pipe ends).  Owns
+/// and closes the descriptors.  Reads poll with a short timeout so a
+/// server can interrupt an idle reader via `interrupt()` (graceful
+/// drain) without platform-specific tricks.
+class FdStream final : public ByteStream {
+ public:
+  /// `read_fd` and `write_fd` may be the same descriptor (a socket).
+  FdStream(int read_fd, int write_fd);
+  ~FdStream() override;
+  FdStream(const FdStream&) = delete;
+  FdStream& operator=(const FdStream&) = delete;
+
+  std::size_t read_some(std::uint8_t* out, std::size_t n) override;
+  void write_all(const std::uint8_t* data, std::size_t n) override;
+
+  /// Makes the next (or current, within one poll interval) read_some
+  /// return 0 as if the peer closed.  Thread-safe.
+  void interrupt() noexcept;
+  [[nodiscard]] bool interrupted() const noexcept;
+
+  /// Closes the descriptors now (idempotent): the peer sees EOF.  Later
+  /// reads/writes fail as transport errors.  The caller must ensure no
+  /// concurrent read/write is in flight (the server holds the
+  /// connection's write lock).
+  void close_fds() noexcept;
+
+ private:
+  int read_fd_ = -1;
+  int write_fd_ = -1;
+  std::uint64_t read_ops_ = 0;   ///< fault-site index for serve.read
+  std::uint64_t write_ops_ = 0;  ///< fault-site index for serve.write
+  std::atomic<bool> interrupted_{false};
+};
+
+/// In-memory ByteStream for tests: reads from `input`, appends writes
+/// to `output`.
+class MemStream final : public ByteStream {
+ public:
+  explicit MemStream(std::vector<std::uint8_t> input) : input_(std::move(input)) {}
+
+  std::size_t read_some(std::uint8_t* out, std::size_t n) override;
+  void write_all(const std::uint8_t* data, std::size_t n) override;
+
+  [[nodiscard]] const std::vector<std::uint8_t>& output() const noexcept { return output_; }
+
+ private:
+  std::vector<std::uint8_t> input_;
+  std::size_t pos_ = 0;
+  std::vector<std::uint8_t> output_;
+};
+
+/// Serializes one frame (header + payload + checksum).
+[[nodiscard]] std::vector<std::uint8_t> encode_frame(FrameType type,
+                                                     const std::vector<std::uint8_t>& payload);
+
+/// Appends one frame to `stream`.
+void write_frame(ByteStream& stream, FrameType type,
+                 const std::vector<std::uint8_t>& payload);
+
+/// Reads one frame.  Returns nullopt on clean end-of-stream (EOF before
+/// the first magic byte); throws WireError on anything else -- EOF
+/// mid-frame is truncation, not a clean close.
+[[nodiscard]] std::optional<Frame> read_frame(ByteStream& stream);
+
+}  // namespace nanocost::serve

@@ -68,17 +68,21 @@ def gate_regressions(fresh_doc, base_doc, tolerance):
         print(f"perf_gate: new cases without a baseline (reported only): {fresh_only}")
 
     failed = False
+    skipped = 0
+    gated = 0
     print(f"perf_gate: tolerance {tolerance}x")
     print(f"{'case':<32} {'thr':>3} {'baseline ns':>14} {'fresh ns':>14} {'ratio':>7}")
     for name, threads in sorted(set(base) & set(fresh)):
         key = (name, threads)
         ratio = fresh[key] / base[key]
         if threads > 1 and meaningless:
+            skipped += 1
             print(
                 f"{name:<32} {threads:>3} {base[key]:>14.0f} {fresh[key]:>14.0f} "
                 f"{ratio:>6.2f}x  skip (meaningless_speedup)"
             )
             continue
+        gated += 1
         verdict = "ok"
         if ratio > tolerance:
             verdict = "FAIL"
@@ -87,6 +91,12 @@ def gate_regressions(fresh_doc, base_doc, tolerance):
             f"{name:<32} {threads:>3} {base[key]:>14.0f} {fresh[key]:>14.0f} "
             f"{ratio:>6.2f}x  {verdict}"
         )
+    # One summary line so a log reader (or CI grep) sees at a glance how
+    # much of the matrix the 1-core degeneration removed from the gate.
+    print(
+        f"perf_gate: gated {gated} row(s), skipped {skipped} as meaningless_speedup"
+        + (" (threads > 1 on a 1-core runner measure the scheduler)" if skipped else "")
+    )
     return failed
 
 

@@ -1,11 +1,22 @@
 #include "nanocost/cache/codec.hpp"
 
 #include <bit>
+#include <cstddef>
 #include <stdexcept>
 
 namespace nanocost::cache {
 
 void ByteWriter::f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+
+void ByteWriter::bytes(const std::vector<std::uint8_t>& v) {
+  u64(v.size());
+  out_.insert(out_.end(), v.begin(), v.end());
+}
+
+void ByteWriter::str(std::string_view v) {
+  u64(v.size());
+  out_.insert(out_.end(), v.begin(), v.end());
+}
 
 std::uint8_t ByteReader::u8() {
   if (pos_ >= blob_.size()) throw std::runtime_error("cache blob truncated");
@@ -23,6 +34,24 @@ std::uint64_t ByteReader::u64() {
 }
 
 double ByteReader::f64() { return std::bit_cast<double>(u64()); }
+
+std::vector<std::uint8_t> ByteReader::bytes() {
+  const std::uint64_t n = u64();
+  if (n > blob_.size() - pos_) throw std::runtime_error("cache blob truncated");
+  std::vector<std::uint8_t> out(blob_.begin() + static_cast<std::ptrdiff_t>(pos_),
+                                blob_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+  pos_ += static_cast<std::size_t>(n);
+  return out;
+}
+
+std::string ByteReader::str() {
+  const std::uint64_t n = u64();
+  if (n > blob_.size() - pos_) throw std::runtime_error("cache blob truncated");
+  std::string out(reinterpret_cast<const char*>(blob_.data()) + pos_,
+                  static_cast<std::size_t>(n));
+  pos_ += static_cast<std::size_t>(n);
+  return out;
+}
 
 void ByteReader::expect_end() const {
   if (pos_ != blob_.size()) throw std::runtime_error("cache blob has trailing bytes");

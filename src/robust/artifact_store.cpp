@@ -1,10 +1,13 @@
 #include "nanocost/robust/artifact_store.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <memory>
+#include <utility>
 
+#include "nanocost/obs/metrics.hpp"
 #include "nanocost/robust/fault_injection.hpp"
 
 namespace nanocost::robust {
@@ -42,7 +45,8 @@ std::uint64_t payload_checksum(const std::vector<std::uint8_t>& payload) {
 
 }  // namespace
 
-ArtifactStore::ArtifactStore(std::string dir) : dir_(std::move(dir)) {
+ArtifactStore::ArtifactStore(std::string dir, std::uint64_t byte_cap)
+    : dir_(std::move(dir)), byte_cap_(byte_cap) {
   std::error_code ec;
   std::filesystem::create_directories(dir_, ec);
   if (ec || !std::filesystem::is_directory(dir_)) {
@@ -135,6 +139,60 @@ void ArtifactStore::store(const cache::Digest128& key,
   if (std::rename(tmp.c_str(), path.c_str()) != 0) {
     throw std::runtime_error("cannot rename artifact blob into place: " + path);
   }
+}
+
+namespace {
+
+/// Committed blobs in the store, named (filename, bytes).  Filenames
+/// are fixed-width lowercase hex, so lexicographic order IS digest
+/// order -- the determinism the eviction sweep rests on.
+std::vector<std::pair<std::string, std::uint64_t>> list_blobs(const std::string& dir) {
+  std::vector<std::pair<std::string, std::uint64_t>> blobs;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    if (!entry.is_regular_file(ec)) continue;
+    const std::filesystem::path& p = entry.path();
+    if (p.extension() != ".ncblob") continue;  // skip in-flight .tmp files
+    const std::uintmax_t size = entry.file_size(ec);
+    if (ec) continue;  // racing eviction/rename: not our blob any more
+    blobs.emplace_back(p.filename().string(), static_cast<std::uint64_t>(size));
+  }
+  std::sort(blobs.begin(), blobs.end());
+  return blobs;
+}
+
+}  // namespace
+
+std::uint64_t ArtifactStore::total_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& [name, size] : list_blobs(dir_)) total += size;
+  return total;
+}
+
+SweepReport ArtifactStore::sweep() const {
+  SweepReport report;
+  const auto blobs = list_blobs(dir_);
+  for (const auto& [name, size] : blobs) {
+    ++report.scanned_blobs;
+    report.scanned_bytes += size;
+  }
+  if (byte_cap_ == 0 || report.scanned_bytes <= byte_cap_) return report;
+  // Walk from the highest digest down, unlinking until we fit.  The
+  // victim set depends only on the directory contents and the cap.
+  std::uint64_t remaining = report.scanned_bytes;
+  for (auto it = blobs.rbegin(); it != blobs.rend() && remaining > byte_cap_; ++it) {
+    std::error_code ec;
+    if (std::filesystem::remove(std::filesystem::path(dir_) / it->first, ec) && !ec) {
+      ++report.evicted_blobs;
+      report.evicted_bytes += it->second;
+      remaining -= it->second;
+    }
+  }
+  if (obs::metrics_enabled() && report.evicted_blobs > 0) {
+    static obs::Counter& evicted = obs::counter("robust.artifact_evicted");
+    evicted.add(report.evicted_blobs);
+  }
+  return report;
 }
 
 cache::Digest128 chunk_artifact_key(std::uint64_t fingerprint, std::int64_t unit_count,

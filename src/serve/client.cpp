@@ -1,0 +1,126 @@
+#include "nanocost/serve/client.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "nanocost/cache/codec.hpp"
+
+namespace nanocost::serve {
+
+Client::Client(int read_fd, int write_fd)
+    : stream_(std::make_unique<FdStream>(read_fd, write_fd)) {}
+
+Client Client::connect_unix(const std::string& path) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    throw std::runtime_error(std::string("serve client: socket() failed: ") +
+                             std::strerror(errno));
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    ::close(fd);
+    throw std::runtime_error("serve client: socket path too long: " + path);
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const int err = errno;
+    ::close(fd);
+    throw std::runtime_error("serve client: cannot connect to " + path + ": " +
+                             std::strerror(err));
+  }
+  return Client(fd, fd);
+}
+
+std::uint64_t Client::fresh_id(std::uint64_t requested) {
+  if (requested != 0) {
+    next_id_ = std::max(next_id_, requested + 1);
+    return requested;
+  }
+  return next_id_++;
+}
+
+std::uint64_t Client::submit(Eq4Job job) {
+  job.request_id = fresh_id(job.request_id);
+  write_frame(*stream_, FrameType::kEq4Request, encode_payload(job));
+  return job.request_id;
+}
+
+std::uint64_t Client::submit(RiskJob job) {
+  job.request_id = fresh_id(job.request_id);
+  write_frame(*stream_, FrameType::kRiskRequest, encode_payload(job));
+  return job.request_id;
+}
+
+std::uint64_t Client::submit(CampaignJob job) {
+  job.request_id = fresh_id(job.request_id);
+  write_frame(*stream_, FrameType::kCampaignRequest, encode_payload(job));
+  return job.request_id;
+}
+
+Response Client::wait(std::uint64_t request_id) {
+  while (true) {
+    auto parked = parked_.find(request_id);
+    if (parked != parked_.end()) {
+      Response r = std::move(parked->second);
+      parked_.erase(parked);
+      return r;
+    }
+    std::optional<Frame> frame = read_frame(*stream_);
+    if (!frame) {
+      throw WireError("serve client: stream closed while waiting for request " +
+                      std::to_string(request_id));
+    }
+    switch (frame->type) {
+      case FrameType::kResponse: {
+        Response r = decode_response(frame->payload);
+        if (r.request_id == request_id) return r;
+        parked_[r.request_id] = std::move(r);
+        break;
+      }
+      case FrameType::kErrorFrame: {
+        cache::ByteReader reader(frame->payload);
+        const std::uint64_t id = reader.u64();
+        const std::string message = reader.str();
+        reader.expect_end();
+        // id 0 = connection-level diagnostic (e.g. the server rejected
+        // our framing); either way the wait cannot succeed silently.
+        if (id == 0 || id == request_id) {
+          throw std::runtime_error("serve client: server error: " + message);
+        }
+        break;  // an error for some other outstanding request; drop it
+      }
+      case FrameType::kPong:
+        break;  // stale pong; ignore
+      default:
+        throw WireError(std::string("serve client: unexpected ") +
+                        frame_type_name(frame->type) + " frame from server");
+    }
+  }
+}
+
+bool Client::ping() {
+  cache::ByteWriter w;
+  w.u64(next_id_++);
+  write_frame(*stream_, FrameType::kPing, w.take());
+  while (true) {
+    std::optional<Frame> frame = read_frame(*stream_);
+    if (!frame) return false;
+    if (frame->type == FrameType::kPong) return true;
+    if (frame->type == FrameType::kResponse) {
+      Response r = decode_response(frame->payload);
+      parked_[r.request_id] = std::move(r);
+      continue;
+    }
+    return false;
+  }
+}
+
+}  // namespace nanocost::serve

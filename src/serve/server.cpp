@@ -1,0 +1,665 @@
+#include "nanocost/serve/server.hpp"
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <condition_variable>
+#include <csignal>
+#include <cstring>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "nanocost/cache/codec.hpp"
+#include "nanocost/cache/key.hpp"
+#include "nanocost/fabsim/campaign.hpp"
+#include "nanocost/obs/metrics.hpp"
+#include "nanocost/obs/trace.hpp"
+#include "nanocost/robust/fault_injection.hpp"
+#include "nanocost/serve/jobs.hpp"
+#include "nanocost/serve/wire.hpp"
+
+namespace nanocost::serve {
+
+namespace {
+
+constexpr robust::FaultSite kAcceptSite{"serve.accept"};
+constexpr robust::FaultSite kDispatchSite{"serve.dispatch"};
+
+void bump(const char* name, std::uint64_t delta = 1) {
+  if (obs::metrics_enabled()) obs::counter(name).add(delta);
+}
+
+}  // namespace
+
+struct Server::Impl {
+  // ---- connection ------------------------------------------------------
+
+  struct Connection {
+    std::unique_ptr<FdStream> stream;
+    std::mutex write_mu;
+    std::thread reader;
+    std::atomic<bool> dead{false};
+  };
+
+  struct Waiter {
+    std::shared_ptr<Connection> conn;
+    std::uint64_t request_id = 0;
+  };
+
+  struct LightJob {
+    cache::Digest128 key{};
+    bool is_eq4 = true;
+    Eq4Job eq4;
+    RiskJob risk;
+  };
+
+  /// One admitted campaign awaiting its drain outcome.  The simulator
+  /// and task live here because CampaignQueue holds them by reference.
+  struct PendingCampaign {
+    std::unique_ptr<fabsim::FabSimulator> sim;
+    std::unique_ptr<fabsim::FabLotCampaign> task;
+    std::vector<Waiter> waiters;  ///< [0] owns the computation
+    cache::Digest128 key{};
+  };
+
+  explicit Impl(ServerOptions opts)
+      : options(std::move(opts)),
+        queue(robust::AdmissionOptions{options.campaign_capacity, options.campaign_policy,
+                                       0.0, robust::CancelToken{}}) {
+    if (!options.artifact_dir.empty()) {
+      store = std::make_unique<robust::ArtifactStore>(options.artifact_dir,
+                                                      options.artifact_byte_cap);
+    }
+    // A peer that vanishes mid-response must cost EPIPE on the write,
+    // not a process-wide SIGPIPE.
+    std::signal(SIGPIPE, SIG_IGN);
+    const int n = options.worker_threads > 0 ? options.worker_threads : 1;
+    workers.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      workers.emplace_back([this] { worker_loop(); });
+    }
+    runner = std::thread([this] { runner_loop(); });
+  }
+
+  // ---- wire output -----------------------------------------------------
+
+  void send_response(const std::shared_ptr<Connection>& conn, const Response& response) {
+    if (conn->dead.load(std::memory_order_acquire)) return;
+    const std::vector<std::uint8_t> payload = encode_payload(response);
+    try {
+      std::lock_guard<std::mutex> lk(conn->write_mu);
+      write_frame(*conn->stream, FrameType::kResponse, payload);
+      requests_served.fetch_add(1, std::memory_order_relaxed);
+    } catch (const WireError&) {
+      conn->dead.store(true, std::memory_order_release);
+    }
+  }
+
+  void send_error_frame(const std::shared_ptr<Connection>& conn, std::uint64_t request_id,
+                        const std::string& message) {
+    cache::ByteWriter w;
+    w.u64(request_id);
+    w.str(message);
+    const std::vector<std::uint8_t> payload = w.take();
+    try {
+      std::lock_guard<std::mutex> lk(conn->write_mu);
+      write_frame(*conn->stream, FrameType::kErrorFrame, payload);
+    } catch (const WireError&) {
+      conn->dead.store(true, std::memory_order_release);
+    }
+  }
+
+  // ---- reader / dispatch -----------------------------------------------
+
+  void reader_loop(const std::shared_ptr<Connection>& conn) {
+    bool kill = false;
+    while (!conn->dead.load(std::memory_order_acquire)) {
+      std::optional<Frame> frame;
+      try {
+        frame = read_frame(*conn->stream);
+      } catch (const WireError& e) {
+        // Structural damage: this connection dies with a diagnostic;
+        // the server keeps serving everyone else.
+        wire_errors.fetch_add(1, std::memory_order_relaxed);
+        bump("serve.wire_errors");
+        send_error_frame(conn, 0, e.what());
+        kill = true;
+        break;
+      }
+      if (!frame) break;  // clean close or drain interrupt
+      if (!dispatch(conn, *frame)) {
+        kill = true;
+        break;
+      }
+    }
+    if (kill) {
+      // The connection is dead for real: close the descriptors so the
+      // peer sees EOF after the diagnostic error frame.  In-flight jobs
+      // it submitted still run; their responses are dropped at the
+      // dead-flag check.
+      conn->dead.store(true, std::memory_order_release);
+      std::lock_guard<std::mutex> lk(conn->write_mu);
+      conn->stream->close_fds();
+    }
+    // Clean EOF (peer half-closed or drain interrupt): leave the stream
+    // open -- responses for already-dispatched requests are still
+    // deliverable on the write side until shutdown reaps the connection.
+  }
+
+  /// Handles one well-formed frame; returns false when the connection
+  /// must close (protocol violation).
+  bool dispatch(const std::shared_ptr<Connection>& conn, const Frame& frame) {
+    obs::ObsSpan span("serve.request");
+    bump("serve.requests");
+    const std::uint64_t request_id = peek_request_id(frame.payload);
+    try {
+      robust::inject(kDispatchSite, dispatch_index.fetch_add(1, std::memory_order_relaxed));
+    } catch (const robust::FaultInjected& e) {
+      Response r;
+      r.request_id = request_id;
+      r.status = ResponseStatus::kError;
+      r.message = std::string("injected fault: ") + e.what() + "; resubmit";
+      send_response(conn, r);
+      return true;
+    }
+    switch (frame.type) {
+      case FrameType::kPing: {
+        try {
+          std::lock_guard<std::mutex> lk(conn->write_mu);
+          write_frame(*conn->stream, FrameType::kPong, frame.payload);
+        } catch (const WireError&) {
+          conn->dead.store(true, std::memory_order_release);
+        }
+        return true;
+      }
+      case FrameType::kEq4Request:
+      case FrameType::kRiskRequest:
+        return dispatch_light(conn, frame, request_id);
+      case FrameType::kCampaignRequest:
+        return dispatch_campaign(conn, frame, request_id);
+      case FrameType::kResponse:
+      case FrameType::kPong:
+      case FrameType::kErrorFrame:
+        // Server-to-client types arriving at the server: a confused or
+        // hostile peer.  Kill the connection, keep the server.
+        wire_errors.fetch_add(1, std::memory_order_relaxed);
+        bump("serve.wire_errors");
+        send_error_frame(conn, request_id,
+                         std::string("protocol violation: client sent a ") +
+                             frame_type_name(frame.type) + " frame");
+        return false;
+    }
+    return false;
+  }
+
+  bool dispatch_light(const std::shared_ptr<Connection>& conn, const Frame& frame,
+                      std::uint64_t request_id) {
+    LightJob job;
+    try {
+      if (frame.type == FrameType::kEq4Request) {
+        job.is_eq4 = true;
+        job.eq4 = decode_eq4_job(frame.payload);
+        job.key = job_key(job.eq4);
+      } else {
+        job.is_eq4 = false;
+        job.risk = decode_risk_job(frame.payload);
+        job.key = job_key(job.risk);
+      }
+    } catch (const std::exception& e) {
+      // The frame was structurally sound (checksum passed) but the job
+      // is semantically invalid: error response, connection lives.
+      Response r;
+      r.request_id = request_id;
+      r.status = ResponseStatus::kError;
+      r.message = std::string("invalid job payload: ") + e.what();
+      send_response(conn, r);
+      return true;
+    }
+    {
+      std::unique_lock<std::mutex> lk(mu);
+      auto it = light_inflight.find(job.key);
+      if (it != light_inflight.end()) {
+        // An identical job is already computing: piggyback.
+        it->second.push_back(Waiter{conn, request_id});
+        coalesced_count.fetch_add(1, std::memory_order_relaxed);
+        bump("serve.coalesced");
+        return true;
+      }
+      light_inflight[job.key] = {Waiter{conn, request_id}};
+      light_queue.push_back(std::move(job));
+    }
+    light_cv.notify_one();
+    return true;
+  }
+
+  bool dispatch_campaign(const std::shared_ptr<Connection>& conn, const Frame& frame,
+                         std::uint64_t request_id) {
+    CampaignJob job;
+    std::unique_ptr<fabsim::FabSimulator> sim;
+    cache::Digest128 key;
+    try {
+      job = decode_campaign_job(frame.payload);
+      sim = std::make_unique<fabsim::FabSimulator>(make_simulator(job));
+      key = job_key(job);
+    } catch (const std::exception& e) {
+      Response r;
+      r.request_id = request_id;
+      r.status = ResponseStatus::kError;
+      r.message = std::string("invalid campaign job: ") + e.what();
+      send_response(conn, r);
+      return true;
+    }
+    std::size_t slot = 0;
+    bool admitted = false;
+    Response immediate;
+    {
+      std::unique_lock<std::mutex> lk(mu);
+      auto it = campaign_inflight.find(key);
+      if (it != campaign_inflight.end()) {
+        pending.at(it->second).waiters.push_back(Waiter{conn, request_id});
+        coalesced_count.fetch_add(1, std::memory_order_relaxed);
+        bump("serve.coalesced");
+        return true;
+      }
+      auto task = std::make_unique<fabsim::FabLotCampaign>(*sim, job.n_wafers, job.seed);
+      robust::CampaignOptions run;
+      if (store != nullptr) {
+        // Checkpoint named by the *run* identity (not max_chunks), so a
+        // budget-limited run and its full resubmission share state.
+        const cache::Digest128 run_key =
+            cache::fabsim_run_key(*sim, job.n_wafers, job.seed);
+        run.checkpoint_path = store->dir() + "/" + run_key.hex() + ".ncckpt";
+        run.artifact_dir = store->dir();
+      }
+      run.wave_chunks = options.campaign_wave_chunks;
+      run.max_chunks_this_run = job.max_chunks;
+      run.pool = options.pool;
+      // Admission happens here, synchronously in the reader: shed
+      // decisions are a pure function of the request arrival order.
+      slot = queue.submit(*task, run);
+      const robust::SubmissionOutcome outcome = queue.outcome_copy(slot);
+      if (outcome.status == robust::SubmissionStatus::kShed ||
+          outcome.status == robust::SubmissionStatus::kStopped) {
+        campaigns_shed.fetch_add(1, std::memory_order_relaxed);
+        bump("serve.shed");
+        immediate.request_id = request_id;
+        immediate.status = outcome.status == robust::SubmissionStatus::kShed
+                               ? ResponseStatus::kShed
+                               : ResponseStatus::kStopped;
+        immediate.message = outcome.message;
+        immediate.completeness = 0.0;
+      } else {
+        PendingCampaign pc;
+        pc.sim = std::move(sim);
+        pc.task = std::move(task);
+        pc.waiters.push_back(Waiter{conn, request_id});
+        pc.key = key;
+        pending.emplace(slot, std::move(pc));
+        campaign_inflight.emplace(key, slot);
+        admitted = true;
+      }
+      if (obs::metrics_enabled()) {
+        obs::gauge("serve.queue_depth").set(static_cast<double>(queue.outstanding()));
+      }
+    }
+    if (admitted) {
+      runner_cv.notify_one();
+    } else {
+      send_response(conn, immediate);
+    }
+    return true;
+  }
+
+  // ---- light-job workers -----------------------------------------------
+
+  void worker_loop() {
+    std::unique_lock<std::mutex> lk(mu);
+    while (true) {
+      light_cv.wait(lk, [&] { return workers_stop || !light_queue.empty(); });
+      if (light_queue.empty()) {
+        if (workers_stop) return;
+        continue;
+      }
+      LightJob job = std::move(light_queue.front());
+      light_queue.pop_front();
+      lk.unlock();
+      Response r;
+      try {
+        r = job.is_eq4 ? execute(job.eq4, options.pool)
+                       : execute(job.risk, options.request_budget_ms, options.pool);
+      } catch (const std::exception& e) {
+        r.status = ResponseStatus::kError;
+        r.message = std::string("job failed: ") + e.what();
+      }
+      lk.lock();
+      std::vector<Waiter> waiters = std::move(light_inflight[job.key]);
+      light_inflight.erase(job.key);
+      lk.unlock();
+      for (std::size_t i = 0; i < waiters.size(); ++i) {
+        r.request_id = waiters[i].request_id;
+        r.coalesced = i > 0;
+        send_response(waiters[i].conn, r);
+      }
+      lk.lock();
+    }
+  }
+
+  // ---- campaign runner -------------------------------------------------
+
+  void runner_loop() {
+    std::unique_lock<std::mutex> lk(mu);
+    while (true) {
+      runner_cv.wait(lk, [&] { return campaigns_closed || queue.outstanding() > 0; });
+      if (queue.outstanding() > 0) {
+        lk.unlock();
+        queue.drain([this](std::size_t slot, const robust::SubmissionOutcome& outcome) {
+          on_campaign_done(slot, outcome);
+        });
+        lk.lock();
+        continue;
+      }
+      if (campaigns_closed) return;
+    }
+  }
+
+  void on_campaign_done(std::size_t slot, const robust::SubmissionOutcome& outcome) {
+    std::vector<Waiter> waiters;
+    Response r;
+    {
+      std::unique_lock<std::mutex> lk(mu);
+      auto it = pending.find(slot);
+      if (it == pending.end()) return;
+      PendingCampaign pc = std::move(it->second);
+      pending.erase(it);
+      campaign_inflight.erase(pc.key);
+      waiters = std::move(pc.waiters);
+      r.message = outcome.message;
+      switch (outcome.status) {
+        case robust::SubmissionStatus::kCompleted:
+          r.status = ResponseStatus::kOk;
+          campaigns_completed.fetch_add(1, std::memory_order_relaxed);
+          break;
+        case robust::SubmissionStatus::kPartial:
+          r.status = ResponseStatus::kPartial;
+          break;
+        case robust::SubmissionStatus::kExpired:
+          r.status = ResponseStatus::kExpired;
+          break;
+        case robust::SubmissionStatus::kStopped:
+          r.status = ResponseStatus::kStopped;
+          campaigns_stopped.fetch_add(1, std::memory_order_relaxed);
+          break;
+        case robust::SubmissionStatus::kShed:
+        case robust::SubmissionStatus::kQueued:
+          r.status = ResponseStatus::kError;
+          r.message = "internal: unexpected drain outcome";
+          break;
+      }
+      if (outcome.result.total_chunks > 0) {
+        try {
+          const fabsim::PartialLot lot = pc.task->assemble(outcome.result);
+          r.result = cache::encode(lot.lot);
+          r.completeness = lot.completeness;
+          r.frontier_chunks = lot.frontier_chunks;
+        } catch (const std::exception& e) {
+          r.status = ResponseStatus::kError;
+          r.message = std::string("campaign assembly failed: ") + e.what();
+        }
+        // "Served without recompute" from the client's perspective:
+        // checkpoint-resumed chunks plus blob-tier hits.
+        r.artifact_hits = static_cast<std::uint64_t>(outcome.result.resumed_chunks +
+                                                     outcome.result.artifact_hits);
+      } else {
+        r.completeness = 0.0;
+      }
+      if (obs::metrics_enabled()) {
+        obs::gauge("serve.queue_depth").set(static_cast<double>(queue.outstanding()));
+      }
+    }
+    for (std::size_t i = 0; i < waiters.size(); ++i) {
+      r.request_id = waiters[i].request_id;
+      r.coalesced = i > 0;
+      send_response(waiters[i].conn, r);
+    }
+  }
+
+  // ---- lifecycle -------------------------------------------------------
+
+  void add_connection(int read_fd, int write_fd) {
+    auto conn = std::make_shared<Connection>();
+    conn->stream = std::make_unique<FdStream>(read_fd, write_fd);
+    // Check + register + spawn under one lock hold: shutdown() must
+    // never observe a registered connection without a joinable reader.
+    std::lock_guard<std::mutex> lk(mu);
+    if (shutting_down) {
+      throw std::logic_error("serve: the server is draining; no new connections");
+    }
+    conn->reader = std::thread([this, conn] { reader_loop(conn); });
+    connections.push_back(conn);
+  }
+
+  void listen_unix(const std::string& path) {
+    {
+      std::lock_guard<std::mutex> lk(mu);
+      if (shutting_down) {
+        throw std::logic_error("serve: the server is draining; cannot listen");
+      }
+      if (listen_fd >= 0) {
+        throw std::logic_error("serve: already listening");
+      }
+    }
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+      throw std::runtime_error(std::string("serve: socket() failed: ") +
+                               std::strerror(errno));
+    }
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof(addr.sun_path)) {
+      ::close(fd);
+      throw std::runtime_error("serve: socket path too long: " + path);
+    }
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    ::unlink(path.c_str());
+    if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0 ||
+        ::listen(fd, 64) != 0) {
+      const int err = errno;
+      ::close(fd);
+      throw std::runtime_error("serve: cannot listen on " + path + ": " +
+                               std::strerror(err));
+    }
+    {
+      std::lock_guard<std::mutex> lk(mu);
+      listen_fd = fd;
+      socket_path = path;
+    }
+    acceptor = std::thread([this] { accept_loop(); });
+  }
+
+  void accept_loop() {
+    std::uint64_t accept_index = 0;
+    while (!shutting_down_flag.load(std::memory_order_acquire)) {
+      pollfd pfd{};
+      pfd.fd = listen_fd;
+      pfd.events = POLLIN;
+      const int pr = ::poll(&pfd, 1, 100);
+      if (pr <= 0) continue;
+      const int client = ::accept(listen_fd, nullptr, nullptr);
+      if (client < 0) continue;
+      try {
+        robust::inject(kAcceptSite, accept_index++);
+      } catch (const robust::FaultInjected&) {
+        // The accept path failed deterministically: drop this client as
+        // a real accept failure would; the listener keeps going.
+        ::close(client);
+        continue;
+      }
+      try {
+        add_connection(client, client);
+      } catch (const std::exception&) {
+        ::close(client);
+      }
+    }
+  }
+
+  DrainReport shutdown() {
+    std::lock_guard<std::mutex> shutdown_lk(shutdown_mu);
+    if (report_ready) return report;
+
+    // 1. Stop accepting: no new connections, no new requests.
+    shutting_down_flag.store(true, std::memory_order_release);
+    {
+      std::lock_guard<std::mutex> lk(mu);
+      shutting_down = true;
+    }
+    if (acceptor.joinable()) acceptor.join();
+    if (listen_fd >= 0) {
+      ::close(listen_fd);
+      listen_fd = -1;
+      if (!socket_path.empty()) ::unlink(socket_path.c_str());
+    }
+
+    // 2. Wind down readers; requests already dispatched stay in flight.
+    std::vector<std::shared_ptr<Connection>> conns;
+    {
+      std::lock_guard<std::mutex> lk(mu);
+      conns = connections;
+    }
+    for (const auto& c : conns) c->stream->interrupt();
+    for (const auto& c : conns) {
+      if (c->reader.joinable()) c->reader.join();
+    }
+
+    // 3. Drain the light-job queue: workers finish everything queued,
+    // then exit.
+    {
+      std::lock_guard<std::mutex> lk(mu);
+      workers_stop = true;
+    }
+    light_cv.notify_all();
+    for (std::thread& w : workers) {
+      if (w.joinable()) w.join();
+    }
+
+    // 4. Campaigns: give in-flight work the drain budget, then stop the
+    // queue -- the running campaign checkpoints at its next chunk
+    // boundary and every admitted-but-unstarted one drains as kStopped,
+    // each with a final response.
+    std::thread watchdog;
+    {
+      std::lock_guard<std::mutex> wd_lk(wd_mu);
+      wd_done = false;
+    }
+    if (options.drain_budget_ms > 0.0 && queue.outstanding() > 0) {
+      watchdog = std::thread([this] {
+        std::unique_lock<std::mutex> wd_lk(wd_mu);
+        const auto budget =
+            std::chrono::duration<double, std::milli>(options.drain_budget_ms);
+        if (!wd_cv.wait_for(wd_lk, budget, [&] { return wd_done; })) {
+          queue.stop();
+        }
+      });
+    }
+    {
+      std::lock_guard<std::mutex> lk(mu);
+      campaigns_closed = true;
+    }
+    runner_cv.notify_all();
+    if (runner.joinable()) runner.join();
+    {
+      std::lock_guard<std::mutex> wd_lk(wd_mu);
+      wd_done = true;
+    }
+    wd_cv.notify_all();
+    if (watchdog.joinable()) watchdog.join();
+
+    // 5. Flush the artifact tier: enforce the byte cap now, while no
+    // campaign is consulting blobs.
+    if (store != nullptr) {
+      report.artifact_sweep = store->sweep();
+    }
+    report.requests_served = requests_served.load(std::memory_order_relaxed);
+    report.wire_errors = wire_errors.load(std::memory_order_relaxed);
+    report.coalesced = coalesced_count.load(std::memory_order_relaxed);
+    report.campaigns_completed = campaigns_completed.load(std::memory_order_relaxed);
+    report.campaigns_stopped = campaigns_stopped.load(std::memory_order_relaxed);
+    report.campaigns_shed = campaigns_shed.load(std::memory_order_relaxed);
+    report_ready = true;
+    return report;
+  }
+
+  // ---- state -----------------------------------------------------------
+
+  ServerOptions options;
+  std::unique_ptr<robust::ArtifactStore> store;
+  robust::CampaignQueue queue;
+
+  std::mutex mu;  ///< guards everything below (impl::mu before queue's)
+  std::vector<std::shared_ptr<Connection>> connections;
+  std::deque<LightJob> light_queue;
+  std::map<cache::Digest128, std::vector<Waiter>> light_inflight;
+  std::map<std::size_t, PendingCampaign> pending;
+  std::map<cache::Digest128, std::size_t> campaign_inflight;
+  bool shutting_down = false;
+  bool workers_stop = false;
+  bool campaigns_closed = false;
+
+  std::condition_variable light_cv;
+  std::condition_variable runner_cv;
+  std::vector<std::thread> workers;
+  std::thread runner;
+  std::thread acceptor;
+  int listen_fd = -1;
+  std::string socket_path;
+  std::atomic<bool> shutting_down_flag{false};
+
+  std::mutex shutdown_mu;  ///< serializes shutdown(); taken before mu
+  bool report_ready = false;
+  DrainReport report;
+  std::mutex wd_mu;
+  std::condition_variable wd_cv;
+  bool wd_done = false;
+
+  std::atomic<std::uint64_t> dispatch_index{0};
+  std::atomic<std::uint64_t> requests_served{0};
+  std::atomic<std::uint64_t> wire_errors{0};
+  std::atomic<std::uint64_t> coalesced_count{0};
+  std::atomic<std::uint64_t> campaigns_completed{0};
+  std::atomic<std::uint64_t> campaigns_stopped{0};
+  std::atomic<std::uint64_t> campaigns_shed{0};
+};
+
+Server::Server(ServerOptions options) : impl_(std::make_unique<Impl>(std::move(options))) {}
+
+Server::~Server() {
+  try {
+    impl_->shutdown();
+  } catch (...) {
+    // Destructors must not throw; a drain failure at teardown is
+    // swallowed (the report path, shutdown(), rethrows normally).
+  }
+}
+
+void Server::add_connection(int read_fd, int write_fd) {
+  impl_->add_connection(read_fd, write_fd);
+}
+
+void Server::listen_unix(const std::string& path) { impl_->listen_unix(path); }
+
+DrainReport Server::shutdown() { return impl_->shutdown(); }
+
+const ServerOptions& Server::options() const noexcept { return impl_->options; }
+
+}  // namespace nanocost::serve

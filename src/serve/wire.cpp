@@ -1,0 +1,271 @@
+#include "nanocost/serve/wire.hpp"
+
+#include <cerrno>
+#include <cstring>
+
+#include <poll.h>
+#include <unistd.h>
+
+#include "nanocost/robust/fault_injection.hpp"
+
+namespace nanocost::serve {
+
+namespace {
+
+constexpr robust::FaultSite kReadSite{"serve.read"};
+constexpr robust::FaultSite kWriteSite{"serve.write"};
+
+/// How often an interrupted FdStream read notices the flag.
+constexpr int kPollIntervalMs = 50;
+
+constexpr std::size_t kHeaderBytes = sizeof(kWireMagic) + 4 + 4 + 8;
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+
+std::uint64_t get_u64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+/// fnv1a over version || type || payload (the post-magic frame bytes the
+/// length field describes).  Covering the header words means a bit flip
+/// in the type tag fails the checksum even when the flipped value is
+/// itself a known type.
+std::uint64_t frame_checksum(std::uint32_t version, std::uint32_t type,
+                             const std::uint8_t* payload, std::size_t n) {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  const auto mix = [&h](std::uint8_t b) {
+    h ^= b;
+    h *= 0x100000001B3ULL;
+  };
+  for (int i = 0; i < 4; ++i) mix(static_cast<std::uint8_t>(version >> (8 * i)));
+  for (int i = 0; i < 4; ++i) mix(static_cast<std::uint8_t>(type >> (8 * i)));
+  for (std::size_t i = 0; i < n; ++i) mix(payload[i]);
+  return h;
+}
+
+/// Fills `out[0..n)` exactly; returns false only on EOF before the first
+/// byte.  EOF after at least one byte is truncation and throws with the
+/// caller's context string.
+bool read_exact(ByteStream& stream, std::uint8_t* out, std::size_t n,
+                const char* what) {
+  std::size_t got = 0;
+  while (got < n) {
+    const std::size_t r = stream.read_some(out + got, n - got);
+    if (r == 0) {
+      if (got == 0) return false;
+      throw WireError(std::string("NCWIRE01 frame truncated mid-") + what + " (got " +
+                      std::to_string(got) + " of " + std::to_string(n) + " bytes)");
+    }
+    got += r;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool is_known_frame_type(std::uint32_t type) noexcept {
+  switch (static_cast<FrameType>(type)) {
+    case FrameType::kEq4Request:
+    case FrameType::kRiskRequest:
+    case FrameType::kCampaignRequest:
+    case FrameType::kPing:
+    case FrameType::kResponse:
+    case FrameType::kPong:
+    case FrameType::kErrorFrame:
+      return true;
+  }
+  return false;
+}
+
+const char* frame_type_name(FrameType type) noexcept {
+  switch (type) {
+    case FrameType::kEq4Request:
+      return "eq4-request";
+    case FrameType::kRiskRequest:
+      return "risk-request";
+    case FrameType::kCampaignRequest:
+      return "campaign-request";
+    case FrameType::kPing:
+      return "ping";
+    case FrameType::kResponse:
+      return "response";
+    case FrameType::kPong:
+      return "pong";
+    case FrameType::kErrorFrame:
+      return "error";
+  }
+  return "unknown";
+}
+
+// ---- FdStream -----------------------------------------------------------
+
+FdStream::FdStream(int read_fd, int write_fd) : read_fd_(read_fd), write_fd_(write_fd) {}
+
+FdStream::~FdStream() { close_fds(); }
+
+void FdStream::close_fds() noexcept {
+  if (read_fd_ >= 0) ::close(read_fd_);
+  if (write_fd_ >= 0 && write_fd_ != read_fd_) ::close(write_fd_);
+  read_fd_ = -1;
+  write_fd_ = -1;
+}
+
+std::size_t FdStream::read_some(std::uint8_t* out, std::size_t n) {
+  try {
+    robust::inject(kReadSite, read_ops_++);
+  } catch (const robust::FaultInjected& e) {
+    // An injected read fault models a transport failure: surface it as
+    // one so connection-level containment (kill the connection, keep
+    // the server) handles it like the real thing.
+    throw WireError(std::string("NCWIRE01 transport read failed (") + e.what() + ")");
+  }
+  while (true) {
+    if (interrupted_.load(std::memory_order_acquire)) return 0;
+    if (read_fd_ < 0) throw WireError("NCWIRE01 transport read on a closed stream");
+    pollfd pfd{};
+    pfd.fd = read_fd_;
+    pfd.events = POLLIN;
+    const int pr = ::poll(&pfd, 1, kPollIntervalMs);
+    if (pr < 0) {
+      if (errno == EINTR) continue;
+      throw WireError(std::string("NCWIRE01 transport poll failed: ") +
+                      std::strerror(errno));
+    }
+    if (pr == 0) continue;  // timeout: re-check the interrupt flag
+    const ssize_t r = ::read(read_fd_, out, n);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      throw WireError(std::string("NCWIRE01 transport read failed: ") +
+                      std::strerror(errno));
+    }
+    return static_cast<std::size_t>(r);
+  }
+}
+
+void FdStream::write_all(const std::uint8_t* data, std::size_t n) {
+  try {
+    robust::inject(kWriteSite, write_ops_++);
+  } catch (const robust::FaultInjected& e) {
+    throw WireError(std::string("NCWIRE01 transport write failed (") + e.what() + ")");
+  }
+  if (write_fd_ < 0) throw WireError("NCWIRE01 transport write on a closed stream");
+  std::size_t sent = 0;
+  while (sent < n) {
+    const ssize_t w = ::write(write_fd_, data + sent, n - sent);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      throw WireError(std::string("NCWIRE01 transport write failed: ") +
+                      std::strerror(errno));
+    }
+    sent += static_cast<std::size_t>(w);
+  }
+}
+
+void FdStream::interrupt() noexcept { interrupted_.store(true, std::memory_order_release); }
+
+bool FdStream::interrupted() const noexcept {
+  return interrupted_.load(std::memory_order_acquire);
+}
+
+// ---- MemStream ----------------------------------------------------------
+
+std::size_t MemStream::read_some(std::uint8_t* out, std::size_t n) {
+  const std::size_t avail = input_.size() - pos_;
+  const std::size_t take = n < avail ? n : avail;
+  if (take != 0) std::memcpy(out, input_.data() + pos_, take);
+  pos_ += take;
+  return take;
+}
+
+void MemStream::write_all(const std::uint8_t* data, std::size_t n) {
+  output_.insert(output_.end(), data, data + n);
+}
+
+// ---- Framing ------------------------------------------------------------
+
+std::vector<std::uint8_t> encode_frame(FrameType type,
+                                       const std::vector<std::uint8_t>& payload) {
+  std::vector<std::uint8_t> out;
+  out.reserve(kHeaderBytes + payload.size() + 8);
+  for (const char c : kWireMagic) out.push_back(static_cast<std::uint8_t>(c));
+  put_u32(out, kWireVersion);
+  put_u32(out, static_cast<std::uint32_t>(type));
+  put_u64(out, payload.size());
+  out.insert(out.end(), payload.begin(), payload.end());
+  put_u64(out, frame_checksum(kWireVersion, static_cast<std::uint32_t>(type),
+                              payload.data(), payload.size()));
+  return out;
+}
+
+void write_frame(ByteStream& stream, FrameType type,
+                 const std::vector<std::uint8_t>& payload) {
+  const std::vector<std::uint8_t> bytes = encode_frame(type, payload);
+  stream.write_all(bytes.data(), bytes.size());
+}
+
+std::optional<Frame> read_frame(ByteStream& stream) {
+  std::uint8_t header[kHeaderBytes];
+  if (!read_exact(stream, header, sizeof(header), "header")) {
+    return std::nullopt;  // clean EOF at a frame boundary
+  }
+  if (std::memcmp(header, kWireMagic, sizeof(kWireMagic)) != 0) {
+    throw WireError("NCWIRE01 frame has a bad magic header");
+  }
+  const std::uint32_t version = get_u32(header + sizeof(kWireMagic));
+  const std::uint32_t type_raw = get_u32(header + sizeof(kWireMagic) + 4);
+  const std::uint64_t declared = get_u64(header + sizeof(kWireMagic) + 8);
+  if (version != kWireVersion) {
+    throw WireError("NCWIRE01 frame declares unsupported version " +
+                    std::to_string(version) + " (this peer speaks " +
+                    std::to_string(kWireVersion) + ")");
+  }
+  if (!is_known_frame_type(type_raw)) {
+    throw WireError("NCWIRE01 frame has unknown type tag " + std::to_string(type_raw));
+  }
+  const auto type = static_cast<FrameType>(type_raw);
+  if (declared > kMaxPayloadBytes) {
+    // Reject before allocating: a flipped length bit must not drive a
+    // multi-gigabyte reserve.
+    throw WireError(std::string("NCWIRE01 ") + frame_type_name(type) +
+                    " frame declares oversized payload (" + std::to_string(declared) +
+                    " bytes > cap " + std::to_string(kMaxPayloadBytes) + ")");
+  }
+  Frame frame;
+  frame.type = type;
+  frame.payload.resize(static_cast<std::size_t>(declared));
+  if (declared > 0 &&
+      !read_exact(stream, frame.payload.data(), frame.payload.size(), "payload")) {
+    throw WireError(std::string("NCWIRE01 ") + frame_type_name(type) +
+                    " frame truncated: EOF before its " + std::to_string(declared) +
+                    "-byte payload");
+  }
+  std::uint8_t checksum_bytes[8];
+  if (!read_exact(stream, checksum_bytes, sizeof(checksum_bytes), "checksum")) {
+    throw WireError(std::string("NCWIRE01 ") + frame_type_name(type) +
+                    " frame truncated: EOF before its checksum");
+  }
+  const std::uint64_t stored = get_u64(checksum_bytes);
+  const std::uint64_t computed = frame_checksum(version, type_raw, frame.payload.data(),
+                                                frame.payload.size());
+  if (stored != computed) {
+    throw WireError(std::string("NCWIRE01 ") + frame_type_name(type) +
+                    " frame failed its fnv1a checksum (bit flip?)");
+  }
+  return frame;
+}
+
+}  // namespace nanocost::serve

@@ -19,15 +19,18 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <iterator>
 #include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "corruption_matrix.hpp"
 #include "nanocost/cache/cached.hpp"
 #include "nanocost/cache/codec.hpp"
 #include "nanocost/cache/hash.hpp"
@@ -535,41 +538,51 @@ void expect_corrupt_naming_file(robust::ArtifactStore& store, const cache::Diges
   }
 }
 
-TEST(ArtifactStore, TruncatedBlobIsRejectedWithTheFileNamed) {
-  const TempDir tmp("truncated");
+TEST(ArtifactStore, CorruptionMatrixRejectsEveryCell) {
+  // Stores are atomic (temp + rename), so any structural damage below
+  // was never a valid blob.  The shared matrix -- truncation at every
+  // boundary, a single bit flip anywhere (magic, stored digest,
+  // declared size, payload, checksum), trailing garbage, an oversized
+  // declared length -- must come back CheckpointCorrupt naming the
+  // offending file, never a giant allocation or a served blob.
+  const TempDir tmp("matrix");
   robust::ArtifactStore store(tmp.path());
-  const cache::Digest128 key = cache::hash128("truncate-me");
-  store.store(key, blob_of(64, 0x5A));
+  const cache::Digest128 key = cache::hash128("matrix-me");
+  store.store(key, blob_of(48, 0x5A));
   const std::string path = store.path_for(key);
-  std::filesystem::resize_file(path, std::filesystem::file_size(path) - 7);
-  expect_corrupt_naming_file(store, key, path);
-}
 
-TEST(ArtifactStore, FlippedPayloadByteFailsTheChecksum) {
-  const TempDir tmp("bitflip");
-  robust::ArtifactStore store(tmp.path());
-  const cache::Digest128 key = cache::hash128("flip-me");
-  store.store(key, blob_of(64, 0x5A));
-  const std::string path = store.path_for(key);
-  std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
-  ASSERT_TRUE(f.is_open());
-  f.seekp(40);  // inside the payload (header is 32 bytes)
-  const char flipped = static_cast<char>(0x5A ^ 0x01);
-  f.write(&flipped, 1);
-  f.close();
-  expect_corrupt_naming_file(store, key, path);
-}
+  std::vector<std::uint8_t> good;
+  {
+    std::ifstream f(path, std::ios::binary);
+    ASSERT_TRUE(f.is_open());
+    good.assign(std::istreambuf_iterator<char>(f), std::istreambuf_iterator<char>());
+  }
 
-TEST(ArtifactStore, TrailingGarbageIsRejected) {
-  const TempDir tmp("trailing");
-  robust::ArtifactStore store(tmp.path());
-  const cache::Digest128 key = cache::hash128("pad-me");
-  store.store(key, blob_of(16, 0x11));
-  const std::string path = store.path_for(key);
-  std::ofstream f(path, std::ios::app | std::ios::binary);
-  f.write("junk", 4);
-  f.close();
-  expect_corrupt_naming_file(store, key, path);
+  nanocost::testing::CorruptionMatrixOptions opts;
+  // NCBLOB01 header: magic (8) + digest hi/lo (16), then the declared
+  // payload size -- validated against the real file size up front.
+  opts.u64_length_offsets = {24};
+  nanocost::testing::run_corruption_matrix(
+      good,
+      [&](const std::vector<std::uint8_t>& bytes) {
+        {
+          std::ofstream f(path, std::ios::binary | std::ios::trunc);
+          f.write(reinterpret_cast<const char*>(bytes.data()),
+                  static_cast<std::streamsize>(bytes.size()));
+        }
+        std::vector<std::uint8_t> out;
+        nanocost::testing::CorruptionVerdict v;
+        try {
+          (void)store.load(key, out);
+        } catch (const robust::CheckpointCorrupt& e) {
+          v.rejected = true;
+          v.diagnostic = e.what();
+          EXPECT_NE(v.diagnostic.find(path), std::string::npos)
+              << "diagnostic must name the offending file: " << v.diagnostic;
+        }
+        return v;
+      },
+      opts);
 }
 
 TEST(ArtifactStore, RenamedBlobFailsTheDigestCheck) {
@@ -581,6 +594,64 @@ TEST(ArtifactStore, RenamedBlobFailsTheDigestCheck) {
   store.store(key_a, blob_of(16, 0xAA));
   std::filesystem::rename(store.path_for(key_a), store.path_for(key_b));
   expect_corrupt_naming_file(store, key_b, store.path_for(key_b));
+}
+
+TEST(ArtifactStore, SweepEvictsHighestDigestsDownToTheByteCap) {
+  // Five equal-size blobs (40 bytes of framing + 64 of payload = 104
+  // each, 520 total) under a 320-byte cap: the sweep must drop exactly
+  // the two lexicographically-highest digests -- a pure function of the
+  // directory contents -- leaving 312 bytes.
+  const TempDir tmp("sweep");
+  robust::ArtifactStore store(tmp.path(), 320);
+  std::vector<cache::Digest128> keys;
+  for (int i = 0; i < 5; ++i) {
+    const cache::Digest128 key = cache::hash128("sweep-" + std::to_string(i));
+    store.store(key, blob_of(64, static_cast<std::uint8_t>(i)));
+    keys.push_back(key);
+  }
+  ASSERT_EQ(store.total_bytes(), 520u);
+  std::sort(keys.begin(), keys.end(),
+            [](const cache::Digest128& a, const cache::Digest128& b) {
+              return a.hex() < b.hex();
+            });
+
+  const robust::SweepReport report = store.sweep();
+  EXPECT_EQ(report.scanned_blobs, 5u);
+  EXPECT_EQ(report.scanned_bytes, 520u);
+  EXPECT_EQ(report.evicted_blobs, 2u);
+  EXPECT_EQ(report.evicted_bytes, 208u);
+  EXPECT_EQ(store.total_bytes(), 312u);
+
+  // Survivors load; the evicted two read as clean misses (recompute,
+  // never an error).
+  std::vector<std::uint8_t> payload;
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(store.load(keys[static_cast<std::size_t>(i)], payload))
+        << keys[static_cast<std::size_t>(i)].hex();
+  }
+  for (int i = 3; i < 5; ++i) {
+    EXPECT_FALSE(store.load(keys[static_cast<std::size_t>(i)], payload))
+        << keys[static_cast<std::size_t>(i)].hex();
+  }
+
+  // A second sweep finds the cap already satisfied.
+  const robust::SweepReport again = store.sweep();
+  EXPECT_EQ(again.scanned_blobs, 3u);
+  EXPECT_EQ(again.evicted_blobs, 0u);
+}
+
+TEST(ArtifactStore, UncappedSweepOnlyScans) {
+  const TempDir tmp("uncapped");
+  robust::ArtifactStore store(tmp.path());
+  EXPECT_EQ(store.byte_cap(), 0u);
+  store.store(cache::hash128("keep-me"), blob_of(512, 0x7E));
+  const robust::SweepReport report = store.sweep();
+  EXPECT_EQ(report.scanned_blobs, 1u);
+  EXPECT_EQ(report.scanned_bytes, store.total_bytes());
+  EXPECT_EQ(report.evicted_blobs, 0u);
+  std::vector<std::uint8_t> payload;
+  EXPECT_TRUE(store.load(cache::hash128("keep-me"), payload));
+  EXPECT_EQ(payload, blob_of(512, 0x7E));
 }
 
 // ---------------------------------------------------------------------------

@@ -2,11 +2,13 @@
 #include <unistd.h>
 
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "corruption_matrix.hpp"
 #include "nanocost/robust/checkpoint.hpp"
 #include "nanocost/robust/fault_injection.hpp"
 #include "nanocost/robust/finite_guard.hpp"
@@ -196,6 +198,24 @@ class CheckpointFile : public ::testing::Test {
     return c;
   }
 
+  static std::vector<std::uint8_t> read_file(const std::string& path) {
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    EXPECT_NE(f, nullptr);
+    std::fseek(f, 0, SEEK_END);
+    std::vector<std::uint8_t> bytes(static_cast<std::size_t>(std::ftell(f)));
+    std::fseek(f, 0, SEEK_SET);
+    EXPECT_EQ(std::fread(bytes.data(), 1, bytes.size(), f), bytes.size());
+    std::fclose(f);
+    return bytes;
+  }
+
+  static void write_file(const std::string& path, const std::vector<std::uint8_t>& bytes) {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fwrite(bytes.data(), 1, bytes.size(), f), bytes.size());
+    std::fclose(f);
+  }
+
   std::string path_;
 };
 
@@ -230,103 +250,46 @@ TEST_F(CheckpointFile, FingerprintMismatchThrows) {
   EXPECT_THROW((void)load_checkpoint(path_, expected, out), CheckpointMismatch);
 }
 
-TEST_F(CheckpointFile, TruncationIsDiagnosedAsCorruption) {
-  // Saves are atomic (temp + rename), so a short file was never a valid
-  // checkpoint; strict loading must refuse it with a diagnostic instead
-  // of silently resuming from torn bytes.
+TEST_F(CheckpointFile, CorruptionMatrixRejectsEveryCell) {
+  // Saves are atomic (temp + rename), so any structural damage below
+  // was never a valid checkpoint.  The shared matrix -- truncation at
+  // every boundary, a single bit flip anywhere, trailing garbage, an
+  // oversized declared length -- must be rejected with a diagnostic.
+  // Damage to the magic or identity header reads as CheckpointMismatch,
+  // body damage as CheckpointCorrupt; both count as rejection, and the
+  // output checkpoint must stay untouched on every error path.
   const Checkpoint saved = sample();
   save_checkpoint(path_, saved);
-  std::FILE* f = std::fopen(path_.c_str(), "rb");
-  ASSERT_NE(f, nullptr);
-  std::fseek(f, 0, SEEK_END);
-  const long size = std::ftell(f);
-  std::fclose(f);
-  for (long cut = 1; cut < size - 8; cut += 3) {
-    save_checkpoint(path_, saved);
-    ASSERT_EQ(0, truncate(path_.c_str(), size - cut));
-    Checkpoint out;
-    out.fingerprint = 0x12345678;  // sentinel: must stay untouched
-    try {
-      (void)load_checkpoint(path_, saved, out);
-      FAIL() << "expected CheckpointCorrupt at cut " << cut;
-    } catch (const CheckpointCorrupt& e) {
-      EXPECT_NE(std::string(e.what()).find(path_), std::string::npos) << "cut " << cut;
-    } catch (const CheckpointMismatch&) {
-      // Cuts deep enough to tear the fixed header read as a mismatch
-      // only if they hit the magic itself; the magic is at the front,
-      // so truncation never reaches it.
-      FAIL() << "truncation misdiagnosed as a mismatch at cut " << cut;
-    }
-    EXPECT_EQ(out.fingerprint, 0x12345678u) << "out mutated on error path";
-  }
-}
+  const std::vector<std::uint8_t> good = read_file(path_);
 
-TEST_F(CheckpointFile, BitFlipFailsTheChunkChecksum) {
-  const Checkpoint saved = sample();
-  save_checkpoint(path_, saved);
-  std::FILE* f = std::fopen(path_.c_str(), "rb");
-  ASSERT_NE(f, nullptr);
-  std::fseek(f, 0, SEEK_END);
-  const long size = std::ftell(f);
-  std::fseek(f, 0, SEEK_SET);
-  std::vector<unsigned char> bytes(static_cast<std::size_t>(size));
-  ASSERT_EQ(std::fread(bytes.data(), 1, bytes.size(), f), bytes.size());
-  std::fclose(f);
-
-  // Flip one bit in every byte after the header (records region):
-  // whatever it lands on -- chunk index, length, blob byte, checksum --
-  // the loader must throw a diagnostic, never accept or misparse.
-  const std::size_t header = 8 + 4 * 8;
-  std::size_t corrupt_count = 0;
-  for (std::size_t at = header; at < bytes.size(); at += 5) {
-    std::vector<unsigned char> flipped = bytes;
-    flipped[at] ^= 0x10;
-    std::FILE* w = std::fopen(path_.c_str(), "wb");
-    ASSERT_NE(w, nullptr);
-    ASSERT_EQ(std::fwrite(flipped.data(), 1, flipped.size(), w), flipped.size());
-    std::fclose(w);
-    Checkpoint out;
-    try {
-      (void)load_checkpoint(path_, saved, out);
-      FAIL() << "bit flip at byte " << at << " was accepted";
-    } catch (const CheckpointCorrupt& e) {
-      ++corrupt_count;
-      EXPECT_NE(std::string(e.what()).find("corrupt"), std::string::npos);
-    }
-  }
-  EXPECT_GT(corrupt_count, 0u);
-}
-
-TEST_F(CheckpointFile, OversizedBlobLengthIsRejectedBeforeAllocation) {
-  // A bit flip in a length field must not drive a giant allocation: the
-  // declared size is validated against the real file size first.
-  const Checkpoint saved = sample();
-  save_checkpoint(path_, saved);
-  std::FILE* f = std::fopen(path_.c_str(), "r+b");
-  ASSERT_NE(f, nullptr);
-  // First record starts right after the header: i64 chunk, i64 size.
-  std::fseek(f, 8 + 4 * 8 + 8, SEEK_SET);
-  const unsigned char huge[8] = {0, 0, 0, 0, 0, 0, 0, 0x40};  // 2^62 bytes
-  ASSERT_EQ(std::fwrite(huge, 1, 8, f), 8u);
-  std::fclose(f);
-  Checkpoint out;
-  try {
-    (void)load_checkpoint(path_, saved, out);
-    FAIL() << "expected CheckpointCorrupt";
-  } catch (const CheckpointCorrupt& e) {
-    EXPECT_NE(std::string(e.what()).find("exceeds the bytes remaining"), std::string::npos);
-  }
-}
-
-TEST_F(CheckpointFile, TrailingGarbageIsRejected) {
-  const Checkpoint saved = sample();
-  save_checkpoint(path_, saved);
-  std::FILE* f = std::fopen(path_.c_str(), "ab");
-  ASSERT_NE(f, nullptr);
-  std::fputs("junk", f);
-  std::fclose(f);
-  Checkpoint out;
-  EXPECT_THROW((void)load_checkpoint(path_, saved, out), CheckpointCorrupt);
+  nanocost::testing::CorruptionMatrixOptions opts;
+  // The first record's i64 blob-size field follows the header (magic +
+  // four u64 words) and the record's chunk index.
+  opts.u64_length_offsets = {8 + 4 * 8 + 8};
+  nanocost::testing::run_corruption_matrix(
+      good,
+      [&](const std::vector<std::uint8_t>& bytes) {
+        write_file(path_, bytes);
+        Checkpoint out;
+        out.fingerprint = 0x12345678;  // sentinel: must survive error paths
+        nanocost::testing::CorruptionVerdict v;
+        try {
+          (void)load_checkpoint(path_, saved, out);
+        } catch (const CheckpointCorrupt& e) {
+          v.rejected = true;
+          v.diagnostic = e.what();
+          EXPECT_NE(v.diagnostic.find(path_), std::string::npos)
+              << "diagnostic must name the offending file";
+        } catch (const CheckpointMismatch& e) {
+          v.rejected = true;
+          v.diagnostic = e.what();
+        }
+        if (v.rejected) {
+          EXPECT_EQ(out.fingerprint, 0x12345678u) << "out mutated on an error path";
+        }
+        return v;
+      },
+      opts);
 }
 
 TEST_F(CheckpointFile, GarbageMagicThrows) {

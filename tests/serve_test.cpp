@@ -1,0 +1,846 @@
+// Tests for nanocost::serve (the crash-tolerant job server, PR 8).
+//
+// The acceptance contract, spelled out:
+//  (a) served response bytes are memcmp-identical to the direct library
+//      call for eq4/risk/campaign jobs at 1, 2, and hardware worker
+//      threads -- including after a retry under injected faults;
+//  (b) every NCWIRE01 corruption-matrix cell (tests/corruption_matrix.hpp)
+//      is rejected with a diagnostic naming the frame, and it is the
+//      *connection* that dies, never the server;
+//  (c) kill the server mid-campaign, restart against the same artifact
+//      tier, resubmit: zero completed chunks recompute and the bytes
+//      match an undisturbed run bitwise;
+//  (d) overload past capacity sheds (kRejectNewest) or degrades
+//      (kDegradeBudgets) deterministically, with a per-request outcome
+//      for every submission.
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "corruption_matrix.hpp"
+#include "nanocost/cache/codec.hpp"
+#include "nanocost/core/optimizer.hpp"
+#include "nanocost/core/risk.hpp"
+#include "nanocost/robust/fault_injection.hpp"
+#include "nanocost/serve/client.hpp"
+#include "nanocost/serve/jobs.hpp"
+#include "nanocost/serve/server.hpp"
+#include "nanocost/serve/wire.hpp"
+
+namespace nanocost::serve {
+namespace {
+
+// Installing fault plans mutates process state; every test restores the
+// disabled default on exit.
+struct PlanGuard {
+  ~PlanGuard() { robust::clear_fault_plan(); }
+};
+
+class TempDir final {
+ public:
+  explicit TempDir(const char* tag) {
+    dir_ = std::filesystem::temp_directory_path() /
+           (std::string("nanocost_serve_test_") + tag + "_" +
+            std::to_string(static_cast<unsigned long long>(::getpid())));
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+  }
+  ~TempDir() { std::filesystem::remove_all(dir_); }
+  [[nodiscard]] std::string path() const { return dir_.string(); }
+
+ private:
+  std::filesystem::path dir_;
+};
+
+/// Connects one Client to `server` over a socketpair.
+Client make_client(Server& server) {
+  int sv[2] = {-1, -1};
+  EXPECT_EQ(0, ::socketpair(AF_UNIX, SOCK_STREAM, 0, sv));
+  server.add_connection(sv[0], sv[0]);
+  return Client(sv[1], sv[1]);
+}
+
+/// A raw peer: our end of a socketpair whose other end the server owns.
+/// Used where the test must speak bytes the Client cannot produce.
+class RawPeer final {
+ public:
+  explicit RawPeer(Server& server) {
+    int sv[2] = {-1, -1};
+    EXPECT_EQ(0, ::socketpair(AF_UNIX, SOCK_STREAM, 0, sv));
+    server.add_connection(sv[0], sv[0]);
+    fd_ = sv[1];
+  }
+  ~RawPeer() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  void send(const std::vector<std::uint8_t>& bytes) const {
+    std::size_t sent = 0;
+    while (sent < bytes.size()) {
+      const ssize_t w = ::write(fd_, bytes.data() + sent, bytes.size() - sent);
+      ASSERT_GT(w, 0);
+      sent += static_cast<std::size_t>(w);
+    }
+  }
+
+  /// No more requests from us; the server reader sees clean EOF once it
+  /// has consumed everything sent.
+  void half_close() const { ::shutdown(fd_, SHUT_WR); }
+
+  /// Reads until EOF or `timeout_ms` of silence (the server keeps a
+  /// cleanly half-closed connection open for in-flight responses, so a
+  /// surviving connection never produces EOF on its own).
+  [[nodiscard]] std::vector<std::uint8_t> slurp(int timeout_ms = 2000) const {
+    timeval tv{};
+    tv.tv_sec = timeout_ms / 1000;
+    tv.tv_usec = (timeout_ms % 1000) * 1000;
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    std::vector<std::uint8_t> bytes;
+    std::uint8_t buf[4096];
+    while (true) {
+      const ssize_t r = ::read(fd_, buf, sizeof(buf));
+      if (r <= 0) break;  // EOF, timeout, or error: stop
+      bytes.insert(bytes.end(), buf, buf + r);
+    }
+    return bytes;
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+struct ErrorFrame {
+  std::uint64_t request_id = 0;
+  std::string message;
+};
+
+ErrorFrame decode_error_frame(const std::vector<std::uint8_t>& payload) {
+  cache::ByteReader r(payload);
+  ErrorFrame e;
+  e.request_id = r.u64();
+  e.message = r.str();
+  r.expect_end();
+  return e;
+}
+
+// Small jobs used throughout (fast, but large enough to be real work).
+Eq4Job small_eq4() {
+  Eq4Job job;
+  job.steps = 16;
+  return job;
+}
+
+RiskJob small_risk(std::int32_t samples = 256) {
+  RiskJob job;
+  job.samples = samples;
+  return job;
+}
+
+CampaignJob small_campaign(std::uint64_t seed, std::int64_t wafers = 8) {
+  CampaignJob job;
+  job.n_wafers = wafers;
+  job.seed = seed;
+  return job;
+}
+
+// The direct library calls the served bytes must match bitwise.
+std::vector<std::uint8_t> direct_eq4_bytes(const Eq4Job& job) {
+  return cache::encode(core::sweep_eq4(job.inputs, job.lo, job.hi, job.steps));
+}
+
+std::vector<std::uint8_t> direct_risk_bytes(const RiskJob& job) {
+  return cache::encode(
+      core::monte_carlo_cost(job.inputs, job.s_d, job.samples, job.seed, job.die_budget));
+}
+
+std::vector<std::uint8_t> direct_campaign_bytes(const CampaignJob& job) {
+  return cache::encode(make_simulator(job).run(job.n_wafers, job.seed));
+}
+
+// ---------------------------------------------------------------------------
+// NCWIRE01 framing.
+
+TEST(WireFrame, RoundTripsEveryType) {
+  const std::vector<std::uint8_t> payload = encode_payload(small_risk());
+  for (const FrameType type :
+       {FrameType::kEq4Request, FrameType::kRiskRequest, FrameType::kCampaignRequest,
+        FrameType::kPing, FrameType::kResponse, FrameType::kPong, FrameType::kErrorFrame}) {
+    MemStream stream(encode_frame(type, payload));
+    const std::optional<Frame> frame = read_frame(stream);
+    ASSERT_TRUE(frame.has_value()) << frame_type_name(type);
+    EXPECT_EQ(frame->type, type);
+    EXPECT_EQ(frame->payload, payload);
+  }
+  // Empty payloads are legal frames too.
+  MemStream empty(encode_frame(FrameType::kPong, {}));
+  const std::optional<Frame> pong = read_frame(empty);
+  ASSERT_TRUE(pong.has_value());
+  EXPECT_TRUE(pong->payload.empty());
+}
+
+TEST(WireFrame, CleanEofOnlyAtAFrameBoundary) {
+  MemStream empty(std::vector<std::uint8_t>{});
+  EXPECT_FALSE(read_frame(empty).has_value());
+
+  // One whole frame, then EOF: frame, then clean end.
+  MemStream one(encode_frame(FrameType::kPing, {1, 2, 3}));
+  EXPECT_TRUE(read_frame(one).has_value());
+  EXPECT_FALSE(read_frame(one).has_value());
+}
+
+TEST(WireFrame, CorruptionMatrixRejectsEveryCell) {
+  // Full-stride coverage: literally every truncation boundary and every
+  // byte position flipped (the frame is small enough to afford it).
+  const std::vector<std::uint8_t> good =
+      encode_frame(FrameType::kRiskRequest, encode_payload(small_risk()));
+  nanocost::testing::CorruptionMatrixOptions opts;
+  opts.truncate_stride = 1;
+  opts.flip_stride = 1;
+  opts.u64_length_offsets = {16};  // magic (8) + version (4) + type (4)
+  nanocost::testing::run_corruption_matrix(
+      good,
+      [](const std::vector<std::uint8_t>& bytes) {
+        nanocost::testing::CorruptionVerdict v;
+        MemStream stream(bytes);
+        try {
+          // Parse to exhaustion so trailing garbage after a valid frame
+          // is still observed.
+          while (read_frame(stream).has_value()) {
+          }
+        } catch (const WireError& e) {
+          v.rejected = true;
+          v.diagnostic = e.what();
+          EXPECT_NE(v.diagnostic.find("NCWIRE01"), std::string::npos)
+              << "diagnostic must name the protocol: " << v.diagnostic;
+        }
+        return v;
+      },
+      opts);
+}
+
+TEST(WireFrame, DiagnosticsNameTheFrameAndOffense) {
+  const std::vector<std::uint8_t> payload = encode_payload(small_eq4());
+  const std::vector<std::uint8_t> good = encode_frame(FrameType::kEq4Request, payload);
+
+  const auto diagnostic_of = [](std::vector<std::uint8_t> bytes) {
+    MemStream stream(std::move(bytes));
+    try {
+      while (read_frame(stream).has_value()) {
+      }
+    } catch (const WireError& e) {
+      return std::string(e.what());
+    }
+    return std::string();
+  };
+
+  std::vector<std::uint8_t> bad_magic = good;
+  bad_magic[0] = 'X';
+  EXPECT_NE(diagnostic_of(bad_magic).find("bad magic"), std::string::npos);
+
+  std::vector<std::uint8_t> bad_version = good;
+  bad_version[8] = 9;
+  EXPECT_NE(diagnostic_of(bad_version).find("unsupported version 9"), std::string::npos);
+
+  // An unknown type tag is rejected by name before the checksum runs.
+  const std::vector<std::uint8_t> unknown =
+      encode_frame(static_cast<FrameType>(99), payload);
+  EXPECT_NE(diagnostic_of(unknown).find("unknown type tag 99"), std::string::npos);
+
+  std::vector<std::uint8_t> oversized = good;
+  for (int i = 0; i < 8; ++i) oversized[16 + i] = 0;
+  oversized[23] = 0x40;  // 2^62 bytes
+  const std::string over_diag = diagnostic_of(oversized);
+  EXPECT_NE(over_diag.find("eq4-request"), std::string::npos) << over_diag;
+  EXPECT_NE(over_diag.find("oversized payload"), std::string::npos) << over_diag;
+
+  std::vector<std::uint8_t> cut(good.begin(), good.begin() + 30);
+  const std::string cut_diag = diagnostic_of(cut);
+  EXPECT_NE(cut_diag.find("truncated"), std::string::npos) << cut_diag;
+
+  std::vector<std::uint8_t> flipped = good;
+  flipped[40] ^= 0x01;  // payload byte: only the checksum can notice
+  const std::string flip_diag = diagnostic_of(flipped);
+  EXPECT_NE(flip_diag.find("eq4-request"), std::string::npos) << flip_diag;
+  EXPECT_NE(flip_diag.find("checksum"), std::string::npos) << flip_diag;
+}
+
+// ---------------------------------------------------------------------------
+// Job payload codecs.
+
+TEST(JobCodecs, RoundTripBitwise) {
+  Eq4Job eq4 = small_eq4();
+  eq4.request_id = 42;
+  const Eq4Job eq4_back = decode_eq4_job(encode_payload(eq4));
+  EXPECT_EQ(eq4_back.request_id, 42u);
+  EXPECT_EQ(eq4_back.steps, eq4.steps);
+  EXPECT_EQ(job_key(eq4_back), job_key(eq4));
+
+  RiskJob risk = small_risk();
+  risk.request_id = 7;
+  risk.seed = 99;
+  const RiskJob risk_back = decode_risk_job(encode_payload(risk));
+  EXPECT_EQ(risk_back.seed, 99u);
+  EXPECT_EQ(job_key(risk_back), job_key(risk));
+
+  CampaignJob campaign = small_campaign(5);
+  campaign.request_id = 9;
+  campaign.max_chunks = 3;
+  const CampaignJob campaign_back = decode_campaign_job(encode_payload(campaign));
+  EXPECT_EQ(campaign_back.seed, 5u);
+  EXPECT_EQ(campaign_back.max_chunks, 3);
+  EXPECT_EQ(job_key(campaign_back), job_key(campaign));
+
+  Response r;
+  r.request_id = 11;
+  r.status = ResponseStatus::kPartial;
+  r.message = "partial";
+  r.result = {1, 2, 3};
+  r.completeness = 0.5;
+  r.frontier_chunks = 4;
+  r.artifact_hits = 2;
+  r.coalesced = true;
+  const Response r_back = decode_response(encode_payload(r));
+  EXPECT_EQ(r_back.request_id, 11u);
+  EXPECT_EQ(r_back.status, ResponseStatus::kPartial);
+  EXPECT_EQ(r_back.message, "partial");
+  EXPECT_EQ(r_back.result, r.result);
+  EXPECT_EQ(r_back.frontier_chunks, 4);
+  EXPECT_TRUE(r_back.coalesced);
+}
+
+TEST(JobCodecs, DecodingIsStrict) {
+  const std::vector<std::uint8_t> good = encode_payload(small_risk());
+
+  std::vector<std::uint8_t> padded = good;
+  padded.push_back(0);
+  EXPECT_THROW((void)decode_risk_job(padded), std::exception);
+
+  const std::vector<std::uint8_t> cut(good.begin(), good.end() - 4);
+  EXPECT_THROW((void)decode_risk_job(cut), std::exception);
+
+  // A semantically impossible field (yield = 1.5, offset 16: request id
+  // + lambda) passes no strong-type re-validation.
+  std::vector<std::uint8_t> invalid = encode_payload(small_eq4());
+  const double bad_yield = 1.5;
+  std::memcpy(invalid.data() + 16, &bad_yield, sizeof(bad_yield));
+  EXPECT_THROW((void)decode_eq4_job(invalid), std::exception);
+
+  std::vector<std::uint8_t> bad_status = encode_payload(Response{});
+  bad_status[8] = 200;  // status byte past kError
+  EXPECT_THROW((void)decode_response(bad_status), std::exception);
+
+  EXPECT_EQ(peek_request_id(encode_payload(Eq4Job{.request_id = 77})), 77u);
+  EXPECT_EQ(peek_request_id({1, 2, 3}), 0u);
+}
+
+TEST(JobKeys, CoalesceOnContentNotRequestId) {
+  Eq4Job a = small_eq4();
+  Eq4Job b = small_eq4();
+  a.request_id = 1;
+  b.request_id = 2;
+  EXPECT_EQ(job_key(a), job_key(b));
+  b.steps += 1;
+  EXPECT_NE(job_key(a), job_key(b));
+
+  CampaignJob c1 = small_campaign(5);
+  CampaignJob c2 = small_campaign(5);
+  EXPECT_EQ(job_key(c1), job_key(c2));
+  // A different chunk budget is a different served computation even
+  // though the underlying run identity matches.
+  c2.max_chunks = 1;
+  EXPECT_NE(job_key(c1), job_key(c2));
+  CampaignJob c3 = small_campaign(6);
+  EXPECT_NE(job_key(c1), job_key(c3));
+}
+
+// ---------------------------------------------------------------------------
+// (a) Served bytes == direct library call, at 1/2/hw worker threads.
+
+TEST(ServedVsDirect, BitwiseIdenticalAcrossWorkerCounts) {
+  const Eq4Job eq4 = small_eq4();
+  const RiskJob risk = small_risk(1024);
+  const CampaignJob campaign = small_campaign(5);
+  const std::vector<std::uint8_t> eq4_ref = direct_eq4_bytes(eq4);
+  const std::vector<std::uint8_t> risk_ref = direct_risk_bytes(risk);
+  const std::vector<std::uint8_t> campaign_ref = direct_campaign_bytes(campaign);
+
+  const int hw = static_cast<int>(std::thread::hardware_concurrency());
+  for (const int workers : {1, 2, hw > 0 ? hw : 4}) {
+    ServerOptions options;
+    options.worker_threads = workers;
+    Server server(options);
+    Client client = make_client(server);
+
+    const std::uint64_t eq4_id = client.submit(eq4);
+    const std::uint64_t risk_id = client.submit(risk);
+    const std::uint64_t campaign_id = client.submit(campaign);
+
+    // Waiting out of submission order exercises response parking.
+    const Response rc = client.wait(campaign_id);
+    const Response rr = client.wait(risk_id);
+    const Response re = client.wait(eq4_id);
+
+    EXPECT_EQ(re.status, ResponseStatus::kOk) << re.message;
+    EXPECT_EQ(rr.status, ResponseStatus::kOk) << rr.message;
+    EXPECT_EQ(rc.status, ResponseStatus::kOk) << rc.message;
+    EXPECT_EQ(re.result, eq4_ref) << "eq4 bytes diverge at " << workers << " workers";
+    EXPECT_EQ(rr.result, risk_ref) << "risk bytes diverge at " << workers << " workers";
+    EXPECT_EQ(rc.result, campaign_ref)
+        << "campaign bytes diverge at " << workers << " workers";
+    EXPECT_DOUBLE_EQ(rc.completeness, 1.0);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// (b) Corrupt frames kill the connection, never the server.
+
+TEST(ServedConnection, CorruptionMatrixKillsTheConnectionNotTheServer) {
+  Server server(ServerOptions{});
+  const std::vector<std::uint8_t> good =
+      encode_frame(FrameType::kRiskRequest, encode_payload(small_risk(64)));
+
+  nanocost::testing::CorruptionMatrixOptions opts;  // default strides
+  opts.u64_length_offsets = {16};
+  nanocost::testing::run_corruption_matrix(
+      good,
+      [&server](const std::vector<std::uint8_t>& bytes) {
+        RawPeer peer(server);
+        peer.send(bytes);
+        peer.half_close();
+        // "Rejected" at this level: the server answered with an error
+        // frame (and closed the connection); pristine bytes produce a
+        // normal response and no error frame.
+        nanocost::testing::CorruptionVerdict v;
+        MemStream parser(peer.slurp());
+        while (true) {
+          const std::optional<Frame> frame = read_frame(parser);
+          if (!frame) break;
+          if (frame->type == FrameType::kErrorFrame) {
+            v.rejected = true;
+            v.diagnostic = decode_error_frame(frame->payload).message;
+            EXPECT_NE(v.diagnostic.find("NCWIRE01"), std::string::npos) << v.diagnostic;
+          }
+        }
+        return v;
+      },
+      opts);
+
+  // The server survived the whole matrix: a fresh connection works.
+  Client client = make_client(server);
+  EXPECT_TRUE(client.ping());
+  const DrainReport report = server.shutdown();
+  EXPECT_GT(report.wire_errors, 0u);
+}
+
+TEST(ServedConnection, ProtocolViolationFrameClosesTheConnection) {
+  Server server(ServerOptions{});
+  RawPeer peer(server);
+  peer.send(encode_frame(FrameType::kResponse, encode_payload(Response{})));
+  // No half_close: the error frame plus EOF must come from the server
+  // closing the dead connection on its own.
+  MemStream parser(peer.slurp());
+  const std::optional<Frame> frame = read_frame(parser);
+  ASSERT_TRUE(frame.has_value());
+  ASSERT_EQ(frame->type, FrameType::kErrorFrame);
+  EXPECT_NE(decode_error_frame(frame->payload).message.find("protocol violation"),
+            std::string::npos);
+  EXPECT_FALSE(read_frame(parser).has_value());
+
+  Client client = make_client(server);
+  EXPECT_TRUE(client.ping());
+}
+
+TEST(ServedConnection, SemanticallyInvalidJobGetsErrorResponseOnALiveConnection) {
+  Server server(ServerOptions{});
+  RawPeer peer(server);
+
+  // A structurally perfect frame whose job is impossible: yield = 1.5.
+  Eq4Job job = small_eq4();
+  job.request_id = 31;
+  std::vector<std::uint8_t> payload = encode_payload(job);
+  const double bad_yield = 1.5;
+  std::memcpy(payload.data() + 16, &bad_yield, sizeof(bad_yield));
+  peer.send(encode_frame(FrameType::kEq4Request, payload));
+  // Prove the connection survived the bad job: a ping after it.
+  cache::ByteWriter w;
+  w.u64(99);
+  peer.send(encode_frame(FrameType::kPing, w.take()));
+
+  bool saw_error_response = false;
+  bool saw_pong = false;
+  MemStream parser(peer.slurp());
+  while (true) {
+    const std::optional<Frame> frame = read_frame(parser);
+    if (!frame) break;
+    if (frame->type == FrameType::kResponse) {
+      const Response r = decode_response(frame->payload);
+      EXPECT_EQ(r.request_id, 31u);
+      EXPECT_EQ(r.status, ResponseStatus::kError);
+      EXPECT_NE(r.message.find("invalid job payload"), std::string::npos) << r.message;
+      saw_error_response = true;
+    }
+    if (frame->type == FrameType::kPong) saw_pong = true;
+  }
+  EXPECT_TRUE(saw_error_response);
+  EXPECT_TRUE(saw_pong);
+}
+
+// ---------------------------------------------------------------------------
+// Coalescing: one computation, every waiter the same bytes.
+
+TEST(Coalescing, IdenticalInflightCampaignsComputeOnce) {
+  const CampaignJob twin = small_campaign(2);
+  const std::vector<std::uint8_t> twin_ref = direct_campaign_bytes(twin);
+
+  // A deterministic latency fault slows every simulated wafer, so the
+  // blocker campaign provably occupies the runner while the identical
+  // pair behind it is admitted (kLatency never changes result bytes).
+  PlanGuard guard;
+  robust::FaultPlan plan;
+  plan.add("fabsim.wafer",
+           robust::FaultSpec{1.0, robust::FaultKind::kLatency, false, 5000});
+  robust::install_fault_plan(plan);
+
+  ServerOptions options;
+  options.campaign_capacity = 8;
+  Server server(options);
+  Client client = make_client(server);
+
+  const std::uint64_t blocker_id = client.submit(small_campaign(1, 40));
+  const std::uint64_t first_id = client.submit(twin);
+  const std::uint64_t second_id = client.submit(twin);
+
+  const Response second = client.wait(second_id);
+  const Response first = client.wait(first_id);
+  const Response blocker = client.wait(blocker_id);
+
+  EXPECT_EQ(blocker.status, ResponseStatus::kOk) << blocker.message;
+  EXPECT_EQ(first.status, ResponseStatus::kOk) << first.message;
+  EXPECT_EQ(second.status, ResponseStatus::kOk) << second.message;
+  EXPECT_FALSE(first.coalesced);
+  EXPECT_TRUE(second.coalesced);
+  EXPECT_EQ(first.result, second.result);
+  EXPECT_EQ(first.result, twin_ref);
+
+  const DrainReport report = server.shutdown();
+  EXPECT_EQ(report.coalesced, 1u);
+  EXPECT_EQ(report.campaigns_completed, 2u);
+}
+
+// ---------------------------------------------------------------------------
+// (c) Kill mid-campaign, restart, resubmit: zero recompute, bitwise match.
+
+TEST(CrashTolerance, KillRestartResumesBitwiseWithZeroRecompute) {
+  const CampaignJob full = small_campaign(5);  // 8 wafers = 2 chunks
+  const std::vector<std::uint8_t> reference = direct_campaign_bytes(full);
+  const TempDir tmp("crash");
+
+  // Run 1: a budget of 1 chunk stops the campaign mid-flight
+  // deterministically; the server then dies (destruction = the
+  // in-process stand-in for kill; the CI smoke job uses kill -9).
+  {
+    ServerOptions options;
+    options.artifact_dir = tmp.path();
+    Server server(options);
+    Client client = make_client(server);
+    CampaignJob budgeted = full;
+    budgeted.max_chunks = 1;
+    const Response r = client.wait(client.submit(budgeted));
+    EXPECT_EQ(r.status, ResponseStatus::kPartial) << r.message;
+    EXPECT_EQ(r.frontier_chunks, 1);
+    EXPECT_LT(r.completeness, 1.0);
+  }
+
+  // Run 2: a fresh server on the same artifact tier.  The chunk run 1
+  // completed must replay (checkpoint or blob tier), not recompute.
+  {
+    ServerOptions options;
+    options.artifact_dir = tmp.path();
+    Server server(options);
+    Client client = make_client(server);
+    const Response r = client.wait(client.submit(full));
+    EXPECT_EQ(r.status, ResponseStatus::kOk) << r.message;
+    EXPECT_EQ(r.artifact_hits, 1u) << "chunk 0 was recomputed (or lost)";
+    EXPECT_DOUBLE_EQ(r.completeness, 1.0);
+    EXPECT_EQ(r.result, reference) << "resumed bytes diverge from the undisturbed run";
+
+    // Fully warm resubmission: zero computation.
+    const Response warm = client.wait(client.submit(full));
+    EXPECT_EQ(warm.status, ResponseStatus::kOk) << warm.message;
+    EXPECT_EQ(warm.artifact_hits, 2u);
+    EXPECT_EQ(warm.result, reference);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// (d) Overload: deterministic shed / degrade with per-request outcomes.
+
+TEST(Overload, RejectNewestShedsPastCapacityDeterministically) {
+  // Slow wafers (deterministic latency fault) keep the blocker in
+  // flight while the overload arrives.
+  PlanGuard guard;
+  robust::FaultPlan plan;
+  plan.add("fabsim.wafer",
+           robust::FaultSpec{1.0, robust::FaultKind::kLatency, false, 5000});
+  robust::install_fault_plan(plan);
+
+  ServerOptions options;
+  options.campaign_capacity = 1;
+  options.campaign_policy = robust::ShedPolicy::kRejectNewest;
+  Server server(options);
+  Client client = make_client(server);
+
+  // The blocker fills the queue; every later submission is shed at
+  // admission, a pure function of arrival order.
+  const std::uint64_t blocker_id = client.submit(small_campaign(1, 40));
+  std::vector<std::uint64_t> shed_ids;
+  for (std::uint64_t seed = 10; seed < 13; ++seed) {
+    shed_ids.push_back(client.submit(small_campaign(seed)));
+  }
+  for (const std::uint64_t id : shed_ids) {
+    const Response r = client.wait(id);
+    EXPECT_EQ(r.status, ResponseStatus::kShed);
+    EXPECT_NE(r.message.find("capacity (1)"), std::string::npos) << r.message;
+    EXPECT_TRUE(r.result.empty());
+    EXPECT_DOUBLE_EQ(r.completeness, 0.0);
+  }
+  const Response blocker = client.wait(blocker_id);
+  EXPECT_EQ(blocker.status, ResponseStatus::kOk) << blocker.message;
+
+  const DrainReport report = server.shutdown();
+  EXPECT_EQ(report.campaigns_shed, 3u);
+  EXPECT_EQ(report.campaigns_completed, 1u);
+}
+
+TEST(Overload, DegradeBudgetsAdmitsEverythingPastCapacity) {
+  PlanGuard guard;
+  robust::FaultPlan plan;
+  plan.add("fabsim.wafer",
+           robust::FaultSpec{1.0, robust::FaultKind::kLatency, false, 5000});
+  robust::install_fault_plan(plan);
+
+  ServerOptions options;
+  options.campaign_capacity = 1;
+  options.campaign_policy = robust::ShedPolicy::kDegradeBudgets;
+  Server server(options);
+  Client client = make_client(server);
+
+  const std::uint64_t blocker_id = client.submit(small_campaign(1, 40));
+  std::vector<std::uint64_t> ids;
+  for (std::uint64_t seed = 10; seed < 13; ++seed) {
+    ids.push_back(client.submit(small_campaign(seed)));
+  }
+  ids.push_back(blocker_id);
+  int partials = 0;
+  for (const std::uint64_t id : ids) {
+    const Response r = client.wait(id);
+    // Degrade never sheds: every submission gets a result -- complete,
+    // or an honest resumable partial when its budget was shrunk (the
+    // degraded share is never below one chunk).
+    EXPECT_TRUE(r.status == ResponseStatus::kOk || r.status == ResponseStatus::kPartial)
+        << response_status_name(r.status) << ": " << r.message;
+    EXPECT_FALSE(r.result.empty());
+    EXPECT_GT(r.completeness, 0.0);
+    if (r.status == ResponseStatus::kPartial) ++partials;
+  }
+  // The queue was oversubscribed while the blocker ran, so at least one
+  // campaign's budget was actually shrunk.
+  EXPECT_GE(partials, 1);
+  const DrainReport report = server.shutdown();
+  EXPECT_EQ(report.campaigns_shed, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Graceful drain.
+
+TEST(Drain, ShutdownStopsInFlightCampaignsResumable) {
+  const TempDir tmp("drain");
+  ServerOptions options;
+  options.artifact_dir = tmp.path();
+  options.campaign_wave_chunks = 1;  // checkpoint every chunk
+  options.drain_budget_ms = 100.0;
+  Server server(options);
+  Client client = make_client(server);
+
+  const CampaignJob big = small_campaign(3, 64);  // 16 chunks
+  const std::uint64_t id = client.submit(big);
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  const DrainReport report = server.shutdown();
+  EXPECT_EQ(report.campaigns_stopped + report.campaigns_completed, 1u);
+
+  // The response was written before the drain finished.
+  const Response r = client.wait(id);
+  if (r.status == ResponseStatus::kStopped) {
+    EXPECT_LT(r.completeness, 1.0);
+    EXPECT_LT(r.frontier_chunks, 16);
+    EXPECT_FALSE(r.message.empty());
+  } else {
+    EXPECT_EQ(r.status, ResponseStatus::kOk) << r.message;  // a very fast box
+  }
+
+  // Idempotent: the second shutdown returns the first report.
+  const DrainReport again = server.shutdown();
+  EXPECT_EQ(again.campaigns_stopped, report.campaigns_stopped);
+  EXPECT_EQ(again.requests_served, report.requests_served);
+
+  // And a drained server refuses new connections.
+  int sv[2] = {-1, -1};
+  ASSERT_EQ(0, ::socketpair(AF_UNIX, SOCK_STREAM, 0, sv));
+  EXPECT_THROW(server.add_connection(sv[0], sv[0]), std::logic_error);
+  ::close(sv[1]);
+
+  // The stopped campaign is resumable: a fresh server on the same tier
+  // finishes it with the stopped frontier replayed, bitwise correct.
+  if (r.status == ResponseStatus::kStopped && r.frontier_chunks > 0) {
+    Server resumed(options);
+    Client client2 = make_client(resumed);
+    const Response full = client2.wait(client2.submit(big));
+    EXPECT_EQ(full.status, ResponseStatus::kOk) << full.message;
+    EXPECT_GE(full.artifact_hits, static_cast<std::uint64_t>(r.frontier_chunks));
+    EXPECT_EQ(full.result, direct_campaign_bytes(big));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Deadline hierarchy: a slow light request degrades to a typed partial.
+
+TEST(Deadline, RiskRequestBudgetReturnsATypedResumablePartial) {
+  // 100 us per sample (deterministic latency fault) makes one 128-sample
+  // chunk ~13 ms of wall clock: a 40 ms budget completes at least one
+  // chunk but cannot come near the ~780-chunk whole, at any core count.
+  PlanGuard guard;
+  robust::FaultPlan plan;
+  plan.add("risk.sample",
+           robust::FaultSpec{1.0, robust::FaultKind::kLatency, false, 100});
+  robust::install_fault_plan(plan);
+
+  ServerOptions options;
+  options.request_budget_ms = 40.0;
+  Server server(options);
+  Client client = make_client(server);
+
+  const RiskJob heavy = small_risk(100000);
+  const Response r = client.wait(client.submit(heavy));
+  ASSERT_EQ(r.status, ResponseStatus::kPartial) << r.message;
+  EXPECT_NE(r.message.find("resubmit"), std::string::npos) << r.message;
+  EXPECT_LT(r.completeness, 1.0);
+  EXPECT_GT(r.frontier_chunks, 0);
+  EXPECT_FALSE(r.result.empty());
+  // The partial is a well-formed RiskResult over the completed frontier.
+  const core::RiskResult partial = cache::decode_risk_result(r.result);
+  EXPECT_GT(partial.mean, 0.0);
+  EXPECT_GE(partial.p90, partial.p10);
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection at the serve.* sites.
+
+TEST(Faults, DispatchFaultYieldsErrorResponseThenCleanRetry) {
+  PlanGuard guard;
+  robust::FaultPlan plan;
+  plan.add("serve.dispatch", robust::FaultSpec{1.0, robust::FaultKind::kThrow, false, 0});
+  robust::install_fault_plan(plan);
+
+  Server server(ServerOptions{});
+  Client client = make_client(server);
+  const Response faulted = client.wait(client.submit(small_eq4()));
+  EXPECT_EQ(faulted.status, ResponseStatus::kError);
+  EXPECT_NE(faulted.message.find("injected fault"), std::string::npos) << faulted.message;
+  EXPECT_NE(faulted.message.find("resubmit"), std::string::npos);
+
+  // Clear the plan and retry on the same connection: the served bytes
+  // match the direct call -- faults never corrupt results.
+  robust::clear_fault_plan();
+  const Response retried = client.wait(client.submit(small_eq4()));
+  EXPECT_EQ(retried.status, ResponseStatus::kOk) << retried.message;
+  EXPECT_EQ(retried.result, direct_eq4_bytes(small_eq4()));
+}
+
+TEST(Faults, ReadFaultKillsTheConnectionServerSurvives) {
+  PlanGuard guard;
+  Server server(ServerOptions{});
+
+  robust::FaultPlan plan;
+  plan.add("serve.read", robust::FaultSpec{1.0, robust::FaultKind::kThrow, false, 0});
+  robust::install_fault_plan(plan);
+
+  // The reader's very first read faults: diagnostic error frame, then
+  // the connection closes (EOF without a timeout).
+  RawPeer peer(server);
+  MemStream parser(peer.slurp(5000));
+  const std::optional<Frame> frame = read_frame(parser);
+  ASSERT_TRUE(frame.has_value());
+  ASSERT_EQ(frame->type, FrameType::kErrorFrame);
+  EXPECT_NE(decode_error_frame(frame->payload).message.find("serve.read"),
+            std::string::npos);
+
+  robust::clear_fault_plan();
+  Client client = make_client(server);
+  EXPECT_TRUE(client.ping());
+}
+
+TEST(Faults, WriteFaultDropsTheResponseServerSurvives) {
+  PlanGuard guard;
+  Server server(ServerOptions{});
+
+  robust::FaultPlan plan;
+  plan.add("serve.write", robust::FaultSpec{1.0, robust::FaultKind::kThrow, false, 0});
+  robust::install_fault_plan(plan);
+
+  RawPeer peer(server);
+  Eq4Job job = small_eq4();
+  job.request_id = 5;
+  peer.send(encode_frame(FrameType::kEq4Request, encode_payload(job)));
+  peer.half_close();
+  // Every server write faults: no response can be delivered.
+  EXPECT_TRUE(peer.slurp().empty());
+
+  robust::clear_fault_plan();
+  Client client = make_client(server);
+  const Response r = client.wait(client.submit(small_eq4()));
+  EXPECT_EQ(r.status, ResponseStatus::kOk) << r.message;
+}
+
+TEST(Faults, AcceptFaultDropsTheClientListenerSurvives) {
+  PlanGuard guard;
+  const TempDir tmp("accept");
+  const std::string socket_path = tmp.path() + "/serve.sock";
+  Server server(ServerOptions{});
+  server.listen_unix(socket_path);
+
+  robust::FaultPlan plan;
+  plan.add("serve.accept", robust::FaultSpec{1.0, robust::FaultKind::kThrow, false, 0});
+  robust::install_fault_plan(plan);
+
+  // connect() succeeds (the listener is up); the server drops the
+  // accepted socket, so the first round-trip fails.
+  Client dropped = Client::connect_unix(socket_path);
+  bool refused = false;
+  try {
+    refused = !dropped.ping();
+  } catch (const WireError&) {
+    refused = true;  // the write already saw the closed socket
+  }
+  EXPECT_TRUE(refused);
+
+  robust::clear_fault_plan();
+  Client accepted = Client::connect_unix(socket_path);
+  EXPECT_TRUE(accepted.ping());
+
+  server.shutdown();
+  EXPECT_FALSE(std::filesystem::exists(socket_path)) << "drain must unlink the socket";
+}
+
+}  // namespace
+}  // namespace nanocost::serve
