@@ -21,6 +21,7 @@
 #include <string>
 #include <thread>
 
+#include "nanocost/obs/metrics.hpp"
 #include "nanocost/serve/server.hpp"
 
 namespace {
@@ -34,7 +35,7 @@ int usage(const char* argv0) {
                "usage: %s --socket PATH [--workers N] [--capacity N]\n"
                "          [--policy reject|degrade] [--artifact-dir DIR]\n"
                "          [--artifact-cap BYTES] [--request-budget-ms MS]\n"
-               "          [--drain-budget-ms MS]\n",
+               "          [--drain-budget-ms MS] [--no-metrics]\n",
                argv0);
   return 2;
 }
@@ -46,6 +47,7 @@ int main(int argc, char** argv) {
 
   std::string socket_path;
   serve::ServerOptions options;
+  bool metrics = true;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     const bool has_value = i + 1 < argc;
@@ -72,11 +74,17 @@ int main(int argc, char** argv) {
       options.request_budget_ms = std::atof(argv[++i]);
     } else if (arg == "--drain-budget-ms" && has_value) {
       options.drain_budget_ms = std::atof(argv[++i]);
+    } else if (arg == "--no-metrics") {
+      metrics = false;
     } else {
       return usage(argv[0]);
     }
   }
   if (socket_path.empty()) return usage(argv[0]);
+
+  // The daemon is the telemetry plane's reason to exist: metrics are on
+  // by default so a kStatsRequest always has something to report.
+  obs::set_metrics_enabled(metrics);
 
   std::signal(SIGINT, handle_signal);
   std::signal(SIGTERM, handle_signal);

@@ -1,0 +1,166 @@
+// Remote scraper for the nanocost daemon's telemetry plane.
+//
+//   nanocost_stats --socket PATH                 # human-readable text
+//   nanocost_stats --socket PATH --prometheus    # exposition format
+//   nanocost_stats --socket PATH --json          # JSON object
+//   nanocost_stats --socket PATH --watch N [--count M]
+//   nanocost_stats --socket PATH --trace out.json [--trace-ms MS]
+//
+// One scrape sends a kStatsRequest frame and decodes the NCSTAT01 blob
+// in the kStatsResponse.  `--watch N` re-scrapes every N seconds and
+// prints the *delta* between consecutive scrapes (obs::delta_stats), so
+// counters read as per-interval rates; `--count M` stops after M deltas
+// (0 = forever).  `--trace FILE` arms the server-side span tracer,
+// waits `--trace-ms` (default 1000), then stops it and writes the
+// returned Chrome trace-event JSON to FILE (open in chrome://tracing
+// or https://ui.perfetto.dev).
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <thread>
+
+#include "nanocost/obs/metrics.hpp"
+#include "nanocost/obs/prometheus.hpp"
+#include "nanocost/obs/stats.hpp"
+#include "nanocost/serve/client.hpp"
+
+namespace {
+
+enum class Format { kText, kPrometheus, kJson };
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --socket PATH [--prometheus | --json]\n"
+               "          [--watch SECONDS [--count N]]\n"
+               "          [--trace FILE [--trace-ms MS]]\n",
+               argv0);
+  return 2;
+}
+
+/// Build/uptime header.  Prometheus output keeps it as comment lines so
+/// the stream stays a valid exposition body.
+void print_build_info(const nanocost::serve::StatsReport& report, Format format) {
+  const char* prefix = format == Format::kPrometheus ? "# " : "";
+  if (format == Format::kJson) return;  // keep the stream pure JSON
+  std::printf("%snanocost_serve %s (simd %s, %u hw threads, pid %llu, up %.1f s)\n",
+              prefix, report.server_version.c_str(), report.simd_level.c_str(),
+              report.hardware_concurrency, static_cast<unsigned long long>(report.pid),
+              static_cast<double>(report.uptime_ms) / 1000.0);
+}
+
+void print_snapshot(const nanocost::obs::MetricsSnapshot& snap, Format format) {
+  using namespace nanocost;
+  switch (format) {
+    case Format::kText:
+      std::fputs(obs::render_metrics_text(snap).c_str(), stdout);
+      // Quantiles are the point of the bucket format: surface them.
+      for (const obs::HistogramSnapshot& h : snap.histograms) {
+        if (h.count == 0) continue;
+        const obs::HistogramQuantiles q = obs::histogram_quantiles(h);
+        std::printf("%s: p50 %.0f p90 %.0f p99 %.0f\n", h.name.c_str(), q.p50, q.p90,
+                    q.p99);
+      }
+      break;
+    case Format::kPrometheus:
+      std::fputs(obs::render_metrics_prometheus(snap).c_str(), stdout);
+      break;
+    case Format::kJson:
+      std::printf("%s\n", obs::render_metrics_json(snap).c_str());
+      break;
+  }
+  std::fflush(stdout);
+}
+
+int run_trace(nanocost::serve::Client& client, const std::string& out_path,
+              int trace_ms) {
+  using namespace nanocost;
+  serve::Response armed = client.trace_start();
+  if (armed.status != serve::ResponseStatus::kOk) {
+    std::fprintf(stderr, "nanocost_stats: trace start failed: %s\n",
+                 armed.message.c_str());
+    return 1;
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(trace_ms));
+  serve::Response trace = client.trace_stop();
+  if (trace.status != serve::ResponseStatus::kOk) {
+    std::fprintf(stderr, "nanocost_stats: trace stop failed: %s\n",
+                 trace.message.c_str());
+    return 1;
+  }
+  std::ofstream out(out_path, std::ios::binary | std::ios::trunc);
+  if (!out.is_open()) {
+    std::fprintf(stderr, "nanocost_stats: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  out.write(reinterpret_cast<const char*>(trace.result.data()),
+            static_cast<std::streamsize>(trace.result.size()));
+  out.close();
+  std::printf("nanocost_stats: wrote %zu bytes of chrome trace json to %s\n",
+              trace.result.size(), out_path.c_str());
+  return out.good() ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace nanocost;
+
+  std::string socket_path;
+  std::string trace_path;
+  Format format = Format::kText;
+  int watch_seconds = 0;
+  int watch_count = 0;
+  int trace_ms = 1000;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const bool has_value = i + 1 < argc;
+    if (arg == "--socket" && has_value) {
+      socket_path = argv[++i];
+    } else if (arg == "--prometheus") {
+      format = Format::kPrometheus;
+    } else if (arg == "--json") {
+      format = Format::kJson;
+    } else if (arg == "--watch" && has_value) {
+      watch_seconds = std::atoi(argv[++i]);
+    } else if (arg == "--count" && has_value) {
+      watch_count = std::atoi(argv[++i]);
+    } else if (arg == "--trace" && has_value) {
+      trace_path = argv[++i];
+    } else if (arg == "--trace-ms" && has_value) {
+      trace_ms = std::atoi(argv[++i]);
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (socket_path.empty()) return usage(argv[0]);
+  if (watch_seconds < 0 || trace_ms < 0) return usage(argv[0]);
+
+  try {
+    serve::Client client = serve::Client::connect_unix(socket_path);
+
+    if (!trace_path.empty()) {
+      return run_trace(client, trace_path, trace_ms);
+    }
+
+    serve::StatsReport report = client.stats();
+    obs::MetricsSnapshot prev = obs::decode_stats(report.stats);
+    print_build_info(report, format);
+    if (watch_seconds == 0) {
+      print_snapshot(prev, format);
+      return 0;
+    }
+    for (int tick = 0; watch_count == 0 || tick < watch_count; ++tick) {
+      std::this_thread::sleep_for(std::chrono::seconds(watch_seconds));
+      report = client.stats();
+      obs::MetricsSnapshot cur = obs::decode_stats(report.stats);
+      print_snapshot(obs::delta_stats(cur, prev), format);
+      prev = std::move(cur);
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "nanocost_stats: %s\n", e.what());
+    return 1;
+  }
+}

@@ -159,10 +159,14 @@ struct MetricsSnapshot final {
 };
 [[nodiscard]] MetricsSnapshot snapshot_metrics();
 
-/// Human-readable snapshot block (one metric per line).
+/// Human-readable snapshot block (one metric per line).  The snapshot
+/// overloads render a caller-held copy (e.g. one decoded from NCSTAT01,
+/// obs/stats.hpp); the zero-arg forms snapshot the live registry.
+[[nodiscard]] std::string render_metrics_text(const MetricsSnapshot& snap);
 [[nodiscard]] std::string render_metrics_text();
 /// The same snapshot as a JSON object:
 ///   {"counters": {...}, "gauges": {...}, "histograms": {name: {...}}}
+[[nodiscard]] std::string render_metrics_json(const MetricsSnapshot& snap);
 [[nodiscard]] std::string render_metrics_json();
 
 namespace detail {

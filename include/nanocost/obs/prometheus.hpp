@@ -1,0 +1,30 @@
+// Prometheus text exposition (format 0.0.4) of a MetricsSnapshot.
+//
+// Metric names in the registry use dots ("serve.queue_depth"); the
+// exposition format allows only [a-zA-Z0-9_:], so names are sanitized
+// (every illegal byte becomes '_', a leading digit gets a '_' prefix).
+// Counters and gauges render as one sample each; histograms render in
+// the cumulative `_bucket{le="..."}` / `_sum` / `_count` form Prometheus
+// expects -- bucket counts accumulate left to right and the "+Inf"
+// bucket always equals `_count`.  Each metric is preceded by a `# TYPE`
+// line; scrapers compute rates themselves (the daemon never resets on
+// scrape, DESIGN.md section 15).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "nanocost/obs/metrics.hpp"
+
+namespace nanocost::obs {
+
+/// "serve.queue_depth" -> "serve_queue_depth"; "9lives" -> "_9lives".
+[[nodiscard]] std::string sanitize_metric_name(std::string_view name);
+
+/// Renders `snap` as Prometheus exposition text.
+[[nodiscard]] std::string render_metrics_prometheus(const MetricsSnapshot& snap);
+
+/// Convenience: snapshot the live registry and render it.
+[[nodiscard]] std::string render_metrics_prometheus();
+
+}  // namespace nanocost::obs

@@ -47,6 +47,21 @@ class Client final {
   /// Round-trips a ping frame; false when the stream closed instead.
   [[nodiscard]] bool ping();
 
+  /// Scrapes the server: sends kStatsRequest and blocks for the
+  /// kStatsResponse (parking any job responses that arrive first).
+  /// The report's `stats` bytes are NCSTAT01 (obs::decode_stats).
+  [[nodiscard]] StatsReport stats();
+
+  /// Arms the server-side span tracer remotely.  The server answers
+  /// with a plain Response: kOk with message "trace armed", or kError
+  /// when a capture is already live.
+  [[nodiscard]] Response trace_start();
+
+  /// Stops a remote capture.  On kOk the Response's result bytes are
+  /// the Chrome trace-event JSON; kError when nothing was armed or the
+  /// capture was too large to return in-band (message names the file).
+  [[nodiscard]] Response trace_stop();
+
  private:
   std::unique_ptr<FdStream> stream_;
   std::map<std::uint64_t, Response> parked_;

@@ -126,6 +126,19 @@ struct Response final {
   bool coalesced = false;             ///< piggybacked on an identical in-flight job
 };
 
+/// Payload of one kStatsResponse frame: the server's identity and
+/// uptime, plus its full metrics registry as an NCSTAT01 blob
+/// (obs/stats.hpp decodes it; obs/prometheus.hpp renders it).
+struct StatsReport final {
+  std::uint64_t request_id = 0;
+  std::string server_version;           ///< nanocost release, e.g. "1.0.0"
+  std::string simd_level;               ///< exec::simd_level_name of the live level
+  std::uint32_t hardware_concurrency = 0;
+  std::uint64_t pid = 0;
+  std::uint64_t uptime_ms = 0;          ///< since the Server was constructed
+  std::vector<std::uint8_t> stats;      ///< NCSTAT01 (obs::decode_stats)
+};
+
 // ---- Payload codecs -----------------------------------------------------
 // encode_payload produces the NCWIRE01 payload for the matching frame
 // type; each decode_* throws std::runtime_error on truncation, corrupt
@@ -135,11 +148,13 @@ struct Response final {
 [[nodiscard]] std::vector<std::uint8_t> encode_payload(const RiskJob& job);
 [[nodiscard]] std::vector<std::uint8_t> encode_payload(const CampaignJob& job);
 [[nodiscard]] std::vector<std::uint8_t> encode_payload(const Response& response);
+[[nodiscard]] std::vector<std::uint8_t> encode_payload(const StatsReport& report);
 
 [[nodiscard]] Eq4Job decode_eq4_job(const std::vector<std::uint8_t>& payload);
 [[nodiscard]] RiskJob decode_risk_job(const std::vector<std::uint8_t>& payload);
 [[nodiscard]] CampaignJob decode_campaign_job(const std::vector<std::uint8_t>& payload);
 [[nodiscard]] Response decode_response(const std::vector<std::uint8_t>& payload);
+[[nodiscard]] StatsReport decode_stats_report(const std::vector<std::uint8_t>& payload);
 
 /// Reads just the leading request id of any request payload (every
 /// request type starts with it), so even a job that fails to decode

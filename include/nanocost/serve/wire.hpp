@@ -50,10 +50,21 @@ enum class FrameType : std::uint32_t {
   kRiskRequest = 2,      ///< serve::RiskJob
   kCampaignRequest = 3,  ///< serve::CampaignJob
   kPing = 4,             ///< payload: u64 request id only
+  kStatsRequest = 5,     ///< payload: u64 request id only
+  kTraceStart = 6,       ///< payload: u64 request id only; arms the span tracer
+  kTraceStop = 7,        ///< payload: u64 request id only; Chrome JSON comes
+                         ///< back in the Response's result bytes
   kResponse = 0x81,      ///< serve::Response
   kPong = 0x82,          ///< payload: u64 request id only
   kErrorFrame = 0x83,    ///< payload: u64 request id (0 = none), str message
+  kStatsResponse = 0x84, ///< serve::StatsReport (NCSTAT01 + build/uptime info)
 };
+
+/// Bytes one frame adds around its payload: magic + version + type +
+/// length + trailing checksum.  `payload size + kFrameOverheadBytes` is
+/// what actually crosses the transport (the serve.bytes_in/out
+/// counters use it).
+inline constexpr std::size_t kFrameOverheadBytes = sizeof(kWireMagic) + 4 + 4 + 8 + 8;
 
 [[nodiscard]] bool is_known_frame_type(std::uint32_t type) noexcept;
 [[nodiscard]] const char* frame_type_name(FrameType type) noexcept;

@@ -131,6 +131,14 @@ def main(argv):
     fresh_doc = load(argv[1])
     base_doc = load(argv[2])
 
+    if bool(base_doc.get("meaningless_speedup")):
+        print(
+            "perf_gate: WARNING the committed baseline carries "
+            "meaningless_speedup: true (recorded on a 1-core box); its "
+            "threads > 1 rows never enter the gate -- re-record the baseline "
+            "on a multi-core machine to restore scaling coverage"
+        )
+
     fresh_cpu = fresh_doc.get("cpu_model", "unknown")
     base_cpu = base_doc.get("cpu_model", "unknown")
     same_cpu = fresh_cpu == base_cpu and fresh_cpu != "unknown"

@@ -159,8 +159,9 @@ MetricsSnapshot snapshot_metrics() {
   return snap;
 }
 
-std::string render_metrics_text() {
-  const MetricsSnapshot snap = snapshot_metrics();
+std::string render_metrics_text() { return render_metrics_text(snapshot_metrics()); }
+
+std::string render_metrics_text(const MetricsSnapshot& snap) {
   std::string out = "metrics snapshot:\n";
   char line[256];
   for (const auto& [name, value] : snap.counters) {
@@ -189,8 +190,9 @@ std::string render_metrics_text() {
   return out;
 }
 
-std::string render_metrics_json() {
-  const MetricsSnapshot snap = snapshot_metrics();
+std::string render_metrics_json() { return render_metrics_json(snapshot_metrics()); }
+
+std::string render_metrics_json(const MetricsSnapshot& snap) {
   std::string out = "{\"counters\": {";
   char buf[128];
   for (std::size_t i = 0; i < snap.counters.size(); ++i) {

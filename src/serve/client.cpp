@@ -98,12 +98,70 @@ Response Client::wait(std::uint64_t request_id) {
         break;  // an error for some other outstanding request; drop it
       }
       case FrameType::kPong:
-        break;  // stale pong; ignore
+      case FrameType::kStatsResponse:
+        break;  // stale pong / stats scrape; ignore
       default:
         throw WireError(std::string("serve client: unexpected ") +
                         frame_type_name(frame->type) + " frame from server");
     }
   }
+}
+
+StatsReport Client::stats() {
+  const std::uint64_t request_id = next_id_++;
+  cache::ByteWriter w;
+  w.u64(request_id);
+  write_frame(*stream_, FrameType::kStatsRequest, w.take());
+  while (true) {
+    std::optional<Frame> frame = read_frame(*stream_);
+    if (!frame) {
+      throw WireError("serve client: stream closed while waiting for a stats report");
+    }
+    switch (frame->type) {
+      case FrameType::kStatsResponse: {
+        StatsReport report = decode_stats_report(frame->payload);
+        if (report.request_id == request_id) return report;
+        break;  // a stale scrape; keep waiting for ours
+      }
+      case FrameType::kResponse: {
+        // A job response landing mid-scrape: park it for its wait().
+        Response r = decode_response(frame->payload);
+        parked_[r.request_id] = std::move(r);
+        break;
+      }
+      case FrameType::kErrorFrame: {
+        cache::ByteReader reader(frame->payload);
+        const std::uint64_t id = reader.u64();
+        const std::string message = reader.str();
+        reader.expect_end();
+        if (id == 0 || id == request_id) {
+          throw std::runtime_error("serve client: server error: " + message);
+        }
+        break;
+      }
+      case FrameType::kPong:
+        break;
+      default:
+        throw WireError(std::string("serve client: unexpected ") +
+                        frame_type_name(frame->type) + " frame from server");
+    }
+  }
+}
+
+Response Client::trace_start() {
+  const std::uint64_t request_id = next_id_++;
+  cache::ByteWriter w;
+  w.u64(request_id);
+  write_frame(*stream_, FrameType::kTraceStart, w.take());
+  return wait(request_id);
+}
+
+Response Client::trace_stop() {
+  const std::uint64_t request_id = next_id_++;
+  cache::ByteWriter w;
+  w.u64(request_id);
+  write_frame(*stream_, FrameType::kTraceStop, w.take());
+  return wait(request_id);
 }
 
 bool Client::ping() {

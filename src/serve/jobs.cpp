@@ -248,6 +248,32 @@ Response decode_response(const std::vector<std::uint8_t>& payload) {
   return response;
 }
 
+std::vector<std::uint8_t> encode_payload(const StatsReport& report) {
+  ByteWriter w;
+  w.u64(report.request_id);
+  w.str(report.server_version);
+  w.str(report.simd_level);
+  w.u64(report.hardware_concurrency);
+  w.u64(report.pid);
+  w.u64(report.uptime_ms);
+  w.bytes(report.stats);
+  return w.take();
+}
+
+StatsReport decode_stats_report(const std::vector<std::uint8_t>& payload) {
+  ByteReader r(payload);
+  StatsReport report;
+  report.request_id = r.u64();
+  report.server_version = r.str();
+  report.simd_level = r.str();
+  report.hardware_concurrency = static_cast<std::uint32_t>(r.u64());
+  report.pid = r.u64();
+  report.uptime_ms = r.u64();
+  report.stats = r.bytes();
+  r.expect_end();
+  return report;
+}
+
 std::uint64_t peek_request_id(const std::vector<std::uint8_t>& payload) noexcept {
   if (payload.size() < 8) return 0;
   std::uint64_t v = 0;

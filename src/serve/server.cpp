@@ -5,8 +5,12 @@
 #include <chrono>
 #include <condition_variable>
 #include <csignal>
+#include <cstdio>
 #include <cstring>
 #include <deque>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -23,8 +27,10 @@
 
 #include "nanocost/cache/codec.hpp"
 #include "nanocost/cache/key.hpp"
+#include "nanocost/exec/simd.hpp"
 #include "nanocost/fabsim/campaign.hpp"
 #include "nanocost/obs/metrics.hpp"
+#include "nanocost/obs/stats.hpp"
 #include "nanocost/obs/trace.hpp"
 #include "nanocost/robust/fault_injection.hpp"
 #include "nanocost/serve/jobs.hpp"
@@ -37,8 +43,160 @@ namespace {
 constexpr robust::FaultSite kAcceptSite{"serve.accept"};
 constexpr robust::FaultSite kDispatchSite{"serve.dispatch"};
 
-void bump(const char* name, std::uint64_t delta = 1) {
-  if (obs::metrics_enabled()) obs::counter(name).add(delta);
+/// Release string the kStatsResponse build-info block reports.
+constexpr const char* kServeVersion = "1.0.0";
+
+std::uint64_t now_us() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Shared bucket ladder for request latencies: 100 us .. 10 s.
+const std::vector<std::uint64_t>& latency_bounds() {
+  static const std::vector<std::uint64_t> bounds{
+      100,   250,    500,    1000,   2500,    5000,    10000,   25000,
+      50000, 100000, 250000, 500000, 1000000, 2500000, 5000000, 10000000};
+  return bounds;
+}
+
+// Every metric handle below is a function-local static so the registry
+// mutex is paid once per site (the idiom obs/metrics.hpp documents),
+// never per request.
+
+obs::Histogram& request_latency_hist() {
+  static obs::Histogram& h = obs::histogram("serve.request_us", latency_bounds());
+  return h;
+}
+
+enum class JobKind : int { kEq4 = 0, kRisk = 1, kCampaign = 2 };
+
+std::optional<JobKind> job_kind_of(FrameType type) noexcept {
+  switch (type) {
+    case FrameType::kEq4Request:
+      return JobKind::kEq4;
+    case FrameType::kRiskRequest:
+      return JobKind::kRisk;
+    case FrameType::kCampaignRequest:
+      return JobKind::kCampaign;
+    default:
+      return std::nullopt;
+  }
+}
+
+/// Outcome label of a final status: partial/stopped count as "expired"
+/// (a budget tripped), matching the ok/error/shed/expired ladder.
+int outcome_index(ResponseStatus s) noexcept {
+  switch (s) {
+    case ResponseStatus::kOk:
+      return 0;
+    case ResponseStatus::kError:
+      return 1;
+    case ResponseStatus::kShed:
+      return 2;
+    case ResponseStatus::kPartial:
+    case ResponseStatus::kExpired:
+    case ResponseStatus::kStopped:
+      return 3;
+  }
+  return 1;
+}
+
+obs::Histogram& job_latency_hist(JobKind kind, ResponseStatus status) {
+  // All 12 job-type x outcome histograms register in one pass; every
+  // later call is a plain array index.
+  struct Table {
+    obs::Histogram* h[3][4];
+    Table() {
+      constexpr const char* kJobs[3] = {"eq4", "risk", "campaign"};
+      constexpr const char* kOutcomes[4] = {"ok", "error", "shed", "expired"};
+      for (int j = 0; j < 3; ++j) {
+        for (int o = 0; o < 4; ++o) {
+          h[j][o] = &obs::histogram(
+              std::string("serve.latency_us.") + kJobs[j] + "." + kOutcomes[o],
+              latency_bounds());
+        }
+      }
+    }
+  };
+  static Table table;
+  return *table.h[static_cast<int>(kind)][outcome_index(status)];
+}
+
+void count_request() {
+  if (obs::metrics_enabled()) {
+    static obs::Counter& c = obs::counter("serve.requests");
+    c.add();
+  }
+}
+
+void count_wire_error() {
+  if (obs::metrics_enabled()) {
+    static obs::Counter& c = obs::counter("serve.wire_errors");
+    c.add();
+  }
+}
+
+void count_coalesced() {
+  if (obs::metrics_enabled()) {
+    static obs::Counter& c = obs::counter("serve.coalesced");
+    c.add();
+  }
+}
+
+void count_shed() {
+  if (obs::metrics_enabled()) {
+    static obs::Counter& c = obs::counter("serve.shed");
+    c.add();
+  }
+}
+
+void count_bytes_in(std::size_t payload_bytes) {
+  if (obs::metrics_enabled()) {
+    static obs::Counter& c = obs::counter("serve.bytes_in");
+    c.add(payload_bytes + kFrameOverheadBytes);
+  }
+}
+
+void count_bytes_out(std::size_t payload_bytes) {
+  if (obs::metrics_enabled()) {
+    static obs::Counter& c = obs::counter("serve.bytes_out");
+    c.add(payload_bytes + kFrameOverheadBytes);
+  }
+}
+
+void set_queue_depth(std::size_t outstanding) {
+  if (obs::metrics_enabled()) {
+    static obs::Gauge& g = obs::gauge("serve.queue_depth");
+    g.set(static_cast<double>(outstanding));
+  }
+}
+
+void set_inflight(std::int64_t n) {
+  if (obs::metrics_enabled()) {
+    static obs::Gauge& g = obs::gauge("serve.inflight");
+    g.set(static_cast<double>(n));
+  }
+}
+
+void set_coalesced_inflight(std::int64_t n) {
+  if (obs::metrics_enabled()) {
+    static obs::Gauge& g = obs::gauge("serve.coalesced_inflight");
+    g.set(static_cast<double>(n));
+  }
+}
+
+/// Latency bookkeeping for one answered job request (response already
+/// written): the overall serve.request_us histogram -- whose count is
+/// exactly the job responses served -- plus the per-type x per-outcome
+/// ladder.  Ping/stats/trace frames are deliberately not recorded.
+void record_latency(JobKind kind, ResponseStatus status, std::uint64_t start_us) {
+  if (!obs::metrics_enabled()) return;
+  const std::uint64_t now = now_us();
+  const std::uint64_t elapsed = now > start_us ? now - start_us : 0;
+  request_latency_hist().record(elapsed);
+  job_latency_hist(kind, status).record(elapsed);
 }
 
 }  // namespace
@@ -56,6 +214,7 @@ struct Server::Impl {
   struct Waiter {
     std::shared_ptr<Connection> conn;
     std::uint64_t request_id = 0;
+    std::uint64_t start_us = 0;  ///< dispatch time, for the latency histograms
   };
 
   struct LightJob {
@@ -102,6 +261,7 @@ struct Server::Impl {
       std::lock_guard<std::mutex> lk(conn->write_mu);
       write_frame(*conn->stream, FrameType::kResponse, payload);
       requests_served.fetch_add(1, std::memory_order_relaxed);
+      count_bytes_out(payload.size());
     } catch (const WireError&) {
       conn->dead.store(true, std::memory_order_release);
     }
@@ -116,6 +276,7 @@ struct Server::Impl {
     try {
       std::lock_guard<std::mutex> lk(conn->write_mu);
       write_frame(*conn->stream, FrameType::kErrorFrame, payload);
+      count_bytes_out(payload.size());
     } catch (const WireError&) {
       conn->dead.store(true, std::memory_order_release);
     }
@@ -133,12 +294,13 @@ struct Server::Impl {
         // Structural damage: this connection dies with a diagnostic;
         // the server keeps serving everyone else.
         wire_errors.fetch_add(1, std::memory_order_relaxed);
-        bump("serve.wire_errors");
+        count_wire_error();
         send_error_frame(conn, 0, e.what());
         kill = true;
         break;
       }
       if (!frame) break;  // clean close or drain interrupt
+      count_bytes_in(frame->payload.size());
       if (!dispatch(conn, *frame)) {
         kill = true;
         break;
@@ -162,8 +324,9 @@ struct Server::Impl {
   /// must close (protocol violation).
   bool dispatch(const std::shared_ptr<Connection>& conn, const Frame& frame) {
     obs::ObsSpan span("serve.request");
-    bump("serve.requests");
+    count_request();
     const std::uint64_t request_id = peek_request_id(frame.payload);
+    const std::uint64_t start_us = now_us();
     try {
       robust::inject(kDispatchSite, dispatch_index.fetch_add(1, std::memory_order_relaxed));
     } catch (const robust::FaultInjected& e) {
@@ -172,6 +335,9 @@ struct Server::Impl {
       r.status = ResponseStatus::kError;
       r.message = std::string("injected fault: ") + e.what() + "; resubmit";
       send_response(conn, r);
+      if (const std::optional<JobKind> kind = job_kind_of(frame.type)) {
+        record_latency(*kind, r.status, start_us);
+      }
       return true;
     }
     switch (frame.type) {
@@ -179,6 +345,7 @@ struct Server::Impl {
         try {
           std::lock_guard<std::mutex> lk(conn->write_mu);
           write_frame(*conn->stream, FrameType::kPong, frame.payload);
+          count_bytes_out(frame.payload.size());
         } catch (const WireError&) {
           conn->dead.store(true, std::memory_order_release);
         }
@@ -186,16 +353,23 @@ struct Server::Impl {
       }
       case FrameType::kEq4Request:
       case FrameType::kRiskRequest:
-        return dispatch_light(conn, frame, request_id);
+        return dispatch_light(conn, frame, request_id, start_us);
       case FrameType::kCampaignRequest:
-        return dispatch_campaign(conn, frame, request_id);
+        return dispatch_campaign(conn, frame, request_id, start_us);
+      case FrameType::kStatsRequest:
+        return handle_stats(conn, frame, request_id);
+      case FrameType::kTraceStart:
+        return handle_trace(conn, frame, request_id, /*start=*/true);
+      case FrameType::kTraceStop:
+        return handle_trace(conn, frame, request_id, /*start=*/false);
       case FrameType::kResponse:
       case FrameType::kPong:
       case FrameType::kErrorFrame:
+      case FrameType::kStatsResponse:
         // Server-to-client types arriving at the server: a confused or
         // hostile peer.  Kill the connection, keep the server.
         wire_errors.fetch_add(1, std::memory_order_relaxed);
-        bump("serve.wire_errors");
+        count_wire_error();
         send_error_frame(conn, request_id,
                          std::string("protocol violation: client sent a ") +
                              frame_type_name(frame.type) + " frame");
@@ -204,9 +378,123 @@ struct Server::Impl {
     return false;
   }
 
+  // ---- stats / trace frames --------------------------------------------
+
+  bool handle_stats(const std::shared_ptr<Connection>& conn, const Frame& frame,
+                    std::uint64_t request_id) {
+    if (frame.payload.size() != 8) {
+      Response r;
+      r.request_id = request_id;
+      r.status = ResponseStatus::kError;
+      r.message = "invalid stats request: payload must be exactly the u64 request id";
+      send_response(conn, r);
+      return true;
+    }
+    StatsReport sr;
+    sr.request_id = request_id;
+    sr.server_version = kServeVersion;
+    sr.simd_level = exec::simd_level_name(exec::simd_level());
+    sr.hardware_concurrency = std::thread::hardware_concurrency();
+    sr.pid = static_cast<std::uint64_t>(::getpid());
+    sr.uptime_ms = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - started)
+            .count());
+    sr.stats = obs::encode_stats(obs::snapshot_metrics());
+    const std::vector<std::uint8_t> payload = encode_payload(sr);
+    try {
+      std::lock_guard<std::mutex> lk(conn->write_mu);
+      write_frame(*conn->stream, FrameType::kStatsResponse, payload);
+      requests_served.fetch_add(1, std::memory_order_relaxed);
+      count_bytes_out(payload.size());
+    } catch (const WireError&) {
+      conn->dead.store(true, std::memory_order_release);
+    }
+    return true;
+  }
+
+  bool handle_trace(const std::shared_ptr<Connection>& conn, const Frame& frame,
+                    std::uint64_t request_id, bool start) {
+    Response r;
+    r.request_id = request_id;
+    if (frame.payload.size() != 8) {
+      r.status = ResponseStatus::kError;
+      r.message = "invalid trace request: payload must be exactly the u64 request id";
+      send_response(conn, r);
+      return true;
+    }
+    if (start) {
+      std::string path;
+      {
+        std::lock_guard<std::mutex> lk(mu);
+        if (trace_armed) {
+          r.status = ResponseStatus::kError;
+          r.message = "a remote trace capture is already armed; stop it first";
+        } else {
+          const std::string dir = options.artifact_dir.empty()
+                                      ? std::filesystem::temp_directory_path().string()
+                                      : options.artifact_dir;
+          trace_file = dir + "/nanocost_serve_trace_" +
+                       std::to_string(static_cast<unsigned long long>(::getpid())) +
+                       ".json";
+          trace_armed = true;
+          path = trace_file;
+        }
+      }
+      if (!path.empty()) {
+        obs::start_trace(path);
+        r.message = "trace armed";
+      }
+      send_response(conn, r);
+      return true;
+    }
+    std::string path;
+    {
+      std::lock_guard<std::mutex> lk(mu);
+      if (!trace_armed) {
+        r.status = ResponseStatus::kError;
+        r.message = "no remote trace capture is armed";
+      } else {
+        trace_armed = false;
+        path = trace_file;
+      }
+    }
+    if (!path.empty()) {
+      if (!obs::stop_trace()) {
+        r.status = ResponseStatus::kError;
+        r.message = "trace capture failed to write " + path;
+      } else {
+        std::ifstream in(path, std::ios::binary);
+        if (!in.is_open()) {
+          r.status = ResponseStatus::kError;
+          r.message = "trace capture wrote no file at " + path;
+        } else {
+          std::vector<std::uint8_t> bytes{std::istreambuf_iterator<char>(in),
+                                          std::istreambuf_iterator<char>()};
+          // The Chrome JSON must fit one NCWIRE01 frame with headroom
+          // for the response envelope.
+          constexpr std::size_t kEnvelopeSlack = 64 * 1024;
+          if (bytes.size() + kEnvelopeSlack > kMaxPayloadBytes) {
+            r.status = ResponseStatus::kError;
+            r.message = "trace too large to return in-band (" +
+                        std::to_string(bytes.size()) + " bytes); left at " + path;
+          } else {
+            r.result = std::move(bytes);
+            r.message = "chrome trace json";
+            std::remove(path.c_str());
+          }
+        }
+      }
+    }
+    send_response(conn, r);
+    return true;
+  }
+
   bool dispatch_light(const std::shared_ptr<Connection>& conn, const Frame& frame,
-                      std::uint64_t request_id) {
+                      std::uint64_t request_id, std::uint64_t start_us) {
     LightJob job;
+    const JobKind kind =
+        frame.type == FrameType::kEq4Request ? JobKind::kEq4 : JobKind::kRisk;
     try {
       if (frame.type == FrameType::kEq4Request) {
         job.is_eq4 = true;
@@ -225,6 +513,7 @@ struct Server::Impl {
       r.status = ResponseStatus::kError;
       r.message = std::string("invalid job payload: ") + e.what();
       send_response(conn, r);
+      record_latency(kind, r.status, start_us);
       return true;
     }
     {
@@ -232,20 +521,26 @@ struct Server::Impl {
       auto it = light_inflight.find(job.key);
       if (it != light_inflight.end()) {
         // An identical job is already computing: piggyback.
-        it->second.push_back(Waiter{conn, request_id});
+        it->second.push_back(Waiter{conn, request_id, start_us});
         coalesced_count.fetch_add(1, std::memory_order_relaxed);
-        bump("serve.coalesced");
+        count_coalesced();
+        ++inflight_waiters;
+        ++coalesced_waiters;
+        set_inflight(inflight_waiters);
+        set_coalesced_inflight(coalesced_waiters);
         return true;
       }
-      light_inflight[job.key] = {Waiter{conn, request_id}};
+      light_inflight[job.key] = {Waiter{conn, request_id, start_us}};
       light_queue.push_back(std::move(job));
+      ++inflight_waiters;
+      set_inflight(inflight_waiters);
     }
     light_cv.notify_one();
     return true;
   }
 
   bool dispatch_campaign(const std::shared_ptr<Connection>& conn, const Frame& frame,
-                         std::uint64_t request_id) {
+                         std::uint64_t request_id, std::uint64_t start_us) {
     CampaignJob job;
     std::unique_ptr<fabsim::FabSimulator> sim;
     cache::Digest128 key;
@@ -259,6 +554,7 @@ struct Server::Impl {
       r.status = ResponseStatus::kError;
       r.message = std::string("invalid campaign job: ") + e.what();
       send_response(conn, r);
+      record_latency(JobKind::kCampaign, r.status, start_us);
       return true;
     }
     std::size_t slot = 0;
@@ -268,9 +564,13 @@ struct Server::Impl {
       std::unique_lock<std::mutex> lk(mu);
       auto it = campaign_inflight.find(key);
       if (it != campaign_inflight.end()) {
-        pending.at(it->second).waiters.push_back(Waiter{conn, request_id});
+        pending.at(it->second).waiters.push_back(Waiter{conn, request_id, start_us});
         coalesced_count.fetch_add(1, std::memory_order_relaxed);
-        bump("serve.coalesced");
+        count_coalesced();
+        ++inflight_waiters;
+        ++coalesced_waiters;
+        set_inflight(inflight_waiters);
+        set_coalesced_inflight(coalesced_waiters);
         return true;
       }
       auto task = std::make_unique<fabsim::FabLotCampaign>(*sim, job.n_wafers, job.seed);
@@ -293,7 +593,7 @@ struct Server::Impl {
       if (outcome.status == robust::SubmissionStatus::kShed ||
           outcome.status == robust::SubmissionStatus::kStopped) {
         campaigns_shed.fetch_add(1, std::memory_order_relaxed);
-        bump("serve.shed");
+        count_shed();
         immediate.request_id = request_id;
         immediate.status = outcome.status == robust::SubmissionStatus::kShed
                                ? ResponseStatus::kShed
@@ -304,20 +604,21 @@ struct Server::Impl {
         PendingCampaign pc;
         pc.sim = std::move(sim);
         pc.task = std::move(task);
-        pc.waiters.push_back(Waiter{conn, request_id});
+        pc.waiters.push_back(Waiter{conn, request_id, start_us});
         pc.key = key;
         pending.emplace(slot, std::move(pc));
         campaign_inflight.emplace(key, slot);
+        ++inflight_waiters;
+        set_inflight(inflight_waiters);
         admitted = true;
       }
-      if (obs::metrics_enabled()) {
-        obs::gauge("serve.queue_depth").set(static_cast<double>(queue.outstanding()));
-      }
+      set_queue_depth(queue.outstanding());
     }
     if (admitted) {
       runner_cv.notify_one();
     } else {
       send_response(conn, immediate);
+      record_latency(JobKind::kCampaign, immediate.status, start_us);
     }
     return true;
   }
@@ -346,11 +647,19 @@ struct Server::Impl {
       lk.lock();
       std::vector<Waiter> waiters = std::move(light_inflight[job.key]);
       light_inflight.erase(job.key);
+      inflight_waiters -= static_cast<std::int64_t>(waiters.size());
+      if (waiters.size() > 1) {
+        coalesced_waiters -= static_cast<std::int64_t>(waiters.size() - 1);
+      }
+      set_inflight(inflight_waiters);
+      set_coalesced_inflight(coalesced_waiters);
       lk.unlock();
+      const JobKind kind = job.is_eq4 ? JobKind::kEq4 : JobKind::kRisk;
       for (std::size_t i = 0; i < waiters.size(); ++i) {
         r.request_id = waiters[i].request_id;
         r.coalesced = i > 0;
         send_response(waiters[i].conn, r);
+        record_latency(kind, r.status, waiters[i].start_us);
       }
       lk.lock();
     }
@@ -424,14 +733,19 @@ struct Server::Impl {
       } else {
         r.completeness = 0.0;
       }
-      if (obs::metrics_enabled()) {
-        obs::gauge("serve.queue_depth").set(static_cast<double>(queue.outstanding()));
+      inflight_waiters -= static_cast<std::int64_t>(waiters.size());
+      if (waiters.size() > 1) {
+        coalesced_waiters -= static_cast<std::int64_t>(waiters.size() - 1);
       }
+      set_inflight(inflight_waiters);
+      set_coalesced_inflight(coalesced_waiters);
+      set_queue_depth(queue.outstanding());
     }
     for (std::size_t i = 0; i < waiters.size(); ++i) {
       r.request_id = waiters[i].request_id;
       r.coalesced = i > 0;
       send_response(waiters[i].conn, r);
+      record_latency(JobKind::kCampaign, r.status, waiters[i].start_us);
     }
   }
 
@@ -542,6 +856,17 @@ struct Server::Impl {
       if (c->reader.joinable()) c->reader.join();
     }
 
+    // A remote trace capture nobody stopped must not outlive the
+    // server: disarm it and drop the orphaned file.
+    {
+      std::lock_guard<std::mutex> lk(mu);
+      if (trace_armed) {
+        trace_armed = false;
+        obs::stop_trace();
+        std::remove(trace_file.c_str());
+      }
+    }
+
     // 3. Drain the light-job queue: workers finish everything queued,
     // then exit.
     {
@@ -615,6 +940,10 @@ struct Server::Impl {
   bool shutting_down = false;
   bool workers_stop = false;
   bool campaigns_closed = false;
+  bool trace_armed = false;      ///< a remote kTraceStart is live
+  std::string trace_file;        ///< where the armed capture will land
+  std::int64_t inflight_waiters = 0;   ///< dispatched job waiters not yet answered
+  std::int64_t coalesced_waiters = 0;  ///< the subset piggybacking on another job
 
   std::condition_variable light_cv;
   std::condition_variable runner_cv;
@@ -639,6 +968,9 @@ struct Server::Impl {
   std::atomic<std::uint64_t> campaigns_completed{0};
   std::atomic<std::uint64_t> campaigns_stopped{0};
   std::atomic<std::uint64_t> campaigns_shed{0};
+
+  /// Construction instant; kStatsResponse reports uptime against it.
+  const std::chrono::steady_clock::time_point started = std::chrono::steady_clock::now();
 };
 
 Server::Server(ServerOptions options) : impl_(std::make_unique<Impl>(std::move(options))) {}

@@ -83,9 +83,13 @@ bool is_known_frame_type(std::uint32_t type) noexcept {
     case FrameType::kRiskRequest:
     case FrameType::kCampaignRequest:
     case FrameType::kPing:
+    case FrameType::kStatsRequest:
+    case FrameType::kTraceStart:
+    case FrameType::kTraceStop:
     case FrameType::kResponse:
     case FrameType::kPong:
     case FrameType::kErrorFrame:
+    case FrameType::kStatsResponse:
       return true;
   }
   return false;
@@ -101,12 +105,20 @@ const char* frame_type_name(FrameType type) noexcept {
       return "campaign-request";
     case FrameType::kPing:
       return "ping";
+    case FrameType::kStatsRequest:
+      return "stats-request";
+    case FrameType::kTraceStart:
+      return "trace-start";
+    case FrameType::kTraceStop:
+      return "trace-stop";
     case FrameType::kResponse:
       return "response";
     case FrameType::kPong:
       return "pong";
     case FrameType::kErrorFrame:
       return "error";
+    case FrameType::kStatsResponse:
+      return "stats-response";
   }
   return "unknown";
 }

@@ -1,22 +1,30 @@
-// nanocost::obs: metrics registry, span tracer, and the inertness
-// contract (observation on == observation off, bitwise, at any thread
-// count).
+// nanocost::obs: metrics registry, span tracer, the inertness contract
+// (observation on == observation off, bitwise, at any thread count),
+// the NCSTAT01 stats codec, quantile estimation, snapshot deltas, and
+// Prometheus exposition.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cctype>
+#include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <fstream>
+#include <random>
 #include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "corruption_matrix.hpp"
 #include "nanocost/core/risk.hpp"
 #include "nanocost/exec/thread_pool.hpp"
 #include "nanocost/fabsim/simulator.hpp"
 #include "nanocost/netlist/generator.hpp"
 #include "nanocost/obs/metrics.hpp"
+#include "nanocost/obs/prometheus.hpp"
+#include "nanocost/obs/stats.hpp"
 #include "nanocost/obs/trace.hpp"
 #include "nanocost/place/placer.hpp"
 
@@ -316,6 +324,313 @@ TEST(ObsTrace, UnwritablePathReportsFailure) {
   obs::start_trace("/nonexistent-dir-for-obs-test/trace.json");
   { obs::ObsSpan span("test.unwritable"); }
   EXPECT_FALSE(obs::stop_trace());
+}
+
+// ---- NCSTAT01 stats codec ------------------------------------------------
+
+/// The snapshot every codec test pins: two counters, a gauge, and one
+/// histogram with all bookkeeping fields non-trivial.
+obs::MetricsSnapshot stat_fixture() {
+  obs::MetricsSnapshot snap;
+  snap.counters = {{"serve.requests", 42}, {"serve.shed", 7}};
+  snap.gauges = {{"serve.queue_depth", 1.5}};
+  obs::HistogramSnapshot h;
+  h.name = "serve.request_us";
+  h.bounds = {100, 1000, 10000};
+  h.buckets = {1, 2, 3, 4};
+  h.count = 10;
+  h.sum = 54321;
+  h.min = 37;
+  h.max = 99999;
+  snap.histograms.push_back(std::move(h));
+  return snap;
+}
+
+std::string to_hex(const std::vector<std::uint8_t>& bytes) {
+  static const char* kDigits = "0123456789abcdef";
+  std::string out;
+  out.reserve(bytes.size() * 2);
+  for (const std::uint8_t b : bytes) {
+    out.push_back(kDigits[b >> 4]);
+    out.push_back(kDigits[b & 0xF]);
+  }
+  return out;
+}
+
+TEST(ObsStats, RoundTripIsBitwise) {
+  const obs::MetricsSnapshot snap = stat_fixture();
+  const std::vector<std::uint8_t> blob = obs::encode_stats(snap);
+  const obs::MetricsSnapshot back = obs::decode_stats(blob);
+
+  ASSERT_EQ(back.counters.size(), 2u);
+  EXPECT_EQ(back.counters[0].first, "serve.requests");
+  EXPECT_EQ(back.counters[0].second, 42u);
+  EXPECT_EQ(back.counters[1].first, "serve.shed");
+  EXPECT_EQ(back.counters[1].second, 7u);
+  ASSERT_EQ(back.gauges.size(), 1u);
+  EXPECT_EQ(back.gauges[0].first, "serve.queue_depth");
+  EXPECT_DOUBLE_EQ(back.gauges[0].second, 1.5);
+  ASSERT_EQ(back.histograms.size(), 1u);
+  const obs::HistogramSnapshot& h = back.histograms[0];
+  EXPECT_EQ(h.name, "serve.request_us");
+  EXPECT_EQ(h.bounds, (std::vector<std::uint64_t>{100, 1000, 10000}));
+  EXPECT_EQ(h.buckets, (std::vector<std::uint64_t>{1, 2, 3, 4}));
+  EXPECT_EQ(h.count, 10u);
+  EXPECT_EQ(h.sum, 54321u);
+  EXPECT_EQ(h.min, 37u);
+  EXPECT_EQ(h.max, 99999u);
+
+  // Re-encoding the decoded snapshot reproduces the blob bitwise.
+  EXPECT_EQ(obs::encode_stats(back), blob);
+}
+
+TEST(ObsStats, GoldenVectorPinsTheFormat) {
+  // The NCSTAT01 bytes of stat_fixture(), pinned byte for byte.  If
+  // this test fails, the wire format changed: that requires a version
+  // bump, not a golden update.
+  const std::string kGoldenHex =
+      "4e43535441543031010000000200000000000000010e00000000000000736572"
+      "76652e72657175657374732a00000000000000010a0000000000000073657276"
+      "652e736865640700000000000000010000000000000002110000000000000073"
+      "657276652e71756575655f6465707468000000000000f83f0100000000000000"
+      "03100000000000000073657276652e726571756573745f757303000000000000"
+      "006400000000000000e803000000000000102700000000000001000000000000"
+      "000200000000000000030000000000000004000000000000000a000000000000"
+      "0031d400000000000025000000000000009f860100000000000cd4ee8e7bbf65"
+      "92";
+  const std::vector<std::uint8_t> blob = obs::encode_stats(stat_fixture());
+  EXPECT_EQ(to_hex(blob), kGoldenHex);
+}
+
+TEST(ObsStats, EncodeRejectsMalformedSnapshot) {
+  obs::MetricsSnapshot snap = stat_fixture();
+  snap.histograms[0].buckets.pop_back();  // bounds+1 invariant broken
+  EXPECT_THROW((void)obs::encode_stats(snap), obs::StatError);
+}
+
+TEST(ObsStats, DecodeRejectsWrongMagicAndVersion) {
+  std::vector<std::uint8_t> blob = obs::encode_stats(stat_fixture());
+  {
+    std::vector<std::uint8_t> bad = blob;
+    bad[0] = 'X';
+    EXPECT_THROW((void)obs::decode_stats(bad), obs::StatError);
+  }
+  EXPECT_THROW((void)obs::decode_stats(std::vector<std::uint8_t>{'N', 'C'}),
+               obs::StatError);
+}
+
+TEST(ObsStats, CorruptionMatrixRejectsEveryMutation) {
+  const std::vector<std::uint8_t> good = obs::encode_stats(stat_fixture());
+  nanocost::testing::CorruptionMatrixOptions opts;
+  // Offset 12: the u64 counter count (after magic + version).  Offset
+  // 21: the first counter's u64 name length (after its 1-byte tag).
+  opts.u64_length_offsets = {12, 21};
+  nanocost::testing::run_corruption_matrix(
+      good,
+      [](const std::vector<std::uint8_t>& bytes) {
+        nanocost::testing::CorruptionVerdict v;
+        try {
+          (void)obs::decode_stats(bytes);
+        } catch (const obs::StatError& e) {
+          v.rejected = true;
+          v.diagnostic = e.what();
+        }
+        return v;
+      },
+      opts);
+}
+
+// ---- quantile estimation -------------------------------------------------
+
+TEST(ObsStats, QuantileOfEmptyHistogramIsZero) {
+  obs::HistogramSnapshot h;
+  h.bounds = {10, 20};
+  h.buckets = {0, 0, 0};
+  EXPECT_DOUBLE_EQ(obs::histogram_quantile(h, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(obs::histogram_quantile(h, 0.99), 0.0);
+}
+
+TEST(ObsStats, QuantileHitsExactBucketBoundaries) {
+  // 5 samples per bucket: the 1/3 and 2/3 quantiles land exactly on
+  // the bucket upper bounds under linear interpolation.
+  obs::HistogramSnapshot h;
+  h.bounds = {10, 20, 30};
+  h.buckets = {5, 5, 5, 0};
+  h.count = 15;
+  h.min = 2;
+  h.max = 30;
+  EXPECT_DOUBLE_EQ(obs::histogram_quantile(h, 1.0 / 3.0), 10.0);
+  EXPECT_DOUBLE_EQ(obs::histogram_quantile(h, 2.0 / 3.0), 20.0);
+  EXPECT_DOUBLE_EQ(obs::histogram_quantile(h, 1.0), 30.0);
+}
+
+TEST(ObsStats, QuantileSingleBucketInterpolatesAndClamps) {
+  obs::HistogramSnapshot h;
+  h.bounds = {100};
+  h.buckets = {4, 0};
+  h.count = 4;
+  h.min = 20;
+  h.max = 80;
+  // Rank 2 of 4 interpolates to the middle of [0, 100].
+  EXPECT_DOUBLE_EQ(obs::histogram_quantile(h, 0.5), 50.0);
+  // q=0 clamps to rank 1 -> 25; q=1 interpolates to 100, clamped to
+  // the exact max.
+  EXPECT_DOUBLE_EQ(obs::histogram_quantile(h, 0.0), 25.0);
+  EXPECT_DOUBLE_EQ(obs::histogram_quantile(h, 1.0), 80.0);
+  // Out-of-range q clamps into [0, 1].
+  EXPECT_DOUBLE_EQ(obs::histogram_quantile(h, -3.0), 25.0);
+  EXPECT_DOUBLE_EQ(obs::histogram_quantile(h, 7.0), 80.0);
+}
+
+TEST(ObsStats, QuantileOverflowBucketReportsExactMax) {
+  obs::HistogramSnapshot h;
+  h.bounds = {10};
+  h.buckets = {1, 9};
+  h.count = 10;
+  h.min = 5;
+  h.max = 1234;
+  EXPECT_DOUBLE_EQ(obs::histogram_quantile(h, 0.99), 1234.0);
+  EXPECT_DOUBLE_EQ(obs::histogram_quantile(h, 0.5), 1234.0);
+  // Rank 1 is still in the first bucket.
+  EXPECT_DOUBLE_EQ(obs::histogram_quantile(h, 0.05), 10.0);
+}
+
+TEST(ObsStats, QuantilesMatchSortedSampleOracle) {
+  // Seeded random samples, bucketed the way obs::Histogram buckets
+  // them; the interpolated estimate must stay within one bucket width
+  // of the exact order statistic.
+  const std::vector<std::uint64_t> bounds{1, 2, 4, 8, 16, 32, 64, 128};
+  std::mt19937_64 rng(20260808);
+  std::uniform_int_distribution<std::uint64_t> dist(0, 150);
+  for (int round = 0; round < 5; ++round) {
+    obs::HistogramSnapshot h;
+    h.bounds = bounds;
+    h.buckets.assign(bounds.size() + 1, 0);
+    h.min = ~0ULL;
+    std::vector<std::uint64_t> samples(1000);
+    for (std::uint64_t& v : samples) {
+      v = dist(rng);
+      std::size_t b = bounds.size();
+      for (std::size_t i = 0; i < bounds.size(); ++i) {
+        if (v <= bounds[i]) {
+          b = i;
+          break;
+        }
+      }
+      ++h.buckets[b];
+      ++h.count;
+      h.sum += v;
+      h.min = std::min(h.min, v);
+      h.max = std::max(h.max, v);
+    }
+    std::sort(samples.begin(), samples.end());
+    for (const double q : {0.50, 0.90, 0.99}) {
+      const double target = std::max(1.0, q * static_cast<double>(samples.size()));
+      const auto rank = static_cast<std::size_t>(std::ceil(target));
+      const double oracle = static_cast<double>(samples[rank - 1]);
+      const double est = obs::histogram_quantile(h, q);
+      if (oracle > static_cast<double>(bounds.back())) {
+        // The exact order statistic overflows the ladder: the rule
+        // reports the exact max.
+        EXPECT_DOUBLE_EQ(est, static_cast<double>(h.max)) << "q=" << q;
+        continue;
+      }
+      std::size_t b = 0;
+      while (oracle > static_cast<double>(bounds[b])) ++b;
+      const double lower = b == 0 ? 0.0 : static_cast<double>(bounds[b - 1]);
+      const double width = static_cast<double>(bounds[b]) - lower;
+      EXPECT_NEAR(est, oracle, width) << "q=" << q << " round=" << round;
+    }
+  }
+}
+
+// ---- snapshot deltas -----------------------------------------------------
+
+TEST(ObsStats, DeltaSubtractsCountersAndHistograms) {
+  obs::MetricsSnapshot older = stat_fixture();
+  obs::MetricsSnapshot newer = stat_fixture();
+  newer.counters[0].second = 100;  // serve.requests 42 -> 100
+  newer.gauges[0].second = 9.0;
+  newer.histograms[0].buckets = {2, 2, 4, 5};
+  newer.histograms[0].count = 13;
+  newer.histograms[0].sum = 60000;
+
+  const obs::MetricsSnapshot d = obs::delta_stats(newer, older);
+  ASSERT_EQ(d.counters.size(), 2u);
+  EXPECT_EQ(d.counters[0].second, 58u);  // 100 - 42
+  EXPECT_EQ(d.counters[1].second, 0u);   // 7 - 7
+  EXPECT_DOUBLE_EQ(d.gauges[0].second, 9.0);  // levels pass through
+  ASSERT_EQ(d.histograms.size(), 1u);
+  EXPECT_EQ(d.histograms[0].buckets, (std::vector<std::uint64_t>{1, 0, 1, 1}));
+  EXPECT_EQ(d.histograms[0].count, 3u);
+  EXPECT_EQ(d.histograms[0].sum, 60000u - 54321u);
+  // min/max stay lifetime extremes; a delta must not invent tighter ones.
+  EXPECT_EQ(d.histograms[0].min, 37u);
+  EXPECT_EQ(d.histograms[0].max, 99999u);
+}
+
+TEST(ObsStats, DeltaTreatsShrunkCounterAsRestart) {
+  obs::MetricsSnapshot older = stat_fixture();
+  obs::MetricsSnapshot newer = stat_fixture();
+  newer.counters[0].second = 5;  // below the older 42: the server restarted
+  const obs::MetricsSnapshot d = obs::delta_stats(newer, older);
+  EXPECT_EQ(d.counters[0].second, 5u);  // reported whole
+}
+
+TEST(ObsStats, DeltaHandlesAppearingAndVanishingMetrics) {
+  obs::MetricsSnapshot older = stat_fixture();
+  obs::MetricsSnapshot newer = stat_fixture();
+  newer.counters.emplace_back("serve.new_counter", 3);
+  older.counters.emplace_back("serve.old_counter", 9);
+  const obs::MetricsSnapshot d = obs::delta_stats(newer, older);
+  bool saw_new = false;
+  for (const auto& [name, value] : d.counters) {
+    if (name == "serve.new_counter") {
+      saw_new = true;
+      EXPECT_EQ(value, 3u);  // absent from older: treated as 0 before
+    }
+    EXPECT_NE(name, "serve.old_counter");  // absent from newer: dropped
+  }
+  EXPECT_TRUE(saw_new);
+}
+
+// ---- Prometheus exposition -----------------------------------------------
+
+TEST(ObsPrometheus, SanitizesMetricNames) {
+  EXPECT_EQ(obs::sanitize_metric_name("serve.queue_depth"), "serve_queue_depth");
+  EXPECT_EQ(obs::sanitize_metric_name("9lives"), "_9lives");
+  EXPECT_EQ(obs::sanitize_metric_name("a-b.c"), "a_b_c");
+  EXPECT_EQ(obs::sanitize_metric_name("ok_name:x"), "ok_name:x");
+  EXPECT_EQ(obs::sanitize_metric_name(""), "_");
+}
+
+TEST(ObsPrometheus, RendersCumulativeHistogramForm) {
+  const std::string text = obs::render_metrics_prometheus(stat_fixture());
+  EXPECT_NE(text.find("# TYPE serve_requests counter\nserve_requests 42\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("# TYPE serve_queue_depth gauge\nserve_queue_depth 1.5\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE serve_request_us histogram\n"), std::string::npos);
+  // Buckets accumulate left to right; +Inf equals _count.
+  EXPECT_NE(text.find("serve_request_us_bucket{le=\"100\"} 1\n"), std::string::npos);
+  EXPECT_NE(text.find("serve_request_us_bucket{le=\"1000\"} 3\n"), std::string::npos);
+  EXPECT_NE(text.find("serve_request_us_bucket{le=\"10000\"} 6\n"), std::string::npos);
+  EXPECT_NE(text.find("serve_request_us_bucket{le=\"+Inf\"} 10\n"), std::string::npos);
+  EXPECT_NE(text.find("serve_request_us_sum 54321\n"), std::string::npos);
+  EXPECT_NE(text.find("serve_request_us_count 10\n"), std::string::npos);
+}
+
+TEST(ObsPrometheus, LiveRegistryRenderRoundTripsThroughNcstat) {
+  // The daemon path in miniature: snapshot the live registry, encode,
+  // decode, render -- the rendered exposition must equal rendering the
+  // original snapshot directly.
+  obs::counter("test.prom_live").add(11);
+  obs::histogram("test.prom_live_hist", {5, 50}).record(7);
+  const obs::MetricsSnapshot snap = obs::snapshot_metrics();
+  const obs::MetricsSnapshot back = obs::decode_stats(obs::encode_stats(snap));
+  EXPECT_EQ(obs::render_metrics_prometheus(back), obs::render_metrics_prometheus(snap));
+  EXPECT_EQ(obs::render_metrics_json(back), obs::render_metrics_json(snap));
 }
 
 // ---- inertness: observation must not change engine outputs ---------------

@@ -31,6 +31,8 @@
 #include "nanocost/cache/codec.hpp"
 #include "nanocost/core/optimizer.hpp"
 #include "nanocost/core/risk.hpp"
+#include "nanocost/obs/metrics.hpp"
+#include "nanocost/obs/stats.hpp"
 #include "nanocost/robust/fault_injection.hpp"
 #include "nanocost/serve/client.hpp"
 #include "nanocost/serve/jobs.hpp"
@@ -174,7 +176,9 @@ TEST(WireFrame, RoundTripsEveryType) {
   const std::vector<std::uint8_t> payload = encode_payload(small_risk());
   for (const FrameType type :
        {FrameType::kEq4Request, FrameType::kRiskRequest, FrameType::kCampaignRequest,
-        FrameType::kPing, FrameType::kResponse, FrameType::kPong, FrameType::kErrorFrame}) {
+        FrameType::kPing, FrameType::kStatsRequest, FrameType::kTraceStart,
+        FrameType::kTraceStop, FrameType::kResponse, FrameType::kPong,
+        FrameType::kErrorFrame, FrameType::kStatsResponse}) {
     MemStream stream(encode_frame(type, payload));
     const std::optional<Frame> frame = read_frame(stream);
     ASSERT_TRUE(frame.has_value()) << frame_type_name(type);
@@ -840,6 +844,208 @@ TEST(Faults, AcceptFaultDropsTheClientListenerSurvives) {
 
   server.shutdown();
   EXPECT_FALSE(std::filesystem::exists(socket_path)) << "drain must unlink the socket";
+}
+
+// ---------------------------------------------------------------------------
+// Telemetry plane: kStatsRequest scrapes, per-job latency histograms,
+// remote trace capture.
+
+// Stats tests flip the global metrics switch; restore the inert default
+// (and a zeroed registry) on exit so the determinism suite above keeps
+// seeing the disabled state it asserts.
+struct MetricsGuard {
+  MetricsGuard() {
+    obs::set_metrics_enabled(true);
+    obs::reset_metrics();
+  }
+  ~MetricsGuard() {
+    obs::reset_metrics();
+    obs::set_metrics_enabled(false);
+  }
+};
+
+const obs::HistogramSnapshot* find_snapshot_histogram(const obs::MetricsSnapshot& snap,
+                                                      const std::string& name) {
+  for (const obs::HistogramSnapshot& h : snap.histograms) {
+    if (h.name == name) return &h;
+  }
+  return nullptr;
+}
+
+std::uint64_t snapshot_counter(const obs::MetricsSnapshot& snap, const std::string& name) {
+  for (const auto& [counter_name, value] : snap.counters) {
+    if (counter_name == name) return value;
+  }
+  return 0;
+}
+
+TEST(StatsFrame, ReportCodecRoundTripsAndIsStrict) {
+  StatsReport report;
+  report.request_id = 77;
+  report.server_version = "1.0.0";
+  report.simd_level = "avx2";
+  report.hardware_concurrency = 8;
+  report.pid = 4242;
+  report.uptime_ms = 123456;
+  report.stats = obs::encode_stats(obs::MetricsSnapshot{});
+
+  const std::vector<std::uint8_t> payload = encode_payload(report);
+  const StatsReport back = decode_stats_report(payload);
+  EXPECT_EQ(back.request_id, 77u);
+  EXPECT_EQ(back.server_version, "1.0.0");
+  EXPECT_EQ(back.simd_level, "avx2");
+  EXPECT_EQ(back.hardware_concurrency, 8u);
+  EXPECT_EQ(back.pid, 4242u);
+  EXPECT_EQ(back.uptime_ms, 123456u);
+  EXPECT_EQ(back.stats, report.stats);
+  // The embedded blob is itself a valid NCSTAT01 document.
+  EXPECT_NO_THROW((void)obs::decode_stats(back.stats));
+
+  std::vector<std::uint8_t> padded = payload;
+  padded.push_back(0);
+  EXPECT_THROW((void)decode_stats_report(padded), std::exception);
+  const std::vector<std::uint8_t> cut(payload.begin(), payload.end() - 4);
+  EXPECT_THROW((void)decode_stats_report(cut), std::exception);
+}
+
+TEST(StatsFrame, ScrapeCountsJobResponsesAndMatchesInProcessQuantiles) {
+  MetricsGuard metrics;
+  Server server(ServerOptions{});
+  Client client = make_client(server);
+
+  // Three job responses; the ping and the scrape itself must not land
+  // in the request-latency histogram (they would skew the quantiles the
+  // scrape exists to report).
+  EXPECT_EQ(client.wait(client.submit(small_eq4())).status, ResponseStatus::kOk);
+  EXPECT_EQ(client.wait(client.submit(small_risk(64))).status, ResponseStatus::kOk);
+  EXPECT_EQ(client.wait(client.submit(small_campaign(5))).status, ResponseStatus::kOk);
+  EXPECT_TRUE(client.ping());
+
+  const StatsReport report = client.stats();
+  EXPECT_EQ(report.server_version, "1.0.0");
+  EXPECT_FALSE(report.simd_level.empty());
+  EXPECT_EQ(report.hardware_concurrency, std::thread::hardware_concurrency());
+  // The server runs in-process, so its reported pid is ours.
+  EXPECT_EQ(report.pid, static_cast<std::uint64_t>(::getpid()));
+
+  const obs::MetricsSnapshot remote = obs::decode_stats(report.stats);
+  const obs::HistogramSnapshot* latency =
+      find_snapshot_histogram(remote, "serve.request_us");
+  ASSERT_NE(latency, nullptr);
+  EXPECT_EQ(latency->count, 3u) << "latency histogram must count exactly the job responses";
+
+  // Per-job-type/outcome histograms: one ok each, no error/shed cells.
+  for (const char* name : {"serve.latency_us.eq4.ok", "serve.latency_us.risk.ok",
+                           "serve.latency_us.campaign.ok"}) {
+    const obs::HistogramSnapshot* h = find_snapshot_histogram(remote, name);
+    ASSERT_NE(h, nullptr) << name;
+    EXPECT_EQ(h->count, 1u) << name;
+  }
+  EXPECT_EQ(snapshot_counter(remote, "serve.shed"), 0u);
+  EXPECT_EQ(snapshot_counter(remote, "serve.wire_errors"), 0u);
+  EXPECT_GE(snapshot_counter(remote, "serve.requests"), 5u);  // 3 jobs + ping + scrape
+  EXPECT_GT(snapshot_counter(remote, "serve.bytes_in"), 0u);
+  EXPECT_GT(snapshot_counter(remote, "serve.bytes_out"), 0u);
+
+  // The quantiles a remote scraper reconstructs from the NCSTAT01 blob
+  // equal the in-process values bit for bit: same buckets, same rule.
+  // (Nothing records into the latency histogram after the scrape --
+  // stats frames are excluded -- so the live registry still holds the
+  // scraped state.)
+  const obs::MetricsSnapshot live = obs::snapshot_metrics();
+  const obs::HistogramSnapshot* local =
+      find_snapshot_histogram(live, "serve.request_us");
+  ASSERT_NE(local, nullptr);
+  for (const double q : {0.5, 0.9, 0.99}) {
+    EXPECT_DOUBLE_EQ(obs::histogram_quantile(*latency, q),
+                     obs::histogram_quantile(*local, q))
+        << "q=" << q;
+  }
+
+  const DrainReport drain = server.shutdown();
+  // The scrape counts as a served response (it answered a request), on
+  // top of the three jobs.
+  EXPECT_EQ(drain.requests_served, 4u);
+}
+
+TEST(StatsFrame, MalformedStatsPayloadGetsErrorResponseOnALiveConnection) {
+  Server server(ServerOptions{});
+  RawPeer peer(server);
+  peer.send(encode_frame(FrameType::kStatsRequest, {1, 2, 3}));
+  cache::ByteWriter w;
+  w.u64(99);
+  peer.send(encode_frame(FrameType::kPing, w.take()));
+
+  bool saw_error_response = false;
+  bool saw_pong = false;
+  MemStream parser(peer.slurp());
+  while (true) {
+    const std::optional<Frame> frame = read_frame(parser);
+    if (!frame) break;
+    if (frame->type == FrameType::kResponse) {
+      const Response r = decode_response(frame->payload);
+      EXPECT_EQ(r.status, ResponseStatus::kError);
+      EXPECT_NE(r.message.find("invalid stats request"), std::string::npos) << r.message;
+      saw_error_response = true;
+    }
+    if (frame->type == FrameType::kPong) saw_pong = true;
+  }
+  EXPECT_TRUE(saw_error_response);
+  EXPECT_TRUE(saw_pong);
+}
+
+TEST(RemoteTrace, CaptureReturnsChromeJsonContainingServeSpans) {
+  Server server(ServerOptions{});
+  Client client = make_client(server);
+
+  const Response armed = client.trace_start();
+  ASSERT_EQ(armed.status, ResponseStatus::kOk) << armed.message;
+  EXPECT_NE(armed.message.find("trace armed"), std::string::npos) << armed.message;
+
+  // Work while the capture is live: these dispatches emit serve.request
+  // spans.
+  EXPECT_EQ(client.wait(client.submit(small_eq4())).status, ResponseStatus::kOk);
+  EXPECT_EQ(client.wait(client.submit(small_risk(64))).status, ResponseStatus::kOk);
+
+  const Response trace = client.trace_stop();
+  ASSERT_EQ(trace.status, ResponseStatus::kOk) << trace.message;
+  ASSERT_FALSE(trace.result.empty());
+  const std::string json(trace.result.begin(), trace.result.end());
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("serve.request"), std::string::npos)
+      << "the capture must contain the dispatch spans emitted while armed";
+}
+
+TEST(RemoteTrace, DoubleStartAndStopWithoutStartAreTypedErrors) {
+  Server server(ServerOptions{});
+  Client client = make_client(server);
+
+  const Response cold_stop = client.trace_stop();
+  EXPECT_EQ(cold_stop.status, ResponseStatus::kError);
+  EXPECT_NE(cold_stop.message.find("no remote trace capture is armed"), std::string::npos)
+      << cold_stop.message;
+
+  ASSERT_EQ(client.trace_start().status, ResponseStatus::kOk);
+  const Response second = client.trace_start();
+  EXPECT_EQ(second.status, ResponseStatus::kError);
+  EXPECT_NE(second.message.find("already armed"), std::string::npos) << second.message;
+
+  // The armed capture is still usable after the rejected double-start.
+  const Response stopped = client.trace_stop();
+  EXPECT_EQ(stopped.status, ResponseStatus::kOk) << stopped.message;
+
+  // Shutdown with an orphaned armed capture must disarm it (no dangling
+  // global tracer for the next server in this process).
+  Server orphan(ServerOptions{});
+  Client client2 = make_client(orphan);
+  ASSERT_EQ(client2.trace_start().status, ResponseStatus::kOk);
+  orphan.shutdown();
+  Server next(ServerOptions{});
+  Client client3 = make_client(next);
+  const Response rearmed = client3.trace_start();
+  EXPECT_EQ(rearmed.status, ResponseStatus::kOk) << rearmed.message;
+  EXPECT_EQ(client3.trace_stop().status, ResponseStatus::kOk);
 }
 
 }  // namespace
