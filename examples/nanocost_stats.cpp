@@ -1,10 +1,10 @@
 // Remote scraper for the nanocost daemon's telemetry plane.
 //
-//   nanocost_stats --socket PATH                 # human-readable text
-//   nanocost_stats --socket PATH --prometheus    # exposition format
-//   nanocost_stats --socket PATH --json          # JSON object
-//   nanocost_stats --socket PATH --watch N [--count M]
-//   nanocost_stats --socket PATH --trace out.json [--trace-ms MS]
+//   nanocost_stats --connect unix:PATH|tcp:HOST:PORT   # human-readable text
+//   nanocost_stats --socket PATH                       # legacy unix spelling
+//   ... [--prometheus | --json]
+//   ... [--watch N [--count M]] [--tenant NAME] [--retries N]
+//   ... [--trace out.json [--trace-ms MS]]
 //
 // One scrape sends a kStatsRequest frame and decodes the NCSTAT01 blob
 // in the kStatsResponse.  `--watch N` re-scrapes every N seconds and
@@ -14,6 +14,13 @@
 // waits `--trace-ms` (default 1000), then stops it and writes the
 // returned Chrome trace-event JSON to FILE (open in chrome://tracing
 // or https://ui.perfetto.dev).
+//
+// Scrapes ride serve::ResilientClient, so a daemon restart or a dropped
+// connection re-handshakes and retries instead of killing the watcher.
+// When every retry for one tick fails, `--watch` prints a one-line gap
+// marker and keeps watching -- a monitoring loop should narrate an
+// outage, not join it.  The tick after a gap re-baselines, so the next
+// printed delta never spans the hole.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -24,7 +31,7 @@
 #include "nanocost/obs/metrics.hpp"
 #include "nanocost/obs/prometheus.hpp"
 #include "nanocost/obs/stats.hpp"
-#include "nanocost/serve/client.hpp"
+#include "nanocost/serve/resilient.hpp"
 
 namespace {
 
@@ -32,7 +39,8 @@ enum class Format { kText, kPrometheus, kJson };
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s --socket PATH [--prometheus | --json]\n"
+               "usage: %s --connect unix:PATH|tcp:HOST:PORT [--socket PATH]\n"
+               "          [--prometheus | --json] [--tenant NAME] [--retries N]\n"
                "          [--watch SECONDS [--count N]]\n"
                "          [--trace FILE [--trace-ms MS]]\n",
                argv0);
@@ -73,6 +81,14 @@ void print_snapshot(const nanocost::obs::MetricsSnapshot& snap, Format format) {
   std::fflush(stdout);
 }
 
+/// The watch loop's outage narration.  Prometheus/JSON consumers get it
+/// as a comment so a scrape failure never corrupts the stream.
+void print_gap(const char* why, Format format) {
+  const char* prefix = format == Format::kText ? "" : "# ";
+  std::printf("%s-- scrape failed (%s); retrying next tick --\n", prefix, why);
+  std::fflush(stdout);
+}
+
 int run_trace(nanocost::serve::Client& client, const std::string& out_path,
               int trace_ms) {
   using namespace nanocost;
@@ -107,17 +123,25 @@ int run_trace(nanocost::serve::Client& client, const std::string& out_path,
 int main(int argc, char** argv) {
   using namespace nanocost;
 
-  std::string socket_path;
+  std::string connect_spec;
+  std::string tenant;
   std::string trace_path;
   Format format = Format::kText;
   int watch_seconds = 0;
   int watch_count = 0;
   int trace_ms = 1000;
+  int retries = 3;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     const bool has_value = i + 1 < argc;
     if (arg == "--socket" && has_value) {
-      socket_path = argv[++i];
+      connect_spec = std::string("unix:") + argv[++i];
+    } else if (arg == "--connect" && has_value) {
+      connect_spec = argv[++i];
+    } else if (arg == "--tenant" && has_value) {
+      tenant = argv[++i];
+    } else if (arg == "--retries" && has_value) {
+      retries = std::atoi(argv[++i]);
     } else if (arg == "--prometheus") {
       format = Format::kPrometheus;
     } else if (arg == "--json") {
@@ -134,14 +158,26 @@ int main(int argc, char** argv) {
       return usage(argv[0]);
     }
   }
-  if (socket_path.empty()) return usage(argv[0]);
+  if (connect_spec.empty()) return usage(argv[0]);
   if (watch_seconds < 0 || trace_ms < 0) return usage(argv[0]);
 
   try {
-    serve::Client client = serve::Client::connect_unix(socket_path);
+    serve::ResilientOptions opts;
+    opts.endpoint = serve::Endpoint::parse(connect_spec);
+    opts.tenant = tenant;
+    opts.max_attempts = retries > 0 ? retries : 1;
+    serve::ResilientClient client(opts);
 
     if (!trace_path.empty()) {
-      return run_trace(client, trace_path, trace_ms);
+      // A trace arm/stop pair is stateful on one connection: retrying it
+      // halfway would orphan the armed tracer, so it rides a plain
+      // Client on a fresh connection to the same endpoint.
+      serve::Client raw = opts.endpoint.is_tcp()
+                              ? serve::Client::connect_tcp(opts.endpoint.tcp_host,
+                                                           opts.endpoint.tcp_port)
+                              : serve::Client::connect_unix(opts.endpoint.unix_path);
+      (void)raw.handshake(tenant);
+      return run_trace(raw, trace_path, trace_ms);
     }
 
     serve::StatsReport report = client.stats();
@@ -151,12 +187,28 @@ int main(int argc, char** argv) {
       print_snapshot(prev, format);
       return 0;
     }
+    bool have_baseline = true;
     for (int tick = 0; watch_count == 0 || tick < watch_count; ++tick) {
       std::this_thread::sleep_for(std::chrono::seconds(watch_seconds));
-      report = client.stats();
+      try {
+        report = client.stats();
+      } catch (const std::exception& e) {
+        // Narrate the outage and keep watching; the next good scrape
+        // becomes a fresh delta baseline.
+        print_gap(e.what(), format);
+        have_baseline = false;
+        continue;
+      }
       obs::MetricsSnapshot cur = obs::decode_stats(report.stats);
-      print_snapshot(obs::delta_stats(cur, prev), format);
+      if (have_baseline) {
+        print_snapshot(obs::delta_stats(cur, prev), format);
+      } else {
+        std::printf("%s-- re-baselined after gap; deltas resume next tick --\n",
+                    format == Format::kText ? "" : "# ");
+        std::fflush(stdout);
+      }
       prev = std::move(cur);
+      have_baseline = true;
     }
     return 0;
   } catch (const std::exception& e) {

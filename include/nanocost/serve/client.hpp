@@ -27,8 +27,26 @@ class Client final {
   /// the daemon is not there.
   [[nodiscard]] static Client connect_unix(const std::string& path);
 
+  /// Connects to a TCP daemon (IPv4; empty host means 127.0.0.1).
+  /// Throws std::runtime_error when nothing is listening.
+  [[nodiscard]] static Client connect_tcp(const std::string& host, int port);
+
   Client(Client&&) noexcept = default;
   Client& operator=(Client&&) noexcept = default;
+
+  /// Performs the NCWIRE01 version handshake: sends kHello with this
+  /// build's versions, `tenant`, and the reconnect ordinal `attempt`,
+  /// and blocks for the kHelloAck.  Must be the first exchange on the
+  /// connection.  Throws std::runtime_error containing "handshake
+  /// rejected" when the server refuses (version mismatch), WireError on
+  /// transport failure.
+  HelloAck handshake(const std::string& tenant, std::uint32_t attempt = 0);
+
+  /// Arms a read deadline on every subsequent blocking receive: a wait
+  /// that sees no reply frame start (or finish) within `ms` throws
+  /// WireTimeout instead of blocking forever on a hung server.  0
+  /// disarms.
+  void arm_timeouts(double ms) noexcept;
 
   /// Submits a job; a zero request_id is replaced with a fresh one.
   /// Returns the id to wait() on.  Throws WireError on transport
@@ -68,6 +86,15 @@ class Client final {
   std::uint64_t next_id_ = 1;
 
   std::uint64_t fresh_id(std::uint64_t requested);
+
+  /// The one receive pump every blocking call routes through: reads
+  /// frames until one of type `want` carrying `request_id` arrives.
+  /// Late out-of-band frames are handled uniformly -- job responses
+  /// park for their wait(), stale pongs / stats reports / hello acks
+  /// are skipped, error frames for this (or no specific) request throw
+  /// -- so no wait can be derailed by the leftovers of an earlier
+  /// timed-out exchange.
+  Frame await_frame(FrameType want, std::uint64_t request_id, const char* what);
 };
 
 }  // namespace nanocost::serve

@@ -27,12 +27,45 @@
 #include "nanocost/cache/hash.hpp"
 #include "nanocost/core/risk.hpp"
 #include "nanocost/fabsim/simulator.hpp"
+#include "nanocost/serve/wire.hpp"
 
 namespace nanocost::exec {
 class ThreadPool;
 }
 
 namespace nanocost::serve {
+
+/// The build version both handshake sides declare.  Major mismatches are
+/// rejected; the same string rides in every StatsReport.
+inline constexpr char kServeVersion[] = "1.0.0";
+
+/// Client half of the NCWIRE01 version handshake (frame kHello).  When a
+/// client sends one, it must be the FIRST frame on the connection; the
+/// server checks the versions and either replies kHelloAck or rejects
+/// with a named diagnostic and kills the connection.  Connections that
+/// skip the hello still work (the frame checksum already proves protocol
+/// agreement byte-for-byte) but run as the anonymous tenant "".
+struct HelloRequest final {
+  std::uint64_t request_id = 0;
+  /// Wire protocol the client speaks; must equal kWireVersion exactly.
+  std::uint32_t protocol_version = kWireVersion;
+  /// Client build version ("major.minor.patch"); the major digit must
+  /// match the server's kServeVersion.
+  std::string build_version = kServeVersion;
+  /// Tenant this connection submits for; "" = anonymous.  Quotas
+  /// (ServerOptions::tenant_campaign_quota) key on this.
+  std::string tenant;
+  /// 0 on a fresh connect; N > 0 on the Nth reconnect of a retrying
+  /// client -- the server counts those as serve.reconnects_total.
+  std::uint32_t attempt = 0;
+};
+
+/// Server half of the handshake (frame kHelloAck).
+struct HelloAck final {
+  std::uint64_t request_id = 0;
+  std::uint32_t protocol_version = kWireVersion;
+  std::string build_version = kServeVersion;
+};
 
 /// core::sweep_eq4 over [lo, hi] with `steps` grid points.
 struct Eq4Job final {
@@ -149,12 +182,16 @@ struct StatsReport final {
 [[nodiscard]] std::vector<std::uint8_t> encode_payload(const CampaignJob& job);
 [[nodiscard]] std::vector<std::uint8_t> encode_payload(const Response& response);
 [[nodiscard]] std::vector<std::uint8_t> encode_payload(const StatsReport& report);
+[[nodiscard]] std::vector<std::uint8_t> encode_payload(const HelloRequest& hello);
+[[nodiscard]] std::vector<std::uint8_t> encode_payload(const HelloAck& ack);
 
 [[nodiscard]] Eq4Job decode_eq4_job(const std::vector<std::uint8_t>& payload);
 [[nodiscard]] RiskJob decode_risk_job(const std::vector<std::uint8_t>& payload);
 [[nodiscard]] CampaignJob decode_campaign_job(const std::vector<std::uint8_t>& payload);
 [[nodiscard]] Response decode_response(const std::vector<std::uint8_t>& payload);
 [[nodiscard]] StatsReport decode_stats_report(const std::vector<std::uint8_t>& payload);
+[[nodiscard]] HelloRequest decode_hello(const std::vector<std::uint8_t>& payload);
+[[nodiscard]] HelloAck decode_hello_ack(const std::vector<std::uint8_t>& payload);
 
 /// Reads just the leading request id of any request payload (every
 /// request type starts with it), so even a job that fails to decode

@@ -66,6 +66,24 @@ struct ServerOptions final {
   std::int64_t campaign_wave_chunks = 64;
   /// Compute pool for kernels (null: the global pool).
   exec::ThreadPool* pool = nullptr;
+  /// Reap a connection that starts no frame for this long, ms (0 =
+  /// never).  Connections with responses still owed are exempt -- a
+  /// quiet client waiting on a long campaign is not idle.
+  double idle_timeout_ms = 0.0;
+  /// Reap a connection that starts a frame but does not finish it
+  /// within this budget, ms (0 = never) -- the slow-loris cutoff.  A
+  /// stalled peer delays nobody else, and at most this long itself.
+  double read_deadline_ms = 0.0;
+  /// Live-connection cap (0 = unlimited).  At the cap, accepting a new
+  /// connection deterministically evicts the least-recently-active
+  /// existing one (ties: lowest connection id) with a diagnostic error
+  /// frame.
+  std::size_t max_connections = 0;
+  /// Max campaigns one tenant may have in flight (admitted or queued);
+  /// 0 = unlimited.  Excess submissions are shed with kShed naming the
+  /// tenant and quota.  Tenants declare themselves in the kHello frame;
+  /// connections that skip the handshake share the "" tenant.
+  std::size_t tenant_campaign_quota = 0;
 };
 
 /// What a graceful drain found and did.
@@ -76,6 +94,10 @@ struct DrainReport final {
   std::uint64_t campaigns_completed = 0;
   std::uint64_t campaigns_stopped = 0;  ///< checkpointed + resumable at drain
   std::uint64_t campaigns_shed = 0;
+  std::uint64_t handshake_rejects = 0;    ///< kHello frames refused (version/decode)
+  std::uint64_t connections_reaped = 0;   ///< idle/read-deadline kills
+  std::uint64_t connections_evicted = 0;  ///< max-connections oldest-idle kills
+  std::uint64_t tenant_shed = 0;          ///< campaigns refused by tenant quota
   robust::SweepReport artifact_sweep;  ///< the shutdown eviction sweep
 };
 
@@ -94,8 +116,15 @@ class Server final {
 
   /// Binds a Unix-domain socket at `path` (unlinking any stale one) and
   /// accepts connections until shutdown.  Throws std::runtime_error on
-  /// bind failure.
+  /// bind failure.  May be called alongside listen_tcp (and repeatedly):
+  /// the server runs one accept loop per listener.
   void listen_unix(const std::string& path);
+
+  /// Binds a TCP socket on `host`:`port` (IPv4; host "" / "*" /
+  /// "0.0.0.0" binds all interfaces; port 0 picks a free port) and
+  /// accepts connections until shutdown.  Returns the bound port.
+  /// Throws std::runtime_error on bind failure.
+  int listen_tcp(const std::string& host, int port);
 
   /// Graceful drain; idempotent (the second call returns the first
   /// report).  See the header comment for the sequence.

@@ -54,10 +54,12 @@ enum class FrameType : std::uint32_t {
   kTraceStart = 6,       ///< payload: u64 request id only; arms the span tracer
   kTraceStop = 7,        ///< payload: u64 request id only; Chrome JSON comes
                          ///< back in the Response's result bytes
+  kHello = 8,            ///< serve::HelloRequest (version handshake + tenant id)
   kResponse = 0x81,      ///< serve::Response
   kPong = 0x82,          ///< payload: u64 request id only
   kErrorFrame = 0x83,    ///< payload: u64 request id (0 = none), str message
   kStatsResponse = 0x84, ///< serve::StatsReport (NCSTAT01 + build/uptime info)
+  kHelloAck = 0x85,      ///< serve::HelloAck (server's half of the handshake)
 };
 
 /// Bytes one frame adds around its payload: magic + version + type +
@@ -71,9 +73,23 @@ inline constexpr std::size_t kFrameOverheadBytes = sizeof(kWireMagic) + 4 + 4 + 
 
 /// Thrown on any structural damage to the byte stream.  The message
 /// names the frame (by type when known) and the offense.
-class WireError final : public std::runtime_error {
+class WireError : public std::runtime_error {
  public:
   explicit WireError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A read deadline fired (see FdStream::arm_read_deadlines).  Subclass
+/// of WireError so existing containment paths treat it as a transport
+/// failure, but distinguishable: `idle()` is true when the peer simply
+/// sent nothing for the whole idle window, false when it stalled
+/// mid-frame (a slow-loris peer dribbling bytes).
+class WireTimeout final : public WireError {
+ public:
+  WireTimeout(const std::string& what, bool idle) : WireError(what), idle_(idle) {}
+  [[nodiscard]] bool idle() const noexcept { return idle_; }
+
+ private:
+  bool idle_ = false;
 };
 
 struct Frame final {
@@ -119,11 +135,33 @@ class FdStream final : public ByteStream {
   /// connection's write lock).
   void close_fds() noexcept;
 
+  /// Arms read deadlines, both in milliseconds (0 disables either):
+  ///  - `idle_ms`: max time from begin_frame() to the frame's first
+  ///    byte.  Firing throws WireTimeout with idle() == true.
+  ///  - `frame_ms`: max time from a frame's first byte to its last; a
+  ///    peer that starts a frame and stalls (slow loris) is cut off.
+  ///    Firing throws WireTimeout with idle() == false.
+  /// Deadlines are evaluated on the reading thread only; callers mark
+  /// frame boundaries with begin_frame().
+  void arm_read_deadlines(double idle_ms, double frame_ms) noexcept;
+
+  /// Marks the start of a frame-read window: resets the idle clock and
+  /// forgets any first-byte timestamp.  Reader-thread only.
+  void begin_frame() noexcept;
+
  private:
   int read_fd_ = -1;
   int write_fd_ = -1;
-  std::uint64_t read_ops_ = 0;   ///< fault-site index for serve.read
-  std::uint64_t write_ops_ = 0;  ///< fault-site index for serve.write
+  std::uint64_t read_ops_ = 0;     ///< fault-site index for serve.read
+  std::uint64_t write_ops_ = 0;    ///< fault-site index for serve.write
+  std::uint64_t stall_ops_ = 0;    ///< fault-site index for serve.stall
+  std::uint64_t reset_ops_ = 0;    ///< fault-site index for serve.reset
+  std::uint64_t partial_ops_ = 0;  ///< fault-site index for serve.partial_write
+  /// Read-deadline state; touched only by the reading thread.
+  double idle_ms_ = 0.0;
+  double frame_ms_ = 0.0;
+  std::int64_t window_start_ns_ = 0;
+  std::int64_t first_byte_ns_ = 0;  ///< 0 = no byte seen this window
   std::atomic<bool> interrupted_{false};
 };
 

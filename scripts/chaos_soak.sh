@@ -1,0 +1,207 @@
+#!/usr/bin/env bash
+# Chaos soak for the resilient serve transport.
+#
+#   scripts/chaos_soak.sh [BUILD_DIR]      (default: build)
+#
+# Proves the end-to-end resilience contract, the same way locally and
+# in CI:
+#
+#   1. An undisturbed daemon pins reference digests for every job the
+#      soak will later run under chaos.
+#   2. A TCP daemon slowed by injected per-wafer latency serves
+#      concurrent tenants whose clients run under a NANOCOST_FAULTS
+#      plan (injected connect failures, connection resets, and write
+#      stalls).  The daemon is kill -9'd twice mid-campaign and
+#      restarted on the same artifact tier.
+#   3. Every client must end status=ok with a digest bitwise-identical
+#      to the reference, the client that straddled a kill must show
+#      reconnects and artifact-tier replay (committed chunks are never
+#      recomputed), and a tenant-quota shed must heal through the
+#      retry loop.
+#   4. The final daemon's Prometheus scrape must carry the reconnect
+#      and tenant-shed counters the chaos provoked.
+#
+# Everything is driven by deterministic fault schedules (seeded hashes
+# over (site, index, attempt)), adaptive readiness probes, and
+# in-flight detection via the stats plane -- no sleep-and-hope timing
+# against job durations.
+set -euo pipefail
+
+BUILD="${1:-build}"
+SERVE="$BUILD/examples/nanocost_serve"
+SUBMIT="$BUILD/examples/nanocost_submit"
+STATS="$BUILD/examples/nanocost_stats"
+OUT="$BUILD/chaos"
+HOST=127.0.0.1
+PORT="${CHAOS_PORT:-9217}"
+EP="tcp:$HOST:$PORT"
+
+# Per-wafer latency keeps campaigns slow enough to kill mid-flight;
+# the serve.stall latency plan exercises the write-stall site on every
+# daemon response without changing any bytes.
+DAEMON_FAULTS="serve.stall=1:latency:persistent;fabsim.wafer=1:latency:persistent;seed=41"
+# The chaos clients fail ~half their attempts (connect refusals,
+# connection resets, write stalls); transient draws heal across the
+# retry ladder's attempt ordinals.
+CLIENT_FAULTS="serve.connect=0.25:throw:transient;serve.reset=0.2:throw:transient;serve.stall=1:latency:transient;seed=23"
+
+for bin in "$SERVE" "$SUBMIT" "$STATS"; do
+  [ -x "$bin" ] || { echo "chaos_soak: missing binary $bin" >&2; exit 2; }
+done
+rm -rf "$OUT"
+mkdir -p "$OUT"
+
+DAEMON_PID=""
+cleanup() {
+  [ -n "$DAEMON_PID" ] && kill -9 "$DAEMON_PID" 2>/dev/null || true
+}
+trap cleanup EXIT
+
+# ---- helpers -------------------------------------------------------------
+
+die() { echo "chaos_soak: $*" >&2; exit 1; }
+
+digest_of() {  # digest_of LOGFILE
+  sed -n 's/.*digest=\([0-9a-f]*\).*/\1/p' "$1"
+}
+
+wait_tcp_ready() {
+  for _ in $(seq 150); do
+    if "$STATS" --connect "$EP" --retries 1 --json >/dev/null 2>&1; then
+      return 0
+    fi
+    sleep 0.1
+  done
+  die "daemon on $EP never became ready"
+}
+
+wait_inflight() {  # block until the daemon reports an admitted campaign
+  for _ in $(seq 300); do
+    if "$STATS" --connect "$EP" --retries 1 --prometheus 2>/dev/null |
+        grep -qE '^serve_inflight [1-9]'; then
+      return 0
+    fi
+    sleep 0.1
+  done
+  die "no job ever showed up in serve_inflight on $EP"
+}
+
+start_chaos_daemon() {
+  NANOCOST_FAULTS="$DAEMON_FAULTS" "$SERVE" --listen "$EP" \
+    --artifact-dir "$OUT/tier_chaos" --tenant-quota 1 \
+    >> "$OUT/daemon.log" 2>&1 &
+  DAEMON_PID=$!
+  wait_tcp_ready
+}
+
+kill_daemon_hard() {
+  echo "chaos_soak: kill -9 daemon pid $DAEMON_PID"
+  kill -9 "$DAEMON_PID"
+  wait "$DAEMON_PID" 2>/dev/null || true
+  DAEMON_PID=""
+}
+
+# ---- phase 1: undisturbed reference digests ------------------------------
+
+echo "chaos_soak: phase 1 -- reference run (no faults)"
+REF_SOCK="$OUT/ref.sock"
+"$SERVE" --socket "$REF_SOCK" --artifact-dir "$OUT/tier_ref" \
+  > "$OUT/ref_daemon.log" 2>&1 &
+DAEMON_PID=$!
+for _ in $(seq 100); do [ -S "$REF_SOCK" ] && break; sleep 0.1; done
+[ -S "$REF_SOCK" ] || die "reference daemon never bound $REF_SOCK"
+
+"$SUBMIT" --socket "$REF_SOCK" campaign --wafers 24000 --seed 3 > "$OUT/ref_a.log"
+"$SUBMIT" --socket "$REF_SOCK" campaign --wafers 24000 --seed 4 > "$OUT/ref_b.log"
+"$SUBMIT" --socket "$REF_SOCK" campaign --wafers 48000 --seed 5 > "$OUT/ref_span.log"
+"$SUBMIT" --socket "$REF_SOCK" eq4 > "$OUT/ref_eq4.log"
+kill -TERM "$DAEMON_PID" && wait "$DAEMON_PID"
+DAEMON_PID=""
+
+REF_A=$(digest_of "$OUT/ref_a.log");       [ -n "$REF_A" ] || die "no reference digest (a)"
+REF_B=$(digest_of "$OUT/ref_b.log");       [ -n "$REF_B" ] || die "no reference digest (b)"
+REF_SPAN=$(digest_of "$OUT/ref_span.log"); [ -n "$REF_SPAN" ] || die "no reference digest (span)"
+REF_EQ4=$(digest_of "$OUT/ref_eq4.log");   [ -n "$REF_EQ4" ] || die "no reference digest (eq4)"
+
+# ---- phase 2: chaos -------------------------------------------------------
+
+echo "chaos_soak: phase 2 -- TCP daemon under chaos, two kill -9 restarts"
+start_chaos_daemon
+
+NANOCOST_FAULTS="$CLIENT_FAULTS" "$SUBMIT" --connect "$EP" --tenant acme \
+  --retries 20 campaign --wafers 24000 --seed 3 > "$OUT/chaos_a.log" 2>&1 &
+PID_A=$!
+NANOCOST_FAULTS="$CLIENT_FAULTS" "$SUBMIT" --connect "$EP" --tenant zenith \
+  --retries 20 campaign --wafers 24000 --seed 4 > "$OUT/chaos_b.log" 2>&1 &
+PID_B=$!
+
+wait_inflight
+sleep 0.4
+kill_daemon_hard          # restart 1: tenants acme + zenith are mid-campaign
+start_chaos_daemon
+
+# Let A and B finish before the spanner starts, so the next inflight
+# signal can only be the spanner's own campaign.
+wait "$PID_A"    || die "tenant acme's client failed (see $OUT/chaos_a.log)"
+wait "$PID_B"    || die "tenant zenith's client failed (see $OUT/chaos_b.log)"
+
+NANOCOST_FAULTS="$CLIENT_FAULTS" "$SUBMIT" --connect "$EP" --tenant fab3 \
+  --retries 20 campaign --wafers 48000 --seed 5 > "$OUT/chaos_span.log" 2>&1 &
+PID_SPAN=$!
+
+wait_inflight
+sleep 0.5
+kill_daemon_hard          # restart 2: the spanner is guaranteed mid-campaign
+start_chaos_daemon
+
+wait "$PID_SPAN" || die "tenant fab3's client failed (see $OUT/chaos_span.log)"
+cat "$OUT/chaos_a.log" "$OUT/chaos_b.log" "$OUT/chaos_span.log"
+
+grep -q "status=ok" "$OUT/chaos_a.log"    || die "tenant acme did not end status=ok"
+grep -q "status=ok" "$OUT/chaos_b.log"    || die "tenant zenith did not end status=ok"
+grep -q "status=ok" "$OUT/chaos_span.log" || die "tenant fab3 did not end status=ok"
+
+[ "$(digest_of "$OUT/chaos_a.log")" = "$REF_A" ]       || die "digest mismatch under chaos (a)"
+[ "$(digest_of "$OUT/chaos_b.log")" = "$REF_B" ]       || die "digest mismatch under chaos (b)"
+[ "$(digest_of "$OUT/chaos_span.log")" = "$REF_SPAN" ] || die "digest mismatch under chaos (span)"
+
+# The spanner straddled kill -9 #2: it must have reconnected and its
+# resubmission must replay committed chunks from the artifact tier
+# instead of recomputing them.
+grep -qE "reconnects=[1-9]" "$OUT/chaos_span.log" || die "the spanner never reconnected"
+grep -qE "artifact_hits=[1-9]" "$OUT/chaos_span.log" || die "the spanner recomputed instead of replaying the artifact tier"
+
+NANOCOST_FAULTS="$CLIENT_FAULTS" "$SUBMIT" --connect "$EP" --tenant acme \
+  --retries 20 eq4 > "$OUT/chaos_eq4.log" 2>&1 || die "eq4 under chaos failed"
+[ "$(digest_of "$OUT/chaos_eq4.log")" = "$REF_EQ4" ] || die "digest mismatch under chaos (eq4)"
+
+# ---- phase 3: tenant quota heals through the retry loop -------------------
+
+echo "chaos_soak: phase 3 -- tenant quota shed + retry"
+"$SUBMIT" --connect "$EP" --tenant acme --retries 20 \
+  campaign --wafers 24000 --seed 6 > "$OUT/quota_blocker.log" 2>&1 &
+PID_BLOCKER=$!
+wait_inflight
+"$SUBMIT" --connect "$EP" --tenant acme --retries 20 \
+  campaign --wafers 8 --seed 7 > "$OUT/quota_excess.log" 2>&1 \
+  || die "the quota-shed client never got through (see $OUT/quota_excess.log)"
+wait "$PID_BLOCKER" || die "the quota blocker failed (see $OUT/quota_blocker.log)"
+cat "$OUT/quota_blocker.log" "$OUT/quota_excess.log"
+grep -q "status=ok" "$OUT/quota_excess.log" || die "the shed client did not end status=ok"
+grep -qE "retries=[1-9]" "$OUT/quota_excess.log" || die "the excess campaign was never shed"
+
+# ---- phase 4: the scrape carries the story --------------------------------
+
+echo "chaos_soak: phase 4 -- Prometheus scrape"
+"$STATS" --connect "$EP" --prometheus > "$OUT/chaos.prom"
+python3 scripts/check_prometheus.py "$OUT/chaos.prom" --require-positive serve_requests
+grep -qE '^serve_reconnects_total [1-9]' "$OUT/chaos.prom" \
+  || die "serve_reconnects_total is missing or zero in the scrape"
+grep -qE '^serve_tenant_shed_total [1-9]' "$OUT/chaos.prom" \
+  || die "serve_tenant_shed_total is missing or zero in the scrape"
+
+kill -TERM "$DAEMON_PID" && wait "$DAEMON_PID"
+DAEMON_PID=""
+grep -q "drained" "$OUT/daemon.log" || die "the final daemon never drained cleanly"
+
+echo "chaos_soak: PASS"

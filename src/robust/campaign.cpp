@@ -16,6 +16,7 @@
 #include "nanocost/obs/metrics.hpp"
 #include "nanocost/obs/trace.hpp"
 #include "nanocost/robust/artifact_store.hpp"
+#include "nanocost/robust/backoff.hpp"
 #include "nanocost/robust/checkpoint.hpp"
 #include "nanocost/robust/fault_injection.hpp"
 
@@ -213,14 +214,9 @@ CampaignResult run_campaign(const CampaignTask& task, const CampaignOptions& opt
       // chunk stays pending -- a resume with fresh budget retries it --
       // which keeps deadline pressure from mis-filing transient
       // failures as quarantined-permanent.
-      const bool expired_now = token.valid() && token.expired();
-      double backoff_ms = 0.0;
-      if (options.retry_backoff_ms > 0.0) {
-        backoff_ms = options.retry_backoff_ms * static_cast<double>(std::int64_t{1} << attempt);
-      }
-      const bool backoff_overruns =
-          backoff_ms > 0.0 && token.valid() && backoff_ms >= token.remaining_ms();
-      if (expired_now || backoff_overruns) {
+      const BackoffPolicy backoff{options.retry_backoff_ms, /*cap_ms=*/0.0,
+                                  /*multiplier=*/2.0, /*jitter=*/0.0, /*seed=*/0};
+      if (backoff.overruns_budget(attempt, token)) {
         blob.clear();
         retries.fetch_add(attempt, std::memory_order_relaxed);
         chunk_span.arg("abandoned_after", static_cast<std::uint64_t>(attempt) + 1);
@@ -231,9 +227,7 @@ CampaignResult run_campaign(const CampaignTask& task, const CampaignOptions& opt
         }
         return;
       }
-      if (backoff_ms > 0.0) {
-        std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(backoff_ms));
-      }
+      backoff_sleep(backoff, attempt);
     }
     blob.clear();
     retries.fetch_add(options.max_attempts - 1, std::memory_order_relaxed);

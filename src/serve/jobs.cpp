@@ -274,6 +274,46 @@ StatsReport decode_stats_report(const std::vector<std::uint8_t>& payload) {
   return report;
 }
 
+std::vector<std::uint8_t> encode_payload(const HelloRequest& hello) {
+  ByteWriter w;
+  w.u64(hello.request_id);
+  w.u64(hello.protocol_version);
+  w.str(hello.build_version);
+  w.str(hello.tenant);
+  w.u64(hello.attempt);
+  return w.take();
+}
+
+HelloRequest decode_hello(const std::vector<std::uint8_t>& payload) {
+  ByteReader r(payload);
+  HelloRequest hello;
+  hello.request_id = r.u64();
+  hello.protocol_version = static_cast<std::uint32_t>(r.u64());
+  hello.build_version = r.str();
+  hello.tenant = r.str();
+  hello.attempt = static_cast<std::uint32_t>(r.u64());
+  r.expect_end();
+  return hello;
+}
+
+std::vector<std::uint8_t> encode_payload(const HelloAck& ack) {
+  ByteWriter w;
+  w.u64(ack.request_id);
+  w.u64(ack.protocol_version);
+  w.str(ack.build_version);
+  return w.take();
+}
+
+HelloAck decode_hello_ack(const std::vector<std::uint8_t>& payload) {
+  ByteReader r(payload);
+  HelloAck ack;
+  ack.request_id = r.u64();
+  ack.protocol_version = static_cast<std::uint32_t>(r.u64());
+  ack.build_version = r.str();
+  r.expect_end();
+  return ack;
+}
+
 std::uint64_t peek_request_id(const std::vector<std::uint8_t>& payload) noexcept {
   if (payload.size() < 8) return 0;
   std::uint64_t v = 0;

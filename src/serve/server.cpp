@@ -20,6 +20,8 @@
 #include <utility>
 #include <vector>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
@@ -43,8 +45,26 @@ namespace {
 constexpr robust::FaultSite kAcceptSite{"serve.accept"};
 constexpr robust::FaultSite kDispatchSite{"serve.dispatch"};
 
-/// Release string the kStatsResponse build-info block reports.
-constexpr const char* kServeVersion = "1.0.0";
+/// Leading integer of a "major.minor.patch" string; -1 when the string
+/// does not start with digits followed by a dot (treated as a mismatch
+/// by the handshake, with the raw string in the diagnostic).
+int major_version_of(const std::string& v) noexcept {
+  int major = 0;
+  std::size_t i = 0;
+  while (i < v.size() && v[i] >= '0' && v[i] <= '9') {
+    major = major * 10 + (v[i] - '0');
+    ++i;
+  }
+  if (i == 0 || i >= v.size() || v[i] != '.') return -1;
+  return major;
+}
+
+std::uint64_t now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
 
 std::uint64_t now_us() noexcept {
   return static_cast<std::uint64_t>(
@@ -187,6 +207,52 @@ void set_coalesced_inflight(std::int64_t n) {
   }
 }
 
+void count_handshake() {
+  if (obs::metrics_enabled()) {
+    static obs::Counter& c = obs::counter("serve.handshakes");
+    c.add();
+  }
+}
+
+void count_handshake_reject() {
+  if (obs::metrics_enabled()) {
+    static obs::Counter& c = obs::counter("serve.handshake_rejects");
+    c.add();
+  }
+}
+
+void count_reconnect() {
+  if (obs::metrics_enabled()) {
+    static obs::Counter& c = obs::counter("serve.reconnects_total");
+    c.add();
+  }
+}
+
+void count_reaped() {
+  if (obs::metrics_enabled()) {
+    static obs::Counter& c = obs::counter("serve.reaped_connections");
+    c.add();
+  }
+}
+
+void count_evicted() {
+  if (obs::metrics_enabled()) {
+    static obs::Counter& c = obs::counter("serve.evicted_connections");
+    c.add();
+  }
+}
+
+void count_tenant_shed(const std::string& tenant) {
+  if (obs::metrics_enabled()) {
+    static obs::Counter& total = obs::counter("serve.tenant_shed_total");
+    total.add();
+    // The per-tenant spelling is dynamic; the registry lookup is fine
+    // here because shedding is the rare path by construction.
+    obs::counter("serve.tenant_shed." + (tenant.empty() ? std::string("anonymous") : tenant))
+        .add();
+  }
+}
+
 /// Latency bookkeeping for one answered job request (response already
 /// written): the overall serve.request_us histogram -- whose count is
 /// exactly the job responses served -- plus the per-type x per-outcome
@@ -209,12 +275,29 @@ struct Server::Impl {
     std::mutex write_mu;
     std::thread reader;
     std::atomic<bool> dead{false};
+    std::uint64_t conn_id = 0;    ///< registration order; eviction tie-break
+    std::uint64_t frames_seen = 0;  ///< reader-thread only; hello must be frame 1
+    bool helloed = false;           ///< reader-thread only
+    std::string tenant;             ///< set by the hello before any job dispatches
+    /// Responses owed to this connection (registered waiters not yet
+    /// answered).  The idle reaper exempts connections with work owed.
+    std::atomic<std::uint64_t> outstanding{0};
+    /// Last frame arrival (steady ns); the eviction order key.
+    std::atomic<std::uint64_t> last_activity_ns{0};
   };
 
   struct Waiter {
     std::shared_ptr<Connection> conn;
     std::uint64_t request_id = 0;
     std::uint64_t start_us = 0;  ///< dispatch time, for the latency histograms
+    std::string tenant;          ///< quota bookkeeping outlives the connection
+  };
+
+  /// One bound accept socket (Unix or TCP) with its accept thread.
+  struct Listener {
+    int fd = -1;
+    std::string unix_path;  ///< unlinked at shutdown; empty for TCP
+    std::thread thread;
   };
 
   struct LightJob {
@@ -244,6 +327,15 @@ struct Server::Impl {
     // A peer that vanishes mid-response must cost EPIPE on the write,
     // not a process-wide SIGPIPE.
     std::signal(SIGPIPE, SIG_IGN);
+    if (obs::metrics_enabled()) {
+      // Register the fleet-health counters up front so a scrape of a
+      // healthy server shows them at 0 instead of omitting them.
+      (void)obs::counter("serve.reconnects_total");
+      (void)obs::counter("serve.tenant_shed_total");
+      (void)obs::counter("serve.handshake_rejects");
+      (void)obs::counter("serve.reaped_connections");
+      (void)obs::counter("serve.evicted_connections");
+    }
     const int n = options.worker_threads > 0 ? options.worker_threads : 1;
     workers.reserve(static_cast<std::size_t>(n));
     for (int i = 0; i < n; ++i) {
@@ -285,11 +377,26 @@ struct Server::Impl {
   // ---- reader / dispatch -----------------------------------------------
 
   void reader_loop(const std::shared_ptr<Connection>& conn) {
+    if (options.idle_timeout_ms > 0.0 || options.read_deadline_ms > 0.0) {
+      conn->stream->arm_read_deadlines(options.idle_timeout_ms, options.read_deadline_ms);
+    }
     bool kill = false;
     while (!conn->dead.load(std::memory_order_acquire)) {
       std::optional<Frame> frame;
       try {
+        conn->stream->begin_frame();
         frame = read_frame(*conn->stream);
+      } catch (const WireTimeout& e) {
+        if (e.idle() && conn->outstanding.load(std::memory_order_acquire) > 0) {
+          // Not idle at all: this client is quietly waiting on results
+          // we still owe it (a long campaign).  Re-open the window.
+          continue;
+        }
+        connections_reaped.fetch_add(1, std::memory_order_relaxed);
+        count_reaped();
+        send_error_frame(conn, 0, e.what());
+        kill = true;
+        break;
       } catch (const WireError& e) {
         // Structural damage: this connection dies with a diagnostic;
         // the server keeps serving everyone else.
@@ -299,18 +406,20 @@ struct Server::Impl {
         kill = true;
         break;
       }
-      if (!frame) break;  // clean close or drain interrupt
+      if (!frame) break;  // clean close, drain interrupt, or eviction
+      conn->last_activity_ns.store(now_ns(), std::memory_order_relaxed);
+      ++conn->frames_seen;
       count_bytes_in(frame->payload.size());
       if (!dispatch(conn, *frame)) {
         kill = true;
         break;
       }
     }
-    if (kill) {
-      // The connection is dead for real: close the descriptors so the
-      // peer sees EOF after the diagnostic error frame.  In-flight jobs
-      // it submitted still run; their responses are dropped at the
-      // dead-flag check.
+    if (kill || conn->dead.load(std::memory_order_acquire)) {
+      // The connection is dead for real -- protocol violation, reap, or
+      // eviction: close the descriptors so the peer sees EOF after the
+      // diagnostic error frame.  In-flight jobs it submitted still run;
+      // their responses are dropped at the dead-flag check.
       conn->dead.store(true, std::memory_order_release);
       std::lock_guard<std::mutex> lk(conn->write_mu);
       conn->stream->close_fds();
@@ -362,10 +471,13 @@ struct Server::Impl {
         return handle_trace(conn, frame, request_id, /*start=*/true);
       case FrameType::kTraceStop:
         return handle_trace(conn, frame, request_id, /*start=*/false);
+      case FrameType::kHello:
+        return handle_hello(conn, frame, request_id);
       case FrameType::kResponse:
       case FrameType::kPong:
       case FrameType::kErrorFrame:
       case FrameType::kStatsResponse:
+      case FrameType::kHelloAck:
         // Server-to-client types arriving at the server: a confused or
         // hostile peer.  Kill the connection, keep the server.
         wire_errors.fetch_add(1, std::memory_order_relaxed);
@@ -376,6 +488,74 @@ struct Server::Impl {
         return false;
     }
     return false;
+  }
+
+  // ---- handshake -------------------------------------------------------
+
+  /// Rejects the connection's handshake: counted, diagnosed by an error
+  /// frame whose message starts "NCWIRE01 handshake rejected:", and the
+  /// connection dies (return false reaches the reader's kill path).
+  bool reject_handshake(const std::shared_ptr<Connection>& conn, std::uint64_t request_id,
+                        const std::string& why) {
+    handshake_rejects.fetch_add(1, std::memory_order_relaxed);
+    count_handshake_reject();
+    send_error_frame(conn, request_id, "NCWIRE01 handshake rejected: " + why);
+    return false;
+  }
+
+  bool handle_hello(const std::shared_ptr<Connection>& conn, const Frame& frame,
+                    std::uint64_t request_id) {
+    if (conn->frames_seen != 1) {
+      return reject_handshake(conn, request_id,
+                              "the hello must be the first frame on a connection (this "
+                              "one arrived as frame " +
+                                  std::to_string(conn->frames_seen) + ")");
+    }
+    HelloRequest hello;
+    try {
+      hello = decode_hello(frame.payload);
+    } catch (const std::exception& e) {
+      return reject_handshake(conn, request_id,
+                              std::string("malformed hello payload: ") + e.what());
+    }
+    if (hello.protocol_version != kWireVersion) {
+      return reject_handshake(
+          conn, request_id,
+          "peer speaks protocol version " + std::to_string(hello.protocol_version) +
+              ", this server speaks " + std::to_string(kWireVersion));
+    }
+    const int server_major = major_version_of(kServeVersion);
+    const int client_major = major_version_of(hello.build_version);
+    if (client_major < 0 || client_major != server_major) {
+      return reject_handshake(conn, request_id,
+                              "peer build version \"" + hello.build_version +
+                                  "\" is incompatible with server build " + kServeVersion +
+                                  " (major must match)");
+    }
+    conn->helloed = true;
+    conn->tenant = hello.tenant;
+    count_handshake();
+    if (hello.attempt > 0) {
+      // A retrying client re-introducing itself: the fleet-health signal
+      // the chaos soak scrapes for.
+      count_reconnect();
+    }
+    HelloAck ack;
+    ack.request_id = hello.request_id;
+    ack.protocol_version = kWireVersion;
+    ack.build_version = kServeVersion;
+    const std::vector<std::uint8_t> payload = encode_payload(ack);
+    try {
+      std::lock_guard<std::mutex> lk(conn->write_mu);
+      // Deliberately not counted in requests_served or the latency
+      // histograms: those track job traffic, and a handshake is
+      // connection plumbing.
+      write_frame(*conn->stream, FrameType::kHelloAck, payload);
+      count_bytes_out(payload.size());
+    } catch (const WireError&) {
+      conn->dead.store(true, std::memory_order_release);
+    }
+    return true;
   }
 
   // ---- stats / trace frames --------------------------------------------
@@ -521,7 +701,8 @@ struct Server::Impl {
       auto it = light_inflight.find(job.key);
       if (it != light_inflight.end()) {
         // An identical job is already computing: piggyback.
-        it->second.push_back(Waiter{conn, request_id, start_us});
+        it->second.push_back(Waiter{conn, request_id, start_us, conn->tenant});
+        conn->outstanding.fetch_add(1, std::memory_order_acq_rel);
         coalesced_count.fetch_add(1, std::memory_order_relaxed);
         count_coalesced();
         ++inflight_waiters;
@@ -530,8 +711,9 @@ struct Server::Impl {
         set_coalesced_inflight(coalesced_waiters);
         return true;
       }
-      light_inflight[job.key] = {Waiter{conn, request_id, start_us}};
+      light_inflight[job.key] = {Waiter{conn, request_id, start_us, conn->tenant}};
       light_queue.push_back(std::move(job));
+      conn->outstanding.fetch_add(1, std::memory_order_acq_rel);
       ++inflight_waiters;
       set_inflight(inflight_waiters);
     }
@@ -562,9 +744,31 @@ struct Server::Impl {
     Response immediate;
     {
       std::unique_lock<std::mutex> lk(mu);
+      // The tenant quota gates every submission path -- joining an
+      // in-flight twin holds a response slot just like a fresh admit.
+      const std::string& tenant = conn->tenant;
+      if (options.tenant_campaign_quota > 0 &&
+          tenant_outstanding[tenant] >= options.tenant_campaign_quota) {
+        tenant_shed.fetch_add(1, std::memory_order_relaxed);
+        count_tenant_shed(tenant);
+        Response shed;
+        shed.request_id = request_id;
+        shed.status = ResponseStatus::kShed;
+        shed.message = "tenant quota: tenant \"" + tenant + "\" already has " +
+                       std::to_string(tenant_outstanding[tenant]) +
+                       " campaigns in flight (quota " +
+                       std::to_string(options.tenant_campaign_quota) + ")";
+        shed.completeness = 0.0;
+        lk.unlock();
+        send_response(conn, shed);
+        record_latency(JobKind::kCampaign, shed.status, start_us);
+        return true;
+      }
       auto it = campaign_inflight.find(key);
       if (it != campaign_inflight.end()) {
-        pending.at(it->second).waiters.push_back(Waiter{conn, request_id, start_us});
+        pending.at(it->second).waiters.push_back(Waiter{conn, request_id, start_us, tenant});
+        ++tenant_outstanding[tenant];
+        conn->outstanding.fetch_add(1, std::memory_order_acq_rel);
         coalesced_count.fetch_add(1, std::memory_order_relaxed);
         count_coalesced();
         ++inflight_waiters;
@@ -604,10 +808,12 @@ struct Server::Impl {
         PendingCampaign pc;
         pc.sim = std::move(sim);
         pc.task = std::move(task);
-        pc.waiters.push_back(Waiter{conn, request_id, start_us});
+        pc.waiters.push_back(Waiter{conn, request_id, start_us, conn->tenant});
         pc.key = key;
         pending.emplace(slot, std::move(pc));
         campaign_inflight.emplace(key, slot);
+        ++tenant_outstanding[conn->tenant];
+        conn->outstanding.fetch_add(1, std::memory_order_acq_rel);
         ++inflight_waiters;
         set_inflight(inflight_waiters);
         admitted = true;
@@ -659,6 +865,7 @@ struct Server::Impl {
         r.request_id = waiters[i].request_id;
         r.coalesced = i > 0;
         send_response(waiters[i].conn, r);
+        waiters[i].conn->outstanding.fetch_sub(1, std::memory_order_acq_rel);
         record_latency(kind, r.status, waiters[i].start_us);
       }
       lk.lock();
@@ -737,6 +944,12 @@ struct Server::Impl {
       if (waiters.size() > 1) {
         coalesced_waiters -= static_cast<std::int64_t>(waiters.size() - 1);
       }
+      for (const Waiter& w : waiters) {
+        auto tenant_it = tenant_outstanding.find(w.tenant);
+        if (tenant_it != tenant_outstanding.end() && tenant_it->second > 0) {
+          if (--tenant_it->second == 0) tenant_outstanding.erase(tenant_it);
+        }
+      }
       set_inflight(inflight_waiters);
       set_coalesced_inflight(coalesced_waiters);
       set_queue_depth(queue.outstanding());
@@ -745,6 +958,7 @@ struct Server::Impl {
       r.request_id = waiters[i].request_id;
       r.coalesced = i > 0;
       send_response(waiters[i].conn, r);
+      waiters[i].conn->outstanding.fetch_sub(1, std::memory_order_acq_rel);
       record_latency(JobKind::kCampaign, r.status, waiters[i].start_us);
     }
   }
@@ -754,14 +968,48 @@ struct Server::Impl {
   void add_connection(int read_fd, int write_fd) {
     auto conn = std::make_shared<Connection>();
     conn->stream = std::make_unique<FdStream>(read_fd, write_fd);
+    conn->last_activity_ns.store(now_ns(), std::memory_order_relaxed);
     // Check + register + spawn under one lock hold: shutdown() must
     // never observe a registered connection without a joinable reader.
     std::lock_guard<std::mutex> lk(mu);
     if (shutting_down) {
       throw std::logic_error("serve: the server is draining; no new connections");
     }
+    conn->conn_id = next_conn_id++;
+    if (options.max_connections > 0) evict_to_make_room_locked();
     conn->reader = std::thread([this, conn] { reader_loop(conn); });
     connections.push_back(conn);
+  }
+
+  /// Under mu: while the live-connection count is at the cap, kill the
+  /// least-recently-active connection (ties broken by lowest conn_id --
+  /// both keys are deterministic, so the victim is too).  The victim
+  /// gets a diagnostic error frame, then its reader closes the fds.
+  void evict_to_make_room_locked() {
+    while (true) {
+      std::size_t live = 0;
+      std::shared_ptr<Connection> victim;
+      for (const auto& c : connections) {
+        if (c->dead.load(std::memory_order_acquire)) continue;
+        ++live;
+        if (victim == nullptr) {
+          victim = c;
+          continue;
+        }
+        const std::uint64_t ca = c->last_activity_ns.load(std::memory_order_relaxed);
+        const std::uint64_t va = victim->last_activity_ns.load(std::memory_order_relaxed);
+        if (ca < va || (ca == va && c->conn_id < victim->conn_id)) victim = c;
+      }
+      if (live < options.max_connections || victim == nullptr) return;
+      connections_evicted.fetch_add(1, std::memory_order_relaxed);
+      count_evicted();
+      send_error_frame(victim, 0,
+                       "NCWIRE01 connection evicted: server at its max-connections cap (" +
+                           std::to_string(options.max_connections) +
+                           ") and this connection was the oldest idle");
+      victim->dead.store(true, std::memory_order_release);
+      victim->stream->interrupt();
+    }
   }
 
   void listen_unix(const std::string& path) {
@@ -769,9 +1017,6 @@ struct Server::Impl {
       std::lock_guard<std::mutex> lk(mu);
       if (shutting_down) {
         throw std::logic_error("serve: the server is draining; cannot listen");
-      }
-      if (listen_fd >= 0) {
-        throw std::logic_error("serve: already listening");
       }
     }
     const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
@@ -794,15 +1039,66 @@ struct Server::Impl {
       throw std::runtime_error("serve: cannot listen on " + path + ": " +
                                std::strerror(err));
     }
-    {
-      std::lock_guard<std::mutex> lk(mu);
-      listen_fd = fd;
-      socket_path = path;
-    }
-    acceptor = std::thread([this] { accept_loop(); });
+    register_listener(fd, path);
   }
 
-  void accept_loop() {
+  int listen_tcp(const std::string& host, int port) {
+    {
+      std::lock_guard<std::mutex> lk(mu);
+      if (shutting_down) {
+        throw std::logic_error("serve: the server is draining; cannot listen");
+      }
+    }
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+      throw std::runtime_error(std::string("serve: socket() failed: ") +
+                               std::strerror(errno));
+    }
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    if (host.empty() || host == "*" || host == "0.0.0.0") {
+      addr.sin_addr.s_addr = htonl(INADDR_ANY);
+    } else if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+      ::close(fd);
+      throw std::runtime_error("serve: cannot parse TCP host \"" + host +
+                               "\" (IPv4 dotted quad expected)");
+    }
+    if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0 ||
+        ::listen(fd, 64) != 0) {
+      const int err = errno;
+      ::close(fd);
+      throw std::runtime_error("serve: cannot listen on tcp:" + host + ":" +
+                               std::to_string(port) + ": " + std::strerror(err));
+    }
+    sockaddr_in bound{};
+    socklen_t bound_len = sizeof(bound);
+    int bound_port = port;
+    if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) == 0) {
+      bound_port = static_cast<int>(ntohs(bound.sin_port));
+    }
+    register_listener(fd, "");
+    return bound_port;
+  }
+
+  void register_listener(int fd, const std::string& unix_path) {
+    auto listener = std::make_unique<Listener>();
+    listener->fd = fd;
+    listener->unix_path = unix_path;
+    Listener* raw = listener.get();
+    std::lock_guard<std::mutex> lk(mu);
+    if (shutting_down) {
+      ::close(fd);
+      if (!unix_path.empty()) ::unlink(unix_path.c_str());
+      throw std::logic_error("serve: the server is draining; cannot listen");
+    }
+    raw->thread = std::thread([this, raw] { accept_loop(raw->fd); });
+    listeners.push_back(std::move(listener));
+  }
+
+  void accept_loop(int listen_fd) {
     std::uint64_t accept_index = 0;
     while (!shutting_down_flag.load(std::memory_order_acquire)) {
       pollfd pfd{};
@@ -838,11 +1134,15 @@ struct Server::Impl {
       std::lock_guard<std::mutex> lk(mu);
       shutting_down = true;
     }
-    if (acceptor.joinable()) acceptor.join();
-    if (listen_fd >= 0) {
-      ::close(listen_fd);
-      listen_fd = -1;
-      if (!socket_path.empty()) ::unlink(socket_path.c_str());
+    for (const auto& l : listeners) {
+      if (l->thread.joinable()) l->thread.join();
+    }
+    for (const auto& l : listeners) {
+      if (l->fd >= 0) {
+        ::close(l->fd);
+        l->fd = -1;
+        if (!l->unix_path.empty()) ::unlink(l->unix_path.c_str());
+      }
     }
 
     // 2. Wind down readers; requests already dispatched stay in flight.
@@ -921,6 +1221,10 @@ struct Server::Impl {
     report.campaigns_completed = campaigns_completed.load(std::memory_order_relaxed);
     report.campaigns_stopped = campaigns_stopped.load(std::memory_order_relaxed);
     report.campaigns_shed = campaigns_shed.load(std::memory_order_relaxed);
+    report.handshake_rejects = handshake_rejects.load(std::memory_order_relaxed);
+    report.connections_reaped = connections_reaped.load(std::memory_order_relaxed);
+    report.connections_evicted = connections_evicted.load(std::memory_order_relaxed);
+    report.tenant_shed = tenant_shed.load(std::memory_order_relaxed);
     report_ready = true;
     return report;
   }
@@ -937,6 +1241,8 @@ struct Server::Impl {
   std::map<cache::Digest128, std::vector<Waiter>> light_inflight;
   std::map<std::size_t, PendingCampaign> pending;
   std::map<cache::Digest128, std::size_t> campaign_inflight;
+  std::map<std::string, std::size_t> tenant_outstanding;  ///< live campaign waiters per tenant
+  std::uint64_t next_conn_id = 1;
   bool shutting_down = false;
   bool workers_stop = false;
   bool campaigns_closed = false;
@@ -949,9 +1255,7 @@ struct Server::Impl {
   std::condition_variable runner_cv;
   std::vector<std::thread> workers;
   std::thread runner;
-  std::thread acceptor;
-  int listen_fd = -1;
-  std::string socket_path;
+  std::vector<std::unique_ptr<Listener>> listeners;
   std::atomic<bool> shutting_down_flag{false};
 
   std::mutex shutdown_mu;  ///< serializes shutdown(); taken before mu
@@ -968,6 +1272,10 @@ struct Server::Impl {
   std::atomic<std::uint64_t> campaigns_completed{0};
   std::atomic<std::uint64_t> campaigns_stopped{0};
   std::atomic<std::uint64_t> campaigns_shed{0};
+  std::atomic<std::uint64_t> handshake_rejects{0};
+  std::atomic<std::uint64_t> connections_reaped{0};
+  std::atomic<std::uint64_t> connections_evicted{0};
+  std::atomic<std::uint64_t> tenant_shed{0};
 
   /// Construction instant; kStatsResponse reports uptime against it.
   const std::chrono::steady_clock::time_point started = std::chrono::steady_clock::now();
@@ -989,6 +1297,10 @@ void Server::add_connection(int read_fd, int write_fd) {
 }
 
 void Server::listen_unix(const std::string& path) { impl_->listen_unix(path); }
+
+int Server::listen_tcp(const std::string& host, int port) {
+  return impl_->listen_tcp(host, port);
+}
 
 DrainReport Server::shutdown() { return impl_->shutdown(); }
 

@@ -1,6 +1,7 @@
 #include "nanocost/serve/wire.hpp"
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 
 #include <poll.h>
@@ -14,9 +15,23 @@ namespace {
 
 constexpr robust::FaultSite kReadSite{"serve.read"};
 constexpr robust::FaultSite kWriteSite{"serve.write"};
+// Chaos-transport sites, all on the write path so a client (or server)
+// under a plan sees connection-grade failures at deterministic points:
+//   serve.stall          latency-flag plans sleep here (slow peer)
+//   serve.reset          the write fails as if the peer reset
+//   serve.partial_write  half the bytes land, then the write fails
+constexpr robust::FaultSite kStallSite{"serve.stall"};
+constexpr robust::FaultSite kResetSite{"serve.reset"};
+constexpr robust::FaultSite kPartialWriteSite{"serve.partial_write"};
 
 /// How often an interrupted FdStream read notices the flag.
 constexpr int kPollIntervalMs = 50;
+
+std::int64_t now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
 
 constexpr std::size_t kHeaderBytes = sizeof(kWireMagic) + 4 + 4 + 8;
 
@@ -86,10 +101,12 @@ bool is_known_frame_type(std::uint32_t type) noexcept {
     case FrameType::kStatsRequest:
     case FrameType::kTraceStart:
     case FrameType::kTraceStop:
+    case FrameType::kHello:
     case FrameType::kResponse:
     case FrameType::kPong:
     case FrameType::kErrorFrame:
     case FrameType::kStatsResponse:
+    case FrameType::kHelloAck:
       return true;
   }
   return false;
@@ -119,6 +136,10 @@ const char* frame_type_name(FrameType type) noexcept {
       return "error";
     case FrameType::kStatsResponse:
       return "stats-response";
+    case FrameType::kHello:
+      return "hello";
+    case FrameType::kHelloAck:
+      return "hello-ack";
   }
   return "unknown";
 }
@@ -148,6 +169,24 @@ std::size_t FdStream::read_some(std::uint8_t* out, std::size_t n) {
   while (true) {
     if (interrupted_.load(std::memory_order_acquire)) return 0;
     if (read_fd_ < 0) throw WireError("NCWIRE01 transport read on a closed stream");
+    if (idle_ms_ > 0.0 || frame_ms_ > 0.0) {
+      const std::int64_t now = now_ns();
+      if (first_byte_ns_ == 0) {
+        if (idle_ms_ > 0.0 &&
+            static_cast<double>(now - window_start_ns_) >= idle_ms_ * 1e6) {
+          throw WireTimeout("NCWIRE01 read timed out: no frame started within " +
+                                std::to_string(static_cast<std::int64_t>(idle_ms_)) +
+                                " ms (idle deadline)",
+                            /*idle=*/true);
+        }
+      } else if (frame_ms_ > 0.0 &&
+                 static_cast<double>(now - first_byte_ns_) >= frame_ms_ * 1e6) {
+        throw WireTimeout("NCWIRE01 read timed out: frame stalled past " +
+                              std::to_string(static_cast<std::int64_t>(frame_ms_)) +
+                              " ms (read deadline)",
+                          /*idle=*/false);
+      }
+    }
     pollfd pfd{};
     pfd.fd = read_fd_;
     pfd.events = POLLIN;
@@ -157,15 +196,31 @@ std::size_t FdStream::read_some(std::uint8_t* out, std::size_t n) {
       throw WireError(std::string("NCWIRE01 transport poll failed: ") +
                       std::strerror(errno));
     }
-    if (pr == 0) continue;  // timeout: re-check the interrupt flag
+    if (pr == 0) continue;  // timeout: re-check the interrupt flag / deadlines
     const ssize_t r = ::read(read_fd_, out, n);
     if (r < 0) {
       if (errno == EINTR) continue;
       throw WireError(std::string("NCWIRE01 transport read failed: ") +
                       std::strerror(errno));
     }
+    if (r > 0 && first_byte_ns_ == 0 && (idle_ms_ > 0.0 || frame_ms_ > 0.0)) {
+      first_byte_ns_ = now_ns();
+    }
     return static_cast<std::size_t>(r);
   }
+}
+
+void FdStream::arm_read_deadlines(double idle_ms, double frame_ms) noexcept {
+  idle_ms_ = idle_ms > 0.0 ? idle_ms : 0.0;
+  frame_ms_ = frame_ms > 0.0 ? frame_ms : 0.0;
+  window_start_ns_ = now_ns();
+  first_byte_ns_ = 0;
+}
+
+void FdStream::begin_frame() noexcept {
+  if (idle_ms_ == 0.0 && frame_ms_ == 0.0) return;
+  window_start_ns_ = now_ns();
+  first_byte_ns_ = 0;
 }
 
 void FdStream::write_all(const std::uint8_t* data, std::size_t n) {
@@ -174,16 +229,46 @@ void FdStream::write_all(const std::uint8_t* data, std::size_t n) {
   } catch (const robust::FaultInjected& e) {
     throw WireError(std::string("NCWIRE01 transport write failed (") + e.what() + ")");
   }
+  // serve.stall is meant for latency-flag plans (a deterministic slow
+  // peer); a throw-flag plan degenerates to a reset.
+  try {
+    robust::inject(kStallSite, stall_ops_++);
+  } catch (const robust::FaultInjected& e) {
+    throw WireError(std::string("NCWIRE01 connection stalled (") + e.what() + ")");
+  }
+  try {
+    robust::inject(kResetSite, reset_ops_++);
+  } catch (const robust::FaultInjected& e) {
+    // Models a peer reset: the write fails before any byte lands.  The
+    // fds stay open (the reader owns their lifetime) -- only this write
+    // is lost, exactly like a kernel-reported ECONNRESET.
+    throw WireError(std::string("NCWIRE01 connection reset (") + e.what() + ")");
+  }
+  std::size_t limit = n;
+  bool partial = false;
+  try {
+    robust::inject(kPartialWriteSite, partial_ops_++);
+  } catch (const robust::FaultInjected&) {
+    // Half the frame lands on the wire, then the transport dies: the
+    // peer must detect the truncation via read_frame's strictness.
+    limit = n / 2;
+    partial = true;
+  }
   if (write_fd_ < 0) throw WireError("NCWIRE01 transport write on a closed stream");
   std::size_t sent = 0;
-  while (sent < n) {
-    const ssize_t w = ::write(write_fd_, data + sent, n - sent);
+  while (sent < limit) {
+    const ssize_t w = ::write(write_fd_, data + sent, limit - sent);
     if (w < 0) {
       if (errno == EINTR) continue;
       throw WireError(std::string("NCWIRE01 transport write failed: ") +
                       std::strerror(errno));
     }
     sent += static_cast<std::size_t>(w);
+  }
+  if (partial) {
+    throw WireError("NCWIRE01 transport write failed after a partial write (" +
+                    std::to_string(limit) + " of " + std::to_string(n) +
+                    " bytes; injected fault serve.partial_write)");
   }
 }
 

@@ -29,6 +29,7 @@
 #include "nanocost/place/placer.hpp"
 #include "nanocost/report/campaign_report.hpp"
 #include "nanocost/robust/admission.hpp"
+#include "nanocost/robust/backoff.hpp"
 #include "nanocost/robust/campaign.hpp"
 #include "nanocost/robust/cancel.hpp"
 #include "nanocost/route/router.hpp"
@@ -441,6 +442,70 @@ TEST(CampaignDeadline, BackoffThatFitsStillQuarantinesAfterMaxAttempts) {
   EXPECT_EQ(result.quarantined[0].chunk, 2);
   EXPECT_EQ(result.retries, 1);
   EXPECT_FALSE(result.expired);
+}
+
+// ---------------------------------------------------------------------------
+// The shared BackoffPolicy (robust/backoff.hpp): the one schedule both
+// run_campaign and serve::ResilientClient sleep on.
+
+TEST(BackoffPolicy, ZeroJitterReproducesTheDoublingLadderExactly) {
+  const robust::BackoffPolicy p{50.0, 0.0, 2.0, 0.0, 0};
+  EXPECT_DOUBLE_EQ(p.delay_ms(0), 50.0);
+  EXPECT_DOUBLE_EQ(p.delay_ms(1), 100.0);
+  EXPECT_DOUBLE_EQ(p.delay_ms(2), 200.0);
+  EXPECT_DOUBLE_EQ(p.delay_ms(3), 400.0);
+
+  const robust::BackoffPolicy capped{50.0, 120.0, 2.0, 0.0, 0};
+  EXPECT_DOUBLE_EQ(capped.delay_ms(0), 50.0);
+  EXPECT_DOUBLE_EQ(capped.delay_ms(1), 100.0);
+  EXPECT_DOUBLE_EQ(capped.delay_ms(2), 120.0);
+  EXPECT_DOUBLE_EQ(capped.delay_ms(9), 120.0);
+
+  // base <= 0 disables backoff entirely.
+  const robust::BackoffPolicy off{0.0, 0.0, 2.0, 0.5, 9};
+  EXPECT_DOUBLE_EQ(off.delay_ms(0), 0.0);
+  EXPECT_DOUBLE_EQ(off.delay_ms(7), 0.0);
+}
+
+TEST(BackoffPolicy, JitterIsDeterministicPerSeedAndStaysBounded) {
+  const robust::BackoffPolicy a{50.0, 2000.0, 2.0, 0.25, 42};
+  const robust::BackoffPolicy twin{50.0, 2000.0, 2.0, 0.25, 42};
+  const robust::BackoffPolicy other{50.0, 2000.0, 2.0, 0.25, 43};
+  const robust::BackoffPolicy plain{50.0, 2000.0, 2.0, 0.0, 0};
+
+  bool some_seed_divergence = false;
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    // Pure function of (policy, attempt): two processes with the same
+    // policy replay the identical schedule.
+    EXPECT_DOUBLE_EQ(a.delay_ms(attempt), twin.delay_ms(attempt)) << attempt;
+    EXPECT_DOUBLE_EQ(a.delay_ms(attempt), a.delay_ms(attempt)) << attempt;
+    // The jittered delay stays inside [1 - j, 1 + j) of the un-jittered
+    // ladder, and never exceeds the cap.
+    const double base = plain.delay_ms(attempt);
+    EXPECT_GE(a.delay_ms(attempt), 0.75 * base - 1e-9) << attempt;
+    EXPECT_LE(a.delay_ms(attempt), std::min(1.25 * base, 2000.0) + 1e-9) << attempt;
+    if (a.delay_ms(attempt) != other.delay_ms(attempt)) some_seed_divergence = true;
+  }
+  EXPECT_TRUE(some_seed_divergence) << "different seeds must yield different schedules";
+}
+
+TEST(BackoffPolicy, OverrunsBudgetExactlyWhenTheSleepCannotPayOff) {
+  // No deadline: nothing to overrun.
+  const robust::BackoffPolicy huge{10.0 * 60.0 * 1000.0, 0.0, 2.0, 0.0, 0};
+  EXPECT_FALSE(huge.overruns_budget(0, robust::CancelToken{}));
+
+  // A 10-minute sleep against a 60-second budget: abandon.
+  const robust::CancelToken minute = robust::CancelToken::with_deadline(60.0 * 1000.0);
+  EXPECT_TRUE(huge.overruns_budget(0, minute));
+
+  // A 10-microsecond sleep fits the same budget.
+  const robust::BackoffPolicy tiny{0.01, 0.0, 2.0, 0.0, 0};
+  EXPECT_FALSE(tiny.overruns_budget(0, minute));
+
+  // An already-expired deadline overruns even a zero-length sleep.
+  const robust::CancelToken expired = robust::CancelToken::with_deadline(0.0);
+  const robust::BackoffPolicy off{0.0, 0.0, 2.0, 0.0, 0};
+  EXPECT_TRUE(off.overruns_budget(0, expired));
 }
 
 // ---------------------------------------------------------------------------

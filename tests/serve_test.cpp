@@ -19,6 +19,7 @@
 #include <sys/time.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <cstdint>
 #include <cstring>
 #include <filesystem>
@@ -33,9 +34,11 @@
 #include "nanocost/core/risk.hpp"
 #include "nanocost/obs/metrics.hpp"
 #include "nanocost/obs/stats.hpp"
+#include "nanocost/robust/backoff.hpp"
 #include "nanocost/robust/fault_injection.hpp"
 #include "nanocost/serve/client.hpp"
 #include "nanocost/serve/jobs.hpp"
+#include "nanocost/serve/resilient.hpp"
 #include "nanocost/serve/server.hpp"
 #include "nanocost/serve/wire.hpp"
 
@@ -177,8 +180,8 @@ TEST(WireFrame, RoundTripsEveryType) {
   for (const FrameType type :
        {FrameType::kEq4Request, FrameType::kRiskRequest, FrameType::kCampaignRequest,
         FrameType::kPing, FrameType::kStatsRequest, FrameType::kTraceStart,
-        FrameType::kTraceStop, FrameType::kResponse, FrameType::kPong,
-        FrameType::kErrorFrame, FrameType::kStatsResponse}) {
+        FrameType::kTraceStop, FrameType::kHello, FrameType::kResponse, FrameType::kPong,
+        FrameType::kErrorFrame, FrameType::kStatsResponse, FrameType::kHelloAck}) {
     MemStream stream(encode_frame(type, payload));
     const std::optional<Frame> frame = read_frame(stream);
     ASSERT_TRUE(frame.has_value()) << frame_type_name(type);
@@ -1046,6 +1049,611 @@ TEST(RemoteTrace, DoubleStartAndStopWithoutStartAreTypedErrors) {
   const Response rearmed = client3.trace_start();
   EXPECT_EQ(rearmed.status, ResponseStatus::kOk) << rearmed.message;
   EXPECT_EQ(client3.trace_stop().status, ResponseStatus::kOk);
+}
+
+// ---------------------------------------------------------------------------
+// NCWIRE01 version handshake (kHello / kHelloAck).
+
+TEST(Handshake, AckRoundTripAndConnectionKeepsServing) {
+  Server server(ServerOptions{});
+  Client client = make_client(server);
+
+  const HelloAck ack = client.handshake("tenant-a");
+  EXPECT_EQ(ack.protocol_version, kWireVersion);
+  EXPECT_EQ(ack.build_version, kServeVersion);
+
+  // The handshake is connection plumbing, not a job: the connection
+  // serves normally afterwards and the ack never lands in requests_served.
+  const Response r = client.wait(client.submit(small_eq4()));
+  EXPECT_EQ(r.status, ResponseStatus::kOk) << r.message;
+  EXPECT_EQ(r.result, direct_eq4_bytes(small_eq4()));
+
+  const DrainReport report = server.shutdown();
+  EXPECT_EQ(report.requests_served, 1u) << "the hello ack must not count as a response";
+  EXPECT_EQ(report.handshake_rejects, 0u);
+}
+
+TEST(Handshake, RejectsProtocolMismatchByName) {
+  Server server(ServerOptions{});
+  RawPeer peer(server);
+
+  HelloRequest hello;
+  hello.request_id = 7;
+  hello.protocol_version = 99;
+  peer.send(encode_frame(FrameType::kHello, encode_payload(hello)));
+
+  // No half_close: the error frame plus EOF must come from the server
+  // killing the rejected connection on its own.
+  MemStream parser(peer.slurp());
+  const std::optional<Frame> frame = read_frame(parser);
+  ASSERT_TRUE(frame.has_value());
+  ASSERT_EQ(frame->type, FrameType::kErrorFrame);
+  const ErrorFrame e = decode_error_frame(frame->payload);
+  EXPECT_EQ(e.request_id, 7u);
+  EXPECT_NE(e.message.find("handshake rejected"), std::string::npos) << e.message;
+  EXPECT_NE(e.message.find("protocol version 99"), std::string::npos) << e.message;
+  EXPECT_FALSE(read_frame(parser).has_value()) << "the rejected connection must close";
+
+  // Only the offending connection died.
+  Client client = make_client(server);
+  EXPECT_TRUE(client.ping());
+  const DrainReport report = server.shutdown();
+  EXPECT_EQ(report.handshake_rejects, 1u);
+}
+
+TEST(Handshake, RejectsBuildMajorMismatchByName) {
+  Server server(ServerOptions{});
+  RawPeer peer(server);
+
+  HelloRequest hello;
+  hello.request_id = 9;
+  hello.build_version = "2.0.0";
+  peer.send(encode_frame(FrameType::kHello, encode_payload(hello)));
+
+  MemStream parser(peer.slurp());
+  const std::optional<Frame> frame = read_frame(parser);
+  ASSERT_TRUE(frame.has_value());
+  ASSERT_EQ(frame->type, FrameType::kErrorFrame);
+  const ErrorFrame e = decode_error_frame(frame->payload);
+  EXPECT_NE(e.message.find("handshake rejected"), std::string::npos) << e.message;
+  EXPECT_NE(e.message.find("\"2.0.0\""), std::string::npos) << e.message;
+  EXPECT_NE(e.message.find(kServeVersion), std::string::npos)
+      << "the diagnostic must name both versions: " << e.message;
+
+  const DrainReport report = server.shutdown();
+  EXPECT_EQ(report.handshake_rejects, 1u);
+}
+
+TEST(Handshake, RejectsLateHello) {
+  Server server(ServerOptions{});
+  Client client = make_client(server);
+  ASSERT_TRUE(client.ping());  // frame 1 on this connection
+
+  try {
+    (void)client.handshake("latecomer");
+    FAIL() << "a hello after other traffic must be rejected";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("handshake rejected"), std::string::npos)
+        << e.what();
+    EXPECT_NE(std::string(e.what()).find("first frame"), std::string::npos) << e.what();
+  }
+
+  const DrainReport report = server.shutdown();
+  EXPECT_EQ(report.handshake_rejects, 1u);
+}
+
+TEST(Handshake, MalformedHelloPayloadIsRejectedWithDiagnostic) {
+  Server server(ServerOptions{});
+  const std::vector<std::uint8_t> good = encode_payload(HelloRequest{});
+
+  // Truncated payload inside a structurally perfect frame: the frame
+  // checksum passes, the hello decode must still reject.
+  {
+    RawPeer peer(server);
+    std::vector<std::uint8_t> cut = good;
+    cut.pop_back();
+    peer.send(encode_frame(FrameType::kHello, cut));
+    MemStream parser(peer.slurp());
+    const std::optional<Frame> frame = read_frame(parser);
+    ASSERT_TRUE(frame.has_value());
+    ASSERT_EQ(frame->type, FrameType::kErrorFrame);
+    EXPECT_NE(decode_error_frame(frame->payload).message.find("malformed hello payload"),
+              std::string::npos);
+    EXPECT_FALSE(read_frame(parser).has_value());
+  }
+
+  // Trailing bytes after a valid hello body: strict decode, same fate.
+  {
+    RawPeer peer(server);
+    std::vector<std::uint8_t> padded = good;
+    padded.push_back(0);
+    peer.send(encode_frame(FrameType::kHello, padded));
+    MemStream parser(peer.slurp());
+    const std::optional<Frame> frame = read_frame(parser);
+    ASSERT_TRUE(frame.has_value());
+    ASSERT_EQ(frame->type, FrameType::kErrorFrame);
+    EXPECT_NE(decode_error_frame(frame->payload).message.find("malformed hello payload"),
+              std::string::npos);
+  }
+
+  Client client = make_client(server);
+  EXPECT_TRUE(client.ping());
+  const DrainReport report = server.shutdown();
+  EXPECT_EQ(report.handshake_rejects, 2u);
+}
+
+TEST(Handshake, CorruptionMatrixKillsOnlyTheOffendingConnection) {
+  Server server(ServerOptions{});
+  HelloRequest hello;
+  hello.request_id = 3;
+  hello.tenant = "acme";
+  const std::vector<std::uint8_t> good =
+      encode_frame(FrameType::kHello, encode_payload(hello));
+
+  nanocost::testing::CorruptionMatrixOptions opts;  // default strides
+  opts.u64_length_offsets = {16};
+  nanocost::testing::run_corruption_matrix(
+      good,
+      [&server](const std::vector<std::uint8_t>& bytes) {
+        RawPeer peer(server);
+        peer.send(bytes);
+        peer.half_close();
+        // Rejected here means: the server answered with an error frame
+        // (pristine bytes produce only the kHelloAck).
+        nanocost::testing::CorruptionVerdict v;
+        MemStream parser(peer.slurp());
+        while (true) {
+          const std::optional<Frame> frame = read_frame(parser);
+          if (!frame) break;
+          if (frame->type == FrameType::kErrorFrame) {
+            v.rejected = true;
+            v.diagnostic = decode_error_frame(frame->payload).message;
+            EXPECT_NE(v.diagnostic.find("NCWIRE01"), std::string::npos) << v.diagnostic;
+          }
+        }
+        return v;
+      },
+      opts);
+
+  // The server survived the whole matrix.
+  Client client = make_client(server);
+  EXPECT_TRUE(client.ping());
+  const DrainReport report = server.shutdown();
+  EXPECT_GT(report.wire_errors, 0u);
+}
+
+TEST(Handshake, CleanEofMidHandshakeClosesQuietly) {
+  Server server(ServerOptions{});
+
+  // Zero bytes then EOF: a clean goodbye, not an error.
+  {
+    RawPeer peer(server);
+    peer.half_close();
+    EXPECT_TRUE(peer.slurp(500).empty()) << "a silent clean close must produce no frames";
+  }
+
+  // EOF mid-hello-frame: truncation, diagnosed by name.
+  {
+    RawPeer peer(server);
+    const std::vector<std::uint8_t> good =
+        encode_frame(FrameType::kHello, encode_payload(HelloRequest{}));
+    peer.send(std::vector<std::uint8_t>(good.begin(), good.begin() + 12));  // mid-header
+    peer.half_close();
+    MemStream parser(peer.slurp());
+    const std::optional<Frame> frame = read_frame(parser);
+    ASSERT_TRUE(frame.has_value());
+    ASSERT_EQ(frame->type, FrameType::kErrorFrame);
+    EXPECT_NE(decode_error_frame(frame->payload).message.find("truncated"),
+              std::string::npos);
+  }
+
+  const DrainReport report = server.shutdown();
+  EXPECT_EQ(report.handshake_rejects, 0u) << "EOF is not a version rejection";
+  EXPECT_EQ(report.wire_errors, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Connection lifecycle hardening: idle reap, slow-loris cutoff, eviction.
+
+TEST(Lifecycle, IdleConnectionIsReapedWithDiagnostic) {
+  ServerOptions options;
+  options.idle_timeout_ms = 80.0;
+  Server server(options);
+
+  RawPeer peer(server);  // connects, then says nothing
+  MemStream parser(peer.slurp(3000));
+  const std::optional<Frame> frame = read_frame(parser);
+  ASSERT_TRUE(frame.has_value()) << "the reap must be announced before the close";
+  ASSERT_EQ(frame->type, FrameType::kErrorFrame);
+  EXPECT_NE(decode_error_frame(frame->payload).message.find("idle deadline"),
+            std::string::npos);
+  EXPECT_FALSE(read_frame(parser).has_value()) << "the reaped connection must close";
+
+  Client client = make_client(server);
+  EXPECT_TRUE(client.ping());
+  const DrainReport report = server.shutdown();
+  EXPECT_GE(report.connections_reaped, 1u);
+}
+
+TEST(Lifecycle, QuietClientOwedResponsesIsNotIdle) {
+  // Slow wafers keep the campaign (and the silence) going well past the
+  // idle window; the client is owed a response, so it must not be reaped.
+  PlanGuard guard;
+  robust::FaultPlan plan;
+  plan.add("fabsim.wafer",
+           robust::FaultSpec{1.0, robust::FaultKind::kLatency, false, 5000});
+  robust::install_fault_plan(plan);
+
+  ServerOptions options;
+  options.idle_timeout_ms = 50.0;
+  Server server(options);
+  Client client = make_client(server);
+
+  const Response r = client.wait(client.submit(small_campaign(1, 40)));  // ~200 ms busy
+  EXPECT_EQ(r.status, ResponseStatus::kOk) << r.message;
+
+  const DrainReport report = server.shutdown();
+  EXPECT_EQ(report.connections_reaped, 0u)
+      << "a client quietly waiting on owed work is not idle";
+}
+
+TEST(Lifecycle, SlowLorisHitsTheReadDeadlineWithoutDelayingOthers) {
+  ServerOptions options;
+  options.read_deadline_ms = 400.0;
+  Server server(options);
+
+  // The staller opens a frame and never finishes it.
+  RawPeer staller(server);
+  const std::vector<std::uint8_t> good =
+      encode_frame(FrameType::kEq4Request, encode_payload(small_eq4()));
+  staller.send(std::vector<std::uint8_t>(good.begin(), good.begin() + 10));
+
+  // A healthy client is served while the stalled frame dangles -- and in
+  // far less than the read deadline (the acceptance bound).
+  Client healthy = make_client(server);
+  const auto t0 = std::chrono::steady_clock::now();
+  const Response r = healthy.wait(healthy.submit(small_eq4()));
+  const double elapsed_ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
+          .count();
+  EXPECT_EQ(r.status, ResponseStatus::kOk) << r.message;
+  EXPECT_LT(elapsed_ms, options.read_deadline_ms)
+      << "a stalled peer must not delay another client's response";
+
+  MemStream parser(staller.slurp(3000));
+  const std::optional<Frame> frame = read_frame(parser);
+  ASSERT_TRUE(frame.has_value());
+  ASSERT_EQ(frame->type, FrameType::kErrorFrame);
+  EXPECT_NE(decode_error_frame(frame->payload).message.find("read deadline"),
+            std::string::npos);
+  EXPECT_FALSE(read_frame(parser).has_value());
+
+  const DrainReport report = server.shutdown();
+  EXPECT_EQ(report.connections_reaped, 1u);
+}
+
+TEST(Lifecycle, OldestIdleConnectionIsEvictedAtTheCap) {
+  ServerOptions options;
+  options.max_connections = 2;
+  Server server(options);
+
+  RawPeer oldest(server);                  // connection 1: never speaks
+  Client second = make_client(server);     // connection 2
+  EXPECT_TRUE(second.ping());              // fresh activity on 2
+
+  // Connection 3 arrives at the cap: the least-recently-active (1) is
+  // evicted deterministically, with a named diagnostic.
+  Client third = make_client(server);
+  MemStream parser(oldest.slurp(3000));
+  const std::optional<Frame> frame = read_frame(parser);
+  ASSERT_TRUE(frame.has_value());
+  ASSERT_EQ(frame->type, FrameType::kErrorFrame);
+  const ErrorFrame e = decode_error_frame(frame->payload);
+  EXPECT_NE(e.message.find("evicted"), std::string::npos) << e.message;
+  EXPECT_NE(e.message.find("max-connections cap (2)"), std::string::npos) << e.message;
+  EXPECT_FALSE(read_frame(parser).has_value()) << "the evicted connection must close";
+
+  // The survivors both still serve.
+  EXPECT_TRUE(third.ping());
+  EXPECT_TRUE(second.ping());
+  const DrainReport report = server.shutdown();
+  EXPECT_EQ(report.connections_evicted, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Per-tenant admission quotas.
+
+TEST(Tenant, QuotaShedsExcessCampaignsNamingTheTenant) {
+  // Slow wafers keep the first campaign in flight while the quota is
+  // probed; kLatency never changes result bytes.
+  PlanGuard guard;
+  robust::FaultPlan plan;
+  plan.add("fabsim.wafer",
+           robust::FaultSpec{1.0, robust::FaultKind::kLatency, false, 5000});
+  robust::install_fault_plan(plan);
+
+  ServerOptions options;
+  options.tenant_campaign_quota = 1;
+  Server server(options);
+
+  Client acme = make_client(server);
+  (void)acme.handshake("acme");
+  Client zenith = make_client(server);
+  (void)zenith.handshake("zenith");
+
+  const std::uint64_t blocker_id = acme.submit(small_campaign(1, 40));
+  const std::uint64_t excess_id = acme.submit(small_campaign(2));
+  const Response shed = acme.wait(excess_id);
+  EXPECT_EQ(shed.status, ResponseStatus::kShed);
+  EXPECT_NE(shed.message.find("tenant quota"), std::string::npos) << shed.message;
+  EXPECT_NE(shed.message.find("\"acme\""), std::string::npos)
+      << "the shed must name the tenant: " << shed.message;
+  EXPECT_NE(shed.message.find("(quota 1)"), std::string::npos) << shed.message;
+
+  // The other tenant is not collateral damage.
+  const Response other = zenith.wait(zenith.submit(small_campaign(3)));
+  EXPECT_EQ(other.status, ResponseStatus::kOk) << other.message;
+
+  const Response blocker = acme.wait(blocker_id);
+  EXPECT_EQ(blocker.status, ResponseStatus::kOk) << blocker.message;
+
+  // Completion released the slot: the same tenant submits again freely.
+  const Response after = acme.wait(acme.submit(small_campaign(4)));
+  EXPECT_EQ(after.status, ResponseStatus::kOk) << after.message;
+
+  const DrainReport report = server.shutdown();
+  EXPECT_EQ(report.tenant_shed, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Client wait() treats every late out-of-band frame type uniformly.
+
+TEST(ClientWait, SkipsStaleOutOfBandFramesUniformly) {
+  int sv[2] = {-1, -1};
+  ASSERT_EQ(0, ::socketpair(AF_UNIX, SOCK_STREAM, 0, sv));
+  Client client(sv[1], sv[1]);
+  const auto push = [&sv](const std::vector<std::uint8_t>& bytes) {
+    std::size_t sent = 0;
+    while (sent < bytes.size()) {
+      const ssize_t w = ::write(sv[0], bytes.data() + sent, bytes.size() - sent);
+      ASSERT_GT(w, 0);
+      sent += static_cast<std::size_t>(w);
+    }
+  };
+
+  // The leftovers of abandoned exchanges, interleaved ahead of the
+  // responses this client actually wants: a stale stats report, a stale
+  // pong, a stale hello ack, and an error frame for someone else's
+  // request.  All four must be skipped (or dropped) uniformly.
+  StatsReport stale_stats;
+  stale_stats.request_id = 999;
+  stale_stats.stats = obs::encode_stats(obs::MetricsSnapshot{});
+  push(encode_frame(FrameType::kStatsResponse, encode_payload(stale_stats)));
+
+  cache::ByteWriter stale_ping;
+  stale_ping.u64(999);
+  push(encode_frame(FrameType::kPong, stale_ping.take()));
+
+  HelloAck stale_ack;
+  stale_ack.request_id = 999;
+  push(encode_frame(FrameType::kHelloAck, encode_payload(stale_ack)));
+
+  cache::ByteWriter stale_error;
+  stale_error.u64(999);
+  stale_error.str("request 999 failed long ago");
+  push(encode_frame(FrameType::kErrorFrame, stale_error.take()));
+
+  Response out_of_order;
+  out_of_order.request_id = 42;
+  out_of_order.message = "forty-two";
+  push(encode_frame(FrameType::kResponse, encode_payload(out_of_order)));
+
+  Response wanted;
+  wanted.request_id = 7;
+  wanted.message = "seven";
+  push(encode_frame(FrameType::kResponse, encode_payload(wanted)));
+  ::close(sv[0]);
+
+  // wait(7) must read through all four stale frames, park 42, and
+  // deliver 7; wait(42) then drains the parking lot without touching
+  // the (now EOF) stream.
+  const Response got7 = client.wait(7);
+  EXPECT_EQ(got7.request_id, 7u);
+  EXPECT_EQ(got7.message, "seven");
+  const Response got42 = client.wait(42);
+  EXPECT_EQ(got42.request_id, 42u);
+  EXPECT_EQ(got42.message, "forty-two");
+}
+
+// ---------------------------------------------------------------------------
+// TCP transport: same protocol, same bytes.
+
+TEST(Tcp, ServedBytesOverTcpMatchDirectCalls) {
+  Server server(ServerOptions{});
+  const int port = server.listen_tcp("127.0.0.1", 0);  // 0 = kernel-assigned
+  ASSERT_GT(port, 0);
+
+  Client client = Client::connect_tcp("127.0.0.1", port);
+  const HelloAck ack = client.handshake("tcp-tenant");
+  EXPECT_EQ(ack.build_version, kServeVersion);
+
+  const Eq4Job eq4 = small_eq4();
+  const RiskJob risk = small_risk(128);
+  const Response re = client.wait(client.submit(eq4));
+  const Response rr = client.wait(client.submit(risk));
+  EXPECT_EQ(re.status, ResponseStatus::kOk) << re.message;
+  EXPECT_EQ(rr.status, ResponseStatus::kOk) << rr.message;
+  EXPECT_EQ(re.result, direct_eq4_bytes(eq4)) << "eq4 bytes diverge over TCP";
+  EXPECT_EQ(rr.result, direct_risk_bytes(risk)) << "risk bytes diverge over TCP";
+}
+
+// ---------------------------------------------------------------------------
+// ResilientClient: bounded retry/reconnect with exactly-once effect.
+
+TEST(Resilient, EndpointParseGrammar) {
+  const Endpoint unix_ep = Endpoint::parse("unix:/tmp/x.sock");
+  EXPECT_FALSE(unix_ep.is_tcp());
+  EXPECT_EQ(unix_ep.unix_path, "/tmp/x.sock");
+  EXPECT_EQ(unix_ep.describe(), "unix:/tmp/x.sock");
+
+  const Endpoint bare = Endpoint::parse("/tmp/y.sock");
+  EXPECT_FALSE(bare.is_tcp());
+  EXPECT_EQ(bare.unix_path, "/tmp/y.sock");
+
+  const Endpoint tcp_ep = Endpoint::parse("tcp:127.0.0.1:9201");
+  EXPECT_TRUE(tcp_ep.is_tcp());
+  EXPECT_EQ(tcp_ep.tcp_host, "127.0.0.1");
+  EXPECT_EQ(tcp_ep.tcp_port, 9201);
+  EXPECT_EQ(tcp_ep.describe(), "tcp:127.0.0.1:9201");
+
+  EXPECT_THROW((void)Endpoint::parse(""), std::invalid_argument);
+  EXPECT_THROW((void)Endpoint::parse("unix:"), std::invalid_argument);
+  EXPECT_THROW((void)Endpoint::parse("tcp:127.0.0.1"), std::invalid_argument);
+  EXPECT_THROW((void)Endpoint::parse("tcp:h:99999"), std::invalid_argument);
+  EXPECT_THROW((void)Endpoint::parse("tcp:h:0"), std::invalid_argument);
+}
+
+TEST(Resilient, ReconnectsAcrossServerRestartWithZeroRecompute) {
+  const TempDir tmp("resilient");
+  const std::string sock = tmp.path() + "/serve.sock";
+  const std::string artifacts = tmp.path() + "/artifacts";
+  std::filesystem::create_directories(artifacts);
+
+  const CampaignJob full = small_campaign(5);  // 8 wafers = 2 chunks
+  const std::vector<std::uint8_t> reference = direct_campaign_bytes(full);
+
+  ResilientOptions ro;
+  ro.endpoint = Endpoint::parse("unix:" + sock);
+  ro.tenant = "acme";
+  ro.max_attempts = 6;
+  ro.backoff = robust::BackoffPolicy{1.0, 20.0, 2.0, 0.0, 0};  // fast test schedule
+  ResilientClient rc(ro);
+
+  ServerOptions so;
+  so.artifact_dir = artifacts;
+  {
+    Server first(so);
+    first.listen_unix(sock);
+    CampaignJob budgeted = full;
+    budgeted.max_chunks = 1;
+    const Response r = rc.submit_and_wait(budgeted);
+    EXPECT_EQ(r.status, ResponseStatus::kPartial) << r.message;
+    EXPECT_EQ(r.frontier_chunks, 1);
+  }  // the daemon dies; rc's connection is now a dangling socket
+
+  Server second(so);
+  second.listen_unix(sock);
+  const Response r = rc.submit_and_wait(full);
+  EXPECT_EQ(r.status, ResponseStatus::kOk) << r.message;
+  EXPECT_EQ(r.result, reference) << "resumed bytes diverge from the undisturbed run";
+  EXPECT_EQ(r.artifact_hits, 1u) << "the committed chunk was recomputed (or lost)";
+  EXPECT_DOUBLE_EQ(r.completeness, 1.0);
+  EXPECT_GE(rc.reconnects(), 1u) << "the restart must have forced a reconnect";
+  EXPECT_GE(rc.retries(), 1u);
+}
+
+TEST(Resilient, ExhaustsAttemptsAgainstPersistentConnectFaultsThenRecovers) {
+  PlanGuard guard;
+  const TempDir tmp("connect_faults");
+  const std::string sock = tmp.path() + "/serve.sock";
+  Server server(ServerOptions{});
+  server.listen_unix(sock);
+
+  robust::FaultPlan plan;
+  plan.add("serve.connect", robust::FaultSpec{1.0, robust::FaultKind::kThrow, false, 0});
+  robust::install_fault_plan(plan);
+
+  ResilientOptions ro;
+  ro.endpoint = Endpoint::parse(sock);  // bare-path spelling
+  ro.max_attempts = 3;
+  ro.backoff = robust::BackoffPolicy{0.5, 2.0, 2.0, 0.0, 0};
+  ResilientClient rc(ro);
+
+  try {
+    (void)rc.submit_and_wait(small_eq4());
+    FAIL() << "every connect was faulted; the client cannot have succeeded";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("gave up after 3 attempt(s)"), std::string::npos) << what;
+    EXPECT_NE(what.find("cannot connect"), std::string::npos)
+        << "the last failure must be named: " << what;
+  }
+  EXPECT_EQ(rc.retries(), 2u);
+
+  // The fault clears; the same client recovers on a fresh operation.
+  robust::clear_fault_plan();
+  const Response r = rc.submit_and_wait(small_eq4());
+  EXPECT_EQ(r.status, ResponseStatus::kOk) << r.message;
+  EXPECT_EQ(r.result, direct_eq4_bytes(small_eq4()));
+}
+
+TEST(Resilient, RetriesThroughInjectedResetsOnceThePlanClears) {
+  PlanGuard guard;
+  Server server(ServerOptions{});
+  const TempDir tmp("resets");
+  const std::string sock = tmp.path() + "/serve.sock";
+  server.listen_unix(sock);
+
+  // Every transport write resets (client and server side alike): no
+  // attempt can finish while the plan stands.
+  robust::FaultPlan plan;
+  plan.add("serve.reset", robust::FaultSpec{1.0, robust::FaultKind::kThrow, false, 0});
+  robust::install_fault_plan(plan);
+
+  ResilientOptions ro;
+  ro.endpoint = Endpoint::parse("unix:" + sock);
+  ro.max_attempts = 2;
+  ro.backoff = robust::BackoffPolicy{0.5, 2.0, 2.0, 0.0, 0};
+  ResilientClient rc(ro);
+  try {
+    (void)rc.submit_and_wait(small_eq4());
+    FAIL() << "every write was reset; the client cannot have succeeded";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("gave up after 2 attempt(s)"), std::string::npos) << what;
+    EXPECT_NE(what.find("connection reset"), std::string::npos) << what;
+  }
+
+  robust::clear_fault_plan();
+  const Response r = rc.submit_and_wait(small_eq4());
+  EXPECT_EQ(r.status, ResponseStatus::kOk) << r.message;
+  EXPECT_EQ(r.result, direct_eq4_bytes(small_eq4()));
+}
+
+TEST(Resilient, AttemptDeadlineCutsOffAStalledServer) {
+  PlanGuard guard;
+  Server server(ServerOptions{});
+  const TempDir tmp("stall");
+  const std::string sock = tmp.path() + "/serve.sock";
+  server.listen_unix(sock);
+
+  // Every write stalls 300 ms; the client's 80 ms per-attempt deadline
+  // must cut each attempt off instead of waiting out the stall.
+  robust::FaultPlan plan;
+  plan.add("serve.stall",
+           robust::FaultSpec{1.0, robust::FaultKind::kLatency, false, 300000});
+  robust::install_fault_plan(plan);
+
+  ResilientOptions ro;
+  ro.endpoint = Endpoint::parse("unix:" + sock);
+  ro.max_attempts = 2;
+  ro.attempt_timeout_ms = 80.0;
+  ro.backoff = robust::BackoffPolicy{0.5, 2.0, 2.0, 0.0, 0};
+  ResilientClient rc(ro);
+  try {
+    (void)rc.submit_and_wait(small_eq4());
+    FAIL() << "every exchange stalled; the client cannot have succeeded";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("gave up after 2 attempt(s)"), std::string::npos) << what;
+    EXPECT_NE(what.find("timed out"), std::string::npos)
+        << "the last failure must be the armed deadline: " << what;
+  }
+
+  robust::clear_fault_plan();
+  const Response r = rc.submit_and_wait(small_eq4());
+  EXPECT_EQ(r.status, ResponseStatus::kOk) << r.message;
+  EXPECT_EQ(r.result, direct_eq4_bytes(small_eq4()));
 }
 
 }  // namespace
